@@ -1,0 +1,108 @@
+"""Fig. 5(a): PgSeg runtime vs graph size N.
+
+Paper claims reproduced here:
+
+- SimProvAlg and SimProvTst run at least one order of magnitude faster than
+  the general CflrB baseline;
+- the Cypher baseline only completes the smallest graphs (Pd50 in the paper)
+  and is orders of magnitude slower / DNF beyond;
+- the compressed-bitmap (Cbm) variants trade speed for memory (slower);
+- SimProvTst overtakes SimProvAlg as graphs grow.
+"""
+
+import pytest
+
+from conftest import pd_cached, print_experiment
+from repro.bench.experiments import fig5a, large_benches_enabled
+from repro.cfl.simprov_alg import SimProvAlg
+from repro.cfl.simprov_tst import SimProvTst
+from repro.segment.induce import similar_path_vertices
+
+
+class TestMicro:
+    """Single-algorithm timings on a fixed Pd instance."""
+
+    def test_simprov_alg_pd1k(self, benchmark, pd1k):
+        src, dst = pd1k.default_query()
+        benchmark(lambda: SimProvAlg(pd1k.graph, src, dst).solve())
+
+    def test_simprov_tst_pd1k(self, benchmark, pd1k):
+        src, dst = pd1k.default_query()
+        benchmark(lambda: SimProvTst(pd1k.graph, src, dst).solve())
+
+    def test_simprov_alg_cbm_pd1k(self, benchmark, pd1k):
+        src, dst = pd1k.default_query()
+        benchmark(
+            lambda: SimProvAlg(pd1k.graph, src, dst,
+                               set_impl="roaring").solve()
+        )
+
+    def test_simprov_tst_pd2k(self, benchmark, pd2k):
+        src, dst = pd2k.default_query()
+        benchmark(lambda: SimProvTst(pd2k.graph, src, dst).solve())
+
+    def test_cflrb_pd200(self, benchmark):
+        instance = pd_cached(200)
+        src, dst = instance.default_query()
+        benchmark.pedantic(
+            lambda: similar_path_vertices(instance.graph, src, dst, "cflr"),
+            rounds=1, iterations=1,
+        )
+
+    def test_pgseg_end_to_end_pd1k(self, benchmark, pd1k):
+        """The whole operator (VC1..VC4 + induced edges), not just VC2."""
+        from repro.segment.pgseg import PgSegOperator, PgSegQuery
+
+        src, dst = pd1k.default_query()
+        query = PgSegQuery(src=tuple(src), dst=tuple(dst))
+
+        def run():
+            return PgSegOperator(pd1k.graph).evaluate(query)
+
+        result = benchmark(run)
+        assert result.vertex_count > 0
+
+
+class TestSeries:
+    def test_fig5a_series(self, benchmark):
+        sizes = [30, 50, 100, 200, 500, 1000]
+        if large_benches_enabled():
+            sizes += [2000, 5000, 10000]
+        holder = {}
+
+        def run():
+            holder["e"] = fig5a(
+                sizes=sizes, cypher_timeout=5.0, cflr_timeout=60.0,
+                solver_timeout=300.0,
+            )
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        experiment = holder["e"]
+        print_experiment(experiment)
+
+        cypher = experiment.series["Cypher"]
+        cflr = experiment.series["CflrB"]
+        alg = experiment.series["SimProvAlg"]
+        tst = experiment.series["SimProvTst"]
+        alg_cbm = experiment.series["SimProvAlg+Cbm"]
+
+        # Cypher dies early: it must not finish the larger half of the sweep.
+        assert len(cypher.finished_points()) <= len(sizes) // 2 + 1
+
+        # At the largest size CflrB finished, SimProv* are >= 10x faster.
+        finished_cflr = cflr.finished_points()
+        assert finished_cflr, "CflrB finished nothing"
+        last = finished_cflr[-1]
+        alg_at = next(p.y for p in alg.points if p.x == last.x)
+        tst_at = next(p.y for p in tst.points if p.x == last.x)
+        assert alg_at is not None and last.y / alg_at >= 10.0
+        assert tst_at is not None and last.y / tst_at >= 10.0
+
+        # The solvers finish the whole sweep.
+        assert len(alg.finished_points()) == len(sizes)
+        assert len(tst.finished_points()) == len(sizes)
+
+        # Cbm trades speed for memory: slower at the largest size.
+        alg_last = alg.finished_points()[-1]
+        cbm_last = alg_cbm.finished_points()[-1]
+        assert cbm_last.y >= alg_last.y * 0.8   # allow noise; usually ~2x

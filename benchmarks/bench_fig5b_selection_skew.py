@@ -1,0 +1,36 @@
+"""Fig. 5(b): runtime vs input selection skew se.
+
+Paper claim: the result is "quite stable" for all three CFLR algorithms as
+se varies from 1.1 to 2.1 — the algorithms apply to different project types
+with similar performance.
+"""
+
+from conftest import print_experiment
+from repro.bench.experiments import fig5b, large_benches_enabled
+
+
+class TestSeries:
+    def test_fig5b_series(self, benchmark):
+        n = 400 if not large_benches_enabled() else 2000
+        holder = {}
+
+        def run():
+            holder["e"] = fig5b(n=n, timeout=240.0)
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        experiment = holder["e"]
+        print_experiment(experiment)
+
+        # Stability: per algorithm, max/min runtime across the sweep stays
+        # within a small factor (the paper's lines are flat).
+        for name in ("CflrB", "SimProvAlg", "SimProvTst"):
+            values = [p.y for p in experiment.series[name].finished_points()]
+            assert len(values) == 6, f"{name} did not finish the sweep"
+            spread = max(values) / max(min(values), 1e-9)
+            assert spread <= 5.0, f"{name} unstable across se: {values}"
+
+        # Relative order: the general baseline stays slowest everywhere.
+        for x_index in range(6):
+            cflr = experiment.series["CflrB"].points[x_index].y
+            tst = experiment.series["SimProvTst"].points[x_index].y
+            assert cflr > tst

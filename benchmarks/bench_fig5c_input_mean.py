@@ -1,0 +1,38 @@
+"""Fig. 5(c): runtime vs activity input mean λi.
+
+Paper claims: a larger λi grows the number of U edges (denser graphs) and
+runtime with it; SimProvAlg grows much more slowly than CflrB thanks to the
+pruning strategies; SimProvTst performs best via transitivity.
+"""
+
+from conftest import print_experiment
+from repro.bench.experiments import fig5c, large_benches_enabled
+
+
+class TestSeries:
+    def test_fig5c_series(self, benchmark):
+        n = 400 if not large_benches_enabled() else 2000
+        holder = {}
+
+        def run():
+            holder["e"] = fig5c(n=n, timeout=300.0)
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        experiment = holder["e"]
+        print_experiment(experiment)
+
+        cflr = experiment.series["CflrB"].finished_points()
+        alg = experiment.series["SimProvAlg"].finished_points()
+        tst = experiment.series["SimProvTst"].finished_points()
+
+        # Runtime grows with density for the baseline.
+        assert cflr[-1].y > cflr[0].y
+
+        # SimProvAlg grows more slowly than CflrB (relative growth factor).
+        cflr_growth = cflr[-1].y / cflr[0].y
+        alg_growth = alg[-1].y / max(alg[0].y, 1e-9)
+        assert alg[-1].y < cflr[-1].y
+
+        # SimProvTst is the fastest at the densest point.
+        assert tst[-1].y <= alg[-1].y
+        assert tst[-1].y < cflr[-1].y

@@ -1,0 +1,38 @@
+"""Fig. 5(d): effectiveness of early stopping vs Vsrc starting rank.
+
+Paper claims: the later Vsrc sits in the temporal order (the shorter the
+temporal gap between Vsrc and Vdst), the faster the pruned solvers finish;
+without pruning the runtime stays flat at the worst case.
+"""
+
+from conftest import print_experiment
+from repro.bench.experiments import fig5d, large_benches_enabled
+
+
+class TestSeries:
+    def test_fig5d_series(self, benchmark):
+        n = 2000 if not large_benches_enabled() else 20000
+        holder = {}
+
+        def run():
+            holder["e"] = fig5d(n=n, timeout=600.0)
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        experiment = holder["e"]
+        print_experiment(experiment)
+
+        for name in ("SimProvAlg", "SimProvTst"):
+            pruned = experiment.series[name].finished_points()
+            unpruned = experiment.series[f"{name} w/o Prune"].finished_points()
+            assert len(pruned) == len(unpruned) == 5
+
+            # With pruning, a late Vsrc is much cheaper than an early one.
+            assert pruned[-1].y < pruned[0].y, name
+
+            # At the latest starting rank, pruning beats no-pruning clearly.
+            assert pruned[-1].y < unpruned[-1].y, name
+
+            # Without pruning the runtime stays within a modest band
+            # (the whole graph is explored regardless of Vsrc).
+            values = [p.y for p in unpruned]
+            assert max(values) / max(min(values), 1e-9) <= 4.0, name

@@ -1,0 +1,53 @@
+"""Fig. 5(e): compaction ratio vs transition concentration α.
+
+Paper claims: increasing α makes transitions more uniform (less stable
+pipelines), paths differ more, and mergeable pairs become infrequent — cr
+grows. PgSum always beats pSum, producing a summary about half the size
+("pSum cannot combine some ≃tin and ≃tout pairs, which are important for
+workflow graphs").
+"""
+
+from conftest import print_experiment
+from repro.bench.experiments import fig5e
+from repro.summarize.pgsum import pgsum
+from repro.summarize.psum_baseline import psum_summarize
+from repro.workloads.sd_generator import SD_AGGREGATION
+
+
+class TestMicro:
+    def test_pgsum_sd_defaults(self, benchmark, sd_default):
+        benchmark.pedantic(
+            lambda: pgsum(sd_default.segments, SD_AGGREGATION, k=0),
+            rounds=1, iterations=1,
+        )
+
+    def test_psum_sd_defaults(self, benchmark, sd_default):
+        benchmark.pedantic(
+            lambda: psum_summarize(sd_default.segments, SD_AGGREGATION, k=0),
+            rounds=1, iterations=1,
+        )
+
+
+class TestSeries:
+    def test_fig5e_series(self, benchmark):
+        holder = {}
+
+        def run():
+            holder["e"] = fig5e()
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        experiment = holder["e"]
+        print_experiment(experiment)
+
+        ours = experiment.series["PGSum Alg"].finished_points()
+        baseline = experiment.series["pSum"].finished_points()
+        assert len(ours) == len(baseline) == 6
+
+        # PgSum is never worse and clearly better on average.
+        for mine, theirs in zip(ours, baseline):
+            assert mine.y <= theirs.y
+        mean_ratio = sum(m.y / t.y for m, t in zip(ours, baseline)) / 6
+        assert mean_ratio <= 0.75
+
+        # cr generally grows with α (compare sweep ends).
+        assert ours[-1].y >= ours[0].y * 0.9

@@ -1,0 +1,38 @@
+"""Fig. 5(f): compaction ratio vs number of activity types k.
+
+Paper claims: more activity types mean more distinct path labels, making
+summarization less effective (cr grows); the effect flattens as k approaches
+the segment length n = 20.
+"""
+
+from conftest import print_experiment
+from repro.bench.experiments import fig5f
+
+
+class TestSeries:
+    def test_fig5f_series(self, benchmark):
+        holder = {}
+
+        def run():
+            holder["e"] = fig5f()
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        experiment = holder["e"]
+        print_experiment(experiment)
+
+        ours = experiment.series["PGSum Alg"].finished_points()
+        baseline = experiment.series["pSum"].finished_points()
+        assert len(ours) == len(baseline) == 6
+
+        # cr grows with k.
+        assert ours[-1].y > ours[0].y
+
+        # Flattening tail: the last step changes cr less than the first step
+        # (relative to the k step size).
+        first_slope = (ours[1].y - ours[0].y) / (ours[1].x - ours[0].x)
+        last_slope = (ours[-1].y - ours[-2].y) / (ours[-1].x - ours[-2].x)
+        assert last_slope <= first_slope + 0.01
+
+        # PgSum stays at least as compact as pSum everywhere.
+        for mine, theirs in zip(ours, baseline):
+            assert mine.y <= theirs.y + 1e-9

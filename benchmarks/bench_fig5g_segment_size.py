@@ -1,0 +1,33 @@
+"""Fig. 5(g): compaction ratio vs segment size n.
+
+Paper claims: larger segments contain more intermediate vertices whose path
+constraints resist merging, so cr increases with n.
+"""
+
+from conftest import print_experiment
+from repro.bench.experiments import fig5g, large_benches_enabled
+
+
+class TestSeries:
+    def test_fig5g_series(self, benchmark):
+        n_values = [5, 10, 20, 30] if not large_benches_enabled() \
+            else [5, 10, 20, 30, 40, 50]
+        holder = {}
+
+        def run():
+            holder["e"] = fig5g(n_values=n_values)
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        experiment = holder["e"]
+        print_experiment(experiment)
+
+        ours = experiment.series["PGSum Alg"].finished_points()
+        baseline = experiment.series["pSum"].finished_points()
+        assert len(ours) == len(baseline) == len(n_values)
+
+        # cr grows as instances get harder.
+        assert ours[-1].y > ours[0].y
+
+        # PgSum at least as compact as pSum everywhere.
+        for mine, theirs in zip(ours, baseline):
+            assert mine.y <= theirs.y + 1e-9

@@ -1,0 +1,34 @@
+"""Fig. 5(h): compaction ratio vs number of segments |S|.
+
+Paper claims: segments drawn from the same transition matrix share paths, so
+the more segments are summarized together, the better (lower) the compaction
+ratio becomes (α = 0.25).
+"""
+
+from conftest import print_experiment
+from repro.bench.experiments import fig5h, large_benches_enabled
+
+
+class TestSeries:
+    def test_fig5h_series(self, benchmark):
+        s_values = [5, 10, 20] if not large_benches_enabled() \
+            else [5, 10, 20, 30, 40]
+        holder = {}
+
+        def run():
+            holder["e"] = fig5h(s_values=s_values)
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        experiment = holder["e"]
+        print_experiment(experiment)
+
+        ours = experiment.series["PGSum Alg"].finished_points()
+        baseline = experiment.series["pSum"].finished_points()
+        assert len(ours) == len(baseline) == len(s_values)
+
+        # cr improves (falls) with more segments.
+        assert ours[-1].y < ours[0].y
+
+        # PgSum at least as compact as pSum everywhere.
+        for mine, theirs in zip(ours, baseline):
+            assert mine.y <= theirs.y + 1e-9

@@ -1,0 +1,90 @@
+"""Ingestion and storage-layer benchmarks (paper Appendix E context).
+
+The paper notes whole-system provenance can reach GBs within minutes and
+leaves high-performance ingestion as an open question; these benchmarks
+record what the embedded store sustains: raw vertex/edge appends,
+transactional batches, snapshot save/load, and CSR snapshot construction.
+"""
+
+import pytest
+
+from conftest import pd_cached
+from repro.model.types import EdgeType, VertexType
+from repro.store.csr import GraphSnapshot
+from repro.store.persistence import load_store, save_store
+from repro.store.store import PropertyGraphStore
+from repro.store.transactions import Transaction
+
+
+class TestIngestion:
+    def test_vertex_append_throughput(self, benchmark):
+        def ingest():
+            store = PropertyGraphStore()
+            for index in range(20_000):
+                store.add_vertex(VertexType.ENTITY, {"name": f"a{index}"})
+            return store
+
+        store = benchmark.pedantic(ingest, rounds=1, iterations=1)
+        assert store.vertex_count == 20_000
+
+    def test_pipeline_ingest_throughput(self, benchmark):
+        """A realistic mix: one activity + 3 uses + 2 generates per step."""
+
+        def ingest():
+            store = PropertyGraphStore()
+            entities = [store.add_vertex(VertexType.ENTITY) for _ in range(3)]
+            for step in range(4_000):
+                activity = store.add_vertex(
+                    VertexType.ACTIVITY, {"command": "train", "step": step}
+                )
+                for entity in entities[-3:]:
+                    store.add_edge(EdgeType.USED, activity, entity)
+                for _ in range(2):
+                    entity = store.add_vertex(VertexType.ENTITY)
+                    store.add_edge(EdgeType.WAS_GENERATED_BY, entity, activity)
+                    entities.append(entity)
+            return store
+
+        store = benchmark.pedantic(ingest, rounds=1, iterations=1)
+        assert store.edge_count == 4_000 * 5
+
+    def test_transactional_batches(self, benchmark):
+        def ingest():
+            store = PropertyGraphStore()
+            seed = store.add_vertex(VertexType.ENTITY)
+            for _batch in range(400):
+                with Transaction(store) as tx:
+                    activity = tx.add_vertex(VertexType.ACTIVITY)
+                    tx.add_edge(EdgeType.USED, activity, seed)
+                    output = tx.add_vertex(VertexType.ENTITY)
+                    tx.add_edge(EdgeType.WAS_GENERATED_BY, output, activity)
+            return store
+
+        store = benchmark.pedantic(ingest, rounds=1, iterations=1)
+        assert store.vertex_count == 1 + 400 * 2
+
+
+class TestStorageOps:
+    def test_snapshot_save_load(self, benchmark, tmp_path):
+        instance = pd_cached(2000)
+        target = tmp_path / "snap.jsonl"
+
+        def roundtrip():
+            save_store(instance.graph.store, target)
+            return load_store(target)
+
+        restored = benchmark.pedantic(roundtrip, rounds=1, iterations=1)
+        assert restored.vertex_count == instance.graph.store.vertex_count
+
+    def test_csr_snapshot_build(self, benchmark):
+        instance = pd_cached(2000)
+        snapshot = benchmark(lambda: GraphSnapshot(instance.graph.store))
+        assert snapshot.n == instance.graph.store.vertex_capacity
+
+    def test_label_scan(self, benchmark):
+        instance = pd_cached(2000)
+        count = benchmark(
+            lambda: sum(1 for _ in instance.graph.store.vertices(
+                VertexType.ENTITY))
+        )
+        assert count == instance.graph.store.count_vertices(VertexType.ENTITY)

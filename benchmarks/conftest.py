@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark file regenerates one figure of the paper's evaluation
+(Fig. 5(a)–(h)) plus micro-benchmarks of the individual algorithms. Every
+test uses the ``benchmark`` fixture so the whole suite runs under
+``pytest benchmarks/ --benchmark-only``.
+
+Set ``REPRO_BENCH_LARGE=1`` to extend the sweeps toward the paper's original
+sizes (slower).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.pd_generator import PdInstance, generate_pd_sized
+from repro.workloads.sd_generator import SdParams, generate_sd
+
+
+_PD_CACHE: dict[tuple[int, int], PdInstance] = {}
+
+
+def pd_cached(n: int, seed: int = 7) -> PdInstance:
+    """Session-cached Pd instance (generation excluded from timings)."""
+    key = (n, seed)
+    if key not in _PD_CACHE:
+        _PD_CACHE[key] = generate_pd_sized(n, seed=seed)
+    return _PD_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def pd1k() -> PdInstance:
+    return pd_cached(1000)
+
+
+@pytest.fixture(scope="session")
+def pd2k() -> PdInstance:
+    return pd_cached(2000)
+
+
+@pytest.fixture(scope="session")
+def sd_default():
+    return generate_sd(SdParams(seed=7))
+
+
+def print_experiment(experiment) -> None:
+    """Render an experiment table to the captured stdout (-s to see live)."""
+    from repro.bench.reporting import ascii_table
+
+    print()
+    print(ascii_table(experiment))

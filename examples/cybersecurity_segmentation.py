@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Cybersecurity provenance segmentation (the paper's "other applications").
+
+The paper notes (Sec. I, VII) that PgSeg/PgSum apply beyond data science to
+any provenance without workflow skeletons — e.g. whole-system provenance for
+intrusion analysis [14], [26]. This example builds a small host-activity
+provenance graph (processes = activities, files/sockets = entities, users =
+agents), plants an exfiltration chain among normal traffic, and shows how an
+analyst uses the operators:
+
+1. PgSeg from the leaked file to the outbound socket finds the exfiltration
+   chain and its *similarly-behaving* staging files (VC2).
+2. A boundary excludes the trusted backup daemon's activity to silence a
+   benign look-alike.
+3. PgSum over per-day segments shows the host's usual pattern vs. the outlier
+   (the rare-edge frequencies point at the anomaly).
+
+Run with::
+
+    python examples/cybersecurity_segmentation.py
+"""
+
+from repro import BoundaryCriteria, PgSegOperator, PgSegQuery, ProvenanceGraph
+from repro.segment.boundary import property_not_equals
+from repro.segment.pgseg import Segment
+from repro.summarize import PgSumOperator, PgSumQuery, PropertyAggregation
+
+
+def build_host_day(graph: ProvenanceGraph, day: int, attacker_day: bool,
+                   root: int, backup_user: int) -> dict[str, int]:
+    """One day of host activity; returns named vertex ids."""
+    ids: dict[str, int] = {}
+
+    secrets = graph.add_entity(name="/etc/credentials", day=day)
+    ids["secrets"] = secrets
+
+    # Normal pattern: logrotate reads syslog, writes archive; backup daemon
+    # reads the archive and credentials, writes to the backup mount.
+    syslog = graph.add_entity(name="/var/log/syslog", day=day)
+    rotate = graph.add_activity(command="logrotate", day=day)
+    graph.was_associated_with(rotate, root)
+    graph.used(rotate, syslog)
+    archive = graph.add_entity(name="/var/log/archive.gz", day=day)
+    graph.was_generated_by(archive, rotate)
+
+    backup = graph.add_activity(command="backupd", day=day)
+    graph.was_associated_with(backup, backup_user)
+    graph.used(backup, archive)
+    graph.used(backup, secrets)
+    backup_blob = graph.add_entity(name="/mnt/backup/blob", day=day)
+    graph.was_generated_by(backup_blob, backup)
+    ids["archive"] = archive
+    ids["backup_blob"] = backup_blob
+
+    if attacker_day:
+        # Exfiltration: a dropped script reads credentials AND the staging
+        # tarball, then writes to an outbound socket.
+        dropper = graph.add_activity(command="curl_dropper", day=day)
+        graph.was_associated_with(dropper, root)
+        payload = graph.add_entity(name="/tmp/.payload.sh", day=day)
+        graph.was_generated_by(payload, dropper)
+
+        stage = graph.add_activity(command="tar", day=day)
+        graph.was_associated_with(stage, root)
+        graph.used(stage, secrets)
+        tarball = graph.add_entity(name="/tmp/.stage.tgz", day=day)
+        graph.was_generated_by(tarball, stage)
+
+        exfil = graph.add_activity(command="payload.sh", day=day)
+        graph.was_associated_with(exfil, root)
+        graph.used(exfil, payload)
+        graph.used(exfil, tarball)
+        socket = graph.add_entity(name="socket:198.51.100.7:443", day=day)
+        graph.was_generated_by(socket, exfil)
+        ids["socket"] = socket
+        ids["tarball"] = tarball
+    return ids
+
+
+def main() -> None:
+    graph = ProvenanceGraph()
+    root = graph.add_agent(name="root")
+    backup_user = graph.add_agent(name="backup")
+
+    day_ids = []
+    for day in range(5):
+        day_ids.append(build_host_day(graph, day, attacker_day=(day == 3),
+                                      root=root, backup_user=backup_user))
+    print(f"Host provenance over 5 days: {graph!r}\n")
+
+    # ------------------------------------------------------------------
+    # 1. Trace the leak: credentials -> outbound socket on day 3.
+    # ------------------------------------------------------------------
+    operator = PgSegOperator(graph)
+    attacked = day_ids[3]
+    leak = operator.evaluate(PgSegQuery(
+        src=(attacked["secrets"],), dst=(attacked["socket"],),
+    ))
+    print("=== [1] PgSeg: /etc/credentials -> outbound socket (day 3) ===")
+    print(leak.describe())
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Silence the benign look-alike (backupd also reads credentials).
+    # ------------------------------------------------------------------
+    focused = operator.evaluate(PgSegQuery(
+        src=(attacked["secrets"],), dst=(attacked["socket"],),
+        boundaries=BoundaryCriteria().exclude_vertices(
+            property_not_equals("command", "backupd")
+        ),
+    ))
+    commands = sorted({
+        graph.vertex(v).get("command")
+        for v in focused.vertices if graph.is_activity(v)
+    })
+    print("=== [2] Same query, backup daemon excluded ===")
+    print(f"    activities on the attack trail: {', '.join(commands)}\n")
+
+    # ------------------------------------------------------------------
+    # 3. Summarize per-day segments: the anomaly shows as rare edges.
+    # ------------------------------------------------------------------
+    segments = []
+    for day, ids in enumerate(day_ids):
+        day_vertices = [
+            record.vertex_id for record in graph.store.vertices()
+            if record.get("day") == day
+        ] + [root, backup_user]
+        segments.append(Segment(graph, day_vertices))
+
+    psg = PgSumOperator(segments).evaluate(PgSumQuery(
+        aggregation=PropertyAggregation.of(entity=("name",),
+                                           activity=("command",)),
+    ))
+    print("=== [3] PgSum over the 5 daily segments ===")
+    print(f"    {psg.source_vertex_total} day-vertices -> {psg.node_count} "
+          f"groups (cr {psg.compaction_ratio:.2f})")
+    rare = [(freq, key) for key, freq in sorted(psg.edges.items())
+            if freq <= 0.2]
+    print(f"    rare edges (appear on only one day) — the outlier behaviour:")
+    for freq, (src_g, dst_g, label) in rare:
+        src_label = psg.nodes[src_g].label
+        dst_label = psg.nodes[dst_g].label
+        print(f"      {_short(src_label)} -{label}-> {_short(dst_label)} "
+              f"({freq:.0%})")
+
+
+def _short(label) -> str:
+    if isinstance(label, tuple) and len(label) == 2 and label[1]:
+        kept = [str(v) for _k, v in label[1] if v is not None]
+        if kept:
+            return kept[0]
+    return str(label)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Lifecycle introspection: debugging a long-running team project.
+
+Scenario (the paper's Sec. I motivation): a team has iterated on a modeling
+pipeline for weeks. A member wants to understand *today's* result without
+reading the whole provenance graph:
+
+1. "How was the latest ``weights`` produced from the original dataset?" —
+   a PgSeg query with ownership and recency boundaries.
+2. "Who touched the artifacts on that trail?" — the induced agents (VC4) and
+   a ``git blame``-style report.
+3. Interactive narrowing: exclude bookkeeping steps, then expand around a
+   suspicious activity.
+
+Run with::
+
+    python examples/lifecycle_introspection.py
+"""
+
+from repro import BoundaryCriteria, PgSegOperator, PgSegQuery
+from repro.model.versioning import VersionCatalog
+from repro.segment.boundary import property_not_equals, within_order_window
+from repro.segment.pgseg import CATEGORY_SIMILAR
+from repro.workloads import generate_team_project
+
+
+def main() -> None:
+    project = generate_team_project(members=4, iterations=16, seed=2024)
+    graph = project.graph
+    builder = project.builder
+    print(f"Project provenance: {graph!r}")
+    print(f"Members: {', '.join(builder.agent_names())}")
+    catalog = VersionCatalog(graph)
+    print(f"Artifacts: {', '.join(sorted(builder.artifact_names()))}\n")
+
+    dataset = builder.version_of("dataset", 1)
+    latest_weights = builder.latest("weights")
+    operator = PgSegOperator(graph)
+
+    # ------------------------------------------------------------------
+    # 1. The unbounded trail: everything contributing to today's weights.
+    # ------------------------------------------------------------------
+    full = operator.evaluate(PgSegQuery(
+        src=(dataset,), dst=(latest_weights,),
+    ))
+    print(f"[1] Full segment dataset -> weights-v"
+          f"{catalog.version_of(latest_weights)}: "
+          f"{full.vertex_count} vertices / {full.edge_count} edges")
+
+    # ------------------------------------------------------------------
+    # 2. Who is responsible for what on this trail?
+    # ------------------------------------------------------------------
+    print("\n[2] Blame report for the trail:")
+    by_agent: dict[str, list[str]] = {}
+    for vertex_id in sorted(full.vertices):
+        record = graph.vertex(vertex_id)
+        for agent_id in graph.agents_of(vertex_id):
+            agent_name = graph.vertex(agent_id).get("name")
+            by_agent.setdefault(agent_name, []).append(record.display_name())
+    for agent_name in sorted(by_agent):
+        touched = by_agent[agent_name]
+        print(f"    {agent_name}: {len(touched)} vertices "
+              f"(e.g. {', '.join(touched[:4])})")
+
+    # ------------------------------------------------------------------
+    # 3. Interactive narrowing on the cached segment (the adjust step).
+    # ------------------------------------------------------------------
+    recent_only = operator.adjust(full, BoundaryCriteria().exclude_vertices(
+        within_order_window(lo=graph.store.order_of(latest_weights) - 40)
+    ))
+    print(f"\n[3a] Recency boundary (last ~40 ingested records): "
+          f"{recent_only.vertex_count} vertices")
+
+    no_reports = operator.adjust(full, BoundaryCriteria().exclude_vertices(
+        property_not_equals("command", "report")
+    ))
+    print(f"[3b] Excluding 'report' bookkeeping activities: "
+          f"{no_reports.vertex_count} vertices")
+
+    # Expand two activities upstream of the final training run.
+    train_run = graph.generating_activities(latest_weights)[0]
+    train_inputs = graph.used_entities(train_run)
+    expanded = operator.adjust(
+        no_reports,
+        BoundaryCriteria().expand(train_inputs, k=2),
+    )
+    print(f"[3c] Expanded 2 activities around the final train inputs: "
+          f"{expanded.vertex_count} vertices")
+
+    # ------------------------------------------------------------------
+    # 4. What contributed "in a similar way" as the dataset? (VC2)
+    # ------------------------------------------------------------------
+    similar = full.vertices_in_category(CATEGORY_SIMILAR)
+    entity_names = sorted({
+        graph.vertex(v).display_name()
+        for v in similar if graph.is_entity(v)
+    })
+    print(f"\n[4] Entities contributing like the dataset does "
+          f"(VC2 similar-path entities): {', '.join(entity_names[:10])}")
+
+
+if __name__ == "__main__":
+    main()

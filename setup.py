@@ -1,0 +1,7 @@
+"""Setup shim for environments without the `wheel` package (legacy editable
+installs via `pip install -e . --no-use-pep517`). All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,122 @@
+"""repro: provenance graph segmentation and summarization.
+
+A complete reimplementation of Miao & Deshpande, *Understanding Data Science
+Lifecycle Provenance via Graph Segmentation and Summarization* (ICDE 2019):
+
+- a W3C-PROV property-graph data model and embedded store;
+- the **PgSeg** segmentation operator with CFL-reachability solvers
+  (CflrB, SimProvAlg, SimProvTst) and flexible boundary criteria;
+- the **PgSum** summarization operator with property aggregation,
+  provenance types, and simulation-based merging, plus the pSum baseline;
+- the paper's synthetic workload generators (Pd, Sd) and benchmark harness.
+
+Quickstart::
+
+    from repro import build_paper_example, segment, pgsum
+    from repro import BoundaryCriteria, exclude_edge_types, EdgeType
+    from repro.summarize import PropertyAggregation
+
+    ex = build_paper_example()
+    b = BoundaryCriteria().exclude_edges(
+        exclude_edge_types(EdgeType.WAS_ATTRIBUTED_TO,
+                           EdgeType.WAS_DERIVED_FROM)
+    ).expand([ex["weight-v2"]], k=2)
+    q1 = segment(ex.graph, [ex["dataset-v1"]], [ex["weight-v2"]], b)
+    print(q1.describe())
+"""
+
+from repro.errors import (
+    CycleError,
+    GrammarError,
+    ModelError,
+    QueryError,
+    QueryTimeout,
+    ReproError,
+    SegmentationError,
+    SolverError,
+    StoreError,
+    SummarizationError,
+    ValidationError,
+    WorkloadError,
+)
+from repro.model import (
+    EdgeType,
+    ProvBuilder,
+    ProvenanceGraph,
+    VersionCatalog,
+    VertexType,
+    validate,
+)
+from repro.segment import (
+    BoundaryCriteria,
+    PgSegOperator,
+    PgSegQuery,
+    Segment,
+    exclude_edge_types,
+    exclude_vertex_types,
+    owned_by,
+    segment,
+)
+from repro.session import LifecycleSession
+from repro.store import PropertyGraphStore, Transaction
+from repro.summarize import (
+    PgSumOperator,
+    PgSumQuery,
+    PropertyAggregation,
+    Psg,
+    pgsum,
+    psum_summarize,
+)
+from repro.workloads import (
+    build_paper_example,
+    generate_pd,
+    generate_pd_sized,
+    generate_sd,
+    generate_team_project,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoundaryCriteria",
+    "CycleError",
+    "EdgeType",
+    "GrammarError",
+    "LifecycleSession",
+    "ModelError",
+    "PgSegOperator",
+    "PgSegQuery",
+    "PgSumOperator",
+    "PgSumQuery",
+    "PropertyAggregation",
+    "PropertyGraphStore",
+    "ProvBuilder",
+    "ProvenanceGraph",
+    "Psg",
+    "QueryError",
+    "QueryTimeout",
+    "ReproError",
+    "Segment",
+    "SegmentationError",
+    "SolverError",
+    "StoreError",
+    "SummarizationError",
+    "Transaction",
+    "ValidationError",
+    "VersionCatalog",
+    "VertexType",
+    "WorkloadError",
+    "__version__",
+    "build_paper_example",
+    "exclude_edge_types",
+    "exclude_vertex_types",
+    "generate_pd",
+    "generate_pd_sized",
+    "generate_sd",
+    "generate_team_project",
+    "owned_by",
+    "pgsum",
+    "psum_summarize",
+    "segment",
+    "validate",
+]

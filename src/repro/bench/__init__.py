@@ -1,0 +1,43 @@
+"""Benchmark harness: experiments for every figure of the paper."""
+
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    ablation_rk,
+    ablation_set_impl,
+    default_pd_sizes,
+    fig5a,
+    fig5b,
+    fig5c,
+    fig5d,
+    fig5e,
+    fig5f,
+    fig5g,
+    fig5h,
+    large_benches_enabled,
+)
+from repro.bench.harness import Experiment, Point, Series, run_sweep, timed
+from repro.bench.reporting import ascii_table, markdown_table, shape_summary
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "Experiment",
+    "Point",
+    "Series",
+    "ablation_rk",
+    "ablation_set_impl",
+    "ascii_table",
+    "default_pd_sizes",
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "fig5d",
+    "fig5e",
+    "fig5f",
+    "fig5g",
+    "fig5h",
+    "large_benches_enabled",
+    "markdown_table",
+    "run_sweep",
+    "shape_summary",
+    "timed",
+]

@@ -1,0 +1,119 @@
+"""Experiment harness: timed runs, series collection, failure capture.
+
+Every figure of the paper's evaluation is a *series plot*: an x-parameter
+sweep with one line per algorithm. :class:`Series` and :class:`Experiment`
+capture exactly that, including the paper's "did not finish" entries
+(timeouts / budget exhaustion are recorded as ``None`` points, not crashes).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import QueryTimeout
+
+
+@dataclass(slots=True)
+class Point:
+    """One measurement: x-parameter value, y value (None = did not finish)."""
+
+    x: Any
+    y: float | None
+    note: str = ""
+
+
+@dataclass(slots=True)
+class Series:
+    """One line in a figure."""
+
+    name: str
+    points: list[Point] = field(default_factory=list)
+
+    def add(self, x: Any, y: float | None, note: str = "") -> None:
+        """Append a point."""
+        self.points.append(Point(x, y, note))
+
+    def y_values(self) -> list[float | None]:
+        """All y values, in x order of insertion."""
+        return [point.y for point in self.points]
+
+    def finished_points(self) -> list[Point]:
+        """Points that completed."""
+        return [point for point in self.points if point.y is not None]
+
+
+@dataclass(slots=True)
+class Experiment:
+    """One figure: id, axis metadata, and its series."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: dict[str, Series] = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def series_for(self, name: str) -> Series:
+        """Get-or-create a series by name."""
+        if name not in self.series:
+            self.series[name] = Series(name)
+        return self.series[name]
+
+    def record(self, name: str, x: Any, y: float | None, note: str = "") -> None:
+        """Append a measurement to a named series."""
+        self.series_for(name).add(x, y, note)
+
+
+def timed(fn: Callable[[], Any], repeat: int = 1,
+          timeout_note: str = "timeout") -> tuple[float | None, Any, str]:
+    """Run ``fn`` and return (best seconds, last result, note).
+
+    QueryTimeout is captured as a ``None`` timing with a note — the paper's
+    "ran out of budget" entries. Other exceptions propagate (they are bugs).
+    """
+    best: float | None = None
+    result: Any = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        try:
+            result = fn()
+        except QueryTimeout as exc:
+            return None, None, f"{timeout_note}: {exc}"
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result, ""
+
+
+def run_sweep(experiment: Experiment, x_values: list[Any],
+              runners: dict[str, Callable[[Any], Callable[[], Any]]],
+              repeat: int = 1,
+              skip_after_timeout: bool = True,
+              verbose: bool = False) -> Experiment:
+    """Run a full sweep: for each x, each named runner builds a thunk to time.
+
+    Args:
+        experiment: the experiment to fill.
+        x_values: sweep values, in plot order.
+        runners: series name -> (x -> zero-arg callable).
+        repeat: timing repetitions (best-of).
+        skip_after_timeout: once a series times out, skip larger x values
+            (mirrors the paper: Cypher is not re-attempted past its limit).
+        verbose: print progress lines.
+    """
+    dead: set[str] = set()
+    for x in x_values:
+        for name, make in runners.items():
+            if skip_after_timeout and name in dead:
+                experiment.record(name, x, None, "skipped after earlier timeout")
+                continue
+            seconds, _result, note = timed(make(x), repeat=repeat)
+            experiment.record(name, x, seconds, note)
+            if seconds is None:
+                dead.add(name)
+            if verbose:
+                shown = f"{seconds:.4f}s" if seconds is not None else note
+                print(f"  [{experiment.experiment_id}] {name} @ {x}: {shown}")
+    return experiment

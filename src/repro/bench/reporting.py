@@ -1,0 +1,96 @@
+"""Rendering experiments as ASCII tables and markdown for EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bench.harness import Experiment
+
+
+def _format_cell(value: float | None, digits: int = 4) -> str:
+    if value is None:
+        return "DNF"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:.0f}"
+    return f"{value:.{digits}g}"
+
+
+def ascii_table(experiment: Experiment, digits: int = 4) -> str:
+    """Render an experiment as a fixed-width table (x rows, series columns)."""
+    names = list(experiment.series)
+    xs: list[Any] = []
+    for series in experiment.series.values():
+        for point in series.points:
+            if point.x not in xs:
+                xs.append(point.x)
+
+    header = [experiment.x_label] + names
+    rows: list[list[str]] = []
+    for x in xs:
+        row = [str(x)]
+        for name in names:
+            match = next(
+                (p for p in experiment.series[name].points if p.x == x), None
+            )
+            row.append(_format_cell(match.y, digits) if match else "-")
+        rows.append(row)
+
+    widths = [
+        max(len(header[col]), *(len(row[col]) for row in rows)) if rows
+        else len(header[col])
+        for col in range(len(header))
+    ]
+
+    def render_row(cells: list[str]) -> str:
+        return " | ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [
+        f"{experiment.experiment_id}: {experiment.title} "
+        f"(y = {experiment.y_label})",
+        render_row(header),
+        separator,
+    ]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def markdown_table(experiment: Experiment, digits: int = 4) -> str:
+    """Render an experiment as a GitHub-markdown table."""
+    names = list(experiment.series)
+    xs: list[Any] = []
+    for series in experiment.series.values():
+        for point in series.points:
+            if point.x not in xs:
+                xs.append(point.x)
+    lines = [
+        f"**{experiment.experiment_id} — {experiment.title}** "
+        f"(y = {experiment.y_label})",
+        "",
+        "| " + " | ".join([experiment.x_label] + names) + " |",
+        "|" + "|".join(["---"] * (len(names) + 1)) + "|",
+    ]
+    for x in xs:
+        cells = [str(x)]
+        for name in names:
+            match = next(
+                (p for p in experiment.series[name].points if p.x == x), None
+            )
+            cells.append(_format_cell(match.y, digits) if match else "-")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def shape_summary(experiment: Experiment) -> dict[str, dict[str, float | None]]:
+    """Per-series first/last finished values — the 'shape' benches assert on."""
+    summary: dict[str, dict[str, float | None]] = {}
+    for name, series in experiment.series.items():
+        finished = series.finished_points()
+        summary[name] = {
+            "first": finished[0].y if finished else None,
+            "last": finished[-1].y if finished else None,
+            "count": float(len(finished)),
+        }
+    return summary

@@ -1,0 +1,41 @@
+"""Context-free-language reachability: grammars, solvers, fast sets."""
+
+from repro.cfl.adjacency import ProvAdjacency
+from repro.cfl.cflr_base import CflrResult, CflrSolver, CflrStats
+from repro.cfl.fastset import IntBitSet
+from repro.cfl.grammar import (
+    Grammar,
+    Production,
+    earley_recognize,
+    simprov_grammar,
+    simprov_normal_form,
+    simprov_rewritten,
+)
+from repro.cfl.reference import enumerate_simprov, naive_cflr
+from repro.cfl.results import SimProvResult, SimProvStats
+from repro.cfl.roaring import RoaringBitmap
+from repro.cfl.simprov_alg import SimProvAlg, solve_simprov
+from repro.cfl.simprov_tst import SimProvTst, solve_simprov_tst
+
+__all__ = [
+    "CflrResult",
+    "CflrSolver",
+    "CflrStats",
+    "Grammar",
+    "IntBitSet",
+    "Production",
+    "ProvAdjacency",
+    "RoaringBitmap",
+    "SimProvAlg",
+    "SimProvResult",
+    "SimProvStats",
+    "SimProvTst",
+    "earley_recognize",
+    "enumerate_simprov",
+    "naive_cflr",
+    "simprov_grammar",
+    "simprov_normal_form",
+    "simprov_rewritten",
+    "solve_simprov",
+    "solve_simprov_tst",
+]

@@ -1,0 +1,422 @@
+"""CflrB: the general worklist CFL-reachability solver (paper Alg. 1, [42]).
+
+Given a binary-normal-form grammar (every RHS has one or two symbols) and a
+provenance graph, the solver derives all facts ``N(u, v)`` — "some path from
+``u`` to ``v`` has a label derivable from ``N``" — with the classic dynamic
+programming scheme: a worklist of newly found facts, per-nonterminal Row/Col
+fact tables, and set-difference batching when bitset implementations are
+selected (the "method of four Russians" ingredient of the subcubic bound).
+
+This is the state-of-the-art *general* baseline the paper compares against;
+SimProvAlg/SimProvTst beat it by exploiting the SimProv grammar's shape.
+
+The solver is budgeted: pass ``max_steps`` (worklist pops) or
+``timeout_seconds``; exhaustion raises :class:`repro.errors.QueryTimeout`,
+mirroring the paper's out-of-memory/time entries for CflrB on larger graphs.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.cfl.fastset import IntBitSet
+from repro.cfl.grammar import (
+    EdgeTerminal,
+    Grammar,
+    Terminal,
+    VertexIdTerminal,
+    VertexTerminal,
+    is_terminal,
+)
+from repro.cfl.roaring import RoaringBitmap
+from repro.errors import GrammarError, QueryTimeout, SolverError
+from repro.model.graph import ProvenanceGraph
+from repro.model.types import VertexType
+from repro.store.records import EdgeRecord, VertexRecord
+
+#: Factory table for the pluggable fact-set implementations.
+SET_IMPLS = ("set", "bitset", "roaring")
+
+
+def _make_set(impl: str, capacity: int):
+    if impl == "set":
+        return set()
+    if impl == "bitset":
+        return IntBitSet(capacity)
+    if impl == "roaring":
+        return RoaringBitmap(capacity)
+    raise SolverError(f"unknown set implementation {impl!r}")
+
+
+class _FactTable:
+    """Row/Col fact storage for one nonterminal.
+
+    ``row[u]`` is the set of ``v`` with ``N(u, v)``; ``col[v]`` the converse.
+    Sets are created lazily so sparse nonterminals stay cheap.
+    """
+
+    __slots__ = ("impl", "capacity", "row", "col", "count")
+
+    def __init__(self, impl: str, capacity: int):
+        self.impl = impl
+        self.capacity = capacity
+        self.row: dict[int, object] = {}
+        self.col: dict[int, object] = {}
+        self.count = 0
+
+    def add(self, u: int, v: int) -> bool:
+        """Insert N(u, v); returns True when the fact is new."""
+        bucket = self.row.get(u)
+        if bucket is None:
+            bucket = _make_set(self.impl, self.capacity)
+            self.row[u] = bucket
+        if self.impl == "set":
+            if v in bucket:           # type: ignore[operator]
+                return False
+            bucket.add(v)             # type: ignore[union-attr]
+        else:
+            if not bucket.add(v):     # type: ignore[union-attr]
+                return False
+        cbucket = self.col.get(v)
+        if cbucket is None:
+            cbucket = _make_set(self.impl, self.capacity)
+            self.col[v] = cbucket
+        cbucket.add(u)                # type: ignore[union-attr]
+        self.count += 1
+        return True
+
+    def contains(self, u: int, v: int) -> bool:
+        bucket = self.row.get(u)
+        return bucket is not None and v in bucket   # type: ignore[operator]
+
+    def row_of(self, u: int) -> Iterable[int]:
+        bucket = self.row.get(u)
+        return () if bucket is None else bucket      # type: ignore[return-value]
+
+    def col_of(self, v: int) -> Iterable[int]:
+        bucket = self.col.get(v)
+        return () if bucket is None else bucket      # type: ignore[return-value]
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        for u, bucket in self.row.items():
+            for v in bucket:                          # type: ignore[union-attr]
+                yield (u, v)
+
+
+@dataclass(slots=True)
+class CflrStats:
+    """Counters describing one solve."""
+
+    facts: int = 0
+    worklist_pops: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class CflrResult:
+    """All derived facts plus the machinery to interrogate them."""
+
+    grammar: Grammar
+    tables: dict[str, _FactTable]
+    stats: CflrStats
+    _solver: "CflrSolver" = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def facts_of(self, nonterminal: str) -> set[tuple[int, int]]:
+        """All (u, v) pairs derived for one nonterminal."""
+        table = self.tables.get(nonterminal)
+        return set(table.pairs()) if table is not None else set()
+
+    def start_pairs(self) -> set[tuple[int, int]]:
+        """Facts of the start symbol."""
+        return self.facts_of(self.grammar.start)
+
+    def reachable_from(self, sources: Iterable[int]) -> set[tuple[int, int]]:
+        """Start-symbol facts whose left endpoint is in ``sources``."""
+        table = self.tables.get(self.grammar.start)
+        if table is None:
+            return set()
+        result = set()
+        for u in sources:
+            for v in table.row_of(u):
+                result.add((u, v))
+        return result
+
+    def derivation_vertices(self, roots: Iterable[tuple[int, int]],
+                            nonterminal: str | None = None) -> set[int]:
+        """All graph vertices on any derivation of the given root facts.
+
+        This is the reconstruction pass that turns reachability facts into
+        the PgSeg induced vertex set VC2: every vertex appearing in any fact
+        participating in a derivation of a root fact lies on an accepted
+        path, and vice versa.
+        """
+        return self._solver.collect_vertices(
+            roots, nonterminal or self.grammar.start
+        )
+
+
+class CflrSolver:
+    """Worklist CFL-reachability over a provenance graph.
+
+    Args:
+        graph: the provenance graph.
+        grammar: any ε-free CFG; it is binarized automatically.
+        vertex_ok / edge_ok: inline boundary predicates (excluded elements
+            behave as if labeled ε).
+        set_impl: ``"set"`` (hash sets), ``"bitset"`` (dense IntBitSet), or
+            ``"roaring"`` (compressed bitmap) — the paper's fast-set / Cbm
+            variants.
+        max_steps: worklist pop budget (None = unlimited).
+        timeout_seconds: wall-clock budget (None = unlimited).
+    """
+
+    def __init__(self, graph: ProvenanceGraph, grammar: Grammar,
+                 vertex_ok: Callable[[VertexRecord], bool] | None = None,
+                 edge_ok: Callable[[EdgeRecord], bool] | None = None,
+                 set_impl: str = "set",
+                 max_steps: int | None = None,
+                 timeout_seconds: float | None = None):
+        if set_impl not in SET_IMPLS:
+            raise SolverError(f"set_impl must be one of {SET_IMPLS}")
+        self._graph = graph
+        self._grammar = grammar.binarize()
+        self._set_impl = set_impl
+        self._max_steps = max_steps
+        self._timeout = timeout_seconds
+        self._capacity = graph.store.vertex_capacity
+        self._term_succ: dict[Terminal, list[list[int]]] = {}
+        self._term_pred: dict[Terminal, list[list[int]]] = {}
+        self._build_terminal_adjacency(vertex_ok, edge_ok)
+        self._index_productions()
+        self._tables: dict[str, _FactTable] = {}
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def _build_terminal_adjacency(self, vertex_ok, edge_ok) -> None:
+        store = self._graph.store
+        allowed = [False] * self._capacity
+        for record in store.vertices():
+            if vertex_ok is None or vertex_ok(record):
+                allowed[record.vertex_id] = True
+
+        terminals = {
+            symbol
+            for production in self._grammar.productions
+            for symbol in production.rhs
+            if is_terminal(symbol)
+        }
+        for terminal in terminals:
+            succ: list[list[int]] = [[] for _ in range(self._capacity)]
+            pred: list[list[int]] = [[] for _ in range(self._capacity)]
+            if isinstance(terminal, EdgeTerminal):
+                for record in store.edges(terminal.edge_type):
+                    if not (allowed[record.src] and allowed[record.dst]):
+                        continue
+                    if edge_ok is not None and not edge_ok(record):
+                        continue
+                    src, dst = record.src, record.dst
+                    if terminal.inverse:
+                        src, dst = dst, src
+                    succ[src].append(dst)
+                    pred[dst].append(src)
+            elif isinstance(terminal, VertexTerminal):
+                for record in store.vertices(terminal.vertex_type):
+                    if allowed[record.vertex_id]:
+                        succ[record.vertex_id].append(record.vertex_id)
+                        pred[record.vertex_id].append(record.vertex_id)
+            elif isinstance(terminal, VertexIdTerminal):
+                vid = terminal.vertex_id
+                if 0 <= vid < self._capacity and allowed[vid]:
+                    succ[vid].append(vid)
+                    pred[vid].append(vid)
+            self._term_succ[terminal] = succ
+            self._term_pred[terminal] = pred
+
+    def _index_productions(self) -> None:
+        self._unit_nt: dict[str, list[str]] = {}
+        self._seed_productions: list = []
+        self._left_rules: dict[str, list[tuple[str, object]]] = {}
+        self._right_rules: dict[str, list[tuple[str, object]]] = {}
+        for production in self._grammar.productions:
+            rhs = production.rhs
+            if len(rhs) == 1:
+                symbol = rhs[0]
+                if is_terminal(symbol):
+                    self._seed_productions.append(production)
+                else:
+                    self._unit_nt.setdefault(symbol, []).append(production.lhs)
+            elif len(rhs) == 2:
+                left, right = rhs
+                if is_terminal(left) and is_terminal(right):
+                    self._seed_productions.append(production)
+                    continue
+                if not is_terminal(left):
+                    self._left_rules.setdefault(left, []).append(
+                        (production.lhs, right)
+                    )
+                if not is_terminal(right):
+                    self._right_rules.setdefault(right, []).append(
+                        (production.lhs, left)
+                    )
+            else:  # pragma: no cover - binarize() guarantees <= 2
+                raise GrammarError(f"non-binary production {production}")
+
+    # ------------------------------------------------------------------
+    # Solve
+    # ------------------------------------------------------------------
+
+    def solve(self) -> CflrResult:
+        """Run the worklist to fixpoint and return all derived facts."""
+        start_time = time.perf_counter()
+        deadline = None if self._timeout is None else start_time + self._timeout
+        stats = CflrStats()
+        worklist: deque[tuple[str, int, int]] = deque()
+
+        def table(nonterminal: str) -> _FactTable:
+            existing = self._tables.get(nonterminal)
+            if existing is None:
+                existing = _FactTable(self._set_impl, self._capacity)
+                self._tables[nonterminal] = existing
+            return existing
+
+        def add_fact(nonterminal: str, u: int, v: int) -> None:
+            if table(nonterminal).add(u, v):
+                stats.facts += 1
+                worklist.append((nonterminal, u, v))
+
+        # Seeds: N -> t  and  N -> t1 t2.
+        for production in self._seed_productions:
+            rhs = production.rhs
+            if len(rhs) == 1:
+                succ = self._term_succ[rhs[0]]
+                for u in range(self._capacity):
+                    for v in succ[u]:
+                        add_fact(production.lhs, u, v)
+            else:
+                first_succ = self._term_succ[rhs[0]]
+                second_succ = self._term_succ[rhs[1]]
+                for u in range(self._capacity):
+                    for k in first_succ[u]:
+                        for v in second_succ[k]:
+                            add_fact(production.lhs, u, v)
+
+        while worklist:
+            stats.worklist_pops += 1
+            if self._max_steps is not None and stats.worklist_pops > self._max_steps:
+                raise QueryTimeout(
+                    f"CflrB exceeded step budget ({self._max_steps})"
+                )
+            if deadline is not None and (stats.worklist_pops & 0xFF) == 0 \
+                    and time.perf_counter() > deadline:
+                raise QueryTimeout(
+                    f"CflrB exceeded time budget ({self._timeout}s)"
+                )
+            nonterminal, u, v = worklist.popleft()
+
+            for lhs in self._unit_nt.get(nonterminal, ()):
+                add_fact(lhs, u, v)
+
+            # A -> B C with B = nonterminal (this fact): need C(v, v').
+            for lhs, right in self._left_rules.get(nonterminal, ()):
+                if is_terminal(right):
+                    for v2 in self._term_succ[right][v]:
+                        add_fact(lhs, u, v2)
+                else:
+                    right_table = self._tables.get(right)
+                    if right_table is not None:
+                        for v2 in list(right_table.row_of(v)):
+                            add_fact(lhs, u, v2)
+
+            # A -> C B with B = nonterminal (this fact): need C(u', u).
+            for lhs, left in self._right_rules.get(nonterminal, ()):
+                if is_terminal(left):
+                    for u2 in self._term_pred[left][u]:
+                        add_fact(lhs, u2, v)
+                else:
+                    left_table = self._tables.get(left)
+                    if left_table is not None:
+                        for u2 in list(left_table.col_of(u)):
+                            add_fact(lhs, u2, v)
+
+        stats.seconds = time.perf_counter() - start_time
+        return CflrResult(self._grammar, self._tables, stats, self)
+
+    # ------------------------------------------------------------------
+    # Derivation reconstruction
+    # ------------------------------------------------------------------
+
+    def collect_vertices(self, roots: Iterable[tuple[int, int]],
+                         nonterminal: str) -> set[int]:
+        """Vertices on any derivation of the given facts (top-down pass)."""
+        vertices: set[int] = set()
+        visited: set[tuple[str, int, int]] = set()
+        stack: list[tuple[str, int, int]] = []
+
+        def fact_exists(name: str, u: int, v: int) -> bool:
+            table = self._tables.get(name)
+            return table is not None and table.contains(u, v)
+
+        for u, v in roots:
+            if fact_exists(nonterminal, u, v):
+                item = (nonterminal, u, v)
+                if item not in visited:
+                    visited.add(item)
+                    stack.append(item)
+
+        productions_by_lhs: dict[str, list] = {}
+        for production in self._grammar.productions:
+            productions_by_lhs.setdefault(production.lhs, []).append(production)
+
+        while stack:
+            name, u, v = stack.pop()
+            vertices.add(u)
+            vertices.add(v)
+            for production in productions_by_lhs.get(name, ()):
+                rhs = production.rhs
+                if len(rhs) == 1:
+                    symbol = rhs[0]
+                    if is_terminal(symbol):
+                        continue   # terminal match: endpoints already added
+                    if fact_exists(symbol, u, v):
+                        item = (symbol, u, v)
+                        if item not in visited:
+                            visited.add(item)
+                            stack.append(item)
+                    continue
+                left, right = rhs
+                for k in self._splits(left, right, u, v):
+                    vertices.add(k)
+                    if not is_terminal(left):
+                        item = (left, u, k)
+                        if item not in visited:
+                            visited.add(item)
+                            stack.append(item)
+                    if not is_terminal(right):
+                        item = (right, k, v)
+                        if item not in visited:
+                            visited.add(item)
+                            stack.append(item)
+        return vertices
+
+    def _splits(self, left, right, u: int, v: int) -> Iterator[int]:
+        """Yield split points k with left matching (u,k), right matching (k,v)."""
+        def left_candidates() -> Iterable[int]:
+            if is_terminal(left):
+                return self._term_succ[left][u]
+            table = self._tables.get(left)
+            return table.row_of(u) if table is not None else ()
+
+        def right_holds(k: int) -> bool:
+            if is_terminal(right):
+                return v in self._term_succ[right][k]
+            table = self._tables.get(right)
+            return table is not None and table.contains(k, v)
+
+        for k in left_candidates():
+            if right_holds(k):
+                yield k

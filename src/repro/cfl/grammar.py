@@ -1,0 +1,361 @@
+"""Context-free grammars over provenance graphs (Sec. III.A.2).
+
+A grammar's alphabet (Σ) mixes three kinds of terminal symbols:
+
+- :class:`EdgeTerminal` — an edge label, optionally inverse (``G``, ``U^-1``);
+- :class:`VertexTerminal` — a vertex-type label (``E``, ``A``), matched as a
+  self-loop at any vertex of that type;
+- :class:`VertexIdTerminal` — one specific vertex id (the ``v_j ∈ Vdst``
+  terminals the SimProv grammar injects per query).
+
+Nonterminals are plain strings. The module ships factories for the three
+grammars the paper uses:
+
+- :func:`simprov_grammar` — the declarative three-production SimProv grammar;
+- :func:`simprov_normal_form` — the binary normal form of Fig. 6 (rules
+  r0..r8), consumed by CflrB;
+- :func:`simprov_rewritten` — the rewritten grammar of Fig. 4 (``Ee``/``Aa``),
+  encoded structurally; SimProvAlg/SimProvTst hard-code its two rules but the
+  object form is used by tests and documentation.
+
+An Earley recognizer (:func:`earley_recognize`) provides arbitrary-CFG
+membership testing for the brute-force reference oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Union
+
+from repro.errors import GrammarError
+from repro.model.types import EdgeType, VertexType
+
+
+# ---------------------------------------------------------------------------
+# Symbols
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeTerminal:
+    """An edge-label terminal; ``inverse=True`` means the virtual inverse."""
+
+    edge_type: EdgeType
+    inverse: bool = False
+
+    def __str__(self) -> str:
+        return self.edge_type.inverse_label if self.inverse else self.edge_type.label
+
+
+@dataclass(frozen=True, slots=True)
+class VertexTerminal:
+    """A vertex-type terminal, matched as a self-loop at matching vertices."""
+
+    vertex_type: VertexType
+
+    def __str__(self) -> str:
+        return self.vertex_type.label
+
+
+@dataclass(frozen=True, slots=True)
+class VertexIdTerminal:
+    """A terminal matching one specific vertex id (self-loop)."""
+
+    vertex_id: int
+
+    def __str__(self) -> str:
+        return f"v{self.vertex_id}"
+
+
+Terminal = Union[EdgeTerminal, VertexTerminal, VertexIdTerminal]
+Symbol = Union[Terminal, str]   # nonterminals are strings
+
+
+def is_terminal(symbol: Symbol) -> bool:
+    """True for the three terminal symbol kinds."""
+    return not isinstance(symbol, str)
+
+
+# Convenient singletons for the PROV alphabet.
+U = EdgeTerminal(EdgeType.USED)
+U_INV = EdgeTerminal(EdgeType.USED, inverse=True)
+G = EdgeTerminal(EdgeType.WAS_GENERATED_BY)
+G_INV = EdgeTerminal(EdgeType.WAS_GENERATED_BY, inverse=True)
+E = VertexTerminal(VertexType.ENTITY)
+A = VertexTerminal(VertexType.ACTIVITY)
+
+
+# ---------------------------------------------------------------------------
+# Grammar
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Production:
+    """One production ``lhs -> rhs`` (rhs non-empty; no ε productions)."""
+
+    lhs: str
+    rhs: tuple[Symbol, ...]
+
+    def __str__(self) -> str:
+        return f"{self.lhs} -> {' '.join(str(s) for s in self.rhs)}"
+
+
+@dataclass(frozen=True)
+class Grammar:
+    """A context-free grammar with a designated start symbol.
+
+    Raises:
+        GrammarError: on empty productions or an undefined start symbol.
+    """
+
+    start: str
+    productions: tuple[Production, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        lhs_set = {p.lhs for p in self.productions}
+        if self.start not in lhs_set:
+            raise GrammarError(f"start symbol {self.start!r} has no production")
+        for production in self.productions:
+            if not production.rhs:
+                raise GrammarError(f"ε-production not supported: {production}")
+
+    @property
+    def nonterminals(self) -> frozenset[str]:
+        """All nonterminal names (LHS and RHS occurrences)."""
+        names = {p.lhs for p in self.productions}
+        for production in self.productions:
+            for symbol in production.rhs:
+                if isinstance(symbol, str):
+                    names.add(symbol)
+        return frozenset(names)
+
+    def productions_for(self, lhs: str) -> list[Production]:
+        """All productions with the given LHS."""
+        return [p for p in self.productions if p.lhs == lhs]
+
+    def binarize(self) -> "Grammar":
+        """Equivalent grammar with every RHS of length one or two.
+
+        Long productions are folded right-to-left through fresh helper
+        nonterminals named ``<lhs>#<i>#<j>``; the transformation preserves
+        the generated language (standard construction).
+        """
+        output: list[Production] = []
+        for index, production in enumerate(self.productions):
+            rhs = production.rhs
+            if len(rhs) <= 2:
+                output.append(production)
+                continue
+            # lhs -> s0 H1 ; H1 -> s1 H2 ; ... ; Hk -> s_{n-2} s_{n-1}
+            previous = production.lhs
+            for position in range(len(rhs) - 2):
+                helper = f"{production.lhs}#{index}#{position}"
+                output.append(Production(previous, (rhs[position], helper)))
+                previous = helper
+            output.append(Production(previous, (rhs[-2], rhs[-1])))
+        return Grammar(self.start, tuple(output))
+
+    def __str__(self) -> str:
+        return "\n".join(str(p) for p in self.productions)
+
+
+# ---------------------------------------------------------------------------
+# SimProv grammar factories
+# ---------------------------------------------------------------------------
+
+
+def simprov_grammar(dst_ids: Iterable[int]) -> Grammar:
+    """The declarative SimProv grammar (Sec. III.A.2)::
+
+        SimProv -> G^-1 E SimProv E G
+                 | U^-1 A SimProv A U
+                 | G^-1 v_j G          for each v_j in Vdst
+    """
+    productions = [
+        Production("SimProv", (G_INV, E, "SimProv", E, G)),
+        Production("SimProv", (U_INV, A, "SimProv", A, U)),
+    ]
+    dst_list = list(dict.fromkeys(dst_ids))
+    if not dst_list:
+        raise GrammarError("SimProv needs at least one destination vertex")
+    for vertex_id in dst_list:
+        productions.append(
+            Production("SimProv", (G_INV, VertexIdTerminal(vertex_id), G))
+        )
+    return Grammar("SimProv", tuple(productions))
+
+
+def simprov_normal_form(dst_ids: Iterable[int]) -> Grammar:
+    """The binary normal form of Fig. 6 (rules r0..r8), start symbol ``Re``::
+
+        r0: Qd -> v_j                 (for each v_j in Vdst)
+        r1: Lg -> G^-1 Qd | G^-1 Re
+        r2: Rg -> Lg G
+        r3: La -> A Rg
+        r4: Ra -> La A
+        r5: Lu -> U^-1 Ra
+        r6: Ru -> Lu U
+        r7: Le -> E Ru
+        r8: Re -> Le E
+    """
+    dst_list = list(dict.fromkeys(dst_ids))
+    if not dst_list:
+        raise GrammarError("SimProv needs at least one destination vertex")
+    productions = [
+        Production("Qd", (VertexIdTerminal(vertex_id),)) for vertex_id in dst_list
+    ]
+    productions += [
+        Production("Lg", (G_INV, "Qd")),
+        Production("Lg", (G_INV, "Re")),
+        Production("Rg", ("Lg", G)),
+        Production("La", (A, "Rg")),
+        Production("Ra", ("La", A)),
+        Production("Lu", (U_INV, "Ra")),
+        Production("Ru", ("Lu", U)),
+        Production("Le", (E, "Ru")),
+        Production("Re", ("Le", E)),
+    ]
+    return Grammar("Re", tuple(productions))
+
+
+def simprov_rewritten(dst_ids: Iterable[int]) -> Grammar:
+    """The rewritten grammar of Fig. 4 in *word* form, start symbol ``Ee``.
+
+    The paper states the rewriting over pair relations (``Ee ⊆ E×E`` with a
+    seed fact ``Ee(v_j, v_j)`` per destination; ``Aa ⊆ A×A`` via
+    ``Aa(a1,a2) <- G^-1(a1,e1) Ee(e1,e2) G(e2,a2)``). As a grammar over path
+    *words* — where interior vertex labels are explicit symbols — the seed
+    pair contributes the ``v_j`` vertex symbol inside its enclosing G-level,
+    giving::
+
+        Ee -> U^-1 A Aa A U
+        Aa -> G^-1 v_j G              (for each v_j in Vdst)
+        Aa -> G^-1 E Ee E G
+
+    which generates exactly the realizable-from-entities subset of
+    ``L(SimProv)`` (declarative grammar words necessarily start with
+    ``U^-1`` when the path starts at an entity).
+    """
+    dst_list = list(dict.fromkeys(dst_ids))
+    if not dst_list:
+        raise GrammarError("SimProv needs at least one destination vertex")
+    productions = [Production("Ee", (U_INV, A, "Aa", A, U))]
+    for vertex_id in dst_list:
+        productions.append(
+            Production("Aa", (G_INV, VertexIdTerminal(vertex_id), G))
+        )
+    productions.append(Production("Aa", (G_INV, E, "Ee", E, G)))
+    return Grammar("Ee", tuple(productions))
+
+
+# ---------------------------------------------------------------------------
+# Word elements and terminal matching
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeElement:
+    """One edge occurrence in a path word."""
+
+    edge_type: EdgeType
+    inverse: bool
+
+
+@dataclass(frozen=True, slots=True)
+class VertexElement:
+    """One vertex occurrence in a path word."""
+
+    vertex_type: VertexType
+    vertex_id: int
+
+
+WordElement = Union[EdgeElement, VertexElement]
+
+
+def terminal_matches(terminal: Terminal, element: WordElement) -> bool:
+    """Does a grammar terminal accept one concrete path element?"""
+    if isinstance(terminal, EdgeTerminal):
+        return (
+            isinstance(element, EdgeElement)
+            and element.edge_type is terminal.edge_type
+            and element.inverse == terminal.inverse
+        )
+    if isinstance(terminal, VertexTerminal):
+        return (
+            isinstance(element, VertexElement)
+            and element.vertex_type is terminal.vertex_type
+        )
+    return (
+        isinstance(element, VertexElement)
+        and element.vertex_id == terminal.vertex_id
+    )
+
+
+# ---------------------------------------------------------------------------
+# Earley recognition (reference oracle)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class _Item:
+    production_index: int
+    dot: int
+    origin: int
+
+
+def earley_recognize(grammar: Grammar, word: Sequence[WordElement]) -> bool:
+    """Earley membership test: does ``word`` belong to ``L(grammar)``?
+
+    Works for any ε-free CFG; O(|word|³·|grammar|), fine for the short words
+    the reference oracle checks.
+    """
+    productions = grammar.productions
+    by_lhs: dict[str, list[int]] = {}
+    for index, production in enumerate(productions):
+        by_lhs.setdefault(production.lhs, []).append(index)
+
+    n = len(word)
+    chart: list[set[_Item]] = [set() for _ in range(n + 1)]
+    for index in by_lhs.get(grammar.start, []):
+        chart[0].add(_Item(index, 0, 0))
+
+    for position in range(n + 1):
+        worklist = list(chart[position])
+        while worklist:
+            item = worklist.pop()
+            production = productions[item.production_index]
+            if item.dot < len(production.rhs):
+                symbol = production.rhs[item.dot]
+                if isinstance(symbol, str):
+                    # predict
+                    for index in by_lhs.get(symbol, []):
+                        predicted = _Item(index, 0, position)
+                        if predicted not in chart[position]:
+                            chart[position].add(predicted)
+                            worklist.append(predicted)
+                else:
+                    # scan
+                    if position < n and terminal_matches(symbol, word[position]):
+                        advanced = _Item(item.production_index, item.dot + 1,
+                                         item.origin)
+                        chart[position + 1].add(advanced)
+            else:
+                # complete
+                lhs = production.lhs
+                for other in list(chart[item.origin]):
+                    other_production = productions[other.production_index]
+                    if (other.dot < len(other_production.rhs)
+                            and other_production.rhs[other.dot] == lhs):
+                        advanced = _Item(other.production_index, other.dot + 1,
+                                         other.origin)
+                        if advanced not in chart[position]:
+                            chart[position].add(advanced)
+                            worklist.append(advanced)
+
+    for item in chart[n]:
+        production = productions[item.production_index]
+        if (production.lhs == grammar.start and item.origin == 0
+                and item.dot == len(production.rhs)):
+            return True
+    return False

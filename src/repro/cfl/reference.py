@@ -1,0 +1,199 @@
+"""Brute-force reference oracles for CFL-reachability.
+
+Two independent implementations used by the test suite to validate CflrB,
+SimProvAlg and SimProvTst against each other and against the declarative
+semantics:
+
+- :func:`naive_cflr` — a Datalog-style naive fixpoint over any binarized
+  grammar (no worklist, no symmetry, no pruning): re-joins every production
+  until nothing changes. Slow but tiny and obviously correct.
+- :func:`enumerate_simprov` — the most literal reading of Sec. III.A.2:
+  enumerate *all* bounded-length paths (forward and inverse traversal of the
+  ancestry edges), build each path-segment word, and ask the Earley
+  recognizer whether it belongs to ``L(SimProv)``. Exponential; only for
+  graphs of a few dozen vertices.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.cfl.grammar import (
+    EdgeElement,
+    EdgeTerminal,
+    Grammar,
+    VertexElement,
+    VertexIdTerminal,
+    VertexTerminal,
+    WordElement,
+    earley_recognize,
+    is_terminal,
+    simprov_grammar,
+)
+from repro.model.graph import ProvenanceGraph
+from repro.model.types import EdgeType
+from repro.store.records import EdgeRecord, VertexRecord
+
+
+def _terminal_pairs(graph: ProvenanceGraph, terminal,
+                    vertex_ok, edge_ok) -> list[tuple[int, int]]:
+    store = graph.store
+    allowed: dict[int, bool] = {}
+
+    def ok(vertex_id: int) -> bool:
+        if vertex_id not in allowed:
+            record = store.vertex(vertex_id)
+            allowed[vertex_id] = vertex_ok is None or vertex_ok(record)
+        return allowed[vertex_id]
+
+    pairs: list[tuple[int, int]] = []
+    if isinstance(terminal, EdgeTerminal):
+        for record in store.edges(terminal.edge_type):
+            if not (ok(record.src) and ok(record.dst)):
+                continue
+            if edge_ok is not None and not edge_ok(record):
+                continue
+            if terminal.inverse:
+                pairs.append((record.dst, record.src))
+            else:
+                pairs.append((record.src, record.dst))
+    elif isinstance(terminal, VertexTerminal):
+        for record in store.vertices(terminal.vertex_type):
+            if ok(record.vertex_id):
+                pairs.append((record.vertex_id, record.vertex_id))
+    elif isinstance(terminal, VertexIdTerminal):
+        vid = terminal.vertex_id
+        if vid in store and ok(vid):
+            pairs.append((vid, vid))
+    return pairs
+
+
+def naive_cflr(graph: ProvenanceGraph, grammar: Grammar,
+               vertex_ok: Callable[[VertexRecord], bool] | None = None,
+               edge_ok: Callable[[EdgeRecord], bool] | None = None,
+               ) -> dict[str, set[tuple[int, int]]]:
+    """Naive fixpoint CFLR: returns all facts per nonterminal.
+
+    The grammar is binarized first. Terminal relations are materialized once;
+    then every production is re-joined until the global fact set stops
+    growing. O(iterations · productions · facts²) — a test oracle, not a
+    competitor.
+    """
+    binary = grammar.binarize()
+    terminal_relations: dict[object, list[tuple[int, int]]] = {}
+    for production in binary.productions:
+        for symbol in production.rhs:
+            if is_terminal(symbol) and symbol not in terminal_relations:
+                terminal_relations[symbol] = _terminal_pairs(
+                    graph, symbol, vertex_ok, edge_ok
+                )
+
+    facts: dict[str, set[tuple[int, int]]] = {
+        name: set() for name in binary.nonterminals
+    }
+
+    def relation(symbol) -> Iterable[tuple[int, int]]:
+        if is_terminal(symbol):
+            return terminal_relations[symbol]
+        return facts[symbol]
+
+    changed = True
+    while changed:
+        changed = False
+        for production in binary.productions:
+            rhs = production.rhs
+            target = facts[production.lhs]
+            before = len(target)
+            if len(rhs) == 1:
+                target.update(relation(rhs[0]))
+            else:
+                left, right = rhs
+                by_mid: dict[int, list[int]] = {}
+                for k, v in relation(right):
+                    by_mid.setdefault(k, []).append(v)
+                for u, k in relation(left):
+                    for v in by_mid.get(k, ()):
+                        target.add((u, v))
+            if len(target) != before:
+                changed = True
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive path enumeration against the declarative grammar
+# ---------------------------------------------------------------------------
+
+
+def _moves(graph: ProvenanceGraph, vertex_id: int, vertex_ok, edge_ok):
+    """All one-step traversals (forward and inverse) over ancestry edges."""
+    store = graph.store
+    for edge_type in (EdgeType.USED, EdgeType.WAS_GENERATED_BY):
+        for edge_id in store.out_edge_ids(vertex_id, edge_type):
+            record = store.edge(edge_id)
+            if edge_ok is not None and not edge_ok(record):
+                continue
+            target = store.vertex(record.dst)
+            if vertex_ok is not None and not vertex_ok(target):
+                continue
+            yield (EdgeElement(edge_type, False), record.dst)
+        for edge_id in store.in_edge_ids(vertex_id, edge_type):
+            record = store.edge(edge_id)
+            if edge_ok is not None and not edge_ok(record):
+                continue
+            source = store.vertex(record.src)
+            if vertex_ok is not None and not vertex_ok(source):
+                continue
+            yield (EdgeElement(edge_type, True), record.src)
+
+
+def enumerate_simprov(graph: ProvenanceGraph, src_ids: Iterable[int],
+                      dst_ids: Iterable[int], max_edges: int = 12,
+                      vertex_ok: Callable[[VertexRecord], bool] | None = None,
+                      edge_ok: Callable[[EdgeRecord], bool] | None = None,
+                      ) -> tuple[set[tuple[int, int]], set[int]]:
+    """Exhaustively check every bounded path against ``L(SimProv)``.
+
+    Returns ``(answer_pairs, path_vertices)`` where answer pairs are
+    canonical ``(min, max)`` tuples of ``(vi, vt)`` for accepted paths and
+    path vertices are all vertices on accepted paths.
+
+    Args:
+        max_edges: maximum number of edges per enumerated path. SimProv words
+            for depth ``m`` use ``4m`` edges, so ``max_edges=12`` covers
+            depth 3.
+    """
+    src_list = [v for v in dict.fromkeys(src_ids)
+                if vertex_ok is None or vertex_ok(graph.vertex(v))]
+    dst_list = list(dict.fromkeys(dst_ids))
+    grammar = simprov_grammar(dst_list)
+    store = graph.store
+
+    answers: set[tuple[int, int]] = set()
+    vertices: set[int] = set()
+
+    def vertex_element(vertex_id: int) -> VertexElement:
+        record = store.vertex(vertex_id)
+        return VertexElement(record.vertex_type, vertex_id)
+
+    for vi in src_list:
+        # DFS over (current vertex, edges-taken, word-so-far, path vertices).
+        # The word is the *segment* label: edges interleaved with interior
+        # vertices only, so it always ends with the edge just taken.
+        stack: list[tuple[int, int, tuple[WordElement, ...], tuple[int, ...]]] = [
+            (vi, 0, (), (vi,))
+        ]
+        while stack:
+            here, n_edges, word, on_path = stack.pop()
+            if word and earley_recognize(grammar, word):
+                pair = (vi, here) if vi <= here else (here, vi)
+                answers.add(pair)
+                vertices.update(on_path)
+            if n_edges >= max_edges:
+                continue
+            for edge_element, nxt in _moves(graph, here, vertex_ok, edge_ok):
+                if word:
+                    new_word = word + (vertex_element(here), edge_element)
+                else:
+                    new_word = (edge_element,)
+                stack.append((nxt, n_edges + 1, new_word, on_path + (nxt,)))
+    return answers, vertices

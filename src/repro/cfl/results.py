@@ -1,0 +1,46 @@
+"""Shared result type for the SimProv solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class SimProvStats:
+    """Work counters for one SimProv solve."""
+
+    facts_entity: int = 0
+    facts_activity: int = 0
+    worklist_pops: int = 0
+    pruned: int = 0
+    seconds: float = 0.0
+
+
+@dataclass(slots=True)
+class SimProvResult:
+    """Result of an ``L(SimProv)``-reachability query.
+
+    Attributes:
+        sources_matched: the query's Vsrc entities that head at least one
+            accepted path.
+        similar_entities: every entity ``vt`` such that some ``vi ∈ Vsrc``
+            satisfies ``Ee(vi, vt)`` — the "contributes in a similar way"
+            endpoints.
+        path_vertices: all vertices lying on any accepted path (the material
+            for PgSeg's VC2). Empty when vertex collection was disabled.
+        answer_pairs: canonical ``(min(vi,vt), max(vi,vt))`` answer pairs;
+            ``None`` when pair collection was disabled (it can be
+            quadratically large).
+        stats: work counters.
+    """
+
+    sources_matched: set[int] = field(default_factory=set)
+    similar_entities: set[int] = field(default_factory=set)
+    path_vertices: set[int] = field(default_factory=set)
+    answer_pairs: set[tuple[int, int]] | None = None
+    stats: SimProvStats = field(default_factory=SimProvStats)
+
+    @property
+    def has_answers(self) -> bool:
+        """True when at least one accepted path exists."""
+        return bool(self.sources_matched)

@@ -1,0 +1,253 @@
+"""A compressed bitmap in the style of RoaringBitmap [50] (the paper's Cbm).
+
+A 32-bit universe is chunked by the high 16 bits; each chunk holds a
+container for the low 16 bits:
+
+- :class:`ArrayContainer`: a sorted ``array('H')`` of values — compact for
+  sparse chunks, O(log n) membership, O(n) merge;
+- :class:`BitmapContainer`: a 1024-word (65536-bit) fixed bitmap — used once
+  a chunk exceeds :data:`ARRAY_TO_BITMAP_THRESHOLD` values, O(1) membership.
+
+Containers convert automatically in both directions on mutation, mirroring
+the real Roaring design. The class exposes the same protocol as
+:class:`repro.cfl.fastset.IntBitSet` so solvers can swap implementations
+(the paper's "w CBM" variants trade speed for memory).
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left, insort
+from typing import Iterable, Iterator
+
+#: An array container converts to a bitmap beyond this many values (the
+#: canonical Roaring threshold: 4096 * 2 bytes = bitmap break-even).
+ARRAY_TO_BITMAP_THRESHOLD = 4096
+
+_WORDS = 65536 // 64
+
+
+class ArrayContainer:
+    """Sorted-array container for a sparse 16-bit chunk."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Iterable[int] = ()):
+        self.values = array("H", sorted(values))
+
+    def add(self, low: int) -> bool:
+        index = bisect_left(self.values, low)
+        if index < len(self.values) and self.values[index] == low:
+            return False
+        insort(self.values, low)
+        return True
+
+    def discard(self, low: int) -> None:
+        index = bisect_left(self.values, low)
+        if index < len(self.values) and self.values[index] == low:
+            del self.values[index]
+
+    def __contains__(self, low: int) -> bool:
+        index = bisect_left(self.values, low)
+        return index < len(self.values) and self.values[index] == low
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.values)
+
+    def to_bitmap(self) -> "BitmapContainer":
+        bitmap = BitmapContainer()
+        for low in self.values:
+            bitmap.add(low)
+        return bitmap
+
+
+class BitmapContainer:
+    """Fixed 65536-bit bitmap container for a dense 16-bit chunk."""
+
+    __slots__ = ("words", "cardinality")
+
+    def __init__(self) -> None:
+        self.words = array("Q", [0]) * _WORDS
+        self.cardinality = 0
+
+    def add(self, low: int) -> bool:
+        word, bit = low >> 6, low & 63
+        mask = 1 << bit
+        if self.words[word] & mask:
+            return False
+        self.words[word] |= mask
+        self.cardinality += 1
+        return True
+
+    def discard(self, low: int) -> None:
+        word, bit = low >> 6, low & 63
+        mask = 1 << bit
+        if self.words[word] & mask:
+            self.words[word] &= ~mask
+            self.cardinality -= 1
+
+    def __contains__(self, low: int) -> bool:
+        return bool(self.words[low >> 6] >> (low & 63) & 1)
+
+    def __len__(self) -> int:
+        return self.cardinality
+
+    def __iter__(self) -> Iterator[int]:
+        for word_index, word in enumerate(self.words):
+            base = word_index << 6
+            while word:
+                lowbit = word & -word
+                yield base + lowbit.bit_length() - 1
+                word ^= lowbit
+
+    def to_array(self) -> ArrayContainer:
+        return ArrayContainer(iter(self))
+
+
+class RoaringBitmap:
+    """A compressed bitmap over ``[0, 2^32)``.
+
+    Accepts an optional ``capacity`` purely for interface compatibility with
+    :class:`IntBitSet` (bounds are checked against it when given).
+    """
+
+    __slots__ = ("_containers", "capacity")
+
+    def __init__(self, capacity: int | None = None, items: Iterable[int] = ()):
+        self._containers: dict[int, ArrayContainer | BitmapContainer] = {}
+        self.capacity = capacity
+        for item in items:
+            self.add(item)
+
+    # ------------------------------------------------------------------
+
+    def _check(self, item: int) -> None:
+        if item < 0 or (self.capacity is not None and item >= self.capacity):
+            raise ValueError(f"item {item} outside universe")
+        if item >= 1 << 32:
+            raise ValueError("RoaringBitmap is limited to 32-bit values")
+
+    def add(self, item: int) -> bool:
+        """Insert; returns True if new. Converts containers when dense."""
+        self._check(item)
+        high, low = item >> 16, item & 0xFFFF
+        container = self._containers.get(high)
+        if container is None:
+            container = ArrayContainer()
+            self._containers[high] = container
+        added = container.add(low)
+        if (isinstance(container, ArrayContainer)
+                and len(container) > ARRAY_TO_BITMAP_THRESHOLD):
+            self._containers[high] = container.to_bitmap()
+        return added
+
+    def discard(self, item: int) -> None:
+        """Remove if present; shrinks dense containers back to arrays."""
+        self._check(item)
+        high, low = item >> 16, item & 0xFFFF
+        container = self._containers.get(high)
+        if container is None:
+            return
+        container.discard(low)
+        if not len(container):
+            del self._containers[high]
+        elif (isinstance(container, BitmapContainer)
+              and len(container) <= ARRAY_TO_BITMAP_THRESHOLD // 2):
+            self._containers[high] = container.to_array()
+
+    def __contains__(self, item: int) -> bool:
+        if item < 0:
+            return False
+        container = self._containers.get(item >> 16)
+        return container is not None and (item & 0xFFFF) in container
+
+    def __len__(self) -> int:
+        return sum(len(c) for c in self._containers.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._containers)
+
+    def __iter__(self) -> Iterator[int]:
+        for high in sorted(self._containers):
+            base = high << 16
+            for low in self._containers[high]:
+                yield base + low
+
+    # ------------------------------------------------------------------
+    # Set algebra (enough for the solvers)
+    # ------------------------------------------------------------------
+
+    def union(self, other: "RoaringBitmap") -> "RoaringBitmap":
+        """New bitmap: self ∪ other."""
+        result = self.copy()
+        result.update(other)
+        return result
+
+    def update(self, other: "RoaringBitmap") -> None:
+        """In-place union."""
+        for item in other:
+            self.add(item)
+
+    def difference(self, other: "RoaringBitmap") -> "RoaringBitmap":
+        """New bitmap: self \\ other."""
+        result = RoaringBitmap(self.capacity)
+        for item in self:
+            if item not in other:
+                result.add(item)
+        return result
+
+    def difference_update(self, other: "RoaringBitmap") -> None:
+        """In-place difference."""
+        for item in list(other):
+            self.discard(item)
+
+    def intersection(self, other: "RoaringBitmap") -> "RoaringBitmap":
+        """New bitmap: self ∩ other."""
+        small, large = (self, other) if len(self) <= len(other) else (other, self)
+        result = RoaringBitmap(self.capacity)
+        for item in small:
+            if item in large:
+                result.add(item)
+        return result
+
+    def intersects(self, other: "RoaringBitmap") -> bool:
+        """True if the bitmaps share any element."""
+        small, large = (self, other) if len(self) <= len(other) else (other, self)
+        return any(item in large for item in small)
+
+    def diff_iter(self, other: "RoaringBitmap") -> Iterator[int]:
+        """Iterate self \\ other lazily."""
+        for item in self:
+            if item not in other:
+                yield item
+
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "RoaringBitmap":
+        """Deep copy."""
+        result = RoaringBitmap(self.capacity)
+        for item in self:
+            result.add(item)
+        return result
+
+    def to_set(self) -> set[int]:
+        """Materialize as a builtin set."""
+        return set(self)
+
+    def container_kinds(self) -> dict[int, str]:
+        """Chunk -> container kind, for introspection and tests."""
+        return {
+            high: type(container).__name__
+            for high, container in self._containers.items()
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RoaringBitmap):
+            return NotImplemented
+        return self.to_set() == other.to_set()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RoaringBitmap(len={len(self)}, chunks={len(self._containers)})"

@@ -1,0 +1,397 @@
+"""SimProvAlg: worklist ``L(SimProv)``-reachability on the rewritten grammar.
+
+The rewritten grammar (Fig. 4) has two pair-valued nonterminals::
+
+    Ee ⊆ E × E :  Ee -> v_j (seed, v_j ∈ Vdst)   |   U^-1 Aa U
+    Aa ⊆ A × A :  Aa -> G^-1 Ee G
+
+which SimProvAlg exploits three ways (Sec. III.B.2):
+
+- **Worklist reduction** — each popped ``Ee``/``Aa`` fact expands directly to
+  the next level's pairs, skipping the normal form's intermediate ``Lg``,
+  ``Rg``, ... facts (and their worklist churn).
+- **Symmetry** — ``Ee``/``Aa`` are symmetric relations, so facts are stored
+  and processed once in canonical ``(min, max)`` order, halving the tables.
+- **Early stopping** — the provenance graph is temporal: expanding a fact
+  only reaches vertices *older* than the fact's components, so a pair whose
+  components are both older than every Vsrc entity can never contribute to
+  an answer and is pruned (the Fig. 5(d) experiment).
+
+The optional ``activity_key``/``entity_key`` functions implement the paper's
+property-constrained generalization (e.g. "matched activities on both sides
+must run the same command"): a pair is only derived when the two components
+agree on the key.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Hashable, Iterable
+
+from repro.cfl.adjacency import EdgePredicate, ProvAdjacency, VertexPredicate
+from repro.cfl.fastset import IntBitSet
+from repro.cfl.results import SimProvResult, SimProvStats
+from repro.cfl.roaring import RoaringBitmap
+from repro.errors import QueryTimeout, SegmentationError, SolverError
+from repro.model.graph import ProvenanceGraph
+
+KeyFunction = Callable[[int], Hashable]
+
+_SET_IMPLS = ("set", "bitset", "roaring")
+
+
+class _PairTable:
+    """Canonical symmetric pair storage: ``min -> set of max``."""
+
+    __slots__ = ("impl", "capacity", "rows", "count")
+
+    def __init__(self, impl: str, capacity: int):
+        self.impl = impl
+        self.capacity = capacity
+        self.rows: dict[int, object] = {}
+        self.count = 0
+
+    def add(self, x: int, y: int) -> bool:
+        """Insert the unordered pair {x, y}; True when new."""
+        if x > y:
+            x, y = y, x
+        bucket = self.rows.get(x)
+        if bucket is None:
+            if self.impl == "set":
+                bucket = set()
+            elif self.impl == "bitset":
+                bucket = IntBitSet(self.capacity)
+            else:
+                bucket = RoaringBitmap(self.capacity)
+            self.rows[x] = bucket
+        if self.impl == "set":
+            if y in bucket:                      # type: ignore[operator]
+                return False
+            bucket.add(y)                        # type: ignore[union-attr]
+        else:
+            if not bucket.add(y):                # type: ignore[union-attr]
+                return False
+        self.count += 1
+        return True
+
+    def contains(self, x: int, y: int) -> bool:
+        if x > y:
+            x, y = y, x
+        bucket = self.rows.get(x)
+        return bucket is not None and y in bucket   # type: ignore[operator]
+
+
+class SimProvAlg:
+    """``L(SimProv)``-reachability solver on the rewritten grammar.
+
+    Args:
+        graph: the provenance graph.
+        src_ids: Vsrc entity ids.
+        dst_ids: Vdst entity ids.
+        vertex_ok / edge_ok: inline boundary predicates (Appendix C).
+        set_impl: ``"set"`` | ``"bitset"`` | ``"roaring"`` (the Cbm variant).
+        prune: enable the early-stopping rule.
+        activity_key / entity_key: property-constrained similarity keys.
+        adjacency: pre-built :class:`ProvAdjacency` to reuse across queries.
+        max_steps / timeout_seconds: work/time budget.
+
+    Raises:
+        SegmentationError: if src/dst ids are not entities of the graph.
+    """
+
+    def __init__(self, graph: ProvenanceGraph,
+                 src_ids: Iterable[int], dst_ids: Iterable[int], *,
+                 vertex_ok: VertexPredicate | None = None,
+                 edge_ok: EdgePredicate | None = None,
+                 set_impl: str = "set",
+                 prune: bool = True,
+                 activity_key: KeyFunction | None = None,
+                 entity_key: KeyFunction | None = None,
+                 adjacency: ProvAdjacency | None = None,
+                 max_steps: int | None = None,
+                 timeout_seconds: float | None = None):
+        if set_impl not in _SET_IMPLS:
+            raise SolverError(f"set_impl must be one of {_SET_IMPLS}")
+        self._graph = graph
+        self._src = list(dict.fromkeys(src_ids))
+        self._dst = list(dict.fromkeys(dst_ids))
+        if not self._src or not self._dst:
+            raise SegmentationError("Vsrc and Vdst must be non-empty")
+        for vertex_id in (*self._src, *self._dst):
+            if not graph.is_entity(vertex_id):
+                raise SegmentationError(
+                    f"query vertex {vertex_id} is not an entity"
+                )
+        self._adj = adjacency if adjacency is not None else ProvAdjacency.build(
+            graph, vertex_ok, edge_ok
+        )
+        self._set_impl = set_impl
+        self._prune = prune
+        self._activity_key = activity_key
+        self._entity_key = entity_key
+        self._max_steps = max_steps
+        self._timeout = timeout_seconds
+        # Fact tables of the most recent solve, kept for witness extraction.
+        self._h_ee: _PairTable | None = None
+        self._h_aa: _PairTable | None = None
+        self._dst_set: set[int] = set()
+
+    # ------------------------------------------------------------------
+
+    def solve(self, collect_vertices: bool = True) -> SimProvResult:
+        """Run to fixpoint; returns answers (and path vertices unless disabled)."""
+        adj = self._adj
+        start_time = time.perf_counter()
+        deadline = None if self._timeout is None else start_time + self._timeout
+        stats = SimProvStats()
+
+        src_set = {v for v in self._src if adj.is_live(v)}
+        dst_live = [v for v in self._dst if adj.is_live(v)]
+        orders = adj.orders
+        min_src_order = min((orders[v] for v in src_set), default=None)
+        prune = self._prune and min_src_order is not None
+
+        h_ee = _PairTable(self._set_impl, adj.n)
+        h_aa = _PairTable(self._set_impl, adj.n)
+        worklist: deque[tuple[bool, int, int]] = deque()   # (is_entity_pair, x, y)
+
+        answers: set[tuple[int, int]] = set()
+        sources_matched: set[int] = set()
+        similar: set[int] = set()
+
+        gen_acts = adj.gen_acts
+        used_ents = adj.used_ents
+        a_key = self._activity_key
+        e_key = self._entity_key
+
+        for vj in dst_live:
+            if h_ee.add(vj, vj):
+                stats.facts_entity += 1
+                worklist.append((True, vj, vj))
+
+        while worklist:
+            stats.worklist_pops += 1
+            if self._max_steps is not None and stats.worklist_pops > self._max_steps:
+                raise QueryTimeout(
+                    f"SimProvAlg exceeded step budget ({self._max_steps})"
+                )
+            if deadline is not None and (stats.worklist_pops & 0xFF) == 0 \
+                    and time.perf_counter() > deadline:
+                raise QueryTimeout(
+                    f"SimProvAlg exceeded time budget ({self._timeout}s)"
+                )
+            is_entity_pair, x, y = worklist.popleft()
+            if is_entity_pair:
+                # r'2:  Aa(a1, a2) <- G^-1(a1, x) Ee(x, y) G(y, a2)
+                gx = gen_acts[x]
+                gy = gen_acts[y]
+                for a1 in gx:
+                    key1 = a_key(a1) if a_key is not None else None
+                    for a2 in gy:
+                        if a_key is not None and key1 != a_key(a2):
+                            continue
+                        if prune and orders[a1] < min_src_order \
+                                and orders[a2] < min_src_order:
+                            stats.pruned += 1
+                            continue
+                        if h_aa.add(a1, a2):
+                            stats.facts_activity += 1
+                            worklist.append(
+                                (False, a1, a2) if a1 <= a2 else (False, a2, a1)
+                            )
+            else:
+                # r'1:  Ee(e1, e2) <- U^-1(e1, x) Aa(x, y) U(y, e2)
+                ux = used_ents[x]
+                uy = used_ents[y]
+                for e1 in ux:
+                    key1 = e_key(e1) if e_key is not None else None
+                    in_src1 = e1 in src_set
+                    for e2 in uy:
+                        if e_key is not None and key1 != e_key(e2):
+                            continue
+                        if prune and orders[e1] < min_src_order \
+                                and orders[e2] < min_src_order:
+                            stats.pruned += 1
+                            continue
+                        if h_ee.add(e1, e2):
+                            stats.facts_entity += 1
+                            worklist.append(
+                                (True, e1, e2) if e1 <= e2 else (True, e2, e1)
+                            )
+                        # Answer check on every derivation (a previously seen
+                        # fact may pair a new Vsrc side only once, but answer
+                        # membership is a property of the pair, so checking on
+                        # first insertion is enough; do it cheaply here).
+                        if in_src1 or e2 in src_set:
+                            pair = (e1, e2) if e1 <= e2 else (e2, e1)
+                            if pair not in answers:
+                                answers.add(pair)
+                                if in_src1:
+                                    sources_matched.add(e1)
+                                    similar.add(e2)
+                                if e2 in src_set:
+                                    sources_matched.add(e2)
+                                    similar.add(e1)
+
+        result = SimProvResult(
+            sources_matched=sources_matched,
+            similar_entities=similar,
+            answer_pairs=answers,
+            stats=stats,
+        )
+        if collect_vertices:
+            result.path_vertices = self._collect_path_vertices(h_ee, h_aa, answers)
+        stats.seconds = time.perf_counter() - start_time
+        self._h_ee, self._h_aa = h_ee, h_aa
+        self._dst_set = set(dst_live)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _collect_path_vertices(self, h_ee: _PairTable, h_aa: _PairTable,
+                               answers: set[tuple[int, int]]) -> set[int]:
+        """Top-down derivation walk from answer facts.
+
+        Every fact reachable from an answer fact through genuine derivation
+        steps corresponds to a sub-path of an accepted path; the union of
+        the facts' components is exactly the accepted-path vertex set.
+        """
+        adj = self._adj
+        user_acts = adj.user_acts
+        gen_ents = adj.gen_ents
+        vertices: set[int] = set()
+        visited_e: set[tuple[int, int]] = set()
+        visited_a: set[tuple[int, int]] = set()
+        stack: list[tuple[bool, int, int]] = []
+
+        for pair in answers:
+            if pair not in visited_e:
+                visited_e.add(pair)
+                stack.append((True, pair[0], pair[1]))
+
+        while stack:
+            is_entity_pair, x, y = stack.pop()
+            vertices.add(x)
+            vertices.add(y)
+            if is_entity_pair:
+                # Ee(x, y) may be derived from Aa(a1, a2) with a1 ∈ users(x),
+                # a2 ∈ users(y) — the inward (toward Vdst) decomposition.
+                for a1 in user_acts[x]:
+                    for a2 in user_acts[y]:
+                        if h_aa.contains(a1, a2):
+                            pair = (a1, a2) if a1 <= a2 else (a2, a1)
+                            if pair not in visited_a:
+                                visited_a.add(pair)
+                                stack.append((False, pair[0], pair[1]))
+            else:
+                # Aa(x, y) is derived from Ee(e1, e2) with e1 generated by x,
+                # e2 generated by y.
+                for e1 in gen_ents[x]:
+                    for e2 in gen_ents[y]:
+                        if h_ee.contains(e1, e2):
+                            pair = (e1, e2) if e1 <= e2 else (e2, e1)
+                            if pair not in visited_e:
+                                visited_e.add(pair)
+                                stack.append((True, pair[0], pair[1]))
+        return vertices
+
+
+    # ------------------------------------------------------------------
+    # Witness paths
+    # ------------------------------------------------------------------
+
+    def witness_path(self, vi: int, vt: int) -> "Path | None":
+        """A concrete accepted path realizing the answer ``Ee(vi, vt)``.
+
+        Provenance queries "require returning paths instead of answering
+        yes/no" (Sec. I); this reconstructs one palindrome path — climb from
+        ``vi`` to some ``v_j ∈ Vdst``, descend to ``vt`` — from the fact
+        tables of the most recent :meth:`solve`. Returns None when the pair
+        is not an answer.
+
+        When parallel edges exist between the same endpoints, any one of
+        them may be chosen for a step.
+        """
+        if self._h_ee is None or not self._h_ee.contains(vi, vt):
+            return None
+        steps = self._decompose_entity_pair(vi, vt)
+        if steps is None:
+            return None
+        from repro.query.paths import Path
+        return Path(self._graph, vi, steps)
+
+    def _find_edge(self, src: int, dst: int, edge_type) -> int:
+        for edge_id in self._graph.store.out_edge_ids(src, edge_type):
+            if self._graph.store.edge(edge_id).dst == dst:
+                return edge_id
+        raise SolverError(
+            f"no {edge_type.name} edge {src} -> {dst} (store changed "
+            "since solve?)"
+        )
+
+    def _decompose_entity_pair(self, x: int, y: int):
+        """Steps for an oriented Ee(x, y): U^-1 A [Aa] A U."""
+        from repro.model.types import EdgeType
+        from repro.query.paths import Step
+
+        adj = self._adj
+        a_key = self._activity_key
+        for a1 in adj.user_acts[x]:
+            for a2 in adj.user_acts[y]:
+                if not self._h_aa.contains(a1, a2):
+                    continue
+                if a_key is not None and a_key(a1) != a_key(a2):
+                    continue
+                inner = self._decompose_activity_pair(a1, a2)
+                if inner is None:
+                    continue
+                up = Step(self._find_edge(a1, x, EdgeType.USED), forward=False)
+                down = Step(self._find_edge(a2, y, EdgeType.USED), forward=True)
+                return [up, *inner, down]
+        return None
+
+    def _decompose_activity_pair(self, a1: int, a2: int):
+        """Steps for an oriented Aa(a1, a2): G^-1 (v_j | E Ee E) G."""
+        from repro.model.types import EdgeType
+        from repro.query.paths import Step
+
+        adj = self._adj
+        e_key = self._entity_key
+        gen1 = set(adj.gen_ents[a1])
+        gen2 = set(adj.gen_ents[a2])
+        # Base case: both generated a shared destination v_j.
+        for vj in gen1 & gen2:
+            if vj in self._dst_set:
+                up = Step(self._find_edge(vj, a1, EdgeType.WAS_GENERATED_BY),
+                          forward=False)
+                down = Step(self._find_edge(vj, a2, EdgeType.WAS_GENERATED_BY),
+                            forward=True)
+                return [up, down]
+        # Recursive case through a deeper entity pair.
+        for e1 in gen1:
+            for e2 in gen2:
+                if e1 == e2 and e1 in self._dst_set:
+                    continue        # already handled as base
+                if not self._h_ee.contains(e1, e2):
+                    continue
+                if e_key is not None and e_key(e1) != e_key(e2):
+                    continue
+                inner = self._decompose_entity_pair(e1, e2)
+                if inner is None:
+                    # (e1, e2) is a seed with no deeper derivation (the
+                    # shared-v_j case was handled above); try the next pair.
+                    continue
+                up = Step(self._find_edge(e1, a1, EdgeType.WAS_GENERATED_BY),
+                          forward=False)
+                down = Step(self._find_edge(e2, a2, EdgeType.WAS_GENERATED_BY),
+                            forward=True)
+                return [up, *inner, down]
+        return None
+
+
+def solve_simprov(graph: ProvenanceGraph, src_ids: Iterable[int],
+                  dst_ids: Iterable[int], **kwargs) -> SimProvResult:
+    """One-shot convenience wrapper around :class:`SimProvAlg`."""
+    collect = kwargs.pop("collect_vertices", True)
+    return SimProvAlg(graph, src_ids, dst_ids, **kwargs).solve(collect)

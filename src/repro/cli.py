@@ -1,0 +1,200 @@
+"""Command-line interface: generate, inspect, segment, summarize, bench.
+
+Installed as ``python -m repro.cli`` (no console-script entry point to keep
+the offline install simple). Subcommands:
+
+- ``generate-pd``   write a synthetic Pd lifecycle graph as PROV-JSON
+- ``generate-example`` write the paper's Fig. 2 graph as PROV-JSON
+- ``info``          summarize a PROV-JSON graph (counts, artifacts, agents)
+- ``validate``      check PROV constraints
+- ``segment``       run a PgSeg query and print the segment
+- ``summarize``     PgSum over segments produced by repeated ``--dst``
+- ``bench``         run one named experiment and print its table
+
+Examples::
+
+    python -m repro.cli generate-pd --n 500 --out pd.json
+    python -m repro.cli segment pd.json --src 0 1 --dst 400 401
+    python -m repro.cli bench fig5e
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.reporting import ascii_table
+from repro.model import serialization as ser
+from repro.model.graph import ProvenanceGraph
+from repro.model.validation import validate
+from repro.model.versioning import VersionCatalog
+from repro.segment.pgseg import PgSegOperator, PgSegQuery
+from repro.summarize.aggregation import PropertyAggregation
+from repro.summarize.pgsum import PgSumOperator, PgSumQuery
+from repro.workloads.lifecycle import build_paper_example
+from repro.workloads.pd_generator import PdParams, generate_pd
+
+
+def _load_graph(path: str) -> ProvenanceGraph:
+    return ser.loads(Path(path).read_text())
+
+
+def _cmd_generate_pd(args: argparse.Namespace) -> int:
+    instance = generate_pd(PdParams(
+        n_vertices=args.n, seed=args.seed, sw=args.sw,
+        lam_in=args.lam_in, lam_out=args.lam_out, se=args.se,
+    ))
+    Path(args.out).write_text(ser.dumps(instance.graph))
+    src, dst = instance.default_query()
+    print(f"wrote {args.out}: {instance.graph!r}")
+    print(f"default query: src={src} dst={dst}")
+    return 0
+
+
+def _cmd_generate_example(args: argparse.Namespace) -> int:
+    example = build_paper_example()
+    Path(args.out).write_text(ser.dumps(example.graph))
+    print(f"wrote {args.out}: {example.graph!r}")
+    for name in ("dataset-v1", "weight-v2", "log-v3"):
+        print(f"  {name} -> id {example[name]}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    for key, value in graph.store.summary().items():
+        print(f"{key}: {value}")
+    catalog = VersionCatalog(graph)
+    multi = catalog.multi_version_artifacts()
+    print(f"artifacts: {len(catalog.artifact_names())} "
+          f"({len(multi)} with multiple versions)")
+    for artifact in multi[:args.limit]:
+        print(f"  {artifact.name}: {len(artifact.snapshots)} versions")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    report = validate(graph, check_temporal=not args.no_temporal)
+    print(report.summary())
+    for violation in report.violations[:args.limit]:
+        print(f"  [{violation.kind}] {violation.message}")
+    return 0 if report.ok else 1
+
+
+def _cmd_segment(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    query = PgSegQuery(
+        src=tuple(args.src), dst=tuple(args.dst),
+        algorithm=args.algorithm,
+    )
+    segment = PgSegOperator(graph).evaluate(query)
+    print(segment.describe())
+    if args.dot:
+        copy, _ = graph.copy_subgraph(segment.vertices)
+        Path(args.dot).write_text(ser.to_dot(copy))
+        print(f"wrote {args.dot}")
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    operator = PgSegOperator(graph)
+    segments = []
+    for dst in args.dst:
+        segments.append(operator.evaluate(PgSegQuery(
+            src=tuple(args.src), dst=(dst,), algorithm=args.algorithm,
+        )))
+    aggregation = PropertyAggregation.of(
+        entity=tuple(args.entity_keys), activity=tuple(args.activity_keys),
+    )
+    psg = PgSumOperator(segments).evaluate(PgSumQuery(
+        aggregation=aggregation, k=args.k,
+    ))
+    print(psg.describe())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.experiment not in ALL_EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; choose from "
+              f"{', '.join(sorted(ALL_EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    experiment = ALL_EXPERIMENTS[args.experiment](verbose=args.verbose)
+    print(ascii_table(experiment))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Provenance graph segmentation & summarization "
+                    "(Miao & Deshpande, ICDE 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate-pd", help="generate a synthetic Pd graph")
+    p.add_argument("--n", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--sw", type=float, default=1.2)
+    p.add_argument("--lam-in", type=float, default=2.0)
+    p.add_argument("--lam-out", type=float, default=2.0)
+    p.add_argument("--se", type=float, default=1.5)
+    p.add_argument("--out", default="pd.json")
+    p.set_defaults(func=_cmd_generate_pd)
+
+    p = sub.add_parser("generate-example", help="write the Fig. 2 graph")
+    p.add_argument("--out", default="example.json")
+    p.set_defaults(func=_cmd_generate_example)
+
+    p = sub.add_parser("info", help="summarize a PROV-JSON graph")
+    p.add_argument("graph")
+    p.add_argument("--limit", type=int, default=10)
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("validate", help="check PROV constraints")
+    p.add_argument("graph")
+    p.add_argument("--no-temporal", action="store_true")
+    p.add_argument("--limit", type=int, default=10)
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("segment", help="run a PgSeg query")
+    p.add_argument("graph")
+    p.add_argument("--src", type=int, nargs="+", required=True)
+    p.add_argument("--dst", type=int, nargs="+", required=True)
+    p.add_argument("--algorithm", default="simprov-tst",
+                   choices=["simprov-tst", "simprov-alg", "cflr"])
+    p.add_argument("--dot", help="also write the segment as Graphviz DOT")
+    p.set_defaults(func=_cmd_segment)
+
+    p = sub.add_parser("summarize", help="PgSum over per-dst segments")
+    p.add_argument("graph")
+    p.add_argument("--src", type=int, nargs="+", required=True)
+    p.add_argument("--dst", type=int, nargs="+", required=True)
+    p.add_argument("--algorithm", default="simprov-tst",
+                   choices=["simprov-tst", "simprov-alg", "cflr"])
+    p.add_argument("--entity-keys", nargs="*", default=["name"])
+    p.add_argument("--activity-keys", nargs="*", default=["command"])
+    p.add_argument("--k", type=int, default=0)
+    p.set_defaults(func=_cmd_summarize)
+
+    p = sub.add_parser("bench", help="run one experiment, print the table")
+    p.add_argument("experiment")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":      # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,135 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one base class. Sub-hierarchies mirror the package layout: store,
+model, query, CFL solvers, segmentation, and summarization each have their own
+family of errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+# ---------------------------------------------------------------------------
+# Store layer
+# ---------------------------------------------------------------------------
+
+
+class StoreError(ReproError):
+    """Base class for property-graph-store errors."""
+
+
+class VertexNotFound(StoreError):
+    """Raised when a vertex id does not exist in the store."""
+
+    def __init__(self, vertex_id: int):
+        super().__init__(f"vertex {vertex_id} not found")
+        self.vertex_id = vertex_id
+
+
+class EdgeNotFound(StoreError):
+    """Raised when an edge id does not exist in the store."""
+
+    def __init__(self, edge_id: int):
+        super().__init__(f"edge {edge_id} not found")
+        self.edge_id = edge_id
+
+
+class TransactionError(StoreError):
+    """Raised on invalid transaction usage (e.g. commit after rollback)."""
+
+
+class IndexError_(StoreError):
+    """Raised on invalid index usage (name kept distinct from builtin)."""
+
+
+# ---------------------------------------------------------------------------
+# Model layer
+# ---------------------------------------------------------------------------
+
+
+class ModelError(ReproError):
+    """Base class for provenance-model errors."""
+
+
+class InvalidEdge(ModelError):
+    """Raised when an edge violates the PROV typing rules (Definition 1)."""
+
+
+class CycleError(ModelError):
+    """Raised when an operation would make the provenance graph cyclic."""
+
+
+class ValidationError(ModelError):
+    """Raised by :mod:`repro.model.validation` when a constraint fails."""
+
+
+class SerializationError(ModelError):
+    """Raised on malformed serialized provenance documents."""
+
+
+# ---------------------------------------------------------------------------
+# Query layer
+# ---------------------------------------------------------------------------
+
+
+class QueryError(ReproError):
+    """Base class for query-layer errors."""
+
+
+class CypherSyntaxError(QueryError):
+    """Raised by the CypherLite lexer/parser on malformed query text."""
+
+    def __init__(self, message: str, position: int | None = None):
+        location = "" if position is None else f" at position {position}"
+        super().__init__(f"{message}{location}")
+        self.position = position
+
+
+class CypherEvaluationError(QueryError):
+    """Raised by the CypherLite evaluator on unsupported constructs."""
+
+
+class QueryTimeout(QueryError):
+    """Raised when an evaluation exceeds its time or work budget."""
+
+    def __init__(self, message: str = "query exceeded its budget"):
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
+# CFL reachability
+# ---------------------------------------------------------------------------
+
+
+class GrammarError(ReproError):
+    """Raised on malformed context-free grammars."""
+
+
+class SolverError(ReproError):
+    """Raised when a CFLR solver is asked for something it cannot do.
+
+    For example :class:`repro.cfl.simprov_tst.SimProvTst` rejects
+    property-constrained similarity because its equivalence-class trick
+    requires the pure label grammar.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Operators
+# ---------------------------------------------------------------------------
+
+
+class SegmentationError(ReproError):
+    """Raised on invalid PgSeg queries (e.g. non-entity sources)."""
+
+
+class SummarizationError(ReproError):
+    """Raised on invalid PgSum inputs (e.g. empty segment sets)."""
+
+
+class WorkloadError(ReproError):
+    """Raised on invalid workload-generator parameters."""

@@ -1,0 +1,34 @@
+"""Provenance data model: W3C PROV types, graph facade, builder, validation."""
+
+from repro.model.builder import ActivityContext, ProvBuilder
+from repro.model.graph import ProvenanceGraph
+from repro.model.types import (
+    ANCESTRY_EDGE_TYPES,
+    EDGE_TYPE_SIGNATURES,
+    PATHABLE_EDGE_TYPES,
+    EdgeType,
+    VertexType,
+    parse_edge_type,
+    parse_vertex_type,
+)
+from repro.model.validation import ValidationReport, Violation, require_valid, validate
+from repro.model.versioning import Artifact, VersionCatalog
+
+__all__ = [
+    "ANCESTRY_EDGE_TYPES",
+    "EDGE_TYPE_SIGNATURES",
+    "PATHABLE_EDGE_TYPES",
+    "ActivityContext",
+    "Artifact",
+    "EdgeType",
+    "ProvBuilder",
+    "ProvenanceGraph",
+    "ValidationReport",
+    "VersionCatalog",
+    "VertexType",
+    "Violation",
+    "parse_edge_type",
+    "parse_vertex_type",
+    "require_valid",
+    "validate",
+]

@@ -1,0 +1,214 @@
+"""Serialization for provenance graphs.
+
+Three formats:
+
+- **PROV-JSON-style documents** (:func:`to_prov_json` / :func:`from_prov_json`):
+  a dialect of the W3C PROV-JSON interchange format with the five core
+  relations, keyed by stable string ids. Round-trips vertex/edge types,
+  properties, and creation order.
+- **Edge lists** (:func:`to_edge_list`): compact text form for debugging and
+  diffing.
+- **DOT** (:func:`to_dot`): Graphviz rendering with the paper's visual
+  conventions (ellipse entities, rectangle activities, house-shaped agents).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.model.graph import ProvenanceGraph
+from repro.model.types import EdgeType, VertexType, parse_edge_type, parse_vertex_type
+
+_VERTEX_SECTION = {
+    VertexType.ENTITY: "entity",
+    VertexType.ACTIVITY: "activity",
+    VertexType.AGENT: "agent",
+}
+
+_EDGE_SECTION = {
+    EdgeType.USED: "used",
+    EdgeType.WAS_GENERATED_BY: "wasGeneratedBy",
+    EdgeType.WAS_ASSOCIATED_WITH: "wasAssociatedWith",
+    EdgeType.WAS_ATTRIBUTED_TO: "wasAttributedTo",
+    EdgeType.WAS_DERIVED_FROM: "wasDerivedFrom",
+}
+
+#: PROV-JSON argument names per relation: (source role, target role).
+_EDGE_ROLES = {
+    EdgeType.USED: ("prov:activity", "prov:entity"),
+    EdgeType.WAS_GENERATED_BY: ("prov:entity", "prov:activity"),
+    EdgeType.WAS_ASSOCIATED_WITH: ("prov:activity", "prov:agent"),
+    EdgeType.WAS_ATTRIBUTED_TO: ("prov:entity", "prov:agent"),
+    EdgeType.WAS_DERIVED_FROM: ("prov:generatedEntity", "prov:usedEntity"),
+}
+
+
+def _vertex_key(vertex_id: int) -> str:
+    return f"v{vertex_id}"
+
+
+def to_prov_json(graph: ProvenanceGraph) -> dict[str, Any]:
+    """Serialize to a PROV-JSON-style document (a plain dict)."""
+    document: dict[str, Any] = {section: {} for section in _VERTEX_SECTION.values()}
+    for section in _EDGE_SECTION.values():
+        document[section] = {}
+    for record in graph.store.vertices():
+        section = _VERTEX_SECTION[record.vertex_type]
+        body = dict(record.properties)
+        body["repro:order"] = record.order
+        document[section][_vertex_key(record.vertex_id)] = body
+    for record in graph.store.edges():
+        section = _EDGE_SECTION[record.edge_type]
+        src_role, dst_role = _EDGE_ROLES[record.edge_type]
+        body: dict[str, Any] = {
+            src_role: _vertex_key(record.src),
+            dst_role: _vertex_key(record.dst),
+        }
+        for key, value in record.properties.items():
+            body[key] = value
+        document[section][f"e{record.edge_id}"] = body
+    return document
+
+
+def dumps(graph: ProvenanceGraph, indent: int | None = 2) -> str:
+    """Serialize to a PROV-JSON string."""
+    return json.dumps(to_prov_json(graph), indent=indent, sort_keys=True)
+
+
+def from_prov_json(document: dict[str, Any]) -> ProvenanceGraph:
+    """Deserialize a document produced by :func:`to_prov_json`.
+
+    Vertices are re-created in ascending ``repro:order`` so creation ordinals
+    (and therefore the early-stopping behaviour of the solvers) survive the
+    round trip.
+
+    Raises:
+        SerializationError: on malformed documents.
+    """
+    graph = ProvenanceGraph()
+    pending: list[tuple[int, VertexType, str, dict[str, Any]]] = []
+    for section, vertex_type in (
+        ("entity", VertexType.ENTITY),
+        ("activity", VertexType.ACTIVITY),
+        ("agent", VertexType.AGENT),
+    ):
+        for key, body in document.get(section, {}).items():
+            if not isinstance(body, dict):
+                raise SerializationError(f"{section}.{key} is not an object")
+            properties = {k: v for k, v in body.items() if k != "repro:order"}
+            order = body.get("repro:order", 0)
+            pending.append((order, vertex_type, key, properties))
+    pending.sort(key=lambda item: (item[0], item[2]))
+
+    key_to_id: dict[str, int] = {}
+    for _order, vertex_type, key, properties in pending:
+        key_to_id[key] = graph.store.add_vertex(vertex_type, properties)
+
+    for section, edge_type in (
+        ("used", EdgeType.USED),
+        ("wasGeneratedBy", EdgeType.WAS_GENERATED_BY),
+        ("wasAssociatedWith", EdgeType.WAS_ASSOCIATED_WITH),
+        ("wasAttributedTo", EdgeType.WAS_ATTRIBUTED_TO),
+        ("wasDerivedFrom", EdgeType.WAS_DERIVED_FROM),
+    ):
+        src_role, dst_role = _EDGE_ROLES[edge_type]
+        for key, body in document.get(section, {}).items():
+            if not isinstance(body, dict):
+                raise SerializationError(f"{section}.{key} is not an object")
+            try:
+                src = key_to_id[body[src_role]]
+                dst = key_to_id[body[dst_role]]
+            except KeyError as exc:
+                raise SerializationError(
+                    f"{section}.{key} references unknown vertex {exc}"
+                ) from exc
+            properties = {
+                k: v for k, v in body.items() if k not in (src_role, dst_role)
+            }
+            graph.store.add_edge(edge_type, src, dst, properties)
+    return graph
+
+
+def loads(text: str) -> ProvenanceGraph:
+    """Deserialize a PROV-JSON string."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise SerializationError("top-level JSON value must be an object")
+    return from_prov_json(document)
+
+
+def to_edge_list(graph: ProvenanceGraph) -> str:
+    """Compact text form: one ``src -TYPE-> dst`` line per edge."""
+    lines = []
+    for record in graph.store.vertices():
+        lines.append(
+            f"# {record.vertex_id} [{record.label}] {record.display_name()}"
+        )
+    for record in graph.store.edges():
+        lines.append(f"{record.src} -{record.label}-> {record.dst}")
+    return "\n".join(lines) + "\n"
+
+
+_DOT_SHAPES = {
+    VertexType.ENTITY: "ellipse",
+    VertexType.ACTIVITY: "box",
+    VertexType.AGENT: "house",
+}
+
+
+def to_dot(graph: ProvenanceGraph, name: str = "prov") -> str:
+    """Graphviz DOT rendering with the paper's figure conventions."""
+    lines = [f"digraph {name} {{", "  rankdir=RL;"]
+    for record in graph.store.vertices():
+        shape = _DOT_SHAPES[record.vertex_type]
+        label = record.display_name().replace('"', r"\"")
+        lines.append(
+            f'  n{record.vertex_id} [shape={shape}, label="{label}"];'
+        )
+    for record in graph.store.edges():
+        lines.append(
+            f'  n{record.src} -> n{record.dst} [label="{record.label}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_edge_list(text: str) -> ProvenanceGraph:
+    """Parse the output of :func:`to_edge_list` back into a graph.
+
+    Vertex comment lines declare ids and types; edges must reference declared
+    vertices. Used by tests and quick fixtures.
+    """
+    graph = ProvenanceGraph()
+    id_map: dict[int, int] = {}
+    edge_lines: list[tuple[int, str, int]] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line[1:].split()
+            if len(parts) < 2 or not parts[1].startswith("["):
+                raise SerializationError(f"bad vertex line: {raw!r}")
+            old_id = int(parts[0])
+            vertex_type = parse_vertex_type(parts[1].strip("[]"))
+            name = " ".join(parts[2:]) if len(parts) > 2 else None
+            properties = {"name": name} if name else {}
+            id_map[old_id] = graph.store.add_vertex(vertex_type, properties)
+            continue
+        try:
+            src_text, arrow, dst_text = line.split()
+            label = arrow.strip("->").strip("-")
+            edge_lines.append((int(src_text), label, int(dst_text)))
+        except ValueError as exc:
+            raise SerializationError(f"bad edge line: {raw!r}") from exc
+    for src, label, dst in edge_lines:
+        if src not in id_map or dst not in id_map:
+            raise SerializationError(f"edge references undeclared vertex: {src}->{dst}")
+        graph.store.add_edge(parse_edge_type(label), id_map[src], id_map[dst])
+    return graph

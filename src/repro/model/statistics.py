@@ -1,0 +1,139 @@
+"""Descriptive statistics for provenance graphs.
+
+Used by EXPERIMENTS.md generation and the CLI ``info`` command to
+characterize datasets the way the paper's Sec. V describes the Pd/Sd
+instances (vertex mix, degree distributions, ancestry depth, artifact
+version profile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.graph import ProvenanceGraph
+from repro.model.types import ANCESTRY_EDGE_TYPES, EdgeType, VertexType
+from repro.model.versioning import VersionCatalog
+
+
+@dataclass(slots=True)
+class DegreeSummary:
+    """Min/mean/max of a degree distribution."""
+
+    minimum: int = 0
+    mean: float = 0.0
+    maximum: int = 0
+
+    @classmethod
+    def of(cls, values: list[int]) -> "DegreeSummary":
+        if not values:
+            return cls()
+        return cls(min(values), sum(values) / len(values), max(values))
+
+
+@dataclass(slots=True)
+class GraphStatistics:
+    """A provenance graph's shape at a glance."""
+
+    vertices: int = 0
+    edges: int = 0
+    entities: int = 0
+    activities: int = 0
+    agents: int = 0
+    edge_counts: dict[str, int] = field(default_factory=dict)
+    activity_in: DegreeSummary = field(default_factory=DegreeSummary)
+    activity_out: DegreeSummary = field(default_factory=DegreeSummary)
+    entity_fanout: DegreeSummary = field(default_factory=DegreeSummary)
+    max_ancestry_depth: int = 0
+    artifacts: int = 0
+    max_versions: int = 0
+    initial_entities: int = 0
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering."""
+        lines = [
+            f"vertices: {self.vertices} (E={self.entities}, "
+            f"A={self.activities}, U={self.agents}); edges: {self.edges}",
+            "edge mix: " + ", ".join(
+                f"{label}={count}" for label, count in self.edge_counts.items()
+            ),
+            f"activity inputs: min={self.activity_in.minimum} "
+            f"mean={self.activity_in.mean:.2f} max={self.activity_in.maximum}",
+            f"activity outputs: min={self.activity_out.minimum} "
+            f"mean={self.activity_out.mean:.2f} max={self.activity_out.maximum}",
+            f"entity fan-out (uses): max={self.entity_fanout.maximum} "
+            f"mean={self.entity_fanout.mean:.2f}",
+            f"max ancestry depth: {self.max_ancestry_depth} activities",
+            f"artifacts: {self.artifacts} (deepest version chain: "
+            f"{self.max_versions}); initial entities: {self.initial_entities}",
+        ]
+        return "\n".join(lines)
+
+
+def compute_statistics(graph: ProvenanceGraph) -> GraphStatistics:
+    """Compute the full statistics bundle for one graph."""
+    store = graph.store
+    stats = GraphStatistics(
+        vertices=store.vertex_count,
+        edges=store.edge_count,
+        entities=store.count_vertices(VertexType.ENTITY),
+        activities=store.count_vertices(VertexType.ACTIVITY),
+        agents=store.count_vertices(VertexType.AGENT),
+        edge_counts={
+            et.label: store.count_edges(et) for et in EdgeType
+            if store.count_edges(et)
+        },
+    )
+
+    activity_in: list[int] = []
+    activity_out: list[int] = []
+    for activity in graph.activities():
+        activity_in.append(store.out_degree(activity, EdgeType.USED))
+        activity_out.append(store.in_degree(activity, EdgeType.WAS_GENERATED_BY))
+    stats.activity_in = DegreeSummary.of(activity_in)
+    stats.activity_out = DegreeSummary.of(activity_out)
+
+    fanout: list[int] = []
+    initial = 0
+    for entity in graph.entities():
+        fanout.append(store.in_degree(entity, EdgeType.USED))
+        if store.out_degree(entity, EdgeType.WAS_GENERATED_BY) == 0:
+            initial += 1
+    stats.entity_fanout = DegreeSummary.of(fanout)
+    stats.initial_entities = initial
+
+    stats.max_ancestry_depth = _max_ancestry_depth(graph)
+
+    catalog = VersionCatalog(graph)
+    chains = [len(a.snapshots) for a in catalog.artifacts()]
+    stats.artifacts = len(chains)
+    stats.max_versions = max(chains, default=0)
+    return stats
+
+
+def _max_ancestry_depth(graph: ProvenanceGraph) -> int:
+    """Longest ancestry chain, counted in activities (DP over the DAG)."""
+    store = graph.store
+    order: list[int] = []
+    seen: set[int] = set()
+    # Ancestry edges point old-ward; process vertices oldest-first so each
+    # vertex's depth is final when read. Creation order is a topological
+    # order for valid graphs (ancestors are older).
+    vertices = sorted(store.vertex_ids(), key=store.order_of)
+    depth: dict[int, int] = {}
+    best = 0
+    for vertex_id in vertices:
+        vertex_type = store.vertex_type(vertex_id)
+        if vertex_type is VertexType.AGENT:
+            continue
+        incoming = 0
+        for edge_type in ANCESTRY_EDGE_TYPES:
+            for older in store.out_neighbors(vertex_id, edge_type):
+                gained = depth.get(older, 0)
+                if vertex_type is VertexType.ACTIVITY:
+                    gained += 1     # count activities on the chain
+                incoming = max(incoming, gained)
+        depth[vertex_id] = incoming
+        best = max(best, incoming)
+        seen.add(vertex_id)
+        order.append(vertex_id)
+    return best

@@ -1,0 +1,136 @@
+"""Core W3C PROV type vocabulary (Definition 1 of the paper).
+
+The provenance graph has three vertex types and five edge types:
+
+- Vertices: Entities (``E``), Activities (``A``), Agents (``U`` in the paper's
+  notation; we spell the enum member ``AGENT`` to avoid clashing with the
+  ``used`` edge label, which the paper also writes ``U``).
+- Edges: ``used`` (A -> E), ``wasGeneratedBy`` (E -> A), ``wasAssociatedWith``
+  (A -> Agent), ``wasAttributedTo`` (E -> Agent), ``wasDerivedFrom`` (E -> E).
+
+The module also defines the label alphabet used by path expressions and the
+context-free grammar of Sec. III: one symbol per vertex type, one per edge
+type, and inverse labels ``U^-1`` / ``G^-1`` for the two ancestry edge types.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Final
+
+
+class VertexType(enum.Enum):
+    """The three W3C PROV vertex types (Fig. 2(b))."""
+
+    ENTITY = "E"
+    ACTIVITY = "A"
+    AGENT = "U"
+
+    @property
+    def label(self) -> str:
+        """Single-character label used in path words (``E``/``A``/``U``)."""
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VertexType.{self.name}"
+
+
+class EdgeType(enum.Enum):
+    """The five core W3C PROV edge types (Fig. 2(b)).
+
+    The ``value`` is the single-character label the paper uses in path words:
+    ``U`` (used), ``G`` (wasGeneratedBy), ``S`` (wasAssociatedWith),
+    ``A`` (wasAttributedTo), ``D`` (wasDerivedFrom).
+    """
+
+    USED = "U"
+    WAS_GENERATED_BY = "G"
+    WAS_ASSOCIATED_WITH = "S"
+    WAS_ATTRIBUTED_TO = "A"
+    WAS_DERIVED_FROM = "D"
+
+    @property
+    def label(self) -> str:
+        """Single-character label used in path words."""
+        return self.value
+
+    @property
+    def inverse_label(self) -> str:
+        """Label of the virtual inverse edge, e.g. ``U^-1``."""
+        return f"{self.value}^-1"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EdgeType.{self.name}"
+
+
+#: Edge types considered *ancestry* edges: the heart of provenance, used by
+#: direct-path induction and by the SimProv grammar (Sec. III.A.2).
+ANCESTRY_EDGE_TYPES: Final[frozenset[EdgeType]] = frozenset(
+    {EdgeType.USED, EdgeType.WAS_GENERATED_BY}
+)
+
+#: Valid (source vertex type, target vertex type) pairs per edge type
+#: (Definition 1: U ⊆ A×E, G ⊆ E×A, S ⊆ A×U, A ⊆ E×U, D ⊆ E×E).
+EDGE_TYPE_SIGNATURES: Final[dict[EdgeType, tuple[VertexType, VertexType]]] = {
+    EdgeType.USED: (VertexType.ACTIVITY, VertexType.ENTITY),
+    EdgeType.WAS_GENERATED_BY: (VertexType.ENTITY, VertexType.ACTIVITY),
+    EdgeType.WAS_ASSOCIATED_WITH: (VertexType.ACTIVITY, VertexType.AGENT),
+    EdgeType.WAS_ATTRIBUTED_TO: (VertexType.ENTITY, VertexType.AGENT),
+    EdgeType.WAS_DERIVED_FROM: (VertexType.ENTITY, VertexType.ENTITY),
+}
+
+#: Edge types that may lie on a *directed ancestry path* between two entities.
+#: ``wasAssociatedWith``/``wasAttributedTo`` terminate at agents and therefore
+#: never continue a path toward a source entity.
+PATHABLE_EDGE_TYPES: Final[frozenset[EdgeType]] = frozenset(
+    {EdgeType.USED, EdgeType.WAS_GENERATED_BY, EdgeType.WAS_DERIVED_FROM}
+)
+
+
+def parse_vertex_type(text: str) -> VertexType:
+    """Parse a vertex type from its label or name (case-insensitive).
+
+    Accepts ``"E"``/``"A"``/``"U"`` as well as ``"entity"``/``"activity"``/
+    ``"agent"``.
+    """
+    normalized = text.strip()
+    for vt in VertexType:
+        if normalized == vt.value or normalized.upper() == vt.name:
+            return vt
+    lowered = normalized.lower()
+    by_word = {"entity": VertexType.ENTITY,
+               "activity": VertexType.ACTIVITY,
+               "agent": VertexType.AGENT}
+    if lowered in by_word:
+        return by_word[lowered]
+    raise ValueError(f"unknown vertex type: {text!r}")
+
+
+_EDGE_WORDS: Final[dict[str, EdgeType]] = {
+    "used": EdgeType.USED,
+    "wasgeneratedby": EdgeType.WAS_GENERATED_BY,
+    "wasassociatedwith": EdgeType.WAS_ASSOCIATED_WITH,
+    "wasattributedto": EdgeType.WAS_ATTRIBUTED_TO,
+    "wasderivedfrom": EdgeType.WAS_DERIVED_FROM,
+}
+
+
+def parse_edge_type(text: str) -> EdgeType:
+    """Parse an edge type from its label (``U``/``G``/``S``/``A``/``D``)
+    or its PROV relation name (``used``, ``wasGeneratedBy``, ...)."""
+    normalized = text.strip()
+    for et in EdgeType:
+        if normalized == et.value:
+            return et
+    lowered = normalized.lower()
+    if lowered in _EDGE_WORDS:
+        return _EDGE_WORDS[lowered]
+    raise ValueError(f"unknown edge type: {text!r}")
+
+
+def edge_signature_ok(edge_type: EdgeType,
+                      src_type: VertexType,
+                      dst_type: VertexType) -> bool:
+    """Return True if ``src_type -> dst_type`` is legal for ``edge_type``."""
+    expected_src, expected_dst = EDGE_TYPE_SIGNATURES[edge_type]
+    return src_type is expected_src and dst_type is expected_dst

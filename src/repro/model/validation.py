@@ -1,0 +1,173 @@
+"""PROV constraint validation (paper Appendix C, PROV-CONSTRAINTS [34]).
+
+A provenance graph is *valid* when:
+
+1. every edge respects the type signature of Definition 1 (the store enforces
+   this at insert time when signature checking is on; the validator re-checks
+   so graphs assembled by other means can be audited);
+2. the graph restricted to ancestry/derivation edges (``used``,
+   ``wasGeneratedBy``, ``wasDerivedFrom``) is a DAG;
+3. temporal sanity holds: an entity's creation ordinal is not earlier than
+   its generating activity's, and an activity's is not earlier than any
+   entity it used (generation-before-use along the timeline).
+
+``validate`` returns a :class:`ValidationReport` listing every violation;
+``require_valid`` raises on the first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.model.graph import ProvenanceGraph
+from repro.model.types import (
+    EDGE_TYPE_SIGNATURES,
+    EdgeType,
+    PATHABLE_EDGE_TYPES,
+)
+
+
+@dataclass(slots=True)
+class Violation:
+    """One constraint violation.
+
+    Attributes:
+        kind: machine-readable violation class (``signature``, ``cycle``,
+            ``temporal``).
+        message: human-readable description.
+        subject: offending vertex/edge id, when meaningful.
+    """
+
+    kind: str
+    message: str
+    subject: int | None = None
+
+
+@dataclass(slots=True)
+class ValidationReport:
+    """Result of validating one graph."""
+
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violations were found."""
+        return not self.violations
+
+    def by_kind(self, kind: str) -> list[Violation]:
+        """Violations of one class."""
+        return [v for v in self.violations if v.kind == kind]
+
+    def summary(self) -> str:
+        """Single-line description, handy for logs and error messages."""
+        if self.ok:
+            return "valid"
+        kinds: dict[str, int] = {}
+        for violation in self.violations:
+            kinds[violation.kind] = kinds.get(violation.kind, 0) + 1
+        parts = ", ".join(f"{kind}={count}" for kind, count in sorted(kinds.items()))
+        return f"{len(self.violations)} violation(s): {parts}"
+
+
+def _check_signatures(graph: ProvenanceGraph, report: ValidationReport) -> None:
+    for record in graph.store.edges():
+        expected_src, expected_dst = EDGE_TYPE_SIGNATURES[record.edge_type]
+        src_type = graph.store.vertex_type(record.src)
+        dst_type = graph.store.vertex_type(record.dst)
+        if src_type is not expected_src or dst_type is not expected_dst:
+            report.violations.append(Violation(
+                kind="signature",
+                message=(
+                    f"edge {record.edge_id} ({record.edge_type.name}) connects "
+                    f"{src_type.name} -> {dst_type.name}, expected "
+                    f"{expected_src.name} -> {expected_dst.name}"
+                ),
+                subject=record.edge_id,
+            ))
+
+
+def _check_acyclic(graph: ProvenanceGraph, report: ValidationReport) -> None:
+    """Iterative three-color DFS over ancestry/derivation edges."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[int, int] = {}
+    store = graph.store
+    for root in store.vertex_ids():
+        if color.get(root, WHITE) != WHITE:
+            continue
+        stack: list[tuple[int, list[int] | None]] = [(root, None)]
+        while stack:
+            vertex, pending = stack[-1]
+            if pending is None:
+                color[vertex] = GRAY
+                pending = []
+                for edge_type in PATHABLE_EDGE_TYPES:
+                    pending.extend(store.out_neighbors(vertex, edge_type))
+                stack[-1] = (vertex, pending)
+            if pending:
+                nxt = pending.pop()
+                state = color.get(nxt, WHITE)
+                if state == GRAY:
+                    report.violations.append(Violation(
+                        kind="cycle",
+                        message=f"ancestry cycle through vertex {nxt}",
+                        subject=nxt,
+                    ))
+                elif state == WHITE:
+                    stack.append((nxt, None))
+            else:
+                color[vertex] = BLACK
+                stack.pop()
+
+
+def _check_temporal(graph: ProvenanceGraph, report: ValidationReport) -> None:
+    store = graph.store
+    for record in store.edges(EdgeType.WAS_GENERATED_BY):
+        entity_order = store.order_of(record.src)
+        activity_order = store.order_of(record.dst)
+        if entity_order < activity_order:
+            report.violations.append(Violation(
+                kind="temporal",
+                message=(
+                    f"entity {record.src} (order {entity_order}) precedes its "
+                    f"generating activity {record.dst} (order {activity_order})"
+                ),
+                subject=record.src,
+            ))
+    for record in store.edges(EdgeType.USED):
+        activity_order = store.order_of(record.src)
+        entity_order = store.order_of(record.dst)
+        if activity_order < entity_order:
+            report.violations.append(Violation(
+                kind="temporal",
+                message=(
+                    f"activity {record.src} (order {activity_order}) used "
+                    f"entity {record.dst} (order {entity_order}) from its future"
+                ),
+                subject=record.src,
+            ))
+
+
+def validate(graph: ProvenanceGraph,
+             check_temporal: bool = True) -> ValidationReport:
+    """Validate a provenance graph; never raises.
+
+    Args:
+        graph: the graph to audit.
+        check_temporal: temporal sanity relies on creation ordinals matching
+            ingestion order; disable for graphs imported out of order.
+    """
+    report = ValidationReport()
+    _check_signatures(graph, report)
+    _check_acyclic(graph, report)
+    if check_temporal:
+        _check_temporal(graph, report)
+    return report
+
+
+def require_valid(graph: ProvenanceGraph, check_temporal: bool = True) -> None:
+    """Validate and raise :class:`ValidationError` if anything is wrong."""
+    report = validate(graph, check_temporal=check_temporal)
+    if not report.ok:
+        first = report.violations[0]
+        raise ValidationError(f"{report.summary()}; first: {first.message}")

@@ -1,0 +1,154 @@
+"""Artifact/version reasoning over ``wasDerivedFrom`` chains.
+
+The paper's requirement R1: queries must address both the *snapshot* aspect
+("accuracy of this version of the model") and the *artifact* aspect ("common
+updates for solver before train"). This module recovers artifact structure
+from the graph itself: connected chains of ``wasDerivedFrom`` edges between
+entities sharing a name are version chains of one artifact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.model.graph import ProvenanceGraph
+from repro.model.types import EdgeType
+
+
+@dataclass(slots=True)
+class Artifact:
+    """One artifact: an ordered chain of snapshot entities.
+
+    Attributes:
+        name: artifact name (the shared ``name`` property, or a synthesized
+            ``anonymous-<id>`` for unnamed chains).
+        snapshots: entity ids, oldest first.
+    """
+
+    name: str
+    snapshots: list[int] = field(default_factory=list)
+
+    @property
+    def latest(self) -> int:
+        """The newest snapshot id."""
+        return self.snapshots[-1]
+
+    @property
+    def first(self) -> int:
+        """The oldest snapshot id."""
+        return self.snapshots[0]
+
+    def version_index(self, entity_id: int) -> int:
+        """1-based version number of a snapshot within this artifact.
+
+        Raises:
+            ValueError: if the entity is not a snapshot of this artifact.
+        """
+        try:
+            return self.snapshots.index(entity_id) + 1
+        except ValueError:
+            raise ValueError(
+                f"entity {entity_id} is not a snapshot of artifact {self.name!r}"
+            ) from None
+
+
+class VersionCatalog:
+    """Derives artifacts and version chains from a provenance graph.
+
+    Two entities belong to the same artifact when they are connected by
+    ``wasDerivedFrom`` edges *and* share the same ``name`` property (absent
+    names compare equal to absent names). Version order follows creation
+    ordinals.
+    """
+
+    def __init__(self, graph: ProvenanceGraph):
+        self._graph = graph
+        self._artifacts: dict[str, Artifact] = {}
+        self._entity_to_artifact: dict[int, str] = {}
+        self._build()
+
+    def _build(self) -> None:
+        store = self._graph.store
+        # Union entities linked by D edges with matching names.
+        parent: dict[int, int] = {}
+
+        def find(x: int) -> int:
+            while parent.get(x, x) != x:
+                parent[x] = parent.get(parent[x], parent[x])
+                x = parent[x]
+            return x
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        entity_ids = list(self._graph.entities())
+        for entity_id in entity_ids:
+            parent.setdefault(entity_id, entity_id)
+        for record in store.edges(EdgeType.WAS_DERIVED_FROM):
+            src_name = store.vertex(record.src).get("name")
+            dst_name = store.vertex(record.dst).get("name")
+            if src_name == dst_name:
+                union(record.src, record.dst)
+
+        groups: dict[int, list[int]] = {}
+        for entity_id in entity_ids:
+            groups.setdefault(find(entity_id), []).append(entity_id)
+
+        for members in groups.values():
+            members.sort(key=store.order_of)
+            name = store.vertex(members[0]).get("name")
+            key = name if name is not None else f"anonymous-{members[0]}"
+            # A repeated name across disconnected chains gets a suffix, so
+            # the catalog never silently merges distinct artifacts.
+            unique_key = key
+            counter = 2
+            while unique_key in self._artifacts:
+                unique_key = f"{key}#{counter}"
+                counter += 1
+            artifact = Artifact(name=unique_key, snapshots=members)
+            self._artifacts[unique_key] = artifact
+            for entity_id in members:
+                self._entity_to_artifact[entity_id] = unique_key
+
+    # ------------------------------------------------------------------
+
+    def artifacts(self) -> Iterator[Artifact]:
+        """Yield all artifacts."""
+        yield from self._artifacts.values()
+
+    def artifact_names(self) -> list[str]:
+        """All artifact names."""
+        return list(self._artifacts)
+
+    def artifact(self, name: str) -> Artifact:
+        """Artifact by name.
+
+        Raises:
+            KeyError: if unknown.
+        """
+        return self._artifacts[name]
+
+    def artifact_of(self, entity_id: int) -> Artifact:
+        """The artifact that a snapshot entity belongs to.
+
+        Raises:
+            KeyError: if the entity is not an entity of this graph.
+        """
+        return self._artifacts[self._entity_to_artifact[entity_id]]
+
+    def version_of(self, entity_id: int) -> int:
+        """1-based version number of a snapshot within its artifact."""
+        return self.artifact_of(entity_id).version_index(entity_id)
+
+    def lineage(self, entity_id: int) -> list[int]:
+        """Snapshots of the same artifact up to and including ``entity_id``."""
+        artifact = self.artifact_of(entity_id)
+        cut = artifact.snapshots.index(entity_id) + 1
+        return artifact.snapshots[:cut]
+
+    def multi_version_artifacts(self) -> list[Artifact]:
+        """Artifacts with more than one snapshot."""
+        return [a for a in self._artifacts.values() if len(a.snapshots) > 1]

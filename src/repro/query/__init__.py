@@ -1,0 +1,25 @@
+"""Query layer: paths, path labels, provenance ops, and CypherLite."""
+
+from repro.query.ops import (
+    Lineage,
+    blame,
+    common_ancestors,
+    derivation_chain,
+    entity_timeline,
+    impacted,
+    lineage,
+)
+from repro.query.paths import Path, Step, simple_label_word
+
+__all__ = [
+    "Lineage",
+    "Path",
+    "Step",
+    "blame",
+    "common_ancestors",
+    "derivation_chain",
+    "entity_timeline",
+    "impacted",
+    "lineage",
+    "simple_label_word",
+]

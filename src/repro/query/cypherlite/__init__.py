@@ -1,0 +1,16 @@
+"""CypherLite: a small declarative path-query engine.
+
+This is the library's stand-in for the hand-written Cypher baseline of the
+paper (Query 1, Sec. III.B.2). The supported fragment covers MATCH patterns
+with path variables and variable-length typed relationships, WHERE with id
+seeds / list membership / label-sequence comparison via ``extract``, WITH,
+and RETURN. Evaluation enumerates paths and joins — deliberately exponential,
+matching Neo4j's plan for path-variable queries.
+"""
+
+from repro.query.cypherlite.ast_nodes import Query
+from repro.query.cypherlite.evaluator import Budget, Evaluator, run_query
+from repro.query.cypherlite.lexer import tokenize
+from repro.query.cypherlite.parser import parse
+
+__all__ = ["Budget", "Evaluator", "Query", "parse", "run_query", "tokenize"]

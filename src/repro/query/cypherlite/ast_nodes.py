@@ -1,0 +1,182 @@
+"""Abstract syntax tree for CypherLite queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclass(frozen=True, slots=True)
+class Literal(Expr):
+    """A constant (int or string)."""
+
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class ListLiteral(Expr):
+    """A bracketed list of expressions."""
+
+    items: tuple[Expr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Expr):
+    """A variable reference."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Property(Expr):
+    """Property access ``base.key`` on a vertex or edge value."""
+
+    base: Expr
+    key: str
+
+
+@dataclass(frozen=True, slots=True)
+class Index(Expr):
+    """Subscript ``base[index]`` on a list value."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class FuncCall(Expr):
+    """Builtin function application, e.g. ``id(x)``, ``nodes(p)``."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Extract(Expr):
+    """List comprehension ``extract(x IN source | projection)``."""
+
+    var: str
+    source: Expr
+    projection: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Cmp(Expr):
+    """Binary comparison: ``=``, ``<>``, ``IN``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class And(Expr):
+    """Logical conjunction."""
+
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Expr):
+    """Logical disjunction."""
+
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Expr):
+    """Logical negation."""
+
+    operand: Expr
+
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class NodePattern:
+    """``(var:Label)`` — label optional; var may be auto-generated."""
+
+    var: str
+    label: str | None
+
+
+@dataclass(frozen=True, slots=True)
+class RelPattern:
+    """A relationship pattern between two nodes.
+
+    Attributes:
+        types: allowed relationship type labels (empty = any).
+        direction: ``"right"`` for ``-[..]->``, ``"left"`` for ``<-[..]-``.
+        min_len / max_len: hop bounds. A plain relationship is (1, 1);
+            ``*`` is (1, None); ``*2..5`` is (2, 5).
+    """
+
+    types: tuple[str, ...]
+    direction: str
+    min_len: int = 1
+    max_len: int | None = 1
+
+    @property
+    def variable_length(self) -> bool:
+        """True when the pattern can match more than one hop."""
+        return not (self.min_len == 1 and self.max_len == 1)
+
+
+@dataclass(frozen=True, slots=True)
+class PathPattern:
+    """``p = (a)-[...]-(b)-[...]-(c)``: alternating node/rel patterns."""
+
+    path_var: str | None
+    nodes: tuple[NodePattern, ...]
+    rels: tuple[RelPattern, ...]
+
+
+# ---------------------------------------------------------------------------
+# Clauses and query
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class MatchClause:
+    """``MATCH pattern [WHERE expr]``."""
+
+    pattern: PathPattern
+    where: Expr | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class WithClause:
+    """``WITH item [, item ...]`` — projection of current bindings."""
+
+    items: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ReturnItem:
+    """One RETURN projection, optionally aliased."""
+
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """A parsed CypherLite query."""
+
+    clauses: tuple[Any, ...] = field(default_factory=tuple)
+    return_items: tuple[ReturnItem, ...] = field(default_factory=tuple)
+    limit: int | None = None

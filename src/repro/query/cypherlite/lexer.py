@@ -1,0 +1,102 @@
+"""Lexer for CypherLite (the MATCH-path fragment used by the paper's Query 1)."""
+
+from __future__ import annotations
+
+from repro.errors import CypherSyntaxError
+from repro.query.cypherlite.tokens import KEYWORDS, Token, TokenType
+
+_SINGLE_CHAR = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ":": TokenType.COLON,
+    ",": TokenType.COMMA,
+    "|": TokenType.PIPE,
+    "*": TokenType.STAR,
+    "=": TokenType.EQ,
+}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convert query text into a token list ending with EOF.
+
+    Raises:
+        CypherSyntaxError: on unexpected characters or unterminated strings.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "/" and text[i:i + 2] == "//":       # line comment
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch in _SINGLE_CHAR:
+            tokens.append(Token(_SINGLE_CHAR[ch], ch, i))
+            i += 1
+            continue
+        if ch == "<":
+            if text[i:i + 2] == "<-":
+                tokens.append(Token(TokenType.LEFT_ARROW, "<-", i))
+                i += 2
+                continue
+            if text[i:i + 2] == "<>":
+                tokens.append(Token(TokenType.NEQ, "<>", i))
+                i += 2
+                continue
+            raise CypherSyntaxError("unexpected '<'", i)
+        if ch == "-":
+            if text[i:i + 2] == "->":
+                tokens.append(Token(TokenType.RIGHT_ARROW, "->", i))
+                i += 2
+                continue
+            tokens.append(Token(TokenType.DASH, "-", i))
+            i += 1
+            continue
+        if ch == ".":
+            if text[i:i + 2] == "..":
+                tokens.append(Token(TokenType.DOTDOT, "..", i))
+                i += 2
+                continue
+            tokens.append(Token(TokenType.DOT, ".", i))
+            i += 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and text[i].isdigit():
+                i += 1
+            tokens.append(Token(TokenType.INTEGER, int(text[start:i]), start))
+            continue
+        if ch in ("'", '"'):
+            quote = ch
+            start = i
+            i += 1
+            chars: list[str] = []
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    i += 1
+                chars.append(text[i])
+                i += 1
+            if i >= n:
+                raise CypherSyntaxError("unterminated string literal", start)
+            i += 1
+            tokens.append(Token(TokenType.STRING, "".join(chars), start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word.upper(), start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        raise CypherSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, None, n))
+    return tokens

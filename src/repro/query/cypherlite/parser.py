@@ -1,0 +1,318 @@
+"""Recursive-descent parser for CypherLite.
+
+Grammar (the fragment needed for the paper's Query 1 and variations):
+
+    query        := clause+ RETURN return_items (LIMIT INTEGER)?
+    clause       := MATCH path_pattern (WHERE expr)? | WITH ident_list
+    path_pattern := (IDENT '=')? node (rel node)*
+    node         := '(' IDENT (':' IDENT)? ')'
+    rel          := '<-' '[' rel_body ']' '-' | '-' '[' rel_body ']' '->'
+    rel_body     := (':' IDENT ('|' IDENT)*)? ('*' (INT ('..' INT)?)?)?
+    expr         := or_expr
+    or_expr      := and_expr (OR and_expr)*
+    and_expr     := not_expr (AND not_expr)*
+    not_expr     := NOT not_expr | comparison
+    comparison   := primary (('=' | '<>' | IN) primary)?
+    primary      := literal | list | extract | func_call | var | '(' expr ')'
+                    with postfix '.' IDENT and '[' expr ']'
+"""
+
+from __future__ import annotations
+
+from repro.errors import CypherSyntaxError
+from repro.query.cypherlite.ast_nodes import (
+    And,
+    Cmp,
+    Expr,
+    Extract,
+    FuncCall,
+    Index,
+    ListLiteral,
+    Literal,
+    MatchClause,
+    NodePattern,
+    Not,
+    Or,
+    PathPattern,
+    Property,
+    Query,
+    RelPattern,
+    ReturnItem,
+    Var,
+    WithClause,
+)
+from repro.query.cypherlite.lexer import tokenize
+from repro.query.cypherlite.tokens import Token, TokenType
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+        self._anon_counter = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect(self, token_type: TokenType) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise CypherSyntaxError(
+                f"expected {token_type.name}, found {token.type.name}",
+                token.position,
+            )
+        return self._advance()
+
+    def _accept(self, token_type: TokenType) -> Token | None:
+        if self._peek().type is token_type:
+            return self._advance()
+        return None
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().matches_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._peek()
+        if not token.matches_keyword(word):
+            raise CypherSyntaxError(f"expected {word}", token.position)
+        self._advance()
+
+    def _anon_var(self) -> str:
+        self._anon_counter += 1
+        return f"_anon{self._anon_counter}"
+
+    # -- top level ---------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        clauses: list[object] = []
+        while True:
+            token = self._peek()
+            if token.matches_keyword("MATCH"):
+                self._advance()
+                clauses.append(self._parse_match())
+            elif token.matches_keyword("WITH"):
+                self._advance()
+                clauses.append(self._parse_with())
+            elif token.matches_keyword("RETURN"):
+                self._advance()
+                break
+            else:
+                raise CypherSyntaxError(
+                    "expected MATCH, WITH or RETURN", token.position
+                )
+        items = [self._parse_return_item()]
+        while self._accept(TokenType.COMMA):
+            items.append(self._parse_return_item())
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            limit = int(self._expect(TokenType.INTEGER).value)
+        self._expect(TokenType.EOF)
+        if not clauses:
+            raise CypherSyntaxError("query has no MATCH clause", 0)
+        return Query(tuple(clauses), tuple(items), limit)
+
+    def _parse_return_item(self) -> ReturnItem:
+        expr = self._parse_expr()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect(TokenType.IDENT).value
+        return ReturnItem(expr, alias)
+
+    def _parse_with(self) -> WithClause:
+        items = [self._expect(TokenType.IDENT).value]
+        while self._accept(TokenType.COMMA):
+            items.append(self._expect(TokenType.IDENT).value)
+        return WithClause(tuple(items))
+
+    # -- patterns ----------------------------------------------------------
+
+    def _parse_match(self) -> MatchClause:
+        pattern = self._parse_path_pattern()
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_expr()
+        return MatchClause(pattern, where)
+
+    def _parse_path_pattern(self) -> PathPattern:
+        path_var = None
+        if (self._peek().type is TokenType.IDENT
+                and self._tokens[self._pos + 1].type is TokenType.EQ):
+            path_var = self._advance().value
+            self._advance()  # '='
+        nodes = [self._parse_node_pattern()]
+        rels: list[RelPattern] = []
+        while self._peek().type in (TokenType.LEFT_ARROW, TokenType.DASH):
+            rels.append(self._parse_rel_pattern())
+            nodes.append(self._parse_node_pattern())
+        return PathPattern(path_var, tuple(nodes), tuple(rels))
+
+    def _parse_node_pattern(self) -> NodePattern:
+        self._expect(TokenType.LPAREN)
+        var = self._anon_var()
+        label = None
+        if self._peek().type is TokenType.IDENT:
+            var = self._advance().value
+        if self._accept(TokenType.COLON):
+            label = self._expect(TokenType.IDENT).value
+        self._expect(TokenType.RPAREN)
+        return NodePattern(var, label)
+
+    def _parse_rel_pattern(self) -> RelPattern:
+        token = self._advance()
+        if token.type is TokenType.LEFT_ARROW:
+            direction = "left"
+        elif token.type is TokenType.DASH:
+            direction = "right"
+        else:  # pragma: no cover - guarded by caller
+            raise CypherSyntaxError("expected relationship pattern", token.position)
+
+        types: list[str] = []
+        min_len, max_len = 1, 1
+        if self._accept(TokenType.LBRACKET):
+            if self._peek().type is TokenType.IDENT:   # optional rel variable
+                self._advance()
+            if self._accept(TokenType.COLON):
+                types.append(self._expect(TokenType.IDENT).value)
+                while self._accept(TokenType.PIPE):
+                    self._accept(TokenType.COLON)       # tolerate  |:G
+                    types.append(self._expect(TokenType.IDENT).value)
+            if self._accept(TokenType.STAR):
+                min_len, max_len = 1, None
+                if self._peek().type is TokenType.INTEGER:
+                    min_len = int(self._advance().value)
+                    max_len = min_len
+                    if self._accept(TokenType.DOTDOT):
+                        max_len = None
+                        if self._peek().type is TokenType.INTEGER:
+                            max_len = int(self._advance().value)
+            self._expect(TokenType.RBRACKET)
+
+        closing = self._advance()
+        if direction == "left":
+            if closing.type is not TokenType.DASH:
+                raise CypherSyntaxError(
+                    "left relationship must close with '-'", closing.position
+                )
+        else:
+            if closing.type is not TokenType.RIGHT_ARROW:
+                raise CypherSyntaxError(
+                    "right relationship must close with '->'", closing.position
+                )
+        return RelPattern(tuple(types), direction, min_len, max_len)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            left = Or(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            left = And(left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self._accept_keyword("NOT"):
+            return Not(self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_primary()
+        token = self._peek()
+        if token.type is TokenType.EQ:
+            self._advance()
+            return Cmp("=", left, self._parse_primary())
+        if token.type is TokenType.NEQ:
+            self._advance()
+            return Cmp("<>", left, self._parse_primary())
+        if token.matches_keyword("IN"):
+            self._advance()
+            return Cmp("IN", left, self._parse_primary())
+        return left
+
+    def _parse_primary(self) -> Expr:
+        expr = self._parse_atom()
+        while True:
+            if self._accept(TokenType.DOT):
+                key = self._expect(TokenType.IDENT).value
+                expr = Property(expr, key)
+            elif self._peek().type is TokenType.LBRACKET:
+                self._advance()
+                index = self._parse_expr()
+                self._expect(TokenType.RBRACKET)
+                expr = Index(expr, index)
+            else:
+                return expr
+
+    def _parse_atom(self) -> Expr:
+        token = self._peek()
+        if token.type is TokenType.INTEGER:
+            self._advance()
+            return Literal(token.value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.type is TokenType.LBRACKET:
+            self._advance()
+            items: list[Expr] = []
+            if self._peek().type is not TokenType.RBRACKET:
+                items.append(self._parse_expr())
+                while self._accept(TokenType.COMMA):
+                    items.append(self._parse_expr())
+            self._expect(TokenType.RBRACKET)
+            return ListLiteral(tuple(items))
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            inner = self._parse_expr()
+            self._expect(TokenType.RPAREN)
+            return inner
+        if token.matches_keyword("EXTRACT"):
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            var = self._expect(TokenType.IDENT).value
+            self._expect_keyword("IN")
+            source = self._parse_expr()
+            self._expect(TokenType.PIPE)
+            projection = self._parse_expr()
+            self._expect(TokenType.RPAREN)
+            return Extract(var, source, projection)
+        if token.type is TokenType.IDENT:
+            self._advance()
+            if self._peek().type is TokenType.LPAREN:
+                self._advance()
+                args: list[Expr] = []
+                if self._peek().type is not TokenType.RPAREN:
+                    args.append(self._parse_expr())
+                    while self._accept(TokenType.COMMA):
+                        args.append(self._parse_expr())
+                self._expect(TokenType.RPAREN)
+                return FuncCall(token.value.lower(), tuple(args))
+            return Var(token.value)
+        raise CypherSyntaxError(
+            f"unexpected token {token.type.name}", token.position
+        )
+
+
+def parse(text: str) -> Query:
+    """Parse query text into a :class:`Query` AST.
+
+    Raises:
+        CypherSyntaxError: on lexical or grammatical errors.
+    """
+    return _Parser(tokenize(text)).parse_query()

@@ -1,0 +1,59 @@
+"""Token definitions for the CypherLite lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class TokenType(enum.Enum):
+    """Lexical token categories."""
+
+    IDENT = enum.auto()
+    INTEGER = enum.auto()
+    STRING = enum.auto()
+    KEYWORD = enum.auto()
+
+    LPAREN = enum.auto()        # (
+    RPAREN = enum.auto()        # )
+    LBRACKET = enum.auto()      # [
+    RBRACKET = enum.auto()      # ]
+    COLON = enum.auto()         # :
+    COMMA = enum.auto()         # ,
+    PIPE = enum.auto()          # |
+    STAR = enum.auto()          # *
+    EQ = enum.auto()            # =
+    NEQ = enum.auto()           # <>
+    DASH = enum.auto()          # -
+    LEFT_ARROW = enum.auto()    # <-
+    RIGHT_ARROW = enum.auto()   # ->
+    DOTDOT = enum.auto()        # ..
+    DOT = enum.auto()           # .
+    EOF = enum.auto()
+
+
+#: Reserved words (upper-cased); everything else lexes as IDENT.
+KEYWORDS = frozenset({
+    "MATCH", "WHERE", "RETURN", "WITH", "AND", "OR", "NOT", "IN", "AS",
+    "DISTINCT", "EXTRACT", "LIMIT",
+})
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        type: the token category.
+        value: the literal value (string for IDENT/KEYWORD, int for INTEGER).
+        position: character offset in the query text, for error messages.
+    """
+
+    type: TokenType
+    value: Any
+    position: int
+
+    def matches_keyword(self, word: str) -> bool:
+        """True if this token is the given keyword (case-insensitive)."""
+        return self.type is TokenType.KEYWORD and self.value == word.upper()

@@ -1,0 +1,145 @@
+"""Convenience provenance queries on top of the core operators.
+
+The classic provenance question kit (Sec. II.B "ancestors and descendants of
+entities ... form the heart of provenance data"), packaged as one-call
+helpers so downstream users don't reach for the raw traversals:
+
+- :func:`lineage` — bounded ancestry closure with per-level structure;
+- :func:`impacted` — the dual: everything downstream of an entity;
+- :func:`blame` — agents responsible for an entity's ancestry (git-blame);
+- :func:`derivation_chain` — the version history of one artifact snapshot;
+- :func:`common_ancestors` — join point of two entities' histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.graph import ProvenanceGraph
+from repro.model.types import EdgeType, VertexType
+
+
+@dataclass(slots=True)
+class LineageLevel:
+    """One BFS level of a lineage walk."""
+
+    depth: int
+    activities: list[int] = field(default_factory=list)
+    entities: list[int] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class Lineage:
+    """Result of a lineage/impact walk.
+
+    Attributes:
+        root: the queried entity.
+        levels: alternating activity/entity BFS levels, nearest first.
+        vertices: everything reached (root included).
+    """
+
+    root: int
+    levels: list[LineageLevel] = field(default_factory=list)
+    vertices: set[int] = field(default_factory=set)
+
+    @property
+    def depth(self) -> int:
+        """Number of activity levels walked."""
+        return len(self.levels)
+
+
+def lineage(graph: ProvenanceGraph, entity: int,
+            max_depth: int | None = None) -> Lineage:
+    """Ancestry closure of an entity, level by level (via G then U edges)."""
+    return _walk(graph, entity, upstream=True, max_depth=max_depth)
+
+
+def impacted(graph: ProvenanceGraph, entity: int,
+             max_depth: int | None = None) -> Lineage:
+    """Everything derived (transitively) from an entity — the impact set."""
+    return _walk(graph, entity, upstream=False, max_depth=max_depth)
+
+
+def _walk(graph: ProvenanceGraph, entity: int, upstream: bool,
+          max_depth: int | None) -> Lineage:
+    if not graph.is_entity(entity):
+        raise ValueError(f"vertex {entity} is not an entity")
+    result = Lineage(root=entity, vertices={entity})
+    frontier = [entity]
+    depth = 0
+    while frontier and (max_depth is None or depth < max_depth):
+        depth += 1
+        activities: list[int] = []
+        for e in frontier:
+            steps = (graph.generating_activities(e) if upstream
+                     else graph.using_activities(e))
+            for a in steps:
+                if a not in result.vertices:
+                    result.vertices.add(a)
+                    activities.append(a)
+        entities: list[int] = []
+        for a in activities:
+            steps = (graph.used_entities(a) if upstream
+                     else graph.generated_entities(a))
+            for e in steps:
+                if e not in result.vertices:
+                    result.vertices.add(e)
+                    entities.append(e)
+        if not activities:
+            break
+        result.levels.append(LineageLevel(depth, activities, entities))
+        frontier = entities
+    return result
+
+
+def blame(graph: ProvenanceGraph, entity: int,
+          max_depth: int | None = None) -> dict[int, set[int]]:
+    """Agents responsible for an entity's ancestry.
+
+    Returns agent id -> the ancestry vertices (activities/entities) that
+    agent is responsible for, like ``git blame`` over the derivation.
+    """
+    ancestry = lineage(graph, entity, max_depth)
+    report: dict[int, set[int]] = {}
+    for vertex_id in ancestry.vertices:
+        for agent in graph.agents_of(vertex_id):
+            report.setdefault(agent, set()).add(vertex_id)
+    return report
+
+
+def derivation_chain(graph: ProvenanceGraph, entity: int) -> list[int]:
+    """Follow ``wasDerivedFrom`` to the original snapshot (oldest last)."""
+    chain = [entity]
+    seen = {entity}
+    current = entity
+    while True:
+        parents = graph.derived_sources(current)
+        nxt = None
+        for parent in parents:
+            if parent not in seen:
+                nxt = parent
+                break
+        if nxt is None:
+            return chain
+        chain.append(nxt)
+        seen.add(nxt)
+        current = nxt
+
+
+def common_ancestors(graph: ProvenanceGraph, left: int,
+                     right: int) -> set[int]:
+    """Entities/activities in both ancestry closures (the join points)."""
+    left_set = lineage(graph, left).vertices
+    right_set = lineage(graph, right).vertices
+    return (left_set & right_set) - {left, right}
+
+
+def entity_timeline(graph: ProvenanceGraph, name: str) -> list[int]:
+    """All entities named ``name`` in creation order (the artifact view)."""
+    matches = [
+        record.vertex_id
+        for record in graph.store.vertices(VertexType.ENTITY)
+        if record.get("name") == name
+    ]
+    matches.sort(key=graph.store.order_of)
+    return matches

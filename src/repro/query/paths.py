@@ -1,0 +1,167 @@
+"""Paths, path labels, and inverse paths (Sec. III.A notation).
+
+A path ``π(v0, vn)`` is a vertex-edge alternating sequence
+``⟨v0, e1, v1, ..., e_n, vn⟩``. Its *path segment* ``π̂`` drops the endpoint
+vertices. The label function ``τ`` concatenates element labels in sequence
+order: vertex labels come from ``λv`` (``E``/``A``/``U``), edge labels from
+``λe`` (``U``/``G``/``S``/``A``/``D``); ancestry edges traversed against
+their stored direction get inverse labels ``U^-1``/``G^-1``.
+
+:class:`Path` stores *steps*: ``(edge_id, forward)`` pairs, so the same edge
+object can appear traversed in either direction, which is exactly what the
+SimProv palindrome paths do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.model.graph import ProvenanceGraph
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """One traversal step: an edge plus the direction it was walked.
+
+    ``forward=True`` walks ``src -> dst`` (the stored direction);
+    ``forward=False`` walks the virtual inverse edge ``dst -> src`` and
+    contributes the inverse label.
+    """
+
+    edge_id: int
+    forward: bool = True
+
+
+class Path:
+    """A concrete path through a provenance graph.
+
+    Args:
+        graph: the graph the path lives in.
+        start: the first vertex id (``v0``).
+        steps: traversal steps; each step must depart from the vertex the
+            previous step arrived at.
+
+    Raises:
+        ValueError: if a step does not connect to the current endpoint.
+    """
+
+    def __init__(self, graph: ProvenanceGraph, start: int,
+                 steps: list[Step] | None = None):
+        self._graph = graph
+        self.start = start
+        self.steps: list[Step] = []
+        self._vertices = [start]
+        for step in steps or []:
+            self.append(step)
+
+    # ------------------------------------------------------------------
+
+    def append(self, step: Step) -> "Path":
+        """Extend the path by one step (validates connectivity)."""
+        record = self._graph.edge(step.edge_id)
+        here = self._vertices[-1]
+        if step.forward:
+            if record.src != here:
+                raise ValueError(
+                    f"edge {step.edge_id} departs {record.src}, path is at {here}"
+                )
+            self._vertices.append(record.dst)
+        else:
+            if record.dst != here:
+                raise ValueError(
+                    f"inverse edge {step.edge_id} departs {record.dst}, "
+                    f"path is at {here}"
+                )
+            self._vertices.append(record.src)
+        self.steps.append(step)
+        return self
+
+    def extended(self, step: Step) -> "Path":
+        """A copy of this path extended by one step."""
+        clone = Path(self._graph, self.start)
+        clone.steps = list(self.steps)
+        clone._vertices = list(self._vertices)
+        return clone.append(step)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def end(self) -> int:
+        """The last vertex id (``vn``)."""
+        return self._vertices[-1]
+
+    @property
+    def vertices(self) -> list[int]:
+        """All vertex ids, ``v0 .. vn``."""
+        return list(self._vertices)
+
+    def interior_vertices(self) -> list[int]:
+        """Vertex ids excluding the two endpoints (may be empty)."""
+        return self._vertices[1:-1]
+
+    def __len__(self) -> int:
+        """Number of edges."""
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[Step]:
+        return iter(self.steps)
+
+    # ------------------------------------------------------------------
+    # Labels
+    # ------------------------------------------------------------------
+
+    def _edge_label(self, step: Step) -> str:
+        record = self._graph.edge(step.edge_id)
+        return record.edge_type.label if step.forward else record.edge_type.inverse_label
+
+    def _vertex_label(self, vertex_id: int) -> str:
+        return self._graph.vertex(vertex_id).vertex_type.label
+
+    def label(self) -> tuple[str, ...]:
+        """Full path label ``τ(π)``: vertex and edge labels interleaved."""
+        word: list[str] = [self._vertex_label(self._vertices[0])]
+        for index, step in enumerate(self.steps):
+            word.append(self._edge_label(step))
+            word.append(self._vertex_label(self._vertices[index + 1]))
+        return tuple(word)
+
+    def segment_label(self) -> tuple[str, ...]:
+        """Path-segment label ``τ(π̂)``: drops the two endpoint vertices."""
+        full = self.label()
+        return full[1:-1]
+
+    def label_string(self) -> str:
+        """``τ(π)`` as one string, e.g. ``"E G^-1 A U E"``."""
+        return " ".join(self.label())
+
+    def segment_label_string(self) -> str:
+        """``τ(π̂)`` as one string."""
+        return " ".join(self.segment_label())
+
+    # ------------------------------------------------------------------
+
+    def inverse(self) -> "Path":
+        """The inverse path ``π^-1`` (reverse sequence, flipped directions)."""
+        clone = Path(self._graph, self.end)
+        for index in range(len(self.steps) - 1, -1, -1):
+            step = self.steps[index]
+            clone.append(Step(step.edge_id, not step.forward))
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Path({' -> '.join(str(v) for v in self._vertices)})"
+
+
+def simple_label_word(graph: ProvenanceGraph, vertex_ids: list[int],
+                      edge_ids: list[int]) -> tuple[str, ...]:
+    """Label word for a path given as parallel vertex/edge id lists.
+
+    Convenience for tests; all edges are taken in their stored direction.
+    """
+    if len(vertex_ids) != len(edge_ids) + 1:
+        raise ValueError("need exactly one more vertex than edges")
+    path = Path(graph, vertex_ids[0], [Step(edge_id) for edge_id in edge_ids])
+    if path.vertices != vertex_ids:
+        raise ValueError("edge list does not realize the given vertex list")
+    return path.label()

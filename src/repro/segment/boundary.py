@@ -1,0 +1,189 @@
+"""Boundary criteria ``B`` for PgSeg queries (Sec. III.A.3).
+
+Two families:
+
+- **Exclusion constraints** — boolean predicates over vertices (``Bv``) and
+  edges (``Be``). During induction an excluded element behaves as if labeled
+  ε (no accepted path may cross it); during the adjust step exclusions are
+  applied as plain filters on the cached segment.
+- **Expansion specifications** ``Bx = {(Vx, k)}`` — include the ancestry
+  neighborhood ``k`` activities (2k edge hops over G/U) away from the listed
+  entities.
+
+Predicates receive the full vertex/edge *record*, so they can express the
+paper's examples directly: ownership (who), time intervals (when), project
+steps / file-path patterns (where), and neighborhood size (what).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.model.graph import ProvenanceGraph
+from repro.model.types import EdgeType, VertexType
+from repro.store.records import EdgeRecord, VertexRecord
+
+VertexPredicate = Callable[[VertexRecord], bool]
+EdgePredicate = Callable[[EdgeRecord], bool]
+
+
+@dataclass(frozen=True, slots=True)
+class Expansion:
+    """One expansion spec ``bx(Vx, k)``: grow ``k`` activities from ``Vx``."""
+
+    entities: tuple[int, ...]
+    k: int = 1
+
+
+@dataclass(slots=True)
+class BoundaryCriteria:
+    """The boundary component of a PgSeg query.
+
+    Attributes:
+        vertex_filters: conjunction of vertex exclusion predicates (``Bv``).
+        edge_filters: conjunction of edge exclusion predicates (``Be``).
+        expansions: expansion specifications (``Bx``).
+    """
+
+    vertex_filters: list[VertexPredicate] = field(default_factory=list)
+    edge_filters: list[EdgePredicate] = field(default_factory=list)
+    expansions: list[Expansion] = field(default_factory=list)
+
+    # -- composition ---------------------------------------------------
+
+    def exclude_vertices(self, predicate_ok: VertexPredicate) -> "BoundaryCriteria":
+        """Add a vertex predicate (True = keep); returns self for chaining."""
+        self.vertex_filters.append(predicate_ok)
+        return self
+
+    def exclude_edges(self, predicate_ok: EdgePredicate) -> "BoundaryCriteria":
+        """Add an edge predicate (True = keep); returns self for chaining."""
+        self.edge_filters.append(predicate_ok)
+        return self
+
+    def expand(self, entities: Iterable[int], k: int = 1) -> "BoundaryCriteria":
+        """Add an expansion spec; returns self for chaining."""
+        self.expansions.append(Expansion(tuple(entities), k))
+        return self
+
+    # -- evaluation ------------------------------------------------------
+
+    def vertex_ok(self, record: VertexRecord) -> bool:
+        """True when the vertex passes every exclusion constraint."""
+        return all(check(record) for check in self.vertex_filters)
+
+    def edge_ok(self, record: EdgeRecord) -> bool:
+        """True when the edge passes every exclusion constraint."""
+        return all(check(record) for check in self.edge_filters)
+
+    @property
+    def has_exclusions(self) -> bool:
+        """True when any exclusion predicate is present."""
+        return bool(self.vertex_filters or self.edge_filters)
+
+    def copy(self) -> "BoundaryCriteria":
+        """Shallow copy (predicates shared, lists independent)."""
+        return BoundaryCriteria(
+            list(self.vertex_filters),
+            list(self.edge_filters),
+            list(self.expansions),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Predicate factories — the boundary vocabulary of the paper's examples
+# ---------------------------------------------------------------------------
+
+
+def exclude_edge_types(*edge_types: EdgeType) -> EdgePredicate:
+    """Keep edges whose type is not listed (Q1/Q2 exclude A and D)."""
+    dropped = frozenset(edge_types)
+
+    def edge_ok(record: EdgeRecord) -> bool:
+        return record.edge_type not in dropped
+
+    return edge_ok
+
+
+def exclude_vertex_types(*vertex_types: VertexType) -> VertexPredicate:
+    """Keep vertices whose type is not listed."""
+    dropped = frozenset(vertex_types)
+
+    def vertex_ok(record: VertexRecord) -> bool:
+        return record.vertex_type not in dropped
+
+    return vertex_ok
+
+
+def within_order_window(lo: int | None = None,
+                        hi: int | None = None) -> VertexPredicate:
+    """Keep vertices whose creation ordinal lies in ``[lo, hi]`` ("when")."""
+
+    def vertex_ok(record: VertexRecord) -> bool:
+        if lo is not None and record.order < lo:
+            return False
+        if hi is not None and record.order > hi:
+            return False
+        return True
+
+    return vertex_ok
+
+
+def property_equals(key: str, value: Any) -> VertexPredicate:
+    """Keep vertices whose property ``key`` equals ``value``."""
+
+    def vertex_ok(record: VertexRecord) -> bool:
+        return record.properties.get(key) == value
+
+    return vertex_ok
+
+
+def property_not_equals(key: str, value: Any) -> VertexPredicate:
+    """Keep vertices whose property ``key`` differs from ``value``."""
+
+    def vertex_ok(record: VertexRecord) -> bool:
+        return record.properties.get(key) != value
+
+    return vertex_ok
+
+
+def name_matches(pattern: str) -> VertexPredicate:
+    """Keep vertices whose ``name`` matches the regex ("where": file paths)."""
+    compiled = re.compile(pattern)
+
+    def vertex_ok(record: VertexRecord) -> bool:
+        name = record.properties.get("name")
+        return name is None or bool(compiled.search(str(name)))
+
+    return vertex_ok
+
+
+def owned_by(graph: ProvenanceGraph, agent_id: int,
+             keep_unowned: bool = True) -> VertexPredicate:
+    """Keep entities/activities whose responsible agent is ``agent_id``
+    ("who"). Agent vertices themselves always pass; vertices with no
+    ownership edge pass when ``keep_unowned``.
+    """
+
+    def vertex_ok(record: VertexRecord) -> bool:
+        if record.vertex_type is VertexType.AGENT:
+            return True
+        owners = graph.agents_of(record.vertex_id)
+        if not owners:
+            return keep_unowned
+        return agent_id in owners
+
+    return vertex_ok
+
+
+def not_owned_by(graph: ProvenanceGraph, agent_id: int) -> VertexPredicate:
+    """Keep vertices not owned by ``agent_id`` (complement of owned_by)."""
+
+    def vertex_ok(record: VertexRecord) -> bool:
+        if record.vertex_type is VertexType.AGENT:
+            return True
+        return agent_id not in graph.agents_of(record.vertex_id)
+
+    return vertex_ok

@@ -1,0 +1,122 @@
+"""Segment diffing: compare two PgSeg results.
+
+The paper's related work (Sec. VI) highlights diffing evolving run graphs as
+a key use of script-provenance systems; with PgSeg the natural unit of
+comparison is the *segment*. ``diff_segments`` aligns two segments over the
+same underlying graph — or over different graphs via a property key — and
+reports what appeared, what vanished, and how the common core's edges moved.
+
+Example: diff Q1 (Alice's v2 trail) against Q2 (Bob's v3 trail) to see that
+Bob swapped the solver update for the model update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from repro.segment.pgseg import Segment
+
+
+@dataclass(slots=True)
+class SegmentDiff:
+    """Result of diffing two segments.
+
+    Vertex keys are graph ids when both segments share one graph, else the
+    values of the supplied key function.
+
+    Attributes:
+        only_left / only_right: keys present in exactly one segment.
+        common: keys in both.
+        only_left_edges / only_right_edges: (src key, edge label, dst key)
+            triples unique to one side, restricted to common-or-unique keys.
+        category_changes: key -> (left categories, right categories) where
+            the induction categories differ on common vertices.
+    """
+
+    only_left: set[Hashable] = field(default_factory=set)
+    only_right: set[Hashable] = field(default_factory=set)
+    common: set[Hashable] = field(default_factory=set)
+    only_left_edges: set[tuple] = field(default_factory=set)
+    only_right_edges: set[tuple] = field(default_factory=set)
+    category_changes: dict[Hashable, tuple[frozenset, frozenset]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def unchanged(self) -> bool:
+        """True when the segments are identical under the key."""
+        return not (self.only_left or self.only_right
+                    or self.only_left_edges or self.only_right_edges)
+
+    def summary(self) -> str:
+        """One-line description for logs."""
+        return (
+            f"common={len(self.common)} +right={len(self.only_right)} "
+            f"-left={len(self.only_left)} "
+            f"edges(+{len(self.only_right_edges)}/-{len(self.only_left_edges)})"
+        )
+
+
+def _default_key(segment: Segment) -> Callable[[int], Hashable]:
+    def key(vertex_id: int) -> Hashable:
+        return vertex_id
+    return key
+
+
+def diff_segments(left: Segment, right: Segment,
+                  key: Callable[[Segment, int], Hashable] | None = None,
+                  ) -> SegmentDiff:
+    """Diff two segments.
+
+    Args:
+        left / right: the segments to compare.
+        key: optional ``(segment, vertex_id) -> hashable`` alignment key;
+            defaults to the raw vertex id (requires both segments to come
+            from the same graph) — pass e.g.
+            ``lambda s, v: s.graph.vertex(v).display_name()`` to align
+            across graphs or versions.
+    """
+    if key is None:
+        if left.graph is not right.graph:
+            raise ValueError(
+                "segments come from different graphs; supply a key function"
+            )
+        key = lambda segment, vertex_id: vertex_id      # noqa: E731
+
+    left_keys = {key(left, v): v for v in left.vertices}
+    right_keys = {key(right, v): v for v in right.vertices}
+
+    diff = SegmentDiff(
+        only_left=set(left_keys) - set(right_keys),
+        only_right=set(right_keys) - set(left_keys),
+        common=set(left_keys) & set(right_keys),
+    )
+
+    def edge_set(segment: Segment, keys: dict) -> set[tuple]:
+        inverse = {v: k for k, v in keys.items()}
+        out = set()
+        for record in segment.edges():
+            out.add((inverse[record.src], record.label, inverse[record.dst]))
+        return out
+
+    left_edges = edge_set(left, left_keys)
+    right_edges = edge_set(right, right_keys)
+    diff.only_left_edges = left_edges - right_edges
+    diff.only_right_edges = right_edges - left_edges
+
+    for shared in diff.common:
+        left_cats = frozenset(left.categories.get(left_keys[shared], ()))
+        right_cats = frozenset(right.categories.get(right_keys[shared], ()))
+        if left_cats != right_cats:
+            diff.category_changes[shared] = (left_cats, right_cats)
+    return diff
+
+
+def diff_by_name(left: Segment, right: Segment) -> SegmentDiff:
+    """Diff aligning vertices by display name (artifact-name + version)."""
+    return diff_segments(
+        left, right,
+        key=lambda segment, vertex_id:
+            segment.graph.vertex(vertex_id).display_name(),
+    )

@@ -1,0 +1,125 @@
+"""Exhaustive reference implementation of PgSeg, for the test suite.
+
+``naive_segment`` computes VS by the most literal reading of Sec. III.A.2:
+
+- VC1 by enumerating *all* directed paths Vdst -> Vsrc (DFS, edge-unique);
+- VC2 by :func:`repro.cfl.reference.enumerate_simprov` (bounded-length path
+  enumeration + Earley membership);
+- VC3/VC4 by direct definition.
+
+Exponential — only meaningful for graphs of a few dozen vertices.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.cfl.reference import enumerate_simprov
+from repro.model.graph import ProvenanceGraph
+from repro.model.types import EdgeType, PATHABLE_EDGE_TYPES, VertexType
+from repro.store.records import EdgeRecord, VertexRecord
+
+VertexPredicate = Callable[[VertexRecord], bool]
+EdgePredicate = Callable[[EdgeRecord], bool]
+
+
+def naive_direct_paths(graph: ProvenanceGraph, src_ids: Iterable[int],
+                       dst_ids: Iterable[int],
+                       edge_types: frozenset[EdgeType] = PATHABLE_EDGE_TYPES,
+                       vertex_ok: VertexPredicate | None = None,
+                       edge_ok: EdgePredicate | None = None) -> set[int]:
+    """Vertices on any directed path from a dst to a src (DFS enumeration)."""
+    store = graph.store
+    src_set = set(src_ids)
+    on_path: set[int] = set()
+
+    def ok_vertex(vertex_id: int) -> bool:
+        return vertex_ok is None or vertex_ok(store.vertex(vertex_id))
+
+    for start in dict.fromkeys(dst_ids):
+        if not ok_vertex(start):
+            continue
+        stack: list[tuple[int, tuple[int, ...], frozenset[int]]] = [
+            (start, (start,), frozenset())
+        ]
+        while stack:
+            here, path, used_edges = stack.pop()
+            if here in src_set:
+                on_path.update(path)
+                # Keep exploring: longer paths may reach other sources.
+            for edge_type in edge_types:
+                for edge_id in store.out_edge_ids(here, edge_type):
+                    if edge_id in used_edges:
+                        continue
+                    record = store.edge(edge_id)
+                    if edge_ok is not None and not edge_ok(record):
+                        continue
+                    if not ok_vertex(record.dst):
+                        continue
+                    stack.append(
+                        (record.dst, path + (record.dst,),
+                         used_edges | {edge_id})
+                    )
+    return on_path
+
+
+def naive_segment(graph: ProvenanceGraph, src_ids: Iterable[int],
+                  dst_ids: Iterable[int],
+                  vertex_ok: VertexPredicate | None = None,
+                  edge_ok: EdgePredicate | None = None,
+                  max_edges: int = 12,
+                  direct_edge_types: frozenset[EdgeType] = PATHABLE_EDGE_TYPES,
+                  ) -> dict[str, set[int]]:
+    """Full naive induction; returns the per-rule vertex sets.
+
+    Returns a dict with keys ``C1``, ``C2``, ``C3``, ``C4`` and ``VS``.
+    """
+    src_list = list(dict.fromkeys(src_ids))
+    dst_list = list(dict.fromkeys(dst_ids))
+    store = graph.store
+
+    vc1 = naive_direct_paths(graph, src_list, dst_list, direct_edge_types,
+                             vertex_ok, edge_ok)
+    _pairs, vc2 = enumerate_simprov(graph, src_list, dst_list, max_edges,
+                                    vertex_ok, edge_ok)
+
+    on_path = vc1 | vc2
+    vc3: set[int] = set()
+    for vertex_id in on_path:
+        if store.vertex_type(vertex_id) is not VertexType.ACTIVITY:
+            continue
+        for edge_id in store.in_edge_ids(vertex_id, EdgeType.WAS_GENERATED_BY):
+            record = store.edge(edge_id)
+            if edge_ok is not None and not edge_ok(record):
+                continue
+            if record.src in on_path:
+                continue
+            if vertex_ok is not None and not vertex_ok(store.vertex(record.src)):
+                continue
+            vc3.add(record.src)
+
+    members = set(src_list) | set(dst_list) | on_path | vc3
+    vc4: set[int] = set()
+    for vertex_id in members:
+        vertex_type = store.vertex_type(vertex_id)
+        if vertex_type is VertexType.ACTIVITY:
+            edge_type = EdgeType.WAS_ASSOCIATED_WITH
+        elif vertex_type is VertexType.ENTITY:
+            edge_type = EdgeType.WAS_ATTRIBUTED_TO
+        else:
+            continue
+        for edge_id in store.out_edge_ids(vertex_id, edge_type):
+            record = store.edge(edge_id)
+            if edge_ok is not None and not edge_ok(record):
+                continue
+            if vertex_ok is not None and not vertex_ok(store.vertex(record.dst)):
+                continue
+            vc4.add(record.dst)
+
+    return {
+        "C1": vc1,
+        "C2": vc2,
+        "C3": vc3,
+        "C4": vc4,
+        "VS": members | vc4,
+    }

@@ -1,0 +1,211 @@
+"""LifecycleSession: the ProvDB-style high-level facade (Fig. 1).
+
+Ties the whole stack together the way the paper's system architecture does —
+ingestion (builder + transactions), storage (property graph store), and the
+query facilities (introspection via PgSeg, monitoring via diffs, overview
+via PgSum) — so a downstream user records work and asks questions without
+touching the operator plumbing:
+
+    >>> from repro.session import LifecycleSession
+    >>> s = LifecycleSession(project="faces")
+    >>> s.record("alice", "train", uses=["model", "dataset"],
+    ...          generates=["weights"], opt="-gpu")
+    'train'
+    >>> seg = s.how_was_it_made("weights")
+    >>> summary = s.typical_pipeline("weights")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import ModelError
+from repro.model.builder import ProvBuilder
+from repro.model.graph import ProvenanceGraph
+from repro.model.statistics import GraphStatistics, compute_statistics
+from repro.model.validation import ValidationReport, validate
+from repro.model.versioning import VersionCatalog
+from repro.query.ops import blame as _blame
+from repro.query.ops import lineage as _lineage
+from repro.segment.boundary import BoundaryCriteria
+from repro.segment.diff import SegmentDiff, diff_segments
+from repro.segment.pgseg import PgSegOperator, PgSegQuery, Segment
+from repro.summarize.aggregation import PropertyAggregation
+from repro.summarize.pgsum import PgSumOperator, PgSumQuery
+from repro.summarize.psg import Psg
+
+#: Default aggregation for session summaries: artifact names + commands.
+SESSION_AGGREGATION = PropertyAggregation.of(
+    entity=("name",), activity=("command",)
+)
+
+
+@dataclass(slots=True)
+class RecordedRun:
+    """Bookkeeping for one recorded activity execution."""
+
+    index: int
+    member: str
+    command: str
+    activity_id: int
+    used: list[int] = field(default_factory=list)
+    generated: list[int] = field(default_factory=list)
+
+
+class LifecycleSession:
+    """A recording + querying session over one project's provenance."""
+
+    def __init__(self, project: str = "project",
+                 graph: ProvenanceGraph | None = None):
+        self.project = project
+        self.builder = ProvBuilder(graph)
+        self.runs: list[RecordedRun] = []
+        self._operator = PgSegOperator(self.builder.graph)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> ProvenanceGraph:
+        """The underlying provenance graph."""
+        return self.builder.graph
+
+    def add_artifact(self, name: str, member: str | None = None,
+                     **properties: Any) -> int:
+        """Register an externally created artifact (e.g. a download)."""
+        agent = self.builder.agent(member) if member else None
+        return self.builder.artifact(name, agent=agent, **properties)
+
+    def record(self, member: str, command: str,
+               uses: Iterable[str] = (), generates: Iterable[str] = (),
+               **properties: Any) -> str:
+        """Record one activity execution (a command run).
+
+        Unknown input artifact names are auto-registered (schema-later
+        ingestion) *before* the activity record, keeping creation ordinals
+        consistent with use-after-creation; outputs mint new snapshots.
+        Returns the command name for chaining/logging.
+        """
+        for name in uses:
+            if self.builder.latest(name) is None:
+                self.builder.artifact(name)
+        with self.builder.activity(command, agent=member,
+                                   **properties) as act:
+            for name in uses:
+                act.uses(name)
+            for name in generates:
+                act.generates(name)
+        run = RecordedRun(
+            index=len(self.runs),
+            member=member,
+            command=command,
+            activity_id=act.activity_id,
+            used=self.graph.used_entities(act.activity_id),
+            generated=self.graph.generated_entities(act.activity_id),
+        )
+        self.runs.append(run)
+        return command
+
+    # ------------------------------------------------------------------
+    # Introspection (retrospective provenance, PgSeg)
+    # ------------------------------------------------------------------
+
+    def _snapshot(self, artifact: str, version: int | None = None) -> int:
+        if version is not None:
+            return self.builder.version_of(artifact, version)
+        snapshot = self.builder.latest(artifact)
+        if snapshot is None:
+            raise ModelError(f"unknown artifact {artifact!r}")
+        return snapshot
+
+    def _roots(self) -> list[int]:
+        """Initial entities: snapshots with no generating activity."""
+        return [
+            entity for entity in self.graph.entities()
+            if not self.graph.generating_activities(entity)
+        ]
+
+    def how_was_it_made(self, artifact: str, version: int | None = None,
+                        from_artifacts: Iterable[str] = (),
+                        boundaries: BoundaryCriteria | None = None,
+                        ) -> Segment:
+        """PgSeg from source artifacts (default: all initial entities) to
+        one artifact snapshot (default: its latest version)."""
+        dst = self._snapshot(artifact, version)
+        src = [self._snapshot(name) for name in from_artifacts] or self._roots()
+        query = PgSegQuery(src=tuple(src), dst=(dst,), boundaries=boundaries)
+        return self._operator.evaluate(query)
+
+    def compare_versions(self, artifact: str, old: int, new: int,
+                         ) -> SegmentDiff:
+        """Diff the derivation segments of two versions of one artifact."""
+        left = self.how_was_it_made(artifact, old)
+        right = self.how_was_it_made(artifact, new)
+        return diff_segments(left, right)
+
+    def who_touched(self, artifact: str,
+                    version: int | None = None) -> dict[str, int]:
+        """Blame report: member name -> number of ancestry vertices owned."""
+        snapshot = self._snapshot(artifact, version)
+        report = _blame(self.graph, snapshot)
+        return {
+            self.graph.vertex(agent).get("name", str(agent)): len(owned)
+            for agent, owned in sorted(report.items())
+        }
+
+    def depth_of(self, artifact: str, version: int | None = None) -> int:
+        """How many activity generations deep the snapshot's history is."""
+        snapshot = self._snapshot(artifact, version)
+        return _lineage(self.graph, snapshot).depth
+
+    # ------------------------------------------------------------------
+    # Monitoring / overview (prospective provenance, PgSum)
+    # ------------------------------------------------------------------
+
+    def typical_pipeline(self, artifact: str, last: int | None = None,
+                         aggregation: PropertyAggregation = SESSION_AGGREGATION,
+                         k: int = 0) -> Psg:
+        """Summarize the derivations of an artifact's versions into a Psg.
+
+        Args:
+            artifact: the artifact whose version history to summarize.
+            last: only the most recent ``last`` versions (None = all).
+        """
+        versions = self.builder.versions(artifact)
+        if not versions:
+            raise ModelError(f"unknown artifact {artifact!r}")
+        if last is not None:
+            versions = versions[-last:]
+        segments = [
+            self._operator.evaluate(PgSegQuery(
+                src=tuple(self._roots()), dst=(snapshot,),
+            ))
+            for snapshot in versions
+        ]
+        return PgSumOperator(segments).evaluate(PgSumQuery(
+            aggregation=aggregation, k=k,
+        ))
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+
+    def statistics(self) -> GraphStatistics:
+        """Shape statistics of the recorded provenance."""
+        return compute_statistics(self.graph)
+
+    def check(self) -> ValidationReport:
+        """Run PROV constraint validation."""
+        return validate(self.graph)
+
+    def catalog(self) -> VersionCatalog:
+        """Artifact/version catalog over the recorded provenance."""
+        return VersionCatalog(self.graph)
+
+    def __repr__(self) -> str:   # pragma: no cover - cosmetic
+        return (
+            f"LifecycleSession({self.project!r}, runs={len(self.runs)}, "
+            f"graph={self.graph!r})"
+        )

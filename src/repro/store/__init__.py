@@ -1,0 +1,23 @@
+"""Embedded property-graph store (the library's Neo4j stand-in)."""
+
+from repro.store.csr import CsrAdjacency, GraphSnapshot
+from repro.store.indexes import LabelIndex, PropertyIndex
+from repro.store.persistence import WriteAheadLog, load_store, replay, save_store
+from repro.store.records import EdgeRecord, VertexRecord
+from repro.store.store import PropertyGraphStore
+from repro.store.transactions import Transaction
+
+__all__ = [
+    "CsrAdjacency",
+    "EdgeRecord",
+    "GraphSnapshot",
+    "LabelIndex",
+    "PropertyGraphStore",
+    "PropertyIndex",
+    "Transaction",
+    "VertexRecord",
+    "WriteAheadLog",
+    "load_store",
+    "replay",
+    "save_store",
+]

@@ -1,0 +1,121 @@
+"""Frozen CSR (compressed sparse row) adjacency snapshots.
+
+The CFL-reachability kernels traverse one edge type at a time, forwards and
+backwards, millions of times. Dict-of-list adjacency is flexible but slow to
+iterate in tight loops; a frozen snapshot packs each edge type's adjacency
+into two numpy arrays (``indptr``, ``indices``) per direction, built once per
+query. Vertex ids are used directly as row indices (store ids are dense).
+
+Only the edge types requested are materialized; the snapshot also carries the
+vertex type codes and creation ordinals as numpy arrays so solvers can avoid
+store round-trips entirely.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.model.types import EdgeType, VertexType
+from repro.store.store import PropertyGraphStore
+
+#: Integer codes for vertex types in snapshot arrays.
+VERTEX_TYPE_CODES: dict[VertexType, int] = {
+    VertexType.ENTITY: 0,
+    VertexType.ACTIVITY: 1,
+    VertexType.AGENT: 2,
+}
+
+
+class CsrAdjacency:
+    """CSR adjacency for one edge type in one direction.
+
+    ``neighbors(v)`` returns a numpy slice (no copy) of neighbor vertex ids.
+    """
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+        self.indptr = indptr
+        self.indices = indices
+
+    @classmethod
+    def from_pairs(cls, n_vertices: int,
+                   pairs: Iterable[tuple[int, int]]) -> "CsrAdjacency":
+        """Build from ``(row, col)`` pairs (row = source vertex)."""
+        pair_list = list(pairs)
+        counts = np.zeros(n_vertices + 1, dtype=np.int64)
+        for row, _col in pair_list:
+            counts[row + 1] += 1
+        indptr = np.cumsum(counts)
+        indices = np.zeros(len(pair_list), dtype=np.int64)
+        cursor = indptr[:-1].copy()
+        for row, col in pair_list:
+            indices[cursor[row]] = col
+            cursor[row] += 1
+        return cls(indptr, indices)
+
+    def neighbors(self, vertex_id: int) -> np.ndarray:
+        """Neighbor ids of ``vertex_id`` (possibly empty)."""
+        return self.indices[self.indptr[vertex_id]:self.indptr[vertex_id + 1]]
+
+    def neighbor_lists(self) -> list[list[int]]:
+        """Materialize as plain Python lists (fastest for pure-Python loops)."""
+        out: list[list[int]] = []
+        indptr = self.indptr
+        indices = self.indices.tolist()
+        for row in range(len(indptr) - 1):
+            out.append(indices[indptr[row]:indptr[row + 1]])
+        return out
+
+    def degree(self, vertex_id: int) -> int:
+        """Out-degree of ``vertex_id`` in this direction."""
+        return int(self.indptr[vertex_id + 1] - self.indptr[vertex_id])
+
+    @property
+    def edge_total(self) -> int:
+        """Total number of edges in this adjacency."""
+        return len(self.indices)
+
+
+class GraphSnapshot:
+    """Immutable per-edge-type CSR view of a store, for algorithm kernels.
+
+    Attributes:
+        n: vertex id space size (``store.vertex_capacity``).
+        vertex_codes: ``np.ndarray`` of vertex type codes (dead ids get -1).
+        orders: ``np.ndarray`` of creation ordinals (dead ids get -1).
+        forward: ``{EdgeType: CsrAdjacency}`` in stored direction.
+        backward: ``{EdgeType: CsrAdjacency}`` reversed.
+    """
+
+    def __init__(self, store: PropertyGraphStore,
+                 edge_types: Sequence[EdgeType] | None = None):
+        self.n = store.vertex_capacity
+        self.vertex_codes = np.full(self.n, -1, dtype=np.int8)
+        self.orders = np.full(self.n, -1, dtype=np.int64)
+        for record in store.vertices():
+            self.vertex_codes[record.vertex_id] = VERTEX_TYPE_CODES[record.vertex_type]
+            self.orders[record.vertex_id] = record.order
+        wanted = list(edge_types) if edge_types is not None else list(EdgeType)
+        self.forward: dict[EdgeType, CsrAdjacency] = {}
+        self.backward: dict[EdgeType, CsrAdjacency] = {}
+        for edge_type in wanted:
+            fwd_pairs = []
+            bwd_pairs = []
+            for record in store.edges(edge_type):
+                fwd_pairs.append((record.src, record.dst))
+                bwd_pairs.append((record.dst, record.src))
+            self.forward[edge_type] = CsrAdjacency.from_pairs(self.n, fwd_pairs)
+            self.backward[edge_type] = CsrAdjacency.from_pairs(self.n, bwd_pairs)
+
+    def is_entity(self, vertex_id: int) -> bool:
+        """True if the id refers to a live entity vertex."""
+        return self.vertex_codes[vertex_id] == VERTEX_TYPE_CODES[VertexType.ENTITY]
+
+    def is_activity(self, vertex_id: int) -> bool:
+        """True if the id refers to a live activity vertex."""
+        return self.vertex_codes[vertex_id] == VERTEX_TYPE_CODES[VertexType.ACTIVITY]
+
+    def edge_count(self, edge_type: EdgeType) -> int:
+        """Number of edges of one type in the snapshot."""
+        return self.forward[edge_type].edge_total

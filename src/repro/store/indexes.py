@@ -1,0 +1,115 @@
+"""Secondary indexes for :class:`repro.store.PropertyGraphStore`.
+
+Two index kinds are provided:
+
+- :class:`LabelIndex` — maps each vertex/edge type to the set of live ids of
+  that type, supporting O(1) counts and type scans (Neo4j's label scan).
+- :class:`PropertyIndex` — a hash index from a property value to the set of
+  vertex ids carrying it, scoped to one ``(vertex_type, key)`` pair.
+
+Both use insertion-ordered dict-of-dict structures so scans are deterministic
+(ids come back in insertion order), which keeps generators and tests
+reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.model.types import EdgeType, VertexType
+
+
+class LabelIndex:
+    """Tracks live vertex and edge ids per type label."""
+
+    def __init__(self) -> None:
+        self._vertex_ids: dict[VertexType, dict[int, None]] = {
+            vt: {} for vt in VertexType
+        }
+        self._edge_ids: dict[EdgeType, dict[int, None]] = {
+            et: {} for et in EdgeType
+        }
+
+    # -- vertices -------------------------------------------------------
+
+    def add_vertex(self, vertex_id: int, vertex_type: VertexType) -> None:
+        """Register a new live vertex id under its type."""
+        self._vertex_ids[vertex_type][vertex_id] = None
+
+    def remove_vertex(self, vertex_id: int, vertex_type: VertexType) -> None:
+        """Unregister a tombstoned vertex id."""
+        self._vertex_ids[vertex_type].pop(vertex_id, None)
+
+    def vertices(self, vertex_type: VertexType) -> Iterator[int]:
+        """Yield live vertex ids of one type, in insertion order."""
+        yield from self._vertex_ids[vertex_type]
+
+    def vertex_count(self, vertex_type: VertexType) -> int:
+        """Number of live vertices of one type."""
+        return len(self._vertex_ids[vertex_type])
+
+    # -- edges ----------------------------------------------------------
+
+    def add_edge(self, edge_id: int, edge_type: EdgeType) -> None:
+        """Register a new live edge id under its type."""
+        self._edge_ids[edge_type][edge_id] = None
+
+    def remove_edge(self, edge_id: int, edge_type: EdgeType) -> None:
+        """Unregister a tombstoned edge id."""
+        self._edge_ids[edge_type].pop(edge_id, None)
+
+    def edges(self, edge_type: EdgeType) -> Iterator[int]:
+        """Yield live edge ids of one type, in insertion order."""
+        yield from self._edge_ids[edge_type]
+
+    def edge_count(self, edge_type: EdgeType) -> int:
+        """Number of live edges of one type."""
+        return len(self._edge_ids[edge_type])
+
+
+class PropertyIndex:
+    """Hash index ``value -> {vertex ids}`` for one ``(vertex_type, key)``.
+
+    Values must be hashable; unhashable values (lists, dicts) are skipped by
+    :meth:`add`, which mirrors how schema-later property stores index only
+    scalar values.
+    """
+
+    def __init__(self, vertex_type: VertexType, key: str):
+        self.vertex_type = vertex_type
+        self.key = key
+        self._buckets: dict[Any, dict[int, None]] = {}
+
+    def add(self, value: Any, vertex_id: int) -> None:
+        """Index ``vertex_id`` under ``value`` (no-op for unhashables)."""
+        try:
+            bucket = self._buckets.setdefault(value, {})
+        except TypeError:
+            return
+        bucket[vertex_id] = None
+
+    def discard(self, value: Any, vertex_id: int) -> None:
+        """Remove ``vertex_id`` from ``value``'s bucket if present."""
+        try:
+            bucket = self._buckets.get(value)
+        except TypeError:
+            return
+        if bucket is not None:
+            bucket.pop(vertex_id, None)
+            if not bucket:
+                del self._buckets[value]
+
+    def lookup(self, value: Any) -> list[int]:
+        """Return vertex ids indexed under ``value`` (insertion order)."""
+        try:
+            bucket = self._buckets.get(value)
+        except TypeError:
+            return []
+        return list(bucket) if bucket else []
+
+    def values(self) -> Iterator[Any]:
+        """Yield the distinct indexed values."""
+        yield from self._buckets
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())

@@ -1,0 +1,102 @@
+"""Vertex and edge records stored by :class:`repro.store.PropertyGraphStore`.
+
+Records are deliberately small and dumb: the store owns identity (dense
+integer ids) and adjacency; records hold the label and the property map
+(``σ``/``ω`` in Definition 1: partial functions from property type to value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.model.types import EdgeType, VertexType
+
+
+@dataclass(slots=True)
+class VertexRecord:
+    """A stored vertex.
+
+    Attributes:
+        vertex_id: Dense integer id, assigned by the store, stable for the
+            lifetime of the store (Neo4j-style id access is O(1)).
+        vertex_type: One of the three PROV vertex types.
+        properties: Key-value property map (``σ``).
+        order: Monotone creation ordinal ("order of being"); used by the
+            early-stopping rule of SimProvAlg/SimProvTst (Sec. III.B.2).
+    """
+
+    vertex_id: int
+    vertex_type: VertexType
+    properties: dict[str, Any] = field(default_factory=dict)
+    order: int = 0
+
+    @property
+    def label(self) -> str:
+        """The vertex-type label (``E``/``A``/``U``)."""
+        return self.vertex_type.label
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Property lookup with a default, mirroring ``dict.get``."""
+        return self.properties.get(key, default)
+
+    def display_name(self) -> str:
+        """Best-effort human-readable name for rendering.
+
+        Prefers the conventional naming properties used in the paper's
+        figures (artifact ``name`` suffixed by version for entities,
+        command for activities, first name for agents), falling back to
+        ``<label><id>``.
+        """
+        for key in ("name", "filename", "command", "label"):
+            value = self.properties.get(key)
+            if value is not None:
+                version = self.properties.get("version")
+                if version is not None and key in ("name", "filename"):
+                    return f"{value}-v{version}"
+                return str(value)
+        return f"{self.label}{self.vertex_id}"
+
+
+@dataclass(slots=True)
+class EdgeRecord:
+    """A stored edge.
+
+    Attributes:
+        edge_id: Dense integer id assigned by the store.
+        edge_type: One of the five PROV edge types.
+        src: Source vertex id.
+        dst: Target vertex id.
+        properties: Key-value property map (``ω``).
+    """
+
+    edge_id: int
+    edge_type: EdgeType
+    src: int
+    dst: int
+    properties: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        """The edge-type label (``U``/``G``/``S``/``A``/``D``)."""
+        return self.edge_type.label
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Property lookup with a default, mirroring ``dict.get``."""
+        return self.properties.get(key, default)
+
+    def endpoints(self) -> tuple[int, int]:
+        """Return ``(src, dst)``."""
+        return (self.src, self.dst)
+
+    def other(self, vertex_id: int) -> int:
+        """Return the endpoint that is not ``vertex_id``.
+
+        Raises:
+            ValueError: if ``vertex_id`` is not an endpoint of this edge.
+        """
+        if vertex_id == self.src:
+            return self.dst
+        if vertex_id == self.dst:
+            return self.src
+        raise ValueError(f"vertex {vertex_id} is not an endpoint of edge {self.edge_id}")

@@ -1,0 +1,170 @@
+"""A small transaction layer over :class:`repro.store.PropertyGraphStore`.
+
+Provenance ingestion is append-mostly, so the transaction model is simple:
+a :class:`Transaction` buffers additions (vertices, edges, property updates)
+and applies them to the store on :meth:`Transaction.commit`. Until commit,
+nothing is visible in the store; :meth:`Transaction.rollback` discards the
+buffer. Buffered vertices receive *provisional* negative handles that commit
+maps to real store ids, returned in :attr:`Transaction.id_map`.
+
+This mirrors how the ProvDB ingestor batches the records of one activity
+execution (a command run) and publishes them atomically.
+
+Example:
+    >>> from repro.model.types import VertexType, EdgeType
+    >>> from repro.store.store import PropertyGraphStore
+    >>> from repro.store.transactions import Transaction
+    >>> store = PropertyGraphStore()
+    >>> with Transaction(store) as tx:
+    ...     a = tx.add_vertex(VertexType.ACTIVITY, {"command": "train"})
+    ...     e = tx.add_vertex(VertexType.ENTITY, {"name": "weights"})
+    ...     _ = tx.add_edge(EdgeType.WAS_GENERATED_BY, e, a)
+    >>> store.vertex_count
+    2
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import TransactionError
+from repro.model.types import EdgeType, VertexType
+from repro.store.store import PropertyGraphStore
+
+
+@dataclass(slots=True)
+class _BufferedVertex:
+    handle: int
+    vertex_type: VertexType
+    properties: dict[str, Any]
+
+
+@dataclass(slots=True)
+class _BufferedEdge:
+    edge_type: EdgeType
+    src: int
+    dst: int
+    properties: dict[str, Any]
+
+
+@dataclass(slots=True)
+class _BufferedVertexProperty:
+    vertex: int
+    key: str
+    value: Any
+
+
+class Transaction:
+    """Buffered write batch against a store.
+
+    May be used as a context manager: the batch commits on normal exit and
+    rolls back if the body raises.
+    """
+
+    _OPEN = "open"
+    _COMMITTED = "committed"
+    _ROLLED_BACK = "rolled-back"
+
+    def __init__(self, store: PropertyGraphStore):
+        self._store = store
+        self._state = self._OPEN
+        self._vertices: list[_BufferedVertex] = []
+        self._edges: list[_BufferedEdge] = []
+        self._vertex_props: list[_BufferedVertexProperty] = []
+        self._next_handle = -1
+        #: provisional handle -> committed store id (populated by commit)
+        self.id_map: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_open(self) -> bool:
+        """True until commit or rollback."""
+        return self._state == self._OPEN
+
+    def _require_open(self) -> None:
+        if self._state != self._OPEN:
+            raise TransactionError(f"transaction is {self._state}")
+
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, vertex_type: VertexType,
+                   properties: dict[str, Any] | None = None) -> int:
+        """Buffer a vertex; returns a provisional negative handle."""
+        self._require_open()
+        handle = self._next_handle
+        self._next_handle -= 1
+        self._vertices.append(
+            _BufferedVertex(handle, vertex_type, dict(properties or {}))
+        )
+        return handle
+
+    def add_edge(self, edge_type: EdgeType, src: int, dst: int,
+                 properties: dict[str, Any] | None = None) -> None:
+        """Buffer an edge. Endpoints may be provisional handles or real ids."""
+        self._require_open()
+        self._edges.append(_BufferedEdge(edge_type, src, dst, dict(properties or {})))
+
+    def set_vertex_property(self, vertex: int, key: str, value: Any) -> None:
+        """Buffer a property update on a provisional handle or real id."""
+        self._require_open()
+        self._vertex_props.append(_BufferedVertexProperty(vertex, key, value))
+
+    # ------------------------------------------------------------------
+
+    def _resolve(self, vertex: int) -> int:
+        if vertex < 0:
+            if vertex not in self.id_map:
+                raise TransactionError(f"unknown provisional handle {vertex}")
+            return self.id_map[vertex]
+        return vertex
+
+    def commit(self) -> dict[int, int]:
+        """Apply the batch to the store; returns the handle -> id map.
+
+        Edge signature violations surface as :class:`repro.errors.InvalidEdge`
+        during commit; in that case already-applied records remain (the store
+        is append-only and the caller still holds the transaction for
+        inspection), matching the semantics of a failed batched import.
+        """
+        self._require_open()
+        for buffered in self._vertices:
+            self.id_map[buffered.handle] = self._store.add_vertex(
+                buffered.vertex_type, buffered.properties
+            )
+        for prop in self._vertex_props:
+            self._store.set_vertex_property(
+                self._resolve(prop.vertex), prop.key, prop.value
+            )
+        for edge in self._edges:
+            self._store.add_edge(
+                edge.edge_type,
+                self._resolve(edge.src),
+                self._resolve(edge.dst),
+                edge.properties,
+            )
+        self._state = self._COMMITTED
+        return self.id_map
+
+    def rollback(self) -> None:
+        """Discard the buffered batch."""
+        self._require_open()
+        self._vertices.clear()
+        self._edges.clear()
+        self._vertex_props.clear()
+        self._state = self._ROLLED_BACK
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "Transaction":
+        self._require_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            if self.is_open:
+                self.rollback()
+            return False
+        self.commit()
+        return False

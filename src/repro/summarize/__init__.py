@@ -1,0 +1,49 @@
+"""PgSum: the graph summarization operator (Sec. IV)."""
+
+from repro.summarize.aggregation import TYPE_ONLY, PropertyAggregation
+from repro.summarize.minimal import merge_pair_candidates, minimum_psg
+from repro.summarize.pgsum import PgSumOperator, PgSumQuery, PgSumStats, pgsum
+from repro.summarize.provtype import ClassAssignment, compute_vertex_classes
+from repro.summarize.psg import (
+    Psg,
+    PsgNode,
+    build_psg,
+    check_psg_invariant,
+    psg_path_words,
+    segment_path_words,
+    singleton_psg,
+)
+from repro.summarize.psum_baseline import PsumStats, psum_summarize
+from repro.summarize.render import psg_to_dot, psg_to_markdown
+from repro.summarize.simulation import (
+    dominated_pairs,
+    mutual_equivalence_classes,
+    simulation_preorder,
+)
+
+__all__ = [
+    "ClassAssignment",
+    "PgSumOperator",
+    "PgSumQuery",
+    "PgSumStats",
+    "PropertyAggregation",
+    "Psg",
+    "PsgNode",
+    "PsumStats",
+    "TYPE_ONLY",
+    "build_psg",
+    "check_psg_invariant",
+    "compute_vertex_classes",
+    "dominated_pairs",
+    "merge_pair_candidates",
+    "minimum_psg",
+    "mutual_equivalence_classes",
+    "pgsum",
+    "psg_path_words",
+    "psg_to_dot",
+    "psg_to_markdown",
+    "psum_summarize",
+    "segment_path_words",
+    "simulation_preorder",
+    "singleton_psg",
+]

@@ -1,0 +1,74 @@
+"""Property aggregation ``K`` for PgSum (Sec. IV.A.1).
+
+``K = (K_E, K_A, K_U)`` selects, per vertex type, which property keys remain
+visible to the summarization; all other properties are discarded before
+vertices are compared. E.g. the Fig. 2(e) query keeps ``filename`` for
+entities and ``command`` for activities and nothing for agents, making all
+agents indistinguishable ("an abstract team member").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.model.types import VertexType
+from repro.store.records import VertexRecord
+
+
+def _freeze(value: Any) -> Hashable:
+    """Coerce property values to something hashable and order-stable."""
+    if isinstance(value, (str, int, float, bool, type(None))):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    return repr(value)
+
+
+@dataclass(frozen=True, slots=True)
+class PropertyAggregation:
+    """Which property keys survive aggregation, per vertex type.
+
+    Attributes:
+        entity_keys / activity_keys / agent_keys: kept keys (``K_E``,
+            ``K_A``, ``K_U``). Empty set = ignore all properties of that
+            type, collapsing all same-type vertices onto one base label.
+    """
+
+    entity_keys: frozenset[str] = field(default_factory=frozenset)
+    activity_keys: frozenset[str] = field(default_factory=frozenset)
+    agent_keys: frozenset[str] = field(default_factory=frozenset)
+
+    @classmethod
+    def of(cls, entity: tuple[str, ...] = (), activity: tuple[str, ...] = (),
+           agent: tuple[str, ...] = ()) -> "PropertyAggregation":
+        """Terse constructor: ``PropertyAggregation.of(entity=("filename",))``."""
+        return cls(frozenset(entity), frozenset(activity), frozenset(agent))
+
+    def keys_for(self, vertex_type: VertexType) -> frozenset[str]:
+        """Kept keys for one vertex type."""
+        if vertex_type is VertexType.ENTITY:
+            return self.entity_keys
+        if vertex_type is VertexType.ACTIVITY:
+            return self.activity_keys
+        return self.agent_keys
+
+    def base_label(self, record: VertexRecord) -> tuple:
+        """The aggregated label of a vertex: type + surviving properties.
+
+        Properties absent on the vertex are recorded as absent (``None``
+        marker), so a vertex missing ``command`` is distinguishable from one
+        with ``command=None`` only up to the frozen encoding.
+        """
+        keys = self.keys_for(record.vertex_type)
+        kept = tuple(
+            (key, _freeze(record.properties.get(key)))
+            for key in sorted(keys)
+        )
+        return (record.vertex_type.label, kept)
+
+
+#: Aggregation keeping nothing: every vertex collapses to its PROV type.
+TYPE_ONLY = PropertyAggregation()

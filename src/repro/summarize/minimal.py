@@ -1,0 +1,128 @@
+"""Exact minimum-Psg search for tiny inputs (test oracle).
+
+Theorem 4 shows minimum Psg is PSPACE-complete, so PgSum approximates via
+simulation. For *tiny* segment sets we can afford the exact optimum:
+enumerate all partitions of the union vertices that respect the ``≡kκ``
+classes, keep those whose summary preserves the bounded path language, and
+return the fewest-groups winner. The test suite uses this to quantify how
+close the approximation gets (and to re-verify PgSum's validity from an
+independent angle).
+
+Complexity is a product of Bell numbers per class — callers should keep the
+union below ~10 vertices.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, Sequence
+
+from repro.errors import SummarizationError
+from repro.segment.pgseg import Segment
+from repro.summarize.aggregation import PropertyAggregation, TYPE_ONLY
+from repro.summarize.provtype import ClassAssignment, compute_vertex_classes
+from repro.summarize.psg import Psg, build_psg, psg_path_words, segment_path_words
+
+
+def _set_partitions(items: list) -> Iterator[list[list]]:
+    """All set partitions (restricted-growth enumeration)."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partial in _set_partitions(rest):
+        # first joins an existing block
+        for index in range(len(partial)):
+            yield (
+                partial[:index]
+                + [[first] + partial[index]]
+                + partial[index + 1:]
+            )
+        # first forms a new block
+        yield [[first]] + partial
+
+
+def _class_partitions(classes: ClassAssignment) -> Iterator[list[list]]:
+    """Cartesian product of per-class partitions (classes never mix)."""
+    per_class = [list(members) for members in classes.members if members]
+
+    def recurse(index: int) -> Iterator[list[list]]:
+        if index == len(per_class):
+            yield []
+            return
+        for head in _set_partitions(per_class[index]):
+            for tail in recurse(index + 1):
+                yield head + tail
+
+    yield from recurse(0)
+
+
+def minimum_psg(segments: Sequence[Segment],
+                aggregation: PropertyAggregation = TYPE_ONLY,
+                k: int = 0, max_edges: int = 8,
+                max_union: int = 12) -> Psg:
+    """Exhaustively find a minimum valid Psg.
+
+    Args:
+        segments: the PgSum input.
+        aggregation / k: the ``≡kκ`` parameters.
+        max_edges: path-word bound for validity checking (exact when it
+            covers the longest segment path).
+        max_union: safety cap on the union size.
+
+    Raises:
+        SummarizationError: if the union exceeds ``max_union`` (the search is
+            exponential) or no valid Psg exists (cannot happen: g0 is valid).
+    """
+    if not segments:
+        raise SummarizationError("minimum_psg needs at least one segment")
+    total = sum(len(segment.vertices) for segment in segments)
+    if total > max_union:
+        raise SummarizationError(
+            f"union of {total} vertices exceeds max_union={max_union}; "
+            "the exact search is exponential"
+        )
+    classes = compute_vertex_classes(segments, aggregation, k)
+    reference_words = segment_path_words(segments, classes, max_edges)
+
+    best: Psg | None = None
+    for partition in _class_partitions(classes):
+        if best is not None and len(partition) >= best.node_count:
+            continue
+        candidate = build_psg(segments, classes, partition)
+        words = psg_path_words(candidate, max_edges)
+        if words != reference_words:
+            continue
+        if best is None or candidate.node_count < best.node_count:
+            best = candidate
+    if best is None:    # pragma: no cover - g0 always qualifies
+        raise SummarizationError("no valid Psg found")
+    return best
+
+
+def merge_pair_candidates(segments: Sequence[Segment],
+                          aggregation: PropertyAggregation = TYPE_ONLY,
+                          k: int = 0, max_edges: int = 8,
+                          ) -> list[tuple[tuple, tuple]]:
+    """All single pairs whose merge keeps the Psg valid (diagnostics).
+
+    Enumerates every same-class vertex pair, merges just that pair, and
+    checks the bounded invariant — the ground truth that Lemma 3/5's merge
+    conditions approximate.
+    """
+    classes = compute_vertex_classes(segments, aggregation, k)
+    reference_words = segment_path_words(segments, classes, max_edges)
+    nodes = [
+        (si, v) for si, segment in enumerate(segments)
+        for v in sorted(segment.vertices)
+    ]
+    valid_pairs = []
+    for left, right in combinations(nodes, 2):
+        if classes.class_of[left] != classes.class_of[right]:
+            continue
+        partition = [[n] for n in nodes if n not in (left, right)]
+        partition.append([left, right])
+        candidate = build_psg(segments, classes, partition)
+        if psg_path_words(candidate, max_edges) == reference_words:
+            valid_pairs.append((left, right))
+    return valid_pairs

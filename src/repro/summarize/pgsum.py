@@ -1,0 +1,193 @@
+"""The PgSum summarization operator (Sec. IV).
+
+``PgSum(S, K, Rk)`` merges the vertices of a set of segments into a
+provenance summary graph (Psg) without changing the path-label language:
+
+1. compute the ``≡kκ`` equivalence classes (aggregation ``K`` + provenance
+   type ``Rk``) — only same-class vertices may ever merge;
+2. start from ``g0 = ⋃ Si`` and repeat merge rounds until fixpoint:
+   compute the in-/out-simulation preorders on the current quotient, then
+   apply Lemma-5 merges — mutual in-simulation classes, else mutual
+   out-simulation classes, else disjoint dominated *stars*
+   (``u ≤sin v ∧ u ≤sout v`` merges ``u`` into the dominant ``v``);
+3. annotate edges with their appearance frequency ``γ`` across segments.
+
+Minimum Psg is PSPACE-complete (Theorem 4); simulation approximates trace
+equivalence, so the result is a valid Psg but not necessarily minimum. The
+rounds are structured so every batch has a clean no-new-paths argument:
+mutual-simulation classes merge by quotient-lifting, and each dominated star
+has a single top that in- and out-dominates all its members.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import SummarizationError
+from repro.segment.pgseg import Segment
+from repro.summarize.aggregation import TYPE_ONLY, PropertyAggregation
+from repro.summarize.provtype import ClassAssignment, compute_vertex_classes
+from repro.summarize.psg import Psg, build_psg
+from repro.summarize.simulation import (
+    dominated_pairs,
+    mutual_equivalence_classes,
+    simulation_preorder,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class PgSumQuery:
+    """A PgSum query: ``(S, K, Rk)`` options.
+
+    Attributes:
+        aggregation: the property aggregation ``K``.
+        k: provenance-type radius ``Rk`` (0 = labels only).
+        max_rounds: cap on merge rounds (None = to fixpoint).
+        verify_isomorphism: exact-iso confirmation inside ``≡kκ``.
+        rk_direction: neighborhood direction for ``Rk`` — ``"both"`` is the
+            formal Sec. IV.A.1 definition, ``"out"`` the ancestry-only
+            variant that reproduces the paper's Fig. 2(e) example.
+    """
+
+    aggregation: PropertyAggregation = TYPE_ONLY
+    k: int = 0
+    max_rounds: int | None = None
+    verify_isomorphism: bool = True
+    rk_direction: str = "both"
+
+
+@dataclass(slots=True)
+class PgSumStats:
+    """Work counters for one summarization."""
+
+    rounds: int = 0
+    merges: int = 0
+    class_count: int = 0
+    seconds: float = 0.0
+
+
+class PgSumOperator:
+    """Evaluates PgSum over a fixed set of segments."""
+
+    def __init__(self, segments: Sequence[Segment]):
+        if not segments:
+            raise SummarizationError("PgSum needs at least one segment")
+        self.segments = list(segments)
+        self.stats = PgSumStats()
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, query: PgSumQuery | None = None) -> Psg:
+        """Run the full pipeline and return the summary graph."""
+        query = query if query is not None else PgSumQuery()
+        start_time = time.perf_counter()
+
+        classes = compute_vertex_classes(
+            self.segments, query.aggregation, query.k,
+            verify_isomorphism=query.verify_isomorphism,
+            direction=query.rk_direction,
+        )
+        self.stats.class_count = classes.class_count
+
+        # Union-node indexing.
+        nodes = [
+            (seg_index, vertex_id)
+            for seg_index, segment in enumerate(self.segments)
+            for vertex_id in sorted(segment.vertices)
+        ]
+        index_of = {node: index for index, node in enumerate(nodes)}
+        node_class = [classes.class_of[node] for node in nodes]
+        union_edges: list[tuple[int, int, str]] = []
+        for seg_index, segment in enumerate(self.segments):
+            for record in segment.edges():
+                union_edges.append((
+                    index_of[(seg_index, record.src)],
+                    index_of[(seg_index, record.dst)],
+                    record.label,
+                ))
+
+        # Partition: group id per union node; start as singletons.
+        group_of = list(range(len(nodes)))
+        group_members: dict[int, list[int]] = {
+            index: [index] for index in range(len(nodes))
+        }
+
+        def merge_groups(into: int, absorbed: int) -> None:
+            if into == absorbed:
+                return
+            for member in group_members[absorbed]:
+                group_of[member] = into
+            group_members[into].extend(group_members.pop(absorbed))
+            self.stats.merges += 1
+
+        rounds = 0
+        while query.max_rounds is None or rounds < query.max_rounds:
+            rounds += 1
+            merged = self._merge_round(
+                node_class, union_edges, group_of, group_members, merge_groups
+            )
+            if not merged:
+                break
+        self.stats.rounds = rounds
+
+        partition = [
+            [nodes[member] for member in members]
+            for members in group_members.values()
+        ]
+        psg = build_psg(self.segments, classes, partition)
+        self.stats.seconds = time.perf_counter() - start_time
+        return psg
+
+    # ------------------------------------------------------------------
+
+    def _merge_round(self, node_class, union_edges, group_of,
+                     group_members, merge_groups) -> bool:
+        """One merge round on the current quotient; True if anything merged."""
+        group_ids = sorted(group_members)
+        dense = {gid: index for index, gid in enumerate(group_ids)}
+        labels = [node_class[group_members[gid][0]] for gid in group_ids]
+        quotient_edges = {
+            (dense[group_of[u]], dense[group_of[v]], label)
+            for u, v, label in union_edges
+        }
+        edge_list = sorted(quotient_edges)
+
+        sim_in = simulation_preorder(labels, edge_list, "in")
+        sim_out = simulation_preorder(labels, edge_list, "out")
+
+        # (1) mutual in-simulation classes.
+        for sim in (sim_in, sim_out):
+            plan = [
+                cls for cls in mutual_equivalence_classes(sim) if len(cls) > 1
+            ]
+            if plan:
+                for cls in plan:
+                    target = group_ids[cls[0]]
+                    for other in cls[1:]:
+                        merge_groups(target, group_ids[other])
+                return True
+
+        # (3) dominated stars: each star has one top that dominates all its
+        # bottoms in both directions; stars are vertex-disjoint.
+        pairs = dominated_pairs(sim_in, sim_out)
+        bottoms: set[int] = set()
+        tops: set[int] = set()
+        merged_any = False
+        for u, v in pairs:
+            if u in bottoms or u in tops or v in bottoms:
+                continue
+            merge_groups(group_ids[v], group_ids[u])
+            bottoms.add(u)
+            tops.add(v)
+            merged_any = True
+        return merged_any
+
+
+def pgsum(segments: Sequence[Segment],
+          aggregation: PropertyAggregation = TYPE_ONLY,
+          k: int = 0, **options) -> Psg:
+    """One-shot convenience: summarize segments into a Psg."""
+    query = PgSumQuery(aggregation=aggregation, k=k, **options)
+    return PgSumOperator(segments).evaluate(query)

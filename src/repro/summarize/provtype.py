@@ -1,0 +1,227 @@
+"""Provenance types ``Rk`` and the vertex equivalence relation ``≡kκ``.
+
+Two vertices (possibly from different segments) are ``≡kκ``-equivalent when
+(Sec. IV.A.1):
+
+a) their vertex labels agree;
+b) their property values under the aggregation ``K`` agree;
+c) their k-hop neighborhoods (induced subgraphs within their segments) are
+   isomorphic respecting labels, aggregated properties, edge types, and edge
+   directions, with centers mapped to centers.
+
+Equality is decided in two stages: a deterministic Weisfeiler–Leman-style
+certificate buckets candidates (isomorphism-invariant, so isomorphic
+neighborhoods never separate), then exact isomorphism (networkx VF2 on
+labeled multidigraphs) confirms within buckets. ``k = 0`` degenerates to
+label+property equality.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import networkx as nx
+from networkx.algorithms import isomorphism as nx_iso
+
+from repro.segment.pgseg import Segment
+from repro.summarize.aggregation import PropertyAggregation
+
+#: A union-graph node: (segment index, vertex id within that segment's graph).
+UnionNode = tuple[int, int]
+
+
+@dataclass(slots=True)
+class ClassAssignment:
+    """Result of computing ``≡kκ`` over a set of segments.
+
+    Attributes:
+        class_of: union node -> class index.
+        class_labels: class index -> hashable canonical label (base label +
+            neighborhood certificate); used as the ``ρ`` vertex label in Psg
+            path words.
+        members: class index -> list of union nodes.
+    """
+
+    class_of: dict[UnionNode, int] = field(default_factory=dict)
+    class_labels: list[Hashable] = field(default_factory=list)
+    members: list[list[UnionNode]] = field(default_factory=list)
+
+    @property
+    def class_count(self) -> int:
+        """Number of equivalence classes."""
+        return len(self.class_labels)
+
+
+def _khop_neighborhood(segment: Segment, center: int, k: int,
+                       aggregation: PropertyAggregation,
+                       direction: str = "both") -> nx.MultiDiGraph:
+    """k-hop neighborhood of ``center`` inside its segment.
+
+    ``direction="both"`` follows the formal ``Rk`` definition (induced
+    subgraph within undirected distance k). ``direction="out"`` follows only
+    outgoing (ancestry) edges, which matches the provenance types the paper's
+    Fig. 2(e) example assigns (and Moreau's edge-label concatenation [25]).
+    """
+    graph = segment.graph
+    adjacency: dict[int, list[tuple[int, str, bool]]] = {
+        v: [] for v in segment.vertices
+    }
+    for record in segment.edges():
+        adjacency[record.src].append((record.dst, record.label, True))
+        if direction == "both":
+            adjacency[record.dst].append((record.src, record.label, False))
+
+    frontier = {center}
+    members = {center}
+    for _ in range(k):
+        nxt: set[int] = set()
+        for vertex_id in frontier:
+            for other, _label, _fwd in adjacency[vertex_id]:
+                if other not in members:
+                    members.add(other)
+                    nxt.add(other)
+        frontier = nxt
+        if not frontier:
+            break
+
+    out = nx.MultiDiGraph()
+    for vertex_id in members:
+        record = graph.vertex(vertex_id)
+        out.add_node(
+            vertex_id,
+            label=aggregation.base_label(record),
+            center=(vertex_id == center),
+        )
+    for record in segment.edges():
+        if record.src in members and record.dst in members:
+            out.add_edge(record.src, record.dst, label=record.label)
+    return out
+
+
+def _wl_certificate(neighborhood: nx.MultiDiGraph, rounds: int) -> str:
+    """Deterministic WL-style hash of a labeled multidigraph with a center.
+
+    Isomorphism-invariant: the per-node color refinement folds in sorted
+    multisets of (edge label, direction, neighbor color); the certificate is
+    the sorted multiset of final colors. Uses sha256 for run-to-run
+    stability (unlike builtin ``hash``).
+    """
+
+    def digest(text: str) -> str:
+        return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+    colors = {
+        node: digest(repr((data["label"], data["center"])))
+        for node, data in neighborhood.nodes(data=True)
+    }
+    for _ in range(max(1, rounds)):
+        new_colors = {}
+        for node in neighborhood.nodes:
+            out_sig = sorted(
+                (data["label"], colors[dst])
+                for _, dst, data in neighborhood.out_edges(node, data=True)
+            )
+            in_sig = sorted(
+                (data["label"], colors[src])
+                for src, _, data in neighborhood.in_edges(node, data=True)
+            )
+            new_colors[node] = digest(repr((colors[node], out_sig, in_sig)))
+        colors = new_colors
+    return digest(repr(sorted(colors.values())))
+
+
+def _isomorphic(left: nx.MultiDiGraph, right: nx.MultiDiGraph) -> bool:
+    """Exact labeled isomorphism (centers map to centers)."""
+    node_match = nx_iso.categorical_node_match(["label", "center"], [None, None])
+    edge_match = nx_iso.categorical_multiedge_match("label", None)
+    matcher = nx_iso.MultiDiGraphMatcher(
+        left, right, node_match=node_match, edge_match=edge_match
+    )
+    return matcher.is_isomorphic()
+
+
+def compute_vertex_classes(segments: Sequence[Segment],
+                           aggregation: PropertyAggregation,
+                           k: int = 0,
+                           verify_isomorphism: bool = True,
+                           direction: str = "both") -> ClassAssignment:
+    """Partition all segment vertices by ``≡kκ``.
+
+    Args:
+        segments: the PgSum input segments.
+        aggregation: the property aggregation ``K``.
+        k: provenance-type radius ``Rk`` (0 = labels only).
+        verify_isomorphism: confirm WL buckets with exact VF2 matching.
+            Disable for speed when neighborhoods are known to be small and
+            distinctive (the certificate is already isomorphism-invariant,
+            so disabling can only *merge* colliding non-isomorphic types,
+            never split isomorphic ones).
+        direction: ``"both"`` (formal definition) or ``"out"`` (ancestry
+            neighborhood, as in the paper's Fig. 2(e) example).
+    """
+    if direction not in ("both", "out"):
+        raise ValueError("direction must be 'both' or 'out'")
+    assignment = ClassAssignment()
+    if k <= 0:
+        label_to_class: dict[Hashable, int] = {}
+        for seg_index, segment in enumerate(segments):
+            for vertex_id in sorted(segment.vertices):
+                record = segment.graph.vertex(vertex_id)
+                label = aggregation.base_label(record)
+                if label not in label_to_class:
+                    label_to_class[label] = len(assignment.class_labels)
+                    assignment.class_labels.append(label)
+                    assignment.members.append([])
+                class_index = label_to_class[label]
+                node = (seg_index, vertex_id)
+                assignment.class_of[node] = class_index
+                assignment.members[class_index].append(node)
+        return assignment
+
+    # k >= 1: bucket by (base label, WL certificate), then iso-verify.
+    buckets: dict[Hashable, list[tuple[UnionNode, nx.MultiDiGraph]]] = {}
+    order: list[Hashable] = []
+    for seg_index, segment in enumerate(segments):
+        for vertex_id in sorted(segment.vertices):
+            record = segment.graph.vertex(vertex_id)
+            base = aggregation.base_label(record)
+            neighborhood = _khop_neighborhood(segment, vertex_id, k,
+                                              aggregation, direction)
+            certificate = _wl_certificate(neighborhood, rounds=k + 1)
+            key = (base, certificate)
+            if key not in buckets:
+                buckets[key] = []
+                order.append(key)
+            buckets[key].append(((seg_index, vertex_id), neighborhood))
+
+    for key in order:
+        entries = buckets[key]
+        if not verify_isomorphism or len(entries) == 1:
+            class_index = len(assignment.class_labels)
+            assignment.class_labels.append(key)
+            assignment.members.append([])
+            for node, _nbhd in entries:
+                assignment.class_of[node] = class_index
+                assignment.members[class_index].append(node)
+            continue
+        # Exact isomorphism split within the bucket (collision safety).
+        representatives: list[tuple[int, nx.MultiDiGraph]] = []
+        for node, neighborhood in entries:
+            placed = False
+            for class_index, rep in representatives:
+                if _isomorphic(neighborhood, rep):
+                    assignment.class_of[node] = class_index
+                    assignment.members[class_index].append(node)
+                    placed = True
+                    break
+            if not placed:
+                class_index = len(assignment.class_labels)
+                assignment.class_labels.append(
+                    (key, len(representatives))
+                )
+                assignment.members.append([node])
+                assignment.class_of[node] = class_index
+                representatives.append((class_index, neighborhood))
+    return assignment

@@ -1,0 +1,106 @@
+"""Rendering provenance summary graphs (DOT and markdown).
+
+The Psg is a user-facing artifact ("the query issuer would change the query
+conditions to derive various summary at different resolutions"), so it needs
+presentable output beyond ``describe()``:
+
+- :func:`psg_to_dot` — Graphviz, with the paper's Fig. 2(e) conventions:
+  group size shown as ``xN``, provenance-type tags, edge frequency labels
+  and line weights;
+- :func:`psg_to_markdown` — a table pair (groups, edges) for reports.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.summarize.psg import Psg
+
+_SHAPES = {"E": "ellipse", "A": "box", "U": "house"}
+
+
+def _label_parts(label: Hashable) -> tuple[str, str]:
+    """(vertex type letter, human text) from a class label."""
+    node_type = "?"
+    text_parts: list[str] = []
+
+    def walk(value) -> None:
+        nonlocal node_type
+        if isinstance(value, tuple):
+            for item in value:
+                walk(item)
+        elif isinstance(value, str):
+            if value in ("E", "A", "U") and node_type == "?":
+                node_type = value
+            elif len(value) > 1 and not value.isdigit():
+                text_parts.append(value)
+
+    walk(label)
+    # Drop property keys (they arrive as (key, value) pairs flattened by the
+    # walk); keep the values, which follow their keys.
+    cleaned: list[str] = []
+    skip_next = False
+    for index, part in enumerate(text_parts):
+        if skip_next:
+            skip_next = False
+            continue
+        if index + 1 < len(text_parts):
+            cleaned.append(text_parts[index + 1])
+            skip_next = True
+        else:
+            cleaned.append(part)
+    text = "/".join(dict.fromkeys(cleaned)) if cleaned else node_type
+    return node_type, text
+
+
+def group_display_name(psg: Psg, group_index: int) -> str:
+    """Short name for one Psg group, e.g. ``train x2``."""
+    node = psg.nodes[group_index]
+    _, text = _label_parts(node.label)
+    return f"{text} x{len(node.members)}"
+
+
+def psg_to_dot(psg: Psg, name: str = "psg",
+               min_frequency: float = 0.0) -> str:
+    """Graphviz DOT rendering of a summary graph.
+
+    Args:
+        min_frequency: hide edges rarer than this (0 = show all).
+    """
+    lines = [f"digraph {name} {{", "  rankdir=RL;"]
+    for index, node in enumerate(psg.nodes):
+        node_type, text = _label_parts(node.label)
+        shape = _SHAPES.get(node_type, "oval")
+        label = f"{text}\\n(x{len(node.members)})".replace('"', r"\"")
+        lines.append(f'  g{index} [shape={shape}, label="{label}"];')
+    for (src, dst, edge_label), freq in sorted(psg.edges.items()):
+        if freq < min_frequency:
+            continue
+        width = 1.0 + 2.0 * freq
+        lines.append(
+            f'  g{src} -> g{dst} [label="{edge_label} {freq:.0%}", '
+            f"penwidth={width:.1f}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def psg_to_markdown(psg: Psg) -> str:
+    """Markdown rendering: a group table and an edge table."""
+    lines = [
+        f"**Summary**: {psg.node_count} groups from "
+        f"{psg.source_vertex_total} vertices across {psg.segment_count} "
+        f"segments (cr = {psg.compaction_ratio:.3f})",
+        "",
+        "| group | type | merged vertices |",
+        "|---|---|---|",
+    ]
+    for index, node in enumerate(psg.nodes):
+        node_type, text = _label_parts(node.label)
+        lines.append(f"| µ{index} {text} | {node_type} | {len(node.members)} |")
+    lines += ["", "| edge | type | frequency |", "|---|---|---|"]
+    for (src, dst, edge_label), freq in sorted(psg.edges.items()):
+        lines.append(
+            f"| µ{src} → µ{dst} | {edge_label} | {freq:.0%} |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Synthetic workload generators (Sec. V) and the Fig. 2 running example."""
+
+from repro.workloads.distributions import (
+    ZipfSampler,
+    categorical,
+    dirichlet_row,
+    make_rng,
+    poisson,
+    sample_distinct,
+)
+from repro.workloads.fmri import FmriRun, build_fmri_workflow
+from repro.workloads.lifecycle import (
+    PaperExample,
+    TeamProject,
+    build_paper_example,
+    generate_team_project,
+)
+from repro.workloads.pd_generator import (
+    PdInstance,
+    PdParams,
+    generate_pd,
+    generate_pd_sized,
+)
+from repro.workloads.sd_generator import (
+    SD_AGGREGATION,
+    SdInstance,
+    SdParams,
+    generate_sd,
+    generate_sd_defaults,
+)
+
+__all__ = [
+    "FmriRun",
+    "PaperExample",
+    "build_fmri_workflow",
+    "PdInstance",
+    "PdParams",
+    "SD_AGGREGATION",
+    "SdInstance",
+    "SdParams",
+    "TeamProject",
+    "ZipfSampler",
+    "build_paper_example",
+    "categorical",
+    "dirichlet_row",
+    "generate_pd",
+    "generate_pd_sized",
+    "generate_sd",
+    "generate_sd_defaults",
+    "generate_team_project",
+    "make_rng",
+    "poisson",
+    "sample_distinct",
+]

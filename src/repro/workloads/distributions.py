@@ -1,0 +1,126 @@
+"""Seeded samplers for the synthetic workload generators (Sec. V).
+
+The Pd/Sd generators need three distributions:
+
+- bounded Zipf over ranks (agent work rate ``sw``, input selection ``se``);
+- Poisson (activity input/output counts ``λi``/``λo``);
+- Dirichlet (Markov transition rows, concentration ``α``).
+
+:class:`ZipfSampler` samples from a Zipf pmf truncated to a *growing* domain
+(the paper's input selection ranks entities by reverse creation order, and
+the entity count grows as generation proceeds): prefix sums of ``r^-s`` are
+precomputed once up to the maximum domain size, so each draw is one uniform
+plus one binary search.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+def make_rng(seed: int | None = None) -> np.random.Generator:
+    """A numpy Generator with an explicit seed (None = fresh entropy)."""
+    return np.random.default_rng(seed)
+
+
+class ZipfSampler:
+    """Bounded Zipf sampler with a growing domain.
+
+    ``sample(n)`` draws a rank ``r ∈ [1, n]`` with probability proportional
+    to ``r^-skew``.
+
+    Args:
+        skew: Zipf exponent (> 0).
+        max_rank: largest domain size ever queried.
+        rng: numpy Generator.
+    """
+
+    def __init__(self, skew: float, max_rank: int, rng: np.random.Generator):
+        if skew <= 0:
+            raise WorkloadError(f"Zipf skew must be positive, got {skew}")
+        if max_rank < 1:
+            raise WorkloadError(f"max_rank must be >= 1, got {max_rank}")
+        self.skew = skew
+        self.max_rank = max_rank
+        self._rng = rng
+        ranks = np.arange(1, max_rank + 1, dtype=np.float64)
+        weights = ranks ** (-skew)
+        # _prefix[r] = sum of weights of ranks 1..r; _prefix[0] = 0.
+        self._prefix = np.concatenate(([0.0], np.cumsum(weights)))
+
+    def pmf(self, rank: int, n: int) -> float:
+        """P(rank) under the domain [1, n]."""
+        if not 1 <= rank <= n <= self.max_rank:
+            raise WorkloadError(f"rank {rank} outside domain [1, {n}]")
+        weight = self._prefix[rank] - self._prefix[rank - 1]
+        return float(weight / self._prefix[n])
+
+    def sample(self, n: int) -> int:
+        """Draw a rank from [1, n]."""
+        if not 1 <= n <= self.max_rank:
+            raise WorkloadError(f"domain size {n} outside [1, {self.max_rank}]")
+        u = self._rng.random() * self._prefix[n]
+        # Find the smallest r with _prefix[r] >= u.
+        r = int(np.searchsorted(self._prefix, u, side="left"))
+        return min(max(r, 1), n)
+
+    def sample_many(self, n: int, count: int) -> list[int]:
+        """Draw ``count`` independent ranks from [1, n]."""
+        return [self.sample(n) for _ in range(count)]
+
+
+def poisson(rng: np.random.Generator, lam: float) -> int:
+    """One Poisson draw (λ >= 0)."""
+    if lam < 0:
+        raise WorkloadError(f"Poisson mean must be non-negative, got {lam}")
+    if lam == 0:
+        return 0
+    return int(rng.poisson(lam))
+
+
+def dirichlet_row(rng: np.random.Generator, alpha: float, size: int) -> np.ndarray:
+    """One Dirichlet draw with symmetric concentration ``alpha``."""
+    if alpha <= 0:
+        raise WorkloadError(f"Dirichlet concentration must be positive, got {alpha}")
+    if size < 1:
+        raise WorkloadError(f"Dirichlet dimension must be >= 1, got {size}")
+    return rng.dirichlet(np.full(size, alpha, dtype=np.float64))
+
+
+def categorical(rng: np.random.Generator, probabilities: np.ndarray) -> int:
+    """Draw an index from a categorical distribution."""
+    u = rng.random()
+    cumulative = 0.0
+    for index, p in enumerate(probabilities):
+        cumulative += float(p)
+        if u <= cumulative:
+            return index
+    return len(probabilities) - 1
+
+
+def sample_distinct(sampler: ZipfSampler, n: int, count: int,
+                    max_attempts_factor: int = 20) -> list[int]:
+    """Draw up to ``count`` *distinct* ranks from [1, n].
+
+    Rejection sampling with a bounded number of attempts; when the domain is
+    smaller than ``count`` (or the skew concentrates mass), fewer ranks are
+    returned — mirroring an activity that wants m inputs but the project has
+    fewer artifacts.
+    """
+    want = min(count, n)
+    seen: dict[int, None] = {}
+    attempts = 0
+    limit = max_attempts_factor * max(want, 1)
+    while len(seen) < want and attempts < limit:
+        seen.setdefault(sampler.sample(n), None)
+        attempts += 1
+    if len(seen) < want:
+        for rank in range(1, n + 1):        # deterministic fill
+            seen.setdefault(rank, None)
+            if len(seen) == want:
+                break
+    return list(seen)

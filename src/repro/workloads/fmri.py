@@ -1,0 +1,108 @@
+"""The First Provenance Challenge fMRI workflow as a provenance fixture.
+
+The paper grounds its query types in the provenance challenge [15]; the
+challenge's running example is a brain-imaging pipeline: for each of N
+anatomy images, ``align_warp`` registers the image against a reference,
+``reslice`` applies the transform; a single ``softmean`` averages all
+resliced images; then per axis (x/y/z) ``slicer`` extracts a slice and
+``convert`` renders a graphic.
+
+:func:`build_fmri_workflow` records one run (optionally several sessions)
+through :class:`repro.session.LifecycleSession`, producing a realistic
+multi-stage provenance graph with a *known* workflow skeleton — handy for
+validating PgSeg/PgSum output against ground truth (the tests know exactly
+which stages lie between an anatomy image and an atlas graphic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.session import LifecycleSession
+
+#: The challenge's three output axes.
+AXES = ("x", "y", "z")
+
+
+@dataclass(slots=True)
+class FmriRun:
+    """Artifact names of one workflow run (all per-session versioned)."""
+
+    session: LifecycleSession
+    n_subjects: int
+    runs: int = 1
+    anatomy_images: list[str] = field(default_factory=list)
+    atlas_graphics: list[str] = field(default_factory=list)
+
+    @property
+    def graph(self):
+        """The provenance graph behind the session."""
+        return self.session.graph
+
+
+def build_fmri_workflow(n_subjects: int = 4, runs: int = 1,
+                        operator: str = "researcher") -> FmriRun:
+    """Record ``runs`` executions of the challenge workflow.
+
+    Each run re-executes every stage, minting new snapshots of all derived
+    artifacts (the reference image and raw anatomy images are ingested once).
+    """
+    session = LifecycleSession(project="provenance-challenge-1")
+    session.add_artifact("reference.img", member=operator,
+                         modality="anatomy", kind="reference")
+    anatomy = []
+    for subject in range(n_subjects):
+        name = f"anatomy{subject}.img"
+        session.add_artifact(name, member=operator, subject=subject)
+        anatomy.append(name)
+
+    result = FmriRun(session=session, n_subjects=n_subjects, runs=runs,
+                     anatomy_images=anatomy)
+
+    for run_index in range(runs):
+        resliced = []
+        for subject in range(n_subjects):
+            warp = f"warp{subject}.warp"
+            session.record(
+                operator, "align_warp",
+                uses=[f"anatomy{subject}.img", "reference.img"],
+                generates=[warp],
+                run=run_index, subject=subject, model="rigid",
+            )
+            out = f"resliced{subject}.img"
+            session.record(
+                operator, "reslice",
+                uses=[warp],
+                generates=[out],
+                run=run_index, subject=subject,
+            )
+            resliced.append(out)
+        session.record(
+            operator, "softmean",
+            uses=resliced,
+            generates=["atlas.img"],
+            run=run_index,
+        )
+        for axis in AXES:
+            slice_name = f"atlas_{axis}.pgm"
+            session.record(
+                operator, "slicer",
+                uses=["atlas.img"],
+                generates=[slice_name],
+                run=run_index, axis=axis,
+            )
+            graphic = f"atlas_{axis}.gif"
+            session.record(
+                operator, "convert",
+                uses=[slice_name],
+                generates=[graphic],
+                run=run_index, axis=axis,
+            )
+            if graphic not in result.atlas_graphics:
+                result.atlas_graphics.append(graphic)
+    return result
+
+
+#: The stage commands between an anatomy image and an atlas graphic, in
+#: pipeline order — ground truth for segmentation tests.
+PIPELINE_COMMANDS = ("align_warp", "reslice", "softmean", "slicer", "convert")

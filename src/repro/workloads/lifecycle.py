@@ -1,0 +1,211 @@
+"""The paper's running example (Fig. 2) and a richer team-project generator.
+
+:func:`build_paper_example` reproduces the Fig. 2(c) provenance graph of
+Alice and Bob's face-classification project exactly — it is the fixture for
+the Q1/Q2/Q3 tests and the quickstart example.
+
+:func:`generate_team_project` scripts a longer, realistic lifecycle (many
+members, repetitive train/evaluate pipelines with hyperparameter sweeps and
+occasional fixes) on top of :class:`repro.model.builder.ProvBuilder`; the
+domain examples use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.builder import ProvBuilder
+from repro.model.graph import ProvenanceGraph
+from repro.workloads.distributions import make_rng
+
+
+@dataclass(slots=True)
+class PaperExample:
+    """The Fig. 2 lifecycle: graph plus name -> vertex-id map.
+
+    Names follow the figure: ``dataset-v1``, ``model-v2``, ``train-v3``,
+    ``Alice``, ``Bob``, ...
+    """
+
+    graph: ProvenanceGraph
+    ids: dict[str, int] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> int:
+        return self.ids[name]
+
+
+def build_paper_example() -> PaperExample:
+    """Construct the Fig. 2(c) provenance graph.
+
+    Version v1 (Alice): dataset/model/solver appear, ``train-v1`` produces
+    ``log-v1`` (acc 0.7) and ``weight-v1``. Version v2 (Alice): ``update-v2``
+    edits the model (pool layer -> AVG), ``train-v2`` produces ``log-v2``
+    (acc 0.5, worse) and ``weight-v2``. Version v3 (Bob): ``update-v3`` edits
+    the solver (lr 0.01), ``train-v3`` produces ``log-v3`` (acc 0.75) and
+    ``weight-v3``.
+    """
+    g = ProvenanceGraph()
+    ids: dict[str, int] = {}
+
+    alice = g.add_agent(name="Alice")
+    bob = g.add_agent(name="Bob")
+    ids["Alice"], ids["Bob"] = alice, bob
+
+    # --- version v1 (Alice) -------------------------------------------
+    dataset1 = g.add_entity(name="dataset", version=1, url="http://example.org/faces")
+    model1 = g.add_entity(name="model", version=1, ref="vgg16")
+    solver1 = g.add_entity(name="solver", version=1)
+    g.was_attributed_to(dataset1, alice)
+    g.was_attributed_to(model1, alice)
+    g.was_attributed_to(solver1, alice)
+    ids["dataset-v1"], ids["model-v1"], ids["solver-v1"] = dataset1, model1, solver1
+
+    train1 = g.add_activity(command="train", opt="-gpu", iter=20000, exp="v1")
+    g.was_associated_with(train1, alice)
+    for entity in (model1, solver1, dataset1):
+        g.used(train1, entity)
+    log1 = g.add_entity(name="log", version=1, acc=0.7)
+    weight1 = g.add_entity(name="weight", version=1)
+    g.was_generated_by(log1, train1)
+    g.was_generated_by(weight1, train1)
+    g.was_attributed_to(log1, alice)
+    g.was_attributed_to(weight1, alice)
+    ids["train-v1"], ids["log-v1"], ids["weight-v1"] = train1, log1, weight1
+
+    # --- version v2 (Alice) -------------------------------------------
+    update2 = g.add_activity(command="update", ann="AVG", exp="v2")
+    g.was_associated_with(update2, alice)
+    g.used(update2, model1)
+    model2 = g.add_entity(name="model", version=2, ann="AVG")
+    g.was_generated_by(model2, update2)
+    g.was_derived_from(model2, model1)
+    g.was_attributed_to(model2, alice)
+    ids["update-v2"], ids["model-v2"] = update2, model2
+
+    train2 = g.add_activity(command="train", opt="-gpu", exp="v2")
+    g.was_associated_with(train2, alice)
+    for entity in (dataset1, model2, solver1):
+        g.used(train2, entity)
+    log2 = g.add_entity(name="log", version=2, acc=0.5)
+    weight2 = g.add_entity(name="weight", version=2)
+    g.was_generated_by(log2, train2)
+    g.was_generated_by(weight2, train2)
+    g.was_derived_from(log2, log1)
+    g.was_attributed_to(log2, alice)
+    g.was_attributed_to(weight2, alice)
+    ids["train-v2"], ids["log-v2"], ids["weight-v2"] = train2, log2, weight2
+
+    # --- version v3 (Bob) ---------------------------------------------
+    update3 = g.add_activity(command="update", lr=0.01, exp="v3")
+    g.was_associated_with(update3, bob)
+    g.used(update3, solver1)
+    solver3 = g.add_entity(name="solver", version=3, lr=0.01)
+    g.was_generated_by(solver3, update3)
+    g.was_derived_from(solver3, solver1)
+    g.was_attributed_to(solver3, bob)
+    ids["update-v3"], ids["solver-v3"] = update3, solver3
+
+    train3 = g.add_activity(command="train", opt="-gpu", exp="v3")
+    g.was_associated_with(train3, bob)
+    for entity in (dataset1, model1, solver3):
+        g.used(train3, entity)
+    log3 = g.add_entity(name="log", version=3, acc=0.75)
+    weight3 = g.add_entity(name="weight", version=3)
+    g.was_generated_by(log3, train3)
+    g.was_generated_by(weight3, train3)
+    g.was_derived_from(log3, log2)
+    g.was_attributed_to(log3, bob)
+    g.was_attributed_to(weight3, bob)
+    ids["train-v3"], ids["log-v3"], ids["weight-v3"] = train3, log3, weight3
+
+    return PaperExample(graph=g, ids=ids)
+
+
+@dataclass(slots=True)
+class TeamProject:
+    """A scripted multi-member project lifecycle."""
+
+    builder: ProvBuilder
+    runs: list[dict] = field(default_factory=list)
+
+    @property
+    def graph(self) -> ProvenanceGraph:
+        """The underlying provenance graph."""
+        return self.builder.graph
+
+
+def generate_team_project(members: int = 3, iterations: int = 12,
+                          seed: int | None = 7) -> TeamProject:
+    """Simulate a team iterating on a modeling pipeline.
+
+    Each iteration, a member (weighted toward the first members) either
+    tweaks the model, tweaks the solver, or re-splits the data, then runs
+    ``train`` and ``evaluate``; occasionally someone writes a report from
+    the latest metrics. Artifact version chains, attribution, and command
+    properties all flow through :class:`ProvBuilder`.
+    """
+    rng = make_rng(seed)
+    builder = ProvBuilder()
+    names = [f"member{i}" for i in range(members)]
+    for name in names:
+        builder.agent(name)
+
+    builder.artifact("dataset", agent=builder.agent(names[0]),
+                     url="s3://project/data")
+    builder.artifact("model", agent=builder.agent(names[0]), ref="resnet50")
+    builder.artifact("solver", agent=builder.agent(names[0]), lr=0.1)
+
+    project = TeamProject(builder=builder)
+    weights = [1.0 / (i + 1) for i in range(members)]
+    total = sum(weights)
+    probabilities = [w / total for w in weights]
+
+    for iteration in range(iterations):
+        member = names[int(rng.choice(members, p=probabilities))]
+        action = ("tune-model", "tune-solver", "resplit-data")[
+            int(rng.integers(3))
+        ]
+        if action == "tune-model":
+            with builder.activity("edit_model", agent=member,
+                                  iteration=iteration) as act:
+                act.uses("model")
+                act.generates("model")
+        elif action == "tune-solver":
+            with builder.activity("edit_solver", agent=member,
+                                  iteration=iteration,
+                                  lr=float(rng.choice([0.1, 0.01, 0.001]))) as act:
+                act.uses("solver")
+                act.generates("solver")
+        else:
+            with builder.activity("split", agent=member,
+                                  iteration=iteration) as act:
+                act.uses("dataset")
+                act.generates("train_split", "val_split")
+
+        with builder.activity("train", agent=member, opt="-gpu",
+                              iteration=iteration) as act:
+            act.uses("model", "solver")
+            act.uses("train_split" if builder.latest("train_split") else "dataset")
+            act.generates("weights", "train_log")
+
+        with builder.activity("evaluate", agent=member,
+                              iteration=iteration) as act:
+            act.uses("weights")
+            act.uses("val_split" if builder.latest("val_split") else "dataset")
+            act.generates("metrics", acc=float(rng.uniform(0.5, 0.95)))
+
+        project.runs.append({
+            "iteration": iteration,
+            "member": member,
+            "action": action,
+            "weights": builder.latest("weights"),
+            "metrics": builder.latest("metrics"),
+        })
+
+        if iteration % 4 == 3:
+            with builder.activity("report", agent=names[0],
+                                  iteration=iteration) as act:
+                act.uses("metrics")
+                act.generates("report")
+
+    return project

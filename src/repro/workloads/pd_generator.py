@@ -1,0 +1,191 @@
+"""The Pd provenance-graph generator (Sec. V, "Provenance Graphs & PgSeg
+Queries").
+
+Mimics a team of project members performing a sequence of activities:
+
+- ``|U| = ⌊log N⌋`` agents; the actor of each activity is drawn from a Zipf
+  distribution with skew ``sw`` over the agents' work-rate ranks;
+- each activity uses ``1 + m`` input entities (``m ~ Poisson(λi)``) and
+  generates ``1 + n`` outputs (``n ~ Poisson(λo)``);
+- ``|A| = ⌊N / (2 + λo)⌋`` activities, so entities + activities + agents
+  land near ``N``;
+- inputs are picked from existing entities with probability given by a Zipf
+  pmf with skew ``se`` at the entity's rank in *reverse order of being*
+  (rank 1 = newest): large ``se`` prefers fresh outputs, small ``se`` lets
+  old artifacts (datasets, labels) stay popular.
+
+Beyond the paper's letter, outputs optionally version an input artifact
+(``wasDerivedFrom`` + shared name), giving the graphs realistic version
+chains; ``version_probability=0`` disables this.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.model.graph import ProvenanceGraph
+from repro.workloads.distributions import (
+    ZipfSampler,
+    make_rng,
+    poisson,
+    sample_distinct,
+)
+
+#: Command vocabulary for generated activities.
+DEFAULT_COMMANDS = (
+    "ingest", "clean", "split", "featurize", "train", "evaluate", "plot",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class PdParams:
+    """Parameters of one Pd instance (paper defaults, Sec. V)."""
+
+    n_vertices: int
+    sw: float = 1.2            # agent work-rate skew
+    lam_in: float = 2.0        # λi: extra inputs per activity
+    lam_out: float = 2.0       # λo: extra outputs per activity
+    se: float = 1.5            # input selection skew over reverse ranks
+    seed: int | None = 7
+    version_probability: float = 0.3
+    commands: tuple[str, ...] = DEFAULT_COMMANDS
+
+    def __post_init__(self) -> None:
+        if self.n_vertices < 8:
+            raise WorkloadError("Pd needs at least 8 vertices")
+        if not 0.0 <= self.version_probability <= 1.0:
+            raise WorkloadError("version_probability must be in [0, 1]")
+
+
+@dataclass(slots=True)
+class PdInstance:
+    """A generated Pd graph plus the bookkeeping benches need.
+
+    Attributes:
+        graph: the provenance graph.
+        entities: entity ids in creation order.
+        activities: activity ids in creation order.
+        agents: agent ids.
+        params: the generating parameters.
+    """
+
+    graph: ProvenanceGraph
+    entities: list[int] = field(default_factory=list)
+    activities: list[int] = field(default_factory=list)
+    agents: list[int] = field(default_factory=list)
+    params: PdParams | None = None
+
+    def default_query(self) -> tuple[list[int], list[int]]:
+        """The paper's default PgSeg query: first two and last two entities.
+
+        "they are always connected by some path and the query is the most
+        challenging PgSeg instance."
+        """
+        return self.entities[:2], self.entities[-2:]
+
+    def query_at_percentile(self, percent: float,
+                            width: int = 2) -> tuple[list[int], list[int]]:
+        """Vsrc at a creation-order percentile, Vdst = last two entities.
+
+        Used by the Fig. 5(d) early-stopping experiment ("starting rank of
+        Vsrc").
+        """
+        if not 0.0 <= percent <= 100.0:
+            raise WorkloadError("percentile must be in [0, 100]")
+        cut = int(len(self.entities) * percent / 100.0)
+        cut = min(cut, len(self.entities) - width)
+        return self.entities[cut:cut + width], self.entities[-width:]
+
+
+def generate_pd(params: PdParams) -> PdInstance:
+    """Generate one Pd provenance graph."""
+    rng = make_rng(params.seed)
+    graph = ProvenanceGraph()
+    n = params.n_vertices
+
+    n_agents = max(1, int(math.floor(math.log(n))))
+    n_activities = max(1, int(math.floor(n / (2.0 + params.lam_out))))
+
+    agents = [
+        graph.add_agent(name=f"member{j}") for j in range(n_agents)
+    ]
+    agent_zipf = ZipfSampler(params.sw, n_agents, rng)
+
+    # Bootstrap entities so the first activity has inputs to choose from.
+    entities: list[int] = []
+    artifact_of: dict[int, str] = {}
+    version_of: dict[int, int] = {}
+    artifact_counter = 0
+
+    def new_artifact_entity(agent_id: int | None) -> int:
+        nonlocal artifact_counter
+        name = f"artifact{artifact_counter}"
+        artifact_counter += 1
+        entity = graph.add_entity(name=name, version=1)
+        artifact_of[entity] = name
+        version_of[entity] = 1
+        if agent_id is not None:
+            graph.was_attributed_to(entity, agent_id)
+        entities.append(entity)
+        return entity
+
+    n_seed = 1 + poisson(rng, params.lam_in)
+    for _ in range(n_seed):
+        owner = agents[agent_zipf.sample(n_agents) - 1]
+        new_artifact_entity(owner)
+
+    # Selection over reverse creation ranks; domain grows to #entities,
+    # which is bounded by n (seeds + outputs).
+    max_entities = n_seed + (n_activities * (1 + int(params.lam_out * 8) + 8))
+    input_zipf = ZipfSampler(params.se, max_entities, rng)
+
+    activities: list[int] = []
+    for step in range(n_activities):
+        actor = agents[agent_zipf.sample(n_agents) - 1]
+        command = params.commands[int(rng.integers(len(params.commands)))]
+        activity = graph.add_activity(command=command, step=step)
+        graph.was_associated_with(activity, actor)
+        activities.append(activity)
+
+        n_inputs = 1 + poisson(rng, params.lam_in)
+        current = len(entities)
+        ranks = sample_distinct(input_zipf, min(current, max_entities), n_inputs)
+        inputs = [entities[current - rank] for rank in ranks]
+        for entity in inputs:
+            graph.used(activity, entity)
+
+        n_outputs = 1 + poisson(rng, params.lam_out)
+        for _ in range(n_outputs):
+            if inputs and rng.random() < params.version_probability:
+                parent = inputs[int(rng.integers(len(inputs)))]
+                name = artifact_of[parent]
+                version = version_of[parent] + 1
+                entity = graph.add_entity(name=name, version=version)
+                artifact_of[entity] = name
+                version_of[entity] = version
+                entities.append(entity)
+                graph.was_generated_by(entity, activity)
+                graph.was_derived_from(entity, parent)
+            else:
+                entity = new_artifact_entity(None)
+                graph.was_generated_by(entity, activity)
+            graph.was_attributed_to(entities[-1], actor)
+
+        if graph.vertex_count >= n:
+            break
+
+    return PdInstance(
+        graph=graph,
+        entities=entities,
+        activities=activities,
+        agents=agents,
+        params=params,
+    )
+
+
+def generate_pd_sized(n_vertices: int, seed: int | None = 7,
+                      **overrides) -> PdInstance:
+    """Convenience: Pd with paper defaults at a given size."""
+    return generate_pd(PdParams(n_vertices=n_vertices, seed=seed, **overrides))

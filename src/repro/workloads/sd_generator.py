@@ -1,0 +1,124 @@
+"""The Sd segment-set generator (Sec. V, "Similar Segments & PgSum Queries").
+
+Models conceptually similar pipeline runs as draws from one Markov chain:
+
+- ``k`` activity types (states); the transition matrix's rows are sampled
+  from a Dirichlet prior with symmetric concentration ``α`` — small ``α``
+  concentrates each row (stable pipelines, an activity type is always
+  followed by the same next type), large ``α`` approaches uniform rows
+  (early-project chaos, "many activities happen after another in no
+  particular order");
+- each of the ``|S|`` segments walks the chain for ``n`` steps; every step
+  becomes an activity labeled with its state;
+- activity inputs/outputs reuse the Pd mechanics (``λi``, ``λo``, ``se``),
+  and all entities share one equivalence-class label (the paper's setup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.model.graph import ProvenanceGraph
+from repro.segment.pgseg import Segment
+from repro.summarize.aggregation import PropertyAggregation
+from repro.workloads.distributions import (
+    ZipfSampler,
+    categorical,
+    dirichlet_row,
+    make_rng,
+    poisson,
+    sample_distinct,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SdParams:
+    """Parameters of one Sd instance (paper defaults: α=0.1, k=5, n=20, |S|=10)."""
+
+    k: int = 5                 # activity types (Markov states)
+    n_activities: int = 20     # activities per segment
+    num_segments: int = 10     # |S|
+    alpha: float = 0.1         # Dirichlet concentration
+    lam_in: float = 2.0
+    lam_out: float = 2.0
+    se: float = 1.5
+    seed: int | None = 7
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise WorkloadError("need at least one activity type")
+        if self.n_activities < 1:
+            raise WorkloadError("need at least one activity per segment")
+        if self.num_segments < 1:
+            raise WorkloadError("need at least one segment")
+
+
+@dataclass(slots=True)
+class SdInstance:
+    """A generated segment set plus the shared transition matrix."""
+
+    segments: list[Segment] = field(default_factory=list)
+    transition_matrix: np.ndarray | None = None
+    params: SdParams | None = None
+
+    @property
+    def union_vertex_total(self) -> int:
+        """|⋃ VSi| (denominator of the compaction ratio)."""
+        return sum(len(segment.vertices) for segment in self.segments)
+
+
+#: Aggregation used by the PgSum benchmarks on Sd data: activities keep their
+#: Markov state (``type``), entities and agents keep nothing.
+SD_AGGREGATION = PropertyAggregation.of(activity=("type",))
+
+
+def generate_sd(params: SdParams) -> SdInstance:
+    """Generate ``|S|`` conceptually similar segments from one Markov chain."""
+    rng = make_rng(params.seed)
+    matrix = np.stack([
+        dirichlet_row(rng, params.alpha, params.k) for _ in range(params.k)
+    ])
+    initial = dirichlet_row(rng, params.alpha, params.k)
+
+    max_entities = (
+        2 + int(params.lam_in * 4)
+        + params.n_activities * (1 + int(params.lam_out * 8) + 8)
+    )
+
+    segments: list[Segment] = []
+    for _ in range(params.num_segments):
+        graph = ProvenanceGraph()
+        entities: list[int] = []
+        input_zipf = ZipfSampler(params.se, max_entities, rng)
+
+        n_seed = 1 + poisson(rng, params.lam_in)
+        for _ in range(n_seed):
+            entities.append(graph.add_entity())
+
+        state = categorical(rng, initial)
+        for _step in range(params.n_activities):
+            activity = graph.add_activity(type=f"t{state}")
+            n_inputs = 1 + poisson(rng, params.lam_in)
+            current = len(entities)
+            ranks = sample_distinct(input_zipf, current, n_inputs)
+            for rank in ranks:
+                graph.used(activity, entities[current - rank])
+            n_outputs = 1 + poisson(rng, params.lam_out)
+            for _ in range(n_outputs):
+                entity = graph.add_entity()
+                graph.was_generated_by(entity, activity)
+                entities.append(entity)
+            state = categorical(rng, matrix[state])
+
+        segments.append(Segment(graph, graph.store.vertex_ids()))
+
+    return SdInstance(segments=segments, transition_matrix=matrix,
+                      params=params)
+
+
+def generate_sd_defaults(seed: int | None = 7, **overrides) -> SdInstance:
+    """Convenience: Sd with the paper's default parameters."""
+    return generate_sd(SdParams(seed=seed, **overrides))

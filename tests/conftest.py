@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.graph import ProvenanceGraph
+from repro.workloads.lifecycle import PaperExample, build_paper_example
+from repro.workloads.pd_generator import PdInstance, generate_pd_sized
+
+
+@pytest.fixture()
+def paper() -> PaperExample:
+    """The Fig. 2 running example (fresh copy per test)."""
+    return build_paper_example()
+
+
+@pytest.fixture(scope="session")
+def paper_session() -> PaperExample:
+    """The Fig. 2 running example (shared, read-only)."""
+    return build_paper_example()
+
+
+@pytest.fixture(scope="session")
+def pd_small() -> PdInstance:
+    """A small Pd graph shared by read-only tests."""
+    return generate_pd_sized(120, seed=11)
+
+
+@pytest.fixture(scope="session")
+def pd_medium() -> PdInstance:
+    """A medium Pd graph shared by read-only tests."""
+    return generate_pd_sized(600, seed=11)
+
+
+@pytest.fixture()
+def tiny_chain() -> ProvenanceGraph:
+    """e0 <-used- a0 <-gen- e1 <-used- a1 <-gen- e2 (a two-step pipeline).
+
+    Edge directions follow PROV: a0 used e0; e1 wasGeneratedBy a0; etc.
+    """
+    g = ProvenanceGraph()
+    e0 = g.add_entity(name="e0")
+    a0 = g.add_activity(command="step0")
+    g.used(a0, e0)
+    e1 = g.add_entity(name="e1")
+    g.was_generated_by(e1, a0)
+    a1 = g.add_activity(command="step1")
+    g.used(a1, e1)
+    e2 = g.add_entity(name="e2")
+    g.was_generated_by(e2, a1)
+    return g

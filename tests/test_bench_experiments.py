@@ -1,0 +1,108 @@
+"""Smoke tests for the experiment functions (tiny parameters).
+
+The benchmark suite runs the real sweeps; these tests only verify that each
+experiment function produces well-formed series with the correct names and
+that budget/timeout plumbing works. Kept deliberately tiny so the unit test
+suite stays fast.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    ablation_rk,
+    ablation_set_impl,
+    fig5a,
+    fig5b,
+    fig5c,
+    fig5d,
+    fig5e,
+    fig5f,
+    fig5g,
+    fig5h,
+)
+from repro.bench.reporting import ascii_table, markdown_table
+
+
+class TestSegmentationExperiments:
+    def test_fig5a_tiny(self):
+        experiment = fig5a(sizes=[30, 60], cypher_timeout=2.0,
+                           cflr_timeout=30.0, include_cbm=False)
+        assert set(experiment.series) == {
+            "Cypher", "CflrB", "SimProvAlg", "SimProvTst"
+        }
+        for series in experiment.series.values():
+            assert len(series.points) == 2
+        # The fast solvers must finish the tiny sweep.
+        assert len(experiment.series["SimProvTst"].finished_points()) == 2
+        assert ascii_table(experiment)
+
+    def test_fig5a_with_cbm(self):
+        experiment = fig5a(sizes=[30], cypher_timeout=1.0,
+                           cflr_timeout=30.0, include_cbm=True)
+        assert "SimProvAlg+Cbm" in experiment.series
+        assert "SimProvTst+Cbm" in experiment.series
+
+    def test_fig5b_tiny(self):
+        experiment = fig5b(se_values=[1.3, 1.7], n=60, seeds=(1, 2))
+        assert len(experiment.series["CflrB"].points) == 2
+        assert all(p.y is not None
+                   for p in experiment.series["SimProvTst"].points)
+
+    def test_fig5c_tiny(self):
+        experiment = fig5c(lam_values=[1.0, 2.0], n=60)
+        assert len(experiment.series["SimProvAlg"].points) == 2
+
+    def test_fig5d_tiny(self):
+        experiment = fig5d(percentiles=[0, 50], n=120)
+        assert set(experiment.series) == {
+            "SimProvAlg", "SimProvAlg w/o Prune",
+            "SimProvTst", "SimProvTst w/o Prune",
+        }
+        for series in experiment.series.values():
+            assert len(series.finished_points()) == 2
+
+
+class TestSummarizationExperiments:
+    @pytest.mark.parametrize("fn,kwargs", [
+        (fig5e, {"alphas": [0.1, 0.5]}),
+        (fig5f, {"k_values": [2, 4]}),
+        (fig5g, {"n_values": [3, 6]}),
+        (fig5h, {"s_values": [2, 4]}),
+    ])
+    def test_cr_experiments(self, fn, kwargs):
+        experiment = fn(seed=5, **kwargs)
+        assert set(experiment.series) == {"PGSum Alg", "pSum"}
+        for series in experiment.series.values():
+            assert len(series.finished_points()) == 2
+            for point in series.finished_points():
+                assert 0.0 < point.y <= 1.0
+        assert markdown_table(experiment)
+
+    def test_pgsum_beats_psum_in_tiny_runs(self):
+        experiment = fig5e(alphas=[0.25], seed=3)
+        ours = experiment.series["PGSum Alg"].points[0].y
+        theirs = experiment.series["pSum"].points[0].y
+        assert ours <= theirs
+
+
+class TestAblations:
+    def test_set_impl_tiny(self):
+        experiment = ablation_set_impl(n=80)
+        assert {p.x for p in experiment.series["SimProvAlg"].points} == {
+            "set", "bitset", "roaring"
+        }
+
+    def test_rk_tiny(self):
+        experiment = ablation_rk(seed=2)
+        points = {p.x: p.y for p in experiment.series["PGSum Alg"].points}
+        assert points[1] >= points[0]
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "fig5a", "fig5b", "fig5c", "fig5d",
+            "fig5e", "fig5f", "fig5g", "fig5h",
+            "ablation-set-impl", "ablation-rk",
+        }

@@ -1,0 +1,108 @@
+"""Unit tests for the benchmark harness and reporting."""
+
+from repro.bench.harness import Experiment, Series, run_sweep, timed
+from repro.bench.reporting import ascii_table, markdown_table, shape_summary
+from repro.errors import QueryTimeout
+
+
+class TestTimed:
+    def test_success(self):
+        seconds, result, note = timed(lambda: 42)
+        assert result == 42
+        assert seconds is not None and seconds >= 0
+        assert note == ""
+
+    def test_timeout_captured(self):
+        def boom():
+            raise QueryTimeout("over budget")
+
+        seconds, result, note = timed(boom)
+        assert seconds is None
+        assert result is None
+        assert "over budget" in note
+
+    def test_other_exceptions_propagate(self):
+        def bug():
+            raise ValueError("bug")
+
+        try:
+            timed(bug)
+        except ValueError:
+            pass
+        else:       # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+    def test_best_of_repeat(self):
+        calls = []
+
+        def work():
+            calls.append(1)
+
+        timed(work, repeat=3)
+        assert len(calls) == 3
+
+
+class TestExperiment:
+    def test_record_and_series(self):
+        e = Experiment("x", "t", "n", "s")
+        e.record("algo", 10, 0.5)
+        e.record("algo", 20, 1.0)
+        assert e.series_for("algo").y_values() == [0.5, 1.0]
+
+    def test_finished_points(self):
+        s = Series("a")
+        s.add(1, 0.1)
+        s.add(2, None, "timeout")
+        assert len(s.finished_points()) == 1
+
+
+class TestRunSweep:
+    def test_sweep_records_all(self):
+        e = Experiment("sweep", "t", "x", "y")
+        run_sweep(e, [1, 2, 3], {
+            "fast": lambda x: (lambda: x),
+        })
+        assert len(e.series_for("fast").points) == 3
+
+    def test_skip_after_timeout(self):
+        e = Experiment("sweep", "t", "x", "y")
+
+        def make(x):
+            def run():
+                if x >= 2:
+                    raise QueryTimeout("too big")
+                return x
+            return run
+
+        run_sweep(e, [1, 2, 3], {"algo": make}, skip_after_timeout=True)
+        points = e.series_for("algo").points
+        assert points[0].y is not None
+        assert points[1].y is None
+        assert "skipped" in points[2].note
+
+
+class TestReporting:
+    def _experiment(self):
+        e = Experiment("fig0", "demo", "N", "seconds")
+        e.record("A", 10, 0.5)
+        e.record("A", 20, None, "timeout")
+        e.record("B", 10, 0.004)
+        e.record("B", 20, 0.008)
+        return e
+
+    def test_ascii_table(self):
+        text = ascii_table(self._experiment())
+        assert "fig0" in text
+        assert "DNF" in text
+        assert "0.008" in text
+
+    def test_markdown_table(self):
+        text = markdown_table(self._experiment())
+        assert text.count("|") > 8
+        assert "DNF" in text
+
+    def test_shape_summary(self):
+        summary = shape_summary(self._experiment())
+        assert summary["A"]["count"] == 1
+        assert summary["B"]["first"] == 0.004
+        assert summary["B"]["last"] == 0.008

@@ -1,0 +1,127 @@
+"""Cross-solver agreement: SimProvAlg ≡ SimProvTst ≡ CflrB ≡ oracles.
+
+The strongest correctness evidence in the suite: on randomly generated PROV
+graphs, all four implementations (three algorithms plus the naive Datalog
+fixpoint) must produce identical answers, and on tiny graphs they must match
+the exhaustive path-enumeration + Earley oracle.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cfl.cflr_base import CflrSolver
+from repro.cfl.grammar import simprov_normal_form
+from repro.cfl.reference import enumerate_simprov, naive_cflr
+from repro.cfl.simprov_alg import SimProvAlg
+from repro.cfl.simprov_tst import SimProvTst
+from repro.model.graph import ProvenanceGraph
+from repro.workloads.pd_generator import PdParams, generate_pd
+
+
+def random_prov_graph(rng_seed: int, n_activities: int,
+                      fan: int = 2) -> ProvenanceGraph:
+    """A small random PROV DAG built the same way Pd builds graphs."""
+    import random
+    rng = random.Random(rng_seed)
+    g = ProvenanceGraph()
+    entities = [g.add_entity() for _ in range(1 + rng.randrange(2))]
+    for _ in range(n_activities):
+        a = g.add_activity()
+        for entity in rng.sample(entities, k=min(len(entities),
+                                                 1 + rng.randrange(fan))):
+            g.used(a, entity)
+        for _ in range(1 + rng.randrange(fan)):
+            e = g.add_entity()
+            g.was_generated_by(e, a)
+            entities.append(e)
+    return g
+
+
+def all_solver_results(graph, src, dst):
+    alg = SimProvAlg(graph, src, dst).solve()
+    tst = SimProvTst(graph, src, dst, collect_pairs=True).solve()
+    cflr = CflrSolver(graph, simprov_normal_form(dst)).solve()
+    src_set = set(src)
+    cflr_pairs = set()
+    roots = set()
+    for u, v in cflr.facts_of("Re"):
+        if u in src_set or v in src_set:
+            cflr_pairs.add((min(u, v), max(u, v)))
+            roots.add((u, v))
+    cflr_vertices = cflr.derivation_vertices(roots, "Re") if roots else set()
+    return alg, tst, cflr_pairs, cflr_vertices
+
+
+class TestAgreementOnRandomGraphs:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 10_000), n_activities=st.integers(2, 12))
+    def test_three_algorithms_agree(self, seed, n_activities):
+        graph = random_prov_graph(seed, n_activities)
+        entities = list(graph.entities())
+        src = entities[:2]
+        dst = entities[-2:]
+        alg, tst, cflr_pairs, cflr_vertices = all_solver_results(graph, src, dst)
+        assert alg.answer_pairs == tst.answer_pairs == cflr_pairs
+        assert alg.path_vertices == tst.path_vertices == cflr_vertices
+        assert alg.sources_matched == tst.sources_matched
+        assert alg.similar_entities == tst.similar_entities
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 10_000))
+    def test_against_naive_fixpoint(self, seed):
+        graph = random_prov_graph(seed, 6)
+        entities = list(graph.entities())
+        src, dst = entities[:2], entities[-2:]
+        alg = SimProvAlg(graph, src, dst).solve()
+        facts = naive_cflr(graph, simprov_normal_form(dst))
+        src_set = set(src)
+        naive_pairs = {
+            (min(u, v), max(u, v))
+            for u, v in facts["Re"] if u in src_set or v in src_set
+        }
+        assert alg.answer_pairs == naive_pairs
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 10_000))
+    def test_against_enumeration_oracle(self, seed):
+        graph = random_prov_graph(seed, 4, fan=2)
+        entities = list(graph.entities())
+        src, dst = entities[:1], entities[-1:]
+        alg = SimProvAlg(graph, src, dst).solve()
+        # Depth limited to 2 levels (8 edges) on both sides for tractability.
+        pairs, vertices = enumerate_simprov(graph, src, dst, max_edges=8)
+        shallow = SimProvTst(graph, src, dst, collect_pairs=True,
+                             max_layers=2).solve()
+        assert pairs == shallow.answer_pairs
+        assert vertices == shallow.path_vertices
+        # And the unbounded solvers can only add deeper answers.
+        assert pairs <= alg.answer_pairs
+
+
+class TestAgreementOnPd:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_pd_graphs(self, seed):
+        instance = generate_pd(PdParams(n_vertices=150, seed=seed))
+        src, dst = instance.default_query()
+        alg, tst, cflr_pairs, cflr_vertices = all_solver_results(
+            instance.graph, src, dst
+        )
+        assert alg.answer_pairs == tst.answer_pairs == cflr_pairs
+        assert alg.path_vertices == tst.path_vertices == cflr_vertices
+
+    def test_pd_with_boundaries(self, pd_small):
+        src, dst = pd_small.default_query()
+        graph = pd_small.graph
+        cut = graph.store.order_of(src[0])
+
+        def vertex_ok(record):
+            return record.order >= cut
+
+        alg = SimProvAlg(graph, src, dst, vertex_ok=vertex_ok).solve()
+        tst = SimProvTst(graph, src, dst, vertex_ok=vertex_ok,
+                         collect_pairs=True).solve()
+        assert alg.answer_pairs == tst.answer_pairs
+        assert alg.path_vertices == tst.path_vertices

@@ -1,0 +1,92 @@
+"""Unit and property tests for IntBitSet."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cfl.fastset import IntBitSet
+
+items = st.sets(st.integers(min_value=0, max_value=255))
+
+
+class TestBasics:
+    def test_add_and_contains(self):
+        s = IntBitSet(10)
+        assert s.add(3)
+        assert not s.add(3)          # duplicate
+        assert 3 in s
+        assert 4 not in s
+        assert len(s) == 1
+
+    def test_out_of_range_add_raises(self):
+        s = IntBitSet(4)
+        with pytest.raises(ValueError):
+            s.add(4)
+        with pytest.raises(ValueError):
+            s.add(-1)
+
+    def test_out_of_range_contains_is_false(self):
+        s = IntBitSet(4)
+        assert 99 not in s
+        assert -1 not in s
+
+    def test_discard(self):
+        s = IntBitSet(8, [1, 2])
+        s.discard(1)
+        s.discard(5)                 # absent: no-op
+        assert s.to_set() == {2}
+
+    def test_bool_and_len(self):
+        s = IntBitSet(8)
+        assert not s
+        s.add(7)
+        assert s and len(s) == 1
+
+    def test_iter_is_sorted(self):
+        s = IntBitSet(64, [9, 1, 33])
+        assert list(s) == [1, 9, 33]
+
+    def test_eq_and_copy(self):
+        s = IntBitSet(16, [3, 5])
+        t = s.copy()
+        assert s == t
+        t.add(7)
+        assert s != t
+
+
+class TestAlgebraProperties:
+    @given(items, items)
+    def test_union_matches_set(self, a, b):
+        sa, sb = IntBitSet(256, a), IntBitSet(256, b)
+        assert sa.union(sb).to_set() == a | b
+
+    @given(items, items)
+    def test_difference_matches_set(self, a, b):
+        sa, sb = IntBitSet(256, a), IntBitSet(256, b)
+        assert sa.difference(sb).to_set() == a - b
+
+    @given(items, items)
+    def test_intersection_matches_set(self, a, b):
+        sa, sb = IntBitSet(256, a), IntBitSet(256, b)
+        assert sa.intersection(sb).to_set() == a & b
+
+    @given(items, items)
+    def test_intersects(self, a, b):
+        sa, sb = IntBitSet(256, a), IntBitSet(256, b)
+        assert sa.intersects(sb) == bool(a & b)
+
+    @given(items, items)
+    def test_diff_iter(self, a, b):
+        sa, sb = IntBitSet(256, a), IntBitSet(256, b)
+        assert set(sa.diff_iter(sb)) == a - b
+
+    @given(items, items)
+    def test_inplace_ops(self, a, b):
+        sa, sb = IntBitSet(256, a), IntBitSet(256, b)
+        sa.update(sb)
+        assert sa.to_set() == a | b
+        sa.difference_update(sb)
+        assert sa.to_set() == (a | b) - b
+
+    @given(items)
+    def test_roundtrip(self, a):
+        assert IntBitSet(256, a).to_set() == a

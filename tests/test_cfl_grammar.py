@@ -1,0 +1,165 @@
+"""Unit tests for grammars, normal forms, and the Earley recognizer."""
+
+import pytest
+
+from repro.errors import GrammarError
+from repro.cfl.grammar import (
+    A,
+    E,
+    EdgeElement,
+    EdgeTerminal,
+    G,
+    G_INV,
+    Grammar,
+    Production,
+    U,
+    U_INV,
+    VertexElement,
+    VertexIdTerminal,
+    earley_recognize,
+    simprov_grammar,
+    simprov_normal_form,
+    simprov_rewritten,
+    terminal_matches,
+)
+from repro.model.types import EdgeType, VertexType
+
+
+class TestGrammarBasics:
+    def test_start_symbol_must_exist(self):
+        with pytest.raises(GrammarError):
+            Grammar("S", (Production("X", (E,)),))
+
+    def test_epsilon_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar("S", (Production("S", ()),))
+
+    def test_nonterminals(self):
+        g = simprov_grammar([0])
+        assert g.nonterminals == {"SimProv"}
+        nf = simprov_normal_form([0])
+        assert {"Qd", "Lg", "Rg", "La", "Ra", "Lu", "Ru", "Le", "Re"} \
+            <= nf.nonterminals
+
+    def test_binarize_lengths(self):
+        g = simprov_grammar([0]).binarize()
+        for production in g.productions:
+            assert 1 <= len(production.rhs) <= 2
+
+    def test_binarize_preserves_short_rules(self):
+        nf = simprov_normal_form([0])
+        assert nf.binarize().productions == nf.productions
+
+    def test_empty_dst_rejected(self):
+        for factory in (simprov_grammar, simprov_normal_form, simprov_rewritten):
+            with pytest.raises(GrammarError):
+                factory([])
+
+    def test_duplicate_dst_deduped(self):
+        g = simprov_grammar([3, 3])
+        id_rules = [p for p in g.productions
+                    if any(isinstance(s, VertexIdTerminal) for s in p.rhs)]
+        assert len(id_rules) == 1
+
+
+class TestTerminalMatching:
+    def test_edge_terminal(self):
+        forward = EdgeElement(EdgeType.USED, False)
+        inverse = EdgeElement(EdgeType.USED, True)
+        assert terminal_matches(U, forward)
+        assert not terminal_matches(U, inverse)
+        assert terminal_matches(U_INV, inverse)
+        assert not terminal_matches(G, forward)
+
+    def test_vertex_terminal(self):
+        entity = VertexElement(VertexType.ENTITY, 7)
+        activity = VertexElement(VertexType.ACTIVITY, 7)
+        assert terminal_matches(E, entity)
+        assert not terminal_matches(E, activity)
+        assert terminal_matches(A, activity)
+
+    def test_vertex_id_terminal(self):
+        entity = VertexElement(VertexType.ENTITY, 7)
+        assert terminal_matches(VertexIdTerminal(7), entity)
+        assert not terminal_matches(VertexIdTerminal(8), entity)
+
+
+def _word(*parts):
+    """Helper assembling SimProv words: 'u-'/'g-' inverses, 'E'/'A', ints."""
+    out = []
+    for part in parts:
+        if part == "u":
+            out.append(EdgeElement(EdgeType.USED, False))
+        elif part == "u-":
+            out.append(EdgeElement(EdgeType.USED, True))
+        elif part == "g":
+            out.append(EdgeElement(EdgeType.WAS_GENERATED_BY, False))
+        elif part == "g-":
+            out.append(EdgeElement(EdgeType.WAS_GENERATED_BY, True))
+        elif part == "E":
+            out.append(VertexElement(VertexType.ENTITY, 999))
+        elif part == "A":
+            out.append(VertexElement(VertexType.ACTIVITY, 998))
+        elif isinstance(part, tuple):
+            out.append(VertexElement(part[1], part[0]))
+    return out
+
+
+class TestEarleyOnSimProv:
+    """The palindrome language: U^-1 A (G^-1 E U^-1 A)^k G^-1 vj G (A U E G)^k A U."""
+
+    def test_minimal_word_accepted(self):
+        grammar = simprov_grammar([5])
+        word = _word("u-", "A", "g-", (5, VertexType.ENTITY), "g", "A", "u")
+        assert earley_recognize(grammar, word)
+
+    def test_wrong_destination_rejected(self):
+        grammar = simprov_grammar([5])
+        word = _word("u-", "A", "g-", (6, VertexType.ENTITY), "g", "A", "u")
+        assert not earley_recognize(grammar, word)
+
+    def test_depth_two_word_accepted(self):
+        grammar = simprov_grammar([5])
+        word = _word("u-", "A", "g-", "E", "u-", "A", "g-",
+                     (5, VertexType.ENTITY),
+                     "g", "A", "u", "E", "g", "A", "u")
+        assert earley_recognize(grammar, word)
+
+    def test_unbalanced_word_rejected(self):
+        grammar = simprov_grammar([5])
+        # climb two levels, descend one: not a palindrome.
+        word = _word("u-", "A", "g-", "E", "u-", "A", "g-",
+                     (5, VertexType.ENTITY), "g", "A", "u")
+        assert not earley_recognize(grammar, word)
+
+    def test_empty_word_rejected(self):
+        grammar = simprov_grammar([5])
+        assert not earley_recognize(grammar, [])
+
+    def test_direct_ancestry_word_rejected(self):
+        # A plain lineage path (no climb) is not in L(SimProv).
+        grammar = simprov_grammar([5])
+        word = _word("g", "A", "u")
+        assert not earley_recognize(grammar, word)
+
+    def test_multiple_destinations(self):
+        grammar = simprov_grammar([5, 9])
+        for dst in (5, 9):
+            word = _word("u-", "A", "g-", (dst, VertexType.ENTITY),
+                         "g", "A", "u")
+            assert earley_recognize(grammar, word)
+
+    def test_rewritten_grammar_agrees(self):
+        declarative = simprov_grammar([5])
+        rewritten = simprov_rewritten([5])
+        words = [
+            _word("u-", "A", "g-", (5, VertexType.ENTITY), "g", "A", "u"),
+            _word("u-", "A", "g-", "E", "u-", "A", "g-",
+                  (5, VertexType.ENTITY),
+                  "g", "A", "u", "E", "g", "A", "u"),
+            _word("u-", "A", "g-", (6, VertexType.ENTITY), "g", "A", "u"),
+            _word("g", "A", "u"),
+        ]
+        for word in words:
+            assert earley_recognize(declarative, word) \
+                == earley_recognize(rewritten, word)

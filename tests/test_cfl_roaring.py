@@ -1,0 +1,122 @@
+"""Unit and property tests for the RoaringBitmap analog."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cfl.roaring import (
+    ARRAY_TO_BITMAP_THRESHOLD,
+    ArrayContainer,
+    BitmapContainer,
+    RoaringBitmap,
+)
+
+small_items = st.sets(st.integers(min_value=0, max_value=200_000), max_size=300)
+
+
+class TestContainers:
+    def test_array_container_sorted(self):
+        c = ArrayContainer([5, 1, 3])
+        assert list(c) == [1, 3, 5]
+        assert 3 in c and 2 not in c
+
+    def test_array_container_add_discard(self):
+        c = ArrayContainer()
+        assert c.add(9)
+        assert not c.add(9)
+        c.discard(9)
+        assert len(c) == 0
+
+    def test_bitmap_container(self):
+        c = BitmapContainer()
+        assert c.add(0)
+        assert c.add(65535)
+        assert not c.add(0)
+        assert len(c) == 2
+        assert list(c) == [0, 65535]
+        c.discard(0)
+        assert list(c) == [65535]
+
+    def test_conversion_roundtrip(self):
+        c = ArrayContainer([1, 100, 5000])
+        bitmap = c.to_bitmap()
+        assert list(bitmap) == [1, 100, 5000]
+        assert list(bitmap.to_array()) == [1, 100, 5000]
+
+
+class TestRoaring:
+    def test_add_contains(self):
+        r = RoaringBitmap()
+        assert r.add(70000)
+        assert not r.add(70000)
+        assert 70000 in r
+        assert 70001 not in r
+        assert len(r) == 1
+
+    def test_negative_contains_false(self):
+        assert -1 not in RoaringBitmap()
+
+    def test_capacity_checked(self):
+        r = RoaringBitmap(capacity=10)
+        with pytest.raises(ValueError):
+            r.add(10)
+
+    def test_spans_chunks(self):
+        r = RoaringBitmap(items=[0, 65536, 131072])
+        assert list(r) == [0, 65536, 131072]
+        assert len(r.container_kinds()) == 3
+
+    def test_converts_to_bitmap_when_dense(self):
+        r = RoaringBitmap()
+        for i in range(ARRAY_TO_BITMAP_THRESHOLD + 2):
+            r.add(i)
+        assert r.container_kinds()[0] == "BitmapContainer"
+        assert len(r) == ARRAY_TO_BITMAP_THRESHOLD + 2
+
+    def test_shrinks_back_to_array(self):
+        r = RoaringBitmap()
+        for i in range(ARRAY_TO_BITMAP_THRESHOLD + 2):
+            r.add(i)
+        for i in range(ARRAY_TO_BITMAP_THRESHOLD + 2):
+            if i > ARRAY_TO_BITMAP_THRESHOLD // 2 - 2:
+                r.discard(i)
+        assert r.container_kinds()[0] == "ArrayContainer"
+
+    def test_discard_empties_chunk(self):
+        r = RoaringBitmap(items=[65536])
+        r.discard(65536)
+        assert len(r) == 0
+        assert r.container_kinds() == {}
+
+
+class TestRoaringProperties:
+    @settings(max_examples=50)
+    @given(small_items, small_items)
+    def test_union(self, a, b):
+        ra, rb = RoaringBitmap(items=a), RoaringBitmap(items=b)
+        assert ra.union(rb).to_set() == a | b
+
+    @settings(max_examples=50)
+    @given(small_items, small_items)
+    def test_difference(self, a, b):
+        ra, rb = RoaringBitmap(items=a), RoaringBitmap(items=b)
+        assert ra.difference(rb).to_set() == a - b
+
+    @settings(max_examples=50)
+    @given(small_items, small_items)
+    def test_intersection_and_intersects(self, a, b):
+        ra, rb = RoaringBitmap(items=a), RoaringBitmap(items=b)
+        assert ra.intersection(rb).to_set() == a & b
+        assert ra.intersects(rb) == bool(a & b)
+
+    @settings(max_examples=50)
+    @given(small_items)
+    def test_roundtrip_sorted(self, a):
+        r = RoaringBitmap(items=a)
+        assert list(r) == sorted(a)
+        assert r.to_set() == a
+
+    @settings(max_examples=50)
+    @given(small_items, small_items)
+    def test_equivalence_with_intbitset_semantics(self, a, b):
+        ra, rb = RoaringBitmap(items=a), RoaringBitmap(items=b)
+        assert set(ra.diff_iter(rb)) == a - b

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_generate_pd(self, tmp_path, capsys):
+        out = tmp_path / "pd.json"
+        code = main(["generate-pd", "--n", "100", "--out", str(out)])
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["entity"]
+        captured = capsys.readouterr()
+        assert "default query" in captured.out
+
+    def test_generate_example(self, tmp_path, capsys):
+        out = tmp_path / "example.json"
+        code = main(["generate-example", "--out", str(out)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "dataset-v1" in captured.out
+
+
+@pytest.fixture()
+def example_file(tmp_path):
+    out = tmp_path / "example.json"
+    main(["generate-example", "--out", str(out)])
+    return out
+
+
+class TestInspect:
+    def test_info(self, example_file, capsys):
+        code = main(["info", str(example_file)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "vertices: 18" in captured.out
+        assert "artifacts:" in captured.out
+
+    def test_validate_ok(self, example_file, capsys):
+        code = main(["validate", str(example_file)])
+        assert code == 0
+        assert "valid" in capsys.readouterr().out
+
+
+class TestQueries:
+    def _id_of(self, example_file, name):
+        # The CLI prints name -> id mappings at generation time; recover ids
+        # from the document directly for the test.
+        document = json.loads(example_file.read_text())
+        for key, body in document["entity"].items():
+            if body.get("name") == name.split("-v")[0] \
+                    and str(body.get("version")) == name.split("-v")[1]:
+                return int(key[1:])
+        raise AssertionError(name)
+
+    def test_segment_command(self, example_file, capsys, tmp_path):
+        src = self._id_of(example_file, "dataset-v1")
+        dst = self._id_of(example_file, "weight-v2")
+        dot = tmp_path / "segment.dot"
+        code = main(["segment", str(example_file),
+                     "--src", str(src), "--dst", str(dst),
+                     "--dot", str(dot)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Segment:" in captured.out
+        assert dot.read_text().startswith("digraph")
+
+    def test_summarize_command(self, example_file, capsys):
+        src = self._id_of(example_file, "dataset-v1")
+        dst1 = self._id_of(example_file, "weight-v2")
+        dst2 = self._id_of(example_file, "log-v3")
+        code = main(["summarize", str(example_file),
+                     "--src", str(src),
+                     "--dst", str(dst1), str(dst2)])
+        assert code == 0
+        assert "Psg:" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_unknown_experiment(self, capsys):
+        code = main(["bench", "fig9z"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_known_experiment_runs(self, capsys):
+        code = main(["bench", "ablation-rk"])
+        assert code == 0
+        assert "ablation-rk" in capsys.readouterr().out

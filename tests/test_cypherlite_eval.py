@@ -1,0 +1,177 @@
+"""Unit tests for the CypherLite evaluator."""
+
+import pytest
+
+from repro.errors import CypherEvaluationError, QueryTimeout
+from repro.query.cypherlite import Budget, run_query
+from repro.query.paths import Path
+
+
+class TestNodeMatching:
+    def test_label_scan(self, paper):
+        rows = run_query(paper.graph, "MATCH (a:U) RETURN id(a)")
+        ids = {row["col0"] for row in rows}
+        assert ids == {paper["Alice"], paper["Bob"]}
+
+    def test_id_seed(self, paper):
+        rows = run_query(
+            paper.graph,
+            f"MATCH (a:E) WHERE id(a) = {paper['dataset-v1']} RETURN a",
+        )
+        assert len(rows) == 1
+        assert rows[0]["a"] == paper["dataset-v1"]
+
+    def test_property_filter(self, paper):
+        rows = run_query(
+            paper.graph,
+            "MATCH (a:E) WHERE a.name = 'model' RETURN id(a)",
+        )
+        assert {row["col0"] for row in rows} == {
+            paper["model-v1"], paper["model-v2"]
+        }
+
+
+class TestRelationships:
+    def test_single_hop(self, paper):
+        rows = run_query(
+            paper.graph,
+            f"MATCH (e:E)<-[:U]-(a:A) WHERE id(e) = {paper['dataset-v1']} "
+            "RETURN id(a)",
+        )
+        assert {row["col0"] for row in rows} == {
+            paper["train-v1"], paper["train-v2"], paper["train-v3"]
+        }
+
+    def test_right_direction(self, paper):
+        rows = run_query(
+            paper.graph,
+            f"MATCH (a:A)-[:U]->(e:E) WHERE id(a) = {paper['train-v2']} "
+            "RETURN id(e)",
+        )
+        assert {row["col0"] for row in rows} == {
+            paper["dataset-v1"], paper["model-v2"], paper["solver-v1"]
+        }
+
+    def test_variable_length_ancestry(self, paper):
+        rows = run_query(
+            paper.graph,
+            f"MATCH (b:E)<-[:U|G*]-(e:E) "
+            f"WHERE id(b) = {paper['dataset-v1']} "
+            f"AND id(e) = {paper['weight-v2']} RETURN e",
+        )
+        # weight-v2 -G-> train-v2 -U-> dataset-v1: one path.
+        assert len(rows) == 1
+
+    def test_path_variable_returns_path(self, paper):
+        rows = run_query(
+            paper.graph,
+            f"MATCH p = (b:E)<-[:U|G*]-(e:E) "
+            f"WHERE id(b) = {paper['dataset-v1']} "
+            f"AND id(e) = {paper['weight-v2']} RETURN p",
+        )
+        path = rows[0]["p"]
+        assert isinstance(path, Path)
+        assert path.vertices == [
+            paper["dataset-v1"], paper["train-v2"], paper["weight-v2"]
+        ]
+
+    def test_hop_bounds(self, paper):
+        rows = run_query(
+            paper.graph,
+            f"MATCH (b:A)<-[:G*1]-(e:E) WHERE id(b) = {paper['train-v2']} "
+            "RETURN id(e)",
+        )
+        assert {row["col0"] for row in rows} == {
+            paper["log-v2"], paper["weight-v2"]
+        }
+
+
+class TestFunctions:
+    def test_nodes_and_labels(self, paper):
+        rows = run_query(
+            paper.graph,
+            f"MATCH p = (b:E)<-[:U|G*]-(e:E) "
+            f"WHERE id(b) = {paper['dataset-v1']} "
+            f"AND id(e) = {paper['weight-v2']} "
+            "RETURN extract(x IN nodes(p) | labels(x)[0]) AS seq",
+        )
+        assert rows[0]["seq"] == ["E", "A", "E"]
+
+    def test_relationship_types(self, paper):
+        rows = run_query(
+            paper.graph,
+            f"MATCH p = (b:E)<-[:U|G*]-(e:E) "
+            f"WHERE id(b) = {paper['dataset-v1']} "
+            f"AND id(e) = {paper['weight-v2']} "
+            "RETURN extract(x IN relationships(p) | type(x)) AS seq",
+        )
+        assert rows[0]["seq"] == ["U", "G"]
+
+    def test_length(self, paper):
+        rows = run_query(
+            paper.graph,
+            f"MATCH p = (b:E)<-[:U|G*]-(e:E) "
+            f"WHERE id(b) = {paper['dataset-v1']} "
+            f"AND id(e) = {paper['weight-v2']} RETURN length(p) AS n",
+        )
+        assert rows[0]["n"] == 2
+
+    def test_unknown_function_raises(self, paper):
+        with pytest.raises(CypherEvaluationError):
+            run_query(paper.graph, "MATCH (a) RETURN frobnicate(a)")
+
+
+class TestJoins:
+    def test_paper_query_1_on_example(self, paper):
+        """The full L(SimProv) Cypher query on the Fig. 2 graph."""
+        src = paper["dataset-v1"]
+        dst = paper["weight-v2"]
+        rows = run_query(paper.graph, f"""
+            MATCH p1 = (b:E)<-[:U|G*]-(e1:E)
+            WHERE id(b) IN [{src}] AND id(e1) IN [{dst}]
+            WITH p1
+            MATCH p2 = (c:E)<-[:U|G*]-(e2:E)
+            WHERE id(e2) IN [{dst}]
+              AND extract(x IN nodes(p1) | labels(x)[0])
+                = extract(x IN nodes(p2) | labels(x)[0])
+              AND extract(x IN relationships(p1) | type(x))
+                = extract(x IN relationships(p2) | type(x))
+            RETURN id(c) AS similar
+        """)
+        # Paths of shape E<-U-A<-G-E from weight-v2: endpoints are exactly
+        # the entities train-v2 used.
+        assert {row["similar"] for row in rows} == {
+            paper["dataset-v1"], paper["model-v2"], paper["solver-v1"]
+        }
+
+    def test_with_projects_bindings(self, paper):
+        rows = run_query(
+            paper.graph,
+            "MATCH (a:U) WITH a MATCH (b:U) RETURN a, b",
+        )
+        assert len(rows) == 4      # 2 agents x 2 agents
+
+    def test_limit(self, paper):
+        rows = run_query(paper.graph, "MATCH (a:E) RETURN a LIMIT 3")
+        assert len(rows) == 3
+
+
+class TestBudget:
+    def test_expansion_budget(self, pd_small):
+        budget = Budget(timeout_seconds=None, max_expansions=50)
+        with pytest.raises(QueryTimeout):
+            run_query(
+                pd_small.graph,
+                "MATCH (a:E)<-[:U|G*]-(b:E) RETURN a LIMIT 1",
+                budget,
+            )
+
+    def test_time_budget(self, pd_medium):
+        budget = Budget(timeout_seconds=0.05, max_expansions=10**9)
+        with pytest.raises(QueryTimeout):
+            run_query(
+                pd_medium.graph,
+                "MATCH (a:E)<-[:U|G*]-(b:E) MATCH (c:E)<-[:U|G*]-(d:E) "
+                "RETURN a LIMIT 999999999",
+                budget,
+            )

@@ -1,0 +1,89 @@
+"""Unit tests for the CypherLite lexer."""
+
+import pytest
+
+from repro.errors import CypherSyntaxError
+from repro.query.cypherlite.lexer import tokenize
+from repro.query.cypherlite.tokens import TokenType
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)]
+
+
+class TestBasics:
+    def test_empty(self):
+        assert kinds("") == [TokenType.EOF]
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("match WHERE Return")
+        assert [t.value for t in tokens[:-1]] == ["MATCH", "WHERE", "RETURN"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers(self):
+        tokens = tokenize("p1 _x foo_bar")
+        assert [t.value for t in tokens[:-1]] == ["p1", "_x", "foo_bar"]
+
+    def test_integers(self):
+        tokens = tokenize("0 42 1234")
+        assert [t.value for t in tokens[:-1]] == [0, 42, 1234]
+
+    def test_strings(self):
+        tokens = tokenize("'hello' \"world\"")
+        assert [t.value for t in tokens[:-1]] == ["hello", "world"]
+
+    def test_string_escape(self):
+        tokens = tokenize(r"'don\'t'")
+        assert tokens[0].value == "don't"
+
+    def test_unterminated_string(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("'oops")
+
+    def test_comment_skipped(self):
+        assert kinds("42 // comment\n7") == [
+            TokenType.INTEGER, TokenType.INTEGER, TokenType.EOF
+        ]
+
+
+class TestOperators:
+    def test_arrows(self):
+        assert kinds("<- -> -") == [
+            TokenType.LEFT_ARROW, TokenType.RIGHT_ARROW, TokenType.DASH,
+            TokenType.EOF,
+        ]
+
+    def test_neq(self):
+        assert kinds("<>") == [TokenType.NEQ, TokenType.EOF]
+
+    def test_lone_less_than_rejected(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("a < b")
+
+    def test_dots(self):
+        assert kinds(".. .") == [TokenType.DOTDOT, TokenType.DOT, TokenType.EOF]
+
+    def test_punctuation(self):
+        assert kinds("()[]:,|*=") == [
+            TokenType.LPAREN, TokenType.RPAREN, TokenType.LBRACKET,
+            TokenType.RBRACKET, TokenType.COLON, TokenType.COMMA,
+            TokenType.PIPE, TokenType.STAR, TokenType.EQ, TokenType.EOF,
+        ]
+
+    def test_unknown_character(self):
+        with pytest.raises(CypherSyntaxError) as err:
+            tokenize("a ? b")
+        assert err.value.position == 2
+
+
+class TestRealQuery:
+    def test_paper_query_lexes(self):
+        text = """
+        MATCH p1 = (b:E)<-[:U|G*]-(e1:E)
+        WHERE id(b) IN [1, 2] AND id(e1) IN [30, 42]
+        RETURN p1
+        """
+        tokens = tokenize(text)
+        assert tokens[-1].type is TokenType.EOF
+        values = [t.value for t in tokens if t.type is TokenType.INTEGER]
+        assert values == [1, 2, 30, 42]

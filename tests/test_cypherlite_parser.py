@@ -1,0 +1,152 @@
+"""Unit tests for the CypherLite parser."""
+
+import pytest
+
+from repro.errors import CypherSyntaxError
+from repro.query.cypherlite.ast_nodes import (
+    And,
+    Cmp,
+    Extract,
+    FuncCall,
+    Index,
+    ListLiteral,
+    Literal,
+    MatchClause,
+    Var,
+    WithClause,
+)
+from repro.query.cypherlite.parser import parse
+
+
+class TestPatterns:
+    def test_single_node(self):
+        q = parse("MATCH (a:E) RETURN a")
+        clause = q.clauses[0]
+        assert isinstance(clause, MatchClause)
+        assert clause.pattern.nodes[0].var == "a"
+        assert clause.pattern.nodes[0].label == "E"
+        assert clause.pattern.rels == ()
+
+    def test_left_relationship(self):
+        q = parse("MATCH (a:E)<-[:U]-(b:A) RETURN a")
+        rel = q.clauses[0].pattern.rels[0]
+        assert rel.direction == "left"
+        assert rel.types == ("U",)
+        assert rel.min_len == 1 and rel.max_len == 1
+
+    def test_right_relationship(self):
+        q = parse("MATCH (a:A)-[:U]->(b:E) RETURN a")
+        rel = q.clauses[0].pattern.rels[0]
+        assert rel.direction == "right"
+
+    def test_variable_length_star(self):
+        q = parse("MATCH (a:E)<-[:U|G*]-(b:E) RETURN a")
+        rel = q.clauses[0].pattern.rels[0]
+        assert rel.types == ("U", "G")
+        assert rel.min_len == 1 and rel.max_len is None
+        assert rel.variable_length
+
+    def test_variable_length_bounds(self):
+        q = parse("MATCH (a:E)<-[:U*2..5]-(b:E) RETURN a")
+        rel = q.clauses[0].pattern.rels[0]
+        assert (rel.min_len, rel.max_len) == (2, 5)
+
+    def test_variable_length_exact(self):
+        q = parse("MATCH (a)<-[:U*3]-(b) RETURN a")
+        rel = q.clauses[0].pattern.rels[0]
+        assert (rel.min_len, rel.max_len) == (3, 3)
+
+    def test_path_variable(self):
+        q = parse("MATCH p = (a:E)<-[:U]-(b:A) RETURN p")
+        assert q.clauses[0].pattern.path_var == "p"
+
+    def test_chained_pattern(self):
+        q = parse("MATCH (a:E)<-[:U]-(b:A)<-[:G]-(c:E) RETURN c")
+        pattern = q.clauses[0].pattern
+        assert len(pattern.nodes) == 3
+        assert len(pattern.rels) == 2
+
+    def test_anonymous_node(self):
+        q = parse("MATCH (:E)<-[:U]-(b:A) RETURN b")
+        assert q.clauses[0].pattern.nodes[0].var.startswith("_anon")
+
+    def test_mismatched_arrow_raises(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("MATCH (a)<-[:U]->(b) RETURN a")
+
+
+class TestExpressions:
+    def test_id_in_list(self):
+        q = parse("MATCH (a) WHERE id(a) IN [1, 2] RETURN a")
+        where = q.clauses[0].where
+        assert isinstance(where, Cmp) and where.op == "IN"
+        assert isinstance(where.left, FuncCall) and where.left.name == "id"
+        assert isinstance(where.right, ListLiteral)
+
+    def test_and_chain(self):
+        q = parse("MATCH (a) WHERE id(a) = 1 AND id(a) <> 2 RETURN a")
+        assert isinstance(q.clauses[0].where, And)
+
+    def test_extract(self):
+        q = parse(
+            "MATCH p = (a)<-[:U]-(b) "
+            "WHERE extract(x IN nodes(p) | labels(x)[0]) = [1] RETURN p"
+        )
+        where = q.clauses[0].where
+        assert isinstance(where.left, Extract)
+        assert where.left.var == "x"
+        assert isinstance(where.left.projection, Index)
+
+    def test_property_access(self):
+        q = parse("MATCH (a) WHERE a.name = 'model' RETURN a.name")
+        where = q.clauses[0].where
+        assert where.left.key == "name"
+        assert where.right == Literal("model")
+
+    def test_return_alias(self):
+        q = parse("MATCH (a) RETURN id(a) AS node_id, a")
+        assert q.return_items[0].alias == "node_id"
+        assert q.return_items[1].alias is None
+        assert isinstance(q.return_items[1].expr, Var)
+
+    def test_limit(self):
+        q = parse("MATCH (a) RETURN a LIMIT 5")
+        assert q.limit == 5
+
+
+class TestClauses:
+    def test_with_clause(self):
+        q = parse("MATCH (a) WITH a MATCH (b) RETURN a, b")
+        assert isinstance(q.clauses[1], WithClause)
+        assert q.clauses[1].items == ("a",)
+
+    def test_multiple_matches(self):
+        q = parse("MATCH (a) MATCH (b) RETURN a, b")
+        assert len(q.clauses) == 2
+
+    def test_missing_return_raises(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("MATCH (a)")
+
+    def test_no_match_raises(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("RETURN 1")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("MATCH (a) RETURN a garbage")
+
+    def test_paper_query_parses(self):
+        q = parse("""
+            MATCH p1 = (b:E)<-[:U|G*]-(e1:E)
+            WHERE id(b) IN [0, 1] AND id(e1) IN [8, 9]
+            WITH p1
+            MATCH p2 = (c:E)<-[:U|G*]-(e2:E)
+            WHERE id(e2) IN [8, 9]
+              AND extract(x IN nodes(p1) | labels(x)[0])
+                = extract(x IN nodes(p2) | labels(x)[0])
+              AND extract(x IN relationships(p1) | type(x))
+                = extract(x IN relationships(p2) | type(x))
+            RETURN p2
+        """)
+        assert len(q.clauses) == 3

@@ -1,0 +1,95 @@
+"""Tests for CypherLite's anchor-side planning (id seeks beat scans)."""
+
+import pytest
+
+from repro.errors import QueryTimeout
+from repro.query.cypherlite import Budget, run_query
+from repro.query.paths import Path
+
+
+class TestAnchorReversal:
+    def test_right_anchored_path_keeps_node_order(self, paper):
+        """Only the right endpoint is constrained; the plan anchors there
+        but the returned path must still read left-to-right as written."""
+        rows = run_query(
+            paper.graph,
+            f"MATCH p = (b:E)<-[:U|G*]-(e:E) "
+            f"WHERE id(e) = {paper['weight-v2']} RETURN p, id(b)",
+        )
+        for row in rows:
+            path = row["p"]
+            assert isinstance(path, Path)
+            assert path.end == paper["weight-v2"]
+            assert path.start == row["col1"]
+
+    def test_left_and_right_anchors_agree(self, paper):
+        """The same query constrained on either side returns the same
+        path set (as (start, end, labels) triples)."""
+        def canonical(rows):
+            out = set()
+            for row in rows:
+                path = row["p"]
+                out.add((path.start, path.end, path.label()))
+            return out
+
+        left = run_query(
+            paper.graph,
+            f"MATCH p = (b:E)<-[:U|G*]-(e:E) "
+            f"WHERE id(b) = {paper['dataset-v1']} "
+            f"AND id(e) = {paper['weight-v2']} RETURN p",
+        )
+        # Same constraint, but written so the planner prefers the other side
+        # (b unconstrained would explode; instead verify single-sided).
+        right_only = run_query(
+            paper.graph,
+            f"MATCH p = (b:E)<-[:U|G*]-(e:E) "
+            f"WHERE id(e) = {paper['weight-v2']} RETURN p",
+        )
+        assert canonical(left) <= canonical(right_only)
+
+    def test_right_anchor_bounds_work(self, paper):
+        rows = run_query(
+            paper.graph,
+            f"MATCH p = (b:E)<-[:U|G*2]-(e:E) "
+            f"WHERE id(e) = {paper['weight-v2']} RETURN p",
+        )
+        assert rows
+        for row in rows:
+            assert len(row["p"]) == 2
+
+    def test_bound_variable_beats_seed(self, paper):
+        """A previously bound variable is the strongest anchor."""
+        rows = run_query(
+            paper.graph,
+            f"MATCH (e:E) WHERE id(e) = {paper['weight-v2']} "
+            f"MATCH p = (b:E)<-[:U|G*]-(e) RETURN id(b)",
+        )
+        starts = {row["col0"] for row in rows}
+        assert paper["dataset-v1"] in starts
+
+    def test_seek_makes_single_hop_fast(self, pd_medium):
+        """With an id seed on one side, a 1-hop query stays in budget even
+        on a graph where a full scan of paths would not."""
+        dst = pd_medium.entities[-1]
+        rows = run_query(
+            pd_medium.graph,
+            f"MATCH (a:A)-[:G]->(e:E) WHERE id(e) = {dst} RETURN a",
+            Budget(timeout_seconds=5.0, max_expansions=100_000),
+        )
+        assert isinstance(rows, list)
+
+
+class TestPlanningDoesNotChangeSemantics:
+    def test_chain_patterns_unaffected(self, paper):
+        rows = run_query(
+            paper.graph,
+            f"MATCH (e:E)<-[:G]-(w:E) "
+            f"WHERE id(w) = {paper['weight-v2']} RETURN e",
+        )
+        # weight-v2 has no incoming G edges from entities; empty result, not
+        # an error (G edges go E -> A, so the pattern cannot match).
+        assert rows == []
+
+    def test_unconstrained_tiny_scan_still_works(self, paper):
+        rows = run_query(paper.graph, "MATCH (u:U) RETURN id(u)")
+        assert len(rows) == 2

@@ -1,0 +1,90 @@
+"""CypherLite variable-length queries vs the graph traversal primitives.
+
+A `(b:E)<-[:U|G*]-(e:E)` pattern enumerates ancestry paths from ``e``; its
+endpoint set must therefore equal the entity ancestors of ``e``. These tests
+pin the evaluator's semantics to the independent `ProvenanceGraph.ancestors`
+implementation on randomized graphs.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.model.types import ANCESTRY_EDGE_TYPES, VertexType
+from repro.query.cypherlite import Budget, run_query
+from repro.workloads.pd_generator import PdParams, generate_pd
+
+_settings = settings(max_examples=10, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def _tiny(seed: int):
+    return generate_pd(PdParams(n_vertices=40, seed=seed))
+
+
+class TestEndpointsMatchAncestors:
+    @_settings
+    @given(seed=st.integers(0, 3000))
+    def test_ancestry_endpoints(self, seed):
+        instance = _tiny(seed)
+        graph = instance.graph
+        target = instance.entities[-1]
+        rows = run_query(
+            graph,
+            f"MATCH (b:E)<-[:U|G*]-(e:E) WHERE id(e) = {target} "
+            "RETURN id(b)",
+            Budget(timeout_seconds=20.0),
+        )
+        reached = {row["col0"] for row in rows}
+        expected = {
+            v for v in graph.ancestors([target], ANCESTRY_EDGE_TYPES)
+            if graph.is_entity(v) and v != target
+        }
+        assert reached == expected
+
+    @_settings
+    @given(seed=st.integers(0, 3000))
+    def test_one_hop_equals_adjacency(self, seed):
+        instance = _tiny(seed)
+        graph = instance.graph
+        activity = instance.activities[-1]
+        rows = run_query(
+            graph,
+            f"MATCH (a:A)-[:U]->(e:E) WHERE id(a) = {activity} RETURN id(e)",
+        )
+        assert {row["col0"] for row in rows} \
+            == set(graph.used_entities(activity))
+
+    @_settings
+    @given(seed=st.integers(0, 3000), hops=st.integers(1, 3))
+    def test_bounded_hops_subset_of_unbounded(self, seed, hops):
+        instance = _tiny(seed)
+        graph = instance.graph
+        target = instance.entities[-1]
+        bounded = run_query(
+            graph,
+            f"MATCH (b)<-[:U|G*1..{hops}]-(e:E) WHERE id(e) = {target} "
+            "RETURN id(b)",
+            Budget(timeout_seconds=20.0),
+        )
+        unbounded = run_query(
+            graph,
+            f"MATCH (b)<-[:U|G*]-(e:E) WHERE id(e) = {target} RETURN id(b)",
+            Budget(timeout_seconds=20.0),
+        )
+        assert {r["col0"] for r in bounded} <= {r["col0"] for r in unbounded}
+
+    @_settings
+    @given(seed=st.integers(0, 3000))
+    def test_path_count_at_least_endpoint_count(self, seed):
+        instance = _tiny(seed)
+        graph = instance.graph
+        target = instance.entities[-1]
+        rows = run_query(
+            graph,
+            f"MATCH p = (b:E)<-[:U|G*]-(e:E) WHERE id(e) = {target} "
+            "RETURN p",
+            Budget(timeout_seconds=20.0),
+        )
+        endpoints = {row["p"].start for row in rows}
+        assert len(rows) >= len(endpoints)
+        for row in rows:
+            assert row["p"].end == target

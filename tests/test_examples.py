@@ -1,0 +1,33 @@
+"""Smoke tests: every example script runs to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script.name} printed nothing"
+
+
+def test_quickstart_reproduces_figure_2e(capsys):
+    script = next(p for p in EXAMPLES if p.stem == "quickstart")
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "11 groups" in output or "merged into 11" in output
+
+
+def test_cybersecurity_finds_exfil_chain(capsys):
+    script = next(p for p in EXAMPLES if p.stem == "cybersecurity_segmentation")
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "payload.sh" in output
+    assert "rare edges" in output

@@ -1,0 +1,120 @@
+"""Integration tests: full pipelines across modules."""
+
+import pytest
+
+from repro.model.types import EdgeType
+from repro.model import serialization as ser
+from repro.segment.boundary import BoundaryCriteria, exclude_edge_types, owned_by
+from repro.segment.pgseg import PgSegOperator, PgSegQuery, segment
+from repro.summarize.aggregation import PropertyAggregation
+from repro.summarize.pgsum import pgsum
+from repro.summarize.provtype import compute_vertex_classes
+from repro.summarize.psg import check_psg_invariant
+from repro.workloads.lifecycle import generate_team_project
+from repro.workloads.pd_generator import generate_pd_sized
+
+
+class TestSegmentThenSummarize:
+    """The paper's core workflow: PgSeg results feed PgSum."""
+
+    def test_team_project_pipeline_summary(self):
+        project = generate_team_project(members=3, iterations=10, seed=21)
+        graph = project.graph
+        builder = project.builder
+        dataset = builder.version_of("dataset", 1)
+
+        segments = []
+        for weights in builder.versions("weights")[-4:]:
+            segments.append(segment(graph, [dataset], [weights]))
+        assert all(s.vertex_count > 0 for s in segments)
+
+        aggregation = PropertyAggregation.of(
+            entity=("name",), activity=("command",)
+        )
+        psg = pgsum(segments, aggregation, k=0)
+        assert psg.node_count < psg.source_vertex_total
+        classes = compute_vertex_classes(segments, aggregation, 0)
+        extra, missing = check_psg_invariant(psg, segments, classes,
+                                             max_edges=5)
+        assert not extra and not missing
+
+    def test_pd_segments_summarize(self):
+        instance = generate_pd_sized(200, seed=22)
+        graph = instance.graph
+        src = instance.entities[:1]
+        segments = [
+            segment(graph, src, [dst])
+            for dst in instance.entities[-3:]
+        ]
+        aggregation = PropertyAggregation.of(activity=("command",))
+        psg = pgsum(segments, aggregation, k=0)
+        assert 0 < psg.compaction_ratio <= 1.0
+
+
+class TestBoundariesEndToEnd:
+    def test_ownership_boundary_scopes_segment(self):
+        project = generate_team_project(members=3, iterations=9, seed=23)
+        graph = project.graph
+        builder = project.builder
+        member0 = builder.agent("member0")
+        dataset = builder.version_of("dataset", 1)
+        weights = builder.latest("weights")
+
+        unbounded = segment(graph, [dataset], [weights])
+        bounded = segment(
+            graph, [dataset], [weights],
+            BoundaryCriteria().exclude_vertices(owned_by(graph, member0)),
+        )
+        assert bounded.vertices <= unbounded.vertices
+
+    def test_edge_exclusion_propagates_to_summary(self, paper):
+        b = BoundaryCriteria().exclude_edges(
+            exclude_edge_types(EdgeType.WAS_ATTRIBUTED_TO,
+                               EdgeType.WAS_DERIVED_FROM)
+        )
+        seg = segment(paper.graph, [paper["dataset-v1"]],
+                      [paper["weight-v2"]], b)
+        aggregation = PropertyAggregation.of(entity=("name",),
+                                             activity=("command",))
+        psg = pgsum([seg], aggregation, k=0)
+        labels_used = {key[2] for key in psg.edges}
+        assert "D" not in labels_used
+        assert "A" not in labels_used
+
+
+class TestSerializationRoundTripThenQuery:
+    def test_query_results_survive_serialization(self, paper):
+        from repro.model.types import VertexType
+
+        text = ser.dumps(paper.graph)
+        restored = ser.loads(text)
+        # Re-locate dataset and weight-v2 by properties.
+        dataset = next(iter(
+            restored.store.lookup(VertexType.ENTITY, "name", "dataset")
+        ))
+        weights = [
+            record.vertex_id
+            for record in restored.store.vertices()
+            if record.get("name") == "weight" and record.get("version") == 2
+        ]
+        seg = segment(restored, [dataset], weights)
+        names = {
+            restored.vertex(v).get("name")
+            for v in seg.vertices
+            if restored.is_entity(v)
+        } - {None}
+        assert {"dataset", "model", "solver", "weight", "log"} >= names
+        assert "model" in names
+
+
+class TestOperatorReuse:
+    def test_operator_answers_multiple_queries(self, paper):
+        operator = PgSegOperator(paper.graph)
+        q1 = operator.evaluate(PgSegQuery(
+            src=(paper["dataset-v1"],), dst=(paper["weight-v2"],)
+        ))
+        q2 = operator.evaluate(PgSegQuery(
+            src=(paper["dataset-v1"],), dst=(paper["log-v3"],)
+        ))
+        assert q1.vertices != q2.vertices
+        assert paper["dataset-v1"] in q1.vertices & q2.vertices

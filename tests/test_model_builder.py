@@ -1,0 +1,101 @@
+"""Unit tests for the fluent ProvBuilder."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.builder import ProvBuilder
+from repro.model.types import EdgeType
+
+
+class TestAgents:
+    def test_agent_get_or_create(self):
+        b = ProvBuilder()
+        first = b.agent("Alice")
+        second = b.agent("Alice")
+        assert first == second
+        assert b.agent_names() == ["Alice"]
+
+    def test_distinct_agents(self):
+        b = ProvBuilder()
+        assert b.agent("Alice") != b.agent("Bob")
+
+
+class TestVersions:
+    def test_artifact_then_versions(self):
+        b = ProvBuilder()
+        v1 = b.artifact("model")
+        v2 = b.new_version("model")
+        assert b.versions("model") == [v1, v2]
+        assert b.latest("model") == v2
+        assert b.version_of("model", 1) == v1
+
+    def test_duplicate_artifact_raises(self):
+        b = ProvBuilder()
+        b.artifact("model")
+        with pytest.raises(ModelError):
+            b.artifact("model")
+
+    def test_unknown_version_raises(self):
+        b = ProvBuilder()
+        b.artifact("model")
+        with pytest.raises(ModelError):
+            b.version_of("model", 2)
+        with pytest.raises(ModelError):
+            b.version_of("mystery", 1)
+
+    def test_derivation_edge_links_versions(self):
+        b = ProvBuilder()
+        v1 = b.artifact("model")
+        v2 = b.new_version("model")
+        assert b.graph.derived_sources(v2) == [v1]
+
+    def test_attribution(self):
+        b = ProvBuilder()
+        alice = b.agent("Alice")
+        v1 = b.artifact("data", agent=alice)
+        assert b.graph.agents_of(v1) == [alice]
+
+
+class TestActivities:
+    def test_uses_and_generates(self):
+        b = ProvBuilder()
+        b.artifact("dataset")
+        with b.activity("train", agent="Alice", opt="-gpu") as act:
+            act.uses("dataset")
+            act.generates("weights")
+        graph = b.graph
+        train = act.activity_id
+        assert graph.vertex(train).get("command") == "train"
+        assert graph.vertex(train).get("opt") == "-gpu"
+        assert graph.used_entities(train) == [b.latest("dataset")]
+        assert graph.generated_entities(train) == [b.latest("weights")]
+        assert graph.agents_of(train) == [b.agent("Alice")]
+
+    def test_uses_creates_unknown_artifact(self):
+        b = ProvBuilder()
+        with b.activity("train") as act:
+            act.uses("dataset")
+        assert b.latest("dataset") is not None
+
+    def test_generates_versions_on_rewrite(self):
+        b = ProvBuilder()
+        with b.activity("train") as act:
+            act.generates("weights")
+        with b.activity("train") as act:
+            act.generates("weights")
+        assert len(b.versions("weights")) == 2
+        v1, v2 = b.versions("weights")
+        assert b.graph.derived_sources(v2) == [v1]
+
+    def test_uses_entity_by_id(self):
+        b = ProvBuilder()
+        v1 = b.artifact("config")
+        with b.activity("run") as act:
+            act.uses_entity(v1)
+        assert b.graph.used_entities(act.activity_id) == [v1]
+
+    def test_chainable(self):
+        b = ProvBuilder()
+        act = b.activity("prep").uses("raw").generates("clean")
+        assert b.graph.used_entities(act.activity_id) == [b.latest("raw")]
+        assert b.graph.generated_entities(act.activity_id) == [b.latest("clean")]

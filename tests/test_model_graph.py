@@ -1,0 +1,114 @@
+"""Unit tests for the ProvenanceGraph facade."""
+
+import pytest
+
+from repro.errors import CycleError
+from repro.model.graph import ProvenanceGraph
+from repro.model.types import EdgeType
+
+
+class TestCreation:
+    def test_typed_adders(self):
+        g = ProvenanceGraph()
+        e = g.add_entity(name="data")
+        a = g.add_activity(command="train")
+        u = g.add_agent(name="Alice")
+        assert g.is_entity(e)
+        assert g.is_activity(a)
+        assert g.is_agent(u)
+
+    def test_relations_wire_correctly(self, paper):
+        g = paper.graph
+        assert set(g.used_entities(paper["train-v2"])) == {
+            paper["dataset-v1"], paper["model-v2"], paper["solver-v1"]
+        }
+        assert set(g.generated_entities(paper["train-v2"])) == {
+            paper["log-v2"], paper["weight-v2"]
+        }
+        assert g.generating_activities(paper["weight-v2"]) == [paper["train-v2"]]
+        assert paper["train-v2"] in g.using_activities(paper["dataset-v1"])
+
+    def test_agents_of(self, paper):
+        g = paper.graph
+        assert g.agents_of(paper["train-v3"]) == [paper["Bob"]]
+        assert g.agents_of(paper["dataset-v1"]) == [paper["Alice"]]
+        assert g.agents_of(paper["Alice"]) == []
+
+    def test_derived_sources(self, paper):
+        g = paper.graph
+        assert g.derived_sources(paper["model-v2"]) == [paper["model-v1"]]
+
+
+class TestAncestry:
+    def test_ancestors_walk_toward_inputs(self, paper):
+        g = paper.graph
+        ancestors = g.ancestors([paper["weight-v2"]])
+        assert paper["dataset-v1"] in ancestors
+        assert paper["model-v1"] in ancestors      # via update-v2
+        assert paper["weight-v3"] not in ancestors
+
+    def test_descendants(self, paper):
+        g = paper.graph
+        descendants = g.descendants([paper["dataset-v1"]])
+        assert paper["weight-v1"] in descendants
+        assert paper["weight-v2"] in descendants
+        assert paper["weight-v3"] in descendants
+
+    def test_ancestors_of_initial_entity_is_self(self, paper):
+        assert paper.graph.ancestors([paper["dataset-v1"]]) == {
+            paper["dataset-v1"]
+        }
+
+
+class TestCycleChecking:
+    def test_cycle_detected_when_enabled(self):
+        g = ProvenanceGraph(check_acyclic=True)
+        e1 = g.add_entity()
+        a = g.add_activity()
+        g.used(a, e1)                 # a -> e1
+        e2 = g.add_entity()
+        g.was_generated_by(e2, a)     # e2 -> a
+        with pytest.raises(CycleError):
+            # e1 -> e2 would close e1 -> e2 -> a -> e1.
+            g.was_derived_from(e1, e2)
+
+    def test_self_loop_rejected(self):
+        g = ProvenanceGraph(check_acyclic=True)
+        e = g.add_entity()
+        with pytest.raises(CycleError):
+            g.was_derived_from(e, e)
+
+    def test_no_check_by_default(self):
+        g = ProvenanceGraph()
+        e = g.add_entity()
+        g.was_derived_from(e, e)      # tolerated (generators guarantee DAGs)
+        assert g.edge_count == 1
+
+
+class TestSubgraphs:
+    def test_induced_edge_ids(self, paper):
+        g = paper.graph
+        members = [paper["weight-v2"], paper["train-v2"], paper["dataset-v1"]]
+        edges = [g.edge(eid) for eid in g.induced_edge_ids(members)]
+        pairs = {(r.src, r.dst) for r in edges}
+        assert (paper["weight-v2"], paper["train-v2"]) in pairs
+        assert (paper["train-v2"], paper["dataset-v1"]) in pairs
+        assert len(pairs) == 2
+
+    def test_copy_subgraph_preserves_structure(self, paper):
+        g = paper.graph
+        members = [paper["weight-v2"], paper["train-v2"], paper["dataset-v1"],
+                   paper["model-v2"]]
+        copy, id_map = g.copy_subgraph(members)
+        assert copy.vertex_count == 4
+        new_train = id_map[paper["train-v2"]]
+        assert set(copy.used_entities(new_train)) == {
+            id_map[paper["dataset-v1"]], id_map[paper["model-v2"]]
+        }
+
+    def test_copy_preserves_relative_order(self, paper):
+        g = paper.graph
+        members = [paper["weight-v2"], paper["dataset-v1"]]
+        copy, id_map = g.copy_subgraph(members)
+        assert (copy.store.order_of(id_map[paper["dataset-v1"]])
+                < copy.store.order_of(id_map[paper["weight-v2"]]))

@@ -1,0 +1,111 @@
+"""Unit tests for serialization round trips."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.model import serialization as ser
+from repro.model.graph import ProvenanceGraph
+from repro.model.types import EdgeType, VertexType
+
+
+def graphs_equal(left: ProvenanceGraph, right: ProvenanceGraph) -> bool:
+    """Structural equality via canonical (type, props, endpoints) multisets."""
+    def vertex_key(g, vid):
+        record = g.vertex(vid)
+        return (record.vertex_type.label,
+                tuple(sorted((k, str(v)) for k, v in record.properties.items())))
+
+    left_vertices = sorted(vertex_key(left, v.vertex_id)
+                           for v in left.store.vertices())
+    right_vertices = sorted(vertex_key(right, v.vertex_id)
+                            for v in right.store.vertices())
+    if left_vertices != right_vertices:
+        return False
+
+    def edge_key(g, record):
+        return (record.edge_type.label,
+                vertex_key(g, record.src), vertex_key(g, record.dst))
+
+    left_edges = sorted(edge_key(left, r) for r in left.store.edges())
+    right_edges = sorted(edge_key(right, r) for r in right.store.edges())
+    return left_edges == right_edges
+
+
+class TestProvJson:
+    def test_roundtrip_paper_example(self, paper):
+        document = ser.to_prov_json(paper.graph)
+        restored = ser.from_prov_json(document)
+        assert graphs_equal(paper.graph, restored)
+
+    def test_roundtrip_pd(self, pd_small):
+        text = ser.dumps(pd_small.graph)
+        restored = ser.loads(text)
+        assert graphs_equal(pd_small.graph, restored)
+
+    def test_order_survives_roundtrip(self, paper):
+        restored = ser.loads(ser.dumps(paper.graph))
+        # dataset is created before weight-v3 in the original; find them by
+        # name/version and compare ordinals.
+        def find(g, name, version):
+            for record in g.store.vertices(VertexType.ENTITY):
+                if record.get("name") == name and record.get("version") == version:
+                    return record
+            raise AssertionError(f"{name}-v{version} not found")
+
+        dataset = find(restored, "dataset", 1)
+        weight3 = find(restored, "weight", 3)
+        assert dataset.order < weight3.order
+
+    def test_sections_present(self, paper):
+        document = ser.to_prov_json(paper.graph)
+        for section in ("entity", "activity", "agent", "used",
+                        "wasGeneratedBy", "wasAssociatedWith",
+                        "wasAttributedTo", "wasDerivedFrom"):
+            assert section in document
+        assert len(document["agent"]) == 2
+
+    def test_bad_json_raises(self):
+        with pytest.raises(SerializationError):
+            ser.loads("{not json")
+
+    def test_non_object_raises(self):
+        with pytest.raises(SerializationError):
+            ser.loads("[1, 2, 3]")
+
+    def test_dangling_reference_raises(self):
+        document = {"entity": {}, "used": {
+            "e0": {"prov:activity": "vX", "prov:entity": "vY"}
+        }}
+        with pytest.raises(SerializationError):
+            ser.from_prov_json(document)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tiny_chain):
+        text = ser.to_edge_list(tiny_chain)
+        restored = ser.parse_edge_list(text)
+        assert restored.vertex_count == tiny_chain.vertex_count
+        assert restored.edge_count == tiny_chain.edge_count
+
+    def test_bad_edge_line(self):
+        with pytest.raises(SerializationError):
+            ser.parse_edge_list("0 ->-> 1")
+
+    def test_undeclared_vertex(self):
+        with pytest.raises(SerializationError):
+            ser.parse_edge_list("# 0 [A] act\n0 -U-> 9")
+
+
+class TestDot:
+    def test_dot_includes_all_elements(self, tiny_chain):
+        dot = ser.to_dot(tiny_chain)
+        assert dot.startswith("digraph prov {")
+        assert dot.count("shape=ellipse") == 3    # three entities
+        assert dot.count("shape=box") == 2        # two activities
+        assert dot.count("->") == 4               # four edges
+
+    def test_dot_escapes_quotes(self):
+        g = ProvenanceGraph()
+        g.add_entity(name='we "quote" things')
+        dot = ser.to_dot(g)
+        assert '\\"quote\\"' in dot

@@ -1,0 +1,82 @@
+"""Tests for graph statistics."""
+
+import pytest
+
+from repro.model.graph import ProvenanceGraph
+from repro.model.statistics import DegreeSummary, compute_statistics
+
+
+class TestDegreeSummary:
+    def test_of_values(self):
+        summary = DegreeSummary.of([1, 2, 3])
+        assert summary.minimum == 1
+        assert summary.mean == 2.0
+        assert summary.maximum == 3
+
+    def test_empty(self):
+        summary = DegreeSummary.of([])
+        assert summary.minimum == 0 and summary.maximum == 0
+
+
+class TestPaperExampleStats:
+    @pytest.fixture()
+    def stats(self, paper):
+        return compute_statistics(paper.graph)
+
+    def test_counts(self, stats):
+        assert stats.vertices == 18
+        assert stats.entities == 11
+        assert stats.activities == 5
+        assert stats.agents == 2
+        assert stats.edges == 39
+
+    def test_edge_mix(self, stats):
+        assert stats.edge_counts["U"] == 11
+        assert stats.edge_counts["G"] == 8
+        assert stats.edge_counts["D"] == 4
+
+    def test_activity_degrees(self, stats):
+        # trains use 3 inputs, updates 1.
+        assert stats.activity_in.minimum == 1
+        assert stats.activity_in.maximum == 3
+        assert stats.activity_out.minimum == 1
+        assert stats.activity_out.maximum == 2
+
+    def test_fanout(self, stats):
+        # dataset-v1 is used by all three trains.
+        assert stats.entity_fanout.maximum == 3
+
+    def test_depth(self, stats):
+        # weight-v2 <- train-v2 <- model-v2 <- update-v2 <- model-v1:
+        # two activities on the deepest chain.
+        assert stats.max_ancestry_depth == 2
+
+    def test_initial_entities(self, stats):
+        # dataset-v1, model-v1, solver-v1 have no generator.
+        assert stats.initial_entities == 3
+
+    def test_artifacts(self, stats):
+        # model, solver, log chains + dataset + 3 weight singletons = 7.
+        assert stats.artifacts == 7
+        assert stats.max_versions == 3    # the log chain
+
+    def test_describe(self, stats):
+        text = stats.describe()
+        assert "vertices: 18" in text
+        assert "max ancestry depth: 2" in text
+
+
+class TestOnGenerated:
+    def test_pd_stats_consistent(self, pd_small):
+        stats = compute_statistics(pd_small.graph)
+        assert stats.vertices == pd_small.graph.vertex_count
+        assert stats.activity_in.minimum >= 1
+        assert stats.activity_out.minimum >= 1
+        assert stats.max_ancestry_depth >= 1
+        assert stats.initial_entities >= 1
+
+    def test_empty_graph(self):
+        stats = compute_statistics(ProvenanceGraph())
+        assert stats.vertices == 0
+        assert stats.max_ancestry_depth == 0
+        assert stats.describe()

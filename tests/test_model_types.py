@@ -1,0 +1,113 @@
+"""Unit tests for the PROV type vocabulary."""
+
+import pytest
+
+from repro.model.types import (
+    ANCESTRY_EDGE_TYPES,
+    EDGE_TYPE_SIGNATURES,
+    PATHABLE_EDGE_TYPES,
+    EdgeType,
+    VertexType,
+    edge_signature_ok,
+    parse_edge_type,
+    parse_vertex_type,
+)
+
+
+class TestVertexType:
+    def test_labels_are_single_characters(self):
+        assert VertexType.ENTITY.label == "E"
+        assert VertexType.ACTIVITY.label == "A"
+        assert VertexType.AGENT.label == "U"
+
+    def test_three_types(self):
+        assert len(VertexType) == 3
+
+    @pytest.mark.parametrize("text,expected", [
+        ("E", VertexType.ENTITY),
+        ("entity", VertexType.ENTITY),
+        ("Entity", VertexType.ENTITY),
+        ("A", VertexType.ACTIVITY),
+        ("activity", VertexType.ACTIVITY),
+        ("U", VertexType.AGENT),
+        ("agent", VertexType.AGENT),
+        ("AGENT", VertexType.AGENT),
+    ])
+    def test_parse(self, text, expected):
+        assert parse_vertex_type(text) is expected
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            parse_vertex_type("banana")
+
+
+class TestEdgeType:
+    def test_labels(self):
+        assert EdgeType.USED.label == "U"
+        assert EdgeType.WAS_GENERATED_BY.label == "G"
+        assert EdgeType.WAS_ASSOCIATED_WITH.label == "S"
+        assert EdgeType.WAS_ATTRIBUTED_TO.label == "A"
+        assert EdgeType.WAS_DERIVED_FROM.label == "D"
+
+    def test_inverse_labels(self):
+        assert EdgeType.USED.inverse_label == "U^-1"
+        assert EdgeType.WAS_GENERATED_BY.inverse_label == "G^-1"
+
+    def test_five_types(self):
+        assert len(EdgeType) == 5
+
+    @pytest.mark.parametrize("text,expected", [
+        ("U", EdgeType.USED),
+        ("used", EdgeType.USED),
+        ("G", EdgeType.WAS_GENERATED_BY),
+        ("wasGeneratedBy", EdgeType.WAS_GENERATED_BY),
+        ("wasassociatedwith", EdgeType.WAS_ASSOCIATED_WITH),
+        ("A", EdgeType.WAS_ATTRIBUTED_TO),
+        ("wasDerivedFrom", EdgeType.WAS_DERIVED_FROM),
+    ])
+    def test_parse(self, text, expected):
+        assert parse_edge_type(text) is expected
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            parse_edge_type("Z")
+
+
+class TestSignatures:
+    def test_every_edge_type_has_a_signature(self):
+        assert set(EDGE_TYPE_SIGNATURES) == set(EdgeType)
+
+    def test_used_signature(self):
+        assert edge_signature_ok(
+            EdgeType.USED, VertexType.ACTIVITY, VertexType.ENTITY
+        )
+        assert not edge_signature_ok(
+            EdgeType.USED, VertexType.ENTITY, VertexType.ACTIVITY
+        )
+
+    def test_generated_by_signature(self):
+        assert edge_signature_ok(
+            EdgeType.WAS_GENERATED_BY, VertexType.ENTITY, VertexType.ACTIVITY
+        )
+
+    def test_derived_from_is_entity_to_entity(self):
+        assert edge_signature_ok(
+            EdgeType.WAS_DERIVED_FROM, VertexType.ENTITY, VertexType.ENTITY
+        )
+        assert not edge_signature_ok(
+            EdgeType.WAS_DERIVED_FROM, VertexType.ENTITY, VertexType.AGENT
+        )
+
+    def test_agent_edges_end_at_agents(self):
+        for edge_type in (EdgeType.WAS_ASSOCIATED_WITH,
+                          EdgeType.WAS_ATTRIBUTED_TO):
+            _src, dst = EDGE_TYPE_SIGNATURES[edge_type]
+            assert dst is VertexType.AGENT
+
+    def test_ancestry_edge_types(self):
+        assert ANCESTRY_EDGE_TYPES == {EdgeType.USED, EdgeType.WAS_GENERATED_BY}
+
+    def test_pathable_excludes_agent_edges(self):
+        assert EdgeType.WAS_ASSOCIATED_WITH not in PATHABLE_EDGE_TYPES
+        assert EdgeType.WAS_ATTRIBUTED_TO not in PATHABLE_EDGE_TYPES
+        assert EdgeType.WAS_DERIVED_FROM in PATHABLE_EDGE_TYPES

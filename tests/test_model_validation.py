@@ -1,0 +1,120 @@
+"""Unit tests for PROV constraint validation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model.graph import ProvenanceGraph
+from repro.model.types import EdgeType, VertexType
+from repro.model.validation import require_valid, validate
+
+
+class TestValidGraphs:
+    def test_paper_example_is_valid(self, paper):
+        report = validate(paper.graph)
+        assert report.ok, report.summary()
+
+    def test_pd_graph_is_valid(self, pd_small):
+        report = validate(pd_small.graph)
+        assert report.ok, report.summary()
+
+    def test_empty_graph_is_valid(self):
+        assert validate(ProvenanceGraph()).ok
+
+    def test_require_valid_passes(self, paper):
+        require_valid(paper.graph)
+
+
+class TestSignatureViolations:
+    def test_bad_edge_reported(self):
+        g = ProvenanceGraph(store=None)
+        g.store._check_signatures = False      # simulate a foreign import
+        e = g.add_entity()
+        a = g.add_activity()
+        g.store.add_edge(EdgeType.USED, e, a)  # backwards
+        report = validate(g)
+        assert not report.ok
+        assert report.by_kind("signature")
+
+    def test_require_valid_raises(self):
+        g = ProvenanceGraph()
+        g.store._check_signatures = False
+        e = g.add_entity()
+        a = g.add_activity()
+        g.store.add_edge(EdgeType.USED, e, a)
+        with pytest.raises(ValidationError):
+            require_valid(g)
+
+
+class TestCycleViolations:
+    def test_derivation_cycle_reported(self):
+        g = ProvenanceGraph()
+        e1 = g.add_entity()
+        e2 = g.add_entity()
+        g.was_derived_from(e1, e2)
+        g.was_derived_from(e2, e1)
+        report = validate(g, check_temporal=False)
+        assert report.by_kind("cycle")
+
+    def test_ancestry_cycle_reported(self):
+        g = ProvenanceGraph()
+        e = g.add_entity()
+        a = g.add_activity()
+        g.used(a, e)                 # a -> e
+        g.was_generated_by(e, a)     # e -> a: cycle e -> a -> e
+        report = validate(g, check_temporal=False)
+        assert report.by_kind("cycle")
+
+    def test_diamond_is_not_a_cycle(self):
+        # Two paths to the same ancestor must not be reported as a cycle.
+        g = ProvenanceGraph()
+        root = g.add_entity()
+        a1 = g.add_activity()
+        a2 = g.add_activity()
+        g.used(a1, root)
+        g.used(a2, root)
+        mid1 = g.add_entity()
+        mid2 = g.add_entity()
+        g.was_generated_by(mid1, a1)
+        g.was_generated_by(mid2, a2)
+        join = g.add_activity()
+        g.used(join, mid1)
+        g.used(join, mid2)
+        assert validate(g).ok
+
+
+class TestTemporalViolations:
+    def test_generation_before_activity_reported(self):
+        g = ProvenanceGraph()
+        e = g.add_entity()           # order 0
+        a = g.add_activity()         # order 1
+        g.was_generated_by(e, a)     # entity predates its generator
+        report = validate(g)
+        assert report.by_kind("temporal")
+
+    def test_using_future_entity_reported(self):
+        g = ProvenanceGraph()
+        a = g.add_activity()         # order 0
+        e = g.add_entity()           # order 1
+        g.used(a, e)                 # activity uses an entity from its future
+        report = validate(g)
+        assert report.by_kind("temporal")
+
+    def test_temporal_check_can_be_disabled(self):
+        g = ProvenanceGraph()
+        a = g.add_activity()
+        e = g.add_entity()
+        g.used(a, e)
+        assert validate(g, check_temporal=False).ok
+
+
+class TestReport:
+    def test_summary_counts_by_kind(self):
+        g = ProvenanceGraph()
+        a = g.add_activity()
+        e = g.add_entity()
+        g.used(a, e)
+        report = validate(g)
+        assert "temporal=1" in report.summary()
+
+    def test_ok_summary(self, paper):
+        assert validate(paper.graph).summary() == "valid"

@@ -1,0 +1,131 @@
+"""Cross-cutting property-based tests.
+
+- PROV-JSON serialization round-trips arbitrary generated graphs;
+- path labels behave algebraically (inverse of inverse, palindromes);
+- the store agrees with a trivial reference model under random operation
+  sequences (a lightweight stateful test).
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.model import serialization as ser
+from repro.model.graph import ProvenanceGraph
+from repro.model.types import EdgeType, VertexType
+from repro.query.paths import Path, Step
+from repro.store.store import PropertyGraphStore
+from repro.workloads.pd_generator import PdParams, generate_pd
+from tests.test_model_serialization import graphs_equal
+
+
+class TestSerializationProperties:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 10_000), n=st.integers(20, 120))
+    def test_pd_roundtrip(self, seed, n):
+        instance = generate_pd(PdParams(n_vertices=max(n, 8), seed=seed))
+        restored = ser.loads(ser.dumps(instance.graph))
+        assert graphs_equal(instance.graph, restored)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_roundtrip_preserves_summary(self, seed):
+        instance = generate_pd(PdParams(n_vertices=60, seed=seed))
+        restored = ser.loads(ser.dumps(instance.graph))
+        assert instance.graph.store.summary() == restored.store.summary()
+
+
+class TestPathProperties:
+    def _random_path(self, graph: ProvenanceGraph, rng: random.Random):
+        store = graph.store
+        entities = list(graph.entities())
+        start = rng.choice(entities)
+        path = Path(graph, start)
+        for _ in range(rng.randrange(1, 6)):
+            here = path.end
+            moves = []
+            for edge_type in (EdgeType.USED, EdgeType.WAS_GENERATED_BY):
+                for edge_id in store.out_edge_ids(here, edge_type):
+                    moves.append(Step(edge_id, True))
+                for edge_id in store.in_edge_ids(here, edge_type):
+                    moves.append(Step(edge_id, False))
+            if not moves:
+                break
+            path.append(rng.choice(moves))
+        return path
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_double_inverse_is_identity(self, seed):
+        rng = random.Random(seed)
+        instance = generate_pd(PdParams(n_vertices=60, seed=seed % 100))
+        path = self._random_path(instance.graph, rng)
+        twice = path.inverse().inverse()
+        assert twice.vertices == path.vertices
+        assert twice.label() == path.label()
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_inverse_reverses_vertices(self, seed):
+        rng = random.Random(seed)
+        instance = generate_pd(PdParams(n_vertices=60, seed=seed % 100))
+        path = self._random_path(instance.graph, rng)
+        assert path.inverse().vertices == list(reversed(path.vertices))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_label_length_invariant(self, seed):
+        rng = random.Random(seed)
+        instance = generate_pd(PdParams(n_vertices=60, seed=seed % 100))
+        path = self._random_path(instance.graph, rng)
+        assert len(path.label()) == 2 * len(path) + 1
+        assert len(path.segment_label()) == max(0, 2 * len(path) - 1)
+
+
+class TestStoreAgainstReferenceModel:
+    """Random op sequences: the store matches a dict-based reference."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_random_operations(self, seed):
+        rng = random.Random(seed)
+        store = PropertyGraphStore(check_signatures=False)
+        ref_vertices: dict[int, tuple] = {}
+        ref_edges: dict[int, tuple] = {}
+
+        for _ in range(rng.randrange(10, 60)):
+            op = rng.random()
+            if op < 0.45 or not ref_vertices:
+                vt = rng.choice(list(VertexType))
+                vid = store.add_vertex(vt, {"n": rng.randrange(5)})
+                ref_vertices[vid] = (vt,)
+            elif op < 0.75 and len(ref_vertices) >= 2:
+                src, dst = rng.sample(sorted(ref_vertices), 2)
+                et = rng.choice(list(EdgeType))
+                eid = store.add_edge(et, src, dst)
+                ref_edges[eid] = (et, src, dst)
+            elif op < 0.9 and ref_edges:
+                eid = rng.choice(sorted(ref_edges))
+                store.remove_edge(eid)
+                del ref_edges[eid]
+            elif ref_vertices:
+                vid = rng.choice(sorted(ref_vertices))
+                store.remove_vertex(vid)
+                del ref_vertices[vid]
+                ref_edges = {
+                    eid: spec for eid, spec in ref_edges.items()
+                    if spec[1] != vid and spec[2] != vid
+                }
+
+        assert store.vertex_count == len(ref_vertices)
+        assert store.edge_count == len(ref_edges)
+        for vid, (vt,) in ref_vertices.items():
+            assert store.vertex_type(vid) is vt
+        for eid, (et, src, dst) in ref_edges.items():
+            record = store.edge(eid)
+            assert (record.edge_type, record.src, record.dst) == (et, src, dst)
+        # Adjacency consistency: every live edge appears in both directions.
+        for eid, (et, src, dst) in ref_edges.items():
+            assert eid in set(store.out_edge_ids(src, et))
+            assert eid in set(store.in_edge_ids(dst, et))

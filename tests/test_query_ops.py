@@ -1,0 +1,112 @@
+"""Tests for the convenience provenance queries."""
+
+import pytest
+
+from repro.query.ops import (
+    blame,
+    common_ancestors,
+    derivation_chain,
+    entity_timeline,
+    impacted,
+    lineage,
+)
+
+
+class TestLineage:
+    def test_weight_v2_lineage(self, paper):
+        result = lineage(paper.graph, paper["weight-v2"])
+        assert result.root == paper["weight-v2"]
+        assert paper["dataset-v1"] in result.vertices
+        assert paper["model-v1"] in result.vertices      # via update-v2
+        assert paper["update-v2"] in result.vertices
+        assert paper["weight-v3"] not in result.vertices
+
+    def test_levels_ordered_nearest_first(self, paper):
+        result = lineage(paper.graph, paper["weight-v2"])
+        assert result.levels[0].activities == [paper["train-v2"]]
+        assert set(result.levels[0].entities) == {
+            paper["dataset-v1"], paper["model-v2"], paper["solver-v1"]
+        }
+        assert result.levels[1].activities == [paper["update-v2"]]
+
+    def test_max_depth(self, paper):
+        shallow = lineage(paper.graph, paper["weight-v2"], max_depth=1)
+        assert shallow.depth == 1
+        assert paper["model-v1"] not in shallow.vertices
+
+    def test_initial_entity_has_empty_lineage(self, paper):
+        result = lineage(paper.graph, paper["dataset-v1"])
+        assert result.vertices == {paper["dataset-v1"]}
+        assert result.depth == 0
+
+    def test_non_entity_rejected(self, paper):
+        with pytest.raises(ValueError):
+            lineage(paper.graph, paper["train-v1"])
+
+
+class TestImpacted:
+    def test_dataset_impacts_everything_trained(self, paper):
+        result = impacted(paper.graph, paper["dataset-v1"])
+        for name in ("weight-v1", "weight-v2", "weight-v3",
+                     "log-v1", "log-v2", "log-v3"):
+            assert paper[name] in result.vertices, name
+
+    def test_model_v2_impacts_only_v2_outputs(self, paper):
+        result = impacted(paper.graph, paper["model-v2"])
+        assert paper["weight-v2"] in result.vertices
+        assert paper["weight-v3"] not in result.vertices
+        assert paper["weight-v1"] not in result.vertices
+
+
+class TestBlame:
+    def test_blame_weight_v3(self, paper):
+        report = blame(paper.graph, paper["weight-v3"])
+        assert paper["Bob"] in report
+        assert paper["Alice"] in report      # owns dataset/model ancestry
+        assert paper["train-v3"] in report[paper["Bob"]]
+        assert paper["dataset-v1"] in report[paper["Alice"]]
+
+    def test_blame_respects_depth(self, paper):
+        report = blame(paper.graph, paper["weight-v2"], max_depth=1)
+        # Depth 1 stops before update-v2, so Alice's blame set is smaller
+        # than the full one.
+        full = blame(paper.graph, paper["weight-v2"])
+        assert report[paper["Alice"]] < full[paper["Alice"]]
+
+
+class TestDerivationChain:
+    def test_log_chain(self, paper):
+        chain = derivation_chain(paper.graph, paper["log-v3"])
+        assert chain == [paper["log-v3"], paper["log-v2"], paper["log-v1"]]
+
+    def test_underived_entity(self, paper):
+        assert derivation_chain(paper.graph, paper["dataset-v1"]) == [
+            paper["dataset-v1"]
+        ]
+
+
+class TestCommonAncestors:
+    def test_weights_share_dataset(self, paper):
+        shared = common_ancestors(paper.graph, paper["weight-v2"],
+                                  paper["weight-v3"])
+        assert paper["dataset-v1"] in shared
+        assert paper["model-v1"] in shared
+        # weight-v2's solver-v1 is also in weight-v3's ancestry (solver-v3
+        # was derived... no: via update-v3 which USED solver-v1).
+        assert paper["solver-v1"] in shared
+
+    def test_disjoint_ancestries(self, paper):
+        shared = common_ancestors(paper.graph, paper["dataset-v1"],
+                                  paper["solver-v1"])
+        assert shared == set()
+
+
+class TestTimeline:
+    def test_weight_timeline(self, paper):
+        timeline = entity_timeline(paper.graph, "weight")
+        assert timeline == [
+            paper["weight-v1"], paper["weight-v2"], paper["weight-v3"]
+        ]
+
+    def test_unknown_name(self, paper):
+        assert entity_timeline(paper.graph, "nonexistent") == []

@@ -1,0 +1,94 @@
+"""Unit tests for paths and path labels (Sec. III.A notation)."""
+
+import pytest
+
+from repro.model.graph import ProvenanceGraph
+from repro.query.paths import Path, Step, simple_label_word
+
+
+@pytest.fixture()
+def chain():
+    """a(E) -G-> b(A) -U-> c(E), the paper's π_{a,c} example."""
+    g = ProvenanceGraph()
+    c = g.add_entity(name="c")
+    b = g.add_activity(name="b")
+    a = g.add_entity(name="a")
+    e_bc = g.used(b, c)
+    e_ab = g.was_generated_by(a, b)
+    return g, a, b, c, e_ab, e_bc
+
+
+class TestLabels:
+    def test_paper_example_label(self, chain):
+        g, a, b, c, e_ab, e_bc = chain
+        path = Path(g, a, [Step(e_ab), Step(e_bc)])
+        assert path.label() == ("E", "G", "A", "U", "E")
+        assert path.segment_label() == ("G", "A", "U")
+        assert path.label_string() == "E G A U E"
+        assert path.segment_label_string() == "G A U"
+
+    def test_inverse_path_label(self, chain):
+        g, a, b, c, e_ab, e_bc = chain
+        path = Path(g, a, [Step(e_ab), Step(e_bc)])
+        inverse = path.inverse()
+        assert inverse.start == c
+        assert inverse.end == a
+        assert inverse.label() == ("E", "U^-1", "A", "G^-1", "E")
+        assert inverse.segment_label() == ("U^-1", "A", "G^-1")
+
+    def test_empty_path(self, chain):
+        g, a, *_ = chain
+        path = Path(g, a)
+        assert len(path) == 0
+        assert path.end == a
+        assert path.label() == ("E",)
+        assert path.segment_label() == ()
+
+
+class TestConstruction:
+    def test_disconnected_step_raises(self, chain):
+        g, a, b, c, e_ab, e_bc = chain
+        with pytest.raises(ValueError):
+            Path(g, a, [Step(e_bc)])     # e_bc departs b, not a
+
+    def test_backward_step_requires_inverse(self, chain):
+        g, a, b, c, e_ab, e_bc = chain
+        path = Path(g, c, [Step(e_bc, forward=False)])
+        assert path.end == b
+        assert path.label() == ("E", "U^-1", "A")
+
+    def test_extended_does_not_mutate(self, chain):
+        g, a, b, c, e_ab, e_bc = chain
+        path = Path(g, a, [Step(e_ab)])
+        longer = path.extended(Step(e_bc))
+        assert len(path) == 1
+        assert len(longer) == 2
+        assert longer.vertices == [a, b, c]
+
+    def test_interior_vertices(self, chain):
+        g, a, b, c, e_ab, e_bc = chain
+        path = Path(g, a, [Step(e_ab), Step(e_bc)])
+        assert path.interior_vertices() == [b]
+
+    def test_revisiting_edges_is_allowed(self, chain):
+        # SimProv palindrome paths traverse the same edge both ways.
+        g, a, b, c, e_ab, e_bc = chain
+        path = Path(g, a, [Step(e_ab), Step(e_ab, forward=False), Step(e_ab)])
+        assert path.vertices == [a, b, a, b]
+
+
+class TestHelpers:
+    def test_simple_label_word(self, chain):
+        g, a, b, c, e_ab, e_bc = chain
+        word = simple_label_word(g, [a, b, c], [e_ab, e_bc])
+        assert word == ("E", "G", "A", "U", "E")
+
+    def test_simple_label_word_validates_lengths(self, chain):
+        g, a, b, c, e_ab, e_bc = chain
+        with pytest.raises(ValueError):
+            simple_label_word(g, [a, b], [e_ab, e_bc])
+
+    def test_simple_label_word_validates_route(self, chain):
+        g, a, b, c, e_ab, e_bc = chain
+        with pytest.raises(ValueError):
+            simple_label_word(g, [a, c, b], [e_ab, e_bc])

@@ -1,0 +1,103 @@
+"""Unit tests for boundary criteria and predicate factories."""
+
+from repro.model.types import EdgeType, VertexType
+from repro.segment.boundary import (
+    BoundaryCriteria,
+    exclude_edge_types,
+    exclude_vertex_types,
+    name_matches,
+    not_owned_by,
+    owned_by,
+    property_equals,
+    property_not_equals,
+    within_order_window,
+)
+
+
+class TestCriteriaComposition:
+    def test_empty_criteria_pass_everything(self, paper):
+        b = BoundaryCriteria()
+        assert not b.has_exclusions
+        record = paper.graph.vertex(paper["dataset-v1"])
+        assert b.vertex_ok(record)
+
+    def test_conjunction(self, paper):
+        b = BoundaryCriteria()
+        b.exclude_vertices(property_not_equals("name", "model"))
+        b.exclude_vertices(property_not_equals("name", "solver"))
+        g = paper.graph
+        assert b.vertex_ok(g.vertex(paper["dataset-v1"]))
+        assert not b.vertex_ok(g.vertex(paper["model-v1"]))
+        assert not b.vertex_ok(g.vertex(paper["solver-v1"]))
+
+    def test_chaining_returns_self(self):
+        b = BoundaryCriteria()
+        assert b.exclude_edges(exclude_edge_types(EdgeType.WAS_DERIVED_FROM)) is b
+        assert b.expand([1, 2], k=2) is b
+        assert b.expansions[0].entities == (1, 2)
+        assert b.expansions[0].k == 2
+
+    def test_copy_is_independent(self):
+        b = BoundaryCriteria().expand([1])
+        c = b.copy()
+        c.expand([2])
+        assert len(b.expansions) == 1
+        assert len(c.expansions) == 2
+
+
+class TestPredicates:
+    def test_exclude_edge_types(self, paper):
+        edge_ok = exclude_edge_types(EdgeType.WAS_DERIVED_FROM)
+        g = paper.graph
+        derived = next(g.store.edges(EdgeType.WAS_DERIVED_FROM))
+        used = next(g.store.edges(EdgeType.USED))
+        assert not edge_ok(derived)
+        assert edge_ok(used)
+
+    def test_exclude_vertex_types(self, paper):
+        vertex_ok = exclude_vertex_types(VertexType.AGENT)
+        g = paper.graph
+        assert not vertex_ok(g.vertex(paper["Alice"]))
+        assert vertex_ok(g.vertex(paper["dataset-v1"]))
+
+    def test_order_window(self, paper):
+        g = paper.graph
+        cut = g.store.order_of(paper["update-v2"])
+        vertex_ok = within_order_window(lo=cut)
+        assert not vertex_ok(g.vertex(paper["train-v1"]))
+        assert vertex_ok(g.vertex(paper["train-v2"]))
+
+    def test_order_window_upper(self, paper):
+        g = paper.graph
+        cut = g.store.order_of(paper["train-v1"])
+        vertex_ok = within_order_window(hi=cut)
+        assert vertex_ok(g.vertex(paper["dataset-v1"]))
+        assert not vertex_ok(g.vertex(paper["weight-v3"]))
+
+    def test_property_equals(self, paper):
+        vertex_ok = property_equals("command", "train")
+        g = paper.graph
+        assert vertex_ok(g.vertex(paper["train-v1"]))
+        assert not vertex_ok(g.vertex(paper["update-v2"]))
+        assert not vertex_ok(g.vertex(paper["dataset-v1"]))
+
+    def test_name_matches(self, paper):
+        vertex_ok = name_matches(r"^(model|solver)$")
+        g = paper.graph
+        assert vertex_ok(g.vertex(paper["model-v1"]))
+        assert not vertex_ok(g.vertex(paper["dataset-v1"]))
+        # Nameless vertices pass (activities have no 'name').
+        assert vertex_ok(g.vertex(paper["train-v1"]))
+
+    def test_owned_by(self, paper):
+        g = paper.graph
+        alice_only = owned_by(g, paper["Alice"])
+        assert alice_only(g.vertex(paper["train-v2"]))
+        assert not alice_only(g.vertex(paper["train-v3"]))   # Bob's
+        assert alice_only(g.vertex(paper["Bob"]))            # agents pass
+
+    def test_not_owned_by(self, paper):
+        g = paper.graph
+        not_bob = not_owned_by(g, paper["Bob"])
+        assert not_bob(g.vertex(paper["train-v2"]))
+        assert not not_bob(g.vertex(paper["solver-v3"]))

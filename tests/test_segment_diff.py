@@ -1,0 +1,82 @@
+"""Tests for segment diffing."""
+
+import pytest
+
+from repro.model.types import EdgeType
+from repro.segment.boundary import BoundaryCriteria, exclude_edge_types
+from repro.segment.diff import diff_by_name, diff_segments
+from repro.segment.pgseg import segment
+
+
+def paper_q(paper, dst_name: str):
+    b = BoundaryCriteria().exclude_edges(
+        exclude_edge_types(EdgeType.WAS_ATTRIBUTED_TO,
+                           EdgeType.WAS_DERIVED_FROM)
+    ).expand([paper[dst_name]], k=2)
+    return segment(paper.graph, [paper["dataset-v1"]], [paper[dst_name]], b)
+
+
+class TestSameGraphDiff:
+    def test_identical_segments(self, paper):
+        q1a = paper_q(paper, "weight-v2")
+        q1b = paper_q(paper, "weight-v2")
+        diff = diff_segments(q1a, q1b)
+        assert diff.unchanged
+        assert len(diff.common) == 9
+
+    def test_q1_vs_q2(self, paper):
+        q1 = paper_q(paper, "weight-v2")
+        q2 = paper_q(paper, "log-v3")
+        diff = diff_segments(q1, q2)
+        # Shared: dataset-v1, model-v1, solver-v1.
+        assert diff.common == {
+            paper["dataset-v1"], paper["model-v1"], paper["solver-v1"]
+        }
+        assert paper["Alice"] in diff.only_left
+        assert paper["Bob"] in diff.only_right
+        assert paper["update-v3"] in diff.only_right
+        assert not diff.unchanged
+
+    def test_category_changes_detected(self, paper):
+        q1 = paper_q(paper, "weight-v2")
+        q2 = paper_q(paper, "log-v3")
+        diff = diff_segments(q1, q2)
+        # model-v1 is Bx-expanded in Q1 but on the direct/similar path in Q2.
+        assert paper["model-v1"] in diff.category_changes
+        left_cats, right_cats = diff.category_changes[paper["model-v1"]]
+        assert "Bx" in left_cats
+        assert "C2" in right_cats
+
+    def test_summary_string(self, paper):
+        diff = diff_segments(paper_q(paper, "weight-v2"),
+                             paper_q(paper, "log-v3"))
+        text = diff.summary()
+        assert "common=3" in text
+
+
+class TestCrossGraphDiff:
+    def test_different_graphs_require_key(self, paper):
+        from repro.workloads import build_paper_example
+        other = build_paper_example()
+        q_left = paper_q(paper, "weight-v2")
+        q_right = paper_q(other, "weight-v2")
+        with pytest.raises(ValueError):
+            diff_segments(q_left, q_right)
+
+    def test_diff_by_name_aligns_graph_copies(self, paper):
+        from repro.workloads import build_paper_example
+        other = build_paper_example()
+        q_left = paper_q(paper, "weight-v2")
+        q_right = paper_q(other, "weight-v2")
+        diff = diff_by_name(q_left, q_right)
+        assert diff.unchanged
+
+    def test_diff_by_name_detects_pipeline_change(self, paper):
+        from repro.workloads import build_paper_example
+        other = build_paper_example()
+        q_left = paper_q(paper, "weight-v2")
+        q_right = paper_q(other, "weight-v3")
+        diff = diff_by_name(q_left, q_right)
+        assert "weight-v2" in diff.only_left
+        assert "weight-v3" in diff.only_right
+        assert "dataset-v1" in diff.common

@@ -1,0 +1,51 @@
+"""Tests for Segment DOT rendering."""
+
+import pytest
+
+from repro.model.types import EdgeType
+from repro.segment.boundary import BoundaryCriteria, exclude_edge_types
+from repro.segment.pgseg import segment
+
+
+@pytest.fixture()
+def q1(paper):
+    b = BoundaryCriteria().exclude_edges(
+        exclude_edge_types(EdgeType.WAS_ATTRIBUTED_TO,
+                           EdgeType.WAS_DERIVED_FROM)
+    ).expand([paper["weight-v2"]], k=2)
+    return segment(paper.graph, [paper["dataset-v1"]], [paper["weight-v2"]], b)
+
+
+class TestSegmentDot:
+    def test_structure(self, q1):
+        dot = q1.to_dot()
+        assert dot.startswith("digraph segment {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == q1.edge_count
+        # One node line per vertex.
+        assert dot.count("shape=") == q1.vertex_count
+
+    def test_category_colors(self, q1):
+        dot = q1.to_dot()
+        assert "palegreen" in dot       # source
+        assert "lightcoral" in dot      # destination
+        assert "lightyellow" in dot     # sibling (log-v2)
+        assert "lightgray" in dot       # agent (Alice)
+        assert "dashed" in dot          # expansion-only vertices
+
+    def test_names_rendered(self, q1, paper):
+        dot = q1.to_dot()
+        assert "dataset-v1" in dot
+        assert "weight-v2" in dot
+        assert "Alice" in dot
+
+    def test_custom_name(self, q1):
+        assert q1.to_dot(name="q1").startswith("digraph q1 {")
+
+    def test_quotes_escaped(self, paper):
+        paper.graph.store.set_vertex_property(
+            paper["dataset-v1"], "name", 'data "set"'
+        )
+        seg = segment(paper.graph, [paper["dataset-v1"]],
+                      [paper["weight-v2"]])
+        assert '\\"set\\"' in seg.to_dot()

@@ -1,0 +1,151 @@
+"""Unit tests for the four PgSeg induction rule classes."""
+
+import pytest
+
+from repro.errors import SegmentationError
+from repro.model.types import EdgeType
+from repro.segment.induce import (
+    direct_path_vertices,
+    expansion_vertices,
+    involved_agents,
+    similar_path_vertices,
+    sibling_entities,
+)
+from repro.segment.naive import naive_direct_paths
+
+
+class TestDirectPaths:
+    def test_q1_direct_path(self, paper):
+        vc1 = direct_path_vertices(
+            paper.graph, [paper["dataset-v1"]], [paper["weight-v2"]]
+        )
+        assert vc1 == {
+            paper["weight-v2"], paper["train-v2"], paper["dataset-v1"]
+        }
+
+    def test_no_path(self, paper):
+        vc1 = direct_path_vertices(
+            paper.graph, [paper["weight-v2"]], [paper["dataset-v1"]]
+        )
+        # dataset-v1 has no outgoing ancestry edges; it reaches no source.
+        assert vc1 == set()
+
+    def test_derivation_edges_join_paths(self, paper):
+        # Two direct paths exist: model-v2 -D-> model-v1 and
+        # model-v2 -G-> update-v2 -U-> model-v1.
+        vc1 = direct_path_vertices(
+            paper.graph, [paper["model-v1"]], [paper["model-v2"]]
+        )
+        assert vc1 == {
+            paper["model-v1"], paper["model-v2"], paper["update-v2"]
+        }
+
+    def test_derivation_only_path(self, paper):
+        # log-v3 -D-> log-v2 -D-> log-v1: a pure derivation chain.
+        vc1 = direct_path_vertices(
+            paper.graph, [paper["log-v1"]], [paper["log-v3"]]
+        )
+        assert {paper["log-v1"], paper["log-v2"], paper["log-v3"]} <= vc1
+
+    def test_edge_type_restriction(self, paper):
+        vc1 = direct_path_vertices(
+            paper.graph, [paper["model-v1"]], [paper["model-v2"]],
+            edge_types=frozenset({EdgeType.USED, EdgeType.WAS_GENERATED_BY}),
+        )
+        assert vc1 == {
+            paper["model-v1"], paper["model-v2"], paper["update-v2"]
+        }
+
+    def test_matches_naive_enumeration(self, paper):
+        for src, dst in [
+            ([paper["dataset-v1"]], [paper["weight-v2"]]),
+            ([paper["dataset-v1"], paper["model-v1"]], [paper["log-v3"]]),
+            ([paper["solver-v1"]], [paper["weight-v3"], paper["weight-v1"]]),
+        ]:
+            fast = direct_path_vertices(paper.graph, src, dst)
+            slow = naive_direct_paths(paper.graph, src, dst)
+            assert fast == slow, (src, dst)
+
+    def test_excluded_vertex_breaks_path(self, paper):
+        banned = paper["train-v2"]
+        vc1 = direct_path_vertices(
+            paper.graph, [paper["dataset-v1"]], [paper["weight-v2"]],
+            vertex_ok=lambda record: record.vertex_id != banned,
+        )
+        assert vc1 == set()
+
+
+class TestSimilarPaths:
+    @pytest.mark.parametrize("algorithm", ["simprov-alg", "simprov-tst", "cflr"])
+    def test_algorithms_agree_on_q1(self, paper, algorithm):
+        result = similar_path_vertices(
+            paper.graph, [paper["dataset-v1"]], [paper["weight-v2"]],
+            algorithm,
+        )
+        assert result.path_vertices == {
+            paper["dataset-v1"], paper["train-v2"], paper["weight-v2"],
+            paper["model-v2"], paper["solver-v1"],
+        }
+
+    def test_unknown_algorithm(self, paper):
+        with pytest.raises(SegmentationError):
+            similar_path_vertices(
+                paper.graph, [paper["dataset-v1"]], [paper["weight-v2"]],
+                "magic",
+            )
+
+
+class TestSiblings:
+    def test_q1_sibling_log(self, paper):
+        core = {paper["train-v2"], paper["weight-v2"], paper["dataset-v1"]}
+        siblings = sibling_entities(paper.graph, core)
+        assert siblings == {paper["log-v2"]}
+
+    def test_no_activities_no_siblings(self, paper):
+        assert sibling_entities(paper.graph, {paper["dataset-v1"]}) == set()
+
+    def test_excluded_sibling_dropped(self, paper):
+        core = {paper["train-v2"]}
+        siblings = sibling_entities(
+            paper.graph, core,
+            vertex_ok=lambda record: record.get("name") != "log",
+        )
+        assert siblings == {paper["weight-v2"]}
+
+
+class TestAgents:
+    def test_agents_of_mixed_set(self, paper):
+        agents = involved_agents(
+            paper.graph,
+            {paper["train-v2"], paper["solver-v3"], paper["dataset-v1"]},
+        )
+        assert agents == {paper["Alice"], paper["Bob"]}
+
+    def test_attribution_edges_can_be_excluded(self, paper):
+        agents = involved_agents(
+            paper.graph, {paper["dataset-v1"]},
+            edge_ok=lambda record: record.edge_type
+            is not EdgeType.WAS_ATTRIBUTED_TO,
+        )
+        assert agents == set()
+
+
+class TestExpansion:
+    def test_q1_expansion(self, paper):
+        grown = expansion_vertices(paper.graph, [paper["weight-v2"]], k=2)
+        assert grown == {
+            paper["weight-v2"], paper["train-v2"], paper["dataset-v1"],
+            paper["model-v2"], paper["solver-v1"], paper["update-v2"],
+            paper["model-v1"],
+        }
+
+    def test_k_one_stops_after_one_activity(self, paper):
+        grown = expansion_vertices(paper.graph, [paper["weight-v2"]], k=1)
+        assert grown == {
+            paper["weight-v2"], paper["train-v2"], paper["dataset-v1"],
+            paper["model-v2"], paper["solver-v1"],
+        }
+
+    def test_k_zero_is_identity(self, paper):
+        grown = expansion_vertices(paper.graph, [paper["weight-v2"]], k=0)
+        assert grown == {paper["weight-v2"]}

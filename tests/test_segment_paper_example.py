@@ -1,0 +1,172 @@
+"""End-to-end reproduction of the paper's Q1, Q2 (Fig. 2(d)) and Q3 (Fig. 2(e))."""
+
+import pytest
+
+from repro.model.types import EdgeType
+from repro.segment.boundary import BoundaryCriteria, exclude_edge_types
+from repro.segment.pgseg import (
+    CATEGORY_AGENT,
+    CATEGORY_DIRECT,
+    CATEGORY_EXPANDED,
+    CATEGORY_SIBLING,
+    CATEGORY_SIMILAR,
+    PgSegOperator,
+    PgSegQuery,
+)
+from repro.summarize.aggregation import PropertyAggregation
+from repro.summarize.pgsum import PgSumOperator, PgSumQuery
+from repro.summarize.psum_baseline import psum_summarize
+
+
+def paper_boundaries(paper, expand_from: str) -> BoundaryCriteria:
+    """Q1/Q2 boundaries: exclude A and D edges, expand 2 activities."""
+    return BoundaryCriteria().exclude_edges(
+        exclude_edge_types(EdgeType.WAS_ATTRIBUTED_TO,
+                           EdgeType.WAS_DERIVED_FROM)
+    ).expand([paper[expand_from]], k=2)
+
+
+@pytest.fixture()
+def q1(paper):
+    query = PgSegQuery(
+        src=(paper["dataset-v1"],), dst=(paper["weight-v2"],),
+        boundaries=paper_boundaries(paper, "weight-v2"),
+    )
+    return PgSegOperator(paper.graph).evaluate(query)
+
+
+@pytest.fixture()
+def q2(paper):
+    query = PgSegQuery(
+        src=(paper["dataset-v1"],), dst=(paper["log-v3"],),
+        boundaries=paper_boundaries(paper, "log-v3"),
+    )
+    return PgSegOperator(paper.graph).evaluate(query)
+
+
+class TestQ1:
+    def test_exact_vertex_set(self, paper, q1):
+        expected = {
+            paper["dataset-v1"], paper["weight-v2"], paper["train-v2"],
+            paper["model-v2"], paper["solver-v1"], paper["log-v2"],
+            paper["Alice"], paper["update-v2"], paper["model-v1"],
+        }
+        assert q1.vertices == expected
+
+    def test_bob_and_v1_v3_excluded(self, paper, q1):
+        for name in ("Bob", "train-v1", "train-v3", "weight-v1", "weight-v3",
+                     "log-v1", "log-v3", "solver-v3", "update-v3"):
+            assert paper[name] not in q1.vertices, name
+
+    def test_categories(self, paper, q1):
+        assert paper["train-v2"] in q1.vertices_in_category(CATEGORY_DIRECT)
+        assert paper["model-v2"] in q1.vertices_in_category(CATEGORY_SIMILAR)
+        assert paper["log-v2"] in q1.vertices_in_category(CATEGORY_SIBLING)
+        assert paper["Alice"] in q1.vertices_in_category(CATEGORY_AGENT)
+        assert paper["model-v1"] in q1.vertices_in_category(CATEGORY_EXPANDED)
+        assert paper["update-v2"] in q1.vertices_in_category(CATEGORY_EXPANDED)
+
+    def test_no_excluded_edge_types_in_segment(self, q1):
+        labels = {record.edge_type for record in q1.edges()}
+        assert EdgeType.WAS_ATTRIBUTED_TO not in labels
+        assert EdgeType.WAS_DERIVED_FROM not in labels
+
+    def test_segment_is_connected(self, q1):
+        assert q1.is_connected()
+
+    def test_interpretation_bob_learns_alice_updated_model(self, paper, q1):
+        """'Bob knew Alice updated the model definitions in model.'"""
+        update = paper["update-v2"]
+        assert update in q1.vertices
+        assert paper.graph.used_entities(update) == [paper["model-v1"]]
+        assert paper.graph.generated_entities(update) == [paper["model-v2"]]
+
+
+class TestQ2:
+    def test_exact_vertex_set(self, paper, q2):
+        expected = {
+            paper["dataset-v1"], paper["log-v3"], paper["train-v3"],
+            paper["model-v1"], paper["solver-v3"], paper["weight-v3"],
+            paper["Bob"], paper["update-v3"], paper["solver-v1"],
+        }
+        assert q2.vertices == expected
+
+    def test_interpretation_bob_did_not_use_new_model(self, paper, q2):
+        """'Bob only updated solver configuration and did not use her new
+        model committed in v2.'"""
+        assert paper["model-v2"] not in q2.vertices
+        assert paper["solver-v3"] in q2.vertices
+        assert paper["update-v3"] in q2.vertices
+
+
+class TestQ3:
+    """Fig. 2(e): summarizing Q1 and Q2 with K = {filename, command}, Rk=1."""
+
+    @pytest.fixture()
+    def psg(self, q1, q2):
+        aggregation = PropertyAggregation.of(
+            entity=("name",), activity=("command",)
+        )
+        query = PgSumQuery(aggregation=aggregation, k=1, rk_direction="out")
+        return PgSumOperator([q1, q2]).evaluate(query)
+
+    def test_eleven_groups(self, psg):
+        # Fig. 2(e): dataset, model t1/t2, solver t1/t2, update t1/t2,
+        # train, weight, log, agent = 11 groups from 18 vertices.
+        assert psg.node_count == 11
+        assert psg.source_vertex_total == 18
+
+    def test_compaction_ratio(self, psg):
+        assert psg.compaction_ratio == pytest.approx(11 / 18)
+
+    def test_group_sizes(self, psg):
+        sizes = sorted(len(node.members) for node in psg.nodes)
+        # 4 singletons (model t2, solver t2, update t1, update t2) and
+        # 7 merged pairs.
+        assert sizes == [1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2]
+
+    def test_edge_frequencies(self, psg):
+        # Edges common to both pipelines are 100%; version-specific ones 50%.
+        frequencies = sorted(set(psg.edges.values()))
+        assert frequencies == [0.5, 1.0]
+        full = [key for key, freq in psg.edges.items() if freq == 1.0]
+        # train->dataset (U), log->train (G), weight->train (G),
+        # train->agent (S) appear in both segments.
+        assert len(full) == 4
+
+    def test_psg_is_dag(self, psg):
+        assert psg.is_dag()
+
+    def test_psum_baseline_is_less_compact(self, q1, q2):
+        aggregation = PropertyAggregation.of(
+            entity=("name",), activity=("command",)
+        )
+        baseline = psum_summarize([q1, q2], aggregation, k=1,
+                                  rk_direction="out")
+        assert baseline.node_count >= 11
+
+
+class TestInteractiveAdjust:
+    def test_post_filter_equals_inline_for_exclusions(self, paper):
+        """Two-step (induce then adjust) produces the same vertex set as
+        inline evaluation for Q1's exclusions (the paths never needed the
+        excluded edge types anyway)."""
+        query = PgSegQuery(
+            src=(paper["dataset-v1"],), dst=(paper["weight-v2"],),
+            boundaries=paper_boundaries(paper, "weight-v2"),
+        )
+        operator = PgSegOperator(paper.graph)
+        inline = operator.evaluate(query, inline_boundaries=True)
+        two_step = operator.evaluate(query, inline_boundaries=False)
+        assert inline.vertices == two_step.vertices
+
+    def test_adjust_narrows_cached_segment(self, paper, q1):
+        operator = PgSegOperator(paper.graph)
+        narrowed = operator.adjust(
+            q1,
+            BoundaryCriteria().exclude_vertices(
+                lambda record: record.get("command") != "update"
+            ),
+        )
+        assert paper["update-v2"] not in narrowed.vertices
+        assert paper["dataset-v1"] in narrowed.vertices   # src protected

@@ -1,0 +1,115 @@
+"""Property-based tests of PgSeg semantics on random Pd graphs."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.model.types import EdgeType, VertexType
+from repro.segment.boundary import BoundaryCriteria, exclude_edge_types
+from repro.segment.pgseg import PgSegOperator, PgSegQuery
+from repro.workloads.pd_generator import PdParams, generate_pd
+
+_settings = settings(max_examples=12, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def _instance(seed: int):
+    return generate_pd(PdParams(n_vertices=120, seed=seed))
+
+
+class TestStructuralInvariants:
+    @_settings
+    @given(seed=st.integers(0, 5000))
+    def test_query_vertices_always_included(self, seed):
+        instance = _instance(seed)
+        src, dst = instance.default_query()
+        result = PgSegOperator(instance.graph).evaluate(
+            PgSegQuery(src=tuple(src), dst=tuple(dst))
+        )
+        assert set(src) <= result.vertices
+        assert set(dst) <= result.vertices
+
+    @_settings
+    @given(seed=st.integers(0, 5000))
+    def test_edges_are_induced(self, seed):
+        instance = _instance(seed)
+        src, dst = instance.default_query()
+        result = PgSegOperator(instance.graph).evaluate(
+            PgSegQuery(src=tuple(src), dst=tuple(dst))
+        )
+        for record in result.edges():
+            assert record.src in result.vertices
+            assert record.dst in result.vertices
+
+    @_settings
+    @given(seed=st.integers(0, 5000))
+    def test_algorithms_agree(self, seed):
+        instance = _instance(seed)
+        src, dst = instance.default_query()
+        results = {
+            algorithm: PgSegOperator(instance.graph).evaluate(
+                PgSegQuery(src=tuple(src), dst=tuple(dst),
+                           algorithm=algorithm)
+            ).vertices
+            for algorithm in ("simprov-tst", "simprov-alg", "cflr")
+        }
+        assert results["simprov-tst"] == results["simprov-alg"] \
+            == results["cflr"]
+
+    @_settings
+    @given(seed=st.integers(0, 5000))
+    def test_vc1_subset_of_ancestry(self, seed):
+        """Direct-path vertices are ancestors of Vdst (or Vdst itself)."""
+        instance = _instance(seed)
+        src, dst = instance.default_query()
+        result = PgSegOperator(instance.graph).evaluate(
+            PgSegQuery(src=tuple(src), dst=tuple(dst),
+                       include_similar=False, include_siblings=False,
+                       include_agents=False)
+        )
+        ancestry = instance.graph.ancestors(dst)
+        assert result.vertices - set(src) - set(dst) <= ancestry
+
+
+class TestBoundaryMonotonicity:
+    @_settings
+    @given(seed=st.integers(0, 5000))
+    def test_exclusions_never_grow_segment(self, seed):
+        instance = _instance(seed)
+        src, dst = instance.default_query()
+        operator = PgSegOperator(instance.graph)
+        free = operator.evaluate(PgSegQuery(src=tuple(src), dst=tuple(dst)))
+        bounded = operator.evaluate(PgSegQuery(
+            src=tuple(src), dst=tuple(dst),
+            boundaries=BoundaryCriteria().exclude_edges(
+                exclude_edge_types(EdgeType.WAS_DERIVED_FROM)
+            ),
+        ))
+        # Dropping D edges can only remove direct paths, never add them;
+        # similar paths never used D edges at all.
+        assert bounded.vertices <= free.vertices
+
+    @_settings
+    @given(seed=st.integers(0, 5000), k=st.integers(1, 3))
+    def test_expansions_only_grow_segment(self, seed, k):
+        instance = _instance(seed)
+        src, dst = instance.default_query()
+        operator = PgSegOperator(instance.graph)
+        free = operator.evaluate(PgSegQuery(src=tuple(src), dst=tuple(dst)))
+        expanded = operator.evaluate(PgSegQuery(
+            src=tuple(src), dst=tuple(dst),
+            boundaries=BoundaryCriteria().expand(dst, k=k),
+        ))
+        assert free.vertices <= expanded.vertices
+
+    @_settings
+    @given(seed=st.integers(0, 5000))
+    def test_agent_exclusion_removes_only_agents(self, seed):
+        instance = _instance(seed)
+        src, dst = instance.default_query()
+        operator = PgSegOperator(instance.graph)
+        free = operator.evaluate(PgSegQuery(src=tuple(src), dst=tuple(dst)))
+        no_agents = operator.evaluate(PgSegQuery(
+            src=tuple(src), dst=tuple(dst), include_agents=False,
+        ))
+        removed = free.vertices - no_agents.vertices
+        graph = instance.graph
+        assert all(graph.is_agent(v) for v in removed)

@@ -1,0 +1,110 @@
+"""Tests for the LifecycleSession facade."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.session import LifecycleSession
+
+
+@pytest.fixture()
+def session() -> LifecycleSession:
+    s = LifecycleSession(project="faces")
+    s.add_artifact("dataset", member="alice", url="http://example.org")
+    s.record("alice", "train", uses=["model", "solver", "dataset"],
+             generates=["weights", "log"], opt="-gpu")
+    s.record("alice", "edit_model", uses=["model"], generates=["model"])
+    s.record("alice", "train", uses=["model", "solver", "dataset"],
+             generates=["weights", "log"])
+    s.record("bob", "edit_solver", uses=["solver"], generates=["solver"])
+    s.record("bob", "train", uses=["model", "solver", "dataset"],
+             generates=["weights", "log"])
+    return s
+
+
+class TestRecording:
+    def test_runs_tracked(self, session):
+        assert len(session.runs) == 5
+        assert session.runs[0].member == "alice"
+        assert session.runs[-1].member == "bob"
+        assert len(session.runs[0].generated) == 2
+
+    def test_versions_accumulate(self, session):
+        assert len(session.builder.versions("weights")) == 3
+        assert len(session.builder.versions("model")) == 2
+
+    def test_auto_registration_of_inputs(self, session):
+        # 'model' and 'solver' were never add_artifact'ed; first use created
+        # them.
+        assert session.builder.latest("model") is not None
+
+    def test_graph_is_valid(self, session):
+        assert session.check().ok
+
+    def test_statistics(self, session):
+        stats = session.statistics()
+        assert stats.activities == 5
+        assert stats.agents == 2
+
+
+class TestIntrospection:
+    def test_how_was_it_made_latest(self, session):
+        segment = session.how_was_it_made("weights")
+        names = {
+            session.graph.vertex(v).get("name")
+            for v in segment.vertices if session.graph.is_entity(v)
+        }
+        assert "dataset" in names
+        assert "solver" in names
+
+    def test_how_was_it_made_specific_version(self, session):
+        v1 = session.how_was_it_made("weights", version=1)
+        v3 = session.how_was_it_made("weights", version=3)
+        assert v1.vertices != v3.vertices
+
+    def test_from_artifacts_narrows_sources(self, session):
+        segment = session.how_was_it_made("weights",
+                                          from_artifacts=["dataset"])
+        assert session.builder.version_of("dataset", 1) in segment.vertices
+
+    def test_unknown_artifact_raises(self, session):
+        with pytest.raises(ModelError):
+            session.how_was_it_made("nonexistent")
+
+    def test_compare_versions(self, session):
+        diff = session.compare_versions("weights", 1, 3)
+        assert not diff.unchanged
+        # v3 used solver-v2 (bob's edit) which v1 never saw.
+        solver_v2 = session.builder.version_of("solver", 2)
+        assert solver_v2 in diff.only_right
+
+    def test_who_touched(self, session):
+        report = session.who_touched("weights")
+        assert "alice" in report
+        assert "bob" in report
+        assert report["alice"] > 0
+
+    def test_depth_of(self, session):
+        assert session.depth_of("weights", version=1) == 1
+        assert session.depth_of("weights", version=3) >= 2
+
+
+class TestOverview:
+    def test_typical_pipeline(self, session):
+        psg = session.typical_pipeline("weights")
+        assert psg.segment_count == 3
+        assert 0 < psg.compaction_ratio <= 1.0
+        # The train step is common to every pipeline: some edge has
+        # frequency 1.0.
+        assert any(freq == 1.0 for freq in psg.edges.values())
+
+    def test_last_n_versions(self, session):
+        psg = session.typical_pipeline("weights", last=2)
+        assert psg.segment_count == 2
+
+    def test_unknown_artifact(self, session):
+        with pytest.raises(ModelError):
+            session.typical_pipeline("nope")
+
+    def test_catalog(self, session):
+        catalog = session.catalog()
+        assert len(catalog.artifact("weights").snapshots) == 3

@@ -1,0 +1,57 @@
+"""Unit tests for the CSR snapshot."""
+
+import numpy as np
+
+from repro.model.graph import ProvenanceGraph
+from repro.model.types import EdgeType, VertexType
+from repro.store.csr import CsrAdjacency, GraphSnapshot, VERTEX_TYPE_CODES
+
+
+class TestCsrAdjacency:
+    def test_from_pairs_roundtrip(self):
+        adjacency = CsrAdjacency.from_pairs(4, [(0, 1), (0, 2), (2, 3)])
+        assert list(adjacency.neighbors(0)) == [1, 2]
+        assert list(adjacency.neighbors(1)) == []
+        assert list(adjacency.neighbors(2)) == [3]
+        assert adjacency.degree(0) == 2
+        assert adjacency.edge_total == 3
+
+    def test_neighbor_lists(self):
+        adjacency = CsrAdjacency.from_pairs(3, [(1, 0), (1, 2)])
+        assert adjacency.neighbor_lists() == [[], [0, 2], []]
+
+    def test_empty(self):
+        adjacency = CsrAdjacency.from_pairs(2, [])
+        assert list(adjacency.neighbors(0)) == []
+        assert adjacency.edge_total == 0
+
+
+class TestGraphSnapshot:
+    def test_snapshot_matches_store(self, tiny_chain: ProvenanceGraph):
+        snapshot = GraphSnapshot(tiny_chain.store)
+        # e0=0, a0=1, e1=2, a1=3, e2=4 per the fixture's insertion order.
+        assert snapshot.is_entity(0)
+        assert snapshot.is_activity(1)
+        assert list(snapshot.forward[EdgeType.USED].neighbors(1)) == [0]
+        assert list(snapshot.backward[EdgeType.USED].neighbors(0)) == [1]
+        assert list(snapshot.forward[EdgeType.WAS_GENERATED_BY].neighbors(2)) == [1]
+        assert snapshot.edge_count(EdgeType.USED) == 2
+
+    def test_orders_exposed(self, tiny_chain):
+        snapshot = GraphSnapshot(tiny_chain.store)
+        orders = snapshot.orders
+        assert np.all(orders[:-1] <= orders[1:])   # creation order = id order here
+
+    def test_restricted_edge_types(self, tiny_chain):
+        snapshot = GraphSnapshot(tiny_chain.store, [EdgeType.USED])
+        assert EdgeType.USED in snapshot.forward
+        assert EdgeType.WAS_GENERATED_BY not in snapshot.forward
+
+    def test_dead_vertices_marked(self):
+        graph = ProvenanceGraph()
+        e = graph.add_entity()
+        graph.add_activity()
+        graph.store.remove_vertex(e)
+        snapshot = GraphSnapshot(graph.store)
+        assert snapshot.vertex_codes[e] == -1
+        assert snapshot.vertex_codes[1] == VERTEX_TYPE_CODES[VertexType.ACTIVITY]

@@ -1,0 +1,183 @@
+"""Unit tests for the property graph store."""
+
+import pytest
+
+from repro.errors import EdgeNotFound, InvalidEdge, VertexNotFound
+from repro.model.types import EdgeType, VertexType
+from repro.store.store import PropertyGraphStore
+
+
+@pytest.fixture()
+def store() -> PropertyGraphStore:
+    return PropertyGraphStore()
+
+
+class TestVertexBasics:
+    def test_ids_are_dense(self, store):
+        ids = [store.add_vertex(VertexType.ENTITY) for _ in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_vertex_access_is_exact(self, store):
+        vid = store.add_vertex(VertexType.ACTIVITY, {"command": "train"})
+        record = store.vertex(vid)
+        assert record.vertex_type is VertexType.ACTIVITY
+        assert record.get("command") == "train"
+
+    def test_missing_vertex_raises(self, store):
+        with pytest.raises(VertexNotFound):
+            store.vertex(0)
+        store.add_vertex(VertexType.ENTITY)
+        with pytest.raises(VertexNotFound):
+            store.vertex(99)
+
+    def test_contains(self, store):
+        vid = store.add_vertex(VertexType.ENTITY)
+        assert vid in store
+        assert 42 not in store
+        assert -1 not in store
+
+    def test_orders_are_monotone(self, store):
+        first = store.add_vertex(VertexType.ENTITY)
+        second = store.add_vertex(VertexType.ACTIVITY)
+        assert store.order_of(first) < store.order_of(second)
+
+    def test_counts_by_type(self, store):
+        store.add_vertex(VertexType.ENTITY)
+        store.add_vertex(VertexType.ENTITY)
+        store.add_vertex(VertexType.AGENT)
+        assert store.count_vertices(VertexType.ENTITY) == 2
+        assert store.count_vertices(VertexType.AGENT) == 1
+        assert store.count_vertices(VertexType.ACTIVITY) == 0
+
+
+class TestEdgeBasics:
+    def test_add_and_access(self, store):
+        a = store.add_vertex(VertexType.ACTIVITY)
+        e = store.add_vertex(VertexType.ENTITY)
+        eid = store.add_edge(EdgeType.USED, a, e, {"role": "input"})
+        record = store.edge(eid)
+        assert record.endpoints() == (a, e)
+        assert record.get("role") == "input"
+        assert record.other(a) == e
+        assert record.other(e) == a
+
+    def test_signature_enforced(self, store):
+        a = store.add_vertex(VertexType.ACTIVITY)
+        e = store.add_vertex(VertexType.ENTITY)
+        with pytest.raises(InvalidEdge):
+            store.add_edge(EdgeType.USED, e, a)     # wrong direction
+
+    def test_signature_check_can_be_disabled(self):
+        loose = PropertyGraphStore(check_signatures=False)
+        a = loose.add_vertex(VertexType.ACTIVITY)
+        e = loose.add_vertex(VertexType.ENTITY)
+        loose.add_edge(EdgeType.USED, e, a)         # tolerated
+        assert loose.edge_count == 1
+
+    def test_missing_edge_raises(self, store):
+        with pytest.raises(EdgeNotFound):
+            store.edge(0)
+
+    def test_edge_to_missing_vertex_raises(self, store):
+        a = store.add_vertex(VertexType.ACTIVITY)
+        with pytest.raises(VertexNotFound):
+            store.add_edge(EdgeType.USED, a, 17)
+
+
+class TestAdjacency:
+    @pytest.fixture()
+    def populated(self, store):
+        a = store.add_vertex(VertexType.ACTIVITY)
+        e1 = store.add_vertex(VertexType.ENTITY)
+        e2 = store.add_vertex(VertexType.ENTITY)
+        out = store.add_vertex(VertexType.ENTITY)
+        store.add_edge(EdgeType.USED, a, e1)
+        store.add_edge(EdgeType.USED, a, e2)
+        store.add_edge(EdgeType.WAS_GENERATED_BY, out, a)
+        return store, a, e1, e2, out
+
+    def test_out_neighbors_by_type(self, populated):
+        store, a, e1, e2, out = populated
+        assert set(store.out_neighbors(a, EdgeType.USED)) == {e1, e2}
+        assert list(store.out_neighbors(a, EdgeType.WAS_GENERATED_BY)) == []
+
+    def test_in_neighbors(self, populated):
+        store, a, e1, e2, out = populated
+        assert list(store.in_neighbors(a, EdgeType.WAS_GENERATED_BY)) == [out]
+        assert list(store.in_neighbors(e1, EdgeType.USED)) == [a]
+
+    def test_degrees(self, populated):
+        store, a, e1, e2, out = populated
+        assert store.out_degree(a) == 2
+        assert store.out_degree(a, EdgeType.USED) == 2
+        assert store.in_degree(a) == 1
+        assert store.in_degree(e1) == 1
+        assert store.out_degree(out) == 1
+
+    def test_incident_edges(self, populated):
+        store, a, e1, e2, out = populated
+        assert len(list(store.incident_edge_ids(a))) == 3
+
+
+class TestDeletion:
+    def test_remove_edge(self, store):
+        a = store.add_vertex(VertexType.ACTIVITY)
+        e = store.add_vertex(VertexType.ENTITY)
+        eid = store.add_edge(EdgeType.USED, a, e)
+        store.remove_edge(eid)
+        assert store.edge_count == 0
+        assert not store.has_edge_id(eid)
+        assert list(store.out_neighbors(a)) == []
+
+    def test_remove_vertex_cascades(self, store):
+        a = store.add_vertex(VertexType.ACTIVITY)
+        e = store.add_vertex(VertexType.ENTITY)
+        store.add_edge(EdgeType.USED, a, e)
+        store.remove_vertex(e)
+        assert store.vertex_count == 1
+        assert store.edge_count == 0
+        assert e not in store
+
+    def test_ids_never_reused(self, store):
+        first = store.add_vertex(VertexType.ENTITY)
+        store.remove_vertex(first)
+        second = store.add_vertex(VertexType.ENTITY)
+        assert second == first + 1
+
+
+class TestPropertyIndex:
+    def test_lookup_without_index_scans(self, store):
+        e1 = store.add_vertex(VertexType.ENTITY, {"name": "model"})
+        store.add_vertex(VertexType.ENTITY, {"name": "solver"})
+        assert list(store.lookup(VertexType.ENTITY, "name", "model")) == [e1]
+
+    def test_lookup_with_index(self, store):
+        e1 = store.add_vertex(VertexType.ENTITY, {"name": "model"})
+        store.create_property_index(VertexType.ENTITY, "name")
+        e2 = store.add_vertex(VertexType.ENTITY, {"name": "model"})
+        assert set(store.lookup(VertexType.ENTITY, "name", "model")) == {e1, e2}
+
+    def test_index_tracks_updates(self, store):
+        e1 = store.add_vertex(VertexType.ENTITY, {"name": "model"})
+        store.create_property_index(VertexType.ENTITY, "name")
+        store.set_vertex_property(e1, "name", "solver")
+        assert list(store.lookup(VertexType.ENTITY, "name", "model")) == []
+        assert list(store.lookup(VertexType.ENTITY, "name", "solver")) == [e1]
+
+    def test_index_tracks_removal(self, store):
+        e1 = store.add_vertex(VertexType.ENTITY, {"name": "model"})
+        store.create_property_index(VertexType.ENTITY, "name")
+        store.remove_vertex(e1)
+        assert list(store.lookup(VertexType.ENTITY, "name", "model")) == []
+
+
+class TestSummary:
+    def test_summary_counts(self, store):
+        a = store.add_vertex(VertexType.ACTIVITY)
+        e = store.add_vertex(VertexType.ENTITY)
+        store.add_edge(EdgeType.USED, a, e)
+        summary = store.summary()
+        assert summary["vertices"] == 2
+        assert summary["edges"] == 1
+        assert summary["vertices[ACTIVITY]"] == 1
+        assert summary["edges[USED]"] == 1

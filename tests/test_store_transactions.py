@@ -1,0 +1,88 @@
+"""Unit tests for the transaction layer."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.model.types import EdgeType, VertexType
+from repro.store.store import PropertyGraphStore
+from repro.store.transactions import Transaction
+
+
+@pytest.fixture()
+def store() -> PropertyGraphStore:
+    return PropertyGraphStore()
+
+
+class TestCommit:
+    def test_nothing_visible_before_commit(self, store):
+        tx = Transaction(store)
+        tx.add_vertex(VertexType.ENTITY)
+        assert store.vertex_count == 0
+        tx.commit()
+        assert store.vertex_count == 1
+
+    def test_handles_map_to_real_ids(self, store):
+        tx = Transaction(store)
+        h1 = tx.add_vertex(VertexType.ACTIVITY, {"command": "train"})
+        h2 = tx.add_vertex(VertexType.ENTITY, {"name": "weights"})
+        tx.add_edge(EdgeType.WAS_GENERATED_BY, h2, h1)
+        id_map = tx.commit()
+        assert h1 < 0 and h2 < 0
+        assert store.vertex(id_map[h1]).get("command") == "train"
+        assert list(store.out_neighbors(id_map[h2])) == [id_map[h1]]
+
+    def test_edges_may_reference_existing_ids(self, store):
+        existing = store.add_vertex(VertexType.ENTITY)
+        tx = Transaction(store)
+        activity = tx.add_vertex(VertexType.ACTIVITY)
+        tx.add_edge(EdgeType.USED, activity, existing)
+        id_map = tx.commit()
+        assert list(store.out_neighbors(id_map[activity])) == [existing]
+
+    def test_buffered_property_update(self, store):
+        tx = Transaction(store)
+        handle = tx.add_vertex(VertexType.ENTITY)
+        tx.set_vertex_property(handle, "acc", 0.75)
+        id_map = tx.commit()
+        assert store.vertex(id_map[handle]).get("acc") == 0.75
+
+    def test_commit_twice_raises(self, store):
+        tx = Transaction(store)
+        tx.add_vertex(VertexType.ENTITY)
+        tx.commit()
+        with pytest.raises(TransactionError):
+            tx.commit()
+
+
+class TestRollback:
+    def test_rollback_discards(self, store):
+        tx = Transaction(store)
+        tx.add_vertex(VertexType.ENTITY)
+        tx.rollback()
+        assert store.vertex_count == 0
+
+    def test_rollback_then_commit_raises(self, store):
+        tx = Transaction(store)
+        tx.rollback()
+        with pytest.raises(TransactionError):
+            tx.commit()
+
+    def test_unknown_handle_raises(self, store):
+        tx = Transaction(store)
+        tx.add_edge(EdgeType.USED, -99, -98)
+        with pytest.raises(TransactionError):
+            tx.commit()
+
+
+class TestContextManager:
+    def test_commits_on_clean_exit(self, store):
+        with Transaction(store) as tx:
+            tx.add_vertex(VertexType.AGENT, {"name": "Alice"})
+        assert store.vertex_count == 1
+
+    def test_rolls_back_on_exception(self, store):
+        with pytest.raises(RuntimeError):
+            with Transaction(store) as tx:
+                tx.add_vertex(VertexType.AGENT)
+                raise RuntimeError("boom")
+        assert store.vertex_count == 0

@@ -1,0 +1,71 @@
+"""Unit tests for property aggregation K."""
+
+from repro.model.graph import ProvenanceGraph
+from repro.model.types import VertexType
+from repro.summarize.aggregation import TYPE_ONLY, PropertyAggregation
+
+
+class TestBaseLabels:
+    def test_type_only_collapses_properties(self, paper):
+        g = paper.graph
+        label_model = TYPE_ONLY.base_label(g.vertex(paper["model-v1"]))
+        label_dataset = TYPE_ONLY.base_label(g.vertex(paper["dataset-v1"]))
+        assert label_model == label_dataset == ("E", ())
+
+    def test_types_stay_distinct(self, paper):
+        g = paper.graph
+        entity = TYPE_ONLY.base_label(g.vertex(paper["model-v1"]))
+        activity = TYPE_ONLY.base_label(g.vertex(paper["train-v1"]))
+        agent = TYPE_ONLY.base_label(g.vertex(paper["Alice"]))
+        assert len({entity, activity, agent}) == 3
+
+    def test_kept_keys_distinguish(self, paper):
+        g = paper.graph
+        k = PropertyAggregation.of(entity=("name",))
+        model = k.base_label(g.vertex(paper["model-v1"]))
+        solver = k.base_label(g.vertex(paper["solver-v1"]))
+        assert model != solver
+
+    def test_dropped_keys_merge(self, paper):
+        g = paper.graph
+        k = PropertyAggregation.of(entity=("name",))
+        v1 = k.base_label(g.vertex(paper["model-v1"]))
+        v2 = k.base_label(g.vertex(paper["model-v2"]))
+        assert v1 == v2         # version dropped
+
+    def test_missing_key_recorded_as_none(self):
+        g = ProvenanceGraph()
+        with_acc = g.add_entity(acc=0.7)
+        without = g.add_entity()
+        k = PropertyAggregation.of(entity=("acc",))
+        assert k.base_label(g.vertex(with_acc)) != k.base_label(g.vertex(without))
+
+    def test_per_type_key_scoping(self, paper):
+        g = paper.graph
+        k = PropertyAggregation.of(activity=("command",))
+        # entity keys empty: model and solver merge
+        assert k.base_label(g.vertex(paper["model-v1"])) \
+            == k.base_label(g.vertex(paper["solver-v1"]))
+        # activity keys keep command: train and update differ
+        assert k.base_label(g.vertex(paper["train-v1"])) \
+            != k.base_label(g.vertex(paper["update-v2"]))
+
+    def test_keys_for(self):
+        k = PropertyAggregation.of(entity=("a",), activity=("b",), agent=("c",))
+        assert k.keys_for(VertexType.ENTITY) == {"a"}
+        assert k.keys_for(VertexType.ACTIVITY) == {"b"}
+        assert k.keys_for(VertexType.AGENT) == {"c"}
+
+    def test_unhashable_values_frozen(self):
+        g = ProvenanceGraph()
+        e = g.add_entity(tags=["x", "y"], meta={"k": 1})
+        k = PropertyAggregation.of(entity=("tags", "meta"))
+        label = k.base_label(g.vertex(e))
+        assert hash(label) is not None    # must be hashable
+
+    def test_labels_are_order_insensitive_in_keys(self):
+        g = ProvenanceGraph()
+        e = g.add_entity(b=2, a=1)
+        k1 = PropertyAggregation.of(entity=("a", "b"))
+        k2 = PropertyAggregation.of(entity=("b", "a"))
+        assert k1.base_label(g.vertex(e)) == k2.base_label(g.vertex(e))

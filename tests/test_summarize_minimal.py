@@ -1,0 +1,104 @@
+"""Tests for the exact minimum-Psg oracle and PgSum's approximation quality."""
+
+import pytest
+
+from repro.errors import SummarizationError
+from repro.model.graph import ProvenanceGraph
+from repro.segment.pgseg import Segment
+from repro.summarize.aggregation import TYPE_ONLY
+from repro.summarize.minimal import merge_pair_candidates, minimum_psg
+from repro.summarize.pgsum import pgsum
+from repro.summarize.provtype import compute_vertex_classes
+from repro.summarize.psg import check_psg_invariant
+
+
+def chain_segment(edge_labels: int = 1) -> Segment:
+    g = ProvenanceGraph()
+    e_in = g.add_entity()
+    a = g.add_activity(type="t0")
+    g.used(a, e_in)
+    e_out = g.add_entity()
+    g.was_generated_by(e_out, a)
+    return Segment(g, g.store.vertex_ids())
+
+
+class TestMinimumPsg:
+    def test_identical_chains_collapse_to_three(self):
+        segments = [chain_segment(), chain_segment()]
+        best = minimum_psg(segments, TYPE_ONLY, k=0)
+        assert best.node_count == 3
+        classes = compute_vertex_classes(segments, TYPE_ONLY, 0)
+        extra, missing = check_psg_invariant(best, segments, classes)
+        assert not extra and not missing
+
+    def test_single_segment_minimum(self):
+        segments = [chain_segment()]
+        best = minimum_psg(segments, TYPE_ONLY, k=0)
+        # e_in and e_out share the E class but merging them would create the
+        # new word e -G-> a -U-> e (a cycle through the merged node).
+        assert best.node_count == 3
+
+    def test_union_cap_enforced(self):
+        segments = [chain_segment() for _ in range(6)]
+        with pytest.raises(SummarizationError):
+            minimum_psg(segments, TYPE_ONLY, max_union=10)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SummarizationError):
+            minimum_psg([])
+
+
+class TestPgSumVsOptimal:
+    @pytest.mark.parametrize("copies", [2, 3])
+    def test_pgsum_matches_optimum_on_identical_chains(self, copies):
+        segments = [chain_segment() for _ in range(copies)]
+        approx = pgsum(segments, TYPE_ONLY, k=0)
+        exact = minimum_psg(segments, TYPE_ONLY, k=0)
+        assert approx.node_count == exact.node_count == 3
+
+    def test_pgsum_never_beats_optimum(self):
+        # Two slightly different segments: one has an extra sibling output.
+        g1 = ProvenanceGraph()
+        e_in = g1.add_entity()
+        a = g1.add_activity(type="t0")
+        g1.used(a, e_in)
+        e_out = g1.add_entity()
+        g1.was_generated_by(e_out, a)
+        seg1 = Segment(g1, g1.store.vertex_ids())
+
+        g2 = ProvenanceGraph()
+        f_in = g2.add_entity()
+        b = g2.add_activity(type="t0")
+        g2.used(b, f_in)
+        f_out1 = g2.add_entity()
+        f_out2 = g2.add_entity()
+        g2.was_generated_by(f_out1, b)
+        g2.was_generated_by(f_out2, b)
+        seg2 = Segment(g2, g2.store.vertex_ids())
+
+        segments = [seg1, seg2]
+        approx = pgsum(segments, TYPE_ONLY, k=0)
+        exact = minimum_psg(segments, TYPE_ONLY, k=0)
+        assert exact.node_count <= approx.node_count
+        classes = compute_vertex_classes(segments, TYPE_ONLY, 0)
+        extra, missing = check_psg_invariant(approx, segments, classes)
+        assert not extra and not missing
+
+
+class TestMergePairCandidates:
+    def test_cross_segment_counterparts_mergeable(self):
+        segments = [chain_segment(), chain_segment()]
+        pairs = merge_pair_candidates(segments, TYPE_ONLY, k=0)
+        # Corresponding vertices across the two segments merge cleanly:
+        # (0, v) with (1, v) for v in {0 (e_in), 1 (a), 2 (e_out)}.
+        as_sets = {frozenset(p) for p in pairs}
+        for v in range(3):
+            assert frozenset({(0, v), (1, v)}) in as_sets
+
+    def test_in_out_entities_not_mergeable(self):
+        segments = [chain_segment()]
+        pairs = merge_pair_candidates(segments, TYPE_ONLY, k=0)
+        # e_in=(0,0), e_out=(0,2): merging creates a cycle word.
+        assert (0, 0) not in {p[0] for p in pairs} or not any(
+            set(p) == {(0, 0), (0, 2)} for p in pairs
+        )

@@ -1,0 +1,119 @@
+"""Unit tests for provenance types Rk and the ≡kκ partition."""
+
+import pytest
+
+from repro.model.graph import ProvenanceGraph
+from repro.segment.pgseg import Segment
+from repro.summarize.aggregation import TYPE_ONLY, PropertyAggregation
+from repro.summarize.provtype import compute_vertex_classes
+
+
+def full_segment(graph: ProvenanceGraph) -> Segment:
+    return Segment(graph, graph.store.vertex_ids())
+
+
+class TestK0:
+    def test_k0_is_label_partition(self, paper):
+        seg = full_segment(paper.graph)
+        classes = compute_vertex_classes([seg], TYPE_ONLY, k=0)
+        # Three classes: E, A, U.
+        assert classes.class_count == 3
+
+    def test_k0_with_properties(self, paper):
+        seg = full_segment(paper.graph)
+        k = PropertyAggregation.of(entity=("name",), activity=("command",))
+        classes = compute_vertex_classes([seg], k, k=0)
+        # entities: dataset, model, solver, log, weight = 5;
+        # activities: train, update = 2; agents: 1.
+        assert classes.class_count == 8
+
+    def test_classes_cover_all_vertices(self, paper):
+        seg = full_segment(paper.graph)
+        classes = compute_vertex_classes([seg], TYPE_ONLY, k=0)
+        covered = {node for members in classes.members for node in members}
+        assert covered == {(0, v) for v in seg.vertices}
+
+    def test_classes_are_disjoint(self, paper):
+        seg = full_segment(paper.graph)
+        classes = compute_vertex_classes([seg], TYPE_ONLY, k=0)
+        seen = set()
+        for members in classes.members:
+            for node in members:
+                assert node not in seen
+                seen.add(node)
+
+
+class TestK1:
+    def test_k1_refines_k0(self, paper):
+        seg = full_segment(paper.graph)
+        k = PropertyAggregation.of(entity=("name",), activity=("command",))
+        k0 = compute_vertex_classes([seg], k, k=0)
+        k1 = compute_vertex_classes([seg], k, k=1)
+        assert k1.class_count >= k0.class_count
+        # Refinement: two vertices in the same k1 class share a k0 class.
+        k0_of = k0.class_of
+        for members in k1.members:
+            assert len({k0_of[node] for node in members}) == 1
+
+    def test_structural_distinction(self):
+        """Two same-label entities with different neighborhoods split at k=1."""
+        g = ProvenanceGraph()
+        produced = g.add_entity()
+        a = g.add_activity()
+        g.was_generated_by(produced, a)      # swapped order tolerated here
+        lone = g.add_entity()
+        seg = full_segment(g)
+        classes = compute_vertex_classes([seg], TYPE_ONLY, k=1)
+        assert classes.class_of[(0, produced)] != classes.class_of[(0, lone)]
+
+    def test_isomorphic_neighborhoods_merge_across_segments(self, paper):
+        g = paper.graph
+        # weight-v2 within Q1-ish segment and weight-v3 within Q2-ish
+        # segment have isomorphic 1-hop neighborhoods (G edge to a train).
+        seg1 = Segment(g, {paper["weight-v2"], paper["train-v2"]})
+        seg2 = Segment(g, {paper["weight-v3"], paper["train-v3"]})
+        k = PropertyAggregation.of(entity=("name",), activity=("command",))
+        classes = compute_vertex_classes([seg1, seg2], k, k=1)
+        assert classes.class_of[(0, paper["weight-v2"])] \
+            == classes.class_of[(1, paper["weight-v3"])]
+
+    def test_direction_out_vs_both(self, paper):
+        """Fig. 2(e)'s model types need the ancestry-only neighborhood."""
+        g = paper.graph
+        seg1 = Segment(g, {paper["model-v1"], paper["update-v2"]})
+        seg2 = Segment(g, {paper["model-v1"], paper["train-v3"]})
+        k = PropertyAggregation.of(entity=("name",), activity=("command",))
+        both = compute_vertex_classes([seg1, seg2], k, k=1, direction="both")
+        out = compute_vertex_classes([seg1, seg2], k, k=1, direction="out")
+        # With full neighborhoods the two model-v1 occurrences differ (used
+        # by update vs by train); ancestry-only makes them identical (no
+        # outgoing edges inside the segments).
+        assert both.class_of[(0, paper["model-v1"])] \
+            != both.class_of[(1, paper["model-v1"])]
+        assert out.class_of[(0, paper["model-v1"])] \
+            == out.class_of[(1, paper["model-v1"])]
+
+    def test_bad_direction_rejected(self, paper):
+        seg = full_segment(paper.graph)
+        with pytest.raises(ValueError):
+            compute_vertex_classes([seg], TYPE_ONLY, k=1, direction="sideways")
+
+    def test_verify_isomorphism_flag(self, paper):
+        seg = full_segment(paper.graph)
+        verified = compute_vertex_classes([seg], TYPE_ONLY, k=1,
+                                          verify_isomorphism=True)
+        unverified = compute_vertex_classes([seg], TYPE_ONLY, k=1,
+                                            verify_isomorphism=False)
+        # WL certificates are iso-invariant, so skipping verification can
+        # only coarsen, and on this graph they agree exactly.
+        assert unverified.class_count <= verified.class_count
+
+
+class TestK2:
+    def test_k2_refines_k1(self, pd_small):
+        seg = full_segment(pd_small.graph)
+        k1 = compute_vertex_classes([seg], TYPE_ONLY, k=1,
+                                    verify_isomorphism=False)
+        k2 = compute_vertex_classes([seg], TYPE_ONLY, k=2,
+                                    verify_isomorphism=False)
+        assert k2.class_count >= k1.class_count

@@ -1,0 +1,70 @@
+"""Unit tests for the pSum baseline."""
+
+import pytest
+
+from repro.errors import SummarizationError
+from repro.summarize.aggregation import TYPE_ONLY
+from repro.summarize.pgsum import pgsum
+from repro.summarize.provtype import compute_vertex_classes
+from repro.summarize.psg import check_psg_invariant
+from repro.summarize.psum_baseline import PsumStats, psum_summarize
+from repro.workloads.sd_generator import SD_AGGREGATION, SdParams, generate_sd
+from tests.test_summarize_pgsum import identical_segments
+
+
+class TestBasics:
+    def test_empty_rejected(self):
+        with pytest.raises(SummarizationError):
+            psum_summarize([])
+
+    def test_identical_segments_merge(self):
+        segments = identical_segments(3)
+        psg = psum_summarize(segments, TYPE_ONLY, k=0)
+        # Undirected refinement distinguishes e_in (kw-start side) and e_out
+        # and merges across segments: 3 blocks.
+        assert psg.node_count == 3
+        assert psg.compaction_ratio == pytest.approx(1 / 3)
+
+    def test_stats_filled(self):
+        stats = PsumStats()
+        psum_summarize(identical_segments(2), TYPE_ONLY, stats=stats)
+        assert stats.iterations >= 1
+        assert stats.blocks == 3
+        assert stats.seconds >= 0
+
+
+class TestInvariant:
+    """pSum's partition is an undirected bisimulation refinement, which is
+    *stricter* than needed — it must also satisfy the directed Psg
+    invariant."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_no_new_paths(self, seed):
+        instance = generate_sd(SdParams(
+            k=3, n_activities=6, num_segments=3, seed=seed,
+        ))
+        psg = psum_summarize(instance.segments, SD_AGGREGATION, k=0)
+        classes = compute_vertex_classes(instance.segments, SD_AGGREGATION, 0)
+        extra, missing = check_psg_invariant(
+            psg, instance.segments, classes, max_edges=6
+        )
+        assert not extra
+        assert not missing
+
+
+class TestComparisonWithPgSum:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_pgsum_at_least_as_compact(self, seed):
+        """The paper's headline: PgSum beats pSum because pSum cannot use
+        directed ≃tin/≃tout merges."""
+        instance = generate_sd(SdParams(seed=seed))
+        ours = pgsum(instance.segments, SD_AGGREGATION, k=0)
+        baseline = psum_summarize(instance.segments, SD_AGGREGATION, k=0)
+        assert ours.compaction_ratio <= baseline.compaction_ratio
+
+    def test_roughly_half_on_paper_defaults(self):
+        instance = generate_sd(SdParams(seed=7))
+        ours = pgsum(instance.segments, SD_AGGREGATION, k=0)
+        baseline = psum_summarize(instance.segments, SD_AGGREGATION, k=0)
+        # "the generated Psg is about half the result produced by pSum".
+        assert ours.compaction_ratio < 0.75 * baseline.compaction_ratio

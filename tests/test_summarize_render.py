@@ -1,0 +1,78 @@
+"""Tests for Psg rendering."""
+
+import pytest
+
+from repro.model.types import EdgeType
+from repro.segment.boundary import BoundaryCriteria, exclude_edge_types
+from repro.segment.pgseg import segment
+from repro.summarize.aggregation import PropertyAggregation
+from repro.summarize.pgsum import pgsum
+from repro.summarize.render import (
+    group_display_name,
+    psg_to_dot,
+    psg_to_markdown,
+)
+
+
+@pytest.fixture()
+def paper_psg(paper):
+    b = BoundaryCriteria().exclude_edges(
+        exclude_edge_types(EdgeType.WAS_ATTRIBUTED_TO,
+                           EdgeType.WAS_DERIVED_FROM)
+    )
+    q1 = segment(paper.graph, [paper["dataset-v1"]], [paper["weight-v2"]],
+                 b.copy().expand([paper["weight-v2"]], k=2))
+    q2 = segment(paper.graph, [paper["dataset-v1"]], [paper["log-v3"]],
+                 b.copy().expand([paper["log-v3"]], k=2))
+    aggregation = PropertyAggregation.of(entity=("name",),
+                                         activity=("command",))
+    return pgsum([q1, q2], aggregation, k=1, rk_direction="out")
+
+
+class TestDot:
+    def test_structure(self, paper_psg):
+        dot = psg_to_dot(paper_psg)
+        assert dot.startswith("digraph psg {")
+        assert dot.count("g0") >= 1
+        # One node line per group plus edges.
+        assert dot.count("shape=") == paper_psg.node_count
+        assert dot.count("->") == len(paper_psg.edges)
+
+    def test_frequency_labels_present(self, paper_psg):
+        dot = psg_to_dot(paper_psg)
+        assert "100%" in dot
+        assert "50%" in dot
+
+    def test_min_frequency_filter(self, paper_psg):
+        dot = psg_to_dot(paper_psg, min_frequency=0.9)
+        assert "50%" not in dot
+        assert "100%" in dot
+
+    def test_names_visible(self, paper_psg):
+        dot = psg_to_dot(paper_psg)
+        assert "train" in dot
+        assert "dataset" in dot
+
+
+class TestMarkdown:
+    def test_tables(self, paper_psg):
+        text = psg_to_markdown(paper_psg)
+        assert "| group | type |" in text
+        assert "| edge | type | frequency |" in text
+        assert f"{paper_psg.node_count} groups" in text
+        assert "cr = 0.611" in text
+
+    def test_edge_rows_counted(self, paper_psg):
+        text = psg_to_markdown(paper_psg)
+        edge_rows = [line for line in text.splitlines() if "→" in line]
+        assert len(edge_rows) == len(paper_psg.edges)
+
+
+class TestGroupNames:
+    def test_display_names(self, paper_psg):
+        names = [
+            group_display_name(paper_psg, index)
+            for index in range(paper_psg.node_count)
+        ]
+        assert any("train" in name for name in names)
+        assert any("x2" in name for name in names)

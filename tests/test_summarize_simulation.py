@@ -1,0 +1,148 @@
+"""Unit tests for labeled simulation preorders."""
+
+from repro.summarize.simulation import (
+    dominated_pairs,
+    mutual_equivalence_classes,
+    simulation_preorder,
+)
+
+
+def decode(sim):
+    """Bitmask list -> {u: sorted list of v with u <= v}."""
+    return {
+        u: [v for v in range(len(sim)) if sim[u] >> v & 1]
+        for u in range(len(sim))
+    }
+
+
+class TestBasics:
+    def test_reflexive(self):
+        sim = simulation_preorder(["x", "x", "y"], [], "in")
+        for u in range(3):
+            assert sim[u] >> u & 1
+
+    def test_label_mismatch_never_simulates(self):
+        sim = simulation_preorder(["x", "y"], [], "in")
+        assert decode(sim) == {0: [0], 1: [1]}
+
+    def test_leaves_with_same_label_simulate(self):
+        sim = simulation_preorder(["x", "x"], [], "out")
+        assert decode(sim) == {0: [0, 1], 1: [0, 1]}
+
+    def test_direction_validation(self):
+        try:
+            simulation_preorder(["x"], [], "diagonal")
+        except ValueError:
+            pass
+        else:       # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+
+class TestChains:
+    def test_out_simulation_on_chain(self):
+        # 0 -> 1 -> 2, labels all 'x': node 2 (leaf) is out-dominated by all;
+        # node 0 has the longest future.
+        labels = ["x", "x", "x"]
+        edges = [(0, 1, "e"), (1, 2, "e")]
+        sim = simulation_preorder(labels, edges, "out")
+        d = decode(sim)
+        assert d[2] == [0, 1, 2]      # leaf dominated by everyone
+        assert d[1] == [0, 1]
+        assert d[0] == [0]
+
+    def test_in_simulation_on_chain(self):
+        labels = ["x", "x", "x"]
+        edges = [(0, 1, "e"), (1, 2, "e")]
+        sim = simulation_preorder(labels, edges, "in")
+        d = decode(sim)
+        assert d[0] == [0, 1, 2]      # root (no parents) dominated by all
+        assert d[1] == [1, 2]
+        assert d[2] == [2]
+
+    def test_edge_labels_matter(self):
+        # 1 and 3 both have a parent, but via different edge labels.
+        labels = ["p", "x", "p", "x"]
+        edges = [(0, 1, "a"), (2, 3, "b")]
+        sim = simulation_preorder(labels, edges, "in")
+        d = decode(sim)
+        assert 3 not in d[1]
+        assert 1 not in d[3]
+
+    def test_parent_labels_matter(self):
+        labels = ["p", "q", "x", "x"]
+        edges = [(0, 2, "e"), (1, 3, "e")]
+        sim = simulation_preorder(labels, edges, "in")
+        d = decode(sim)
+        assert 3 not in d[2]
+
+
+class TestEquivalenceAndDomination:
+    def test_mutual_classes(self):
+        # Two identical diamonds: their corresponding nodes are mutually
+        # similar in both directions.
+        labels = ["r", "m", "m", "r"] * 2
+        edges = []
+        for base in (0, 4):
+            edges += [(base, base + 1, "e"), (base, base + 2, "e"),
+                      (base + 1, base + 3, "e"), (base + 2, base + 3, "e")]
+        sim = simulation_preorder(labels, edges, "out")
+        classes = mutual_equivalence_classes(sim)
+        as_sets = {frozenset(c) for c in classes}
+        assert frozenset({0, 4}) in as_sets
+        assert frozenset({3, 7}) in as_sets
+
+    def test_dominated_pairs(self):
+        # 0 -> 1; 2 (isolated, same label as 1): 2 is dominated by 1 in 'in'?
+        # 2 has no parents so anything same-labeled in-dominates it; out:
+        # 1 has no children, 2 has none: mutual. So (2,1) is a dominated pair
+        # and (1,2) is not (1 has a parent 2 cannot match).
+        labels = ["p", "x", "x"]
+        edges = [(0, 1, "e")]
+        sim_in = simulation_preorder(labels, edges, "in")
+        sim_out = simulation_preorder(labels, edges, "out")
+        pairs = dominated_pairs(sim_in, sim_out)
+        assert (2, 1) in pairs
+        assert (1, 2) not in pairs
+
+    def test_dominated_pairs_exclude_diagonal(self):
+        labels = ["x", "x"]
+        sim_in = simulation_preorder(labels, [], "in")
+        sim_out = simulation_preorder(labels, [], "out")
+        pairs = dominated_pairs(sim_in, sim_out)
+        assert (0, 0) not in pairs
+        assert set(pairs) == {(0, 1), (1, 0)}
+
+
+class TestSoundness:
+    def test_simulation_implies_trace_inclusion_on_random_dags(self):
+        """u <=out v must imply: every out-path word of u is one of v."""
+        import random
+
+        for seed in range(8):
+            rng = random.Random(seed)
+            n = rng.randrange(4, 9)
+            labels = [rng.choice("ab") for _ in range(n)]
+            edges = []
+            for u in range(n):
+                for v in range(u + 1, n):
+                    if rng.random() < 0.3:
+                        edges.append((u, v, rng.choice("xy")))
+            sim = simulation_preorder(labels, edges, "out")
+
+            def words(start):
+                adjacency = {}
+                for u, v, label in edges:
+                    adjacency.setdefault(u, []).append((v, label))
+                out = set()
+                stack = [(start, (labels[start],))]
+                while stack:
+                    here, word = stack.pop()
+                    out.add(word)
+                    for nxt, elabel in adjacency.get(here, []):
+                        stack.append((nxt, word + (elabel, labels[nxt])))
+                return out
+
+            for u in range(n):
+                for v in range(n):
+                    if u != v and sim[u] >> v & 1:
+                        assert words(u) <= words(v), (seed, u, v)

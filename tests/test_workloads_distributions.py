@@ -1,0 +1,128 @@
+"""Unit and statistical tests for the workload distributions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.distributions import (
+    ZipfSampler,
+    categorical,
+    dirichlet_row,
+    make_rng,
+    poisson,
+    sample_distinct,
+)
+
+
+class TestZipf:
+    def test_pmf_normalizes(self):
+        sampler = ZipfSampler(1.5, 100, make_rng(0))
+        total = sum(sampler.pmf(r, 100) for r in range(1, 101))
+        assert total == pytest.approx(1.0)
+
+    def test_pmf_is_decreasing(self):
+        sampler = ZipfSampler(1.2, 50, make_rng(0))
+        values = [sampler.pmf(r, 50) for r in range(1, 51)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_samples_in_domain(self):
+        sampler = ZipfSampler(1.5, 1000, make_rng(1))
+        for n in (1, 5, 100, 1000):
+            for _ in range(50):
+                assert 1 <= sampler.sample(n) <= n
+
+    def test_higher_skew_prefers_rank_one(self):
+        rng = make_rng(2)
+        flat = ZipfSampler(1.01, 100, rng)
+        steep = ZipfSampler(3.0, 100, make_rng(2))
+        flat_ones = sum(flat.sample(100) == 1 for _ in range(2000))
+        steep_ones = sum(steep.sample(100) == 1 for _ in range(2000))
+        assert steep_ones > flat_ones
+
+    def test_empirical_matches_pmf(self):
+        sampler = ZipfSampler(1.5, 10, make_rng(3))
+        counts = np.zeros(11)
+        trials = 20000
+        for _ in range(trials):
+            counts[sampler.sample(10)] += 1
+        for rank in range(1, 11):
+            expected = sampler.pmf(rank, 10)
+            assert counts[rank] / trials == pytest.approx(expected, abs=0.02)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(0.0, 10, make_rng(0))
+        with pytest.raises(WorkloadError):
+            ZipfSampler(1.0, 0, make_rng(0))
+        sampler = ZipfSampler(1.0, 10, make_rng(0))
+        with pytest.raises(WorkloadError):
+            sampler.sample(11)
+        with pytest.raises(WorkloadError):
+            sampler.pmf(11, 10)
+
+
+class TestPoissonAndDirichlet:
+    def test_poisson_mean(self):
+        rng = make_rng(4)
+        draws = [poisson(rng, 2.0) for _ in range(5000)]
+        assert np.mean(draws) == pytest.approx(2.0, abs=0.15)
+
+    def test_poisson_zero(self):
+        assert poisson(make_rng(0), 0.0) == 0
+
+    def test_poisson_negative_rejected(self):
+        with pytest.raises(WorkloadError):
+            poisson(make_rng(0), -1.0)
+
+    def test_dirichlet_sums_to_one(self):
+        row = dirichlet_row(make_rng(5), 0.1, 6)
+        assert row.sum() == pytest.approx(1.0)
+        assert len(row) == 6
+
+    def test_dirichlet_concentration_effect(self):
+        # Small alpha -> concentrated rows (low entropy); large alpha ->
+        # closer to uniform (high entropy).
+        def mean_entropy(alpha):
+            rng = make_rng(6)
+            entropies = []
+            for _ in range(200):
+                row = dirichlet_row(rng, alpha, 5)
+                entropies.append(-(row * np.log(row + 1e-12)).sum())
+            return np.mean(entropies)
+
+        assert mean_entropy(0.05) < mean_entropy(5.0)
+
+    def test_dirichlet_invalid(self):
+        with pytest.raises(WorkloadError):
+            dirichlet_row(make_rng(0), 0.0, 3)
+        with pytest.raises(WorkloadError):
+            dirichlet_row(make_rng(0), 1.0, 0)
+
+    def test_categorical_extremes(self):
+        rng = make_rng(7)
+        probs = np.array([0.0, 1.0, 0.0])
+        assert all(categorical(rng, probs) == 1 for _ in range(20))
+
+
+class TestSampleDistinct:
+    def test_distinctness(self):
+        sampler = ZipfSampler(1.5, 100, make_rng(8))
+        ranks = sample_distinct(sampler, 100, 10)
+        assert len(ranks) == len(set(ranks)) == 10
+
+    def test_domain_smaller_than_count(self):
+        sampler = ZipfSampler(1.5, 100, make_rng(9))
+        ranks = sample_distinct(sampler, 3, 10)
+        assert sorted(ranks) == [1, 2, 3]
+
+    def test_heavy_skew_still_fills(self):
+        sampler = ZipfSampler(5.0, 50, make_rng(10))
+        ranks = sample_distinct(sampler, 50, 5)
+        assert len(set(ranks)) == 5
+
+
+class TestRng:
+    def test_seeded_rng_is_reproducible(self):
+        a = make_rng(42).random()
+        b = make_rng(42).random()
+        assert a == b

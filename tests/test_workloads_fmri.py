@@ -1,0 +1,116 @@
+"""Tests for the Provenance Challenge fMRI workflow fixture.
+
+The fMRI pipeline has a known skeleton, so these tests double as end-to-end
+ground-truth checks for PgSeg (the induced stages are exactly the pipeline)
+and PgSum (multiple runs summarize back to the skeleton).
+"""
+
+import pytest
+
+from repro.model.validation import validate
+from repro.segment.pgseg import segment
+from repro.summarize.aggregation import PropertyAggregation
+from repro.summarize.pgsum import pgsum
+from repro.workloads.fmri import PIPELINE_COMMANDS, build_fmri_workflow
+
+
+@pytest.fixture(scope="module")
+def fmri():
+    return build_fmri_workflow(n_subjects=3, runs=1)
+
+
+class TestConstruction:
+    def test_counts(self, fmri):
+        graph = fmri.graph
+        # Per run: 2 activities per subject + softmean + 2 per axis.
+        expected_activities = 3 * 2 + 1 + 3 * 2
+        assert len(list(graph.activities())) == expected_activities
+
+    def test_valid(self, fmri):
+        assert validate(fmri.graph).ok
+
+    def test_challenge_query_upstream_of_atlas(self, fmri):
+        """The challenge's core query: everything upstream of a graphic."""
+        session = fmri.session
+        graphic = session.builder.latest("atlas_x.gif")
+        from repro.query.ops import lineage
+        ancestry = lineage(fmri.graph, graphic)
+        commands = {
+            fmri.graph.vertex(v).get("command")
+            for v in ancestry.vertices
+            if fmri.graph.is_activity(v)
+        }
+        assert commands == set(PIPELINE_COMMANDS)
+
+    def test_depth_matches_pipeline(self, fmri):
+        session = fmri.session
+        # anatomy -> align_warp -> reslice -> softmean -> slicer -> convert.
+        assert session.depth_of("atlas_x.gif") == 5
+
+
+class TestSegmentationGroundTruth:
+    def test_segment_covers_exactly_the_pipeline(self, fmri):
+        session = fmri.session
+        anatomy = session.builder.version_of("anatomy0.img", 1)
+        graphic = session.builder.latest("atlas_y.gif")
+        seg = segment(fmri.graph, [anatomy], [graphic])
+        commands = {
+            fmri.graph.vertex(v).get("command")
+            for v in seg.vertices if fmri.graph.is_activity(v)
+        }
+        assert set(PIPELINE_COMMANDS) <= commands
+
+    def test_similar_inputs_induced(self, fmri):
+        """VC2 pulls in the sibling anatomy images: they contribute to the
+        atlas exactly the way anatomy0 does."""
+        session = fmri.session
+        anatomy0 = session.builder.version_of("anatomy0.img", 1)
+        atlas = session.builder.latest("atlas.img")
+        seg = segment(fmri.graph, [anatomy0], [atlas])
+        names = {
+            fmri.graph.vertex(v).get("name")
+            for v in seg.vertices if fmri.graph.is_entity(v)
+        }
+        assert {"anatomy0.img", "anatomy1.img", "anatomy2.img"} <= names
+        assert "reference.img" in names
+
+
+class TestSummarizationGroundTruth:
+    def test_multi_run_summary_recovers_skeleton(self):
+        fmri = build_fmri_workflow(n_subjects=2, runs=3)
+        session = fmri.session
+        segments = []
+        for version in range(1, 4):
+            snapshot = session.builder.version_of("atlas_x.gif", version)
+            segments.append(segment(
+                fmri.graph,
+                [session.builder.version_of("anatomy0.img", 1)],
+                [snapshot],
+            ))
+        aggregation = PropertyAggregation.of(activity=("command",))
+        psg = pgsum(segments, aggregation, k=0)
+        # All three runs share one skeleton: every edge is 100% frequent...
+        # except version-chain D edges between run outputs.
+        frequent = [f for f in psg.edges.values() if f == 1.0]
+        assert frequent
+        assert psg.compaction_ratio < 0.75
+
+    def test_summary_commands_are_the_stages(self):
+        fmri = build_fmri_workflow(n_subjects=2, runs=2)
+        session = fmri.session
+        segments = [
+            segment(fmri.graph,
+                    [session.builder.version_of("anatomy0.img", 1)],
+                    [session.builder.version_of("atlas_z.gif", version)])
+            for version in (1, 2)
+        ]
+        aggregation = PropertyAggregation.of(activity=("command",))
+        psg = pgsum(segments, aggregation, k=0)
+        group_commands = set()
+        for node in psg.nodes:
+            for seg_index, vertex_id in node.members:
+                record = segments[seg_index].graph.vertex(vertex_id)
+                command = record.get("command")
+                if command:
+                    group_commands.add(command)
+        assert set(PIPELINE_COMMANDS) <= group_commands

@@ -1,0 +1,82 @@
+"""Unit tests for the Fig. 2 example builder and the team-project generator."""
+
+from repro.model.types import EdgeType, VertexType
+from repro.model.validation import validate
+from repro.model.versioning import VersionCatalog
+from repro.workloads.lifecycle import build_paper_example, generate_team_project
+
+
+class TestPaperExample:
+    def test_vertex_inventory(self, paper):
+        g = paper.graph
+        assert g.store.count_vertices(VertexType.ENTITY) == 11
+        assert g.store.count_vertices(VertexType.ACTIVITY) == 5
+        assert g.store.count_vertices(VertexType.AGENT) == 2
+
+    def test_edge_inventory(self, paper):
+        g = paper.graph
+        # used: train x3 (3 inputs each) + update x2 (1 input each) = 11
+        assert g.store.count_edges(EdgeType.USED) == 11
+        # generated: 2 per train + 1 per update = 8
+        assert g.store.count_edges(EdgeType.WAS_GENERATED_BY) == 8
+        assert g.store.count_edges(EdgeType.WAS_ASSOCIATED_WITH) == 5
+        assert g.store.count_edges(EdgeType.WAS_DERIVED_FROM) == 4
+
+    def test_is_valid(self, paper):
+        assert validate(paper.graph).ok
+
+    def test_accuracies_match_figure(self, paper):
+        g = paper.graph
+        assert g.vertex(paper["log-v1"]).get("acc") == 0.7
+        assert g.vertex(paper["log-v2"]).get("acc") == 0.5
+        assert g.vertex(paper["log-v3"]).get("acc") == 0.75
+
+    def test_bob_used_old_model_and_new_solver(self, paper):
+        used = set(paper.graph.used_entities(paper["train-v3"]))
+        assert used == {
+            paper["dataset-v1"], paper["model-v1"], paper["solver-v3"]
+        }
+
+    def test_ownership(self, paper):
+        g = paper.graph
+        assert g.agents_of(paper["update-v3"]) == [paper["Bob"]]
+        assert g.agents_of(paper["update-v2"]) == [paper["Alice"]]
+
+    def test_name_lookup(self, paper):
+        assert paper["dataset-v1"] == paper.ids["dataset-v1"]
+
+
+class TestTeamProject:
+    def test_generates_valid_graph(self):
+        project = generate_team_project(members=3, iterations=8, seed=1)
+        assert validate(project.graph).ok
+
+    def test_runs_recorded(self):
+        project = generate_team_project(members=2, iterations=6, seed=2)
+        assert len(project.runs) == 6
+        for run in project.runs:
+            assert run["weights"] is not None
+            assert run["metrics"] is not None
+
+    def test_artifacts_accumulate_versions(self):
+        project = generate_team_project(members=3, iterations=10, seed=3)
+        builder = project.builder
+        assert len(builder.versions("weights")) == 10
+        assert len(builder.versions("metrics")) == 10
+
+    def test_reports_written_periodically(self):
+        project = generate_team_project(members=2, iterations=8, seed=4)
+        assert len(project.builder.versions("report")) == 2
+
+    def test_version_catalog_on_project(self):
+        project = generate_team_project(members=2, iterations=6, seed=5)
+        catalog = VersionCatalog(project.graph)
+        weights = catalog.artifact("weights")
+        assert len(weights.snapshots) == 6
+
+    def test_determinism(self):
+        a = generate_team_project(members=3, iterations=6, seed=6)
+        b = generate_team_project(members=3, iterations=6, seed=6)
+        assert a.graph.vertex_count == b.graph.vertex_count
+        assert [run["member"] for run in a.runs] \
+            == [run["member"] for run in b.runs]

@@ -1,0 +1,112 @@
+"""Unit tests for the Pd generator (Sec. V(a))."""
+
+import math
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.model.types import EdgeType, VertexType
+from repro.model.validation import validate
+from repro.workloads.pd_generator import PdParams, generate_pd, generate_pd_sized
+
+
+class TestShape:
+    def test_vertex_count_near_target(self):
+        for n in (100, 500, 2000):
+            instance = generate_pd_sized(n, seed=1)
+            assert abs(instance.graph.vertex_count - n) / n < 0.25
+
+    def test_agent_count_is_log_n(self):
+        instance = generate_pd_sized(1000, seed=2)
+        assert len(instance.agents) == int(math.floor(math.log(1000)))
+
+    def test_activity_count_formula(self):
+        params = PdParams(n_vertices=500, seed=3)
+        instance = generate_pd(params)
+        expected = int(math.floor(500 / (2.0 + params.lam_out)))
+        assert len(instance.activities) <= expected
+        assert len(instance.activities) >= expected * 0.5
+
+    def test_every_activity_has_inputs_and_outputs(self):
+        instance = generate_pd_sized(300, seed=4)
+        g = instance.graph
+        for activity in instance.activities:
+            assert len(g.used_entities(activity)) >= 1
+            assert len(g.generated_entities(activity)) >= 1
+
+    def test_every_activity_has_an_agent(self):
+        instance = generate_pd_sized(200, seed=5)
+        for activity in instance.activities:
+            assert len(instance.graph.agents_of(activity)) == 1
+
+    def test_graph_is_valid_prov(self):
+        instance = generate_pd_sized(400, seed=6)
+        report = validate(instance.graph)
+        assert report.ok, report.summary()
+
+    def test_mean_inputs_tracks_lambda(self):
+        low = generate_pd(PdParams(n_vertices=2000, lam_in=1.0, seed=7))
+        high = generate_pd(PdParams(n_vertices=2000, lam_in=4.0, seed=7))
+
+        def mean_inputs(instance):
+            g = instance.graph
+            degrees = [len(g.used_entities(a)) for a in instance.activities]
+            return sum(degrees) / len(degrees)
+
+        assert mean_inputs(low) < mean_inputs(high)
+        assert mean_inputs(low) == pytest.approx(2.0, abs=0.5)    # 1 + λi
+
+    def test_version_chains_present(self):
+        instance = generate_pd(PdParams(n_vertices=500, seed=8,
+                                        version_probability=0.5))
+        assert instance.graph.store.count_edges(EdgeType.WAS_DERIVED_FROM) > 0
+
+    def test_version_probability_zero_disables_derivations(self):
+        instance = generate_pd(PdParams(n_vertices=300, seed=9,
+                                        version_probability=0.0))
+        assert instance.graph.store.count_edges(EdgeType.WAS_DERIVED_FROM) == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        a = generate_pd_sized(300, seed=13)
+        b = generate_pd_sized(300, seed=13)
+        assert a.graph.vertex_count == b.graph.vertex_count
+        assert a.graph.edge_count == b.graph.edge_count
+        assert a.entities == b.entities
+
+    def test_different_seed_different_graph(self):
+        a = generate_pd_sized(300, seed=13)
+        b = generate_pd_sized(300, seed=14)
+        assert a.graph.edge_count != b.graph.edge_count
+
+
+class TestQueries:
+    def test_default_query_connected(self):
+        instance = generate_pd_sized(300, seed=10)
+        src, dst = instance.default_query()
+        ancestors = instance.graph.ancestors(dst)
+        assert any(vertex in ancestors for vertex in src)
+
+    def test_percentile_query_positions(self):
+        instance = generate_pd_sized(300, seed=11)
+        src0, _ = instance.query_at_percentile(0)
+        src80, dst = instance.query_at_percentile(80)
+        g = instance.graph
+        assert g.store.order_of(src0[0]) < g.store.order_of(src80[0])
+        assert dst == instance.entities[-2:]
+
+    def test_percentile_validation(self):
+        instance = generate_pd_sized(120, seed=12)
+        with pytest.raises(WorkloadError):
+            instance.query_at_percentile(120)
+
+
+class TestValidation:
+    def test_tiny_n_rejected(self):
+        with pytest.raises(WorkloadError):
+            PdParams(n_vertices=4)
+
+    def test_bad_version_probability(self):
+        with pytest.raises(WorkloadError):
+            PdParams(n_vertices=100, version_probability=1.5)

@@ -1,0 +1,104 @@
+"""Tests for the evolving-script workload and its use with diff/PgSum."""
+
+import pytest
+
+from repro.model.validation import validate
+from repro.segment.diff import diff_segments
+from repro.summarize.aggregation import PropertyAggregation
+from repro.summarize.pgsum import pgsum
+from repro.summarize.provtype import compute_vertex_classes
+from repro.summarize.psg import check_psg_invariant
+from repro.workloads.script_provenance import generate_script_history
+
+
+class TestGeneration:
+    def test_runs_and_edits(self):
+        history = generate_script_history(runs=6, seed=1)
+        assert len(history.runs) == 6
+        assert len(history.edits) == 5    # one entry per later run
+
+    def test_valid_graph(self):
+        history = generate_script_history(runs=4, seed=2)
+        assert validate(history.graph).ok
+
+    def test_run_segments_share_input(self):
+        history = generate_script_history(runs=3, seed=3)
+        for run in history.runs:
+            assert history.input_entity in run.segment.vertices
+
+    def test_steps_recorded_match_graph(self):
+        history = generate_script_history(runs=3, seed=4)
+        graph = history.graph
+        for run in history.runs:
+            commands = [
+                graph.vertex(v).get("command")
+                for v in sorted(
+                    run.segment.vertices,
+                    key=lambda v: graph.store.order_of(v),
+                )
+                if graph.is_activity(v)
+            ]
+            assert tuple(commands[:-1]) == run.steps
+            assert commands[-1] == "write_output"
+
+    def test_determinism(self):
+        a = generate_script_history(runs=5, seed=9)
+        b = generate_script_history(runs=5, seed=9)
+        assert a.edits == b.edits
+        assert [r.steps for r in a.runs] == [r.steps for r in b.runs]
+
+    def test_no_edits_when_probability_zero(self):
+        history = generate_script_history(runs=4, edit_probability=0.0,
+                                          seed=5)
+        assert all(edit == "none" for edit in history.edits)
+        steps = {run.steps for run in history.runs}
+        assert len(steps) == 1
+
+
+class TestDiffAcrossRuns:
+    def test_unchanged_runs_diff_only_in_snapshots(self):
+        history = generate_script_history(runs=3, edit_probability=0.0,
+                                          seed=6)
+        first, second = history.runs[0], history.runs[1]
+        diff = diff_segments(first.segment, second.segment)
+        # Same script: the step *structure* matches, but every run mints new
+        # snapshots, so only the shared input/author are common.
+        assert history.input_entity in diff.common
+        assert not diff.unchanged
+
+    def test_edit_shows_up_as_command_change(self):
+        history = generate_script_history(runs=8, seed=7)
+        graph = history.graph
+        changed = [
+            (index, edit) for index, edit in enumerate(history.edits)
+            if edit != "none"
+        ]
+        assert changed, "fixture produced no edits; adjust seed"
+        run_index, edit = changed[0]
+        before = history.runs[run_index]      # edits[i] precedes run i+1
+        after = history.runs[run_index + 1]
+        assert before.steps != after.steps
+
+
+class TestSummarizeAcrossRuns:
+    def test_stable_script_summarizes_tightly(self):
+        history = generate_script_history(runs=5, edit_probability=0.0,
+                                          seed=8)
+        aggregation = PropertyAggregation.of(entity=("name",),
+                                             activity=("command",))
+        psg = pgsum(history.segments, aggregation, k=0)
+        # Five identical runs collapse onto one pipeline: cr near 1/runs.
+        assert psg.compaction_ratio <= 0.35
+        classes = compute_vertex_classes(history.segments, aggregation, 0)
+        extra, missing = check_psg_invariant(psg, history.segments, classes,
+                                             max_edges=6)
+        assert not extra and not missing
+
+    def test_evolving_script_summarizes_looser(self):
+        aggregation = PropertyAggregation.of(entity=("name",),
+                                             activity=("command",))
+        stable = generate_script_history(runs=5, edit_probability=0.0, seed=10)
+        churn = generate_script_history(runs=5, edit_probability=1.0, seed=10)
+        cr_stable = pgsum(stable.segments, aggregation, k=0).compaction_ratio
+        cr_churn = pgsum(churn.segments, aggregation, k=0).compaction_ratio
+        assert cr_stable <= cr_churn

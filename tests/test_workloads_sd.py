@@ -1,0 +1,107 @@
+"""Unit tests for the Sd generator (Sec. V(b))."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.model.types import VertexType
+from repro.model.validation import validate
+from repro.workloads.sd_generator import (
+    SD_AGGREGATION,
+    SdParams,
+    generate_sd,
+    generate_sd_defaults,
+)
+
+
+class TestShape:
+    def test_segment_count(self):
+        instance = generate_sd(SdParams(num_segments=7, seed=0))
+        assert len(instance.segments) == 7
+
+    def test_activities_per_segment(self):
+        instance = generate_sd(SdParams(n_activities=15, seed=1))
+        for segment in instance.segments:
+            activities = segment.vertices_of_type(VertexType.ACTIVITY)
+            assert len(activities) == 15
+
+    def test_activity_types_within_k(self):
+        instance = generate_sd(SdParams(k=4, seed=2))
+        for segment in instance.segments:
+            for vertex_id in segment.vertices_of_type(VertexType.ACTIVITY):
+                type_name = segment.graph.vertex(vertex_id).get("type")
+                assert type_name in {f"t{i}" for i in range(4)}
+
+    def test_transition_matrix_rows_normalized(self):
+        instance = generate_sd(SdParams(k=6, seed=3))
+        matrix = instance.transition_matrix
+        assert matrix.shape == (6, 6)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_entities_have_no_distinguishing_properties(self):
+        instance = generate_sd(SdParams(seed=4))
+        for segment in instance.segments:
+            for vertex_id in segment.vertices_of_type(VertexType.ENTITY):
+                assert segment.graph.vertex(vertex_id).properties == {}
+
+    def test_segments_are_valid_prov(self):
+        instance = generate_sd(SdParams(seed=5))
+        for segment in instance.segments:
+            assert validate(segment.graph).ok
+
+    def test_union_vertex_total(self):
+        instance = generate_sd(SdParams(num_segments=3, seed=6))
+        assert instance.union_vertex_total == sum(
+            len(segment.vertices) for segment in instance.segments
+        )
+
+
+class TestConcentrationEffect:
+    def test_low_alpha_concentrates_transitions(self):
+        stable = generate_sd(SdParams(alpha=0.01, k=5, seed=7))
+        chaotic = generate_sd(SdParams(alpha=10.0, k=5, seed=7))
+
+        def row_entropy(matrix):
+            return float(
+                -(matrix * np.log(matrix + 1e-12)).sum(axis=1).mean()
+            )
+
+        assert row_entropy(stable.transition_matrix) \
+            < row_entropy(chaotic.transition_matrix)
+
+    def test_low_alpha_reuses_fewer_activity_types(self):
+        stable = generate_sd(SdParams(alpha=0.01, k=8, n_activities=30, seed=8))
+        chaotic = generate_sd(SdParams(alpha=10.0, k=8, n_activities=30, seed=8))
+
+        def distinct_types(instance):
+            seen = set()
+            for segment in instance.segments:
+                for vertex_id in segment.vertices_of_type(VertexType.ACTIVITY):
+                    seen.add(segment.graph.vertex(vertex_id).get("type"))
+            return len(seen)
+
+        assert distinct_types(stable) <= distinct_types(chaotic)
+
+
+class TestDeterminism:
+    def test_same_seed_same_segments(self):
+        a = generate_sd_defaults(seed=9)
+        b = generate_sd_defaults(seed=9)
+        assert np.allclose(a.transition_matrix, b.transition_matrix)
+        assert [len(s.vertices) for s in a.segments] \
+            == [len(s.vertices) for s in b.segments]
+
+
+class TestAggregationConstant:
+    def test_sd_aggregation_keeps_activity_type(self):
+        assert "type" in SD_AGGREGATION.activity_keys
+        assert not SD_AGGREGATION.entity_keys
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"k": 0}, {"n_activities": 0}, {"num_segments": 0},
+    ])
+    def test_bad_params(self, kwargs):
+        with pytest.raises(WorkloadError):
+            SdParams(**kwargs)
