@@ -94,6 +94,10 @@ class SimProvAlg:
         prune: enable the early-stopping rule.
         activity_key / entity_key: property-constrained similarity keys.
         adjacency: pre-built :class:`ProvAdjacency` to reuse across queries.
+        snapshot: a :class:`repro.store.snapshot.GraphSnapshot`; when given
+            (and no explicit ``adjacency``), the solver reuses the
+            snapshot's cached frozen adjacency instead of rebuilding from
+            the live store — the read-optimized fast path.
         max_steps / timeout_seconds: work/time budget.
 
     Raises:
@@ -109,6 +113,7 @@ class SimProvAlg:
                  activity_key: KeyFunction | None = None,
                  entity_key: KeyFunction | None = None,
                  adjacency: ProvAdjacency | None = None,
+                 snapshot=None,
                  max_steps: int | None = None,
                  timeout_seconds: float | None = None):
         if set_impl not in _SET_IMPLS:
@@ -118,11 +123,14 @@ class SimProvAlg:
         self._dst = list(dict.fromkeys(dst_ids))
         if not self._src or not self._dst:
             raise SegmentationError("Vsrc and Vdst must be non-empty")
+        is_entity = graph.is_entity if snapshot is None else snapshot.is_entity
         for vertex_id in (*self._src, *self._dst):
-            if not graph.is_entity(vertex_id):
+            if not is_entity(vertex_id):
                 raise SegmentationError(
                     f"query vertex {vertex_id} is not an entity"
                 )
+        if adjacency is None and snapshot is not None:
+            adjacency = snapshot.prov_adjacency(vertex_ok, edge_ok)
         self._adj = adjacency if adjacency is not None else ProvAdjacency.build(
             graph, vertex_ok, edge_ok
         )

@@ -43,6 +43,10 @@ class SimProvTst:
         vertex_ok / edge_ok: inline boundary predicates.
         prune: enable frontier-level early stopping.
         adjacency: pre-built :class:`ProvAdjacency` to reuse.
+        snapshot: a :class:`repro.store.snapshot.GraphSnapshot`; when given
+            (and no explicit ``adjacency``), the solver reuses the
+            snapshot's cached frozen adjacency instead of rebuilding from
+            the live store.
         collect_pairs: also materialize answer pairs (quadratic; tests only).
         set_impl: frontier set implementation — ``"set"`` (default),
             ``"bitset"``, or ``"roaring"`` (the paper's Cbm space/time
@@ -60,6 +64,7 @@ class SimProvTst:
                  edge_ok: EdgePredicate | None = None,
                  prune: bool = True,
                  adjacency: ProvAdjacency | None = None,
+                 snapshot=None,
                  collect_pairs: bool = False,
                  set_impl: str = "set",
                  max_layers: int | None = None,
@@ -75,11 +80,14 @@ class SimProvTst:
         self._dst = list(dict.fromkeys(dst_ids))
         if not self._src or not self._dst:
             raise SegmentationError("Vsrc and Vdst must be non-empty")
+        is_entity = graph.is_entity if snapshot is None else snapshot.is_entity
         for vertex_id in (*self._src, *self._dst):
-            if not graph.is_entity(vertex_id):
+            if not is_entity(vertex_id):
                 raise SegmentationError(
                     f"query vertex {vertex_id} is not an entity"
                 )
+        if adjacency is None and snapshot is not None:
+            adjacency = snapshot.prov_adjacency(vertex_ok, edge_ok)
         self._adj = adjacency if adjacency is not None else ProvAdjacency.build(
             graph, vertex_ok, edge_ok
         )

@@ -90,7 +90,7 @@ def _cmd_segment(args: argparse.Namespace) -> int:
         src=tuple(args.src), dst=tuple(args.dst),
         algorithm=args.algorithm,
     )
-    segment = PgSegOperator(graph).evaluate(query)
+    segment = PgSegOperator(graph, snapshot=args.snapshot).evaluate(query)
     print(segment.describe())
     if args.dot:
         copy, _ = graph.copy_subgraph(segment.vertices)
@@ -101,7 +101,7 @@ def _cmd_segment(args: argparse.Namespace) -> int:
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
-    operator = PgSegOperator(graph)
+    operator = PgSegOperator(graph, snapshot=args.snapshot)
     segments = []
     for dst in args.dst:
         segments.append(operator.evaluate(PgSegQuery(
@@ -167,6 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dst", type=int, nargs="+", required=True)
     p.add_argument("--algorithm", default="simprov-tst",
                    choices=["simprov-tst", "simprov-alg", "cflr"])
+    p.add_argument("--snapshot", action="store_true",
+                   help="evaluate on a frozen read snapshot (fast path)")
     p.add_argument("--dot", help="also write the segment as Graphviz DOT")
     p.set_defaults(func=_cmd_segment)
 
@@ -176,6 +178,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dst", type=int, nargs="+", required=True)
     p.add_argument("--algorithm", default="simprov-tst",
                    choices=["simprov-tst", "simprov-alg", "cflr"])
+    p.add_argument("--snapshot", action="store_true",
+                   help="evaluate on a frozen read snapshot (fast path)")
     p.add_argument("--entity-keys", nargs="*", default=["name"])
     p.add_argument("--activity-keys", nargs="*", default=["command"])
     p.add_argument("--k", type=int, default=0)

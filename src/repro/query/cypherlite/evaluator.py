@@ -43,6 +43,7 @@ from repro.query.cypherlite.ast_nodes import (
 )
 from repro.query.cypherlite.parser import parse
 from repro.query.paths import Path, Step
+from repro.store.snapshot import GraphSnapshot
 
 
 @dataclass(slots=True)
@@ -93,10 +94,21 @@ _Row = dict[str, Any]
 
 
 class Evaluator:
-    """Evaluates parsed CypherLite queries against a provenance graph."""
+    """Evaluates parsed CypherLite queries against a provenance graph.
 
-    def __init__(self, graph: ProvenanceGraph, budget: Budget | None = None):
+    Args:
+        graph: the graph to query.
+        budget: work/time limits (defaults to :class:`Budget`).
+        snapshot: optional :class:`GraphSnapshot`; node scans, anchor
+            planning, and path expansion then read the frozen CSR views
+            instead of the live store. Property predicates still read the
+            (shared) records, so values match the live graph.
+    """
+
+    def __init__(self, graph: ProvenanceGraph, budget: Budget | None = None,
+                 snapshot: GraphSnapshot | None = None):
         self._graph = graph
+        self._snapshot = snapshot
         self._budget = budget if budget is not None else Budget()
 
     # ------------------------------------------------------------------
@@ -170,25 +182,29 @@ class Evaluator:
 
     def _node_candidates(self, node: NodePattern, row: _Row,
                          seeds: dict[str, set[int]]) -> Iterator[int]:
+        source = self._snapshot if self._snapshot is not None \
+            else self._graph.store
         if node.var in row:
             yield row[node.var]
             return
         if node.var in seeds:
             for vertex_id in sorted(seeds[node.var]):
-                if vertex_id in self._graph.store:
+                if vertex_id in source:
                     if self._node_matches(node, vertex_id):
                         yield vertex_id
             return
         if node.label is not None:
             vertex_type = parse_vertex_type(node.label)
-            yield from self._graph.store.vertex_ids(vertex_type)
+            yield from source.vertex_ids(vertex_type)
             return
-        yield from self._graph.store.vertex_ids()
+        yield from source.vertex_ids()
 
     def _node_matches(self, node: NodePattern, vertex_id: int) -> bool:
         if node.label is None:
             return True
-        return self._graph.store.vertex_type(vertex_id) is parse_vertex_type(node.label)
+        source = self._snapshot if self._snapshot is not None \
+            else self._graph.store
+        return source.vertex_type(vertex_id) is parse_vertex_type(node.label)
 
     def _anchor_score(self, node: NodePattern, row: _Row,
                       seeds: dict[str, set[int]]) -> int:
@@ -197,15 +213,15 @@ class Evaluator:
         Mirrors Neo4j's seek planning: bound variables and id seeds beat
         label scans beat full scans.
         """
+        source = self._snapshot if self._snapshot is not None \
+            else self._graph.store
         if node.var in row:
             return 1
         if node.var in seeds:
             return len(seeds[node.var])
         if node.label is not None:
-            return self._graph.store.count_vertices(
-                parse_vertex_type(node.label)
-            )
-        return self._graph.store.vertex_count
+            return source.count_vertices(parse_vertex_type(node.label))
+        return source.vertex_count
 
     @staticmethod
     def _reverse_pattern(pattern: PathPattern) -> PathPattern:
@@ -237,7 +253,7 @@ class Evaluator:
         first = pattern.nodes[0]
         for start in self._node_candidates(first, row, seeds):
             self._budget.tick()
-            path = Path(self._graph, start)
+            path = Path(self._graph, start, snapshot=self._snapshot)
             yield from self._extend(pattern, row, seeds, 0, path,
                                     {first.var: start}, reverse)
 
@@ -276,14 +292,25 @@ class Evaluator:
         """
         edge_types = [parse_edge_type(t) for t in rel.types] or [None]
         used_edges = {step.edge_id for step in path.steps}
+        snapshot = self._snapshot
 
         def neighbors(vertex_id: int) -> Iterator[Step]:
             for edge_type in edge_types:
                 if rel.direction == "right":
-                    for edge_id in self._graph.store.out_edge_ids(vertex_id, edge_type):
+                    edge_ids = (
+                        snapshot.out_edges(vertex_id, edge_type)
+                        if snapshot is not None
+                        else self._graph.store.out_edge_ids(vertex_id, edge_type)
+                    )
+                    for edge_id in edge_ids:
                         yield Step(edge_id, forward=True)
                 else:
-                    for edge_id in self._graph.store.in_edge_ids(vertex_id, edge_type):
+                    edge_ids = (
+                        snapshot.in_edges(vertex_id, edge_type)
+                        if snapshot is not None
+                        else self._graph.store.in_edge_ids(vertex_id, edge_type)
+                    )
+                    for edge_id in edge_ids:
                         yield Step(edge_id, forward=False)
 
         stack: list[tuple[Path, int]] = [(path, 0)]
@@ -444,6 +471,7 @@ def _id_constraints(where: Expr | None) -> dict[str, set[int]]:
 
 
 def run_query(graph: ProvenanceGraph, text: str,
-              budget: Budget | None = None) -> list[_Row]:
+              budget: Budget | None = None,
+              snapshot: GraphSnapshot | None = None) -> list[_Row]:
     """Parse and evaluate ``text`` against ``graph``."""
-    return Evaluator(graph, budget).run(text)
+    return Evaluator(graph, budget, snapshot=snapshot).run(text)

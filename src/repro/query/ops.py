@@ -9,6 +9,13 @@ helpers so downstream users don't reach for the raw traversals:
 - :func:`blame` — agents responsible for an entity's ancestry (git-blame);
 - :func:`derivation_chain` — the version history of one artifact snapshot;
 - :func:`common_ancestors` — join point of two entities' histories.
+
+Every helper accepts an optional ``snapshot=`` — a
+:class:`repro.store.snapshot.GraphSnapshot` — and then walks the frozen CSR
+list views instead of the live store, which is both faster on repeated
+queries and immune to concurrent appends. Results are identical to the
+live-store path for the graph state the snapshot captured (the differential
+suite asserts this).
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.model.graph import ProvenanceGraph
 from repro.model.types import EdgeType, VertexType
+from repro.store.snapshot import GraphSnapshot
 
 
 @dataclass(slots=True)
@@ -49,21 +57,45 @@ class Lineage:
 
 
 def lineage(graph: ProvenanceGraph, entity: int,
-            max_depth: int | None = None) -> Lineage:
+            max_depth: int | None = None,
+            snapshot: GraphSnapshot | None = None) -> Lineage:
     """Ancestry closure of an entity, level by level (via G then U edges)."""
-    return _walk(graph, entity, upstream=True, max_depth=max_depth)
+    return _walk(graph, entity, upstream=True, max_depth=max_depth,
+                 snapshot=snapshot)
 
 
 def impacted(graph: ProvenanceGraph, entity: int,
-             max_depth: int | None = None) -> Lineage:
+             max_depth: int | None = None,
+             snapshot: GraphSnapshot | None = None) -> Lineage:
     """Everything derived (transitively) from an entity — the impact set."""
-    return _walk(graph, entity, upstream=False, max_depth=max_depth)
+    return _walk(graph, entity, upstream=False, max_depth=max_depth,
+                 snapshot=snapshot)
 
 
 def _walk(graph: ProvenanceGraph, entity: int, upstream: bool,
-          max_depth: int | None) -> Lineage:
-    if not graph.is_entity(entity):
-        raise ValueError(f"vertex {entity} is not an entity")
+          max_depth: int | None,
+          snapshot: GraphSnapshot | None = None) -> Lineage:
+    if snapshot is not None:
+        if not snapshot.is_entity(entity):
+            raise ValueError(f"vertex {entity} is not an entity")
+        gen_out = snapshot.out_lists(EdgeType.WAS_GENERATED_BY)
+        gen_in = snapshot.in_lists(EdgeType.WAS_GENERATED_BY)
+        used_out = snapshot.out_lists(EdgeType.USED)
+        used_in = snapshot.in_lists(EdgeType.USED)
+        if upstream:
+            step_activities = gen_out.__getitem__
+            step_entities = used_out.__getitem__
+        else:
+            step_activities = used_in.__getitem__
+            step_entities = gen_in.__getitem__
+    else:
+        if not graph.is_entity(entity):
+            raise ValueError(f"vertex {entity} is not an entity")
+        step_activities = (graph.generating_activities if upstream
+                           else graph.using_activities)
+        step_entities = (graph.used_entities if upstream
+                         else graph.generated_entities)
+
     result = Lineage(root=entity, vertices={entity})
     frontier = [entity]
     depth = 0
@@ -71,17 +103,13 @@ def _walk(graph: ProvenanceGraph, entity: int, upstream: bool,
         depth += 1
         activities: list[int] = []
         for e in frontier:
-            steps = (graph.generating_activities(e) if upstream
-                     else graph.using_activities(e))
-            for a in steps:
+            for a in step_activities(e):
                 if a not in result.vertices:
                     result.vertices.add(a)
                     activities.append(a)
         entities: list[int] = []
         for a in activities:
-            steps = (graph.used_entities(a) if upstream
-                     else graph.generated_entities(a))
-            for e in steps:
+            for e in step_entities(a):
                 if e not in result.vertices:
                     result.vertices.add(e)
                     entities.append(e)
@@ -93,27 +121,35 @@ def _walk(graph: ProvenanceGraph, entity: int, upstream: bool,
 
 
 def blame(graph: ProvenanceGraph, entity: int,
-          max_depth: int | None = None) -> dict[int, set[int]]:
+          max_depth: int | None = None,
+          snapshot: GraphSnapshot | None = None) -> dict[int, set[int]]:
     """Agents responsible for an entity's ancestry.
 
     Returns agent id -> the ancestry vertices (activities/entities) that
     agent is responsible for, like ``git blame`` over the derivation.
     """
-    ancestry = lineage(graph, entity, max_depth)
+    ancestry = lineage(graph, entity, max_depth, snapshot=snapshot)
     report: dict[int, set[int]] = {}
+    agents_of = graph.agents_of if snapshot is None else snapshot.agents_of
     for vertex_id in ancestry.vertices:
-        for agent in graph.agents_of(vertex_id):
+        for agent in agents_of(vertex_id):
             report.setdefault(agent, set()).add(vertex_id)
     return report
 
 
-def derivation_chain(graph: ProvenanceGraph, entity: int) -> list[int]:
+def derivation_chain(graph: ProvenanceGraph, entity: int,
+                     snapshot: GraphSnapshot | None = None) -> list[int]:
     """Follow ``wasDerivedFrom`` to the original snapshot (oldest last)."""
+    if snapshot is not None:
+        derived = snapshot.out_lists(EdgeType.WAS_DERIVED_FROM)
+        sources_of = derived.__getitem__
+    else:
+        sources_of = graph.derived_sources
     chain = [entity]
     seen = {entity}
     current = entity
     while True:
-        parents = graph.derived_sources(current)
+        parents = sources_of(current)
         nxt = None
         for parent in parents:
             if parent not in seen:
@@ -126,16 +162,24 @@ def derivation_chain(graph: ProvenanceGraph, entity: int) -> list[int]:
         current = nxt
 
 
-def common_ancestors(graph: ProvenanceGraph, left: int,
-                     right: int) -> set[int]:
+def common_ancestors(graph: ProvenanceGraph, left: int, right: int,
+                     snapshot: GraphSnapshot | None = None) -> set[int]:
     """Entities/activities in both ancestry closures (the join points)."""
-    left_set = lineage(graph, left).vertices
-    right_set = lineage(graph, right).vertices
+    left_set = lineage(graph, left, snapshot=snapshot).vertices
+    right_set = lineage(graph, right, snapshot=snapshot).vertices
     return (left_set & right_set) - {left, right}
 
 
-def entity_timeline(graph: ProvenanceGraph, name: str) -> list[int]:
+def entity_timeline(graph: ProvenanceGraph, name: str,
+                    snapshot: GraphSnapshot | None = None) -> list[int]:
     """All entities named ``name`` in creation order (the artifact view)."""
+    if snapshot is not None:
+        matches = [
+            vertex_id for vertex_id in snapshot.vertex_ids(VertexType.ENTITY)
+            if snapshot.vertex(vertex_id).get("name") == name
+        ]
+        matches.sort(key=snapshot.order_of)
+        return matches
     matches = [
         record.vertex_id
         for record in graph.store.vertices(VertexType.ENTITY)

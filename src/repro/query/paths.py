@@ -10,6 +10,11 @@ their stored direction get inverse labels ``U^-1``/``G^-1``.
 :class:`Path` stores *steps*: ``(edge_id, forward)`` pairs, so the same edge
 object can appear traversed in either direction, which is exactly what the
 SimProv palindrome paths do.
+
+A path built with ``snapshot=`` resolves endpoints and labels from the
+frozen :class:`repro.store.snapshot.GraphSnapshot` arrays instead of store
+record lookups — the CypherLite evaluator enumerates millions of candidate
+paths, so this matters there.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.model.graph import ProvenanceGraph
+from repro.store.snapshot import GraphSnapshot
 
 
 @dataclass(frozen=True, slots=True)
@@ -41,14 +47,18 @@ class Path:
         start: the first vertex id (``v0``).
         steps: traversal steps; each step must depart from the vertex the
             previous step arrived at.
+        snapshot: optional frozen snapshot; endpoint and label resolution
+            then reads the snapshot arrays instead of the store.
 
     Raises:
         ValueError: if a step does not connect to the current endpoint.
     """
 
     def __init__(self, graph: ProvenanceGraph, start: int,
-                 steps: list[Step] | None = None):
+                 steps: list[Step] | None = None,
+                 snapshot: GraphSnapshot | None = None):
         self._graph = graph
+        self._snapshot = snapshot
         self.start = start
         self.steps: list[Step] = []
         self._vertices = [start]
@@ -57,29 +67,35 @@ class Path:
 
     # ------------------------------------------------------------------
 
+    def _endpoints(self, edge_id: int) -> tuple[int, int]:
+        if self._snapshot is not None:
+            return self._snapshot.edge_endpoints(edge_id)
+        record = self._graph.edge(edge_id)
+        return record.src, record.dst
+
     def append(self, step: Step) -> "Path":
         """Extend the path by one step (validates connectivity)."""
-        record = self._graph.edge(step.edge_id)
+        src, dst = self._endpoints(step.edge_id)
         here = self._vertices[-1]
         if step.forward:
-            if record.src != here:
+            if src != here:
                 raise ValueError(
-                    f"edge {step.edge_id} departs {record.src}, path is at {here}"
+                    f"edge {step.edge_id} departs {src}, path is at {here}"
                 )
-            self._vertices.append(record.dst)
+            self._vertices.append(dst)
         else:
-            if record.dst != here:
+            if dst != here:
                 raise ValueError(
-                    f"inverse edge {step.edge_id} departs {record.dst}, "
+                    f"inverse edge {step.edge_id} departs {dst}, "
                     f"path is at {here}"
                 )
-            self._vertices.append(record.src)
+            self._vertices.append(src)
         self.steps.append(step)
         return self
 
     def extended(self, step: Step) -> "Path":
         """A copy of this path extended by one step."""
-        clone = Path(self._graph, self.start)
+        clone = Path(self._graph, self.start, snapshot=self._snapshot)
         clone.steps = list(self.steps)
         clone._vertices = list(self._vertices)
         return clone.append(step)
@@ -112,10 +128,15 @@ class Path:
     # ------------------------------------------------------------------
 
     def _edge_label(self, step: Step) -> str:
-        record = self._graph.edge(step.edge_id)
-        return record.edge_type.label if step.forward else record.edge_type.inverse_label
+        if self._snapshot is not None:
+            edge_type = self._snapshot.edge_type_of(step.edge_id)
+        else:
+            edge_type = self._graph.edge(step.edge_id).edge_type
+        return edge_type.label if step.forward else edge_type.inverse_label
 
     def _vertex_label(self, vertex_id: int) -> str:
+        if self._snapshot is not None:
+            return self._snapshot.vertex_type(vertex_id).label
         return self._graph.vertex(vertex_id).vertex_type.label
 
     def label(self) -> tuple[str, ...]:
@@ -143,7 +164,7 @@ class Path:
 
     def inverse(self) -> "Path":
         """The inverse path ``π^-1`` (reverse sequence, flipped directions)."""
-        clone = Path(self._graph, self.end)
+        clone = Path(self._graph, self.end, snapshot=self._snapshot)
         for index in range(len(self.steps) - 1, -1, -1):
             step = self.steps[index]
             clone.append(Step(step.edge_id, not step.forward))

@@ -18,7 +18,7 @@ touching the operator plumbing:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.errors import ModelError
 from repro.model.builder import ProvBuilder
@@ -31,6 +31,7 @@ from repro.query.ops import lineage as _lineage
 from repro.segment.boundary import BoundaryCriteria
 from repro.segment.diff import SegmentDiff, diff_segments
 from repro.segment.pgseg import PgSegOperator, PgSegQuery, Segment
+from repro.store.snapshot import GraphSnapshot
 from repro.summarize.aggregation import PropertyAggregation
 from repro.summarize.pgsum import PgSumOperator, PgSumQuery
 from repro.summarize.psg import Psg
@@ -54,7 +55,20 @@ class RecordedRun:
 
 
 class LifecycleSession:
-    """A recording + querying session over one project's provenance."""
+    """A recording + querying session over one project's provenance.
+
+    Read-heavy deployments ask the same introspection questions again and
+    again between appends, so the session keeps an epoch-keyed read layer:
+
+    - :meth:`snapshot` memoizes one :class:`GraphSnapshot` per store epoch
+      and threads it through the PgSeg operator and lineage walks;
+    - :meth:`how_was_it_made`, :meth:`typical_pipeline`,
+      :meth:`who_touched`, and :meth:`depth_of` memoize their results.
+
+    Any mutation (``record``, ``add_artifact``, direct graph edits) bumps
+    the store epoch, which invalidates both caches automatically; repeated
+    calls on an untouched store return the *same* cached objects.
+    """
 
     def __init__(self, project: str = "project",
                  graph: ProvenanceGraph | None = None):
@@ -62,6 +76,9 @@ class LifecycleSession:
         self.builder = ProvBuilder(graph)
         self.runs: list[RecordedRun] = []
         self._operator = PgSegOperator(self.builder.graph)
+        self._snapshot: GraphSnapshot | None = None
+        self._results: dict[Any, Any] = {}
+        self._results_epoch = -1
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -71,6 +88,36 @@ class LifecycleSession:
     def graph(self) -> ProvenanceGraph:
         """The underlying provenance graph."""
         return self.builder.graph
+
+    @property
+    def epoch(self) -> int:
+        """The store's mutation epoch (see :class:`PropertyGraphStore`)."""
+        return self.builder.graph.store.epoch
+
+    # ------------------------------------------------------------------
+    # Epoch-keyed read layer
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> GraphSnapshot:
+        """The memoized read snapshot for the current epoch.
+
+        Recaptured lazily after any mutation; callers may hold the returned
+        object across queries — it stays valid for the epoch it captured.
+        """
+        if self._snapshot is None or self._snapshot.epoch != self.epoch:
+            self._snapshot = GraphSnapshot(self.builder.graph)
+            self._operator.snapshot = self._snapshot
+        return self._snapshot
+
+    def _cached(self, key: tuple, compute: Callable[[], Any]) -> Any:
+        """Memoize ``compute()`` under ``key`` until the next mutation."""
+        epoch = self.epoch
+        if self._results_epoch != epoch:
+            self._results.clear()
+            self._results_epoch = epoch
+        if key not in self._results:
+            self._results[key] = compute()
+        return self._results[key]
 
     def add_artifact(self, name: str, member: str | None = None,
                      **properties: Any) -> int:
@@ -112,7 +159,8 @@ class LifecycleSession:
     # Introspection (retrospective provenance, PgSeg)
     # ------------------------------------------------------------------
 
-    def _snapshot(self, artifact: str, version: int | None = None) -> int:
+    def _snapshot_id(self, artifact: str, version: int | None = None) -> int:
+        """Resolve an artifact name (+ optional version) to its entity id."""
         if version is not None:
             return self.builder.version_of(artifact, version)
         snapshot = self.builder.latest(artifact)
@@ -122,21 +170,43 @@ class LifecycleSession:
 
     def _roots(self) -> list[int]:
         """Initial entities: snapshots with no generating activity."""
-        return [
-            entity for entity in self.graph.entities()
-            if not self.graph.generating_activities(entity)
-        ]
+        def compute() -> list[int]:
+            from repro.model.types import EdgeType, VertexType
+
+            snapshot = self.snapshot()
+            gen_out = snapshot.out_lists(EdgeType.WAS_GENERATED_BY)
+            return [
+                entity for entity in snapshot.vertex_ids(VertexType.ENTITY)
+                if not gen_out[entity]
+            ]
+        return self._cached(("roots",), compute)
 
     def how_was_it_made(self, artifact: str, version: int | None = None,
                         from_artifacts: Iterable[str] = (),
                         boundaries: BoundaryCriteria | None = None,
                         ) -> Segment:
         """PgSeg from source artifacts (default: all initial entities) to
-        one artifact snapshot (default: its latest version)."""
-        dst = self._snapshot(artifact, version)
-        src = [self._snapshot(name) for name in from_artifacts] or self._roots()
-        query = PgSegQuery(src=tuple(src), dst=(dst,), boundaries=boundaries)
-        return self._operator.evaluate(query)
+        one artifact snapshot (default: its latest version).
+
+        Results are memoized per epoch (for the default, boundary-free
+        form): repeated calls on an untouched store return the same
+        :class:`Segment` object.
+        """
+        from_key = tuple(from_artifacts)
+
+        def compute() -> Segment:
+            dst = self._snapshot_id(artifact, version)
+            src = ([self._snapshot_id(name) for name in from_key]
+                   or self._roots())
+            query = PgSegQuery(src=tuple(src), dst=(dst,),
+                               boundaries=boundaries)
+            self.snapshot()                     # arm the operator fast path
+            return self._operator.evaluate(query)
+
+        if boundaries is not None:
+            # Boundary criteria hold arbitrary predicates; don't cache.
+            return compute()
+        return self._cached(("segment", artifact, version, from_key), compute)
 
     def compare_versions(self, artifact: str, old: int, new: int,
                          ) -> SegmentDiff:
@@ -147,18 +217,31 @@ class LifecycleSession:
 
     def who_touched(self, artifact: str,
                     version: int | None = None) -> dict[str, int]:
-        """Blame report: member name -> number of ancestry vertices owned."""
-        snapshot = self._snapshot(artifact, version)
-        report = _blame(self.graph, snapshot)
-        return {
-            self.graph.vertex(agent).get("name", str(agent)): len(owned)
-            for agent, owned in sorted(report.items())
-        }
+        """Blame report: member name -> number of ancestry vertices owned.
+
+        Memoized per epoch.
+        """
+        def compute() -> dict[str, int]:
+            entity = self._snapshot_id(artifact, version)
+            report = _blame(self.graph, entity, snapshot=self.snapshot())
+            return {
+                self.graph.vertex(agent).get("name", str(agent)): len(owned)
+                for agent, owned in sorted(report.items())
+            }
+        # Copy so callers may mutate their report without poisoning the
+        # cache for the rest of the epoch.
+        return dict(self._cached(("blame", artifact, version), compute))
 
     def depth_of(self, artifact: str, version: int | None = None) -> int:
-        """How many activity generations deep the snapshot's history is."""
-        snapshot = self._snapshot(artifact, version)
-        return _lineage(self.graph, snapshot).depth
+        """How many activity generations deep the snapshot's history is.
+
+        Memoized per epoch.
+        """
+        def compute() -> int:
+            entity = self._snapshot_id(artifact, version)
+            return _lineage(self.graph, entity,
+                            snapshot=self.snapshot()).depth
+        return self._cached(("depth", artifact, version), compute)
 
     # ------------------------------------------------------------------
     # Monitoring / overview (prospective provenance, PgSum)
@@ -169,24 +252,29 @@ class LifecycleSession:
                          k: int = 0) -> Psg:
         """Summarize the derivations of an artifact's versions into a Psg.
 
+        Memoized per epoch: the monitoring dashboards the paper motivates
+        re-render the same summary until new runs land.
+
         Args:
             artifact: the artifact whose version history to summarize.
             last: only the most recent ``last`` versions (None = all).
         """
-        versions = self.builder.versions(artifact)
-        if not versions:
-            raise ModelError(f"unknown artifact {artifact!r}")
-        if last is not None:
-            versions = versions[-last:]
-        segments = [
-            self._operator.evaluate(PgSegQuery(
-                src=tuple(self._roots()), dst=(snapshot,),
+        def compute() -> Psg:
+            versions = self.builder.versions(artifact)
+            if not versions:
+                raise ModelError(f"unknown artifact {artifact!r}")
+            scoped = versions if last is None else versions[-last:]
+            self.snapshot()                     # arm the operator fast path
+            segments = [
+                self._operator.evaluate(PgSegQuery(
+                    src=tuple(self._roots()), dst=(snapshot,),
+                ))
+                for snapshot in scoped
+            ]
+            return PgSumOperator(segments).evaluate(PgSumQuery(
+                aggregation=aggregation, k=k,
             ))
-            for snapshot in versions
-        ]
-        return PgSumOperator(segments).evaluate(PgSumQuery(
-            aggregation=aggregation, k=k,
-        ))
+        return self._cached(("psg", artifact, last, aggregation, k), compute)
 
     # ------------------------------------------------------------------
     # Health

@@ -1,9 +1,10 @@
 """Embedded property-graph store (the library's Neo4j stand-in)."""
 
-from repro.store.csr import CsrAdjacency, GraphSnapshot
+from repro.store.csr import CsrAdjacency
 from repro.store.indexes import LabelIndex, PropertyIndex
 from repro.store.persistence import WriteAheadLog, load_store, replay, save_store
 from repro.store.records import EdgeRecord, VertexRecord
+from repro.store.snapshot import GraphSnapshot, snapshot_of
 from repro.store.store import PropertyGraphStore
 from repro.store.transactions import Transaction
 
@@ -11,6 +12,7 @@ __all__ = [
     "CsrAdjacency",
     "EdgeRecord",
     "GraphSnapshot",
+    "snapshot_of",
     "LabelIndex",
     "PropertyGraphStore",
     "PropertyIndex",

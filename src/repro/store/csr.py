@@ -32,31 +32,59 @@ class CsrAdjacency:
     """CSR adjacency for one edge type in one direction.
 
     ``neighbors(v)`` returns a numpy slice (no copy) of neighbor vertex ids.
+    When built via :meth:`from_triples` a parallel ``edge_ids`` array records
+    the store edge id realizing each ``(row, col)`` entry, so read layers can
+    recover edge records without scanning the store adjacency dicts.
     """
 
-    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray,
+                 edge_ids: np.ndarray | None = None):
         self.indptr = indptr
         self.indices = indices
+        self.edge_ids = edge_ids
 
     @classmethod
     def from_pairs(cls, n_vertices: int,
                    pairs: Iterable[tuple[int, int]]) -> "CsrAdjacency":
         """Build from ``(row, col)`` pairs (row = source vertex)."""
-        pair_list = list(pairs)
+        built = cls.from_triples(
+            n_vertices, ((row, col, 0) for row, col in pairs)
+        )
+        built.edge_ids = None           # pairs carry no edge identity
+        return built
+
+    @classmethod
+    def from_triples(cls, n_vertices: int,
+                     triples: Iterable[tuple[int, int, int]],
+                     ) -> "CsrAdjacency":
+        """Build from ``(row, col, edge_id)`` triples, keeping the edge ids."""
+        triple_list = list(triples)
         counts = np.zeros(n_vertices + 1, dtype=np.int64)
-        for row, _col in pair_list:
+        for row, _col, _eid in triple_list:
             counts[row + 1] += 1
         indptr = np.cumsum(counts)
-        indices = np.zeros(len(pair_list), dtype=np.int64)
+        indices = np.zeros(len(triple_list), dtype=np.int64)
+        edge_ids = np.zeros(len(triple_list), dtype=np.int64)
         cursor = indptr[:-1].copy()
-        for row, col in pair_list:
-            indices[cursor[row]] = col
+        for row, col, eid in triple_list:
+            slot = cursor[row]
+            indices[slot] = col
+            edge_ids[slot] = eid
             cursor[row] += 1
-        return cls(indptr, indices)
+        return cls(indptr, indices, edge_ids)
 
     def neighbors(self, vertex_id: int) -> np.ndarray:
         """Neighbor ids of ``vertex_id`` (possibly empty)."""
         return self.indices[self.indptr[vertex_id]:self.indptr[vertex_id + 1]]
+
+    def edge_ids_of(self, vertex_id: int) -> np.ndarray:
+        """Edge ids incident at ``vertex_id``, parallel to :meth:`neighbors`.
+
+        Only available on adjacencies built via :meth:`from_triples`.
+        """
+        if self.edge_ids is None:
+            raise ValueError("adjacency was built without edge ids")
+        return self.edge_ids[self.indptr[vertex_id]:self.indptr[vertex_id + 1]]
 
     def neighbor_lists(self) -> list[list[int]]:
         """Materialize as plain Python lists (fastest for pure-Python loops)."""
@@ -65,6 +93,17 @@ class CsrAdjacency:
         indices = self.indices.tolist()
         for row in range(len(indptr) - 1):
             out.append(indices[indptr[row]:indptr[row + 1]])
+        return out
+
+    def edge_id_lists(self) -> list[list[int]]:
+        """``edge_ids`` materialized as lists parallel to :meth:`neighbor_lists`."""
+        if self.edge_ids is None:
+            raise ValueError("adjacency was built without edge ids")
+        out: list[list[int]] = []
+        indptr = self.indptr
+        edge_ids = self.edge_ids.tolist()
+        for row in range(len(indptr) - 1):
+            out.append(edge_ids[indptr[row]:indptr[row + 1]])
         return out
 
     def degree(self, vertex_id: int) -> int:
@@ -100,13 +139,17 @@ class GraphSnapshot:
         self.forward: dict[EdgeType, CsrAdjacency] = {}
         self.backward: dict[EdgeType, CsrAdjacency] = {}
         for edge_type in wanted:
-            fwd_pairs = []
-            bwd_pairs = []
+            fwd_triples = []
+            bwd_triples = []
             for record in store.edges(edge_type):
-                fwd_pairs.append((record.src, record.dst))
-                bwd_pairs.append((record.dst, record.src))
-            self.forward[edge_type] = CsrAdjacency.from_pairs(self.n, fwd_pairs)
-            self.backward[edge_type] = CsrAdjacency.from_pairs(self.n, bwd_pairs)
+                fwd_triples.append((record.src, record.dst, record.edge_id))
+                bwd_triples.append((record.dst, record.src, record.edge_id))
+            self.forward[edge_type] = CsrAdjacency.from_triples(
+                self.n, fwd_triples
+            )
+            self.backward[edge_type] = CsrAdjacency.from_triples(
+                self.n, bwd_triples
+            )
 
     def is_entity(self, vertex_id: int) -> bool:
         """True if the id refers to a live entity vertex."""

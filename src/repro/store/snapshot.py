@@ -1,0 +1,467 @@
+"""Read-optimized frozen query snapshots of a :class:`PropertyGraphStore`.
+
+The ROADMAP's north-star workload is read-heavy: many analysts asking
+lineage/segmentation/summarization questions over a provenance log that is
+appended to comparatively rarely. Every query walking the live, mutable
+adjacency dicts pays per-query store round-trips and (for the CFL solvers)
+an O(V+E) adjacency rebuild. :class:`GraphSnapshot` freezes the store once
+into immutable CSR arrays (:mod:`repro.store.csr`) plus cheap Python list
+views, and every query facility in the repo accepts it via a ``snapshot=``
+parameter:
+
+- :mod:`repro.query.ops` lineage/impact/blame walks,
+- the PgSeg induction rules (:mod:`repro.segment.induce`,
+  :class:`repro.segment.pgseg.PgSegOperator`),
+- the SimProv CFL solvers (which reuse one cached
+  :class:`repro.cfl.adjacency.ProvAdjacency` across queries),
+- the CypherLite evaluator's scans and expansions.
+
+Freshness is tracked with the store's **epoch** counter: the snapshot
+records ``store.epoch`` at capture time, and :attr:`GraphSnapshot.is_fresh`
+is False as soon as any mutation lands. Stale snapshots still answer
+queries — they describe the graph as of their epoch — but epoch-aware
+caches (:class:`repro.session.LifecycleSession`) recapture automatically.
+
+Vertex and edge *property* reads go through the captured record references,
+which are shared with the store; a property update therefore shows through a
+stale snapshot (and bumps the epoch, flagging the staleness). Structure
+(vertex/edge existence, adjacency, ordinals) is fully frozen.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.errors import EdgeNotFound, VertexNotFound
+from repro.model.types import EdgeType, VertexType
+from repro.store.csr import VERTEX_TYPE_CODES, GraphSnapshot as _CsrSnapshot
+from repro.store.records import EdgeRecord, VertexRecord
+from repro.store.store import PropertyGraphStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.cfl.adjacency import ProvAdjacency
+
+#: Inverse of :data:`repro.store.csr.VERTEX_TYPE_CODES`.
+CODE_TO_VERTEX_TYPE: dict[int, VertexType] = {
+    code: vt for vt, code in VERTEX_TYPE_CODES.items()
+}
+
+VertexPredicate = Callable[[VertexRecord], bool]
+EdgePredicate = Callable[[EdgeRecord], bool]
+
+
+class GraphSnapshot(_CsrSnapshot):
+    """Immutable, read-optimized view of a store at one epoch.
+
+    Extends the CSR kernel snapshot of :mod:`repro.store.csr` with
+
+    - the capture **epoch** (:attr:`epoch`, :attr:`is_fresh`);
+    - O(1) vertex/edge **record** access mirroring the store API
+      (:meth:`vertex`, :meth:`edge`, :meth:`vertex_type`, :meth:`order_of`);
+    - **label scans** in creation-ordinal order (:meth:`vertex_ids`,
+      :meth:`count_vertices`), which the SimProv early-stop rule and the
+      CypherLite planner rely on;
+    - per-edge-type **edge-id adjacency** (:meth:`out_edges`,
+      :meth:`in_edges`) and lazily materialized Python list views
+      (:meth:`out_lists`, :meth:`in_lists`, ...) for tight pure-Python
+      loops;
+    - a cached, reusable :class:`~repro.cfl.adjacency.ProvAdjacency`
+      (:meth:`prov_adjacency`) so repeated CFL queries skip the per-query
+      O(V+E) rebuild — the main source of the snapshot speedup.
+
+    Args:
+        source: a :class:`PropertyGraphStore` or anything exposing a
+            ``.store`` attribute (e.g. a
+            :class:`repro.model.graph.ProvenanceGraph`).
+        edge_types: restrict materialization to these edge types (all five
+            by default; restricted snapshots answer only matching queries).
+    """
+
+    def __init__(self, source, edge_types: Sequence[EdgeType] | None = None):
+        store: PropertyGraphStore = getattr(source, "store", source)
+        super().__init__(store, edge_types)
+        self.store = store
+        self.epoch = store.epoch
+
+        self._vertex_records: list[VertexRecord | None] = [None] * self.n
+        self._ids_by_type: dict[VertexType, list[int]] = {
+            vt: [] for vt in VertexType
+        }
+        for record in store.vertices():
+            self._vertex_records[record.vertex_id] = record
+            self._ids_by_type[record.vertex_type].append(record.vertex_id)
+        # Store ids are handed out in creation order, so sorting by id gives
+        # creation-ordinal order — what the early-stop rule needs.
+        for ids in self._ids_by_type.values():
+            ids.sort()
+        self._live_vertex_count = sum(
+            len(ids) for ids in self._ids_by_type.values()
+        )
+
+        m = store.edge_capacity
+        self.edge_src = np.full(m, -1, dtype=np.int64)
+        self.edge_dst = np.full(m, -1, dtype=np.int64)
+        self._edge_records: list[EdgeRecord | None] = [None] * m
+        self._edge_types: list[EdgeType | None] = [None] * m
+        wanted = set(self.forward)
+        for record in store.edges():
+            if record.edge_type not in wanted:
+                continue
+            self._edge_records[record.edge_id] = record
+            self._edge_types[record.edge_id] = record.edge_type
+            self.edge_src[record.edge_id] = record.src
+            self.edge_dst[record.edge_id] = record.dst
+
+        # All-type incident edge lists, captured in the store's own
+        # iteration order (per-vertex bucket order, not edge-type enum
+        # order) so untyped traversals enumerate identically to the live
+        # path.
+        live_edge = self._edge_records
+        self._out_all: list[list[int]] = [[] for _ in range(self.n)]
+        self._in_all: list[list[int]] = [[] for _ in range(self.n)]
+        for record in store.vertices():
+            vertex_id = record.vertex_id
+            self._out_all[vertex_id] = [
+                edge_id for edge_id in store.out_edge_ids(vertex_id)
+                if live_edge[edge_id] is not None
+            ]
+            self._in_all[vertex_id] = [
+                edge_id for edge_id in store.in_edge_ids(vertex_id)
+                if live_edge[edge_id] is not None
+            ]
+        self._all_vertex_ids: list[int] | None = None
+
+        # Lazily materialized list views, keyed by edge type.
+        self._out_lists: dict[EdgeType, list[list[int]]] = {}
+        self._in_lists: dict[EdgeType, list[list[int]]] = {}
+        self._out_edge_lists: dict[EdgeType, list[list[int]]] = {}
+        self._in_edge_lists: dict[EdgeType, list[list[int]]] = {}
+        self._prov_adjacency: "ProvAdjacency | None" = None
+
+    # ------------------------------------------------------------------
+    # Freshness
+    # ------------------------------------------------------------------
+
+    @property
+    def is_fresh(self) -> bool:
+        """True while the store has not mutated since capture."""
+        return self.store.epoch == self.epoch
+
+    # ------------------------------------------------------------------
+    # Record access (mirrors the store API)
+    # ------------------------------------------------------------------
+
+    def __contains__(self, vertex_id: int) -> bool:
+        return (
+            0 <= vertex_id < self.n
+            and self._vertex_records[vertex_id] is not None
+        )
+
+    def has_edge_id(self, edge_id: int) -> bool:
+        """True if ``edge_id`` was live (and materialized) at capture."""
+        return (
+            0 <= edge_id < len(self._edge_records)
+            and self._edge_records[edge_id] is not None
+        )
+
+    def vertex(self, vertex_id: int) -> VertexRecord:
+        """Captured vertex record (O(1))."""
+        if 0 <= vertex_id < self.n:
+            record = self._vertex_records[vertex_id]
+            if record is not None:
+                return record
+        raise VertexNotFound(vertex_id)
+
+    def edge(self, edge_id: int) -> EdgeRecord:
+        """Captured edge record (O(1))."""
+        if 0 <= edge_id < len(self._edge_records):
+            record = self._edge_records[edge_id]
+            if record is not None:
+                return record
+        raise EdgeNotFound(edge_id)
+
+    def vertex_type(self, vertex_id: int) -> VertexType:
+        """PROV type of a captured vertex."""
+        return self.vertex(vertex_id).vertex_type
+
+    def order_of(self, vertex_id: int) -> int:
+        """Creation ordinal of a captured vertex."""
+        return self.vertex(vertex_id).order
+
+    # The CSR base class implements is_entity/is_activity as silent numpy
+    # code checks for kernel loops. Query-facing callers need the store's
+    # contract instead — raise VertexNotFound on dead/unknown ids — so the
+    # rich snapshot overrides them with record-backed versions (the kernels
+    # read vertex_codes directly and are unaffected).
+
+    def is_entity(self, vertex_id: int) -> bool:
+        """True if ``vertex_id`` is an entity; raises on dead/unknown ids."""
+        return self.vertex(vertex_id).vertex_type is VertexType.ENTITY
+
+    def is_activity(self, vertex_id: int) -> bool:
+        """True if ``vertex_id`` is an activity; raises on dead/unknown ids."""
+        return self.vertex(vertex_id).vertex_type is VertexType.ACTIVITY
+
+    def is_agent(self, vertex_id: int) -> bool:
+        """True if ``vertex_id`` is an agent; raises on dead/unknown ids."""
+        return self.vertex(vertex_id).vertex_type is VertexType.AGENT
+
+    # ------------------------------------------------------------------
+    # Label scans
+    # ------------------------------------------------------------------
+
+    @property
+    def vertex_count(self) -> int:
+        """Number of live vertices at capture."""
+        return self._live_vertex_count
+
+    def vertex_ids(self, vertex_type: VertexType | None = None) -> list[int]:
+        """Live vertex ids in creation order, optionally by type."""
+        if vertex_type is not None:
+            return self._ids_by_type[vertex_type]
+        if self._all_vertex_ids is None:
+            merged: list[int] = []
+            for ids in self._ids_by_type.values():
+                merged.extend(ids)
+            merged.sort()
+            self._all_vertex_ids = merged
+        return self._all_vertex_ids
+
+    def count_vertices(self, vertex_type: VertexType) -> int:
+        """Number of live vertices of one type at capture (O(1))."""
+        return len(self._ids_by_type[vertex_type])
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+
+    def out_lists(self, edge_type: EdgeType) -> list[list[int]]:
+        """Out-neighbor vertex ids per vertex (cached list view)."""
+        lists = self._out_lists.get(edge_type)
+        if lists is None:
+            lists = self.forward[edge_type].neighbor_lists()
+            self._out_lists[edge_type] = lists
+        return lists
+
+    def in_lists(self, edge_type: EdgeType) -> list[list[int]]:
+        """In-neighbor vertex ids per vertex (cached list view)."""
+        lists = self._in_lists.get(edge_type)
+        if lists is None:
+            lists = self.backward[edge_type].neighbor_lists()
+            self._in_lists[edge_type] = lists
+        return lists
+
+    def out_edge_lists(self, edge_type: EdgeType) -> list[list[int]]:
+        """Outgoing edge ids per vertex, parallel to :meth:`out_lists`."""
+        lists = self._out_edge_lists.get(edge_type)
+        if lists is None:
+            lists = self.forward[edge_type].edge_id_lists()
+            self._out_edge_lists[edge_type] = lists
+        return lists
+
+    def in_edge_lists(self, edge_type: EdgeType) -> list[list[int]]:
+        """Incoming edge ids per vertex, parallel to :meth:`in_lists`."""
+        lists = self._in_edge_lists.get(edge_type)
+        if lists is None:
+            lists = self.backward[edge_type].edge_id_lists()
+            self._in_edge_lists[edge_type] = lists
+        return lists
+
+    def out_edges(self, vertex_id: int,
+                  edge_type: EdgeType | None = None) -> list[int]:
+        """Outgoing edge ids, optionally restricted by type.
+
+        The untyped form enumerates in the live store's order.
+        """
+        if edge_type is not None:
+            return self.out_edge_lists(edge_type)[vertex_id]
+        return self._out_all[vertex_id]
+
+    def in_edges(self, vertex_id: int,
+                 edge_type: EdgeType | None = None) -> list[int]:
+        """Incoming edge ids, optionally restricted by type.
+
+        The untyped form enumerates in the live store's order.
+        """
+        if edge_type is not None:
+            return self.in_edge_lists(edge_type)[vertex_id]
+        return self._in_all[vertex_id]
+
+    def out_neighbors(self, vertex_id: int,
+                      edge_type: EdgeType | None = None) -> list[int]:
+        """Target vertex ids of outgoing edges (live-store order)."""
+        if edge_type is not None:
+            return self.out_lists(edge_type)[vertex_id]
+        edge_dst = self.edge_dst
+        return [int(edge_dst[e]) for e in self._out_all[vertex_id]]
+
+    def in_neighbors(self, vertex_id: int,
+                     edge_type: EdgeType | None = None) -> list[int]:
+        """Source vertex ids of incoming edges (live-store order)."""
+        if edge_type is not None:
+            return self.in_lists(edge_type)[vertex_id]
+        edge_src = self.edge_src
+        return [int(edge_src[e]) for e in self._in_all[vertex_id]]
+
+    def edge_endpoints(self, edge_id: int) -> tuple[int, int]:
+        """``(src, dst)`` of a captured edge without touching the store."""
+        if not self.has_edge_id(edge_id):
+            raise EdgeNotFound(edge_id)
+        return int(self.edge_src[edge_id]), int(self.edge_dst[edge_id])
+
+    def edge_type_of(self, edge_id: int) -> EdgeType:
+        """Edge type of a captured edge."""
+        if not self.has_edge_id(edge_id):
+            raise EdgeNotFound(edge_id)
+        return self._edge_types[edge_id]  # type: ignore[return-value]
+
+    def agents_of(self, vertex_id: int) -> list[int]:
+        """Responsible agents of a vertex (via S or A edges)."""
+        code = self.vertex_codes[vertex_id]
+        if code == VERTEX_TYPE_CODES[VertexType.ACTIVITY]:
+            return self.out_lists(EdgeType.WAS_ASSOCIATED_WITH)[vertex_id]
+        if code == VERTEX_TYPE_CODES[VertexType.ENTITY]:
+            return self.out_lists(EdgeType.WAS_ATTRIBUTED_TO)[vertex_id]
+        return []
+
+    # ------------------------------------------------------------------
+    # Subgraphs
+    # ------------------------------------------------------------------
+
+    def induced_edge_ids(self, vertex_ids: Iterable[int]) -> list[int]:
+        """Edge ids with both endpoints inside ``vertex_ids`` (sorted).
+
+        The snapshot analog of
+        :meth:`repro.model.graph.ProvenanceGraph.induced_edge_ids`.
+        """
+        members = set(vertex_ids)
+        result: list[int] = []
+        for edge_type in self.forward:
+            neighbor_rows = self.out_lists(edge_type)
+            edge_rows = self.out_edge_lists(edge_type)
+            for vertex_id in members:
+                neighbors = neighbor_rows[vertex_id]
+                if not neighbors:
+                    continue
+                edge_ids = edge_rows[vertex_id]
+                for position, dst in enumerate(neighbors):
+                    if dst in members:
+                        result.append(edge_ids[position])
+        result.sort()
+        return result
+
+    # ------------------------------------------------------------------
+    # CFL solver adjacency
+    # ------------------------------------------------------------------
+
+    def prov_adjacency(self, vertex_ok: VertexPredicate | None = None,
+                       edge_ok: EdgePredicate | None = None,
+                       ) -> "ProvAdjacency":
+        """A :class:`ProvAdjacency` over this snapshot's ancestry edges.
+
+        The unfiltered adjacency (no predicates) is built once and cached —
+        this is what makes repeated SimProv queries over one snapshot fast.
+        Filtered adjacencies are built on demand from the captured records
+        (predicates inspect properties, which cannot be pre-indexed).
+        """
+        from repro.cfl.adjacency import ProvAdjacency
+
+        if vertex_ok is None and edge_ok is None:
+            if self._prov_adjacency is None:
+                self._prov_adjacency = self._build_prov_adjacency(None, None)
+            return self._prov_adjacency
+        return self._build_prov_adjacency(vertex_ok, edge_ok)
+
+    def _build_prov_adjacency(self, vertex_ok: VertexPredicate | None,
+                              edge_ok: EdgePredicate | None,
+                              ) -> "ProvAdjacency":
+        from repro.cfl.adjacency import ProvAdjacency
+
+        n = self.n
+        if vertex_ok is None and edge_ok is None:
+            # Fast path: slice the already-frozen CSR arrays.
+            gen_acts = self.out_lists(EdgeType.WAS_GENERATED_BY)
+            gen_ents = self.in_lists(EdgeType.WAS_GENERATED_BY)
+            used_ents = self.out_lists(EdgeType.USED)
+            user_acts = self.in_lists(EdgeType.USED)
+            return ProvAdjacency(
+                n=n,
+                gen_acts=gen_acts,
+                user_acts=user_acts,
+                used_ents=used_ents,
+                gen_ents=gen_ents,
+                orders=self.orders.tolist(),
+                entity_ids=list(self._ids_by_type[VertexType.ENTITY]),
+                activity_ids=list(self._ids_by_type[VertexType.ACTIVITY]),
+                edge_total_g=self.edge_count(EdgeType.WAS_GENERATED_BY),
+                edge_total_u=self.edge_count(EdgeType.USED),
+            )
+
+        gen_acts: list[list[int]] = [[] for _ in range(n)]
+        user_acts: list[list[int]] = [[] for _ in range(n)]
+        used_ents: list[list[int]] = [[] for _ in range(n)]
+        gen_ents: list[list[int]] = [[] for _ in range(n)]
+        orders = [-1] * n
+        entity_ids: list[int] = []
+        activity_ids: list[int] = []
+        allowed = [False] * n
+        for vertex_id in self.vertex_ids():
+            record = self._vertex_records[vertex_id]
+            if vertex_ok is not None and not vertex_ok(record):
+                continue
+            allowed[vertex_id] = True
+            orders[vertex_id] = record.order
+            if record.vertex_type is VertexType.ENTITY:
+                entity_ids.append(vertex_id)
+            elif record.vertex_type is VertexType.ACTIVITY:
+                activity_ids.append(vertex_id)
+
+        edge_total_g = 0
+        edge_total_u = 0
+        for edge_type in (EdgeType.WAS_GENERATED_BY, EdgeType.USED):
+            rows = self.out_edge_lists(edge_type)
+            for src in range(n):
+                for edge_id in rows[src]:
+                    record = self._edge_records[edge_id]
+                    if not (allowed[record.src] and allowed[record.dst]):
+                        continue
+                    if edge_ok is not None and not edge_ok(record):
+                        continue
+                    if edge_type is EdgeType.WAS_GENERATED_BY:
+                        gen_acts[record.src].append(record.dst)
+                        gen_ents[record.dst].append(record.src)
+                        edge_total_g += 1
+                    else:
+                        used_ents[record.src].append(record.dst)
+                        user_acts[record.dst].append(record.src)
+                        edge_total_u += 1
+
+        return ProvAdjacency(
+            n=n,
+            gen_acts=gen_acts,
+            user_acts=user_acts,
+            used_ents=used_ents,
+            gen_ents=gen_ents,
+            orders=orders,
+            entity_ids=entity_ids,
+            activity_ids=activity_ids,
+            edge_total_g=edge_total_g,
+            edge_total_u=edge_total_u,
+        )
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stale = "" if self.is_fresh else ", STALE"
+        return (
+            f"GraphSnapshot(vertices={self.vertex_count}, "
+            f"epoch={self.epoch}{stale})"
+        )
+
+
+def snapshot_of(source) -> GraphSnapshot:
+    """Capture a full snapshot of a store or provenance graph."""
+    return GraphSnapshot(source)

@@ -16,6 +16,13 @@ by the early-stopping rule of the SimProv solvers.
 The store is append-mostly, like a provenance log: vertices and edges can be
 added and their properties updated; deletion is supported for completeness
 (tombstones) but no id is ever reused.
+
+Every mutation bumps a monotone **epoch** counter (exactly once per mutating
+method call, including :meth:`PropertyGraphStore.remove_vertex`, which
+tombstones incident edges as part of the same logical mutation). Read-side
+caches — :class:`repro.store.snapshot.GraphSnapshot`, the
+:class:`repro.session.LifecycleSession` result caches — record the epoch they
+were built at and treat any later epoch as an invalidation signal.
 """
 
 from __future__ import annotations
@@ -50,10 +57,20 @@ class PropertyGraphStore:
         self._next_order = 0
         self._live_vertex_count = 0
         self._live_edge_count = 0
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Monotone mutation counter; bumps exactly once per mutating call.
+
+        Building a property index is not a mutation (it changes no query
+        answer), so :meth:`create_property_index` does not bump the epoch.
+        """
+        return self._epoch
 
     @property
     def vertex_count(self) -> int:
@@ -114,6 +131,7 @@ class PropertyGraphStore:
         for (vt, key), index in self._property_indexes.items():
             if vt is vertex_type and key in record.properties:
                 index.add(record.properties[key], vertex_id)
+        self._epoch += 1
         return vertex_id
 
     def add_edge(self, edge_type: EdgeType, src: int, dst: int,
@@ -147,6 +165,7 @@ class PropertyGraphStore:
         self._in[dst].setdefault(edge_type, []).append(edge_id)
         self._label_index.add_edge(edge_id, edge_type)
         self._live_edge_count += 1
+        self._epoch += 1
         return edge_id
 
     def remove_edge(self, edge_id: int) -> None:
@@ -157,10 +176,12 @@ class PropertyGraphStore:
         self._label_index.remove_edge(edge_id, record.edge_type)
         self._edges[edge_id] = None
         self._live_edge_count -= 1
+        self._epoch += 1
 
     def remove_vertex(self, vertex_id: int) -> None:
-        """Tombstone a vertex and all incident edges."""
+        """Tombstone a vertex and all incident edges (one epoch bump)."""
         record = self.vertex(vertex_id)
+        epoch_before = self._epoch
         for edge_id in list(self.incident_edge_ids(vertex_id)):
             self.remove_edge(edge_id)
         self._label_index.remove_vertex(vertex_id, record.vertex_type)
@@ -169,6 +190,7 @@ class PropertyGraphStore:
                 index.discard(record.properties[key], vertex_id)
         self._vertices[vertex_id] = None
         self._live_vertex_count -= 1
+        self._epoch = epoch_before + 1
 
     def set_vertex_property(self, vertex_id: int, key: str, value: Any) -> None:
         """Set one vertex property, keeping any property index in sync."""
@@ -179,10 +201,12 @@ class PropertyGraphStore:
         record.properties[key] = value
         if index is not None:
             index.add(value, vertex_id)
+        self._epoch += 1
 
     def set_edge_property(self, edge_id: int, key: str, value: Any) -> None:
         """Set one edge property."""
         self.edge(edge_id).properties[key] = value
+        self._epoch += 1
 
     # ------------------------------------------------------------------
     # O(1) record access

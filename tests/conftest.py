@@ -1,11 +1,24 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The paper's Fig. 2/3 running example and the random lifecycle graphs are
+built here once, not inline in test modules: `paper` / `paper_copy` for the
+worked example, `team_medium` for a medium random team lifecycle, and
+`pd_small` / `pd_medium` for generated Pd graphs. Session-scoped fixtures
+are read-only by contract — tests that mutate must use the function-scoped
+ones (or build their own copy).
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.model.graph import ProvenanceGraph
-from repro.workloads.lifecycle import PaperExample, build_paper_example
+from repro.workloads.lifecycle import (
+    PaperExample,
+    TeamProject,
+    build_paper_example,
+    generate_team_project,
+)
 from repro.workloads.pd_generator import PdInstance, generate_pd_sized
 
 
@@ -13,6 +26,21 @@ from repro.workloads.pd_generator import PdInstance, generate_pd_sized
 def paper() -> PaperExample:
     """The Fig. 2 running example (fresh copy per test)."""
     return build_paper_example()
+
+
+@pytest.fixture()
+def paper_copy() -> PaperExample:
+    """A second, independent Fig. 2 build (for cross-graph comparisons)."""
+    return build_paper_example()
+
+
+@pytest.fixture(scope="session")
+def team_medium() -> TeamProject:
+    """A medium random team lifecycle (3 members x 10 iterations).
+
+    Shared across the suite; treat as read-only.
+    """
+    return generate_team_project(members=3, iterations=10, seed=21)
 
 
 @pytest.fixture(scope="session")

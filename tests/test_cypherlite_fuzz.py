@@ -1,0 +1,172 @@
+"""Seed-controlled fuzzing of the CypherLite lexer and parser.
+
+Two generators:
+
+- **well-formed** queries assembled from the grammar's building blocks must
+  tokenize and parse without error;
+- **malformed** inputs (random character soup, and well-formed queries
+  damaged by deletion/transposition/injection) must raise the repo's typed
+  :class:`repro.errors.CypherSyntaxError` — never ``IndexError``,
+  ``AttributeError``, or any other untyped crash.
+
+Every case is derived from a seeded ``random.Random``, so failures
+reproduce exactly.
+"""
+
+import random
+import string
+
+import pytest
+
+from repro.errors import CypherSyntaxError, ReproError
+from repro.query.cypherlite.lexer import tokenize
+from repro.query.cypherlite.parser import parse
+
+LABELS = ("Entity", "Activity", "Agent")
+REL_TYPES = ("used", "wasGeneratedBy", "wasAssociatedWith",
+             "wasAttributedTo", "wasDerivedFrom")
+GARBAGE_ALPHABET = (string.ascii_letters + string.digits
+                    + " ()[]<>-:,|*='\".$#\n\t{}@!?;/\\")
+
+
+def _identifier(rng: random.Random) -> str:
+    return rng.choice("abcdefgh") + str(rng.randint(0, 9))
+
+
+def _node(rng: random.Random) -> str:
+    var = _identifier(rng)
+    if rng.random() < 0.5:
+        return f"({var}:{rng.choice(LABELS)})"
+    return f"({var})"
+
+
+def _rel(rng: random.Random) -> str:
+    body = ""
+    if rng.random() < 0.7:
+        types = "|".join(
+            f":{t}" if index == 0 else t
+            for index, t in enumerate(
+                rng.sample(REL_TYPES, k=rng.randint(1, 2))
+            )
+        )
+        body = types
+    if rng.random() < 0.4:
+        low = rng.randint(1, 2)
+        body += f"*{low}..{low + rng.randint(0, 2)}"
+    bracket = f"[{body}]" if body else ""
+    if rng.random() < 0.5:
+        return f"-{bracket}->"
+    return f"<-{bracket}-"
+
+
+def _where(rng: random.Random, var: str) -> str:
+    clauses = []
+    if rng.random() < 0.6:
+        ids = ", ".join(str(rng.randint(0, 30))
+                        for _ in range(rng.randint(1, 3)))
+        clauses.append(f"id({var}) IN [{ids}]")
+    if rng.random() < 0.4:
+        clauses.append(f"{var}.name = 'artifact{rng.randint(0, 5)}'")
+    return f" WHERE {' AND '.join(clauses)}" if clauses else ""
+
+
+def make_well_formed(rng: random.Random) -> str:
+    """One random query drawn from the supported MATCH fragment."""
+    parts = [_node(rng)]
+    for _ in range(rng.randint(1, 3)):
+        parts.append(_rel(rng))
+        parts.append(_node(rng))
+    pattern = "".join(parts)
+    path_var = ""
+    if rng.random() < 0.4:
+        path_var = f"{_identifier(rng)} = "
+    first_var = pattern[1:].split(":")[0].split(")")[0]
+    returns = rng.choice((
+        f"id({first_var})",
+        first_var,
+        f"{first_var}.name",
+        "*" if False else first_var,       # '*' unsupported; keep var
+    ))
+    limit = f" LIMIT {rng.randint(1, 9)}" if rng.random() < 0.3 else ""
+    return (f"MATCH {path_var}{pattern}"
+            f"{_where(rng, first_var)} RETURN {returns}{limit}")
+
+
+def damage(rng: random.Random, text: str) -> str:
+    """Break a well-formed query via deletion/transposition/injection."""
+    mode = rng.randrange(4)
+    if not text:
+        return "("
+    position = rng.randrange(len(text))
+    if mode == 0:                           # delete a span
+        end = min(len(text), position + rng.randint(1, 4))
+        return text[:position] + text[end:]
+    if mode == 1:                           # inject a hostile character
+        return (text[:position] + rng.choice("()[]<>-:|*=',.$")
+                + text[position:])
+    if mode == 2:                           # duplicate a span
+        end = min(len(text), position + rng.randint(1, 5))
+        return text[:position] + text[position:end] + text[position:]
+    return text[position:] + text[:position]   # rotate
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_well_formed_queries_parse(seed):
+    rng = random.Random(seed)
+    for _ in range(150):
+        text = make_well_formed(rng)
+        tokens = tokenize(text)
+        assert tokens[-1].type.name == "EOF"
+        query = parse(text)
+        assert query.return_items
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_damaged_queries_raise_only_typed_errors(seed):
+    rng = random.Random(seed)
+    for _ in range(250):
+        text = damage(rng, make_well_formed(rng))
+        try:
+            parse(text)
+        except CypherSyntaxError:
+            pass                            # the documented failure mode
+        except ReproError as exc:           # pragma: no cover - unexpected
+            pytest.fail(f"non-syntax ReproError {exc!r} for {text!r}")
+        # Any other exception type (IndexError, AttributeError, ...)
+        # propagates and fails the test with the offending input visible.
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_random_garbage_raises_only_typed_errors(seed):
+    rng = random.Random(seed)
+    for _ in range(400):
+        text = "".join(
+            rng.choice(GARBAGE_ALPHABET)
+            for _ in range(rng.randint(1, 80))
+        )
+        try:
+            parse(text)
+        except CypherSyntaxError:
+            pass
+        except ReproError as exc:           # pragma: no cover - unexpected
+            pytest.fail(f"non-syntax ReproError {exc!r} for {text!r}")
+
+
+@pytest.mark.parametrize("text", [
+    "", "MATCH", "MATCH (", "MATCH (a RETURN a", "RETURN a",
+    "MATCH (a)-[:used]->(b)", "MATCH (a) WHERE RETURN a",
+    "MATCH (a) RETURN", "MATCH (a:)", "MATCH (a)-[*..]->(b) RETURN a",
+    "MATCH (a)--(b) RETURN <", "MATCH (a) RETURN a LIMIT x",
+    "MATCH (a) WHERE id(a IN [1] RETURN a",
+    "MATCH p = (a)-[:used*1..'x']->(b) RETURN p",
+])
+def test_known_malformed_corpus(text):
+    """A fixed regression corpus of malformed shapes found by the fuzzer."""
+    with pytest.raises(CypherSyntaxError):
+        parse(text)
+
+
+def test_lexer_reports_positions():
+    with pytest.raises(CypherSyntaxError) as excinfo:
+        tokenize("MATCH (a) WHERE a.name = 'unterminated")
+    assert excinfo.value.position is not None

