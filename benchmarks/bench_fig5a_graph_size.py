@@ -10,7 +10,6 @@ Paper claims reproduced here:
 - SimProvTst overtakes SimProvAlg as graphs grow.
 """
 
-import pytest
 
 from conftest import pd_cached, print_experiment
 from repro.bench.experiments import fig5a, large_benches_enabled

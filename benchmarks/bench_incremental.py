@@ -1,0 +1,172 @@
+"""Incremental (delta-based) snapshot recapture vs full O(V+E) rebuild.
+
+The lifecycle workload the paper targets appends a handful of provenance
+records, then fires many segmentation/lineage queries before the next
+append. PR 1's read layer paid a full ``GraphSnapshot`` rebuild on every
+epoch bump; ``GraphSnapshot.advance`` replays the store's delta log
+instead. This benchmark measures the **append-then-query cycle** on a
+12k-vertex Pd lifecycle graph: each cycle appends one recorded run
+(a single-digit number of mutations), recaptures the read snapshot both
+ways, and runs a lineage + blame query through each.
+
+Plain script so CI can smoke it cheaply::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py --quick
+    PYTHONPATH=src python benchmarks/bench_incremental.py          # full
+    PYTHONPATH=src python benchmarks/bench_incremental.py --json out.json
+
+Exits non-zero when incremental recapture is not at least ``FLOOR`` times
+faster than the full rebuild (``--no-assert`` disables, e.g. on noisy
+shared machines). ``--json`` writes a machine-readable result record; the
+CI bench job uploads it as an artifact and fails on a regressed ratio.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+
+from repro.query.ops import blame, lineage
+from repro.store.snapshot import GraphSnapshot
+from repro.workloads.pd_generator import generate_pd_sized
+
+#: Asserted recapture speedup floors (incremental vs full rebuild).
+FLOORS = {"full": 5.0, "quick": 5.0}
+
+
+def append_run(graph, rng: random.Random, entities: list[int],
+               index: int) -> int:
+    """Append one recorded run: 5-6 mutations, the paper's workload grain."""
+    activity = graph.add_activity(command=f"bench-run{index}")
+    for entity in rng.sample(entities, k=2):
+        graph.used(activity, entity)
+    output = graph.add_entity(name=f"bench-out{index}")
+    graph.was_generated_by(output, activity)
+    if rng.random() < 0.5:
+        graph.was_derived_from(output, rng.choice(entities))
+    return output
+
+
+def bench_cycles(instance, cycles: int, seed: int = 17) -> dict:
+    """Run append-then-query cycles, recapturing both ways each epoch.
+
+    The full path rebuilds a fresh snapshot (and re-arms the CFL adjacency)
+    after every append; the incremental path carries one snapshot chain
+    forward with ``advance()``. Both serve the same lineage/blame queries
+    and their answers are cross-checked every cycle.
+    """
+    graph = instance.graph
+    store = graph.store
+    rng = random.Random(seed)
+    entities = list(instance.entities)
+
+    incremental = GraphSnapshot(graph)
+    incremental.prov_adjacency()            # armed, as after a query burst
+    full_s = inc_s = query_full_s = query_inc_s = 0.0
+    patched_cycles = 0
+
+    for index in range(cycles):
+        target = append_run(graph, rng, entities, index)
+
+        t0 = time.perf_counter()
+        full = GraphSnapshot(graph)
+        full.prov_adjacency()
+        full_s += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        incremental = incremental.advance(store)
+        incremental.prov_adjacency()
+        inc_s += time.perf_counter() - t0
+        if incremental.advanced_from is not None:
+            patched_cycles += 1
+
+        t0 = time.perf_counter()
+        full_answer = (
+            len(lineage(graph, target, snapshot=full).vertices),
+            len(blame(graph, target, snapshot=full)),
+        )
+        query_full_s += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        inc_answer = (
+            len(lineage(graph, target, snapshot=incremental).vertices),
+            len(blame(graph, target, snapshot=incremental)),
+        )
+        query_inc_s += time.perf_counter() - t0
+
+        if full_answer != inc_answer:
+            raise AssertionError(
+                f"incremental snapshot diverged at cycle {index}: "
+                f"{inc_answer} != {full_answer}"
+            )
+
+    return {
+        "cycles": cycles,
+        "patched_cycles": patched_cycles,
+        "full_rebuild_s": full_s,
+        "incremental_s": inc_s,
+        "recapture_speedup": full_s / inc_s if inc_s else float("inf"),
+        "query_full_s": query_full_s,
+        "query_incremental_s": query_inc_s,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer cycles (CI smoke); same 12k-vertex graph")
+    parser.add_argument("--no-assert", action="store_true",
+                        help="report only; never fail on the speedup floor")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write a machine-readable result record")
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    n_vertices = 12000
+    cycles = 10 if args.quick else 40
+    floor = FLOORS[mode]
+
+    print(f"generating Pd lifecycle graph (n={n_vertices}) ...")
+    instance = generate_pd_sized(n_vertices, seed=7)
+    print(f"  {instance.graph!r}")
+
+    result = bench_cycles(instance, cycles)
+    speedup = result["recapture_speedup"]
+    print(f"recapture x{cycles:<4d} full {result['full_rebuild_s']:8.3f}s   "
+          f"incremental {result['incremental_s']:8.3f}s   "
+          f"speedup {speedup:6.2f}x  "
+          f"(patched {result['patched_cycles']}/{cycles} cycles)")
+    print(f"queries   x{cycles:<4d} full {result['query_full_s']:8.3f}s   "
+          f"incremental {result['query_incremental_s']:8.3f}s")
+
+    passed = speedup >= floor and result["patched_cycles"] == cycles
+    record = {
+        "benchmark": "bench_incremental",
+        "mode": mode,
+        "n_vertices": n_vertices,
+        "floor": floor,
+        "pass": passed,
+        **result,
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    if not args.no_assert and not passed:
+        print(
+            f"FAIL: incremental recapture speedup {speedup:.2f}x below "
+            f"floor {floor}x (patched {result['patched_cycles']}/{cycles})",
+            file=sys.stderr,
+        )
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,7 +6,6 @@ record what the embedded store sustains: raw vertex/edge appends,
 transactional batches, snapshot save/load, and CSR snapshot construction.
 """
 
-import pytest
 
 from conftest import pd_cached
 from repro.model.types import EdgeType, VertexType

@@ -27,7 +27,6 @@ from typing import Any, Callable
 from repro.bench.harness import Experiment, run_sweep, timed
 from repro.cfl.simprov_alg import SimProvAlg
 from repro.cfl.simprov_tst import SimProvTst
-from repro.errors import QueryTimeout
 from repro.model.graph import ProvenanceGraph
 from repro.query.cypherlite import Budget, run_query
 from repro.segment.induce import similar_path_vertices

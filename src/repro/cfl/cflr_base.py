@@ -34,7 +34,6 @@ from repro.cfl.grammar import (
 from repro.cfl.roaring import RoaringBitmap
 from repro.errors import GrammarError, QueryTimeout, SolverError
 from repro.model.graph import ProvenanceGraph
-from repro.model.types import VertexType
 from repro.store.records import EdgeRecord, VertexRecord
 
 #: Factory table for the pluggable fact-set implementations.

@@ -101,11 +101,17 @@ class LifecycleSession:
     def snapshot(self) -> GraphSnapshot:
         """The memoized read snapshot for the current epoch.
 
-        Recaptured lazily after any mutation; callers may hold the returned
+        Recaptured lazily after any mutation — incrementally, via
+        :meth:`GraphSnapshot.advance`, when the store's delta log shows the
+        change was small (the common append-then-query loop), with a full
+        rebuild past the crossover threshold. Callers may hold the returned
         object across queries — it stays valid for the epoch it captured.
         """
-        if self._snapshot is None or self._snapshot.epoch != self.epoch:
+        if self._snapshot is None:
             self._snapshot = GraphSnapshot(self.builder.graph)
+            self._operator.snapshot = self._snapshot
+        elif self._snapshot.epoch != self.epoch:
+            self._snapshot = self._snapshot.advance(self.builder.graph)
             self._operator.snapshot = self._snapshot
         return self._snapshot
 

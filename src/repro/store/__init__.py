@@ -1,6 +1,7 @@
 """Embedded property-graph store (the library's Neo4j stand-in)."""
 
 from repro.store.csr import CsrAdjacency
+from repro.store.delta import Delta, DeltaBatch, DeltaLog, DeltaOp
 from repro.store.indexes import LabelIndex, PropertyIndex
 from repro.store.persistence import WriteAheadLog, load_store, replay, save_store
 from repro.store.records import EdgeRecord, VertexRecord
@@ -10,6 +11,10 @@ from repro.store.transactions import Transaction
 
 __all__ = [
     "CsrAdjacency",
+    "Delta",
+    "DeltaBatch",
+    "DeltaLog",
+    "DeltaOp",
     "EdgeRecord",
     "GraphSnapshot",
     "snapshot_of",

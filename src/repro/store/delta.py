@@ -1,0 +1,184 @@
+"""Bounded mutation delta log for :class:`repro.store.PropertyGraphStore`.
+
+The lifecycle workload appends small batches of provenance between long
+stretches of querying, so rebuilding a full read snapshot
+(:class:`repro.store.snapshot.GraphSnapshot`, O(V+E)) on every epoch bump
+wastes almost all of its work: the graph barely changed. The store therefore
+keeps a **delta log** — one :class:`DeltaBatch` per epoch, holding the typed
+:class:`Delta` records describing exactly what that mutation did.
+:meth:`GraphSnapshot.advance` replays the span of batches between its own
+epoch and the store's epoch to patch itself forward instead of rebuilding.
+
+Contract (enforced by ``tests/test_store_delta.py``):
+
+- **One batch per epoch.** Every mutating store call commits exactly one
+  batch tagged with the epoch the store reached. Compound mutations
+  (``remove_vertex`` tombstoning incident edges) are a *single* batch, so a
+  replayer can never observe an intermediate epoch.
+- **Self-contained records.** A delta carries everything needed to patch a
+  snapshot without consulting the (possibly since-mutated) store adjacency:
+  edge deltas carry ``(edge_type, src, dst)``, vertex deltas carry the type
+  and creation ordinal.
+- **Bounded with explicit truncation.** The log retains at most ``capacity``
+  records (whole batches are evicted oldest-first, always keeping the newest
+  batch). :meth:`DeltaLog.batches_since` returns ``None`` for spans that
+  reach past the retained window — callers must fall back to a full rebuild,
+  never to a partial replay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.model.types import EdgeType, VertexType
+
+
+class DeltaOp(Enum):
+    """The six kinds of store mutation a delta record can describe."""
+
+    ADD_VERTEX = auto()
+    REMOVE_VERTEX = auto()
+    ADD_EDGE = auto()
+    REMOVE_EDGE = auto()
+    SET_VERTEX_PROPERTY = auto()
+    SET_EDGE_PROPERTY = auto()
+
+
+@dataclass(frozen=True, slots=True)
+class Delta:
+    """One typed mutation record.
+
+    Attributes:
+        op: the mutation kind.
+        subject_id: the vertex id (vertex ops) or edge id (edge ops).
+        vertex_type: set for vertex ops.
+        edge_type: set for edge ops.
+        src / dst: edge endpoints (edge ops; -1 otherwise).
+        order: creation ordinal (ADD_VERTEX; -1 otherwise).
+        key: property key (SET_* ops; None otherwise).
+    """
+
+    op: DeltaOp
+    subject_id: int
+    vertex_type: VertexType | None = None
+    edge_type: EdgeType | None = None
+    src: int = -1
+    dst: int = -1
+    order: int = -1
+    key: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class DeltaBatch:
+    """All deltas committed by one mutating call, tagged with its epoch.
+
+    ``epoch`` is the store epoch *after* the batch applied; replaying the
+    batch onto state at ``epoch - 1`` yields state at ``epoch``.
+    """
+
+    epoch: int
+    deltas: tuple[Delta, ...]
+
+
+class DeltaLog:
+    """A bounded, epoch-contiguous log of :class:`DeltaBatch` entries.
+
+    Batches arrive with consecutive epochs (the store bumps once per call),
+    so the retained window always covers the contiguous span
+    ``(base_epoch, last_epoch]``.
+
+    Args:
+        capacity: maximum number of *records* (not batches) retained. The
+            newest batch is always kept, even if it alone exceeds capacity.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._batches: deque[DeltaBatch] = deque()
+        self._record_count = 0
+        self._base_epoch = 0
+        self._truncated = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def base_epoch(self) -> int:
+        """Replay starting point: batches cover ``(base_epoch, last_epoch]``."""
+        return self._base_epoch
+
+    @property
+    def last_epoch(self) -> int:
+        """Epoch of the newest retained batch (``base_epoch`` when empty)."""
+        if not self._batches:
+            return self._base_epoch
+        return self._batches[-1].epoch
+
+    @property
+    def truncated(self) -> bool:
+        """True once any batch has been evicted for capacity."""
+        return self._truncated
+
+    @property
+    def record_count(self) -> int:
+        """Total records across retained batches."""
+        return self._record_count
+
+    def __len__(self) -> int:
+        return len(self._batches)
+
+    # ------------------------------------------------------------------
+
+    def append(self, batch: DeltaBatch) -> None:
+        """Append one batch; evicts oldest batches past capacity.
+
+        Raises:
+            ValueError: if the batch's epoch is not ``last_epoch + 1`` (the
+                store commits exactly one batch per epoch bump).
+        """
+        if batch.epoch != self.last_epoch + 1:
+            raise ValueError(
+                f"batch epoch {batch.epoch} breaks contiguity "
+                f"(expected {self.last_epoch + 1})"
+            )
+        self._batches.append(batch)
+        self._record_count += len(batch.deltas)
+        while self._record_count > self.capacity and len(self._batches) > 1:
+            evicted = self._batches.popleft()
+            self._record_count -= len(evicted.deltas)
+            self._base_epoch = evicted.epoch
+            self._truncated = True
+
+    def batches_since(self, epoch: int) -> list[DeltaBatch] | None:
+        """Batches replaying state at ``epoch`` up to ``last_epoch``.
+
+        Returns ``None`` when the span is not fully retained (``epoch``
+        predates the window) or ``epoch`` is ahead of the log — the caller
+        must fall back to a full recapture. An up-to-date ``epoch`` returns
+        the empty list.
+        """
+        if epoch < self._base_epoch or epoch > self.last_epoch:
+            return None
+        # Epochs are contiguous, so the span is a plain slice.
+        start = epoch - self._base_epoch
+        return [self._batches[i] for i in range(start, len(self._batches))]
+
+    def record_count_since(self, epoch: int) -> int | None:
+        """Number of records in the span ``(epoch, last_epoch]``.
+
+        ``None`` under the same conditions as :meth:`batches_since`.
+        """
+        span = self.batches_since(epoch)
+        if span is None:
+            return None
+        return sum(len(batch.deltas) for batch in span)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeltaLog(batches={len(self._batches)}, "
+            f"records={self._record_count}, "
+            f"span=({self._base_epoch}, {self.last_epoch}])"
+        )

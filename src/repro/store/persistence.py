@@ -22,7 +22,6 @@ from typing import Any, TextIO
 
 from repro.errors import SerializationError
 from repro.model.types import EdgeType, VertexType, parse_edge_type, parse_vertex_type
-from repro.store.records import VertexRecord
 from repro.store.store import PropertyGraphStore
 
 _FORMAT = "repro-store-v1"

@@ -26,6 +26,15 @@ Vertex and edge *property* reads go through the captured record references,
 which are shared with the store; a property update therefore shows through a
 stale snapshot (and bumps the epoch, flagging the staleness). Structure
 (vertex/edge existence, adjacency, ordinals) is fully frozen.
+
+Recapture is **incremental**: :meth:`GraphSnapshot.advance` replays the
+store's bounded delta log (:mod:`repro.store.delta`) to patch a stale
+snapshot forward — appending to CSR tails for pure adds, rebuilding only the
+affected per-edge-type slices for removals, and patching (or invalidating)
+the cached :class:`ProvAdjacency` — falling back to a full O(V+E) rebuild
+only when the delta span is large relative to the graph (the crossover
+policy) or the log was truncated. The advanced snapshot is a *new* object;
+the stale one keeps answering for its own epoch (time-travel reads).
 """
 
 from __future__ import annotations
@@ -37,7 +46,12 @@ import numpy as np
 
 from repro.errors import EdgeNotFound, VertexNotFound
 from repro.model.types import EdgeType, VertexType
-from repro.store.csr import VERTEX_TYPE_CODES, GraphSnapshot as _CsrSnapshot
+from repro.store.csr import (
+    VERTEX_TYPE_CODES,
+    CsrAdjacency,
+    GraphSnapshot as _CsrSnapshot,
+)
+from repro.store.delta import Delta, DeltaBatch, DeltaOp
 from repro.store.records import EdgeRecord, VertexRecord
 from repro.store.store import PropertyGraphStore
 
@@ -49,8 +63,72 @@ CODE_TO_VERTEX_TYPE: dict[int, VertexType] = {
     code: vt for vt, code in VERTEX_TYPE_CODES.items()
 }
 
+#: Crossover policy for :meth:`GraphSnapshot.advance`: fall back to a full
+#: rebuild once the delta span exceeds ``max(MIN_CROSSOVER_RECORDS,
+#: (live vertices + live edges) // CROSSOVER_DENOMINATOR)`` records.
+CROSSOVER_DENOMINATOR = 8
+MIN_CROSSOVER_RECORDS = 64
+
 VertexPredicate = Callable[[VertexRecord], bool]
 EdgePredicate = Callable[[EdgeRecord], bool]
+
+
+def _patch_csr(old: CsrAdjacency, new_n: int, add_rows: np.ndarray,
+               add_cols: np.ndarray, add_eids: np.ndarray,
+               removed_ids: list[int]) -> CsrAdjacency:
+    """Patch one CSR direction with added/removed edges.
+
+    Pure adds whose rows all lie past the old matrix (the provenance-append
+    pattern: new edges depart new vertices) take an O(adds) tail append.
+    Anything else — removals, or adds landing mid-matrix — rebuilds this one
+    edge type's slice with a stable numpy merge, keeping each row's entries
+    in store insertion order (ascending edge id).
+    """
+    old_rows_n = len(old.indptr) - 1
+    append_only = not removed_ids and (
+        len(add_rows) == 0 or int(add_rows.min()) >= old_rows_n
+    )
+    if append_only:
+        order = np.argsort(add_rows, kind="stable")
+        tail_counts = np.bincount(add_rows - old_rows_n,
+                                  minlength=new_n - old_rows_n)
+        indptr = np.concatenate(
+            [old.indptr, old.indptr[-1] + np.cumsum(tail_counts)]
+        )
+        indices = np.concatenate([old.indices, add_cols[order]])
+        edge_ids = np.concatenate([old.edge_ids, add_eids[order]])
+        return CsrAdjacency(indptr, indices, edge_ids)
+
+    old_rows = np.repeat(np.arange(old_rows_n, dtype=np.int64),
+                         np.diff(old.indptr))
+    old_cols = old.indices
+    old_eids = old.edge_ids
+    if removed_ids:
+        keep = ~np.isin(old_eids, np.asarray(removed_ids, dtype=np.int64))
+        old_rows = old_rows[keep]
+        old_cols = old_cols[keep]
+        old_eids = old_eids[keep]
+    rows = np.concatenate([old_rows, add_rows])
+    # Stable sort keeps surviving old entries first (already in ascending
+    # edge-id order per row) and appends new entries in commit order after.
+    order = np.argsort(rows, kind="stable")
+    counts = np.bincount(rows, minlength=new_n)
+    indptr = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
+    )
+    indices = np.concatenate([old_cols, add_cols])[order]
+    edge_ids = np.concatenate([old_eids, add_eids])[order]
+    return CsrAdjacency(indptr, indices, edge_ids)
+
+
+def _extend_rows(old: CsrAdjacency, new_n: int) -> CsrAdjacency:
+    """An untouched adjacency widened to ``new_n`` rows (shares arrays)."""
+    if len(old.indptr) - 1 == new_n:
+        return old
+    pad = np.full(new_n - (len(old.indptr) - 1), old.indptr[-1],
+                  dtype=np.int64)
+    return CsrAdjacency(np.concatenate([old.indptr, pad]),
+                        old.indices, old.edge_ids)
 
 
 class GraphSnapshot(_CsrSnapshot):
@@ -85,6 +163,9 @@ class GraphSnapshot(_CsrSnapshot):
         super().__init__(store, edge_types)
         self.store = store
         self.epoch = store.epoch
+        #: Epoch this snapshot was incrementally advanced from, or None for
+        #: a full capture (set by :meth:`advance`; useful for tests/benches).
+        self.advanced_from: int | None = None
 
         self._vertex_records: list[VertexRecord | None] = [None] * self.n
         self._ids_by_type: dict[VertexType, list[int]] = {
@@ -149,6 +230,366 @@ class GraphSnapshot(_CsrSnapshot):
     def is_fresh(self) -> bool:
         """True while the store has not mutated since capture."""
         return self.store.epoch == self.epoch
+
+    # ------------------------------------------------------------------
+    # Incremental recapture
+    # ------------------------------------------------------------------
+
+    def advance(self, source=None, *,
+                crossover: int | None = None) -> "GraphSnapshot":
+        """A snapshot at the store's current epoch, patched when cheap.
+
+        Replays the store's delta log over the span between this snapshot's
+        epoch and the store's epoch. When the span is small relative to the
+        graph (see ``crossover``), the result is a *new* snapshot produced
+        by patching only the affected state: CSR tail appends for pure
+        adds, per-edge-type slice rebuilds for removals, per-vertex
+        incident-list recomputation, and a patched (or dropped) cached
+        :class:`ProvAdjacency`. Falls back to a full rebuild when the log
+        was truncated, the span exceeds the crossover threshold, or
+        ``source`` is a different store.
+
+        This snapshot is never mutated — it keeps answering for its own
+        epoch, and repeated ``advance()`` on a fresh snapshot returns
+        ``self``.
+
+        Args:
+            source: store (or graph) to advance against; defaults to the
+                captured store.
+            crossover: max delta records to patch through before falling
+                back to a full rebuild. Defaults to
+                ``max(MIN_CROSSOVER_RECORDS, (V + E) // CROSSOVER_DENOMINATOR)``.
+        """
+        store = self.store if source is None \
+            else getattr(source, "store", source)
+        wanted = list(self.forward)
+        if store is not self.store:
+            return GraphSnapshot(store, wanted)
+        if store.epoch == self.epoch:
+            return self
+        batches = store.delta_log.batches_since(self.epoch)
+        if batches is None:                     # span truncated out of the log
+            return GraphSnapshot(store, wanted)
+        # Only structural deltas cost patch work; SET_* records read
+        # through shared store records and must not trigger the fallback.
+        span = sum(
+            1 for batch in batches for delta in batch.deltas
+            if delta.op not in (DeltaOp.SET_VERTEX_PROPERTY,
+                                DeltaOp.SET_EDGE_PROPERTY)
+        )
+        if crossover is None:
+            crossover = max(
+                MIN_CROSSOVER_RECORDS,
+                (store.vertex_count + store.edge_count)
+                // CROSSOVER_DENOMINATOR,
+            )
+        if span > crossover:
+            return GraphSnapshot(store, wanted)
+        return self._patched(store, batches)
+
+    def _patched(self, store: PropertyGraphStore,
+                 batches: list[DeltaBatch]) -> "GraphSnapshot":
+        """Build the advanced snapshot by replaying ``batches`` onto self."""
+        wanted = set(self.forward)
+        old_n, new_n = self.n, store.vertex_capacity
+        old_m, new_m = len(self._edge_records), store.edge_capacity
+
+        # Net effect of the span. An element added then removed inside the
+        # span (a "ghost") stays invisible, but still widens the id space.
+        vertex_adds: dict[int, Delta] = {}
+        vertex_removes: dict[int, Delta] = {}
+        edge_adds: dict[int, Delta] = {}
+        edge_removes: dict[int, Delta] = {}
+        for batch in batches:
+            for delta in batch.deltas:
+                if delta.op is DeltaOp.ADD_VERTEX:
+                    vertex_adds[delta.subject_id] = delta
+                elif delta.op is DeltaOp.REMOVE_VERTEX:
+                    if delta.subject_id in vertex_adds:
+                        del vertex_adds[delta.subject_id]
+                    else:
+                        vertex_removes[delta.subject_id] = delta
+                elif delta.op is DeltaOp.ADD_EDGE:
+                    if delta.edge_type in wanted:
+                        edge_adds[delta.subject_id] = delta
+                elif delta.op is DeltaOp.REMOVE_EDGE:
+                    if delta.edge_type in wanted:
+                        if delta.subject_id in edge_adds:
+                            del edge_adds[delta.subject_id]
+                        else:
+                            edge_removes[delta.subject_id] = delta
+                # SET_*: property reads share store records; no structure.
+
+        if (not (vertex_adds or vertex_removes or edge_adds or edge_removes)
+                and old_n == new_n and old_m == new_m):
+            # Property-only span: values read through the shared records,
+            # so the advanced snapshot can share every frozen structure —
+            # O(1) instead of O(V+E) shallow copies. A span whose net
+            # effect is empty but contained ghosts (add+remove) must NOT
+            # share: the id space widened and dead rows need materializing.
+            return self._shared_at(store)
+
+        new = type(self).__new__(type(self))
+        new.store = store
+        new.epoch = store.epoch
+        new.advanced_from = self.epoch
+        new.n = new_n
+
+        # -- vertex state ---------------------------------------------
+        grow_v = new_n - old_n
+        if grow_v:
+            vertex_codes = np.concatenate(
+                [self.vertex_codes, np.full(grow_v, -1, dtype=np.int8)]
+            )
+            orders = np.concatenate(
+                [self.orders, np.full(grow_v, -1, dtype=np.int64)]
+            )
+        else:
+            vertex_codes = self.vertex_codes.copy()
+            orders = self.orders.copy()
+        vertex_records = self._vertex_records + [None] * grow_v
+        ids_by_type = {
+            vt: list(ids) for vt, ids in self._ids_by_type.items()
+        }
+        for vid, delta in vertex_adds.items():
+            vertex_codes[vid] = VERTEX_TYPE_CODES[delta.vertex_type]
+            orders[vid] = delta.order
+            vertex_records[vid] = store.vertex(vid)
+            ids_by_type[delta.vertex_type].append(vid)  # ids ascend: sorted
+        for vid, delta in vertex_removes.items():
+            vertex_codes[vid] = -1
+            orders[vid] = -1
+            vertex_records[vid] = None
+            ids_by_type[delta.vertex_type].remove(vid)
+        new.vertex_codes = vertex_codes
+        new.orders = orders
+        new._vertex_records = vertex_records
+        new._ids_by_type = ids_by_type
+        new._live_vertex_count = sum(
+            len(ids) for ids in ids_by_type.values()
+        )
+        new._all_vertex_ids = None
+
+        # -- edge state -----------------------------------------------
+        grow_e = new_m - old_m
+        if grow_e:
+            edge_src = np.concatenate(
+                [self.edge_src, np.full(grow_e, -1, dtype=np.int64)]
+            )
+            edge_dst = np.concatenate(
+                [self.edge_dst, np.full(grow_e, -1, dtype=np.int64)]
+            )
+        else:
+            edge_src = self.edge_src.copy()
+            edge_dst = self.edge_dst.copy()
+        edge_records = self._edge_records + [None] * grow_e
+        edge_type_of = self._edge_types + [None] * grow_e
+        for eid, delta in edge_adds.items():
+            edge_src[eid] = delta.src
+            edge_dst[eid] = delta.dst
+            edge_records[eid] = store.edge(eid)
+            edge_type_of[eid] = delta.edge_type
+        for eid, delta in edge_removes.items():
+            edge_src[eid] = -1
+            edge_dst[eid] = -1
+            edge_records[eid] = None
+            edge_type_of[eid] = None
+        new.edge_src = edge_src
+        new.edge_dst = edge_dst
+        new._edge_records = edge_records
+        new._edge_types = edge_type_of
+
+        # -- per-edge-type CSR slices ---------------------------------
+        adds_by_type: dict[EdgeType, list[Delta]] = {}
+        removes_by_type: dict[EdgeType, list[Delta]] = {}
+        for delta in edge_adds.values():
+            adds_by_type.setdefault(delta.edge_type, []).append(delta)
+        for delta in edge_removes.values():
+            removes_by_type.setdefault(delta.edge_type, []).append(delta)
+        touched = set(adds_by_type) | set(removes_by_type)
+        forward: dict[EdgeType, CsrAdjacency] = {}
+        backward: dict[EdgeType, CsrAdjacency] = {}
+        for et in self.forward:
+            if et not in touched:
+                forward[et] = _extend_rows(self.forward[et], new_n)
+                backward[et] = _extend_rows(self.backward[et], new_n)
+                continue
+            adds = adds_by_type.get(et, [])
+            removed = [d.subject_id for d in removes_by_type.get(et, [])]
+            add_src = np.fromiter((d.src for d in adds), np.int64, len(adds))
+            add_dst = np.fromiter((d.dst for d in adds), np.int64, len(adds))
+            add_eid = np.fromiter((d.subject_id for d in adds), np.int64,
+                                  len(adds))
+            forward[et] = _patch_csr(self.forward[et], new_n,
+                                     add_src, add_dst, add_eid, removed)
+            backward[et] = _patch_csr(self.backward[et], new_n,
+                                      add_dst, add_src, add_eid, removed)
+        new.forward = forward
+        new.backward = backward
+
+        # -- cached list views (patched only where materialized) ------
+        new._out_lists = {}
+        new._in_lists = {}
+        new._out_edge_lists = {}
+        new._in_edge_lists = {}
+
+        def patched_view(old_view: list[list[int]] | None, adj: CsrAdjacency,
+                         rows: set[int], as_edges: bool,
+                         ) -> list[list[int]] | None:
+            if old_view is None:
+                return None
+            if not rows and len(old_view) == new_n:
+                return old_view
+            view = old_view + [[] for _ in range(new_n - len(old_view))]
+            for row in rows:
+                values = adj.edge_ids_of(row) if as_edges \
+                    else adj.neighbors(row)
+                view[row] = values.tolist()
+            return view
+
+        for et in self.forward:
+            rows_fwd = {d.src for d in adds_by_type.get(et, [])}
+            rows_fwd.update(d.src for d in removes_by_type.get(et, []))
+            rows_bwd = {d.dst for d in adds_by_type.get(et, [])}
+            rows_bwd.update(d.dst for d in removes_by_type.get(et, []))
+            for old_cache, new_cache, adj, rows, as_edges in (
+                (self._out_lists, new._out_lists, forward[et],
+                 rows_fwd, False),
+                (self._in_lists, new._in_lists, backward[et],
+                 rows_bwd, False),
+                (self._out_edge_lists, new._out_edge_lists, forward[et],
+                 rows_fwd, True),
+                (self._in_edge_lists, new._in_edge_lists, backward[et],
+                 rows_bwd, True),
+            ):
+                view = patched_view(old_cache.get(et), adj, rows, as_edges)
+                if view is not None:
+                    new_cache[et] = view
+
+        # -- untyped incident lists (store order) ---------------------
+        affected = set(vertex_removes)
+        for delta in edge_adds.values():
+            affected.add(delta.src)
+            affected.add(delta.dst)
+        for delta in edge_removes.values():
+            affected.add(delta.src)
+            affected.add(delta.dst)
+        out_all = self._out_all + [[] for _ in range(grow_v)]
+        in_all = self._in_all + [[] for _ in range(grow_v)]
+        for vid in affected:
+            if vid in store:
+                out_all[vid] = [
+                    eid for eid in store.out_edge_ids(vid)
+                    if edge_records[eid] is not None
+                ]
+                in_all[vid] = [
+                    eid for eid in store.in_edge_ids(vid)
+                    if edge_records[eid] is not None
+                ]
+            else:
+                out_all[vid] = []
+                in_all[vid] = []
+        new._out_all = out_all
+        new._in_all = in_all
+
+        # -- cached CFL adjacency -------------------------------------
+        new._prov_adjacency = self._patch_prov_adjacency(
+            new_n, vertex_adds, vertex_removes, adds_by_type,
+            removes_by_type,
+        )
+        return new
+
+    def _shared_at(self, store: PropertyGraphStore) -> "GraphSnapshot":
+        """A snapshot at the current epoch sharing all frozen structure.
+
+        Valid only when the delta span contained no structural change.
+        Frozen arrays and list views are immutable after construction, and
+        the lazy cache dicts are shared deliberately: both snapshots
+        describe identical structure, so a view materialized through
+        either is correct for both.
+        """
+        new = type(self).__new__(type(self))
+        for key, value in self.__dict__.items():
+            new.__dict__[key] = value
+        new.epoch = store.epoch
+        new.advanced_from = self.epoch
+        return new
+
+    def _patch_prov_adjacency(self, new_n: int,
+                              vertex_adds: dict[int, Delta],
+                              vertex_removes: dict[int, Delta],
+                              adds_by_type: dict[EdgeType, list[Delta]],
+                              removes_by_type: dict[EdgeType, list[Delta]],
+                              ) -> "ProvAdjacency | None":
+        """Patched copy of the cached ancestry adjacency, or None.
+
+        Pure appends (new vertices, new G/U edges) and agent-only removals
+        patch the cache forward with copy-on-write rows; any removal that
+        touches ancestry structure drops the cache so the next query
+        rebuilds it lazily from the already-patched CSR views.
+        """
+        old = self._prov_adjacency
+        if old is None:
+            return None
+        from repro.cfl.adjacency import ProvAdjacency
+
+        ancestry = (EdgeType.WAS_GENERATED_BY, EdgeType.USED)
+        if any(et in removes_by_type for et in ancestry):
+            return None
+        if any(d.vertex_type is not VertexType.AGENT
+               for d in vertex_removes.values()):
+            return None
+
+        grow = new_n - old.n
+        gen_acts = old.gen_acts + [[] for _ in range(grow)]
+        user_acts = old.user_acts + [[] for _ in range(grow)]
+        used_ents = old.used_ents + [[] for _ in range(grow)]
+        gen_ents = old.gen_ents + [[] for _ in range(grow)]
+        orders = old.orders + [-1] * grow
+        entity_ids = list(old.entity_ids)
+        activity_ids = list(old.activity_ids)
+        for vid, delta in vertex_adds.items():
+            orders[vid] = delta.order
+            if delta.vertex_type is VertexType.ENTITY:
+                entity_ids.append(vid)
+            elif delta.vertex_type is VertexType.ACTIVITY:
+                activity_ids.append(vid)
+        for vid in vertex_removes:                # agent-only by the guard
+            orders[vid] = -1
+
+        copied: set[tuple[int, int]] = set()
+
+        def cow_append(lists: list[list[int]], slot: int, row: int,
+                       value: int) -> None:
+            # Inner rows are shared with the old adjacency until written.
+            if (slot, row) not in copied:
+                lists[row] = list(lists[row])
+                copied.add((slot, row))
+            lists[row].append(value)
+
+        edge_total_g = old.edge_total_g
+        edge_total_u = old.edge_total_u
+        for delta in adds_by_type.get(EdgeType.WAS_GENERATED_BY, []):
+            cow_append(gen_acts, 0, delta.src, delta.dst)
+            cow_append(gen_ents, 1, delta.dst, delta.src)
+            edge_total_g += 1
+        for delta in adds_by_type.get(EdgeType.USED, []):
+            cow_append(used_ents, 2, delta.src, delta.dst)
+            cow_append(user_acts, 3, delta.dst, delta.src)
+            edge_total_u += 1
+
+        return ProvAdjacency(
+            n=new_n,
+            gen_acts=gen_acts,
+            user_acts=user_acts,
+            used_ents=used_ents,
+            gen_ents=gen_ents,
+            orders=orders,
+            entity_ids=entity_ids,
+            activity_ids=activity_ids,
+            edge_total_g=edge_total_g,
+            edge_total_u=edge_total_u,
+        )
 
     # ------------------------------------------------------------------
     # Record access (mirrors the store API)

@@ -23,6 +23,14 @@ tombstones incident edges as part of the same logical mutation). Read-side
 caches — :class:`repro.store.snapshot.GraphSnapshot`, the
 :class:`repro.session.LifecycleSession` result caches — record the epoch they
 were built at and treat any later epoch as an invalidation signal.
+
+Alongside the epoch bump, every mutating call commits exactly one
+:class:`repro.store.delta.DeltaBatch` to the bounded :attr:`delta_log`,
+describing the mutation as typed delta records. Compound mutations
+(``remove_vertex`` and its incident-edge tombstoning) commit one *atomic*
+batch, so replaying the log can never observe an intermediate epoch.
+:meth:`repro.store.snapshot.GraphSnapshot.advance` consumes the log to patch
+snapshots forward instead of rebuilding them from scratch.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from typing import Any
 
 from repro.errors import EdgeNotFound, InvalidEdge, VertexNotFound
 from repro.model.types import EdgeType, VertexType, edge_signature_ok
+from repro.store.delta import Delta, DeltaBatch, DeltaLog, DeltaOp
 from repro.store.indexes import LabelIndex, PropertyIndex
 from repro.store.records import EdgeRecord, VertexRecord
 
@@ -43,9 +52,12 @@ class PropertyGraphStore:
         check_signatures: when True (default) every added edge is checked
             against the PROV edge-type signatures of Definition 1
             (e.g. ``used`` must go from an Activity to an Entity).
+        delta_log_capacity: maximum number of mutation records retained by
+            :attr:`delta_log` (see :class:`repro.store.delta.DeltaLog`).
     """
 
-    def __init__(self, check_signatures: bool = True):
+    def __init__(self, check_signatures: bool = True,
+                 delta_log_capacity: int = 4096):
         self._check_signatures = check_signatures
         self._vertices: list[VertexRecord | None] = []
         self._edges: list[EdgeRecord | None] = []
@@ -58,6 +70,7 @@ class PropertyGraphStore:
         self._live_vertex_count = 0
         self._live_edge_count = 0
         self._epoch = 0
+        self._delta_log = DeltaLog(delta_log_capacity)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -71,6 +84,16 @@ class PropertyGraphStore:
         answer), so :meth:`create_property_index` does not bump the epoch.
         """
         return self._epoch
+
+    @property
+    def delta_log(self) -> DeltaLog:
+        """The bounded mutation delta log (one batch per epoch)."""
+        return self._delta_log
+
+    def _commit(self, *deltas: Delta) -> None:
+        """Bump the epoch once and log the deltas as one atomic batch."""
+        self._epoch += 1
+        self._delta_log.append(DeltaBatch(self._epoch, deltas))
 
     @property
     def vertex_count(self) -> int:
@@ -131,7 +154,8 @@ class PropertyGraphStore:
         for (vt, key), index in self._property_indexes.items():
             if vt is vertex_type and key in record.properties:
                 index.add(record.properties[key], vertex_id)
-        self._epoch += 1
+        self._commit(Delta(DeltaOp.ADD_VERTEX, vertex_id,
+                           vertex_type=vertex_type, order=record.order))
         return vertex_id
 
     def add_edge(self, edge_type: EdgeType, src: int, dst: int,
@@ -165,32 +189,49 @@ class PropertyGraphStore:
         self._in[dst].setdefault(edge_type, []).append(edge_id)
         self._label_index.add_edge(edge_id, edge_type)
         self._live_edge_count += 1
-        self._epoch += 1
+        self._commit(Delta(DeltaOp.ADD_EDGE, edge_id, edge_type=edge_type,
+                           src=src, dst=dst))
         return edge_id
 
-    def remove_edge(self, edge_id: int) -> None:
-        """Tombstone an edge. Ids are never reused."""
-        record = self.edge(edge_id)
+    def _detach_edge(self, record: EdgeRecord) -> Delta:
+        """Tombstone one edge without committing (shared removal plumbing)."""
+        edge_id = record.edge_id
         self._out[record.src][record.edge_type].remove(edge_id)
         self._in[record.dst][record.edge_type].remove(edge_id)
         self._label_index.remove_edge(edge_id, record.edge_type)
         self._edges[edge_id] = None
         self._live_edge_count -= 1
-        self._epoch += 1
+        return Delta(DeltaOp.REMOVE_EDGE, edge_id, edge_type=record.edge_type,
+                     src=record.src, dst=record.dst)
+
+    def remove_edge(self, edge_id: int) -> None:
+        """Tombstone an edge. Ids are never reused."""
+        self._commit(self._detach_edge(self.edge(edge_id)))
 
     def remove_vertex(self, vertex_id: int) -> None:
-        """Tombstone a vertex and all incident edges (one epoch bump)."""
+        """Tombstone a vertex and all incident edges.
+
+        The compound removal is one logical mutation: the epoch bumps once
+        and the delta log receives one atomic batch covering the incident
+        edge tombstones and the vertex tombstone, so no replayer or cache
+        can observe an intermediate state.
+        """
         record = self.vertex(vertex_id)
-        epoch_before = self._epoch
-        for edge_id in list(self.incident_edge_ids(vertex_id)):
-            self.remove_edge(edge_id)
+        # Self-loops appear in both the out and in lists; dedupe so each
+        # incident edge is detached (and logged) exactly once.
+        deltas = [
+            self._detach_edge(self._edges[edge_id])  # type: ignore[arg-type]
+            for edge_id in dict.fromkeys(self.incident_edge_ids(vertex_id))
+        ]
         self._label_index.remove_vertex(vertex_id, record.vertex_type)
         for (vt, key), index in self._property_indexes.items():
             if vt is record.vertex_type and key in record.properties:
                 index.discard(record.properties[key], vertex_id)
         self._vertices[vertex_id] = None
         self._live_vertex_count -= 1
-        self._epoch = epoch_before + 1
+        deltas.append(Delta(DeltaOp.REMOVE_VERTEX, vertex_id,
+                            vertex_type=record.vertex_type))
+        self._commit(*deltas)
 
     def set_vertex_property(self, vertex_id: int, key: str, value: Any) -> None:
         """Set one vertex property, keeping any property index in sync."""
@@ -201,12 +242,16 @@ class PropertyGraphStore:
         record.properties[key] = value
         if index is not None:
             index.add(value, vertex_id)
-        self._epoch += 1
+        self._commit(Delta(DeltaOp.SET_VERTEX_PROPERTY, vertex_id,
+                           vertex_type=record.vertex_type, key=key))
 
     def set_edge_property(self, edge_id: int, key: str, value: Any) -> None:
         """Set one edge property."""
-        self.edge(edge_id).properties[key] = value
-        self._epoch += 1
+        record = self.edge(edge_id)
+        record.properties[key] = value
+        self._commit(Delta(DeltaOp.SET_EDGE_PROPERTY, edge_id,
+                           edge_type=record.edge_type, src=record.src,
+                           dst=record.dst, key=key))
 
     # ------------------------------------------------------------------
     # O(1) record access

@@ -22,13 +22,13 @@ has a single top that in- and out-dominates all its members.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import SummarizationError
 from repro.segment.pgseg import Segment
 from repro.summarize.aggregation import TYPE_ONLY, PropertyAggregation
-from repro.summarize.provtype import ClassAssignment, compute_vertex_classes
+from repro.summarize.provtype import compute_vertex_classes
 from repro.summarize.psg import Psg, build_psg
 from repro.summarize.simulation import (
     dominated_pairs,

@@ -15,7 +15,6 @@ plus one binary search.
 
 from __future__ import annotations
 
-from bisect import bisect_left
 
 import numpy as np
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.cfl.cflr_base import CflrSolver
 from repro.cfl.grammar import (
-    EdgeTerminal,
     Grammar,
     Production,
     U,

@@ -7,9 +7,7 @@ from repro.cfl.grammar import (
     A,
     E,
     EdgeElement,
-    EdgeTerminal,
     G,
-    G_INV,
     Grammar,
     Production,
     U,

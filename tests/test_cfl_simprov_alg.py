@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cfl.simprov_alg import SimProvAlg, solve_simprov
+from repro.cfl.simprov_alg import SimProvAlg
 from repro.errors import QueryTimeout, SegmentationError, SolverError
 
 

@@ -1,26 +1,38 @@
-"""Seed-controlled fuzzing of the CypherLite lexer and parser.
+"""Seed-controlled and property-based fuzzing of the CypherLite stack.
 
-Two generators:
+Three generators:
 
 - **well-formed** queries assembled from the grammar's building blocks must
   tokenize and parse without error;
 - **malformed** inputs (random character soup, and well-formed queries
   damaged by deletion/transposition/injection) must raise the repo's typed
   :class:`repro.errors.CypherSyntaxError` — never ``IndexError``,
-  ``AttributeError``, or any other untyped crash.
+  ``AttributeError``, or any other untyped crash;
+- **hypothesis**-generated queries are *evaluated differentially*: the
+  live-store evaluator and the ``snapshot=`` evaluator must produce
+  identical rows (ids, properties, and full path bindings) over the
+  paper's running example — including after the snapshot has been
+  incrementally ``advance()``-ed across appends.
 
-Every case is derived from a seeded ``random.Random``, so failures
-reproduce exactly.
+Every randomized case derives from a seeded generator (``random.Random``
+or ``derandomize=True`` hypothesis profiles), so failures reproduce
+exactly.
 """
 
 import random
 import string
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import CypherSyntaxError, ReproError
+from repro.query.cypherlite.evaluator import run_query
 from repro.query.cypherlite.lexer import tokenize
 from repro.query.cypherlite.parser import parse
+from repro.query.paths import Path
+from repro.store.snapshot import GraphSnapshot
+from repro.workloads.lifecycle import build_paper_example
 
 LABELS = ("Entity", "Activity", "Agent")
 REL_TYPES = ("used", "wasGeneratedBy", "wasAssociatedWith",
@@ -170,3 +182,116 @@ def test_lexer_reports_positions():
     with pytest.raises(CypherSyntaxError) as excinfo:
         tokenize("MATCH (a) WHERE a.name = 'unterminated")
     assert excinfo.value.position is not None
+
+
+# ---------------------------------------------------------------------------
+# Differential fuzzing: live-store vs snapshot evaluator (hypothesis)
+# ---------------------------------------------------------------------------
+
+#: One shared read-only graph + snapshot for the differential property.
+_DIFF_GRAPH = build_paper_example().graph
+_DIFF_SNAPSHOT = GraphSnapshot(_DIFF_GRAPH)
+_DIFF_IDS = sorted(_DIFF_GRAPH.store.vertex_ids())
+
+_VARS = st.builds(lambda a, b: a + b,
+                  st.sampled_from("abcdefgh"), st.sampled_from("0123456789"))
+
+
+@st.composite
+def _node_pattern(draw, var=None):
+    var = var if var is not None else draw(_VARS)
+    if draw(st.booleans()):
+        return f"({var}:{draw(st.sampled_from(LABELS))})", var
+    return f"({var})", var
+
+
+@st.composite
+def _rel_pattern(draw):
+    body = ""
+    if draw(st.integers(0, 9)) < 7:
+        types = draw(st.lists(st.sampled_from(REL_TYPES),
+                              min_size=1, max_size=2, unique=True))
+        body = ":" + "|".join(types)
+    if draw(st.integers(0, 9)) < 4:
+        low = draw(st.integers(1, 2))
+        body += f"*{low}..{low + draw(st.integers(0, 2))}"
+    bracket = f"[{body}]" if body else ""
+    return f"-{bracket}->" if draw(st.booleans()) else f"<-{bracket}-"
+
+
+@st.composite
+def _where_clause(draw, var):
+    clauses = []
+    if draw(st.booleans()):
+        ids = draw(st.lists(st.sampled_from(_DIFF_IDS),
+                            min_size=1, max_size=4))
+        clauses.append(f"id({var}) IN [{', '.join(map(str, ids))}]")
+    if draw(st.integers(0, 9)) < 3:
+        clauses.append(f"{var}.name = 'dataset'")
+    if not clauses:
+        return ""
+    return " WHERE " + " AND ".join(clauses)
+
+
+@st.composite
+def cypherlite_queries(draw):
+    """A well-formed MATCH query over the running example's schema."""
+    first, first_var = draw(_node_pattern())
+    parts = [first]
+    for _ in range(draw(st.integers(1, 2))):
+        parts.append(draw(_rel_pattern()))
+        parts.append(draw(_node_pattern())[0])
+    pattern = "".join(parts)
+    path_var = ""
+    returns = draw(st.sampled_from(
+        (f"id({first_var})", first_var, f"{first_var}.name")
+    ))
+    if draw(st.integers(0, 9)) < 3:
+        path_var = f"{draw(_VARS)} = "
+        if draw(st.booleans()):
+            returns = path_var.split(" =")[0]    # return the bound path
+    limit = f" LIMIT {draw(st.integers(1, 9))}" \
+        if draw(st.integers(0, 9)) < 3 else ""
+    where = draw(_where_clause(first_var))
+    return f"MATCH {path_var}{pattern}{where} RETURN {returns}{limit}"
+
+
+def _normalized(rows):
+    """Rows with Path bindings flattened to comparable tuples."""
+    def norm(value):
+        if isinstance(value, Path):
+            return ("path", value.start,
+                    tuple((step.edge_id, step.forward) for step in value))
+        return value
+    return [{key: norm(value) for key, value in row.items()} for row in rows]
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(text=cypherlite_queries())
+def test_snapshot_evaluator_agrees_with_live_store(text):
+    """Property: snapshot evaluation is indistinguishable from live."""
+    query = parse(text)                 # generated queries must be valid
+    assert query.return_items
+    live = run_query(_DIFF_GRAPH, text)
+    frozen = run_query(_DIFF_GRAPH, text, snapshot=_DIFF_SNAPSHOT)
+    assert _normalized(live) == _normalized(frozen)
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(text=cypherlite_queries(), seed=st.integers(0, 2**16))
+def test_advanced_snapshot_agrees_with_live_store(text, seed):
+    """The property also holds for incrementally advanced snapshots."""
+    rng = random.Random(seed)
+    example = build_paper_example()
+    graph = example.graph
+    snapshot = GraphSnapshot(graph)
+    for index in range(rng.randint(1, 3)):
+        activity = graph.add_activity(command=f"fuzz{index}")
+        graph.used(activity, rng.choice(list(graph.entities())))
+        entity = graph.add_entity(name=f"fuzz-out{index}")
+        graph.was_generated_by(entity, activity)
+    snapshot = snapshot.advance(graph)
+    assert snapshot.advanced_from is not None
+    live = run_query(graph, text)
+    frozen = run_query(graph, text, snapshot=snapshot)
+    assert _normalized(live) == _normalized(frozen)

@@ -1,8 +1,6 @@
 """Tests for CypherLite's anchor-side planning (id seeks beat scans)."""
 
-import pytest
 
-from repro.errors import QueryTimeout
 from repro.query.cypherlite import Budget, run_query
 from repro.query.paths import Path
 

@@ -8,7 +8,7 @@ implementation on randomized graphs.
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.model.types import ANCESTRY_EDGE_TYPES, VertexType
+from repro.model.types import ANCESTRY_EDGE_TYPES
 from repro.query.cypherlite import Budget, run_query
 from repro.workloads.pd_generator import PdParams, generate_pd
 

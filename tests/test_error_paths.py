@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.errors import (
-    QueryTimeout,
-    SegmentationError,
-    SolverError,
-    SummarizationError,
-)
+from repro.errors import QueryTimeout
 from repro.cfl.simprov_tst import SimProvTst
 from repro.model.graph import ProvenanceGraph
 from repro.segment.pgseg import Segment

@@ -1,6 +1,5 @@
 """Integration tests: full pipelines across modules."""
 
-import pytest
 
 from repro.model.types import EdgeType
 from repro.model import serialization as ser

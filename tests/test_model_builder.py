@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ModelError
 from repro.model.builder import ProvBuilder
-from repro.model.types import EdgeType
 
 
 class TestAgents:

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import CycleError
 from repro.model.graph import ProvenanceGraph
-from repro.model.types import EdgeType
 
 
 class TestCreation:

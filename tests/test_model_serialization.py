@@ -5,7 +5,7 @@ import pytest
 from repro.errors import SerializationError
 from repro.model import serialization as ser
 from repro.model.graph import ProvenanceGraph
-from repro.model.types import EdgeType, VertexType
+from repro.model.types import VertexType
 
 
 def graphs_equal(left: ProvenanceGraph, right: ProvenanceGraph) -> bool:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ValidationError
 from repro.model.graph import ProvenanceGraph
-from repro.model.types import EdgeType, VertexType
+from repro.model.types import EdgeType
 from repro.model.validation import require_valid, validate
 
 

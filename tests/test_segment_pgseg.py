@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SegmentationError
-from repro.model.types import EdgeType, VertexType
+from repro.model.types import VertexType
 from repro.segment.boundary import BoundaryCriteria
 from repro.segment.pgseg import PgSegOperator, PgSegQuery, Segment, segment
 from repro.segment.naive import naive_segment

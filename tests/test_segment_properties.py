@@ -2,7 +2,7 @@
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.model.types import EdgeType, VertexType
+from repro.model.types import EdgeType
 from repro.segment.boundary import BoundaryCriteria, exclude_edge_types
 from repro.segment.pgseg import PgSegOperator, PgSegQuery
 from repro.workloads.pd_generator import PdParams, generate_pd

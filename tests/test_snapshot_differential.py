@@ -1,16 +1,23 @@
 """Differential testing: snapshot answers must equal live-store answers.
 
 The test-archetype centerpiece of the snapshot layer. Seed-controlled
-random interleavings of store mutations and queries: after every mutation a
-fresh :class:`GraphSnapshot` is captured and each query facility is run
-twice — once against the live store, once with ``snapshot=`` — asserting
-identical results (vertex sets, BFS level structure, blame reports, PgSeg
-segments with categories and edge ids, SimProv answers and path vertices).
+random interleavings of store mutations and queries: after every mutation
+*two* snapshots are produced — a full-rebuild :class:`GraphSnapshot` and an
+incrementally ``advance()``-ed one carried across the whole interleaving —
+asserted structurally bit-identical (CSR arrays, list views, untyped
+incident lists, ordinals, the cached ``ProvAdjacency``). Each query
+facility is then run twice — once against the live store, once with the
+*incremental* snapshot — asserting identical results (vertex sets, BFS
+level structure, blame reports, PgSeg segments with categories and edge
+ids, SimProv answers and path vertices), so the delta-patched read path is
+what the query families certify.
 
 Two shared operators (one live, one snapshot-holding) run across the whole
-interleaving, so the epoch-keyed memoization is also exercised against
-mutation: a stale cache or stale snapshot would surface as a divergence at
-the next checkpoint.
+interleaving, so the epoch-keyed memoization and the operator's internal
+``advance()`` resync are also exercised against mutation: a stale cache or
+a mispatched snapshot would surface as a divergence at the next checkpoint.
+Every few rounds the incremental chain is also checked against a forced
+full-rebuild fallback (``crossover=0``).
 
 8 seeds x 25 mutation/query rounds = 200 randomized interleavings, each
 checking every query family (the acceptance floor for this suite).
@@ -18,6 +25,7 @@ checking every query family (the acceptance floor for this suite).
 
 import random
 
+import numpy as np
 import pytest
 
 from repro.cfl.simprov_alg import SimProvAlg
@@ -30,6 +38,7 @@ from repro.query.ops import (
     impacted,
     lineage,
 )
+from repro.model.types import EdgeType, VertexType
 from repro.segment.pgseg import PgSegOperator, PgSegQuery
 from repro.store.snapshot import GraphSnapshot
 from repro.workloads.lifecycle import build_paper_example
@@ -96,8 +105,59 @@ def _mutate(rng: random.Random, graph: ProvenanceGraph, counter: list[int]) -> N
         if len(victims) > 2:
             graph.store.remove_vertex(rng.choice(victims))
         return
+    if roll < 0.94:
+        # Ghost: a run recorded then retracted inside one advance() span —
+        # net effect empty, but the id space still widens.
+        activity = graph.add_activity(command=f"ghost{tag}")
+        graph.used(activity, rng.choice(entities))
+        graph.store.remove_vertex(activity)
+        return
     vertex = rng.choice(entities)
     graph.store.set_vertex_property(vertex, "note", f"touched{tag}")
+
+
+# ---------------------------------------------------------------------------
+# Structural equivalence: full rebuild vs incremental advance()
+# ---------------------------------------------------------------------------
+
+
+def _prov_adjacency_key(adjacency):
+    return (
+        adjacency.n, adjacency.gen_acts, adjacency.user_acts,
+        adjacency.used_ents, adjacency.gen_ents, adjacency.orders,
+        adjacency.entity_ids, adjacency.activity_ids,
+        adjacency.edge_total_g, adjacency.edge_total_u,
+    )
+
+
+def _assert_snapshots_identical(full, incremental):
+    """Every frozen structure must match bit-for-bit."""
+    assert incremental.epoch == full.epoch
+    assert incremental.n == full.n
+    assert incremental.vertex_count == full.vertex_count
+    assert np.array_equal(incremental.vertex_codes, full.vertex_codes)
+    assert np.array_equal(incremental.orders, full.orders)
+    assert np.array_equal(incremental.edge_src, full.edge_src)
+    assert np.array_equal(incremental.edge_dst, full.edge_dst)
+    assert incremental.vertex_ids() == full.vertex_ids()
+    for vertex_type in VertexType:
+        assert incremental.vertex_ids(vertex_type) \
+            == full.vertex_ids(vertex_type)
+    for edge_type in EdgeType:
+        assert incremental.out_lists(edge_type) == full.out_lists(edge_type)
+        assert incremental.in_lists(edge_type) == full.in_lists(edge_type)
+        assert incremental.out_edge_lists(edge_type) \
+            == full.out_edge_lists(edge_type)
+        assert incremental.in_edge_lists(edge_type) \
+            == full.in_edge_lists(edge_type)
+        assert incremental.edge_count(edge_type) == full.edge_count(edge_type)
+    for vertex_id in full.vertex_ids():
+        assert incremental.out_edges(vertex_id) == full.out_edges(vertex_id)
+        assert incremental.in_edges(vertex_id) == full.in_edges(vertex_id)
+        # Records are shared with the store by contract.
+        assert incremental.vertex(vertex_id) is full.vertex(vertex_id)
+    assert _prov_adjacency_key(incremental.prov_adjacency()) \
+        == _prov_adjacency_key(full.prov_adjacency())
 
 
 # ---------------------------------------------------------------------------
@@ -186,18 +246,47 @@ def test_mutation_query_interleavings(seed):
     live_op = PgSegOperator(graph)
     snap_op = PgSegOperator(graph, snapshot=True)
     counter = [0]
+    incremental = GraphSnapshot(graph)
+    incremental.prov_adjacency()        # arm the cache so patching is tested
 
     for round_index in range(ROUNDS):
+        stale = incremental
         _mutate(rng, graph, counter)
-        snapshot = GraphSnapshot(graph)
-        assert snapshot.is_fresh
+        full = GraphSnapshot(graph)
+        incremental = incremental.advance(graph)
+        assert full.is_fresh and incremental.is_fresh
+        _assert_snapshots_identical(full, incremental)
+        if round_index % 5 == 4 and not stale.is_fresh:
+            # The crossover fallback must agree with the patched chain too
+            # (crossover=-1 forces a full rebuild even for spans with no
+            # structural deltas, which 0 no longer does).
+            rebuilt = stale.advance(graph, crossover=-1)
+            assert rebuilt.advanced_from is None
+            _assert_snapshots_identical(rebuilt, incremental)
         entities = list(graph.entities())
         assert entities, "mutation schedule must keep entities alive"
 
-        _check_lineage(graph, snapshot, rng, entities)
-        _check_blame(graph, snapshot, rng, entities)
+        # Query families certify the *incremental* snapshot against the
+        # live store; the structural check above ties it to the full one.
+        _check_lineage(graph, incremental, rng, entities)
+        _check_blame(graph, incremental, rng, entities)
         _check_pgseg(live_op, snap_op, rng, entities)
-        _check_simprov(graph, snapshot, rng, entities)
+        _check_simprov(graph, incremental, rng, entities)
+
+
+def test_interleavings_exercise_incremental_path():
+    """The advance() chain must actually patch (not silently rebuild)."""
+    rng = random.Random(0)
+    graph = build_paper_example().graph
+    counter = [0]
+    incremental = GraphSnapshot(graph)
+    patched_rounds = 0
+    for _ in range(ROUNDS):
+        _mutate(rng, graph, counter)
+        incremental = incremental.advance(graph)
+        if incremental.advanced_from is not None:
+            patched_rounds += 1
+    assert patched_rounds >= ROUNDS // 2
 
 
 def test_snapshot_answers_are_frozen_in_time():

@@ -6,7 +6,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.errors import SummarizationError
 from repro.model.graph import ProvenanceGraph
 from repro.segment.pgseg import Segment
-from repro.summarize.aggregation import TYPE_ONLY, PropertyAggregation
+from repro.summarize.aggregation import TYPE_ONLY
 from repro.summarize.pgsum import PgSumOperator, PgSumQuery, pgsum
 from repro.summarize.provtype import compute_vertex_classes
 from repro.summarize.psg import check_psg_invariant

@@ -3,7 +3,7 @@
 from repro.model.types import EdgeType, VertexType
 from repro.model.validation import validate
 from repro.model.versioning import VersionCatalog
-from repro.workloads.lifecycle import build_paper_example, generate_team_project
+from repro.workloads.lifecycle import generate_team_project
 
 
 class TestPaperExample:

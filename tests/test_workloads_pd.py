@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.errors import WorkloadError
-from repro.model.types import EdgeType, VertexType
+from repro.model.types import EdgeType
 from repro.model.validation import validate
 from repro.workloads.pd_generator import PdParams, generate_pd, generate_pd_sized
 

@@ -1,6 +1,5 @@
 """Tests for the evolving-script workload and its use with diff/PgSum."""
 
-import pytest
 
 from repro.model.validation import validate
 from repro.segment.diff import diff_segments
