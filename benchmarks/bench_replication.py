@@ -1,0 +1,267 @@
+"""Single-store live serving vs a 4-replica cluster, mixed read/write.
+
+The serving subsystem's end-to-end gate. The workload is the monitoring
+regime the paper motivates: between appends, many analysts refresh the
+*same* dashboard questions — so each round on a 12k-vertex Pd lifecycle
+graph appends one recorded run (the paper's workload grain, invalidating
+every epoch-keyed cache), then serves a read burst of lineage/blame walks
+over random entities plus a fixed pool of PgSeg introspection queries each
+asked several times (the dashboard fan-in). Three serving modes run the
+*same* seeded stream and must produce identical digests:
+
+- **single-store (live)** — the pre-PR1 architecture this bench gates
+  against: one process owns the graph, takes the writes, and serves every
+  query off the live mutable adjacency, re-deriving each answer per
+  request (fresh operator/solver adjacency per PgSeg — no read layer).
+- **cluster** — a :class:`repro.serve.cluster.ProvCluster` with 4 read
+  replicas: writes land on the leader, reads are routed with
+  read-your-writes consistency, so every round pays wire encode/decode,
+  batch apply, per-replica snapshot advance, and 4x cold cache warm-up
+  *inside the timing* (each replica re-derives a pooled query once per
+  epoch before hitting its own caches).
+- **single-snapshot** (informational) — the PR 1/2 single-process read
+  layer (one advanced snapshot + epoch-synced operator), reported so the
+  cluster's replication overhead over the best single-process path is
+  visible. It wins on one core — the cluster's point is that the same
+  wire protocol shards this read load across processes/machines.
+
+Replica bootstrap (full sync) happens before the timed window — the gate
+measures steady-state serving throughput — and is reported separately in
+the JSON record.
+
+Plain script so CI can smoke it cheaply::
+
+    PYTHONPATH=src python benchmarks/bench_replication.py --quick
+    PYTHONPATH=src python benchmarks/bench_replication.py          # full
+    PYTHONPATH=src python benchmarks/bench_replication.py --json out.json
+
+Exits non-zero when the 4-replica cluster's aggregate read throughput is
+not at least ``FLOORS[mode]`` times the single-store live throughput
+(``--no-assert`` disables, e.g. on noisy shared machines).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+
+from repro.query.ops import blame, lineage
+from repro.segment.pgseg import PgSegOperator, PgSegQuery
+from repro.serve.cluster import ProvCluster
+from repro.store.snapshot import GraphSnapshot
+from repro.workloads.pd_generator import generate_pd_sized
+
+#: Asserted aggregate-read-throughput floors (cluster vs live single-store).
+FLOORS = {"full": 2.0, "quick": 2.0}
+
+N_REPLICAS = 4
+
+
+def append_run(graph, rng: random.Random, entities: list[int],
+               index: int) -> None:
+    """Append one recorded run: 4-5 mutations, the paper's workload grain."""
+    activity = graph.add_activity(command=f"bench-run{index}")
+    for entity in rng.sample(entities, k=2):
+        graph.used(activity, entity)
+    output = graph.add_entity(name=f"bench-out{index}")
+    graph.was_generated_by(output, activity)
+
+
+class LiveServer:
+    """Pre-snapshot serving: every query walks the live store."""
+
+    name = "single-store"
+
+    def __init__(self, graph):
+        self.graph = graph
+
+    def lineage(self, entity):
+        return lineage(self.graph, entity)
+
+    def blame(self, entity):
+        return blame(self.graph, entity)
+
+    def segment(self, query):
+        # Fresh operator per evaluation: the live path rebuilds the solver
+        # adjacency per query (the operator itself memoizes since PR 1).
+        return PgSegOperator(self.graph).evaluate(query)
+
+
+class SnapshotServer:
+    """PR 1/2 single-process read layer: one advanced snapshot."""
+
+    name = "single-snapshot"
+
+    def __init__(self, graph):
+        self.graph = graph
+        self._snapshot = GraphSnapshot(graph)
+        self._operator = PgSegOperator(graph, snapshot=self._snapshot)
+
+    def _fresh(self):
+        if self._snapshot.epoch != self.graph.store.epoch:
+            self._snapshot = self._snapshot.advance(self.graph)
+            self._operator.snapshot = self._snapshot
+        return self._snapshot
+
+    def lineage(self, entity):
+        return lineage(self.graph, entity, snapshot=self._fresh())
+
+    def blame(self, entity):
+        return blame(self.graph, entity, snapshot=self._fresh())
+
+    def segment(self, query):
+        self._fresh()
+        return self._operator.evaluate(query)
+
+
+class ClusterServer:
+    """The serving subsystem: leader + read replicas + router."""
+
+    name = f"cluster-x{N_REPLICAS}"
+
+    def __init__(self, graph):
+        self.cluster = ProvCluster(graph, replicas=N_REPLICAS)
+
+    def lineage(self, entity):
+        return self.cluster.lineage(entity)
+
+    def blame(self, entity):
+        return self.cluster.blame(entity)
+
+    def segment(self, query):
+        return self.cluster.segment(query)
+
+
+def build_query_pool(entities: list[int], pool_size: int) -> list[PgSegQuery]:
+    """The dashboard's fixed PgSeg pool: destinations spread across the
+    cheap-to-moderate ancestry band (deep-ancestry tails would drown the
+    walk mix without changing the comparison)."""
+    src = tuple(entities[:2])
+    fractions = (0.08, 0.16, 0.24, 0.32, 0.40, 0.48)
+    return [
+        PgSegQuery(src=src, dst=(entities[int(len(entities) * f)],))
+        for f in fractions[:pool_size]
+    ]
+
+
+def run_workload(server_cls, n_vertices: int, rounds: int,
+                 walks_per_round: int, pool_size: int,
+                 pgseg_repeats: int, seed: int = 17) -> dict:
+    """One serving mode over the shared seeded read/write stream."""
+    instance = generate_pd_sized(n_vertices, seed=7)
+    graph = instance.graph
+    entities = list(instance.entities)
+    pool = build_query_pool(entities, pool_size)
+    rng = random.Random(seed)
+
+    t0 = time.perf_counter()
+    server = server_cls(graph)
+    bootstrap_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    digest = 0
+    queries = 0
+    for index in range(rounds):
+        append_run(graph, rng, entities, index)
+        for entity in rng.sample(entities, k=walks_per_round):
+            digest += len(server.lineage(entity).vertices)
+            digest += len(server.blame(entity))
+            queries += 2
+        # Dashboard fan-in: every pooled question asked several times
+        # between two appends, interleaved across the pool.
+        for _ in range(pgseg_repeats):
+            for query in pool:
+                digest += server.segment(query).vertex_count
+                queries += 1
+    elapsed = time.perf_counter() - t0
+    return {
+        "mode": server_cls.name,
+        "digest": digest,
+        "queries": queries,
+        "bootstrap_s": bootstrap_s,
+        "elapsed_s": elapsed,
+        "queries_per_s": queries / elapsed if elapsed else float("inf"),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer rounds (CI smoke); same 12k-vertex graph")
+    parser.add_argument("--no-assert", action="store_true",
+                        help="report only; never fail on the throughput floor")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write a machine-readable result record")
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    n_vertices = 12000
+    # pgseg_repeats is the dashboard fan-in per pooled question between two
+    # appends; it must comfortably exceed the replica count, since the
+    # round-robin router really does warm every replica's cache per epoch.
+    if args.quick:
+        rounds, walks_per_round, pool_size, pgseg_repeats = 2, 8, 2, 16
+    else:
+        rounds, walks_per_round, pool_size, pgseg_repeats = 6, 12, 4, 16
+    floor = FLOORS[mode]
+
+    print(f"workload: {rounds} rounds x ({2 * walks_per_round} walk + "
+          f"{pool_size} PgSeg x{pgseg_repeats}) queries on a Pd graph "
+          f"(n={n_vertices}), writes interleaved")
+    results = {}
+    for server_cls in (LiveServer, ClusterServer, SnapshotServer):
+        result = run_workload(server_cls, n_vertices, rounds,
+                              walks_per_round, pool_size, pgseg_repeats)
+        results[result["mode"]] = result
+        print(f"{result['mode']:<16s} {result['queries']:4d} queries in "
+              f"{result['elapsed_s']:8.3f}s   "
+              f"({result['queries_per_s']:8.1f} q/s, "
+              f"bootstrap {result['bootstrap_s']:5.2f}s)")
+
+    digests = {r["digest"] for r in results.values()}
+    if len(digests) != 1:
+        raise AssertionError(f"serving modes diverged: { {k: v['digest'] for k, v in results.items()} }")
+
+    cluster = results[ClusterServer.name]
+    live = results[LiveServer.name]
+    snap = results[SnapshotServer.name]
+    speedup = cluster["queries_per_s"] / live["queries_per_s"]
+    overhead = snap["queries_per_s"] / cluster["queries_per_s"]
+    print(f"cluster vs single-store : {speedup:5.2f}x  (floor {floor}x)")
+    print(f"single-snapshot vs cluster: {overhead:5.2f}x "
+          f"(replication overhead, informational)")
+
+    passed = speedup >= floor
+    record = {
+        "benchmark": "bench_replication",
+        "mode": mode,
+        "n_vertices": n_vertices,
+        "replicas": N_REPLICAS,
+        "floor": floor,
+        "speedup_vs_live": speedup,
+        "single_snapshot_vs_cluster": overhead,
+        "results": results,
+        "pass": passed,
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    if not args.no_assert and not passed:
+        print(
+            f"FAIL: cluster aggregate read throughput {speedup:.2f}x the "
+            f"single-store baseline, below floor {floor}x",
+            file=sys.stderr,
+        )
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -122,13 +122,21 @@ def _walk(graph: ProvenanceGraph, entity: int, upstream: bool,
 
 def blame(graph: ProvenanceGraph, entity: int,
           max_depth: int | None = None,
-          snapshot: GraphSnapshot | None = None) -> dict[int, set[int]]:
+          snapshot: GraphSnapshot | None = None,
+          ancestry: Lineage | None = None) -> dict[int, set[int]]:
     """Agents responsible for an entity's ancestry.
 
     Returns agent id -> the ancestry vertices (activities/entities) that
     agent is responsible for, like ``git blame`` over the derivation.
+
+    Args:
+        ancestry: a precomputed :func:`lineage` result for ``entity`` (and
+            the same ``max_depth``), skipping the internal walk — callers
+            that already hold the closure (e.g. the session's epoch caches)
+            pay for it once.
     """
-    ancestry = lineage(graph, entity, max_depth, snapshot=snapshot)
+    if ancestry is None:
+        ancestry = lineage(graph, entity, max_depth, snapshot=snapshot)
     report: dict[int, set[int]] = {}
     agents_of = graph.agents_of if snapshot is None else snapshot.agents_of
     for vertex_id in ancestry.vertices:

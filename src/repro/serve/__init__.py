@@ -1,0 +1,31 @@
+"""Delta-log replication and the multi-replica query serving layer.
+
+Turns the single-process provenance store into a leader + N read-replica
+cluster (PR 3): :mod:`repro.serve.wire` is the JSON-lines wire format,
+:mod:`repro.serve.replication` the leader publisher and replica catch-up
+protocol, and :mod:`repro.serve.cluster` the epoch-stamped query router.
+``LifecycleSession.serve(replicas=N)`` wires a session's reads through a
+cluster transparently.
+"""
+
+from repro.serve.cluster import ProvCluster, QueryRouter
+from repro.serve.replication import Replica, ReplicationLog
+from repro.serve.wire import (
+    WIRE_FORMAT,
+    decode_batch,
+    decode_sync,
+    encode_batch,
+    encode_sync,
+)
+
+__all__ = [
+    "WIRE_FORMAT",
+    "ProvCluster",
+    "QueryRouter",
+    "Replica",
+    "ReplicationLog",
+    "decode_batch",
+    "decode_sync",
+    "encode_batch",
+    "encode_sync",
+]

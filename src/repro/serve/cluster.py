@@ -1,0 +1,188 @@
+"""ProvCluster: leader + N read replicas behind an epoch-aware router.
+
+The paper's ProvDB architecture assumes one process owns the provenance
+graph; the ROADMAP north-star is heavy read traffic. :class:`ProvCluster`
+keeps the single leader as the only writer and fans every read family —
+introspection (PgSeg), overview (PgSum), lineage/impact/blame, CypherLite —
+out across :class:`~repro.serve.replication.Replica` followers fed by the
+delta-log replication stream.
+
+**Consistency: epoch-stamped read-your-writes.** Every query is stamped
+with a minimum epoch (by default the leader's current epoch, i.e. strict
+read-your-writes). The :class:`QueryRouter` rotates strictly round-robin
+and catches the routed replica up to the stamp on the spot — shipped
+batches apply in milliseconds through the incremental snapshot patcher,
+and a truncated span degrades to a full re-sync, never to a stale strong
+read. Passing an older stamp (e.g. ``min_epoch=0``) opts a query into
+bounded-staleness routing with zero catch-up work on the read path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, TypeVar
+
+from repro.model.graph import ProvenanceGraph
+from repro.query.cypherlite import Budget
+from repro.query.ops import Lineage
+from repro.segment.pgseg import PgSegQuery, Segment
+from repro.serve.replication import Replica, ReplicationLog
+from repro.summarize.pgsum import PgSumOperator, PgSumQuery
+from repro.summarize.psg import Psg
+
+T = TypeVar("T")
+
+
+class QueryRouter:
+    """Routes epoch-stamped reads across replicas, strict round-robin.
+
+    Every read advances the rotation and is served by the rotation-target
+    replica, caught up to the stamp on the spot when it lags. Picking the
+    rotation target (rather than skipping to an already-fresh replica) is
+    deliberate: after a write *every* replica lags, and a skip-to-fresh
+    policy funnels the whole read stream onto whichever replica the first
+    read warmed — N replicas with no fan-out. Catch-up is cheap
+    (incremental delta replay through the snapshot patcher), so paying it
+    in rotation keeps the entire fleet warm and the load spread.
+
+    Separated from :class:`ProvCluster` so the routing policy is testable
+    (and swappable) on its own.
+    """
+
+    def __init__(self, replicas: list[Replica]):
+        if not replicas:
+            raise ValueError("a cluster needs at least one replica")
+        self.replicas = replicas
+        self._cursor = 0
+
+    def route(self, min_epoch: int) -> Replica:
+        """The next replica in rotation, caught up to ``min_epoch``.
+
+        A stale-tolerant stamp (e.g. ``0``) routes with zero catch-up work
+        on the read path; the replica answers for its own epoch.
+
+        Raises:
+            ValueError: when the stamp is unsatisfiable even after
+                catch-up (it exceeds what the leader has published) — a
+                strong read must never silently degrade to stale data.
+        """
+        replica = self.replicas[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self.replicas)
+        if replica.epoch < min_epoch:
+            replica.catch_up()
+        if replica.epoch < min_epoch:
+            raise ValueError(
+                f"consistency stamp {min_epoch} is ahead of the leader "
+                f"(epoch {replica.epoch}); cannot serve a strong read"
+            )
+        return replica
+
+
+class ProvCluster:
+    """A leader store plus ``replicas`` read replicas and a router.
+
+    Args:
+        source: the leader — a :class:`ProvenanceGraph`, a
+            :class:`~repro.store.PropertyGraphStore`, or anything exposing
+            ``.store``. The leader remains the sole writer; keep mutating
+            it directly (or through a session) and the cluster ships the
+            deltas.
+        replicas: number of read replicas to bootstrap.
+    """
+
+    def __init__(self, source, replicas: int = 2):
+        store = getattr(source, "store", source)
+        self.graph = source if isinstance(source, ProvenanceGraph) \
+            else ProvenanceGraph(store)
+        self.log = ReplicationLog(store)
+        self.replicas = [Replica(self.log, i) for i in range(replicas)]
+        self.router = QueryRouter(self.replicas)
+        # All replicas bootstrapped off one memoized payload; free it now.
+        self.log.release_sync()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def leader_epoch(self) -> int:
+        """The leader's current mutation epoch."""
+        return self.log.epoch
+
+    def refresh(self) -> int:
+        """Ship pending batches to every replica (e.g. after a write burst).
+
+        Optional — the router catches replicas up lazily on the read path —
+        but useful to move replication work off the serving hot path.
+        Returns the total number of batches applied across replicas.
+        """
+        return sum(replica.catch_up() for replica in self.replicas)
+
+    def _serve(self, min_epoch: int | None,
+               request: Callable[[Replica], T]) -> T:
+        stamp = self.leader_epoch if min_epoch is None else min_epoch
+        replica = self.router.route(stamp)
+        replica.queries_served += 1
+        return request(replica)
+
+    # ------------------------------------------------------------------
+    # Routed read families (ids are leader ids: replication is id-exact)
+    # ------------------------------------------------------------------
+
+    def lineage(self, entity: int, max_depth: int | None = None,
+                min_epoch: int | None = None) -> Lineage:
+        """Ancestry walk on a caught-up replica."""
+        return self._serve(
+            min_epoch, lambda r: r.lineage(entity, max_depth=max_depth))
+
+    def impacted(self, entity: int, max_depth: int | None = None,
+                 min_epoch: int | None = None) -> Lineage:
+        """Impact walk on a caught-up replica."""
+        return self._serve(
+            min_epoch, lambda r: r.impacted(entity, max_depth=max_depth))
+
+    def blame(self, entity: int,
+              min_epoch: int | None = None) -> dict[int, set[int]]:
+        """Blame report on a caught-up replica."""
+        return self._serve(min_epoch, lambda r: r.blame(entity))
+
+    def segment(self, query: PgSegQuery,
+                min_epoch: int | None = None) -> Segment:
+        """PgSeg on a caught-up replica (per-replica segment caches)."""
+        return self._serve(min_epoch, lambda r: r.segment(query))
+
+    def summarize(self, queries: Iterable[PgSegQuery],
+                  pgsum: PgSumQuery | None = None,
+                  min_epoch: int | None = None) -> Psg:
+        """PgSum over PgSeg evaluations served by **one** replica.
+
+        A summary must describe a single graph state: with a relaxed
+        ``min_epoch``, independently routed segments could come from
+        replicas at different epochs and merge states that never coexisted.
+        So one replica is routed once and serves every segment of the
+        summary; the merge itself is cheap and runs in the caller.
+        """
+        stamp = self.leader_epoch if min_epoch is None else min_epoch
+        replica = self.router.route(stamp)
+        segments = []
+        for query in queries:
+            replica.queries_served += 1
+            segments.append(replica.segment(query))
+        return PgSumOperator(segments).evaluate(pgsum)
+
+    def cypher(self, text: str, budget: Budget | None = None,
+               min_epoch: int | None = None) -> list:
+        """CypherLite rows from a caught-up replica."""
+        return self._serve(min_epoch, lambda r: r.cypher(text, budget))
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Cluster-wide serving/replication counters."""
+        return {
+            "leader_epoch": self.leader_epoch,
+            "replicas": [replica.stats() for replica in self.replicas],
+        }
+
+    def __repr__(self) -> str:   # pragma: no cover - cosmetic
+        return (
+            f"ProvCluster(replicas={len(self.replicas)}, "
+            f"leader_epoch={self.leader_epoch})"
+        )

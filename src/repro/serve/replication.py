@@ -1,0 +1,233 @@
+"""Leader/replica replication over the store's delta log.
+
+The store already commits one atomic, epoch-tagged
+:class:`~repro.store.delta.DeltaBatch` per mutation (PR 2); this module
+turns that log into a replication stream:
+
+- :class:`ReplicationLog` — the leader-side publisher. ``sync()`` emits a
+  full-snapshot bootstrap payload; ``ship_since(epoch)`` emits the encoded
+  batch lines covering ``(epoch, leader_epoch]``, or ``None`` when the
+  bounded log has truncated the span — the follower must re-sync, never
+  partially replay (the same contract
+  :meth:`GraphSnapshot.advance <repro.store.snapshot.GraphSnapshot.advance>`
+  obeys).
+
+- :class:`Replica` — a read-only follower. It bootstraps from a full sync
+  (id-, ordinal-, and epoch-exact), then catches up by applying shipped
+  batches through
+  :meth:`~repro.store.PropertyGraphStore.apply_replicated_batch`; its local
+  delta log therefore mirrors the leader's, and its memoized read snapshot
+  advances with the same incremental patching / crossover policy as the
+  leader's (:func:`repro.store.snapshot.default_crossover`). On truncation
+  it falls back to a fresh bootstrap and counts the re-sync.
+
+Replicas serve every read family in the repo — lineage/impact/blame walks,
+PgSeg (with the operator's epoch-synced segment cache), and CypherLite —
+each against the replica's own armed snapshot, so a fleet of replicas
+multiplies warm read capacity without touching the leader's write path.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ModelError, StoreError
+from repro.model.graph import ProvenanceGraph
+from repro.query.cypherlite import Budget, run_query
+from repro.query.ops import Lineage
+from repro.query.ops import blame as _blame
+from repro.query.ops import impacted as _impacted
+from repro.query.ops import lineage as _lineage
+from repro.segment.pgseg import PgSegOperator, PgSegQuery, Segment
+from repro.serve.wire import decode_batch, decode_sync, encode_batch, encode_sync
+from repro.store.snapshot import GraphSnapshot
+from repro.store.store import PropertyGraphStore
+
+
+class ReplicationLog:
+    """Leader-side publisher of the delta-log replication stream.
+
+    Stateless over the leader store: followers track their own replayed
+    epoch and ask for the span they are missing, so one publisher serves
+    any number of replicas.
+
+    Args:
+        source: the leader — a :class:`PropertyGraphStore` or anything
+            exposing ``.store`` (a :class:`ProvenanceGraph`, a session's
+            graph).
+    """
+
+    def __init__(self, source):
+        self.store: PropertyGraphStore = getattr(source, "store", source)
+        self._sync_cache: tuple[int, str] | None = None
+
+    @property
+    def epoch(self) -> int:
+        """The leader's current mutation epoch."""
+        return self.store.epoch
+
+    def sync(self) -> str:
+        """A full-snapshot bootstrap payload at the current epoch.
+
+        Memoized per epoch: bootstrapping N replicas (or several re-syncs
+        of the same span) encodes the store once, not N times. The cached
+        payload is released as soon as the epoch moves on (see
+        :meth:`ship_since`) or via :meth:`release_sync`.
+        """
+        if self._sync_cache is None or self._sync_cache[0] != self.epoch:
+            self._sync_cache = (self.epoch, encode_sync(self.store))
+        return self._sync_cache[1]
+
+    def release_sync(self) -> None:
+        """Drop the memoized bootstrap payload (O(V+E) of JSON text)."""
+        self._sync_cache = None
+
+    def ship_since(self, epoch: int) -> list[str] | None:
+        """Encoded batch lines covering ``(epoch, leader_epoch]``.
+
+        Returns ``None`` when the span is no longer fully retained by the
+        leader's bounded delta log — the follower must bootstrap again
+        from :meth:`sync` (partial replay is never allowed).
+        """
+        if self._sync_cache is not None \
+                and self._sync_cache[0] != self.epoch:
+            # The cached bootstrap payload went stale with the first write
+            # after it; free it on the next replication interaction.
+            self._sync_cache = None
+        batches = self.store.delta_log.batches_since(epoch)
+        if batches is None:
+            return None
+        return [encode_batch(batch, self.store) for batch in batches]
+
+
+class Replica:
+    """A read-only follower serving queries from its own armed snapshot.
+
+    Args:
+        log: the leader's :class:`ReplicationLog`.
+        replica_id: cosmetic identifier used by the router and stats.
+    """
+
+    def __init__(self, log: ReplicationLog, replica_id: int = 0):
+        self._log = log
+        self.replica_id = replica_id
+        #: Number of full re-syncs forced by leader log truncation.
+        self.resyncs = 0
+        #: Total shipped batches applied since construction.
+        self.batches_applied = 0
+        #: Total queries served (maintained by the router).
+        self.queries_served = 0
+        self._bootstrap()
+
+    def _bootstrap(self) -> None:
+        """(Re-)build local state from a full leader sync."""
+        self.store = decode_sync(self._log.sync())
+        self.graph = ProvenanceGraph(self.store)
+        self._snapshot = GraphSnapshot(self.graph)
+        self._operator = PgSegOperator(self.graph, snapshot=self._snapshot)
+
+    # ------------------------------------------------------------------
+    # Catch-up protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The epoch this replica has replayed up to."""
+        return self.store.epoch
+
+    @property
+    def lag(self) -> int:
+        """Epochs behind the leader."""
+        return self._log.epoch - self.epoch
+
+    def catch_up(self) -> int:
+        """Replay every batch the leader has shipped since our epoch.
+
+        Returns the number of batches applied (a full re-sync counts as
+        the whole missing span). Applying nothing is a cheap no-op, so the
+        router calls this on the read path for read-your-writes routing.
+        """
+        start_epoch = self.epoch
+        lines = self._log.ship_since(start_epoch)
+        if lines is None:
+            # The span fell out of the leader's bounded log: full re-sync,
+            # exactly like GraphSnapshot.advance falling back to a rebuild.
+            self._bootstrap()
+            self.resyncs += 1
+            return self.epoch - start_epoch
+        # Decode first: a malformed line is a transport/codec bug and must
+        # propagate — only *apply* failures mean this follower diverged.
+        decoded = [decode_batch(line) for line in lines]
+        try:
+            for batch, payloads in decoded:
+                self.store.apply_replicated_batch(batch, payloads)
+        except (ValueError, StoreError, ModelError):
+            # Divergence — an epoch gap, an id mismatch, or a delta that no
+            # longer applies to the local state (possibly mid-batch, with
+            # earlier deltas already applied): the local state is untrusted,
+            # so honor apply_replicated_batch's contract and rebuild from a
+            # full snapshot instead of wedging forever. The span counted is
+            # everything covered since entry, including already-applied
+            # batches superseded by the re-sync.
+            self._bootstrap()
+            self.resyncs += 1
+            return self.epoch - start_epoch
+        self.batches_applied += len(decoded)
+        return len(decoded)
+
+    def snapshot(self) -> GraphSnapshot:
+        """The replica's memoized read snapshot at its replayed epoch.
+
+        Advanced incrementally through the replica's own delta log (which
+        mirrors the leader's batches), with the shared crossover policy.
+        """
+        if self._snapshot.epoch != self.store.epoch:
+            self._snapshot = self._snapshot.advance(self.store)
+            self._operator.snapshot = self._snapshot
+        return self._snapshot
+
+    # ------------------------------------------------------------------
+    # Read serving (ids are leader ids: replication is id-exact)
+    # ------------------------------------------------------------------
+
+    def lineage(self, entity: int,
+                max_depth: int | None = None) -> Lineage:
+        """Ancestry walk served from the replica snapshot."""
+        return _lineage(self.graph, entity, max_depth=max_depth,
+                        snapshot=self.snapshot())
+
+    def impacted(self, entity: int,
+                 max_depth: int | None = None) -> Lineage:
+        """Impact walk served from the replica snapshot."""
+        return _impacted(self.graph, entity, max_depth=max_depth,
+                         snapshot=self.snapshot())
+
+    def blame(self, entity: int) -> dict[int, set[int]]:
+        """Blame report served from the replica snapshot."""
+        return _blame(self.graph, entity, snapshot=self.snapshot())
+
+    def segment(self, query: PgSegQuery) -> Segment:
+        """PgSeg served by this replica's epoch-synced operator."""
+        self.snapshot()                    # arm the operator fast path
+        return self._operator.evaluate(query)
+
+    def cypher(self, text: str, budget: Budget | None = None) -> list:
+        """CypherLite rows served from the replica snapshot."""
+        return run_query(self.graph, text, budget, snapshot=self.snapshot())
+
+    def stats(self) -> dict[str, Any]:
+        """Replication/serving counters for dashboards and tests."""
+        return {
+            "replica_id": self.replica_id,
+            "epoch": self.epoch,
+            "lag": self.lag,
+            "batches_applied": self.batches_applied,
+            "resyncs": self.resyncs,
+            "queries_served": self.queries_served,
+        }
+
+    def __repr__(self) -> str:   # pragma: no cover - cosmetic
+        return (
+            f"Replica(id={self.replica_id}, epoch={self.epoch}, "
+            f"lag={self.lag}, resyncs={self.resyncs})"
+        )

@@ -1,0 +1,221 @@
+"""Wire format for the replication stream: JSON-lines, round-trip exact.
+
+Two message families cross the leader -> replica boundary:
+
+- **Batch lines** (:func:`encode_batch` / :func:`decode_batch`): one JSON
+  line per :class:`repro.store.delta.DeltaBatch`. The typed
+  :class:`~repro.store.delta.Delta` records are self-contained for
+  *structure*, but deliberately carry no property payloads (the in-process
+  snapshot patcher reads values through shared records). The wire codec
+  therefore **enriches** each delta at encode time with what a remote
+  follower cannot reconstruct: the properties dict for ``ADD_VERTEX`` /
+  ``ADD_EDGE`` and the set value for ``SET_*``, read from the leader store.
+  A subject that died on the leader before shipping encodes with no payload
+  — its tombstone batch follows in the same stream, so followers never
+  serve the transiently stale value (see
+  :meth:`~repro.store.PropertyGraphStore.apply_replicated_batch`).
+
+- **Sync lines** (:func:`encode_sync` / :func:`decode_sync`): a full store
+  snapshot for replica bootstrap, reusing the persistence record shapes
+  (:mod:`repro.store.persistence`) — a ``meta`` line carrying capacities and
+  the leader epoch, then one line per live vertex and edge. Decoding goes
+  through :func:`repro.store.persistence.restore_records`, the same id- and
+  ordinal-exact reconstruction path used by :func:`load_store`, then
+  restores the leader epoch so shipped batches apply contiguously.
+
+Round-trip guarantees (``tests/test_serve_wire.py``): every delta op kind,
+batch epochs, payload presence/absence, and sync reconstruction (ids,
+ordinals, tombstone gaps, properties, epoch) survive encode -> decode
+bit-exactly. Property values must be JSON-representable (str/int/float/
+bool/None and nested lists/dicts thereof) — the same constraint the
+persistence layer already imposes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.model.types import parse_edge_type, parse_vertex_type
+from repro.store.delta import Delta, DeltaBatch, DeltaOp, PropertyPayload
+from repro.store.persistence import (
+    edge_record_to_json,
+    meta_record,
+    parse_snapshot_lines,
+    restore_records,
+    vertex_record_to_json,
+)
+from repro.store.store import PropertyGraphStore
+
+#: Wire format tag for batch lines; bootstrap sync lines reuse the
+#: persistence format tag (the record shapes are identical).
+WIRE_FORMAT = "repro-wire-v1"
+
+_PROPERTY_OPS = (DeltaOp.SET_VERTEX_PROPERTY, DeltaOp.SET_EDGE_PROPERTY)
+
+
+# ---------------------------------------------------------------------------
+# Delta <-> JSON object
+# ---------------------------------------------------------------------------
+
+
+def delta_to_wire(delta: Delta,
+                  store: PropertyGraphStore | None = None) -> dict[str, Any]:
+    """One delta as a JSON-able object, payload-enriched from ``store``."""
+    record: dict[str, Any] = {"op": delta.op.name, "id": delta.subject_id}
+    if delta.vertex_type is not None:
+        record["vt"] = delta.vertex_type.label
+    if delta.edge_type is not None:
+        record["et"] = delta.edge_type.label
+    if delta.src != -1 or delta.dst != -1:
+        record["src"] = delta.src
+        record["dst"] = delta.dst
+    if delta.order != -1:
+        record["order"] = delta.order
+    if delta.key is not None:
+        record["key"] = delta.key
+    if store is None:
+        return record
+
+    # Payload enrichment: read what the typed record alone cannot carry.
+    # Ship-time state is by construction the final state of the shipped
+    # span, so current values converge exactly on the follower.
+    if delta.op is DeltaOp.ADD_VERTEX and delta.subject_id in store:
+        record["props"] = store.vertex(delta.subject_id).properties
+    elif delta.op is DeltaOp.ADD_EDGE and store.has_edge_id(delta.subject_id):
+        record["props"] = store.edge(delta.subject_id).properties
+    elif delta.op is DeltaOp.SET_VERTEX_PROPERTY \
+            and delta.subject_id in store:
+        props = store.vertex(delta.subject_id).properties
+        if delta.key in props:
+            record["value"] = props[delta.key]
+            record["has_value"] = True
+    elif delta.op is DeltaOp.SET_EDGE_PROPERTY \
+            and store.has_edge_id(delta.subject_id):
+        props = store.edge(delta.subject_id).properties
+        if delta.key in props:
+            record["value"] = props[delta.key]
+            record["has_value"] = True
+    return record
+
+
+def delta_from_wire(record: dict[str, Any]) -> tuple[Delta, Any]:
+    """Decode one wire delta into ``(Delta, payload)``.
+
+    The payload is what :meth:`PropertyGraphStore.apply_replicated_batch`
+    expects: a properties dict for adds, a :class:`PropertyPayload` for
+    sets (``None`` when the leader could no longer supply the value), and
+    ``None`` for removals.
+    """
+    try:
+        op = DeltaOp[record["op"]]
+        delta = Delta(
+            op=op,
+            subject_id=int(record["id"]),
+            vertex_type=(parse_vertex_type(record["vt"])
+                         if "vt" in record else None),
+            edge_type=(parse_edge_type(record["et"])
+                       if "et" in record else None),
+            src=int(record.get("src", -1)),
+            dst=int(record.get("dst", -1)),
+            order=int(record.get("order", -1)),
+            key=record.get("key"),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(f"malformed wire delta: {record!r}") from exc
+    if op in (DeltaOp.ADD_VERTEX, DeltaOp.ADD_EDGE):
+        return delta, dict(record.get("props", {}))
+    if op in _PROPERTY_OPS and record.get("has_value"):
+        return delta, PropertyPayload(record["value"])
+    return delta, None
+
+
+# ---------------------------------------------------------------------------
+# Batch <-> JSON line
+# ---------------------------------------------------------------------------
+
+
+def batch_to_wire(batch: DeltaBatch,
+                  store: PropertyGraphStore | None = None) -> dict[str, Any]:
+    """One batch as a JSON-able object (see :func:`delta_to_wire`)."""
+    return {
+        "kind": "batch",
+        "format": WIRE_FORMAT,
+        "epoch": batch.epoch,
+        "deltas": [delta_to_wire(delta, store) for delta in batch.deltas],
+    }
+
+
+def batch_from_wire(record: dict[str, Any],
+                    ) -> tuple[DeltaBatch, list[Any]]:
+    """Decode a wire batch object into ``(DeltaBatch, payloads)``."""
+    if record.get("kind") != "batch" or record.get("format") != WIRE_FORMAT:
+        raise SerializationError(
+            f"not a {WIRE_FORMAT} batch record: {record.get('kind')!r}"
+        )
+    try:
+        epoch = int(record["epoch"])
+        raw_deltas = record["deltas"]
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(
+            f"malformed wire batch record: {record!r}") from exc
+    decoded = [delta_from_wire(raw) for raw in raw_deltas]
+    batch = DeltaBatch(
+        epoch=epoch,
+        deltas=tuple(delta for delta, _ in decoded),
+    )
+    return batch, [payload for _, payload in decoded]
+
+
+def encode_batch(batch: DeltaBatch,
+                 store: PropertyGraphStore | None = None) -> str:
+    """One batch as a single JSON line (no trailing newline)."""
+    return json.dumps(batch_to_wire(batch, store), sort_keys=True)
+
+
+def decode_batch(line: str) -> tuple[DeltaBatch, list[Any]]:
+    """Inverse of :func:`encode_batch`."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid batch line: {exc}") from exc
+    return batch_from_wire(record)
+
+
+# ---------------------------------------------------------------------------
+# Full-snapshot sync (replica bootstrap)
+# ---------------------------------------------------------------------------
+
+
+def encode_sync(store: PropertyGraphStore) -> str:
+    """The full store as JSON Lines for replica bootstrap.
+
+    Same record and meta shapes as
+    :func:`repro.store.persistence.save_store` (one shared
+    :func:`~repro.store.persistence.meta_record` writer): the meta line
+    carries the leader epoch and signature-checking mode, so the replica
+    rejoins the leader's timeline in the leader's mode.
+    """
+    lines = [json.dumps(meta_record(store), sort_keys=True)]
+    for record in store.vertices():
+        lines.append(json.dumps(vertex_record_to_json(record),
+                                sort_keys=True))
+    for record in store.edges():
+        lines.append(json.dumps(edge_record_to_json(record), sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def decode_sync(payload: str,
+                check_signatures: bool | None = None) -> PropertyGraphStore:
+    """Rebuild a store from a sync payload (ids, ordinals, epoch exact).
+
+    The leader's signature-checking mode is adopted from the meta line
+    unless overridden (see
+    :func:`repro.store.persistence.restore_records`).
+    """
+    meta, vertices, edges = parse_snapshot_lines(
+        payload.splitlines(), source="<sync>")
+    return restore_records(meta, vertices, edges,
+                           check_signatures=check_signatures,
+                           source="<sync>")

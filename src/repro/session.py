@@ -18,12 +18,13 @@ touching the operator plumbing:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.errors import ModelError
 from repro.model.builder import ProvBuilder
 from repro.model.graph import ProvenanceGraph
 from repro.model.statistics import GraphStatistics, compute_statistics
+from repro.model.types import EdgeType, VertexType
 from repro.model.validation import ValidationReport, validate
 from repro.model.versioning import VersionCatalog
 from repro.query.ops import blame as _blame
@@ -31,15 +32,65 @@ from repro.query.ops import lineage as _lineage
 from repro.segment.boundary import BoundaryCriteria
 from repro.segment.diff import SegmentDiff, diff_segments
 from repro.segment.pgseg import PgSegOperator, PgSegQuery, Segment
+from repro.store.delta import DeltaBatch, DeltaOp
 from repro.store.snapshot import GraphSnapshot
 from repro.summarize.aggregation import PropertyAggregation
 from repro.summarize.pgsum import PgSumOperator, PgSumQuery
 from repro.summarize.psg import Psg
 
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.serve.cluster import ProvCluster
+
 #: Default aggregation for session summaries: artifact names + commands.
 SESSION_AGGREGATION = PropertyAggregation.of(
     entity=("name",), activity=("command",)
 )
+
+
+@dataclass(slots=True)
+class _SpanEffects:
+    """What a delta-log span touched, for selective cache invalidation.
+
+    Attributes:
+        touched: vertex ids structurally affected — subjects of vertex
+            ops plus both endpoints of added/removed edges.
+        prop_subjects: vertex ids whose properties changed (edge property
+            writes contribute both endpoints, conservatively).
+        structural: True if any vertex/edge was added or removed.
+        scan_dirty: True if the span could change a global entity scan —
+            an entity appeared/disappeared or a generation (``G``) edge
+            moved, the two events that can mint or retire a root.
+    """
+
+    touched: set[int] = field(default_factory=set)
+    prop_subjects: set[int] = field(default_factory=set)
+    structural: bool = False
+    scan_dirty: bool = False
+
+
+def _span_effects(batches: list[DeltaBatch]) -> _SpanEffects:
+    """Aggregate the cache-relevant effects of a delta-log span."""
+    effects = _SpanEffects()
+    for batch in batches:
+        for delta in batch.deltas:
+            op = delta.op
+            if op in (DeltaOp.ADD_VERTEX, DeltaOp.REMOVE_VERTEX):
+                effects.touched.add(delta.subject_id)
+                effects.structural = True
+                if delta.vertex_type is VertexType.ENTITY:
+                    effects.scan_dirty = True
+            elif op in (DeltaOp.ADD_EDGE, DeltaOp.REMOVE_EDGE):
+                effects.touched.add(delta.src)
+                effects.touched.add(delta.dst)
+                effects.structural = True
+                if delta.edge_type is EdgeType.WAS_GENERATED_BY:
+                    effects.scan_dirty = True
+            elif op is DeltaOp.SET_VERTEX_PROPERTY:
+                effects.prop_subjects.add(delta.subject_id)
+            elif op is DeltaOp.SET_EDGE_PROPERTY:
+                effects.prop_subjects.add(delta.src)
+                effects.prop_subjects.add(delta.dst)
+    return effects
 
 
 @dataclass(slots=True)
@@ -66,8 +117,20 @@ class LifecycleSession:
       :meth:`who_touched`, and :meth:`depth_of` memoize their results.
 
     Any mutation (``record``, ``add_artifact``, direct graph edits) bumps
-    the store epoch, which invalidates both caches automatically; repeated
-    calls on an untouched store return the *same* cached objects.
+    the store epoch; repeated calls on an untouched store return the
+    *same* cached objects. Invalidation is **delta-driven**: instead of
+    clearing the result cache wholesale per epoch, the session inspects
+    the store's delta log for the span since the cache was filled and
+    keeps every entry the span provably cannot have changed — ancestry
+    closures survive mutations whose touched vertex ids are disjoint from
+    the closure's footprint, and segment/summary entries survive
+    property-only spans that miss their members (see :meth:`_revalidate`
+    for the exact soundness argument per entry class).
+
+    :meth:`serve` attaches a :class:`repro.serve.cluster.ProvCluster`, after
+    which the introspection/overview reads fan out across read replicas
+    with read-your-writes consistency; the memoized result layer stays in
+    front either way.
     """
 
     def __init__(self, project: str = "project",
@@ -77,8 +140,10 @@ class LifecycleSession:
         self.runs: list[RecordedRun] = []
         self._operator = PgSegOperator(self.builder.graph)
         self._snapshot: GraphSnapshot | None = None
-        self._results: dict[Any, Any] = {}
+        # key -> (value, kind, footprint vertex ids); see _revalidate.
+        self._results: dict[Any, tuple[Any, str, frozenset[int]]] = {}
         self._results_epoch = -1
+        self._cluster: "ProvCluster | None" = None
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -115,15 +180,75 @@ class LifecycleSession:
             self._operator.snapshot = self._snapshot
         return self._snapshot
 
-    def _cached(self, key: tuple, compute: Callable[[], Any]) -> Any:
-        """Memoize ``compute()`` under ``key`` until the next mutation."""
+    def _revalidate(self) -> None:
+        """Drop result-cache entries the delta span may have changed.
+
+        Entries are classified when cached:
+
+        - ``"closure"`` (lineage/blame): the footprint is the full ancestry
+          closure (plus agents). Any edge that extends or shrinks the
+          closure has an endpoint inside it, and a freshly added vertex
+          cannot be inside it, so a span whose touched ids are disjoint
+          from the footprint cannot change the answer. Property writes on
+          footprint members drop the entry too (blame reads agent names).
+        - ``"scan"`` (roots): depends on a global entity scan, where a new
+          vertex is relevant precisely because it is *not* in any
+          footprint — kept only while the span minted/retired no entity
+          and moved no generation edge.
+        - ``"paths"`` (segments, summaries): path membership between fixed
+          endpoints can be rerouted by edges whose endpoints all lie
+          outside the old segment, so structural disjointness proves
+          nothing — dropped on any structural span, kept across
+          property-only spans that miss the member footprint (summaries
+          aggregate member properties).
+
+        A span that fell out of the bounded delta log clears everything —
+        the conservative fallback, same as the snapshot layer's.
+        """
         epoch = self.epoch
-        if self._results_epoch != epoch:
+        if epoch == self._results_epoch:
+            return
+        span = None
+        if self._results and self._results_epoch >= 0:
+            span = self.builder.graph.store.delta_log.batches_since(
+                self._results_epoch)
+        self._results_epoch = epoch
+        if span is None:
             self._results.clear()
-            self._results_epoch = epoch
-        if key not in self._results:
-            self._results[key] = compute()
-        return self._results[key]
+            return
+        effects = _span_effects(span)
+        survivors: dict[Any, tuple[Any, str, frozenset[int]]] = {}
+        for key, entry in self._results.items():
+            _, kind, footprint = entry
+            if kind == "scan":
+                keep = not effects.scan_dirty
+            elif kind == "closure":
+                keep = (footprint.isdisjoint(effects.touched)
+                        and footprint.isdisjoint(effects.prop_subjects))
+            else:                       # "paths"
+                keep = (not effects.structural
+                        and footprint.isdisjoint(effects.prop_subjects))
+            if keep:
+                survivors[key] = entry
+        self._results = survivors
+
+    def _cached(self, key: tuple, compute: Callable[[], Any],
+                kind: str = "paths",
+                deps: Callable[[Any], Iterable[int]] | None = None) -> Any:
+        """Memoize ``compute()`` under ``key`` with delta-driven retention.
+
+        ``kind`` and ``deps`` (result -> footprint vertex ids) feed
+        :meth:`_revalidate`'s per-class survival rules.
+        """
+        self._revalidate()
+        entry = self._results.get(key)
+        if entry is None:
+            value = compute()
+            footprint = frozenset(deps(value)) if deps is not None \
+                else frozenset()
+            entry = (value, kind, footprint)
+            self._results[key] = entry
+        return entry[0]
 
     def add_artifact(self, name: str, member: str | None = None,
                      **properties: Any) -> int:
@@ -177,15 +302,20 @@ class LifecycleSession:
     def _roots(self) -> list[int]:
         """Initial entities: snapshots with no generating activity."""
         def compute() -> list[int]:
-            from repro.model.types import EdgeType, VertexType
-
             snapshot = self.snapshot()
             gen_out = snapshot.out_lists(EdgeType.WAS_GENERATED_BY)
             return [
                 entity for entity in snapshot.vertex_ids(VertexType.ENTITY)
                 if not gen_out[entity]
             ]
-        return self._cached(("roots",), compute)
+        return self._cached(("roots",), compute, kind="scan")
+
+    def _segment_of(self, query: PgSegQuery) -> Segment:
+        """Evaluate one PgSeg query — routed to a replica when serving."""
+        if self._cluster is not None:
+            return self._cluster.segment(query)
+        self.snapshot()                         # arm the operator fast path
+        return self._operator.evaluate(query)
 
     def how_was_it_made(self, artifact: str, version: int | None = None,
                         from_artifacts: Iterable[str] = (),
@@ -194,25 +324,24 @@ class LifecycleSession:
         """PgSeg from source artifacts (default: all initial entities) to
         one artifact snapshot (default: its latest version).
 
-        Results are memoized per epoch (for the default, boundary-free
-        form): repeated calls on an untouched store return the same
-        :class:`Segment` object.
+        Results are memoized (for the default, boundary-free form) under
+        the *resolved* entity ids, so a freshly recorded version misses
+        the cache by key: repeated calls on an untouched store return the
+        same :class:`Segment` object.
         """
-        from_key = tuple(from_artifacts)
-
-        def compute() -> Segment:
-            dst = self._snapshot_id(artifact, version)
-            src = ([self._snapshot_id(name) for name in from_key]
-                   or self._roots())
-            query = PgSegQuery(src=tuple(src), dst=(dst,),
-                               boundaries=boundaries)
-            self.snapshot()                     # arm the operator fast path
-            return self._operator.evaluate(query)
-
+        dst = self._snapshot_id(artifact, version)
+        src = tuple(
+            [self._snapshot_id(name) for name in from_artifacts]
+            or self._roots()
+        )
+        query = PgSegQuery(src=src, dst=(dst,), boundaries=boundaries)
         if boundaries is not None:
             # Boundary criteria hold arbitrary predicates; don't cache.
-            return compute()
-        return self._cached(("segment", artifact, version, from_key), compute)
+            return self._segment_of(query)
+        return self._cached(
+            ("segment", src, dst), lambda: self._segment_of(query),
+            kind="paths", deps=lambda segment: segment.vertices,
+        )
 
     def compare_versions(self, artifact: str, old: int, new: int,
                          ) -> SegmentDiff:
@@ -221,33 +350,55 @@ class LifecycleSession:
         right = self.how_was_it_made(artifact, new)
         return diff_segments(left, right)
 
+    def _lineage_cached(self, entity: int):
+        """The memoized ancestry walk for one entity (closure-class)."""
+        def compute():
+            if self._cluster is not None:
+                return self._cluster.lineage(entity)
+            return _lineage(self.graph, entity, snapshot=self.snapshot())
+
+        return self._cached(
+            ("lineage", entity), compute, kind="closure",
+            deps=lambda result: result.vertices,
+        )
+
     def who_touched(self, artifact: str,
                     version: int | None = None) -> dict[str, int]:
         """Blame report: member name -> number of ancestry vertices owned.
 
-        Memoized per epoch.
+        Memoized until a mutation touches the ancestry footprint.
         """
-        def compute() -> dict[str, int]:
-            entity = self._snapshot_id(artifact, version)
-            report = _blame(self.graph, entity, snapshot=self.snapshot())
-            return {
-                self.graph.vertex(agent).get("name", str(agent)): len(owned)
-                for agent, owned in sorted(report.items())
-            }
-        # Copy so callers may mutate their report without poisoning the
-        # cache for the rest of the epoch.
-        return dict(self._cached(("blame", artifact, version), compute))
+        entity = self._snapshot_id(artifact, version)
+        # The report depends on the *whole* ancestry closure (a new
+        # attribution to any ancestor changes it), so the footprint is the
+        # lineage closure plus the agents — not just the owned vertices.
+        ancestry = self._lineage_cached(entity)
+
+        def compute() -> dict[int, set[int]]:
+            if self._cluster is not None:
+                return self._cluster.blame(entity)
+            # Reuse the cached closure: no second ancestry walk.
+            return _blame(self.graph, entity, snapshot=self.snapshot(),
+                          ancestry=ancestry)
+
+        report = self._cached(
+            ("blame", entity), compute, kind="closure",
+            deps=lambda rep: {entity, *ancestry.vertices, *rep},
+        )
+        # Build afresh per call, so callers may mutate their report without
+        # poisoning the cache.
+        return {
+            self.graph.vertex(agent).get("name", str(agent)): len(owned)
+            for agent, owned in sorted(report.items())
+        }
 
     def depth_of(self, artifact: str, version: int | None = None) -> int:
         """How many activity generations deep the snapshot's history is.
 
-        Memoized per epoch.
+        Memoized until a mutation touches the ancestry footprint.
         """
-        def compute() -> int:
-            entity = self._snapshot_id(artifact, version)
-            return _lineage(self.graph, entity,
-                            snapshot=self.snapshot()).depth
-        return self._cached(("depth", artifact, version), compute)
+        return self._lineage_cached(
+            self._snapshot_id(artifact, version)).depth
 
     # ------------------------------------------------------------------
     # Monitoring / overview (prospective provenance, PgSum)
@@ -265,22 +416,57 @@ class LifecycleSession:
             artifact: the artifact whose version history to summarize.
             last: only the most recent ``last`` versions (None = all).
         """
+        footprint: set[int] = set()
+
         def compute() -> Psg:
             versions = self.builder.versions(artifact)
             if not versions:
                 raise ModelError(f"unknown artifact {artifact!r}")
             scoped = versions if last is None else versions[-last:]
-            self.snapshot()                     # arm the operator fast path
+            src = tuple(self._roots())
             segments = [
-                self._operator.evaluate(PgSegQuery(
-                    src=tuple(self._roots()), dst=(snapshot,),
-                ))
+                self._segment_of(PgSegQuery(src=src, dst=(snapshot,)))
                 for snapshot in scoped
             ]
+            footprint.update(
+                vertex for segment in segments for vertex in segment.vertices
+            )
             return PgSumOperator(segments).evaluate(PgSumQuery(
                 aggregation=aggregation, k=k,
             ))
-        return self._cached(("psg", artifact, last, aggregation, k), compute)
+        return self._cached(("psg", artifact, last, aggregation, k), compute,
+                            kind="paths", deps=lambda _: footprint)
+
+    # ------------------------------------------------------------------
+    # Serving (leader + read replicas)
+    # ------------------------------------------------------------------
+
+    @property
+    def cluster(self) -> "ProvCluster | None":
+        """The attached serving cluster, or None when serving is off."""
+        return self._cluster
+
+    def serve(self, replicas: int = 2) -> "ProvCluster":
+        """Fan session reads out across ``replicas`` read replicas.
+
+        Bootstraps a :class:`repro.serve.cluster.ProvCluster` over this
+        session's graph (the session stays the sole writer) and routes
+        :meth:`how_was_it_made`, :meth:`who_touched`, :meth:`depth_of`, and
+        :meth:`typical_pipeline` through it with read-your-writes
+        consistency. The memoized result layer stays in front, so cache
+        hits never touch a replica. Returns the cluster for direct use
+        (e.g. ``session.serve(4).cypher(...)``).
+
+        Calling again re-bootstraps with the new replica count.
+        """
+        from repro.serve.cluster import ProvCluster
+
+        self._cluster = ProvCluster(self.graph, replicas=replicas)
+        return self._cluster
+
+    def stop_serving(self) -> None:
+        """Detach the serving cluster; reads run on the leader again."""
+        self._cluster = None
 
     # ------------------------------------------------------------------
     # Health

@@ -31,6 +31,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum, auto
+from typing import Any
 
 from repro.model.types import EdgeType, VertexType
 
@@ -68,6 +69,20 @@ class Delta:
     dst: int = -1
     order: int = -1
     key: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class PropertyPayload:
+    """Replication payload for a ``SET_*`` delta: the value that was set.
+
+    Wrapping the value lets
+    :meth:`repro.store.PropertyGraphStore.apply_replicated_batch`
+    distinguish "set to ``None``" (``PropertyPayload(None)``) from "value
+    unavailable because the subject died on the leader before the batch
+    shipped" (a bare ``None`` payload).
+    """
+
+    value: Any
 
 
 @dataclass(frozen=True, slots=True)
@@ -151,6 +166,23 @@ class DeltaLog:
             self._record_count -= len(evicted.deltas)
             self._base_epoch = evicted.epoch
             self._truncated = True
+
+    def rebase(self, epoch: int) -> None:
+        """Forget all batches and restart the window at ``epoch``.
+
+        Used when a store's epoch is restored from outside its own mutation
+        history — loading a persisted snapshot, or bootstrapping a replica
+        from a leader sync. After a rebase the log covers the empty span
+        ``(epoch, epoch]``: :meth:`batches_since` answers ``[]`` for
+        ``epoch`` itself and ``None`` for anything earlier, so stale readers
+        fall back to a full recapture instead of replaying across the gap.
+        """
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        self._batches.clear()
+        self._record_count = 0
+        self._base_epoch = epoch
+        self._truncated = False
 
     def batches_since(self, epoch: int) -> list[DeltaBatch] | None:
         """Batches replaying state at ``epoch`` up to ``last_epoch``.

@@ -5,99 +5,122 @@ Provenance stores are append-mostly logs, so durability comes in two parts:
 - :func:`save_store` / :func:`load_store` — full snapshots as JSON Lines.
   Vertex/edge *ids and creation ordinals are preserved exactly* (including
   tombstoned id gaps), because ids are the store's public handles: a PgSeg
-  query saved yesterday must address the same snapshots today.
+  query saved yesterday must address the same snapshots today. The meta
+  record also carries the store's **epoch** (format ``repro-store-v2``), so
+  a reloaded store rejoins its epoch timeline instead of restarting at the
+  reconstruction count — epoch-keyed caches and replica bootstraps stay
+  coherent. ``repro-store-v1`` files (no epoch) remain readable.
 - :class:`WriteAheadLog` — a thin mutation proxy that appends one JSON line
   per operation before applying it, with :func:`replay` to rebuild a store
   from the log (crash recovery, or shipping provenance increments).
 
 Format: first line is a ``meta`` record; then one record per live vertex and
-edge (snapshot) or per operation (log).
+edge (snapshot) or per operation (log). The record shapes double as the
+serving layer's wire conventions: :mod:`repro.serve.wire` reuses
+:func:`vertex_record_to_json` / :func:`edge_record_to_json` and
+:func:`restore_records` for the leader -> replica full-snapshot sync.
 """
 
 from __future__ import annotations
 
 import json
+from collections.abc import Iterable, Mapping
 from pathlib import Path
 from typing import Any, TextIO
 
 from repro.errors import SerializationError
 from repro.model.types import EdgeType, VertexType, parse_edge_type, parse_vertex_type
+from repro.store.records import EdgeRecord, VertexRecord
 from repro.store.store import PropertyGraphStore
 
-_FORMAT = "repro-store-v1"
+#: Current snapshot format tag (also used by the serving layer's sync).
+FORMAT = "repro-store-v2"
+_READABLE_FORMATS = ("repro-store-v1", "repro-store-v2")
+
+
+def meta_record(store: PropertyGraphStore) -> dict[str, Any]:
+    """The meta line of a snapshot/sync: one shared shape, one writer.
+
+    Carries everything a faithful reconstruction needs beyond the records
+    themselves: the id-space capacities, the epoch, and the store's
+    signature-checking mode (a loose store must restore loose, or
+    reconstruction rejects its own edges).
+    """
+    return {
+        "kind": "meta",
+        "format": FORMAT,
+        "vertex_capacity": store.vertex_capacity,
+        "edge_capacity": store.edge_capacity,
+        "epoch": store.epoch,
+        "check_signatures": store.check_signatures,
+    }
+
+
+def vertex_record_to_json(record: VertexRecord) -> dict[str, Any]:
+    """The JSON shape of one vertex record (shared with the wire codec)."""
+    return {
+        "kind": "vertex",
+        "id": record.vertex_id,
+        "type": record.vertex_type.label,
+        "order": record.order,
+        "props": record.properties,
+    }
+
+
+def edge_record_to_json(record: EdgeRecord) -> dict[str, Any]:
+    """The JSON shape of one edge record (shared with the wire codec)."""
+    return {
+        "kind": "edge",
+        "id": record.edge_id,
+        "type": record.edge_type.label,
+        "src": record.src,
+        "dst": record.dst,
+        "props": record.properties,
+    }
 
 
 def save_store(store: PropertyGraphStore, path: str | Path) -> None:
     """Write a full snapshot of the store to ``path`` (JSON Lines)."""
     target = Path(path)
     with target.open("w") as handle:
-        json.dump({
-            "kind": "meta",
-            "format": _FORMAT,
-            "vertex_capacity": store.vertex_capacity,
-            "edge_capacity": store.edge_capacity,
-        }, handle)
+        json.dump(meta_record(store), handle)
         handle.write("\n")
         for record in store.vertices():
-            json.dump({
-                "kind": "vertex",
-                "id": record.vertex_id,
-                "type": record.vertex_type.label,
-                "order": record.order,
-                "props": record.properties,
-            }, handle)
+            json.dump(vertex_record_to_json(record), handle)
             handle.write("\n")
         for record in store.edges():
-            json.dump({
-                "kind": "edge",
-                "id": record.edge_id,
-                "type": record.edge_type.label,
-                "src": record.src,
-                "dst": record.dst,
-                "props": record.properties,
-            }, handle)
+            json.dump(edge_record_to_json(record), handle)
             handle.write("\n")
 
 
-def load_store(path: str | Path,
-               check_signatures: bool = True) -> PropertyGraphStore:
-    """Rebuild a store from a snapshot, preserving ids, orders, and gaps.
+def restore_records(meta: Mapping[str, Any],
+                    vertices: Mapping[int, Mapping[str, Any]],
+                    edges: Mapping[int, Mapping[str, Any]],
+                    check_signatures: bool | None = None,
+                    source: str = "<records>") -> PropertyGraphStore:
+    """Rebuild a store from parsed snapshot records (the shared bootstrap).
+
+    Recreates the dense id space exactly — live records at their ids,
+    tombstones in the gaps — and, when ``meta`` carries an ``epoch``
+    (format v2), restores the store's epoch and rebases its delta log
+    there, so the reloaded store continues the original epoch timeline.
+
+    Both :func:`load_store` and the serving layer's replica bootstrap
+    (:func:`repro.serve.wire.decode_sync`) go through this path.
+
+    Args:
+        check_signatures: ``None`` (default) adopts the saved store's mode
+            from the meta record (v1 metas lack it: strict); a bool
+            overrides it.
 
     Raises:
-        SerializationError: on malformed snapshots.
+        SerializationError: on id drift or irrecoverable gaps.
     """
-    source = Path(path)
+    if check_signatures is None:
+        check_signatures = bool(meta.get("check_signatures", True))
     store = PropertyGraphStore(check_signatures=check_signatures)
-    vertices: dict[int, dict] = {}
-    edges: dict[int, dict] = {}
-    meta: dict | None = None
-    with source.open() as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise SerializationError(
-                    f"{source}:{line_number}: invalid JSON: {exc}"
-                ) from exc
-            kind = record.get("kind")
-            if kind == "meta":
-                meta = record
-            elif kind == "vertex":
-                vertices[int(record["id"])] = record
-            elif kind == "edge":
-                edges[int(record["id"])] = record
-            else:
-                raise SerializationError(
-                    f"{source}:{line_number}: unknown record kind {kind!r}"
-                )
-    if meta is None or meta.get("format") != _FORMAT:
-        raise SerializationError(f"{source}: missing or wrong meta record")
-
-    # Recreate the dense id space: live records at their ids, tombstones in
-    # the gaps (added then removed so ids and the order counter stay exact).
+    # Live records land at their ids; gaps are filled with a placeholder
+    # that is added then removed, so ids stay exact.
     for vertex_id in range(int(meta["vertex_capacity"])):
         record = vertices.get(vertex_id)
         if record is None:
@@ -138,7 +161,70 @@ def load_store(path: str | Path,
             raise SerializationError(
                 f"{source}: edge id drift ({created} != {edge_id})"
             )
+    if "epoch" in meta:
+        # Rejoin the saved timeline: reconstruction bumped the epoch once
+        # per rebuild operation, which is meaningless to the original
+        # store's caches and followers. The rebased delta log answers
+        # batches_since(epoch) == [] and None for anything earlier, so
+        # stale readers fall back to a full recapture.
+        store.restore_epoch(int(meta["epoch"]))
     return store
+
+
+def parse_snapshot_lines(lines: Iterable[str], source: str = "<lines>",
+                         ) -> tuple[dict, dict[int, dict], dict[int, dict]]:
+    """Parse JSON-Lines snapshot records into ``(meta, vertices, edges)``.
+
+    Raises:
+        SerializationError: on malformed JSON, unknown record kinds, or a
+            missing/unsupported meta record.
+    """
+    vertices: dict[int, dict] = {}
+    edges: dict[int, dict] = {}
+    meta: dict | None = None
+    for line_number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(
+                f"{source}:{line_number}: invalid JSON: {exc}"
+            ) from exc
+        kind = record.get("kind")
+        if kind == "meta":
+            meta = record
+        elif kind == "vertex":
+            vertices[int(record["id"])] = record
+        elif kind == "edge":
+            edges[int(record["id"])] = record
+        else:
+            raise SerializationError(
+                f"{source}:{line_number}: unknown record kind {kind!r}"
+            )
+    if meta is None or meta.get("format") not in _READABLE_FORMATS:
+        raise SerializationError(f"{source}: missing or wrong meta record")
+    return meta, vertices, edges
+
+
+def load_store(path: str | Path,
+               check_signatures: bool | None = None) -> PropertyGraphStore:
+    """Rebuild a store from a snapshot, preserving ids, orders, and gaps.
+
+    v2 snapshots also restore the store's epoch and signature-checking
+    mode (see :func:`restore_records`; pass a bool to override the mode);
+    v1 snapshots load with the legacy reconstruction epoch.
+
+    Raises:
+        SerializationError: on malformed snapshots.
+    """
+    source = Path(path)
+    with source.open() as handle:
+        meta, vertices, edges = parse_snapshot_lines(handle, str(source))
+    return restore_records(meta, vertices, edges,
+                           check_signatures=check_signatures,
+                           source=str(source))
 
 
 class WriteAheadLog:
@@ -154,7 +240,7 @@ class WriteAheadLog:
         self._path = Path(path)
         self._handle: TextIO = self._path.open("a")
         if self._path.stat().st_size == 0:
-            self._write({"kind": "meta", "format": _FORMAT, "log": True})
+            self._write({"kind": "meta", "format": FORMAT, "log": True})
 
     def _write(self, record: dict[str, Any]) -> None:
         json.dump(record, self._handle)

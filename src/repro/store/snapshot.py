@@ -69,6 +69,20 @@ CODE_TO_VERTEX_TYPE: dict[int, VertexType] = {
 CROSSOVER_DENOMINATOR = 8
 MIN_CROSSOVER_RECORDS = 64
 
+
+def default_crossover(store: PropertyGraphStore) -> int:
+    """The delta-record budget below which patching beats a full rebuild.
+
+    Shared by :meth:`GraphSnapshot.advance` and the serving layer's replica
+    catch-up (:mod:`repro.serve.replication`), so both read paths switch to
+    a full recapture at the same point.
+    """
+    return max(
+        MIN_CROSSOVER_RECORDS,
+        (store.vertex_count + store.edge_count) // CROSSOVER_DENOMINATOR,
+    )
+
+
 VertexPredicate = Callable[[VertexRecord], bool]
 EdgePredicate = Callable[[EdgeRecord], bool]
 
@@ -278,11 +292,7 @@ class GraphSnapshot(_CsrSnapshot):
                                 DeltaOp.SET_EDGE_PROPERTY)
         )
         if crossover is None:
-            crossover = max(
-                MIN_CROSSOVER_RECORDS,
-                (store.vertex_count + store.edge_count)
-                // CROSSOVER_DENOMINATOR,
-            )
+            crossover = default_crossover(store)
         if span > crossover:
             return GraphSnapshot(store, wanted)
         return self._patched(store, batches)

@@ -35,7 +35,7 @@ snapshots forward instead of rebuilding them from scratch.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
 from typing import Any
 
 from repro.errors import EdgeNotFound, InvalidEdge, VertexNotFound
@@ -77,6 +77,11 @@ class PropertyGraphStore:
     # ------------------------------------------------------------------
 
     @property
+    def check_signatures(self) -> bool:
+        """Whether PROV edge-type signatures are enforced on add_edge."""
+        return self._check_signatures
+
+    @property
     def epoch(self) -> int:
         """Monotone mutation counter; bumps exactly once per mutating call.
 
@@ -94,6 +99,18 @@ class PropertyGraphStore:
         """Bump the epoch once and log the deltas as one atomic batch."""
         self._epoch += 1
         self._delta_log.append(DeltaBatch(self._epoch, deltas))
+
+    def restore_epoch(self, epoch: int) -> None:
+        """Adopt an externally persisted epoch and rebase the delta log.
+
+        Used after rebuilding a store from a snapshot (persistence load,
+        replica bootstrap): the reconstruction bumped the epoch once per
+        rebuild operation, which is meaningless to the original timeline.
+        After restoring, future mutations continue from ``epoch + 1`` and
+        the delta log covers the empty span ``(epoch, epoch]``.
+        """
+        self._epoch = epoch
+        self._delta_log.rebase(epoch)
 
     @property
     def vertex_count(self) -> int:
@@ -132,20 +149,17 @@ class PropertyGraphStore:
     # Mutation
     # ------------------------------------------------------------------
 
-    def add_vertex(self, vertex_type: VertexType,
-                   properties: dict[str, Any] | None = None) -> int:
-        """Append a vertex and return its id.
-
-        The vertex receives the next creation ordinal ("order of being").
-        """
+    def _insert_vertex(self, vertex_type: VertexType,
+                       properties: dict[str, Any] | None,
+                       order: int) -> int:
+        """Append a vertex with an explicit ordinal, without committing."""
         vertex_id = len(self._vertices)
         record = VertexRecord(
             vertex_id=vertex_id,
             vertex_type=vertex_type,
             properties=dict(properties or {}),
-            order=self._next_order,
+            order=order,
         )
-        self._next_order += 1
         self._vertices.append(record)
         self._out.append({})
         self._in.append({})
@@ -154,19 +168,24 @@ class PropertyGraphStore:
         for (vt, key), index in self._property_indexes.items():
             if vt is vertex_type and key in record.properties:
                 index.add(record.properties[key], vertex_id)
-        self._commit(Delta(DeltaOp.ADD_VERTEX, vertex_id,
-                           vertex_type=vertex_type, order=record.order))
         return vertex_id
 
-    def add_edge(self, edge_type: EdgeType, src: int, dst: int,
-                 properties: dict[str, Any] | None = None) -> int:
-        """Append an edge ``src -> dst`` and return its id.
+    def add_vertex(self, vertex_type: VertexType,
+                   properties: dict[str, Any] | None = None) -> int:
+        """Append a vertex and return its id.
 
-        Raises:
-            VertexNotFound: if either endpoint does not exist.
-            InvalidEdge: if signature checking is enabled and the endpoint
-                types do not match the PROV signature of ``edge_type``.
+        The vertex receives the next creation ordinal ("order of being").
         """
+        order = self._next_order
+        self._next_order += 1
+        vertex_id = self._insert_vertex(vertex_type, properties, order)
+        self._commit(Delta(DeltaOp.ADD_VERTEX, vertex_id,
+                           vertex_type=vertex_type, order=order))
+        return vertex_id
+
+    def _insert_edge(self, edge_type: EdgeType, src: int, dst: int,
+                     properties: dict[str, Any] | None) -> int:
+        """Append an edge ``src -> dst`` without committing."""
         src_rec = self.vertex(src)
         dst_rec = self.vertex(dst)
         if self._check_signatures and not edge_signature_ok(
@@ -189,6 +208,18 @@ class PropertyGraphStore:
         self._in[dst].setdefault(edge_type, []).append(edge_id)
         self._label_index.add_edge(edge_id, edge_type)
         self._live_edge_count += 1
+        return edge_id
+
+    def add_edge(self, edge_type: EdgeType, src: int, dst: int,
+                 properties: dict[str, Any] | None = None) -> int:
+        """Append an edge ``src -> dst`` and return its id.
+
+        Raises:
+            VertexNotFound: if either endpoint does not exist.
+            InvalidEdge: if signature checking is enabled and the endpoint
+                types do not match the PROV signature of ``edge_type``.
+        """
+        edge_id = self._insert_edge(edge_type, src, dst, properties)
         self._commit(Delta(DeltaOp.ADD_EDGE, edge_id, edge_type=edge_type,
                            src=src, dst=dst))
         return edge_id
@@ -208,6 +239,18 @@ class PropertyGraphStore:
         """Tombstone an edge. Ids are never reused."""
         self._commit(self._detach_edge(self.edge(edge_id)))
 
+    def _tombstone_vertex(self, vertex_id: int) -> Delta:
+        """Tombstone one edge-free vertex without committing."""
+        record = self.vertex(vertex_id)
+        self._label_index.remove_vertex(vertex_id, record.vertex_type)
+        for (vt, key), index in self._property_indexes.items():
+            if vt is record.vertex_type and key in record.properties:
+                index.discard(record.properties[key], vertex_id)
+        self._vertices[vertex_id] = None
+        self._live_vertex_count -= 1
+        return Delta(DeltaOp.REMOVE_VERTEX, vertex_id,
+                     vertex_type=record.vertex_type)
+
     def remove_vertex(self, vertex_id: int) -> None:
         """Tombstone a vertex and all incident edges.
 
@@ -216,25 +259,19 @@ class PropertyGraphStore:
         edge tombstones and the vertex tombstone, so no replayer or cache
         can observe an intermediate state.
         """
-        record = self.vertex(vertex_id)
+        self.vertex(vertex_id)
         # Self-loops appear in both the out and in lists; dedupe so each
         # incident edge is detached (and logged) exactly once.
         deltas = [
             self._detach_edge(self._edges[edge_id])  # type: ignore[arg-type]
             for edge_id in dict.fromkeys(self.incident_edge_ids(vertex_id))
         ]
-        self._label_index.remove_vertex(vertex_id, record.vertex_type)
-        for (vt, key), index in self._property_indexes.items():
-            if vt is record.vertex_type and key in record.properties:
-                index.discard(record.properties[key], vertex_id)
-        self._vertices[vertex_id] = None
-        self._live_vertex_count -= 1
-        deltas.append(Delta(DeltaOp.REMOVE_VERTEX, vertex_id,
-                            vertex_type=record.vertex_type))
+        deltas.append(self._tombstone_vertex(vertex_id))
         self._commit(*deltas)
 
-    def set_vertex_property(self, vertex_id: int, key: str, value: Any) -> None:
-        """Set one vertex property, keeping any property index in sync."""
+    def _write_vertex_property(self, vertex_id: int, key: str,
+                               value: Any) -> None:
+        """Set one vertex property (index-synced) without committing."""
         record = self.vertex(vertex_id)
         index = self._property_indexes.get((record.vertex_type, key))
         if index is not None and key in record.properties:
@@ -242,8 +279,13 @@ class PropertyGraphStore:
         record.properties[key] = value
         if index is not None:
             index.add(value, vertex_id)
+
+    def set_vertex_property(self, vertex_id: int, key: str, value: Any) -> None:
+        """Set one vertex property, keeping any property index in sync."""
+        vertex_type = self.vertex(vertex_id).vertex_type
+        self._write_vertex_property(vertex_id, key, value)
         self._commit(Delta(DeltaOp.SET_VERTEX_PROPERTY, vertex_id,
-                           vertex_type=record.vertex_type, key=key))
+                           vertex_type=vertex_type, key=key))
 
     def set_edge_property(self, edge_id: int, key: str, value: Any) -> None:
         """Set one edge property."""
@@ -252,6 +294,78 @@ class PropertyGraphStore:
         self._commit(Delta(DeltaOp.SET_EDGE_PROPERTY, edge_id,
                            edge_type=record.edge_type, src=record.src,
                            dst=record.dst, key=key))
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+
+    def apply_replicated_batch(self, batch: DeltaBatch,
+                               payloads: Sequence[Any] | None = None) -> None:
+        """Apply one batch shipped from another store, as one atomic epoch.
+
+        The replication hook of :mod:`repro.serve`: a follower whose state
+        matches the leader's at ``batch.epoch - 1`` applies the leader's
+        batches in order and stays structurally identical — same ids, same
+        ordinals, same epoch, and the same delta-log contents (so
+        :meth:`repro.store.snapshot.GraphSnapshot.advance` works on the
+        follower exactly as on the leader).
+
+        Args:
+            batch: the leader's batch; must be this store's next epoch.
+            payloads: per-delta payloads carrying what the typed record
+                alone cannot — the properties dict for ``ADD_VERTEX`` /
+                ``ADD_EDGE`` and the value for ``SET_*`` (``None``
+                elsewhere, or when the subject had died on the leader
+                before the batch was shipped).
+
+        Raises:
+            ValueError: on an epoch gap or an id mismatch — both mean the
+                follower diverged and must re-sync from a full snapshot.
+        """
+        if batch.epoch != self._epoch + 1:
+            raise ValueError(
+                f"replicated batch epoch {batch.epoch} does not follow "
+                f"store epoch {self._epoch}"
+            )
+        if payloads is None:
+            payloads = [None] * len(batch.deltas)
+        for delta, payload in zip(batch.deltas, payloads, strict=True):
+            op = delta.op
+            if op is DeltaOp.ADD_VERTEX:
+                if delta.subject_id != len(self._vertices):
+                    raise ValueError(
+                        f"replicated vertex id {delta.subject_id} != next "
+                        f"id {len(self._vertices)} (follower diverged)"
+                    )
+                self._insert_vertex(delta.vertex_type, payload, delta.order)
+                self._next_order = max(self._next_order, delta.order + 1)
+            elif op is DeltaOp.ADD_EDGE:
+                if delta.subject_id != len(self._edges):
+                    raise ValueError(
+                        f"replicated edge id {delta.subject_id} != next "
+                        f"id {len(self._edges)} (follower diverged)"
+                    )
+                self._insert_edge(delta.edge_type, delta.src, delta.dst,
+                                  payload)
+            elif op is DeltaOp.REMOVE_EDGE:
+                self._detach_edge(self.edge(delta.subject_id))
+            elif op is DeltaOp.REMOVE_VERTEX:
+                self._tombstone_vertex(delta.subject_id)
+            elif op is DeltaOp.SET_VERTEX_PROPERTY:
+                # A missing payload means the subject died on the leader
+                # before shipping; the tombstone batch follows in the same
+                # stream, so the transiently stale value is never served.
+                if payload is not None:
+                    self._write_vertex_property(delta.subject_id, delta.key,
+                                                payload.value)
+            elif op is DeltaOp.SET_EDGE_PROPERTY:
+                if payload is not None:
+                    self.edge(delta.subject_id).properties[delta.key] = \
+                        payload.value
+            else:                        # pragma: no cover - defensive
+                raise ValueError(f"unknown delta op {op!r}")
+        self._epoch = batch.epoch
+        self._delta_log.append(batch)
 
     # ------------------------------------------------------------------
     # O(1) record access

@@ -1,0 +1,171 @@
+"""Differential testing: replica state must equal a leader full rebuild.
+
+The replication analog of ``tests/test_snapshot_differential.py``.
+Seed-controlled random interleavings of leader mutations, delta shipping,
+and queries: after every catch-up the replica's read snapshot is asserted
+**structurally bit-identical** to a full ``GraphSnapshot`` rebuilt from the
+leader — CSR arrays, list views, untyped incident lists, ordinals, epochs,
+the cached ``ProvAdjacency``, and record *values* (records live in
+different stores, so identity is replaced by field equality). Query
+families (lineage/impact/blame, PgSeg, CypherLite) are then run against
+both sides through the routed cluster and asserted identical.
+
+A dedicated scenario shrinks the leader's delta log so mutation bursts
+truncate the shipped span, forcing the full re-sync path — the replica
+must come back bit-identical through that road too.
+
+8 seeds x 25 rounds = 200 randomized interleavings, matching the snapshot
+suite's floor.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.model.types import EdgeType, VertexType
+from repro.query.cypherlite import run_query
+from repro.query.ops import blame, impacted, lineage
+from repro.segment.pgseg import PgSegOperator, PgSegQuery
+from repro.serve.cluster import ProvCluster
+from repro.store.snapshot import GraphSnapshot
+from repro.workloads.lifecycle import build_paper_example
+from test_snapshot_differential import (
+    _lineage_key,
+    _mutate,
+    _prov_adjacency_key,
+    _segment_key,
+)
+
+SEEDS = range(8)
+ROUNDS = 25
+
+
+def _vertex_key(record):
+    return (record.vertex_id, record.vertex_type, record.order,
+            record.properties)
+
+
+def _edge_key(record):
+    return (record.edge_id, record.edge_type, record.src, record.dst,
+            record.properties)
+
+
+def _assert_snapshots_equivalent(leader_snap, replica_snap):
+    """Bit-identical frozen structure; records equal by value."""
+    assert replica_snap.epoch == leader_snap.epoch
+    assert replica_snap.n == leader_snap.n
+    assert replica_snap.vertex_count == leader_snap.vertex_count
+    assert np.array_equal(replica_snap.vertex_codes,
+                          leader_snap.vertex_codes)
+    assert np.array_equal(replica_snap.orders, leader_snap.orders)
+    assert np.array_equal(replica_snap.edge_src, leader_snap.edge_src)
+    assert np.array_equal(replica_snap.edge_dst, leader_snap.edge_dst)
+    assert replica_snap.vertex_ids() == leader_snap.vertex_ids()
+    for vertex_type in VertexType:
+        assert replica_snap.vertex_ids(vertex_type) \
+            == leader_snap.vertex_ids(vertex_type)
+    for edge_type in EdgeType:
+        assert replica_snap.out_lists(edge_type) \
+            == leader_snap.out_lists(edge_type)
+        assert replica_snap.in_lists(edge_type) \
+            == leader_snap.in_lists(edge_type)
+        assert replica_snap.out_edge_lists(edge_type) \
+            == leader_snap.out_edge_lists(edge_type)
+        assert replica_snap.in_edge_lists(edge_type) \
+            == leader_snap.in_edge_lists(edge_type)
+        assert replica_snap.edge_count(edge_type) \
+            == leader_snap.edge_count(edge_type)
+    for vertex_id in leader_snap.vertex_ids():
+        assert replica_snap.out_edges(vertex_id) \
+            == leader_snap.out_edges(vertex_id)
+        assert replica_snap.in_edges(vertex_id) \
+            == leader_snap.in_edges(vertex_id)
+        assert _vertex_key(replica_snap.vertex(vertex_id)) \
+            == _vertex_key(leader_snap.vertex(vertex_id))
+    for edge_id in leader_snap.induced_edge_ids(leader_snap.vertex_ids()):
+        assert _edge_key(replica_snap.edge(edge_id)) \
+            == _edge_key(leader_snap.edge(edge_id))
+    assert _prov_adjacency_key(replica_snap.prov_adjacency()) \
+        == _prov_adjacency_key(leader_snap.prov_adjacency())
+
+
+def _check_routed_queries(graph, cluster, rng, entities):
+    """Every read family must agree between leader-live and routed."""
+    for entity in rng.sample(entities, k=min(3, len(entities))):
+        assert _lineage_key(cluster.lineage(entity)) \
+            == _lineage_key(lineage(graph, entity))
+        assert _lineage_key(cluster.impacted(entity)) \
+            == _lineage_key(impacted(graph, entity))
+        assert cluster.blame(entity) == blame(graph, entity)
+    src = tuple(rng.sample(entities, k=min(2, len(entities))))
+    dst = (rng.choice(entities),)
+    query = PgSegQuery(src=src, dst=dst)
+    assert _segment_key(cluster.segment(query)) \
+        == _segment_key(PgSegOperator(graph).evaluate(query))
+    probe = rng.choice(entities)
+    text = f"MATCH (e:E)<-[:U]-(a:A) WHERE id(e) = {probe} RETURN id(a)"
+    assert cluster.cypher(text) == run_query(graph, text)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_mutate_ship_query_interleavings(seed):
+    rng = random.Random(seed)
+    graph = build_paper_example().graph
+    cluster = ProvCluster(graph, replicas=2)
+    counter = [0]
+
+    for round_index in range(ROUNDS):
+        for _ in range(rng.randint(1, 3)):
+            _mutate(rng, graph, counter)
+        # Ship to one replica eagerly; the other catches up lazily via the
+        # router, so both catch-up paths stay under test.
+        cluster.replicas[round_index % 2].catch_up()
+
+        entities = list(graph.entities())
+        assert entities, "mutation schedule must keep entities alive"
+        _check_routed_queries(graph, cluster, rng, entities)
+
+        # After routing, compare every caught-up replica against a full
+        # leader rebuild (replicas that still lag answer for their own
+        # epoch by design and are checked once they ship).
+        full = GraphSnapshot(graph)
+        for replica in cluster.replicas:
+            if replica.epoch == graph.store.epoch:
+                _assert_snapshots_equivalent(full, replica.snapshot())
+
+    # Both replicas served and finished convergent.
+    cluster.refresh()
+    full = GraphSnapshot(graph)
+    for replica in cluster.replicas:
+        assert replica.queries_served > 0
+        _assert_snapshots_equivalent(full, replica.snapshot())
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_truncation_resync_interleavings(seed):
+    """Bursts overflow a tiny leader log: the re-sync path must converge."""
+    rng = random.Random(1000 + seed)
+    graph = build_paper_example().graph
+    graph.store.delta_log.capacity = 12
+    cluster = ProvCluster(graph, replicas=2)
+    counter = [0]
+
+    for _ in range(10):
+        # A burst large enough to (often) evict the un-shipped span.
+        for _ in range(rng.randint(4, 8)):
+            _mutate(rng, graph, counter)
+        cluster.refresh()
+        full = GraphSnapshot(graph)
+        for replica in cluster.replicas:
+            _assert_snapshots_equivalent(full, replica.snapshot())
+        entities = list(graph.entities())
+        _check_routed_queries(graph, cluster, rng, entities)
+
+    assert any(replica.resyncs > 0 for replica in cluster.replicas), \
+        "the truncation schedule must actually force full re-syncs"
+
+
+def test_interleaving_budget():
+    """The randomized suite exercises at least 200 interleavings."""
+    assert len(SEEDS) * ROUNDS >= 200

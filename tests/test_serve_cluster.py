@@ -1,0 +1,299 @@
+"""Replica catch-up protocol, router consistency, and session serving."""
+
+import pytest
+
+from repro.model.types import EdgeType, VertexType
+from repro.query.ops import blame, lineage
+from repro.segment.pgseg import PgSegQuery
+from repro.serve.cluster import ProvCluster, QueryRouter
+from repro.serve.replication import Replica, ReplicationLog
+from repro.session import LifecycleSession
+from repro.store.delta import Delta, DeltaBatch, DeltaOp
+from repro.store.store import PropertyGraphStore
+from repro.workloads.lifecycle import build_paper_example
+from test_store_persistence import stores_identical
+
+
+def grow(graph, tag):
+    """Append one run: activity uses an existing entity, generates one."""
+    entities = list(graph.entities())
+    activity = graph.add_activity(command=f"cmd{tag}")
+    graph.used(activity, entities[tag % len(entities)])
+    out = graph.add_entity(name=f"out{tag}")
+    graph.was_generated_by(out, activity)
+    return out
+
+
+class TestReplica:
+    def test_bootstrap_is_id_and_epoch_exact(self, paper):
+        replica = Replica(ReplicationLog(paper.graph))
+        assert stores_identical(paper.graph.store, replica.store)
+        assert replica.epoch == paper.graph.store.epoch
+        assert replica.lag == 0
+
+    def test_catch_up_applies_shipped_batches(self, paper):
+        graph = paper.graph
+        replica = Replica(ReplicationLog(graph))
+        for tag in range(5):
+            grow(graph, tag)
+        assert replica.lag > 0
+        applied = replica.catch_up()
+        assert applied == replica.batches_applied > 0
+        assert replica.lag == 0
+        assert stores_identical(graph.store, replica.store)
+        assert replica.resyncs == 0
+
+    def test_catch_up_is_noop_when_fresh(self, paper):
+        replica = Replica(ReplicationLog(paper.graph))
+        assert replica.catch_up() == 0
+
+    def test_truncation_forces_full_resync(self):
+        graph = build_paper_example().graph
+        # Shrink the leader's log so a mutation burst overflows it.
+        graph.store.delta_log.capacity = 8
+        replica = Replica(ReplicationLog(graph))
+        for tag in range(12):
+            grow(graph, tag)
+        assert graph.store.delta_log.truncated
+        replica.catch_up()
+        assert replica.resyncs == 1
+        assert stores_identical(graph.store, replica.store)
+        assert replica.epoch == graph.store.epoch
+
+    def test_replica_queries_match_leader(self, paper):
+        graph = paper.graph
+        replica = Replica(ReplicationLog(graph))
+        for tag in range(3):
+            target = grow(graph, tag)
+        replica.catch_up()
+        assert replica.lineage(target).vertices == \
+            lineage(graph, target).vertices
+        assert replica.blame(target) == blame(graph, target)
+
+    def test_replica_local_delta_log_mirrors_leader(self, paper):
+        graph = paper.graph
+        start = graph.store.epoch
+        replica = Replica(ReplicationLog(graph))
+        for tag in range(3):
+            grow(graph, tag)
+        replica.catch_up()
+        leader_span = graph.store.delta_log.batches_since(start)
+        replica_span = replica.store.delta_log.batches_since(start)
+        assert replica_span == leader_span
+
+    def test_loose_signature_leader_is_servable(self):
+        """A check_signatures=False leader must replicate in its own mode."""
+        store = PropertyGraphStore(check_signatures=False)
+        a = store.add_vertex(VertexType.ENTITY, {"name": "a"})
+        b = store.add_vertex(VertexType.ENTITY, {"name": "b"})
+        store.add_edge(EdgeType.USED, a, b)     # violates the PROV signature
+        cluster = ProvCluster(store, replicas=1)
+        replica = cluster.replicas[0]
+        assert not replica.store.check_signatures
+        assert stores_identical(store, replica.store)
+        # Loose edges must also replicate through the batch stream.
+        store.add_edge(EdgeType.USED, b, a)
+        replica.catch_up()
+        assert stores_identical(store, replica.store)
+
+    def test_divergence_recovers_via_resync(self, paper):
+        """A corrupted follower must rebootstrap, not wedge forever."""
+        graph = paper.graph
+        replica = Replica(ReplicationLog(graph))
+        replica.store.add_vertex(VertexType.ENTITY)   # local divergence
+        grow(graph, 0)
+        replica.catch_up()
+        assert replica.resyncs == 1
+        assert stores_identical(graph.store, replica.store)
+        assert replica.lineage(
+            paper["weight-v2"]).vertices    # serves again after recovery
+
+    def test_sync_payload_memoized_per_epoch(self, paper):
+        log = ReplicationLog(paper.graph)
+        first = log.sync()
+        assert log.sync() is first            # same epoch: one encode
+        grow(paper.graph, 0)
+        assert log.sync() is not first        # mutation: fresh payload
+
+    def test_payload_count_mismatch_rejected(self, paper):
+        replica = Replica(ReplicationLog(paper.graph))
+        batch = DeltaBatch(epoch=replica.epoch + 1, deltas=(
+            Delta(DeltaOp.ADD_VERTEX, replica.store.vertex_capacity,
+                  vertex_type=VertexType.ENTITY, order=0),
+        ))
+        with pytest.raises(ValueError):
+            replica.store.apply_replicated_batch(batch, [])   # short list
+
+    def test_divergence_is_detected(self, paper):
+        replica = Replica(ReplicationLog(paper.graph))
+        # A batch from the future (epoch gap) must be rejected.
+        bad = DeltaBatch(epoch=replica.epoch + 2, deltas=())
+        with pytest.raises(ValueError, match="does not follow"):
+            replica.store.apply_replicated_batch(bad)
+        # An id mismatch (follower diverged) must be rejected too.
+        bad_id = DeltaBatch(epoch=replica.epoch + 1, deltas=(
+            Delta(DeltaOp.ADD_VERTEX,
+                  replica.store.vertex_capacity + 5,
+                  vertex_type=VertexType.ENTITY, order=0),
+        ))
+        with pytest.raises(ValueError, match="diverged"):
+            replica.store.apply_replicated_batch(bad_id, [{}])
+
+
+class TestRouter:
+    def test_round_robin_across_fresh_replicas(self, paper):
+        log = ReplicationLog(paper.graph)
+        replicas = [Replica(log, i) for i in range(3)]
+        router = QueryRouter(replicas)
+        picks = [router.route(min_epoch=0).replica_id for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_stale_rotation_target_caught_up_in_place(self, paper):
+        graph = paper.graph
+        log = ReplicationLog(graph)
+        replicas = [Replica(log, i) for i in range(2)]
+        grow(graph, 0)
+        router = QueryRouter(replicas)
+        pick = router.route(min_epoch=graph.store.epoch)
+        assert pick.replica_id == 0 and pick.lag == 0
+        assert replicas[1].lag > 0       # not its turn: untouched
+
+    def test_stale_tolerant_stamp_never_forces_catch_up(self, paper):
+        graph = paper.graph
+        log = ReplicationLog(graph)
+        replicas = [Replica(log, i) for i in range(2)]
+        grow(graph, 0)
+        router = QueryRouter(replicas)
+        pick = router.route(min_epoch=0)
+        assert pick.lag > 0              # serves its own (stale) epoch
+
+    def test_strict_reads_fan_out_after_a_write(self, paper):
+        """A write must not funnel the whole read stream onto one replica."""
+        graph = paper.graph
+        log = ReplicationLog(graph)
+        replicas = [Replica(log, i) for i in range(4)]
+        router = QueryRouter(replicas)
+        grow(graph, 0)
+        picks = [router.route(min_epoch=graph.store.epoch).replica_id
+                 for _ in range(8)]
+        assert picks == [0, 1, 2, 3, 0, 1, 2, 3]
+        assert all(replica.lag == 0 for replica in replicas)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            QueryRouter([])
+
+    def test_unsatisfiable_stamp_raises(self, paper):
+        """A strong read must never silently degrade to stale data."""
+        log = ReplicationLog(paper.graph)
+        router = QueryRouter([Replica(log, 0)])
+        with pytest.raises(ValueError, match="ahead of the leader"):
+            router.route(min_epoch=log.epoch + 1)
+
+
+class TestProvCluster:
+    def test_read_your_writes_without_manual_refresh(self, paper):
+        graph = paper.graph
+        cluster = ProvCluster(graph, replicas=2)
+        target = grow(graph, 0)
+        result = cluster.lineage(target)
+        assert result.vertices == lineage(graph, target).vertices
+
+    def test_stale_reads_opt_in(self, paper):
+        graph = paper.graph
+        cluster = ProvCluster(graph, replicas=1)
+        stamp = cluster.leader_epoch
+        target = grow(graph, 0)
+        # A bounded-staleness read routed below the write's epoch must not
+        # force catch-up: the replica answers for its own epoch, where the
+        # new entity does not exist yet.
+        from repro.errors import VertexNotFound
+        with pytest.raises(VertexNotFound):
+            cluster.lineage(target, min_epoch=stamp)
+        assert cluster.replicas[0].lag > 0
+
+    def test_refresh_ships_to_all_replicas(self, paper):
+        graph = paper.graph
+        cluster = ProvCluster(graph, replicas=3)
+        before = graph.store.epoch
+        for tag in range(4):
+            grow(graph, tag)
+        applied = cluster.refresh()
+        # Every replica applies one batch per leader epoch bump.
+        assert applied == 3 * (graph.store.epoch - before)
+        assert all(replica.lag == 0 for replica in cluster.replicas)
+
+    def test_segment_and_cypher_routed(self, paper):
+        graph = paper.graph
+        cluster = ProvCluster(graph, replicas=2)
+        roots = [v for v in graph.entities()
+                 if not graph.generating_activities(v)]
+        dst = paper["weight-v2"]
+        routed = cluster.segment(PgSegQuery(src=tuple(roots), dst=(dst,)))
+        from repro.segment.pgseg import PgSegOperator
+        local = PgSegOperator(graph).evaluate(
+            PgSegQuery(src=tuple(roots), dst=(dst,)))
+        assert routed.vertices == local.vertices
+        assert sorted(routed.edge_ids) == sorted(local.edge_ids)
+        rows = cluster.cypher(f"MATCH (e:E) WHERE id(e) = {dst} RETURN e")
+        assert len(rows) == 1
+        served = sum(r.queries_served for r in cluster.replicas)
+        assert served == 2
+
+    def test_summarize_serves_one_coherent_replica(self, paper):
+        """All segments of one summary must come from a single replica."""
+        graph = paper.graph
+        cluster = ProvCluster(graph, replicas=3)
+        roots = tuple(v for v in graph.entities()
+                      if not graph.generating_activities(v))
+        queries = [PgSegQuery(src=roots, dst=(dst,))
+                   for dst in (paper["weight-v2"], paper["weight-v3"])]
+        cluster.summarize(queries)
+        served = sorted(r.queries_served for r in cluster.replicas)
+        assert served == [0, 0, len(queries)]
+
+    def test_accepts_bare_store(self):
+        store = PropertyGraphStore()
+        store.add_vertex(VertexType.ENTITY, {"name": "only"})
+        cluster = ProvCluster(store, replicas=1)
+        assert cluster.leader_epoch == store.epoch
+
+
+class TestSessionServing:
+    def test_serve_routes_session_reads(self):
+        session = LifecycleSession(project="serving")
+        session.record("alice", "train", uses=["dataset"],
+                       generates=["weights"])
+        session.record("bob", "evaluate", uses=["weights"],
+                       generates=["report"])
+        plain_seg = session.how_was_it_made("weights")
+        plain_blame = session.who_touched("weights")
+        plain_depth = session.depth_of("weights")
+
+        cluster = session.serve(replicas=2)
+        session._results.clear()        # force recompute through replicas
+        assert session.how_was_it_made("weights").vertices \
+            == plain_seg.vertices
+        assert session.who_touched("weights") == plain_blame
+        assert session.depth_of("weights") == plain_depth
+        assert sum(r.queries_served for r in cluster.replicas) >= 3
+
+    def test_serving_sees_new_writes(self):
+        session = LifecycleSession(project="serving")
+        session.record("alice", "train", uses=["dataset"],
+                       generates=["weights"])
+        session.serve(replicas=2)
+        session.record("carol", "tune", uses=["weights"],
+                       generates=["weights"])
+        assert "carol" in session.who_touched("weights")
+
+    def test_stop_serving_detaches(self):
+        session = LifecycleSession(project="serving")
+        session.record("alice", "train", uses=["dataset"],
+                       generates=["weights"])
+        cluster = session.serve(replicas=1)
+        session.stop_serving()
+        assert session.cluster is None
+        session._results.clear()
+        session.how_was_it_made("weights")
+        assert sum(r.queries_served for r in cluster.replicas) == 0

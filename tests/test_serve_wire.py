@@ -1,0 +1,129 @@
+"""Round-trip guarantees of the replication wire format."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.model.types import EdgeType, VertexType
+from repro.serve.wire import (
+    decode_batch,
+    decode_sync,
+    encode_batch,
+    encode_sync,
+)
+from repro.store.delta import Delta, DeltaBatch, DeltaOp, PropertyPayload
+from repro.store.store import PropertyGraphStore
+from test_store_persistence import stores_identical
+
+
+def roundtrip(batch, store=None):
+    return decode_batch(encode_batch(batch, store))
+
+
+ALL_OP_DELTAS = [
+    Delta(DeltaOp.ADD_VERTEX, 3, vertex_type=VertexType.ENTITY, order=7),
+    Delta(DeltaOp.REMOVE_VERTEX, 4, vertex_type=VertexType.AGENT),
+    Delta(DeltaOp.ADD_EDGE, 9, edge_type=EdgeType.USED, src=1, dst=0),
+    Delta(DeltaOp.REMOVE_EDGE, 2, edge_type=EdgeType.WAS_GENERATED_BY,
+          src=0, dst=1),
+    Delta(DeltaOp.SET_VERTEX_PROPERTY, 5, vertex_type=VertexType.ENTITY,
+          key="name"),
+    Delta(DeltaOp.SET_EDGE_PROPERTY, 6, edge_type=EdgeType.WAS_DERIVED_FROM,
+          src=2, dst=1, key="weight"),
+]
+
+
+class TestBatchRoundTrip:
+    @pytest.mark.parametrize("delta", ALL_OP_DELTAS,
+                             ids=[d.op.name for d in ALL_OP_DELTAS])
+    def test_every_op_kind(self, delta):
+        batch, payloads = roundtrip(DeltaBatch(epoch=12, deltas=(delta,)))
+        assert batch.epoch == 12
+        assert batch.deltas == (delta,)
+        assert len(payloads) == 1
+
+    def test_compound_batch_preserves_order_and_epoch(self):
+        batch = DeltaBatch(epoch=3, deltas=tuple(ALL_OP_DELTAS))
+        decoded, payloads = roundtrip(batch)
+        assert decoded == batch
+        assert len(payloads) == len(ALL_OP_DELTAS)
+
+    def test_add_payloads_enriched_from_store(self):
+        store = PropertyGraphStore()
+        store.add_vertex(VertexType.ACTIVITY, {"command": "train"})
+        store.add_vertex(VertexType.ENTITY, {"name": "w", "tags": [1, 2]})
+        store.add_edge(EdgeType.USED, 0, 1, {"role": "input"})
+        batches = store.delta_log.batches_since(0)
+        decoded = [decode_batch(encode_batch(b, store)) for b in batches]
+        assert decoded[0][1] == [{"command": "train"}]
+        assert decoded[1][1] == [{"name": "w", "tags": [1, 2]}]
+        assert decoded[2][1] == [{"role": "input"}]
+
+    def test_set_payload_carries_value_even_none(self):
+        store = PropertyGraphStore()
+        store.add_vertex(VertexType.ENTITY, {"name": "e"})
+        store.set_vertex_property(0, "note", None)
+        (batch,) = store.delta_log.batches_since(1)
+        _, payloads = decode_batch(encode_batch(batch, store))
+        # "set to None" must stay distinguishable from "value unavailable".
+        assert payloads == [PropertyPayload(None)]
+
+    def test_dead_subject_ships_without_payload(self):
+        store = PropertyGraphStore()
+        store.add_vertex(VertexType.ENTITY, {"name": "doomed"})
+        store.set_vertex_property(0, "note", "x")
+        store.remove_vertex(0)
+        add_b, set_b, _ = store.delta_log.batches_since(0)
+        _, add_payloads = decode_batch(encode_batch(add_b, store))
+        _, set_payloads = decode_batch(encode_batch(set_b, store))
+        assert add_payloads == [{}]          # props unavailable -> empty
+        assert set_payloads == [None]        # value unavailable -> absent
+
+    def test_malformed_lines_raise(self):
+        with pytest.raises(SerializationError):
+            decode_batch("not json")
+        with pytest.raises(SerializationError):
+            decode_batch('{"kind": "other"}')
+        with pytest.raises(SerializationError):
+            decode_batch('{"kind": "batch", "format": "repro-wire-v1", '
+                         '"epoch": 1, "deltas": [{"op": "NO_SUCH_OP"}]}')
+        # A batch header missing epoch/deltas is malformed, not a KeyError.
+        with pytest.raises(SerializationError):
+            decode_batch('{"kind": "batch", "format": "repro-wire-v1"}')
+
+
+class TestSyncRoundTrip:
+    def test_paper_store_bit_exact(self, paper):
+        store = paper.graph.store
+        restored = decode_sync(encode_sync(store))
+        assert stores_identical(store, restored)
+        assert restored.epoch == store.epoch
+
+    def test_tombstone_gaps_and_orders_survive(self):
+        store = PropertyGraphStore()
+        keep = store.add_vertex(VertexType.ENTITY, {"name": "a"})
+        doomed = store.add_vertex(VertexType.ENTITY)
+        act = store.add_vertex(VertexType.ACTIVITY, {"command": "c"})
+        store.add_edge(EdgeType.USED, act, keep)
+        doomed_edge = store.add_edge(EdgeType.USED, act, doomed)
+        store.remove_edge(doomed_edge)
+        store.remove_vertex(doomed)
+        restored = decode_sync(encode_sync(store))
+        assert stores_identical(store, restored)
+        assert restored.epoch == store.epoch
+        assert restored.order_of(act) == store.order_of(act)
+
+    def test_sync_rebases_delta_log(self, paper):
+        store = paper.graph.store
+        restored = decode_sync(encode_sync(store))
+        # The replayed window starts empty at the leader epoch: the span
+        # since the sync point is [], anything earlier is unavailable.
+        assert restored.delta_log.batches_since(store.epoch) == []
+        assert restored.delta_log.batches_since(store.epoch - 1) is None
+
+    def test_mutations_continue_contiguously_after_sync(self, paper):
+        store = paper.graph.store
+        restored = decode_sync(encode_sync(store))
+        before = restored.epoch
+        restored.add_vertex(VertexType.ENTITY, {"name": "later"})
+        assert restored.epoch == before + 1
+        assert restored.delta_log.last_epoch == before + 1

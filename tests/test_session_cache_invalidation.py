@@ -1,0 +1,140 @@
+"""Delta-driven retention of the session result caches.
+
+PR 1 cleared the session's memoized results wholesale on every epoch bump;
+the cache layer now inspects ``delta_log.batches_since()`` and keeps every
+entry the span provably cannot have changed (see
+``LifecycleSession._revalidate`` for the per-class soundness rules). These
+tests pin both directions: entries *survive* provably-disjoint mutations,
+and entries *drop* (and recompute correctly) whenever the span could have
+changed them.
+"""
+
+import pytest
+
+from repro.session import LifecycleSession
+
+
+@pytest.fixture()
+def session() -> LifecycleSession:
+    """Two independent derivation chains, a/b, with disjoint ancestries."""
+    s = LifecycleSession(project="inval")
+    s.record("alice", "train-a", uses=["a_data"], generates=["a_model"])
+    s.record("alice", "eval-a", uses=["a_model"], generates=["a_report"])
+    s.record("bob", "train-b", uses=["b_data"], generates=["b_model"])
+    return s
+
+
+def _cache_value(session, kind, *key_tail):
+    """The raw cached entry value, or None (reaches into the private dict
+    deliberately: object survival is the property under test)."""
+    for key, (value, _, _) in session._results.items():
+        if key[0] == kind and key[1:len(key_tail) + 1] == key_tail:
+            return value
+    return None
+
+
+class TestClosureRetention:
+    def test_blame_survives_disjoint_mutation(self, session):
+        session.who_touched("a_report")
+        entity = session.builder.latest("a_report")
+        before = _cache_value(session, "blame", entity)
+        assert before is not None
+        # A new run touching only the b-chain: disjoint from a_report's
+        # ancestry closure, so the cached report must survive.
+        session.record("bob", "eval-b", uses=["b_model"],
+                       generates=["b_report"])
+        assert session.who_touched("a_report") is not None
+        assert _cache_value(session, "blame", entity) is before
+
+    def test_blame_drops_when_closure_touched(self, session):
+        report = session.who_touched("a_report")
+        entity = session.builder.latest("a_report")
+        before = _cache_value(session, "blame", entity)
+        # carol's run consumes a_model — inside the closure footprint.
+        session.record("carol", "tune-a", uses=["a_model"],
+                       generates=["a_model"])
+        session.who_touched("a_report")
+        assert _cache_value(session, "blame", entity) is not before
+        assert session.who_touched("a_report") == report  # old version:
+        # a_report's own ancestry is unchanged — only the footprint
+        # intersection forced the (correct) recompute.
+
+    def test_depth_survives_disjoint_mutation(self, session):
+        depth = session.depth_of("a_report")
+        entity = session.builder.latest("a_report")
+        before = _cache_value(session, "lineage", entity)
+        session.record("bob", "eval-b", uses=["b_model"],
+                       generates=["b_report"])
+        assert session.depth_of("a_report") == depth
+        assert _cache_value(session, "lineage", entity) is before
+
+    def test_new_ancestor_changes_answer(self, session):
+        assert "carol" not in session.who_touched("a_model")
+        session.record("carol", "retrain", uses=["a_data"],
+                       generates=["a_model"])
+        # New latest version resolves to a new entity id: cache missed by
+        # key, and the answer tracks the mutation.
+        assert "carol" in session.who_touched("a_model")
+
+
+class TestPathsRetention:
+    def test_segment_drops_on_any_structural_mutation(self, session):
+        first = session.how_was_it_made("a_report")
+        session.record("bob", "eval-b", uses=["b_model"],
+                       generates=["b_report"])
+        assert session.how_was_it_made("a_report") is not first
+
+    def test_segment_survives_offside_property_write(self, session):
+        first = session.how_was_it_made("a_report")
+        offside = session.builder.latest("b_model")
+        assert offside not in first.vertices
+        session.graph.store.set_vertex_property(offside, "note", "x")
+        assert session.how_was_it_made("a_report") is first
+
+    def test_segment_drops_on_member_property_write(self, session):
+        first = session.how_was_it_made("a_report")
+        member = session.builder.latest("a_model")
+        assert member in first.vertices
+        session.graph.store.set_vertex_property(member, "note", "x")
+        assert session.how_was_it_made("a_report") is not first
+
+    def test_psg_survives_offside_property_write(self, session):
+        first = session.typical_pipeline("a_model")
+        offside = session.builder.latest("b_model")
+        session.graph.store.set_vertex_property(offside, "note", "x")
+        assert session.typical_pipeline("a_model") is first
+
+    def test_psg_drops_on_member_property_write(self, session):
+        first = session.typical_pipeline("a_model")
+        member = session.builder.latest("a_data")
+        session.graph.store.set_vertex_property(member, "name", "renamed")
+        assert session.typical_pipeline("a_model") is not first
+
+
+class TestScanRetention:
+    def test_roots_survive_non_entity_mutations(self, session):
+        roots = session._roots()
+        session.graph.add_agent(name="observer")
+        assert session._roots() is roots
+
+    def test_roots_drop_when_entity_added(self, session):
+        roots = session._roots()
+        session.add_artifact("c_data")
+        fresh = session._roots()
+        assert fresh is not roots
+        assert session.builder.latest("c_data") in fresh
+
+
+class TestTruncationFallback:
+    def test_log_truncation_clears_everything(self, session):
+        session.graph.store.delta_log.capacity = 4
+        first = session.how_was_it_made("a_report")
+        blame = session.who_touched("a_report")
+        # Overflow the log: the span since the cache fill is unavailable,
+        # so even "disjoint" entries must be conservatively dropped.
+        for index in range(6):
+            session.record("bob", f"spam{index}", uses=["b_data"],
+                           generates=["b_scratch"])
+        assert session.graph.store.delta_log.truncated
+        assert session.how_was_it_made("a_report") is not first
+        assert session.who_touched("a_report") == blame

@@ -141,3 +141,91 @@ class TestWriteAheadLog:
         log_path.write_text('{"kind": "op", "op": "explode"}\n')
         with pytest.raises(SerializationError):
             replay(log_path)
+
+
+class TestEpochPersistence:
+    def test_epoch_roundtrip(self, paper, tmp_path):
+        store = paper.graph.store
+        target = tmp_path / "store.jsonl"
+        save_store(store, target)
+        restored = load_store(target)
+        assert restored.epoch == store.epoch
+
+    def test_reloaded_store_continues_timeline(self, tmp_path):
+        store = PropertyGraphStore()
+        store.add_vertex(VertexType.ENTITY, {"name": "a"})
+        store.add_vertex(VertexType.ACTIVITY, {"command": "c"})
+        target = tmp_path / "store.jsonl"
+        save_store(store, target)
+        restored = load_store(target)
+        assert restored.epoch == 2
+        restored.add_vertex(VertexType.ENTITY, {"name": "later"})
+        assert restored.epoch == 3
+        assert restored.delta_log.last_epoch == 3
+
+    def test_reloaded_delta_log_is_rebased(self, paper, tmp_path):
+        store = paper.graph.store
+        target = tmp_path / "store.jsonl"
+        save_store(store, target)
+        restored = load_store(target)
+        # The reconstruction batches must not leak into the restored log:
+        # the span since the save point is empty, earlier is unavailable.
+        assert restored.delta_log.batches_since(store.epoch) == []
+        assert restored.delta_log.batches_since(store.epoch - 1) is None
+
+    def test_signature_mode_roundtrips(self, tmp_path):
+        loose = PropertyGraphStore(check_signatures=False)
+        a = loose.add_vertex(VertexType.ENTITY)
+        b = loose.add_vertex(VertexType.ENTITY)
+        loose.add_edge(EdgeType.USED, a, b)    # violates the PROV signature
+        target = tmp_path / "store.jsonl"
+        save_store(loose, target)
+        restored = load_store(target)          # adopts the saved mode
+        assert not restored.check_signatures
+        assert stores_identical(loose, restored)
+        # An explicit override still wins.
+        assert load_store(target, check_signatures=False).edge_count == 1
+
+    def test_v1_snapshots_still_load(self, tmp_path):
+        import json
+
+        store = PropertyGraphStore()
+        store.add_vertex(VertexType.ENTITY, {"name": "a"})
+        store.add_vertex(VertexType.ACTIVITY, {"command": "c"})
+        store.add_edge(EdgeType.USED, 1, 0)
+        target = tmp_path / "store.jsonl"
+        save_store(store, target)
+        # Rewrite the meta line the way v1 wrote it: no epoch, old tag.
+        lines = target.read_text().splitlines()
+        meta = json.loads(lines[0])
+        meta["format"] = "repro-store-v1"
+        del meta["epoch"]
+        target.write_text("\n".join([json.dumps(meta)] + lines[1:]) + "\n")
+        restored = load_store(target)
+        assert stores_identical(store, restored)
+
+
+class TestWalDeltaUnification:
+    def test_wal_replay_equals_shipped_delta_stream(self, tmp_path):
+        """Replaying a WAL and applying the equivalent shipped DeltaBatch
+        stream must yield stores with identical vertices/edges/epochs."""
+        from repro.serve.replication import Replica, ReplicationLog
+
+        leader = PropertyGraphStore()
+        replica = Replica(ReplicationLog(leader))   # follows from epoch 0
+        log_path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(leader, log_path) as wal:
+            data = wal.add_vertex(VertexType.ENTITY, {"name": "data"})
+            act = wal.add_vertex(VertexType.ACTIVITY, {"command": "train"})
+            wal.add_edge(EdgeType.USED, act, data)
+            out = wal.add_vertex(VertexType.ENTITY, {"name": "weights"})
+            wal.add_edge(EdgeType.WAS_GENERATED_BY, out, act)
+            wal.set_vertex_property(out, "score", 0.9)
+            doomed = wal.add_vertex(VertexType.ENTITY)
+            wal.remove_vertex(doomed)
+
+        replayed = replay(log_path)
+        replica.catch_up()
+        assert stores_identical(replayed, leader)
+        assert stores_identical(replica.store, leader)
+        assert replayed.epoch == replica.store.epoch == leader.epoch
