@@ -10,12 +10,17 @@ the offline install simple). Subcommands:
 - ``segment``       run a PgSeg query and print the segment
 - ``summarize``     PgSum over segments produced by repeated ``--dst``
 - ``bench``         run one named experiment and print its table
+- ``serve-worker``  run one out-of-process replica worker (internal: the
+  entrypoint :class:`repro.serve.pool.WorkerPool` spawns; speaks the wire
+  protocol on a socket or stdio and exits when the pool hangs up)
 
 Examples::
 
     python -m repro.cli generate-pd --n 500 --out pd.json
     python -m repro.cli segment pd.json --src 0 1 --dst 400 401
     python -m repro.cli bench fig5e
+    python -m repro.cli serve-worker --connect 127.0.0.1:4822 \\
+        --token SECRET --worker-id 0
 """
 
 from __future__ import annotations
@@ -117,6 +122,31 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_worker(args: argparse.Namespace) -> int:
+    """Run one replica worker until shutdown/EOF (spawned by WorkerPool)."""
+    import socket
+
+    from repro.serve.transport import LineTransport
+    from repro.serve.wire import hello_frame
+    from repro.serve.worker import ReplicaWorker
+
+    if bool(args.connect) == bool(args.stdio):
+        print("serve-worker needs exactly one of --connect or --stdio",
+              file=sys.stderr)
+        return 2
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        sock = socket.create_connection((host, int(port)))
+        transport = LineTransport.over_socket(sock)
+    else:
+        # Pipe mode: the protocol owns stdout; diagnostics go to stderr.
+        transport = LineTransport.over_files(sys.stdin.buffer,
+                                             sys.stdout.buffer)
+    with transport:
+        transport.send(hello_frame(args.worker_id, args.token))
+        return ReplicaWorker(transport, args.worker_id).run()
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.experiment not in ALL_EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; choose from "
@@ -189,6 +219,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("experiment")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve-worker",
+        help="run one out-of-process replica worker (internal)",
+    )
+    p.add_argument("--connect", metavar="HOST:PORT",
+                   help="dial the pool's loopback listener (socket mode)")
+    p.add_argument("--stdio", action="store_true",
+                   help="speak the protocol on stdin/stdout (pipe mode)")
+    p.add_argument("--token", default="",
+                   help="spawn token echoed in the hello frame")
+    p.add_argument("--worker-id", type=int, default=0)
+    p.set_defaults(func=_cmd_serve_worker)
 
     return parser
 

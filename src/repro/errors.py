@@ -119,6 +119,37 @@ class SolverError(ReproError):
 
 
 # ---------------------------------------------------------------------------
+# Serving layer
+# ---------------------------------------------------------------------------
+
+
+class ServeError(ReproError):
+    """Base class for replication/serving-layer errors."""
+
+
+class TransportClosed(ServeError):
+    """Raised when the peer hung up (EOF, broken pipe, reset) mid-protocol.
+
+    The serving pool treats this as "the worker process is gone": the
+    worker is restarted with a full re-sync and the query is retried on
+    the next replica in rotation (see :class:`repro.serve.pool.WorkerPool`
+    and :meth:`repro.serve.cluster.QueryRouter.route`).
+    """
+
+
+class TransportTimeout(ServeError):
+    """Raised when a framed read did not complete within its deadline."""
+
+
+class ReplicaUnavailable(ServeError):
+    """Raised when a replica cannot serve right now (crashed/restarting).
+
+    The query router converts this into a routed retry on the next
+    replica; it only propagates when every replica in the rotation failed.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Operators
 # ---------------------------------------------------------------------------
 

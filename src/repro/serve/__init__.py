@@ -1,15 +1,23 @@
 """Delta-log replication and the multi-replica query serving layer.
 
 Turns the single-process provenance store into a leader + N read-replica
-cluster (PR 3): :mod:`repro.serve.wire` is the JSON-lines wire format,
-:mod:`repro.serve.replication` the leader publisher and replica catch-up
-protocol, and :mod:`repro.serve.cluster` the epoch-stamped query router.
+cluster: :mod:`repro.serve.wire` is the JSON-lines wire format (replication
+stream + request/response query frames — spec in ``docs/wire-protocol.md``),
+:mod:`repro.serve.replication` the leader publisher and in-process replica
+catch-up protocol, :mod:`repro.serve.transport` the framed socket/pipe
+channel, :mod:`repro.serve.worker` the out-of-process replica worker, and
+:mod:`repro.serve.pool` the worker pool that spawns, health-checks, and
+restarts those workers. :mod:`repro.serve.cluster` routes every read family
+across either replica flavor with epoch-stamped consistency.
 ``LifecycleSession.serve(replicas=N)`` wires a session's reads through a
-cluster transparently.
+cluster transparently; add ``out_of_process=True`` to serve from worker
+processes.
 """
 
 from repro.serve.cluster import ProvCluster, QueryRouter
+from repro.serve.pool import WorkerClient, WorkerPool
 from repro.serve.replication import Replica, ReplicationLog
+from repro.serve.transport import LineTransport
 from repro.serve.wire import (
     WIRE_FORMAT,
     decode_batch,
@@ -17,13 +25,18 @@ from repro.serve.wire import (
     encode_batch,
     encode_sync,
 )
+from repro.serve.worker import ReplicaWorker
 
 __all__ = [
     "WIRE_FORMAT",
+    "LineTransport",
     "ProvCluster",
     "QueryRouter",
     "Replica",
+    "ReplicaWorker",
     "ReplicationLog",
+    "WorkerClient",
+    "WorkerPool",
     "decode_batch",
     "decode_sync",
     "encode_batch",

@@ -19,15 +19,20 @@ bounded-staleness routing with zero catch-up work on the read path.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, TypeVar
+from typing import TYPE_CHECKING, Any, Callable, Iterable, TypeVar
 
+from repro.errors import ReplicaUnavailable
 from repro.model.graph import ProvenanceGraph
 from repro.query.cypherlite import Budget
 from repro.query.ops import Lineage
 from repro.segment.pgseg import PgSegQuery, Segment
 from repro.serve.replication import Replica, ReplicationLog
+from repro.serve.wire import pgseg_query_is_wire_safe
 from repro.summarize.pgsum import PgSumOperator, PgSumQuery
 from repro.summarize.psg import Psg
+
+if TYPE_CHECKING:   # pragma: no cover - types only
+    from repro.serve.pool import WorkerPool
 
 T = TypeVar("T")
 
@@ -60,21 +65,42 @@ class QueryRouter:
         A stale-tolerant stamp (e.g. ``0``) routes with zero catch-up work
         on the read path; the replica answers for its own epoch.
 
+        A replica that crashes *during* catch-up (out-of-process workers
+        can die at any frame) is not an error the caller sees: the pool
+        restarts it with a full re-sync and the router retries the next
+        replica in rotation. Only when the entire rotation is unavailable
+        does :class:`~repro.errors.ReplicaUnavailable` propagate.
+
         Raises:
             ValueError: when the stamp is unsatisfiable even after
                 catch-up (it exceeds what the leader has published) — a
                 strong read must never silently degrade to stale data.
+            ReplicaUnavailable: every replica in the rotation failed.
         """
-        replica = self.replicas[self._cursor]
-        self._cursor = (self._cursor + 1) % len(self.replicas)
-        if replica.epoch < min_epoch:
-            replica.catch_up()
-        if replica.epoch < min_epoch:
-            raise ValueError(
-                f"consistency stamp {min_epoch} is ahead of the leader "
-                f"(epoch {replica.epoch}); cannot serve a strong read"
-            )
-        return replica
+        last_crash: ReplicaUnavailable | None = None
+        # One lap over the rotation plus one extra slot: a crashed worker
+        # comes back restarted *and re-synced*, so revisiting the first
+        # casualty succeeds even when every replica crashed at once (or
+        # the rotation only has one replica to retry on).
+        for _ in range(len(self.replicas) + 1):
+            replica = self.replicas[self._cursor]
+            self._cursor = (self._cursor + 1) % len(self.replicas)
+            if replica.epoch < min_epoch:
+                try:
+                    replica.catch_up()
+                except ReplicaUnavailable as exc:
+                    last_crash = exc
+                    continue
+            if replica.epoch < min_epoch:
+                raise ValueError(
+                    f"consistency stamp {min_epoch} is ahead of the leader "
+                    f"(epoch {replica.epoch}); cannot serve a strong read"
+                )
+            return replica
+        raise ReplicaUnavailable(
+            f"all {len(self.replicas)} replicas failed catch-up to "
+            f"epoch {min_epoch}"
+        ) from last_crash
 
 
 class ProvCluster:
@@ -87,14 +113,31 @@ class ProvCluster:
             it directly (or through a session) and the cluster ships the
             deltas.
         replicas: number of read replicas to bootstrap.
+        out_of_process: serve from ``replicas`` worker *processes* over
+            the wire protocol instead of in-process followers (see
+            :mod:`repro.serve.pool`). Same routing, same consistency
+            stamps; call :meth:`close` (or use the cluster as a context
+            manager) when done so the workers shut down.
+        transport: worker transport when out-of-process — ``"socket"``
+            or ``"pipe"``.
     """
 
-    def __init__(self, source, replicas: int = 2):
+    def __init__(self, source, replicas: int = 2,
+                 out_of_process: bool = False, transport: str = "socket"):
         store = getattr(source, "store", source)
         self.graph = source if isinstance(source, ProvenanceGraph) \
             else ProvenanceGraph(store)
-        self.log = ReplicationLog(store)
-        self.replicas = [Replica(self.log, i) for i in range(replicas)]
+        if out_of_process:
+            from repro.serve.pool import WorkerPool
+
+            self.pool: "WorkerPool | None" = WorkerPool(
+                self.graph, count=replicas, transport=transport)
+            self.log = self.pool.log
+            self.replicas = list(self.pool.clients)
+        else:
+            self.pool = None
+            self.log = ReplicationLog(store)
+            self.replicas = [Replica(self.log, i) for i in range(replicas)]
         self.router = QueryRouter(self.replicas)
         # All replicas bootstrapped off one memoized payload; free it now.
         self.log.release_sync()
@@ -111,16 +154,37 @@ class ProvCluster:
 
         Optional — the router catches replicas up lazily on the read path —
         but useful to move replication work off the serving hot path.
-        Returns the total number of batches applied across replicas.
+        Returns the total number of batches applied across replicas. A
+        worker that dies mid-refresh is restarted at the leader epoch (a
+        restart *is* a refresh), so the sweep keeps going — that policy
+        lives in :meth:`repro.serve.pool.WorkerPool.refresh`, delegated
+        to here so there is exactly one copy.
         """
+        if self.pool is not None:
+            return self.pool.refresh()
         return sum(replica.catch_up() for replica in self.replicas)
 
     def _serve(self, min_epoch: int | None,
                request: Callable[[Replica], T]) -> T:
+        """Route one read, retrying on worker crashes.
+
+        A replica that dies *while serving* (only possible out-of-process)
+        has already been restarted and re-synced by the pool when
+        :class:`~repro.errors.ReplicaUnavailable` surfaces; the read is
+        then re-routed — the acceptance contract is that killing a worker
+        mid-run loses no queries. One attempt per replica bounds the loop.
+        """
         stamp = self.leader_epoch if min_epoch is None else min_epoch
-        replica = self.router.route(stamp)
-        replica.queries_served += 1
-        return request(replica)
+        attempts = len(self.replicas) + 1
+        for attempt in range(attempts):
+            replica = self.router.route(stamp)
+            replica.queries_served += 1
+            try:
+                return request(replica)
+            except ReplicaUnavailable:
+                if attempt == attempts - 1:
+                    raise
+        raise AssertionError("unreachable")   # pragma: no cover
 
     # ------------------------------------------------------------------
     # Routed read families (ids are leader ids: replication is id-exact)
@@ -157,15 +221,50 @@ class ProvCluster:
         ``min_epoch``, independently routed segments could come from
         replicas at different epochs and merge states that never coexisted.
         So one replica is routed once and serves every segment of the
-        summary; the merge itself is cheap and runs in the caller.
+        summary; the merge itself is cheap and runs in the caller. A
+        replica crash mid-summary restarts the *whole* summary on the next
+        replica — partial segment sets must never merge across replicas.
+
+        Out-of-process, a non-wire-serializable query (boundary
+        predicates, key callables) would silently fall back to the live
+        leader while its siblings answer from a worker's replayed epoch —
+        merging states that never coexisted. So a summary containing any
+        such query is evaluated *wholly* leader-local: one graph, one
+        epoch, same coherence guarantee.
         """
         stamp = self.leader_epoch if min_epoch is None else min_epoch
-        replica = self.router.route(stamp)
-        segments = []
-        for query in queries:
-            replica.queries_served += 1
-            segments.append(replica.segment(query))
-        return PgSumOperator(segments).evaluate(pgsum)
+        queries = list(queries)
+        if self.pool is not None \
+                and not all(pgseg_query_is_wire_safe(q) for q in queries):
+            # Leader-local still honors the stamp contract: the leader
+            # serves at its own epoch, so only a stamp from the future is
+            # unsatisfiable — and it must raise exactly like the routed
+            # path, never silently serve.
+            if stamp > self.leader_epoch:
+                raise ValueError(
+                    f"consistency stamp {stamp} is ahead of the leader "
+                    f"(epoch {self.leader_epoch}); cannot serve a strong "
+                    f"read"
+                )
+            from repro.segment.pgseg import PgSegOperator
+
+            operator = PgSegOperator(self.graph)
+            segments = [operator.evaluate(query) for query in queries]
+            return PgSumOperator(segments).evaluate(pgsum)
+        attempts = len(self.replicas) + 1
+        for attempt in range(attempts):
+            replica = self.router.route(stamp)
+            segments = []
+            try:
+                for query in queries:
+                    replica.queries_served += 1
+                    segments.append(replica.segment(query))
+            except ReplicaUnavailable:
+                if attempt == attempts - 1:
+                    raise
+                continue
+            return PgSumOperator(segments).evaluate(pgsum)
+        raise AssertionError("unreachable")   # pragma: no cover
 
     def cypher(self, text: str, budget: Budget | None = None,
                min_epoch: int | None = None) -> list:
@@ -178,11 +277,31 @@ class ProvCluster:
         """Cluster-wide serving/replication counters."""
         return {
             "leader_epoch": self.leader_epoch,
+            "out_of_process": self.pool is not None,
             "replicas": [replica.stats() for replica in self.replicas],
         }
+
+    def health_check(self) -> list[int]:
+        """Ping out-of-process workers, restarting dead ones (no-op for
+        in-process replicas, which share the leader's fate)."""
+        if self.pool is None:
+            return []
+        return self.pool.health_check()
+
+    def close(self) -> None:
+        """Shut down the worker pool, if any (idempotent)."""
+        if self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self) -> "ProvCluster":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __repr__(self) -> str:   # pragma: no cover - cosmetic
         return (
             f"ProvCluster(replicas={len(self.replicas)}, "
+            f"out_of_process={self.pool is not None}, "
             f"leader_epoch={self.leader_epoch})"
         )

@@ -1,0 +1,617 @@
+"""WorkerPool: out-of-process replicas over the wire protocol.
+
+PR 3 made the JSON-lines wire format the process boundary; this module
+actually crosses it. A :class:`WorkerPool` spawns N ``repro.cli
+serve-worker`` subprocesses (socket or pipe transport), bootstraps each
+from one memoized full-sync payload, and hands back
+:class:`WorkerClient` handles that quack exactly like in-process
+:class:`~repro.serve.replication.Replica` objects — same ``epoch`` /
+``catch_up()`` / query-family surface — so the existing
+:class:`~repro.serve.cluster.QueryRouter` and
+:class:`~repro.serve.cluster.ProvCluster` route them unchanged and
+``LifecycleSession.serve(replicas=N, out_of_process=True)`` is a
+one-flag switch.
+
+Catch-up stays leader-driven and **in-order**: shipping writes the
+missing batch frames onto the worker's stream immediately before the
+stamped request, and the worker processes frames serially, so
+read-your-writes needs no acknowledgement round-trip.
+
+Failure handling (the contract ``tests/test_serve_pool.py`` pins):
+
+- a worker crash (kill, divergence exit, hang past the deadline) surfaces
+  as :class:`~repro.errors.ReplicaUnavailable` after the pool has already
+  respawned the worker and queued its full re-sync — the router then
+  retries the query on the next replica in rotation, so no query is lost;
+- :meth:`WorkerPool.health_check` proactively pings every worker and
+  restarts the dead ones (crash recovery off the read path);
+- killing the pool (or the leader process) closes every control stream,
+  and workers exit on EOF — no leaked processes.
+
+PgSeg queries carrying boundary criteria or property-key callables cannot
+cross the wire (arbitrary Python functions); :meth:`WorkerClient.segment`
+serves those leader-local and counts the fallback.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+from pathlib import Path
+from typing import Any
+from uuid import uuid4
+
+from repro.errors import (
+    ReplicaUnavailable,
+    SerializationError,
+    TransportClosed,
+    TransportTimeout,
+)
+from repro.model.graph import ProvenanceGraph
+from repro.query.cypherlite import Budget
+from repro.query.ops import Lineage
+from repro.segment.pgseg import PgSegOperator, PgSegQuery, Segment
+from repro.serve.replication import ReplicationLog
+from repro.serve.transport import LineTransport
+from repro.serve.wire import (
+    blame_from_wire,
+    budget_to_wire,
+    error_from_wire,
+    hello_from_wire,
+    lineage_from_wire,
+    pgseg_query_is_wire_safe,
+    pgseg_query_to_wire,
+    ping_frame,
+    pong_from_wire,
+    request_to_wire,
+    response_from_wire,
+    rows_from_wire,
+    segment_from_wire,
+    shutdown_frame,
+    sync_frame,
+)
+
+#: Transport kinds the pool can spawn workers over.
+TRANSPORTS = ("socket", "pipe")
+
+
+def _worker_env() -> dict[str, str]:
+    """The child environment: this repro package importable via PYTHONPATH."""
+    src_root = str(Path(__file__).resolve().parents[2])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            src_root + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+class WorkerClient:
+    """A :class:`~repro.serve.replication.Replica`-shaped handle on one
+    out-of-process worker.
+
+    The pool tracks the worker's replayed ``epoch`` leader-side (shipping
+    is in-order and unacknowledged); responses echo the worker's epoch so
+    the stamp accounting is verified on every answer. Not thread-safe
+    across clients sharing one instance — but distinct clients are fully
+    independent (own process, own stream), which is what the benchmark's
+    fan-out threads rely on.
+    """
+
+    def __init__(self, pool: "WorkerPool", replica_id: int):
+        self._pool = pool
+        self.replica_id = replica_id
+        self.proc: subprocess.Popen | None = None
+        self.transport: LineTransport | None = None
+        #: The epoch the pool has shipped this worker up to.
+        self.epoch = -1
+        self._next_request = 0
+        #: Counters kept name-compatible with Replica.stats().
+        self.resyncs = 0
+        self.restarts = 0
+        self.batches_shipped = 0
+        self.queries_served = 0
+        self.local_fallbacks = 0
+
+    # ------------------------------------------------------------------
+    # Replication surface (router-facing)
+    # ------------------------------------------------------------------
+
+    @property
+    def lag(self) -> int:
+        """Epochs behind the leader (by the pool's shipping ledger)."""
+        return self._pool.log.epoch - self.epoch
+
+    def alive(self) -> bool:
+        """True while the worker process is running."""
+        return self.proc is not None and self.proc.poll() is None
+
+    def catch_up(self) -> int:
+        """Ship every batch since our epoch (or a full re-sync).
+
+        Raises:
+            ReplicaUnavailable: the worker died mid-ship; it has already
+                been restarted and re-synced, the router should retry the
+                read on the next replica.
+        """
+        start = self.epoch
+        stream = self.transport
+        if stream is None:
+            # A previously failed restart left us detached; a successful
+            # restart here *is* the catch-up (full re-sync to the leader).
+            self._pool.restart(self, failed=None)
+            return self.epoch - start
+        try:
+            return self._pool.ship(self)
+        except (TransportClosed, TransportTimeout) as exc:
+            self._pool.restart(self, failed=stream)
+            raise ReplicaUnavailable(
+                f"worker {self.replica_id} died during catch-up from "
+                f"epoch {start} (restarted + re-synced)"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+
+    def _request(self, method: str, params: dict[str, Any]) -> Any:
+        request_id = self._next_request
+        self._next_request += 1
+        stream = self.transport
+        if stream is None:
+            # Detached by a previously failed restart: heal (or raise
+            # ReplicaUnavailable) before touching the wire, so a broken
+            # client never leaks an AttributeError past the router.
+            self._pool.restart(self, failed=None)
+            stream = self.transport
+        try:
+            stream.send(request_to_wire(request_id, method, params))
+            while True:
+                frame = stream.recv(timeout=self._pool.request_timeout)
+                if frame.get("kind") == "event":
+                    # Unsolicited (e.g. "diverged" right before the worker
+                    # exits); keep draining — a crash shows up as EOF.
+                    continue
+                got_id, epoch, ok, payload = response_from_wire(frame)
+                break
+        except (TransportClosed, TransportTimeout) as exc:
+            self._pool.restart(self, failed=stream)
+            raise ReplicaUnavailable(
+                f"worker {self.replica_id} died serving {method!r} "
+                f"(restarted + re-synced)"
+            ) from exc
+        if got_id != request_id:
+            raise SerializationError(
+                f"response id {got_id} does not match request {request_id}"
+            )
+        if epoch != self.epoch:
+            # The worker's replayed epoch is authoritative; trust it over
+            # the shipping ledger (e.g. after an unnoticed restart).
+            self.epoch = epoch
+        if not ok:
+            raise error_from_wire(payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Read serving (ids are leader ids: replication is id-exact)
+    # ------------------------------------------------------------------
+
+    def lineage(self, entity: int, max_depth: int | None = None) -> Lineage:
+        """Ancestry walk served by the worker process."""
+        return lineage_from_wire(self._request(
+            "lineage", {"entity": entity, "max_depth": max_depth}))
+
+    def impacted(self, entity: int,
+                 max_depth: int | None = None) -> Lineage:
+        """Impact walk served by the worker process."""
+        return lineage_from_wire(self._request(
+            "impacted", {"entity": entity, "max_depth": max_depth}))
+
+    def blame(self, entity: int) -> dict[int, set[int]]:
+        """Blame report served by the worker process."""
+        return blame_from_wire(self._request("blame", {"entity": entity}))
+
+    def segment(self, query: PgSegQuery) -> Segment:
+        """PgSeg served by the worker (leader-local for non-wire queries).
+
+        The decoded segment is rebound to the leader graph, so downstream
+        accessors (``describe()``, DOT export, PgSum merging) resolve
+        records exactly as with an in-process replica.
+        """
+        if not pgseg_query_is_wire_safe(query):
+            # Boundary predicates / key callables cannot cross the wire.
+            self.local_fallbacks += 1
+            return PgSegOperator(self._pool.graph).evaluate(query)
+        params = {"query": pgseg_query_to_wire(query)}
+        return segment_from_wire(
+            self._pool.graph, self._request("segment", params))
+
+    def cypher(self, text: str, budget: Budget | None = None) -> list:
+        """CypherLite rows served by the worker process."""
+        return rows_from_wire(self._pool.graph, self._request(
+            "cypher", {"text": text, "budget": budget_to_wire(budget)}))
+
+    # ------------------------------------------------------------------
+
+    def ping(self, timeout: float | None = None) -> tuple[int, dict]:
+        """Health probe; returns ``(worker_epoch, worker_stats)``."""
+        if self.transport is None:
+            raise TransportClosed(
+                f"worker {self.replica_id} has no transport (failed "
+                f"restart)"
+            )
+        self.transport.send(ping_frame())
+        deadline = timeout if timeout is not None \
+            else self._pool.ping_timeout
+        while True:
+            frame = self.transport.recv(timeout=deadline)
+            if frame.get("kind") == "event":
+                continue
+            return pong_from_wire(frame)
+
+    def stats(self) -> dict[str, Any]:
+        """Replication/serving counters (Replica-compatible keys)."""
+        return {
+            "replica_id": self.replica_id,
+            "epoch": self.epoch,
+            "lag": self.lag,
+            "alive": self.alive(),
+            "batches_shipped": self.batches_shipped,
+            "resyncs": self.resyncs,
+            "restarts": self.restarts,
+            "queries_served": self.queries_served,
+            "local_fallbacks": self.local_fallbacks,
+        }
+
+    # ------------------------------------------------------------------
+
+    def _attach(self, proc: subprocess.Popen,
+                transport: LineTransport) -> None:
+        self.proc = proc
+        self.transport = transport
+
+    def _discard_process(self) -> None:
+        """Drop the current process hard (crash path / teardown)."""
+        if self.transport is not None:
+            self.transport.close()
+            self.transport = None
+        if self.proc is not None:
+            if self.proc.poll() is None:
+                self.proc.kill()
+            self.proc.wait()
+            self.proc = None
+
+    def __repr__(self) -> str:   # pragma: no cover - cosmetic
+        return (
+            f"WorkerClient(id={self.replica_id}, epoch={self.epoch}, "
+            f"alive={self.alive()}, restarts={self.restarts})"
+        )
+
+
+class WorkerPool:
+    """Spawns and replicates to N out-of-process replica workers.
+
+    Args:
+        source: the leader — a :class:`ProvenanceGraph`, a bare store, or
+            anything exposing ``.store``. Stays the sole writer.
+        count: number of worker processes.
+        transport: ``"socket"`` (workers connect back to a loopback
+            listener) or ``"pipe"`` (workers speak stdio).
+        request_timeout: seconds to wait for one answer before declaring
+            the worker dead (None = wait forever).
+        spawn_timeout: seconds to wait for a spawned worker's handshake.
+    """
+
+    def __init__(self, source, count: int = 2, transport: str = "socket",
+                 request_timeout: float | None = 120.0,
+                 spawn_timeout: float = 60.0,
+                 ping_timeout: float = 10.0):
+        if count < 1:
+            raise ValueError("a worker pool needs at least one worker")
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; choose from {TRANSPORTS}"
+            )
+        store = getattr(source, "store", source)
+        self.graph = source if isinstance(source, ProvenanceGraph) \
+            else ProvenanceGraph(store)
+        self.log = ReplicationLog(store)
+        self.transport_kind = transport
+        self.request_timeout = request_timeout
+        self.spawn_timeout = spawn_timeout
+        self.ping_timeout = ping_timeout
+        self._env = _worker_env()
+        self._token = uuid4().hex
+        self._restart_lock = threading.Lock()
+        self._listener: socket.socket | None = None
+        if transport == "socket":
+            self._listener = socket.create_server(("127.0.0.1", 0))
+            self._listener.settimeout(spawn_timeout)
+        self._closed = False
+        self.clients = [WorkerClient(self, i) for i in range(count)]
+        try:
+            self._bootstrap()
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Spawning
+    # ------------------------------------------------------------------
+
+    def _spawn_process(self, worker_id: int) -> subprocess.Popen:
+        command = [sys.executable, "-m", "repro.cli", "serve-worker",
+                   "--worker-id", str(worker_id), "--token", self._token]
+        if self.transport_kind == "socket":
+            host, port = self._listener.getsockname()
+            command += ["--connect", f"{host}:{port}"]
+            stdin = subprocess.DEVNULL
+            stdout = subprocess.DEVNULL
+        else:
+            command += ["--stdio"]
+            stdin = subprocess.PIPE
+            stdout = subprocess.PIPE
+        # stderr stays inherited: worker tracebacks reach the operator.
+        return subprocess.Popen(command, env=self._env,
+                                stdin=stdin, stdout=stdout)
+
+    def _handshake_socket(self, expect: int | None = None,
+                          ) -> tuple[int, LineTransport]:
+        """Accept one worker connection; returns (worker_id, transport).
+
+        With ``expect`` set (restart path), connections from any *other*
+        worker id are dropped, not returned: an orphaned dial from an
+        earlier failed restart must not be mistaken for the respawn (the
+        dropped worker exits on EOF). Bootstrap passes ``None`` and
+        routes accepted connections by their announced id instead.
+        """
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except (socket.timeout, OSError) as exc:
+                raise ReplicaUnavailable(
+                    "no worker connected before the spawn deadline"
+                ) from exc
+            transport = LineTransport.over_socket(conn)
+            try:
+                worker_id, token = hello_from_wire(
+                    transport.recv(timeout=self.spawn_timeout))
+            except (TransportClosed, TransportTimeout,
+                    SerializationError):
+                transport.close()     # stray or broken connection
+                continue
+            if token != self._token or \
+                    (expect is not None and worker_id != expect):
+                transport.close()
+                continue
+            return worker_id, transport
+
+    def _handshake_pipe(self, proc: subprocess.Popen,
+                        worker_id: int) -> LineTransport:
+        transport = LineTransport.over_files(proc.stdout, proc.stdin)
+        try:
+            got_id, token = hello_from_wire(
+                transport.recv(timeout=self.spawn_timeout))
+        except (TransportClosed, TransportTimeout) as exc:
+            raise ReplicaUnavailable(
+                f"worker {worker_id} exited before its handshake"
+            ) from exc
+        if got_id != worker_id or token != self._token:
+            raise ReplicaUnavailable(
+                f"worker {worker_id} sent a bad handshake"
+            )
+        return transport
+
+    def _bootstrap(self) -> None:
+        """Spawn everyone, collect handshakes, send one shared sync."""
+        procs = {client.replica_id: self._spawn_process(client.replica_id)
+                 for client in self.clients}
+        if self.transport_kind == "socket":
+            transports: dict[int, LineTransport] = {}
+            for _ in self.clients:
+                worker_id, transport = self._handshake_socket()
+                if worker_id in transports or worker_id not in procs:
+                    transport.close()
+                    raise ReplicaUnavailable(
+                        f"unexpected worker id {worker_id} in handshake"
+                    )
+                transports[worker_id] = transport
+        else:
+            transports = {
+                client.replica_id: self._handshake_pipe(
+                    procs[client.replica_id], client.replica_id)
+                for client in self.clients
+            }
+        for client in self.clients:
+            client._attach(procs[client.replica_id],
+                           transports[client.replica_id])
+            self._send_sync(client)
+        # Pong arrives only after the sync frame ahead of it is processed:
+        # one ping per worker is a bootstrap barrier, so construction (not
+        # the first serving burst) pays the store decode — and a worker
+        # that cannot bootstrap fails fast, here.
+        for client in self.clients:
+            try:
+                client.ping(timeout=self.spawn_timeout)
+            except (TransportClosed, TransportTimeout) as exc:
+                raise ReplicaUnavailable(
+                    f"worker {client.replica_id} failed to bootstrap"
+                ) from exc
+        # All workers bootstrapped off one memoized payload; free it.
+        self.log.release_sync()
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+
+    def _send_sync(self, client: WorkerClient) -> None:
+        """Ship a full bootstrap sync (memoized per epoch across workers)."""
+        client.transport.send(sync_frame(self.log.sync()))
+        client.epoch = self.log.epoch
+
+    def ship(self, client: WorkerClient) -> int:
+        """Ship the span ``(client.epoch, leader_epoch]`` in-order.
+
+        A truncated span degrades to a full re-sync, mirroring the
+        in-process replica (never a partial replay). Returns the number
+        of batches (or re-synced epochs) shipped.
+        """
+        start = client.epoch
+        lines = self.log.ship_since(start)
+        if lines is None:
+            self._send_sync(client)
+            client.resyncs += 1
+            return client.epoch - start
+        for line in lines:
+            client.transport.send_text(line)
+        client.epoch = self.log.epoch
+        client.batches_shipped += len(lines)
+        return len(lines)
+
+    def refresh(self) -> int:
+        """Ship pending batches to every worker.
+
+        A worker that dies mid-refresh is restarted at the leader epoch
+        by its own ``catch_up`` crash path (a restart *is* a refresh), so
+        one casualty never aborts the sweep for the rest of the fleet.
+        """
+        total = 0
+        for client in self.clients:
+            try:
+                total += client.catch_up()
+            except ReplicaUnavailable:
+                continue     # restarted + re-synced == refreshed
+        return total
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+
+    def restart(self, client: WorkerClient,
+                failed: LineTransport | None = None) -> None:
+        """Respawn one worker and queue its full re-sync.
+
+        The sync frame is written to the fresh stream immediately, so by
+        the time the router rotates back to this replica it answers at
+        the leader's epoch without special-casing.
+
+        Restarts are serialized pool-wide (the socket listener is shared,
+        and two concurrent restarts could cross-accept each other's
+        worker) and idempotent per casualty: ``failed`` is the transport
+        the caller observed dying — if another thread already replaced it
+        (the client is attached to a *different*, live stream), the
+        restart is complete and this call returns without churning the
+        fresh worker. A restart that fails partway leaves the client
+        detached (``transport is None``); every client entry point treats
+        that state as "restart me first", never as an attribute error.
+        """
+        if self._closed:
+            raise ReplicaUnavailable("worker pool is closed")
+        with self._restart_lock:
+            if client.transport is not None \
+                    and client.transport is not failed and client.alive():
+                return                # another thread already healed it
+            client._discard_process()
+            client.restarts += 1
+            proc = self._spawn_process(client.replica_id)
+            try:
+                if self.transport_kind == "socket":
+                    _, transport = self._handshake_socket(
+                        expect=client.replica_id)
+                else:
+                    transport = self._handshake_pipe(proc,
+                                                     client.replica_id)
+                client._attach(proc, transport)
+                client.resyncs += 1
+                self._send_sync(client)
+            except BaseException as exc:
+                # Never leak the respawn: a worker we cannot handshake
+                # with must not linger half-connected. (After a
+                # successful attach the client owns the process; a
+                # failed sync there is healed by the next entry point.)
+                if client.transport is None:
+                    if proc.poll() is None:
+                        proc.kill()
+                    proc.wait()
+                if isinstance(exc, (TransportClosed, TransportTimeout)):
+                    raise ReplicaUnavailable(
+                        f"worker {client.replica_id} failed to restart"
+                    ) from exc
+                raise
+
+    def health_check(self) -> list[int]:
+        """Ping every worker; restart the dead ones. Returns restarted ids.
+
+        Crash recovery off the read path: routed reads also self-heal (a
+        dead worker surfaces as a routed retry), but a periodic health
+        check brings crashed workers back *before* their rotation slot
+        pays the restart.
+        """
+        restarted: list[int] = []
+        for client in self.clients:
+            probed = client.transport
+            healthy = client.alive()
+            if healthy:
+                try:
+                    client.ping()
+                except (TransportClosed, TransportTimeout,
+                        SerializationError):
+                    healthy = False
+            if not healthy:
+                # Pass the probed transport so a hung-but-alive worker is
+                # really restarted (the idempotence check must not mistake
+                # its current stream for another thread's fresh one).
+                self.restart(client, failed=probed)
+                restarted.append(client.replica_id)
+        return restarted
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Pool-wide spawn/replication/serving counters."""
+        return {
+            "leader_epoch": self.log.epoch,
+            "transport": self.transport_kind,
+            "workers": [client.stats() for client in self.clients],
+        }
+
+    def close(self) -> None:
+        """Shut every worker down and release the listener (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for client in self.clients:
+            if client.transport is not None and client.alive():
+                try:
+                    client.transport.send(shutdown_frame())
+                    client.proc.wait(timeout=5.0)
+                except (TransportClosed, TransportTimeout,
+                        subprocess.TimeoutExpired, OSError):
+                    pass
+            client._discard_process()
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:   # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:   # pragma: no cover - cosmetic
+        return (
+            f"WorkerPool(workers={len(self.clients)}, "
+            f"transport={self.transport_kind!r}, "
+            f"leader_epoch={self.log.epoch})"
+        )

@@ -1,0 +1,196 @@
+"""Framed JSON-lines transport over sockets and pipes.
+
+The wire frames (:mod:`repro.serve.wire`) are one JSON object per line;
+this module moves those lines across a process boundary. One class covers
+both duplex carriers the worker pool uses:
+
+- **sockets** — the pool listens on loopback, workers connect back
+  (:meth:`LineTransport.over_socket`);
+- **pipes** — the worker speaks the protocol on stdin/stdout
+  (:meth:`LineTransport.over_files`), e.g. ``repro.cli serve-worker
+  --stdio``.
+
+Framing is newline-delimited UTF-8 JSON: JSON string escaping guarantees
+no frame contains a raw newline, so ``\\n`` is an unambiguous frame
+boundary and the same bytes work as a capture/replay log. Reads run over
+the raw file descriptors with :func:`select.select` so health checks can
+bound their wait (POSIX semantics; the repo targets linux).
+
+Failure mapping — the part the serving layer builds on:
+
+- peer gone (EOF, ``EPIPE``, ``ECONNRESET``) ->
+  :class:`~repro.errors.TransportClosed`;
+- deadline expired -> :class:`~repro.errors.TransportTimeout`;
+- undecodable frame -> :class:`~repro.errors.SerializationError` (a codec
+  bug, never retried).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import select
+import socket
+import time
+from typing import Any, BinaryIO, Callable
+
+from repro.errors import SerializationError, TransportClosed, TransportTimeout
+
+#: Read chunk size; frames are typically far smaller, sync payloads larger.
+_CHUNK = 1 << 16
+
+
+class LineTransport:
+    """One duplex newline-framed JSON channel.
+
+    Args:
+        reader: binary file-like the peer writes to (must have
+            ``fileno()``/``readinto`` semantics; only ``fileno`` is used).
+        writer: binary file-like we write frames to (``write`` + ``flush``).
+        on_close: extra callables invoked once on :meth:`close` (socket
+            shutdown, subprocess handles, ...).
+
+    Not thread-safe: one transport belongs to one request loop. The worker
+    pool gives every worker its own transport, which is what makes
+    per-worker client threads safe in the benchmark's fan-out mode.
+    """
+
+    def __init__(self, reader: BinaryIO, writer: BinaryIO,
+                 on_close: tuple[Callable[[], None], ...] = ()):
+        self._reader = reader
+        self._writer = writer
+        self._on_close = on_close
+        self._buffer = bytearray()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def over_socket(cls, sock: socket.socket) -> "LineTransport":
+        """Frame over a connected stream socket (both directions)."""
+        reader = sock.makefile("rb", buffering=0)
+        writer = sock.makefile("wb", buffering=0)
+
+        def _shutdown() -> None:
+            try:
+                sock.close()
+            except OSError:   # pragma: no cover - close is best-effort
+                pass
+
+        return cls(reader, writer, on_close=(_shutdown,))
+
+    @classmethod
+    def over_files(cls, reader: BinaryIO, writer: BinaryIO,
+                   ) -> "LineTransport":
+        """Frame over a pipe pair (subprocess stdio or ``os.pipe`` ends)."""
+        return cls(reader, writer)
+
+    # ------------------------------------------------------------------
+    # Framing
+    # ------------------------------------------------------------------
+
+    def send(self, frame: dict[str, Any]) -> None:
+        """Write one frame (a JSON-able dict) and flush it to the peer."""
+        line = json.dumps(frame, sort_keys=True).encode("utf-8") + b"\n"
+        self.send_raw(line)
+
+    def send_text(self, line: str) -> None:
+        """Write one pre-encoded JSON line (e.g. a shipped batch line)."""
+        self.send_raw(line.encode("utf-8") + b"\n")
+
+    def send_raw(self, data: bytes) -> None:
+        """Write framed bytes; the caller guarantees trailing newlines."""
+        if self._closed:
+            raise TransportClosed("transport is closed")
+        # Raw (unbuffered) socket writers may short-write large frames —
+        # a multi-MB sync payload interrupted mid-send would desync the
+        # newline framing — so loop until every byte is on the wire.
+        view = memoryview(data)
+        try:
+            while view:
+                written = self._writer.write(view)
+                if written is None:
+                    raise TransportClosed(
+                        "writer would block mid-frame (non-blocking stream)"
+                    )
+                view = view[written:]
+            self._writer.flush()
+        except (BrokenPipeError, ConnectionResetError, ValueError,
+                OSError) as exc:
+            raise TransportClosed(f"peer hung up mid-send: {exc}") from exc
+
+    def recv(self, timeout: float | None = None) -> dict[str, Any]:
+        """Read one frame; block up to ``timeout`` seconds (None = forever).
+
+        Raises:
+            TransportClosed: the peer hung up (EOF/reset) before a full
+                frame arrived.
+            TransportTimeout: the deadline expired first.
+            SerializationError: the line was not a JSON object.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[:newline])
+                del self._buffer[:newline + 1]
+                return self._parse(line)
+            self._fill(deadline)
+
+    def _fill(self, deadline: float | None) -> None:
+        """Pull more bytes into the buffer, honoring the deadline."""
+        if self._closed:
+            raise TransportClosed("transport is closed")
+        fd = self._reader.fileno()
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TransportTimeout("framed read deadline expired")
+            # Plain select: one syscall per wait, no selector object per
+            # 64KB chunk on the serving hot path (timed reads are the
+            # default for every pool request).
+            readable, _, _ = select.select([fd], [], [], remaining)
+            if not readable:
+                raise TransportTimeout("framed read deadline expired")
+        try:
+            chunk = os.read(fd, _CHUNK)
+        except (ConnectionResetError, OSError) as exc:
+            raise TransportClosed(f"peer hung up mid-recv: {exc}") from exc
+        if not chunk:
+            raise TransportClosed("peer closed the stream (EOF)")
+        self._buffer.extend(chunk)
+
+    @staticmethod
+    def _parse(line: bytes) -> dict[str, Any]:
+        try:
+            frame = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise SerializationError(f"invalid frame line: {exc}") from exc
+        if not isinstance(frame, dict):
+            raise SerializationError(
+                f"frame is not a JSON object: {frame!r}"
+            )
+        return frame
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close both directions (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for stream in (self._writer, self._reader):
+            try:
+                stream.close()
+            except (OSError, ValueError):   # pragma: no cover - best-effort
+                pass
+        for hook in self._on_close:
+            hook()
+
+    def __enter__(self) -> "LineTransport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,6 +1,15 @@
 """Wire format for the replication stream: JSON-lines, round-trip exact.
 
-Two message families cross the leader -> replica boundary:
+The JSON-lines frames defined here are the **process boundary** of the
+serving layer: the in-process cluster (PR 3) and the out-of-process worker
+pool (:mod:`repro.serve.pool` / :mod:`repro.serve.worker`) speak exactly
+the same lines — one JSON object per frame, every frame carrying a
+``kind``. The normative spec, with one worked example per frame kind, is
+``docs/wire-protocol.md``; ``tests/test_docs_examples.py`` round-trips
+every example in that document through the codecs below, so the spec and
+the code cannot drift apart.
+
+Four message families cross the leader -> replica boundary:
 
 - **Batch lines** (:func:`encode_batch` / :func:`decode_batch`): one JSON
   line per :class:`repro.store.delta.DeltaBatch`. The typed
@@ -23,6 +32,18 @@ Two message families cross the leader -> replica boundary:
   ordinal-exact reconstruction path used by :func:`load_store`, then
   restores the leader epoch so shipped batches apply contiguously.
 
+- **Request/response query frames** (:func:`request_to_wire` /
+  :func:`response_to_wire` and their inverses): remote procedure calls a
+  worker process answers against its local snapshot — ``lineage`` /
+  ``impacted`` / ``blame`` / ``segment`` / ``cypher``. Each read family
+  has a dedicated parameter/result codec below (:func:`lineage_to_wire`,
+  :func:`segment_to_wire`, :func:`rows_to_wire`, ...) so the answers are
+  value-identical on both sides of the boundary.
+
+- **Control frames** (``hello`` / ``sync`` / ``ping`` / ``pong`` /
+  ``event`` / ``shutdown`` / ``bye``): worker lifecycle — handshake,
+  bootstrap, health checks, and divergence reporting.
+
 Round-trip guarantees (``tests/test_serve_wire.py``): every delta op kind,
 batch epochs, payload presence/absence, and sync reconstruction (ids,
 ordinals, tombstone gaps, properties, epoch) survive encode -> decode
@@ -34,10 +55,17 @@ persistence layer already imposes.
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import SerializationError
 from repro.model.types import parse_edge_type, parse_vertex_type
+from repro.query.paths import Path, Step
+
+if TYPE_CHECKING:   # pragma: no cover - types only
+    from repro.model.graph import ProvenanceGraph
+    from repro.query.cypherlite import Budget
+    from repro.query.ops import Lineage
+    from repro.segment.pgseg import PgSegQuery, Segment
 from repro.store.delta import Delta, DeltaBatch, DeltaOp, PropertyPayload
 from repro.store.persistence import (
     edge_record_to_json,
@@ -219,3 +247,492 @@ def decode_sync(payload: str,
     return restore_records(meta, vertices, edges,
                            check_signatures=check_signatures,
                            source="<sync>")
+
+
+# ---------------------------------------------------------------------------
+# Control frames (worker lifecycle)
+# ---------------------------------------------------------------------------
+
+
+def _expect_kind(record: dict[str, Any], kind: str) -> dict[str, Any]:
+    if record.get("kind") != kind or record.get("format") != WIRE_FORMAT:
+        raise SerializationError(
+            f"not a {WIRE_FORMAT} {kind!r} frame: {record.get('kind')!r}"
+        )
+    return record
+
+
+def hello_frame(worker_id: int, token: str) -> dict[str, Any]:
+    """The worker's first frame after connecting: who it is + the shared
+    spawn token (rejects stray connections to the pool's listener)."""
+    return {"kind": "hello", "format": WIRE_FORMAT,
+            "worker": int(worker_id), "token": token}
+
+
+def hello_from_wire(record: dict[str, Any]) -> tuple[int, str]:
+    """Decode a hello frame into ``(worker_id, token)``."""
+    _expect_kind(record, "hello")
+    try:
+        return int(record["worker"]), str(record["token"])
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(f"malformed hello frame: {record!r}") from exc
+
+
+def sync_frame(payload: str) -> dict[str, Any]:
+    """Wrap an already-encoded sync payload as one frame.
+
+    The ``payload`` field is the multi-line :func:`encode_sync` text (JSON
+    string-escaping keeps the frame itself one line) so the framed
+    transport and the raw replication stream share one sync codec. The
+    pool uses this directly with :meth:`ReplicationLog.sync`'s memoized
+    payload; there must be exactly one place that knows the frame shape.
+    """
+    return {"kind": "sync", "format": WIRE_FORMAT, "payload": payload}
+
+
+def sync_to_frame(store: PropertyGraphStore) -> dict[str, Any]:
+    """A full-snapshot bootstrap as one frame (see :func:`sync_frame`)."""
+    return sync_frame(encode_sync(store))
+
+
+def sync_from_frame(record: dict[str, Any],
+                    check_signatures: bool | None = None,
+                    ) -> PropertyGraphStore:
+    """Rebuild a store from a framed sync (see :func:`decode_sync`)."""
+    _expect_kind(record, "sync")
+    try:
+        payload = record["payload"]
+    except KeyError as exc:
+        raise SerializationError(f"malformed sync frame: {record!r}") from exc
+    return decode_sync(payload, check_signatures=check_signatures)
+
+
+def ping_frame() -> dict[str, Any]:
+    """Health-check probe; the worker answers with a pong frame."""
+    return {"kind": "ping", "format": WIRE_FORMAT}
+
+
+def pong_frame(epoch: int, stats: dict[str, Any] | None = None,
+               ) -> dict[str, Any]:
+    """Health-check answer: the worker's replayed epoch plus counters."""
+    frame: dict[str, Any] = {"kind": "pong", "format": WIRE_FORMAT,
+                             "epoch": int(epoch)}
+    if stats is not None:
+        frame["stats"] = stats
+    return frame
+
+
+def pong_from_wire(record: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+    """Decode a pong frame into ``(epoch, stats)``."""
+    _expect_kind(record, "pong")
+    try:
+        return int(record["epoch"]), dict(record.get("stats", {}))
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(f"malformed pong frame: {record!r}") from exc
+
+
+def event_frame(event: str, detail: str = "") -> dict[str, Any]:
+    """An unsolicited worker notification (e.g. ``diverged`` before the
+    worker exits so the pool re-syncs it on restart)."""
+    return {"kind": "event", "format": WIRE_FORMAT,
+            "event": str(event), "detail": str(detail)}
+
+
+def shutdown_frame() -> dict[str, Any]:
+    """Clean-stop order; the worker answers ``bye`` and exits."""
+    return {"kind": "shutdown", "format": WIRE_FORMAT}
+
+
+def bye_frame() -> dict[str, Any]:
+    """The worker's last frame before a clean exit."""
+    return {"kind": "bye", "format": WIRE_FORMAT}
+
+
+# ---------------------------------------------------------------------------
+# Request / response query frames
+# ---------------------------------------------------------------------------
+
+#: Methods a replica worker serves (see :mod:`repro.serve.worker`).
+REQUEST_METHODS = ("lineage", "impacted", "blame", "segment", "cypher")
+
+
+def request_to_wire(request_id: int, method: str,
+                    params: dict[str, Any]) -> dict[str, Any]:
+    """One query request as a frame.
+
+    ``request_id`` correlates the response on a duplex stream that also
+    carries unsolicited event frames; ids are chosen by the client and
+    echoed verbatim.
+    """
+    if method not in REQUEST_METHODS:
+        raise SerializationError(f"unknown request method {method!r}")
+    return {"kind": "request", "format": WIRE_FORMAT,
+            "id": int(request_id), "method": method, "params": params}
+
+
+def request_from_wire(record: dict[str, Any],
+                      ) -> tuple[int, str, dict[str, Any]]:
+    """Decode a request frame into ``(request_id, method, params)``."""
+    _expect_kind(record, "request")
+    try:
+        request_id = int(record["id"])
+        method = record["method"]
+        params = dict(record["params"])
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(
+            f"malformed request frame: {record!r}") from exc
+    if method not in REQUEST_METHODS:
+        raise SerializationError(f"unknown request method {method!r}")
+    return request_id, method, params
+
+
+def response_to_wire(request_id: int, epoch: int, *,
+                     result: Any = None,
+                     error: dict[str, Any] | None = None) -> dict[str, Any]:
+    """One query answer as a frame.
+
+    Exactly one of ``result`` (the method-specific result object) and
+    ``error`` (an :func:`error_to_wire` record) is carried; ``epoch`` is
+    the worker's replayed epoch at answer time, so the client can verify
+    its consistency stamp was honored.
+    """
+    frame: dict[str, Any] = {"kind": "response", "format": WIRE_FORMAT,
+                             "id": int(request_id), "epoch": int(epoch)}
+    if error is not None:
+        frame["ok"] = False
+        frame["error"] = error
+    else:
+        frame["ok"] = True
+        frame["result"] = result
+    return frame
+
+
+def response_from_wire(record: dict[str, Any],
+                       ) -> tuple[int, int, bool, Any]:
+    """Decode a response frame into ``(request_id, epoch, ok, payload)``.
+
+    ``payload`` is the result object when ``ok`` and the error record
+    otherwise (rebuild it with :func:`error_from_wire`).
+    """
+    _expect_kind(record, "response")
+    try:
+        request_id = int(record["id"])
+        epoch = int(record["epoch"])
+        ok = bool(record["ok"])
+        payload = record["result"] if ok else dict(record["error"])
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(
+            f"malformed response frame: {record!r}") from exc
+    return request_id, epoch, ok, payload
+
+
+#: Builtin exception names the error codec is allowed to rebuild.
+_BUILTIN_ERRORS = {
+    "ValueError": ValueError,
+    "KeyError": KeyError,
+    "TypeError": TypeError,
+    "RuntimeError": RuntimeError,
+}
+
+
+def error_to_wire(exc: BaseException) -> dict[str, Any]:
+    """One exception as a response-frame error record (type + message)."""
+    return {"type": type(exc).__name__, "message": str(exc)}
+
+
+def error_from_wire(record: dict[str, Any]) -> BaseException:
+    """Rebuild a served exception client-side, preserving its type.
+
+    Types are resolved against :mod:`repro.errors` (so ``VertexNotFound``
+    raised in a worker is ``VertexNotFound`` at the caller) plus a small
+    builtin allowlist; anything unresolvable degrades to
+    :class:`~repro.errors.ReproError` with the type name prefixed. Library
+    errors are rebuilt without re-running their constructors (several
+    take structured arguments the wire does not carry).
+    """
+    import repro.errors as _errors
+
+    name = str(record.get("type", "Exception"))
+    message = str(record.get("message", ""))
+    cls = getattr(_errors, name, None)
+    if isinstance(cls, type) and issubclass(cls, _errors.ReproError):
+        exc = cls.__new__(cls)
+        Exception.__init__(exc, message)
+        return exc
+    if name in _BUILTIN_ERRORS:
+        return _BUILTIN_ERRORS[name](message)
+    return _errors.ReproError(f"{name}: {message}")
+
+
+# ---------------------------------------------------------------------------
+# Query parameter codecs
+# ---------------------------------------------------------------------------
+
+
+def pgseg_query_is_wire_safe(query: "PgSegQuery") -> bool:
+    """True when the query is fully declarative and can cross the wire.
+
+    Boundary criteria and property-key callables hold arbitrary Python
+    functions; queries carrying them must be evaluated leader-local.
+    """
+    return (query.boundaries is None
+            and query.activity_key is None
+            and query.entity_key is None)
+
+
+def pgseg_query_to_wire(query: "PgSegQuery") -> dict[str, Any]:
+    """One PgSeg query as a JSON-able object.
+
+    Only the declarative subset of :class:`~repro.segment.pgseg.PgSegQuery`
+    crosses the wire (:func:`pgseg_query_is_wire_safe`); anything else
+    raises :class:`~repro.errors.SerializationError` — the cluster serves
+    such queries leader-local instead (see
+    :meth:`repro.serve.pool.WorkerClient.segment`).
+    """
+    if query.boundaries is not None:
+        raise SerializationError(
+            "boundary criteria hold arbitrary predicates and cannot cross "
+            "the wire; evaluate boundary queries leader-local"
+        )
+    if query.activity_key is not None or query.entity_key is not None:
+        raise SerializationError(
+            "property-key callables cannot cross the wire; evaluate "
+            "key-constrained queries leader-local"
+        )
+    return {
+        "src": list(query.src),
+        "dst": list(query.dst),
+        "algorithm": query.algorithm,
+        "set_impl": query.set_impl,
+        "prune": query.prune,
+        "include_direct": query.include_direct,
+        "include_similar": query.include_similar,
+        "include_siblings": query.include_siblings,
+        "include_agents": query.include_agents,
+        "direct_edge_types": sorted(
+            edge_type.label for edge_type in query.direct_edge_types
+        ),
+    }
+
+
+def pgseg_query_from_wire(record: dict[str, Any]) -> "PgSegQuery":
+    """Inverse of :func:`pgseg_query_to_wire`."""
+    from repro.segment.pgseg import PgSegQuery
+
+    try:
+        return PgSegQuery(
+            src=tuple(int(v) for v in record["src"]),
+            dst=tuple(int(v) for v in record["dst"]),
+            algorithm=str(record["algorithm"]),
+            set_impl=str(record["set_impl"]),
+            prune=bool(record["prune"]),
+            include_direct=bool(record["include_direct"]),
+            include_similar=bool(record["include_similar"]),
+            include_siblings=bool(record["include_siblings"]),
+            include_agents=bool(record["include_agents"]),
+            direct_edge_types=frozenset(
+                parse_edge_type(label)
+                for label in record["direct_edge_types"]
+            ),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(
+            f"malformed wire PgSeg query: {record!r}") from exc
+
+
+def budget_to_wire(budget: "Budget | None") -> dict[str, Any] | None:
+    """A CypherLite budget as a JSON-able object (None passes through)."""
+    if budget is None:
+        return None
+    return {
+        "timeout_seconds": budget.timeout_seconds,
+        "max_expansions": budget.max_expansions,
+        "max_rows": budget.max_rows,
+    }
+
+
+def budget_from_wire(record: dict[str, Any] | None) -> "Budget | None":
+    """Inverse of :func:`budget_to_wire`."""
+    if record is None:
+        return None
+    from repro.query.cypherlite import Budget
+
+    try:
+        return Budget(
+            timeout_seconds=record["timeout_seconds"],
+            max_expansions=int(record["max_expansions"]),
+            max_rows=int(record["max_rows"]),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(
+            f"malformed wire budget: {record!r}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Query result codecs
+# ---------------------------------------------------------------------------
+
+
+def lineage_to_wire(result: "Lineage") -> dict[str, Any]:
+    """One lineage/impact walk as a JSON-able object."""
+    return {
+        "root": result.root,
+        "vertices": sorted(result.vertices),
+        "levels": [
+            {"depth": level.depth,
+             "activities": list(level.activities),
+             "entities": list(level.entities)}
+            for level in result.levels
+        ],
+    }
+
+
+def lineage_from_wire(record: dict[str, Any]) -> "Lineage":
+    """Inverse of :func:`lineage_to_wire` (field-equal to the original)."""
+    from repro.query.ops import Lineage, LineageLevel
+
+    try:
+        return Lineage(
+            root=int(record["root"]),
+            vertices=set(record["vertices"]),
+            levels=[
+                LineageLevel(
+                    depth=int(level["depth"]),
+                    activities=list(level["activities"]),
+                    entities=list(level["entities"]),
+                )
+                for level in record["levels"]
+            ],
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(
+            f"malformed wire lineage: {record!r}") from exc
+
+
+def blame_to_wire(report: dict[int, set[int]]) -> dict[str, Any]:
+    """One blame report (agent id -> owned vertex ids) as JSON."""
+    return {"agents": {str(agent): sorted(owned)
+                       for agent, owned in sorted(report.items())}}
+
+
+def blame_from_wire(record: dict[str, Any]) -> dict[int, set[int]]:
+    """Inverse of :func:`blame_to_wire` (int keys, set values restored)."""
+    try:
+        return {int(agent): set(owned)
+                for agent, owned in record["agents"].items()}
+    except (KeyError, ValueError, TypeError, AttributeError) as exc:
+        raise SerializationError(
+            f"malformed wire blame report: {record!r}") from exc
+
+
+def segment_to_wire(segment: "Segment") -> dict[str, Any]:
+    """One PgSeg segment as a JSON-able object.
+
+    Vertex/edge ids are leader ids (replication is id-exact), so the
+    client rebinds the decoded segment to its own graph handle.
+    """
+    return {
+        "vertices": sorted(segment.vertices),
+        "edge_ids": list(segment.edge_ids),
+        "categories": {str(vertex): sorted(tags)
+                       for vertex, tags in sorted(segment.categories.items())},
+    }
+
+
+def segment_from_wire(graph: "ProvenanceGraph",
+                      record: dict[str, Any]) -> "Segment":
+    """Inverse of :func:`segment_to_wire`, bound to ``graph``.
+
+    The rebound graph must contain the segment's ids for record accessors
+    (``edges()``, ``describe()``, ...) to resolve — guaranteed for strict
+    (read-your-writes) reads; bounded-staleness callers hold ids from an
+    older epoch and should treat accessors as best-effort.
+    """
+    from repro.segment.pgseg import Segment
+
+    try:
+        return Segment(
+            graph,
+            vertices=[int(v) for v in record["vertices"]],
+            edge_ids=[int(e) for e in record["edge_ids"]],
+            categories={int(vertex): set(tags)
+                        for vertex, tags in record["categories"].items()},
+        )
+    except (KeyError, ValueError, TypeError, AttributeError) as exc:
+        raise SerializationError(
+            f"malformed wire segment: {record!r}") from exc
+
+
+#: Tag key for non-scalar CypherLite row values. A plain dict row value
+#: must not use this key (reserved by the protocol; see
+#: ``docs/wire-protocol.md``).
+ROW_TAG = "$"
+
+
+def _row_value_to_wire(value: Any) -> Any:
+    if isinstance(value, Path):
+        return {ROW_TAG: "path", "start": value.start,
+                "steps": [[step.edge_id, step.forward]
+                          for step in value.steps]}
+    if isinstance(value, Step):
+        return {ROW_TAG: "step", "edge_id": value.edge_id,
+                "forward": value.forward}
+    if isinstance(value, list):
+        return [_row_value_to_wire(item) for item in value]
+    if isinstance(value, dict):
+        if ROW_TAG in value:
+            raise SerializationError(
+                f"map row values may not use the reserved key {ROW_TAG!r}"
+            )
+        return {key: _row_value_to_wire(item) for key, item in value.items()}
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise SerializationError(
+        f"row value {value!r} ({type(value).__name__}) is not "
+        f"wire-representable"
+    )
+
+
+def _row_value_from_wire(graph: "ProvenanceGraph", value: Any) -> Any:
+    if isinstance(value, dict):
+        tag = value.get(ROW_TAG)
+        if tag == "path":
+            return Path(graph, int(value["start"]),
+                        steps=[Step(int(edge_id), bool(forward))
+                               for edge_id, forward in value["steps"]])
+        if tag == "step":
+            return Step(int(value["edge_id"]), bool(value["forward"]))
+        if tag is not None:
+            raise SerializationError(f"unknown row value tag {tag!r}")
+        return {key: _row_value_from_wire(graph, item)
+                for key, item in value.items()}
+    if isinstance(value, list):
+        return [_row_value_from_wire(graph, item) for item in value]
+    return value
+
+
+def rows_to_wire(rows: "list[dict[str, Any]]") -> list[dict[str, Any]]:
+    """CypherLite result rows as JSON-able objects.
+
+    Scalars and lists pass through; bound paths and relationship steps are
+    tagged objects (vertex variables are already plain ids).
+    """
+    return [
+        {name: _row_value_to_wire(value) for name, value in row.items()}
+        for row in rows
+    ]
+
+
+def rows_from_wire(graph: "ProvenanceGraph",
+                   records: list[dict[str, Any]],
+                   ) -> list[dict[str, Any]]:
+    """Inverse of :func:`rows_to_wire`, rebinding paths to ``graph``."""
+    try:
+        return [
+            {name: _row_value_from_wire(graph, value)
+             for name, value in record.items()}
+            for record in records
+        ]
+    except (KeyError, ValueError, TypeError, AttributeError) as exc:
+        raise SerializationError(
+            f"malformed wire rows: {records!r}") from exc

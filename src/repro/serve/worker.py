@@ -1,0 +1,217 @@
+"""The out-of-process replica worker: one process, one read replica.
+
+A worker is the process-boundary twin of
+:class:`repro.serve.replication.Replica`: it bootstraps its store from a
+framed ``sync``, applies shipped ``batch`` frames through
+:meth:`~repro.store.PropertyGraphStore.apply_replicated_batch` (so its
+delta log mirrors the leader's and its read snapshot advances with the
+shared incremental patcher), and answers ``request`` frames —
+lineage/impact/blame walks, PgSeg, CypherLite — against its own armed
+snapshot.
+
+The protocol is strictly leader-driven and processed **in order**: the
+pool writes any missing batch frames *before* a stamped request on the
+same stream, so by the time the worker reads the request it has already
+replayed the span the stamp requires. The worker never initiates
+catch-up; it only reports.
+
+Failure contract:
+
+- a query error is **not** fatal — it returns as an error response with
+  the exception type preserved (:func:`repro.serve.wire.error_to_wire`);
+- a batch that fails to apply means this follower diverged; the local
+  state is untrusted, so the worker sends a ``diverged`` event and exits
+  non-zero. The pool restarts it with a full re-sync (the same
+  "never partially replay" rule the in-process replica honors by
+  re-bootstrapping);
+- EOF on the control stream means the leader is gone; the worker exits
+  cleanly, so killing the pool never leaks worker processes.
+
+Spawned via ``python -m repro.cli serve-worker`` (see
+:func:`repro.cli._cmd_serve_worker`) with either ``--connect host:port``
+(socket mode) or ``--stdio`` (pipe mode).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import (
+    ModelError,
+    SerializationError,
+    StoreError,
+    TransportClosed,
+)
+from repro.model.graph import ProvenanceGraph
+from repro.query.cypherlite import run_query
+from repro.query.ops import blame as _blame
+from repro.query.ops import impacted as _impacted
+from repro.query.ops import lineage as _lineage
+from repro.segment.pgseg import PgSegOperator
+from repro.serve.transport import LineTransport
+from repro.serve.wire import (
+    batch_from_wire,
+    blame_to_wire,
+    budget_from_wire,
+    bye_frame,
+    error_to_wire,
+    event_frame,
+    lineage_to_wire,
+    pgseg_query_from_wire,
+    pong_frame,
+    request_from_wire,
+    response_to_wire,
+    rows_to_wire,
+    segment_to_wire,
+    sync_from_frame,
+)
+from repro.store.snapshot import GraphSnapshot
+
+
+class ReplicaWorker:
+    """The serve loop of one out-of-process replica.
+
+    Args:
+        transport: the duplex framed channel to the pool.
+        worker_id: the pool-assigned identifier (stats/logging only).
+    """
+
+    def __init__(self, transport: LineTransport, worker_id: int = 0):
+        self._transport = transport
+        self.worker_id = worker_id
+        self.store = None
+        self.graph: ProvenanceGraph | None = None
+        self._snapshot: GraphSnapshot | None = None
+        self._operator: PgSegOperator | None = None
+        #: Counters mirrored into pong frames for pool health dashboards.
+        self.batches_applied = 0
+        self.requests_served = 0
+        self.syncs = 0
+
+    # ------------------------------------------------------------------
+    # Serve loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> int:
+        """Process frames until shutdown/EOF; returns the exit code."""
+        while True:
+            try:
+                frame = self._transport.recv()
+            except TransportClosed:
+                # Leader gone: exit quietly, never outlive the pool.
+                return 0
+            kind = frame.get("kind")
+            if kind == "sync":
+                self._bootstrap(frame)
+            elif kind == "batch":
+                if not self._apply(frame):
+                    return 1
+            elif kind == "request":
+                self._answer(frame)
+            elif kind == "ping":
+                self._transport.send(pong_frame(self.epoch, self.stats()))
+            elif kind == "shutdown":
+                self._transport.send(bye_frame())
+                return 0
+            else:
+                # Unknown frames are a protocol bug on a private channel;
+                # report and keep serving (forward compatibility).
+                self._transport.send(event_frame(
+                    "unknown-frame", str(kind)))
+
+    @property
+    def epoch(self) -> int:
+        """The epoch this worker has replayed up to (-1 before sync)."""
+        return -1 if self.store is None else self.store.epoch
+
+    def stats(self) -> dict[str, Any]:
+        """Counters for pong frames."""
+        return {
+            "worker_id": self.worker_id,
+            "batches_applied": self.batches_applied,
+            "requests_served": self.requests_served,
+            "syncs": self.syncs,
+        }
+
+    # ------------------------------------------------------------------
+    # Replication inputs
+    # ------------------------------------------------------------------
+
+    def _bootstrap(self, frame: dict[str, Any]) -> None:
+        """(Re-)build local state from a framed full sync."""
+        self.store = sync_from_frame(frame)
+        self.graph = ProvenanceGraph(self.store)
+        self._snapshot = GraphSnapshot(self.graph)
+        self._operator = PgSegOperator(self.graph, snapshot=self._snapshot)
+        self.syncs += 1
+
+    def _apply(self, frame: dict[str, Any]) -> bool:
+        """Apply one shipped batch; False means diverged (worker exits)."""
+        if self.store is None:
+            self._transport.send(event_frame(
+                "diverged", "batch before bootstrap sync"))
+            return False
+        batch, payloads = batch_from_wire(frame)
+        try:
+            self.store.apply_replicated_batch(batch, payloads)
+        except (ValueError, StoreError, ModelError) as exc:
+            # Possibly mid-batch with earlier deltas applied: the local
+            # state is untrusted. Report, exit, let the pool re-sync us.
+            self._transport.send(event_frame("diverged", str(exc)))
+            return False
+        self.batches_applied += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Request serving
+    # ------------------------------------------------------------------
+
+    def _armed_snapshot(self) -> GraphSnapshot:
+        """The memoized read snapshot, advanced to the replayed epoch."""
+        if self._snapshot.epoch != self.store.epoch:
+            self._snapshot = self._snapshot.advance(self.store)
+            self._operator.snapshot = self._snapshot
+        return self._snapshot
+
+    def _answer(self, frame: dict[str, Any]) -> None:
+        request_id, method, params = request_from_wire(frame)
+        self.requests_served += 1
+        try:
+            if self.store is None:
+                raise SerializationError("request before bootstrap sync")
+            result = getattr(self, f"_serve_{method}")(params)
+        except Exception as exc:   # noqa: BLE001 - query errors must not
+            # kill the worker; the type crosses back in the error record.
+            self._transport.send(response_to_wire(
+                request_id, self.epoch, error=error_to_wire(exc)))
+            return
+        self._transport.send(response_to_wire(
+            request_id, self.epoch, result=result))
+
+    def _serve_lineage(self, params: dict[str, Any]) -> dict[str, Any]:
+        return lineage_to_wire(_lineage(
+            self.graph, int(params["entity"]),
+            max_depth=params.get("max_depth"),
+            snapshot=self._armed_snapshot()))
+
+    def _serve_impacted(self, params: dict[str, Any]) -> dict[str, Any]:
+        return lineage_to_wire(_impacted(
+            self.graph, int(params["entity"]),
+            max_depth=params.get("max_depth"),
+            snapshot=self._armed_snapshot()))
+
+    def _serve_blame(self, params: dict[str, Any]) -> dict[str, Any]:
+        return blame_to_wire(_blame(
+            self.graph, int(params["entity"]),
+            snapshot=self._armed_snapshot()))
+
+    def _serve_segment(self, params: dict[str, Any]) -> dict[str, Any]:
+        query = pgseg_query_from_wire(params["query"])
+        self._armed_snapshot()          # arm the operator fast path
+        return segment_to_wire(self._operator.evaluate(query))
+
+    def _serve_cypher(self, params: dict[str, Any]) -> list[dict[str, Any]]:
+        budget = budget_from_wire(params.get("budget"))
+        rows = run_query(self.graph, str(params["text"]), budget,
+                         snapshot=self._armed_snapshot())
+        return rows_to_wire(rows)

@@ -446,7 +446,8 @@ class LifecycleSession:
         """The attached serving cluster, or None when serving is off."""
         return self._cluster
 
-    def serve(self, replicas: int = 2) -> "ProvCluster":
+    def serve(self, replicas: int = 2, out_of_process: bool = False,
+              transport: str = "socket") -> "ProvCluster":
         """Fan session reads out across ``replicas`` read replicas.
 
         Bootstraps a :class:`repro.serve.cluster.ProvCluster` over this
@@ -457,15 +458,28 @@ class LifecycleSession:
         hits never touch a replica. Returns the cluster for direct use
         (e.g. ``session.serve(4).cypher(...)``).
 
-        Calling again re-bootstraps with the new replica count.
+        With ``out_of_process=True`` the replicas are worker *processes*
+        speaking the wire protocol over ``transport`` (``"socket"`` or
+        ``"pipe"``) — true parallel reads across cores; crashed workers
+        are restarted and re-synced transparently. Call
+        :meth:`stop_serving` when done so the workers shut down.
+
+        Calling again re-bootstraps with the new configuration (shutting
+        down any previous worker pool first).
         """
         from repro.serve.cluster import ProvCluster
 
-        self._cluster = ProvCluster(self.graph, replicas=replicas)
+        self.stop_serving()
+        self._cluster = ProvCluster(self.graph, replicas=replicas,
+                                    out_of_process=out_of_process,
+                                    transport=transport)
         return self._cluster
 
     def stop_serving(self) -> None:
-        """Detach the serving cluster; reads run on the leader again."""
+        """Detach the serving cluster (shutting down any worker pool);
+        reads run on the leader again."""
+        if self._cluster is not None:
+            self._cluster.close()
         self._cluster = None
 
     # ------------------------------------------------------------------

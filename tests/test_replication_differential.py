@@ -169,3 +169,77 @@ def test_truncation_resync_interleavings(seed):
 def test_interleaving_budget():
     """The randomized suite exercises at least 200 interleavings."""
     assert len(SEEDS) * ROUNDS >= 200
+
+
+# ---------------------------------------------------------------------------
+# Out-of-process mode: socket workers must be indistinguishable
+# ---------------------------------------------------------------------------
+
+OOP_SEEDS = range(2)
+OOP_ROUNDS = 12
+
+
+@pytest.mark.parametrize("seed", OOP_SEEDS)
+def test_out_of_process_interleavings(seed):
+    """Leader mutates, socket workers serve: answers bit-identical.
+
+    The out-of-process analog of the in-process interleaving suite. The
+    replica snapshot lives in another process, so equivalence is asserted
+    where it is observable: every routed answer (lineage/impact/blame,
+    PgSeg, CypherLite) must equal the leader's live evaluation after each
+    mutation burst — across shipped adds, removals (tombstones cross the
+    wire payload-less), and property writes.
+    """
+    rng = random.Random(7000 + seed)
+    graph = build_paper_example().graph
+    cluster = ProvCluster(graph, replicas=2, out_of_process=True)
+    counter = [0]
+    try:
+        for _ in range(OOP_ROUNDS):
+            for _ in range(rng.randint(1, 3)):
+                _mutate(rng, graph, counter)
+            entities = list(graph.entities())
+            assert entities, "mutation schedule must keep entities alive"
+            _check_routed_queries(graph, cluster, rng, entities)
+        assert all(r.queries_served > 0 for r in cluster.replicas)
+        assert all(r.restarts == 0 for r in cluster.replicas), \
+            "no worker may crash under the plain interleaving schedule"
+    finally:
+        cluster.close()
+
+
+def test_out_of_process_kill_restart_resync():
+    """Worker kill mid-interleaving: restart + re-sync, answers identical.
+
+    Extends the differential schedule with a mid-run casualty: after the
+    kill every routed answer must still match the leader (the router
+    retries onto the surviving worker while the pool restarts the dead
+    one), and the restarted worker must rejoin at the leader epoch and
+    serve correct answers again.
+    """
+    rng = random.Random(7777)
+    graph = build_paper_example().graph
+    cluster = ProvCluster(graph, replicas=2, out_of_process=True)
+    counter = [0]
+    try:
+        for round_index in range(8):
+            for _ in range(rng.randint(1, 3)):
+                _mutate(rng, graph, counter)
+            if round_index == 3:
+                casualty = cluster.replicas[0]
+                casualty.proc.kill()
+                casualty.proc.wait()
+            entities = list(graph.entities())
+            _check_routed_queries(graph, cluster, rng, entities)
+        assert cluster.replicas[0].restarts == 1
+        assert all(r.alive() for r in cluster.replicas)
+        cluster.refresh()
+        assert all(r.epoch == cluster.leader_epoch
+                   for r in cluster.replicas)
+        # The restarted worker is back in rotation and answering.
+        served_before = cluster.replicas[0].queries_served
+        entities = list(graph.entities())
+        _check_routed_queries(graph, cluster, rng, entities)
+        assert cluster.replicas[0].queries_served > served_before
+    finally:
+        cluster.close()

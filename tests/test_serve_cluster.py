@@ -297,3 +297,44 @@ class TestSessionServing:
         session._results.clear()
         session.how_was_it_made("weights")
         assert sum(r.queries_served for r in cluster.replicas) == 0
+
+    def test_serve_out_of_process_is_one_flag(self):
+        """Same session reads, now answered by worker processes."""
+        session = LifecycleSession(project="serving")
+        session.record("alice", "train", uses=["dataset"],
+                       generates=["weights"])
+        session.record("bob", "evaluate", uses=["weights"],
+                       generates=["report"])
+        plain_seg = session.how_was_it_made("weights")
+        plain_blame = session.who_touched("weights")
+
+        cluster = session.serve(replicas=2, out_of_process=True)
+        try:
+            session._results.clear()    # force recompute through workers
+            assert session.how_was_it_made("weights").vertices \
+                == plain_seg.vertices
+            assert session.who_touched("weights") == plain_blame
+            # Writes recorded after serving starts are readable at once.
+            session.record("carol", "tune", uses=["weights"],
+                           generates=["weights"])
+            assert "carol" in session.who_touched("weights")
+            assert sum(r.queries_served for r in cluster.replicas) >= 3
+            procs = [r.proc for r in cluster.replicas]
+        finally:
+            session.stop_serving()
+        assert session.cluster is None
+        for proc in procs:              # stop_serving shut the pool down
+            assert proc.wait(timeout=10) is not None
+
+    def test_reserve_closes_previous_pool(self):
+        session = LifecycleSession(project="serving")
+        session.record("alice", "train", uses=["dataset"],
+                       generates=["weights"])
+        first = session.serve(replicas=1, out_of_process=True)
+        first_proc = first.replicas[0].proc
+        try:
+            second = session.serve(replicas=1)    # re-bootstrap in-process
+            assert session.cluster is second
+            assert first_proc.wait(timeout=10) is not None
+        finally:
+            session.stop_serving()

@@ -1,0 +1,324 @@
+"""Out-of-process serving: transport framing, pool lifecycle, crash retry.
+
+Process-spawning tests are deliberately few and reuse one pool per class
+scope where possible — each worker spawn pays a Python interpreter start.
+The crash contract (the PR's acceptance criterion) is pinned here:
+
+- a worker killed mid-run surfaces as a **routed retry** — the caller
+  gets its answer, never an opaque transport error;
+- the pool restarts the casualty with a full re-sync to the leader epoch;
+- `QueryRouter.route` turns a crash during on-the-spot catch-up into
+  rotation (regression test with a genuinely killed worker).
+"""
+
+import socket
+
+import pytest
+
+from repro.errors import (
+    ReplicaUnavailable,
+    SerializationError,
+    TransportClosed,
+    TransportTimeout,
+    VertexNotFound,
+)
+from repro.query.ops import blame, lineage
+from repro.segment.boundary import BoundaryCriteria
+from repro.segment.pgseg import PgSegOperator, PgSegQuery
+from repro.serve.cluster import ProvCluster, QueryRouter
+from repro.serve.pool import WorkerPool
+from repro.serve.transport import LineTransport
+from repro.workloads.lifecycle import build_paper_example
+
+
+def socketpair_transports():
+    left, right = socket.socketpair()
+    return LineTransport.over_socket(left), LineTransport.over_socket(right)
+
+
+class TestLineTransport:
+    def test_frames_round_trip_both_directions(self):
+        a, b = socketpair_transports()
+        with a, b:
+            a.send({"kind": "ping", "n": 1})
+            assert b.recv(timeout=5) == {"kind": "ping", "n": 1}
+            b.send_text('{"kind": "pong"}')
+            assert a.recv(timeout=5) == {"kind": "pong"}
+
+    def test_many_frames_one_chunk(self):
+        """Framing must split on newlines, not on read boundaries."""
+        a, b = socketpair_transports()
+        with a, b:
+            for index in range(50):
+                a.send({"i": index})
+            assert [b.recv(timeout=5)["i"] for _ in range(50)] \
+                == list(range(50))
+
+    def test_eof_raises_transport_closed(self):
+        a, b = socketpair_transports()
+        with b:
+            a.close()
+            with pytest.raises(TransportClosed):
+                b.recv(timeout=5)
+
+    def test_send_after_peer_close_raises(self):
+        a, b = socketpair_transports()
+        with a:
+            b.close()
+            with pytest.raises(TransportClosed):
+                for _ in range(64):       # until buffers hit the RST
+                    a.send({"kind": "ping"})
+
+    def test_timeout_raises(self):
+        a, b = socketpair_transports()
+        with a, b:
+            with pytest.raises(TransportTimeout):
+                b.recv(timeout=0.05)
+
+    def test_malformed_frames_raise_serialization_error(self):
+        a, b = socketpair_transports()
+        with a, b:
+            a.send_raw(b"not json\n")
+            with pytest.raises(SerializationError):
+                b.recv(timeout=5)
+            a.send_raw(b"[1, 2]\n")
+            with pytest.raises(SerializationError):
+                b.recv(timeout=5)
+
+
+class _CrashingReplica:
+    """Replica double whose catch-up dies until 'restarted'."""
+
+    def __init__(self, replica_id, epoch=0):
+        self.replica_id = replica_id
+        self.epoch = epoch
+        self.queries_served = 0
+        self.crashes = 0
+
+    def catch_up(self):
+        self.crashes += 1
+        self.epoch = 10          # the pool re-syncs a restarted worker
+        raise ReplicaUnavailable(f"replica {self.replica_id} crashed")
+
+
+class _HealthyReplica:
+    def __init__(self, replica_id, epoch=10):
+        self.replica_id = replica_id
+        self.epoch = epoch
+        self.queries_served = 0
+
+    def catch_up(self):
+        return 0
+
+
+class TestRouterCrashRetry:
+    def test_crash_during_catch_up_routes_next_replica(self):
+        crasher = _CrashingReplica(0)
+        healthy = _HealthyReplica(1)
+        router = QueryRouter([crasher, healthy])
+        assert router.route(min_epoch=10) is healthy
+        assert crasher.crashes == 1
+
+    def test_single_replica_heals_on_the_extra_slot(self):
+        """Restart re-syncs, so the extra rotation slot finds it fresh."""
+        crasher = _CrashingReplica(0, epoch=0)
+        router = QueryRouter([crasher])
+        assert router.route(min_epoch=10) is crasher
+        assert crasher.crashes == 1
+
+    def test_unsatisfiable_stamp_still_raises_value_error(self):
+        healthy = _HealthyReplica(0, epoch=3)
+        router = QueryRouter([healthy])
+        with pytest.raises(ValueError, match="ahead of the leader"):
+            router.route(min_epoch=99)
+
+
+@pytest.fixture(scope="class")
+def oop_cluster():
+    example = build_paper_example()
+    cluster = ProvCluster(example.graph, replicas=2, out_of_process=True)
+    try:
+        yield example, cluster
+    finally:
+        cluster.close()
+
+
+class TestWorkerPoolServing:
+    def test_queries_match_leader(self, oop_cluster):
+        example, cluster = oop_cluster
+        graph = example.graph
+        target = example["weight-v2"]
+        assert cluster.lineage(target).vertices \
+            == lineage(graph, target).vertices
+        assert cluster.blame(target) == blame(graph, target)
+        rows = cluster.cypher(
+            f"MATCH (e:E) WHERE id(e) = {target} RETURN id(e)")
+        assert rows == [{"col0": target}]
+
+    def test_read_your_writes_across_the_process_boundary(self, oop_cluster):
+        example, cluster = oop_cluster
+        graph = example.graph
+        activity = graph.add_activity(command="retrain")
+        graph.used(activity, example["weight-v2"])
+        out = graph.add_entity(name="oop-out")
+        graph.was_generated_by(out, activity)
+        assert cluster.lineage(out).vertices \
+            == lineage(graph, out).vertices
+
+    def test_boundary_query_served_leader_local(self, oop_cluster):
+        example, cluster = oop_cluster
+        graph = example.graph
+        roots = tuple(v for v in graph.entities()
+                      if not graph.generating_activities(v))
+        query = PgSegQuery(
+            src=roots, dst=(example["weight-v2"],),
+            boundaries=BoundaryCriteria().exclude_vertices(lambda v: True),
+        )
+        routed = cluster.segment(query)
+        local = PgSegOperator(graph).evaluate(query)
+        assert routed.vertices == local.vertices
+        assert sum(r.local_fallbacks for r in cluster.replicas) >= 1
+
+    def test_mixed_summary_served_wholly_leader_local(self, oop_cluster):
+        """A summary with one non-wire query must not merge worker-epoch
+        segments with leader-epoch segments (states that never coexisted);
+        the whole summary is evaluated leader-local instead."""
+        example, cluster = oop_cluster
+        graph = example.graph
+        roots = tuple(v for v in graph.entities()
+                      if not graph.generating_activities(v))
+        plain = PgSegQuery(src=roots, dst=(example["weight-v2"],))
+        bounded = PgSegQuery(
+            src=roots, dst=(example["weight-v3"],),
+            boundaries=BoundaryCriteria().exclude_vertices(lambda v: True),
+        )
+        served_before = [r.queries_served for r in cluster.replicas]
+        psg = cluster.summarize([plain, bounded])
+        assert psg.segment_count == 2
+        # No segment of the mixed summary was routed to a worker.
+        assert [r.queries_served for r in cluster.replicas] == served_before
+
+    def test_kill_mid_run_loses_no_queries(self, oop_cluster):
+        """The acceptance criterion: kill -> routed retry -> re-sync."""
+        example, cluster = oop_cluster
+        graph = example.graph
+        target = example["weight-v2"]
+        casualty = cluster.replicas[0]
+        restarts_before = casualty.restarts
+        casualty.proc.kill()
+        casualty.proc.wait()
+        for _ in range(4):       # rotation passes over the dead worker
+            assert cluster.lineage(target).vertices \
+                == lineage(graph, target).vertices
+        assert casualty.restarts == restarts_before + 1
+        assert casualty.alive()
+        assert casualty.epoch == cluster.leader_epoch   # re-synced
+
+    def test_kill_during_catch_up_routes_retry(self, oop_cluster):
+        """Satellite regression: the crash happens in route()'s catch-up."""
+        example, cluster = oop_cluster
+        graph = example.graph
+        casualty = cluster.replicas[cluster.router._cursor]
+        graph.add_entity(name="pending-ship")   # every replica now lags
+        casualty.proc.kill()
+        casualty.proc.wait()
+        target = example["weight-v2"]
+        # Strict read: router must catch the crash mid-catch-up and rotate.
+        assert cluster.lineage(target).vertices \
+            == lineage(graph, target).vertices
+        assert casualty.alive()
+
+    def test_detached_client_heals_instead_of_attribute_error(
+            self, oop_cluster):
+        """A failed restart leaves transport=None; the next routed read
+        must heal (or raise ReplicaUnavailable), never AttributeError."""
+        example, cluster = oop_cluster
+        graph = example.graph
+        casualty = cluster.replicas[0]
+        casualty._discard_process()        # the state a failed restart leaves
+        assert casualty.transport is None
+        target = example["weight-v2"]
+        for _ in range(len(cluster.replicas) + 1):
+            assert cluster.lineage(target).vertices \
+                == lineage(graph, target).vertices
+        assert casualty.alive()
+        assert casualty.transport is not None
+
+    def test_all_workers_killed_still_serves(self, oop_cluster):
+        """Even a fully-dead fleet answers: restart + healing rotation."""
+        example, cluster = oop_cluster
+        graph = example.graph
+        for client in cluster.replicas:
+            client.proc.kill()
+            client.proc.wait()
+        target = example["weight-v2"]
+        assert cluster.blame(target) == blame(graph, target)
+        assert all(r.alive() for r in cluster.replicas)
+
+    def test_mixed_summary_honors_unsatisfiable_stamp(self, oop_cluster):
+        """The leader-local summary fallback must not bypass stamp
+        validation: a stamp from the future raises like the routed path."""
+        example, cluster = oop_cluster
+        graph = example.graph
+        roots = tuple(v for v in graph.entities()
+                      if not graph.generating_activities(v))
+        bounded = PgSegQuery(
+            src=roots, dst=(example["weight-v2"],),
+            boundaries=BoundaryCriteria().exclude_vertices(lambda v: True),
+        )
+        with pytest.raises(ValueError, match="ahead of the leader"):
+            cluster.summarize([bounded],
+                              min_epoch=cluster.leader_epoch + 1)
+
+    def test_health_check_restarts_dead_workers(self, oop_cluster):
+        _, cluster = oop_cluster
+        casualty = cluster.replicas[1]
+        casualty.proc.kill()
+        casualty.proc.wait()
+        assert cluster.health_check() == [1]
+        assert casualty.alive()
+        assert cluster.health_check() == []
+
+    def test_stale_read_error_type_crosses_the_wire(self, oop_cluster):
+        example, cluster = oop_cluster
+        graph = example.graph
+        cluster.refresh()
+        stamp = cluster.leader_epoch
+        ghost = graph.add_entity(name="not-shipped-yet")
+        with pytest.raises(VertexNotFound):
+            cluster.lineage(ghost, min_epoch=stamp)
+
+
+class TestWorkerPoolLifecycle:
+    def test_pipe_transport_and_clean_close(self):
+        graph = build_paper_example().graph
+        with WorkerPool(graph, count=1, transport="pipe") as pool:
+            client = pool.clients[0]
+            entities = list(graph.entities())
+            assert client.lineage(entities[0]).root == entities[0]
+            proc = client.proc
+        assert proc.poll() is not None        # worker exited on close
+        pool.close()                          # idempotent
+
+    def test_workers_exit_when_pool_closes_sockets(self):
+        graph = build_paper_example().graph
+        pool = WorkerPool(graph, count=2, transport="socket")
+        procs = [client.proc for client in pool.clients]
+        pool.close()
+        for proc in procs:
+            assert proc.wait(timeout=10) is not None
+
+    def test_restart_after_close_refused(self):
+        graph = build_paper_example().graph
+        pool = WorkerPool(graph, count=1)
+        client = pool.clients[0]
+        pool.close()
+        with pytest.raises(ReplicaUnavailable):
+            pool.restart(client)
+
+    def test_bad_arguments_rejected(self):
+        graph = build_paper_example().graph
+        with pytest.raises(ValueError):
+            WorkerPool(graph, count=0)
+        with pytest.raises(ValueError):
+            WorkerPool(graph, transport="carrier-pigeon")

@@ -2,13 +2,45 @@
 
 import pytest
 
-from repro.errors import SerializationError
+from repro.errors import (
+    ReproError,
+    SerializationError,
+    VertexNotFound,
+)
 from repro.model.types import EdgeType, VertexType
+from repro.query.cypherlite import Budget
+from repro.query.ops import blame, lineage
+from repro.query.paths import Path, Step
+from repro.segment.pgseg import PgSegOperator, PgSegQuery
 from repro.serve.wire import (
+    blame_from_wire,
+    blame_to_wire,
+    budget_from_wire,
+    budget_to_wire,
     decode_batch,
     decode_sync,
     encode_batch,
     encode_sync,
+    error_from_wire,
+    error_to_wire,
+    hello_frame,
+    hello_from_wire,
+    lineage_from_wire,
+    lineage_to_wire,
+    pgseg_query_from_wire,
+    pgseg_query_to_wire,
+    pong_frame,
+    pong_from_wire,
+    request_from_wire,
+    request_to_wire,
+    response_from_wire,
+    response_to_wire,
+    rows_from_wire,
+    rows_to_wire,
+    segment_from_wire,
+    segment_to_wire,
+    sync_from_frame,
+    sync_to_frame,
 )
 from repro.store.delta import Delta, DeltaBatch, DeltaOp, PropertyPayload
 from repro.store.store import PropertyGraphStore
@@ -127,3 +159,144 @@ class TestSyncRoundTrip:
         restored.add_vertex(VertexType.ENTITY, {"name": "later"})
         assert restored.epoch == before + 1
         assert restored.delta_log.last_epoch == before + 1
+
+    def test_framed_sync_round_trips(self, paper):
+        store = paper.graph.store
+        restored = sync_from_frame(sync_to_frame(store))
+        assert stores_identical(store, restored)
+        with pytest.raises(SerializationError):
+            sync_from_frame({"kind": "sync", "format": "repro-wire-v1"})
+        with pytest.raises(SerializationError):
+            sync_from_frame({"kind": "batch", "format": "repro-wire-v1"})
+
+
+class TestControlFrames:
+    def test_hello_round_trips(self):
+        assert hello_from_wire(hello_frame(3, "tok")) == (3, "tok")
+        with pytest.raises(SerializationError):
+            hello_from_wire({"kind": "hello", "format": "repro-wire-v1"})
+
+    def test_pong_round_trips(self):
+        epoch, stats = pong_from_wire(pong_frame(9, {"syncs": 1}))
+        assert (epoch, stats) == (9, {"syncs": 1})
+        assert pong_from_wire(pong_frame(0)) == (0, {})
+
+
+class TestRequestResponseFrames:
+    def test_request_round_trips(self):
+        frame = request_to_wire(7, "lineage", {"entity": 3})
+        assert request_from_wire(frame) == (7, "lineage", {"entity": 3})
+
+    def test_unknown_method_rejected_both_ways(self):
+        with pytest.raises(SerializationError):
+            request_to_wire(0, "drop_tables", {})
+        with pytest.raises(SerializationError):
+            request_from_wire({"kind": "request", "format": "repro-wire-v1",
+                               "id": 0, "method": "nope", "params": {}})
+
+    def test_ok_response_round_trips(self):
+        frame = response_to_wire(4, 17, result={"vertices": [1, 2]})
+        assert response_from_wire(frame) == (4, 17, True,
+                                             {"vertices": [1, 2]})
+
+    def test_error_response_rebuilds_library_type(self):
+        try:
+            raise VertexNotFound(42)
+        except VertexNotFound as exc:
+            frame = response_to_wire(4, 17, error=error_to_wire(exc))
+        _, _, ok, payload = response_from_wire(frame)
+        assert not ok
+        rebuilt = error_from_wire(payload)
+        assert isinstance(rebuilt, VertexNotFound)
+        assert "vertex 42 not found" in str(rebuilt)
+
+    def test_error_mapping_builtin_and_unknown(self):
+        assert isinstance(error_from_wire(
+            {"type": "ValueError", "message": "m"}), ValueError)
+        degraded = error_from_wire({"type": "OSError", "message": "m"})
+        assert isinstance(degraded, ReproError)
+        assert "OSError" in str(degraded)
+        # Never resolves to arbitrary non-error attributes of the module.
+        weird = error_from_wire({"type": "annotations", "message": "m"})
+        assert isinstance(weird, ReproError)
+
+
+class TestQueryCodecs:
+    def test_pgseg_query_round_trips(self):
+        query = PgSegQuery(
+            src=(0, 1), dst=(5,), algorithm="simprov-alg",
+            set_impl="fastset", prune=False, include_similar=False,
+            direct_edge_types=frozenset({EdgeType.USED,
+                                         EdgeType.WAS_GENERATED_BY}),
+        )
+        assert pgseg_query_from_wire(pgseg_query_to_wire(query)) == query
+
+    def test_boundary_and_key_queries_refused(self):
+        from repro.segment.boundary import BoundaryCriteria
+
+        bounded = PgSegQuery(
+            src=(0,), dst=(1,),
+            boundaries=BoundaryCriteria().exclude_vertices(lambda v: v != 2),
+        )
+        with pytest.raises(SerializationError):
+            pgseg_query_to_wire(bounded)
+        keyed = PgSegQuery(src=(0,), dst=(1,), algorithm="simprov-alg",
+                           activity_key=lambda a: a)
+        with pytest.raises(SerializationError):
+            pgseg_query_to_wire(keyed)
+
+    def test_budget_round_trips(self):
+        budget = Budget(timeout_seconds=None, max_expansions=10, max_rows=5)
+        decoded = budget_from_wire(budget_to_wire(budget))
+        assert (decoded.timeout_seconds, decoded.max_expansions,
+                decoded.max_rows) == (None, 10, 5)
+        assert budget_to_wire(None) is None
+        assert budget_from_wire(None) is None
+
+
+class TestResultCodecs:
+    def test_lineage_round_trips_field_equal(self, paper):
+        result = lineage(paper.graph, paper["weight-v2"])
+        assert lineage_from_wire(lineage_to_wire(result)) == result
+
+    def test_blame_round_trips_with_int_keys(self, paper):
+        report = blame(paper.graph, paper["weight-v2"])
+        decoded = blame_from_wire(blame_to_wire(report))
+        assert decoded == report
+        assert all(isinstance(agent, int) for agent in decoded)
+
+    def test_segment_round_trips_rebound(self, paper):
+        graph = paper.graph
+        roots = tuple(v for v in graph.entities()
+                      if not graph.generating_activities(v))
+        segment = PgSegOperator(graph).evaluate(
+            PgSegQuery(src=roots, dst=(paper["weight-v2"],)))
+        decoded = segment_from_wire(graph, segment_to_wire(segment))
+        assert decoded.vertices == segment.vertices
+        assert decoded.edge_ids == segment.edge_ids
+        assert decoded.categories == segment.categories
+        assert decoded.graph is graph
+
+    def test_rows_round_trip_scalars_paths_steps(self, paper):
+        graph = paper.graph
+        edge_id = next(iter(graph.store.edges())).edge_id
+        record = graph.edge(edge_id)
+        path = Path(graph, record.src, steps=[Step(edge_id, True)])
+        rows = [{"n": 5, "s": "x", "none": None, "list": [1, [2, 3]],
+                 "map": {"k": 1}, "step": Step(edge_id, False),
+                 "path": path}]
+        decoded = rows_from_wire(graph, rows_to_wire(rows))
+        row = decoded[0]
+        assert row["n"] == 5 and row["s"] == "x" and row["none"] is None
+        assert row["list"] == [1, [2, 3]] and row["map"] == {"k": 1}
+        assert row["step"] == Step(edge_id, False)
+        assert row["path"].start == path.start
+        assert row["path"].steps == path.steps
+
+    def test_reserved_tag_and_foreign_values_refused(self, paper):
+        with pytest.raises(SerializationError):
+            rows_to_wire([{"bad": {"$": "boom"}}])
+        with pytest.raises(SerializationError):
+            rows_to_wire([{"bad": object()}])
+        with pytest.raises(SerializationError):
+            rows_from_wire(paper.graph, [{"bad": {"$": "no-such-tag"}}])

@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Docs lint: links resolve, fences are tagged, JSON examples parse.
+
+Run from the repo root (CI runs it in the ``lint`` job)::
+
+    python tools/check_docs.py
+
+Checks, over ``README.md``, ``ROADMAP.md``, and ``docs/*.md``:
+
+- every relative markdown link target exists on disk (external schemes
+  are skipped), and anchored links — ``file.md#heading`` or the
+  same-file ``#heading`` — point at a real heading (GitHub slugging);
+- every opening code fence declares a language (untagged fences render
+  unhighlighted and usually mean a typo'd block);
+- every ` ```json ` fence parses as JSON — the wire-protocol spec's
+  frames must at minimum *be* JSON before ``tests/test_docs_examples.py``
+  round-trips them through the codecs.
+
+Exits non-zero listing every finding, so CI shows all failures at once.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: ``[text](target)`` — good enough for these docs (no nested brackets).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^```(.*)$")
+_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[Path]:
+    files = [ROOT / "README.md", ROOT / "ROADMAP.md"]
+    files += sorted((ROOT / "docs").glob("*.md"))
+    return [path for path in files if path.exists()]
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style heading anchor: lowercase, drop punctuation,
+    spaces to hyphens (each space independently, so runs survive)."""
+    text = heading.strip().lower()
+    text = re.sub(r"[^\w\s-]", "", text)
+    return text.replace(" ", "-")
+
+
+def headings(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence and line.startswith("#"):
+            slugs.add(slugify(line.lstrip("#")))
+    return slugs
+
+
+def check_links(path: Path, problems: list[str]) -> None:
+    in_fence = False
+    for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_SCHEMES):
+                continue
+            file_part, _, anchor = target.partition("#")
+            resolved = (path.parent / file_part).resolve() if file_part \
+                else path
+            if file_part and not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(ROOT)}:{number}: broken link "
+                    f"target {target!r}"
+                )
+                continue
+            if anchor and resolved.suffix == ".md" \
+                    and anchor not in headings(resolved):
+                problems.append(
+                    f"{path.relative_to(ROOT)}:{number}: anchor "
+                    f"{target!r} matches no heading in "
+                    f"{resolved.relative_to(ROOT)}"
+                )
+
+
+def check_fences(path: Path, problems: list[str]) -> None:
+    lines = path.read_text(encoding="utf-8").splitlines()
+    open_line = None
+    language = None
+    body: list[str] = []
+    for number, line in enumerate(lines, start=1):
+        match = _FENCE.match(line)
+        if match is None:
+            if open_line is not None:
+                body.append(line)
+            continue
+        if open_line is None:
+            open_line, language = number, match.group(1).strip()
+            body = []
+            if not language:
+                problems.append(
+                    f"{path.relative_to(ROOT)}:{number}: code fence "
+                    f"without a language tag"
+                )
+        else:
+            if language == "json":
+                try:
+                    json.loads("\n".join(body))
+                except json.JSONDecodeError as exc:
+                    problems.append(
+                        f"{path.relative_to(ROOT)}:{open_line}: json "
+                        f"fence does not parse: {exc}"
+                    )
+            open_line, language = None, None
+    if open_line is not None:
+        problems.append(
+            f"{path.relative_to(ROOT)}:{open_line}: unclosed code fence"
+        )
+
+
+def main() -> int:
+    problems: list[str] = []
+    files = doc_files()
+    for path in files:
+        check_links(path, problems)
+        check_fences(path, problems)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} files: "
+          f"{'FAIL' if problems else 'ok'} ({len(problems)} problems)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
