@@ -35,6 +35,19 @@ workers' warm caches beat the live single store re-deriving every
 answer). The digest identity check runs against the same seeded stream,
 so wire encode/decode must be value-exact to pass at all.
 
+``--batched`` (implies ``--out-of-process``) gates the PR 5 batching
+path: the same read burst served through
+:meth:`repro.serve.cluster.ProvCluster.query_many` — one pipelined
+``requests`` bundle per worker per round instead of one lockstep round
+trip per query — against the *unbatched* out-of-process mode as the
+baseline. The workload shifts to the dashboard-fan-in regime the paper
+motivates (few fresh walks, the same pooled PgSeg questions asked many
+times between appends), which is exactly where per-request round trips
+dominate once the worker-side (epoch, request) result cache absorbs the
+recompute. Both modes serve the identical seeded stream and must agree
+on the digest, so batching cannot pass the gate by answering different
+questions.
+
 Replica bootstrap (full sync, and worker spawn in ``--out-of-process``
 mode) happens before the timed window — the gate measures steady-state
 serving throughput — and is reported separately in the JSON record.
@@ -45,10 +58,13 @@ Plain script so CI can smoke it cheaply::
     PYTHONPATH=src python benchmarks/bench_replication.py          # full
     PYTHONPATH=src python benchmarks/bench_replication.py --quick \
         --out-of-process --json BENCH_replication_oop.json
+    PYTHONPATH=src python benchmarks/bench_replication.py --quick \
+        --batched --json BENCH_replication_batched.json
 
-Exits non-zero when the 4-replica cluster's aggregate read throughput is
-not at least ``FLOORS[mode]`` times the single-store live throughput
-(``--no-assert`` disables, e.g. on noisy shared machines).
+Exits non-zero when the gated mode's aggregate read throughput is not at
+least ``FLOORS[mode]`` times its baseline — the single-store live server
+for the cluster modes, the unbatched out-of-process pool for
+``--batched`` (``--no-assert`` disables, e.g. on noisy shared machines).
 """
 
 from __future__ import annotations
@@ -66,9 +82,11 @@ from repro.serve.cluster import ProvCluster
 from repro.store.snapshot import GraphSnapshot
 from repro.workloads.pd_generator import generate_pd_sized
 
-#: Asserted aggregate-read-throughput floors (cluster vs live single-store),
-#: keyed by mode; ``*-oop`` gates the out-of-process worker pool.
-FLOORS = {"full": 2.0, "quick": 2.0, "full-oop": 2.0, "quick-oop": 2.0}
+#: Asserted aggregate-read-throughput floors, keyed by mode. ``full`` /
+#: ``quick`` and ``*-oop`` gate cluster-vs-live-single-store; ``*-batched``
+#: gates the batched pipeline vs the *unbatched* out-of-process baseline.
+FLOORS = {"full": 2.0, "quick": 2.0, "full-oop": 2.0, "quick-oop": 2.0,
+          "full-batched": 2.0, "quick-batched": 2.0}
 
 N_REPLICAS = 4
 
@@ -236,6 +254,88 @@ class OopClusterServer:
         return (sum(digest for digest, _ in partials),
                 sum(queries for _, queries in partials))
 
+    def serve_specs(self, specs):
+        """The batched-gate baseline: the same spec list, served lockstep.
+
+        Specs are split strided across one client thread per worker —
+        the strongest unbatched configuration (workers answer
+        concurrently) — but every spec still pays its own round trip.
+        """
+        self.cluster.refresh()      # one ship per worker, inside the timing
+        clients = self.cluster.replicas
+        partials = [0] * len(clients)
+        failures = [None] * len(clients)
+
+        def drain(index):
+            client = clients[index]
+            digest = 0
+            try:
+                for spec in specs[index::len(clients)]:
+                    method, params = spec
+                    if method == "lineage":
+                        result = client.lineage(
+                            params["entity"],
+                            max_depth=params.get("max_depth"))
+                    elif method == "blame":
+                        result = client.blame(params["entity"])
+                    else:
+                        result = client.segment(params["query"])
+                    digest += digest_of(spec, result)
+            except BaseException as exc:   # noqa: BLE001 - re-raised below
+                failures[index] = exc
+                return
+            partials[index] = digest
+
+        threads = [threading.Thread(target=drain, args=(index,))
+                   for index in range(len(clients))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for failure in failures:
+            if failure is not None:
+                raise failure
+        return sum(partials), len(specs)
+
+    def close(self):
+        self.cluster.close()
+
+
+def digest_of(spec, result) -> int:
+    """The digest contribution of one served spec (raises on error)."""
+    if isinstance(result, BaseException):
+        raise result
+    method = spec[0]
+    if method in ("lineage", "impacted"):
+        return len(result.vertices)
+    if method == "blame":
+        return len(result)
+    return result.vertex_count
+
+
+class BatchedOopClusterServer:
+    """PR 5 batching: the whole round as one ``query_many`` fan-out.
+
+    Every round ships the new epoch once, then issues the entire spec
+    list as a single batch: the cluster splits it strided across the
+    workers and puts **one pipelined requests bundle per worker** on the
+    wire before draining any answer — the workers execute concurrently
+    (like the threaded unbatched mode) but the per-query round trip and
+    the client-side thread ping-pong are gone.
+    """
+
+    name = f"batched-oop-x{N_REPLICAS}"
+
+    def __init__(self, graph):
+        self.cluster = ProvCluster(graph, replicas=N_REPLICAS,
+                                   out_of_process=True, transport="socket")
+
+    def serve_specs(self, specs):
+        self.cluster.refresh()      # one ship per worker, inside the timing
+        results = self.cluster.query_many(specs)
+        return (sum(digest_of(spec, result)
+                    for spec, result in zip(specs, results)), len(specs))
+
     def close(self):
         self.cluster.close()
 
@@ -290,6 +390,73 @@ def run_workload(server_cls, n_vertices: int, rounds: int,
     }
 
 
+def run_spec_workload(server_cls, n_vertices: int, rounds: int,
+                      targets_per_round: int, walk_repeats: int,
+                      walk_depth: int, append_every: int,
+                      warmup_rounds: int = 2, seed: int = 17) -> dict:
+    """One batched-gate contender over the shared seeded spec stream.
+
+    The dashboard fan-in regime the batching PR targets: one **fixed**
+    set of on-screen artifacts is re-asked every round — shallow
+    depth-limited lineage tiles plus a couple of blame panels — while
+    appends land every ``append_every`` rounds. Between appends the
+    worker result caches absorb the recompute entirely (the repetitive
+    fixed-version regime the summarization literature describes), so the
+    per-request transport overhead is what separates lockstep serving
+    from pipelined bundles. Both contenders serve the identical spec
+    stream and must agree on the digest.
+
+    Like bootstrap, ``warmup_rounds`` append/serve cycles run **before**
+    the timed window (identically for both contenders): the gate
+    measures steady-state serving throughput, not the one-off lazy
+    materialization the first post-bootstrap queries pay per worker.
+    """
+    instance = generate_pd_sized(n_vertices, seed=7)
+    graph = instance.graph
+    entities = list(instance.entities)
+    rng = random.Random(seed)
+    targets = rng.sample(entities, k=targets_per_round)   # the dashboard
+
+    def round_specs():
+        specs = []
+        for _ in range(walk_repeats):
+            for entity in targets:
+                specs.append(("lineage", {"entity": entity,
+                                          "max_depth": walk_depth}))
+        for entity in targets[:2]:
+            specs.append(("blame", {"entity": entity}))
+        return specs
+
+    t0 = time.perf_counter()
+    server = server_cls(graph)
+    for index in range(warmup_rounds):
+        append_run(graph, rng, entities, index)
+        server.serve_specs(round_specs())
+    bootstrap_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    digest = 0
+    queries = 0
+    try:
+        for index in range(rounds):
+            if index % append_every == 0:
+                append_run(graph, rng, entities, warmup_rounds + index)
+            round_digest, round_queries = server.serve_specs(round_specs())
+            digest += round_digest
+            queries += round_queries
+        elapsed = time.perf_counter() - t0      # teardown stays untimed
+    finally:
+        server.close()
+    return {
+        "mode": server_cls.name,
+        "digest": digest,
+        "queries": queries,
+        "bootstrap_s": bootstrap_s,
+        "elapsed_s": elapsed,
+        "queries_per_s": queries / elapsed if elapsed else float("inf"),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -297,14 +464,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out-of-process", action="store_true",
                         help="gate the 4-worker socket pool instead of the "
                              "in-process cluster")
+    parser.add_argument("--batched", action="store_true",
+                        help="gate query_many batching/pipelining against "
+                             "the unbatched out-of-process baseline "
+                             "(implies --out-of-process)")
     parser.add_argument("--no-assert", action="store_true",
                         help="report only; never fail on the throughput floor")
     parser.add_argument("--json", metavar="PATH",
                         help="write a machine-readable result record")
     args = parser.parse_args(argv)
+    if args.batched:
+        args.out_of_process = True
 
     mode = "quick" if args.quick else "full"
-    if args.out_of_process:
+    if args.batched:
+        mode += "-batched"
+    elif args.out_of_process:
         mode += "-oop"
     n_vertices = 12000
     # pgseg_repeats is the dashboard fan-in per pooled question between two
@@ -314,20 +489,42 @@ def main(argv: list[str] | None = None) -> int:
         rounds, walks_per_round, pool_size, pgseg_repeats = 2, 8, 2, 16
     else:
         rounds, walks_per_round, pool_size, pgseg_repeats = 6, 12, 4, 16
+    # The batched gate's spec-stream regime (see run_spec_workload).
+    if args.quick:
+        spec_rounds, targets, walk_repeats, walk_depth, append_every = \
+            8, 8, 64, 2, 4
+    else:
+        spec_rounds, targets, walk_repeats, walk_depth, append_every = \
+            16, 8, 64, 2, 4
     floor = FLOORS[mode]
-    gated_cls = OopClusterServer if args.out_of_process else ClusterServer
-    server_classes = (
-        (LiveServer, OopClusterServer) if args.out_of_process
-        else (LiveServer, ClusterServer, SnapshotServer)
-    )
+    if args.batched:
+        gated_cls, baseline_cls = BatchedOopClusterServer, OopClusterServer
+        server_classes = (OopClusterServer, BatchedOopClusterServer)
+    elif args.out_of_process:
+        gated_cls, baseline_cls = OopClusterServer, LiveServer
+        server_classes = (LiveServer, OopClusterServer)
+    else:
+        gated_cls, baseline_cls = ClusterServer, LiveServer
+        server_classes = (LiveServer, ClusterServer, SnapshotServer)
 
-    print(f"workload: {rounds} rounds x ({2 * walks_per_round} walk + "
-          f"{pool_size} PgSeg x{pgseg_repeats}) queries on a Pd graph "
-          f"(n={n_vertices}), writes interleaved")
+    if args.batched:
+        print(f"workload: {spec_rounds} rounds x ({targets} targets x "
+              f"{walk_repeats} shallow-lineage re-asks + 2 blame) "
+              f"on a Pd graph (n={n_vertices}), append every "
+              f"{append_every} rounds")
+    else:
+        print(f"workload: {rounds} rounds x ({2 * walks_per_round} walk + "
+              f"{pool_size} PgSeg x{pgseg_repeats}) queries on a Pd graph "
+              f"(n={n_vertices}), writes interleaved")
     results = {}
     for server_cls in server_classes:
-        result = run_workload(server_cls, n_vertices, rounds,
-                              walks_per_round, pool_size, pgseg_repeats)
+        if args.batched:
+            result = run_spec_workload(server_cls, n_vertices, spec_rounds,
+                                       targets, walk_repeats, walk_depth,
+                                       append_every)
+        else:
+            result = run_workload(server_cls, n_vertices, rounds,
+                                  walks_per_round, pool_size, pgseg_repeats)
         results[result["mode"]] = result
         print(f"{result['mode']:<16s} {result['queries']:4d} queries in "
               f"{result['elapsed_s']:8.3f}s   "
@@ -339,9 +536,9 @@ def main(argv: list[str] | None = None) -> int:
         raise AssertionError(f"serving modes diverged: { {k: v['digest'] for k, v in results.items()} }")
 
     cluster = results[gated_cls.name]
-    live = results[LiveServer.name]
-    speedup = cluster["queries_per_s"] / live["queries_per_s"]
-    print(f"{gated_cls.name} vs single-store : {speedup:5.2f}x  "
+    baseline = results[baseline_cls.name]
+    speedup = cluster["queries_per_s"] / baseline["queries_per_s"]
+    print(f"{gated_cls.name} vs {baseline_cls.name} : {speedup:5.2f}x  "
           f"(floor {floor}x)")
     overhead = None
     if SnapshotServer.name in results:
@@ -357,8 +554,11 @@ def main(argv: list[str] | None = None) -> int:
         "n_vertices": n_vertices,
         "replicas": N_REPLICAS,
         "out_of_process": args.out_of_process,
+        "batched": args.batched,
+        "baseline": baseline_cls.name,
         "floor": floor,
-        "speedup_vs_live": speedup,
+        "speedup_vs_baseline": speedup,
+        "speedup_vs_live": speedup if baseline_cls is LiveServer else None,
         "single_snapshot_vs_cluster": overhead,
         "results": results,
         "pass": passed,
@@ -372,8 +572,8 @@ def main(argv: list[str] | None = None) -> int:
     if not args.no_assert and not passed:
         print(
             f"FAIL: {gated_cls.name} aggregate read throughput "
-            f"{speedup:.2f}x the single-store baseline, below floor "
-            f"{floor}x",
+            f"{speedup:.2f}x the {baseline_cls.name} baseline, below "
+            f"floor {floor}x",
             file=sys.stderr,
         )
         return 1

@@ -12,7 +12,9 @@ the offline install simple). Subcommands:
 - ``bench``         run one named experiment and print its table
 - ``serve-worker``  run one out-of-process replica worker (internal: the
   entrypoint :class:`repro.serve.pool.WorkerPool` spawns; speaks the wire
-  protocol on a socket or stdio and exits when the pool hangs up)
+  protocol — including batched ``requests`` bundles served against one
+  armed snapshot with a worker-side (epoch, request) result cache — on a
+  socket or stdio and exits when the pool hangs up)
 
 Examples::
 

@@ -102,6 +102,30 @@ class QueryRouter:
             f"epoch {min_epoch}"
         ) from last_crash
 
+    def route_many(self, min_epoch: int, count: int) -> list[Replica]:
+        """Up to ``count`` distinct caught-up replicas for a batch fan-out.
+
+        The first target comes from :meth:`route` with its full
+        crash-retry/healing semantics (so the usual ``ValueError`` /
+        :class:`~repro.errors.ReplicaUnavailable` contracts hold); extra
+        targets are best-effort — a rotation where only one replica is
+        healthy still serves the whole batch on that one. Targets are
+        distinct by identity and returned in rotation order, so splitting
+        a batch across them keeps the fleet-warming property of the
+        strict rotation.
+        """
+        count = max(1, min(count, len(self.replicas)))
+        targets = [self.route(min_epoch)]
+        while len(targets) < count:
+            try:
+                replica = self.route(min_epoch)
+            except ReplicaUnavailable:
+                break          # serve the batch on the healthy subset
+            if any(replica is target for target in targets):
+                break          # rotation wrapped: no more distinct slots
+            targets.append(replica)
+        return targets
+
 
 class ProvCluster:
     """A leader store plus ``replicas`` read replicas and a router.
@@ -270,6 +294,106 @@ class ProvCluster:
                min_epoch: int | None = None) -> list:
         """CypherLite rows from a caught-up replica."""
         return self._serve(min_epoch, lambda r: r.cypher(text, budget))
+
+    # ------------------------------------------------------------------
+    # Batched fan-out
+    # ------------------------------------------------------------------
+
+    def query_many(self, specs, min_epoch: int | None = None) -> list[Any]:
+        """Serve a batch of read specs as one fan-out; results in order.
+
+        ``specs`` is a sequence of ``(method, params)`` pairs —
+        ``("lineage"|"impacted"|"blame", {"entity": id, ...})``,
+        ``("segment", {"query": PgSegQuery})``, ``("cypher", {"text":
+        ..., "budget": ...})``. The batch is split strided across up to
+        ``len(replicas)`` distinct caught-up replicas
+        (:meth:`QueryRouter.route_many`); out-of-process, each worker
+        gets its whole share as **one pipelined** ``requests`` bundle, so
+        N workers execute concurrently while the client drains answers —
+        the per-request round trip the lockstep path paid disappears.
+
+        The returned list is index-aligned with ``specs``. A spec the
+        server answered with an error contributes the rebuilt exception
+        *instance* at its index (per-request isolation: one bad request
+        never poisons its siblings — callers check with
+        ``isinstance(r, BaseException)``). A replica that dies mid-bundle
+        has its whole share re-routed to the next healthy replica, so a
+        worker kill loses no queries.
+
+        Each entry honors the consistency stamp exactly like the
+        corresponding single-query method; with a relaxed ``min_epoch``
+        different entries may be answered at different (stamp-satisfying)
+        epochs — use :meth:`summarize` when a *merge* needs one coherent
+        epoch.
+        """
+        stamp = self.leader_epoch if min_epoch is None else min_epoch
+        specs = list(specs)
+        if not specs:
+            return []
+        # Validate the whole batch before any bundle goes on the wire: a
+        # caller typo surfacing from a *later* chunk's encode would leave
+        # earlier chunks' requests pending forever (their answers stashed,
+        # never collected).
+        known = ("lineage", "impacted", "blame", "segment", "cypher")
+        for method, _ in specs:
+            if method not in known:
+                raise ValueError(f"unknown query_many method {method!r}")
+        targets = self.router.route_many(stamp, len(self.replicas))
+        chunks: list[list[tuple[int, Any]]] = [[] for _ in targets]
+        for index, spec in enumerate(specs):
+            chunks[index % len(targets)].append((index, spec))
+        results: list[Any] = [None] * len(specs)
+        failed: list[list[tuple[int, Any]]] = []
+        if self.pool is not None:
+            # Pipeline: every bundle on the wire before any collect.
+            begun = []
+            for target, chunk in zip(targets, chunks):
+                if not chunk:
+                    continue
+                try:
+                    handle = target.begin_many(
+                        [spec for _, spec in chunk])
+                except ReplicaUnavailable:
+                    failed.append(chunk)
+                    continue
+                begun.append((target, chunk, handle))
+            for target, chunk, handle in begun:
+                try:
+                    values = target.collect_many(handle)
+                except ReplicaUnavailable:
+                    failed.append(chunk)
+                    continue
+                target.queries_served += len(chunk)
+                for (index, _), value in zip(chunk, values):
+                    results[index] = value
+        else:
+            for target, chunk in zip(targets, chunks):
+                if not chunk:
+                    continue
+                values = target.query_many([spec for _, spec in chunk])
+                target.queries_served += len(chunk)
+                for (index, _), value in zip(chunk, values):
+                    results[index] = value
+        for chunk in failed:
+            values = self._serve_chunk([spec for _, spec in chunk], stamp)
+            for (index, _), value in zip(chunk, values):
+                results[index] = value
+        return results
+
+    def _serve_chunk(self, chunk_specs: list, stamp: int) -> list[Any]:
+        """Re-route one batch share after its replica died mid-serve."""
+        attempts = len(self.replicas) + 1
+        for attempt in range(attempts):
+            replica = self.router.route(stamp)
+            try:
+                values = replica.query_many(chunk_specs)
+            except ReplicaUnavailable:
+                if attempt == attempts - 1:
+                    raise
+                continue
+            replica.queries_served += len(chunk_specs)
+            return values
+        raise AssertionError("unreachable")   # pragma: no cover
 
     # ------------------------------------------------------------------
 

@@ -17,16 +17,33 @@ missing batch frames onto the worker's stream immediately before the
 stamped request, and the worker processes frames serially, so
 read-your-writes needs no acknowledgement round-trip.
 
+**Pipelining.** Responses are correlated through a pending-request map,
+not a lockstep id check: a client can put N request frames (or one
+``requests`` bundle) on the wire before draining any answer, and answers
+are matched by id as they arrive. A response for an id no longer pending
+— e.g. the answer to a request abandoned by a timeout — is dropped and
+counted (``late_responses``), never fatal: the worker is healthy, it was
+merely slow. :meth:`WorkerClient.begin_many` / :meth:`collect_many` are
+the bundle surface :meth:`repro.serve.cluster.ProvCluster.query_many`
+fans out over.
+
 Failure handling (the contract ``tests/test_serve_pool.py`` pins):
 
 - a worker crash (kill, divergence exit, hang past the deadline) surfaces
   as :class:`~repro.errors.ReplicaUnavailable` after the pool has already
   respawned the worker and queued its full re-sync — the router then
   retries the query on the next replica in rotation, so no query is lost;
+- a request timeout on a clean frame boundary abandons only that request
+  (the transport and worker stay up; the late answer is dropped on
+  arrival); a timeout that tore a frame mid-read poisons the transport
+  (see :mod:`repro.serve.transport`) and takes the crash path —
+  restart + full re-sync — because the stream can no longer be framed;
 - :meth:`WorkerPool.health_check` proactively pings every worker and
   restarts the dead ones (crash recovery off the read path);
 - killing the pool (or the leader process) closes every control stream,
-  and workers exit on EOF — no leaked processes.
+  and workers exit on EOF — no leaked processes or fds (transport close
+  sweeps the socket's ``makefile`` wrappers too, and failed pipe
+  handshakes close the subprocess pipe ends).
 
 PgSeg queries carrying boundary criteria or property-key callables cannot
 cross the wire (arbitrary Python functions); :meth:`WorkerClient.segment`
@@ -40,6 +57,7 @@ import socket
 import subprocess
 import sys
 import threading
+import time
 from pathlib import Path
 from typing import Any
 from uuid import uuid4
@@ -67,7 +85,9 @@ from repro.serve.wire import (
     ping_frame,
     pong_from_wire,
     request_to_wire,
+    requests_bundle_to_wire,
     response_from_wire,
+    responses_bundle_from_wire,
     rows_from_wire,
     segment_from_wire,
     shutdown_frame,
@@ -96,10 +116,11 @@ class WorkerClient:
 
     The pool tracks the worker's replayed ``epoch`` leader-side (shipping
     is in-order and unacknowledged); responses echo the worker's epoch so
-    the stamp accounting is verified on every answer. Not thread-safe
-    across clients sharing one instance — but distinct clients are fully
-    independent (own process, own stream), which is what the benchmark's
-    fan-out threads rely on.
+    the stamp accounting is verified on every answer. Multiple requests
+    may be in flight at once (see the pending map in the module
+    docstring), but the client itself is not thread-safe — distinct
+    clients are fully independent (own process, own stream), which is
+    what the benchmark's fan-out threads rely on.
     """
 
     def __init__(self, pool: "WorkerPool", replica_id: int):
@@ -110,12 +131,23 @@ class WorkerClient:
         #: The epoch the pool has shipped this worker up to.
         self.epoch = -1
         self._next_request = 0
+        #: Request ids on the wire with no consumed answer yet.
+        self._pending: set[int] = set()
+        #: Answers that arrived while awaiting a different id:
+        #: request id -> (ok, payload).
+        self._arrived: dict[int, tuple[bool, Any]] = {}
         #: Counters kept name-compatible with Replica.stats().
         self.resyncs = 0
         self.restarts = 0
         self.batches_shipped = 0
         self.queries_served = 0
         self.local_fallbacks = 0
+        #: Responses for requests nobody was waiting on anymore (dropped).
+        self.late_responses = 0
+        #: Requests abandoned by a deadline (worker kept unless poisoned).
+        self.timeouts = 0
+        #: Bundles put on the wire via begin_many.
+        self.bundles_sent = 0
 
     # ------------------------------------------------------------------
     # Replication surface (router-facing)
@@ -155,46 +187,272 @@ class WorkerClient:
             ) from exc
 
     # ------------------------------------------------------------------
-    # Request plumbing
+    # Request plumbing (pending-map correlation; pipelining-safe)
     # ------------------------------------------------------------------
 
-    def _request(self, method: str, params: dict[str, Any]) -> Any:
-        request_id = self._next_request
-        self._next_request += 1
+    def _ensure_transport(self) -> LineTransport:
+        """The live stream, healing a detached client first.
+
+        A previously failed restart leaves ``transport is None``; heal
+        (or raise ReplicaUnavailable) before touching the wire, so a
+        broken client never leaks an AttributeError past the router.
+        """
         stream = self.transport
         if stream is None:
-            # Detached by a previously failed restart: heal (or raise
-            # ReplicaUnavailable) before touching the wire, so a broken
-            # client never leaks an AttributeError past the router.
             self._pool.restart(self, failed=None)
             stream = self.transport
+        return stream
+
+    def _accept(self, frame: dict[str, Any]) -> None:
+        """File one response frame into the pending map (or drop it)."""
+        got_id, epoch, ok, payload = response_from_wire(frame)
+        if got_id in self._pending:
+            if epoch > self.epoch:
+                # The worker's replayed epoch is authoritative when it is
+                # *ahead* of the shipping ledger (e.g. an unnoticed
+                # restart re-synced it). An echo *behind* the ledger is
+                # just a pipelined answer computed before later-shipped
+                # batches — regressing the cursor from it would re-ship
+                # applied batches, which the worker must treat as
+                # divergence.
+                self.epoch = epoch
+            self._pending.discard(got_id)
+            self._arrived[got_id] = (ok, payload)
+        else:
+            # The answer to an abandoned (timed-out) or superseded
+            # request: the worker is healthy — drop, count, carry on.
+            # Its epoch is stale by definition (batches may have shipped
+            # since it was computed); adopting it would regress the
+            # shipping cursor and re-ship already-applied batches, which
+            # the worker must treat as divergence.
+            self.late_responses += 1
+
+    def _absorb(self, frame: dict[str, Any]) -> bool:
+        """Consume response/event frames; False for anything else."""
+        kind = frame.get("kind")
+        if kind == "event":
+            # Unsolicited (e.g. "diverged" right before the worker
+            # exits); keep draining — a crash shows up as EOF.
+            return True
+        if kind == "response":
+            self._accept(frame)
+            return True
+        if kind == "responses":
+            _, responses = responses_bundle_from_wire(frame)
+            for inner in responses:
+                self._accept(inner)
+            return True
+        return False
+
+    def _send_calls(self,
+                    calls: "list[tuple[str, dict[str, Any]]]") -> list[int]:
+        """Put one frame on the wire: a single request, or one bundle.
+
+        Returns the allocated request ids (now pending), in call order.
+        """
+        stream = self._ensure_transport()
+        ids = []
+        for _ in calls:
+            ids.append(self._next_request)
+            self._next_request += 1
+        if len(calls) == 1:
+            method, params = calls[0]
+            frame = request_to_wire(ids[0], method, params)
+        else:
+            frame = requests_bundle_to_wire([
+                (request_id, method, params)
+                for request_id, (method, params) in zip(ids, calls)
+            ])
+            self.bundles_sent += 1
         try:
-            stream.send(request_to_wire(request_id, method, params))
-            while True:
-                frame = stream.recv(timeout=self._pool.request_timeout)
-                if frame.get("kind") == "event":
-                    # Unsolicited (e.g. "diverged" right before the worker
-                    # exits); keep draining — a crash shows up as EOF.
-                    continue
-                got_id, epoch, ok, payload = response_from_wire(frame)
-                break
+            # Bounded send: a worker that stopped draining its stream
+            # (e.g. itself blocked writing a huge late response) must
+            # surface as a timeout -> crash path, never a client that
+            # blocks in write forever with no deadline anywhere.
+            stream.send(frame, timeout=self._pool.request_timeout)
         except (TransportClosed, TransportTimeout) as exc:
             self._pool.restart(self, failed=stream)
             raise ReplicaUnavailable(
-                f"worker {self.replica_id} died serving {method!r} "
+                f"worker {self.replica_id} died taking a request "
                 f"(restarted + re-synced)"
             ) from exc
-        if got_id != request_id:
-            raise SerializationError(
-                f"response id {got_id} does not match request {request_id}"
+        self._pending.update(ids)
+        return ids
+
+    def _await(self, request_id: int) -> tuple[bool, Any]:
+        """Block until ``request_id``'s answer is available.
+
+        Out-of-order safe: frames for *other* pending ids arriving first
+        are filed, frames for unknown ids are dropped and counted.
+
+        Raises:
+            ReplicaUnavailable: the worker died (restarted + re-synced),
+                or the deadline expired — on a clean frame boundary only
+                this request is abandoned and the worker is kept; on a
+                torn frame the transport is poisoned and the crash path
+                (restart + re-sync) is taken.
+        """
+        if request_id in self._arrived:
+            return self._arrived.pop(request_id)
+        if request_id not in self._pending:
+            raise ReplicaUnavailable(
+                f"worker {self.replica_id} request {request_id} is no "
+                f"longer pending (worker restarted or request abandoned)"
             )
-        if epoch != self.epoch:
-            # The worker's replayed epoch is authoritative; trust it over
-            # the shipping ledger (e.g. after an unnoticed restart).
-            self.epoch = epoch
+        stream = self.transport
+        if stream is None:
+            raise ReplicaUnavailable(
+                f"worker {self.replica_id} restarted while request "
+                f"{request_id} was in flight"
+            )
+        timeout = self._pool.request_timeout
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        try:
+            while True:
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                frame = stream.recv(timeout=remaining)
+                if not self._absorb(frame):
+                    continue      # stray non-response frame: keep going
+                if request_id in self._arrived:
+                    return self._arrived.pop(request_id)
+        except TransportTimeout as exc:
+            self._pending.discard(request_id)
+            self.timeouts += 1
+            if stream.poisoned:
+                # Partial frame on the stream: unframeable, treat the
+                # timeout exactly like a crash.
+                self._pool.restart(self, failed=stream)
+                raise ReplicaUnavailable(
+                    f"worker {self.replica_id} timed out mid-frame on "
+                    f"request {request_id} (restarted + re-synced)"
+                ) from exc
+            raise ReplicaUnavailable(
+                f"worker {self.replica_id} timed out serving request "
+                f"{request_id} (request abandoned; worker kept)"
+            ) from exc
+        except TransportClosed as exc:
+            self._pool.restart(self, failed=stream)
+            raise ReplicaUnavailable(
+                f"worker {self.replica_id} died serving request "
+                f"{request_id} (restarted + re-synced)"
+            ) from exc
+
+    def _request(self, method: str, params: dict[str, Any]) -> Any:
+        [request_id] = self._send_calls([(method, params)])
+        ok, payload = self._await(request_id)
         if not ok:
             raise error_from_wire(payload)
         return payload
+
+    # ------------------------------------------------------------------
+    # Batched serving (spec form shared with the cluster)
+    # ------------------------------------------------------------------
+
+    def begin_many(self, specs: "list[tuple[str, dict[str, Any]]]",
+                   ) -> "_BundleHandle":
+        """Pipeline a batch of query specs as one ``requests`` bundle.
+
+        ``specs`` are ``(method, params)`` pairs in *domain* form —
+        ``("lineage", {"entity": 7})``, ``("segment", {"query":
+        PgSegQuery(...)})``, ``("cypher", {"text": ..., "budget":
+        Budget | None})`` — encoded here per method. Non-wire-safe PgSeg
+        queries are evaluated leader-local immediately (counted as
+        fallbacks), exactly like :meth:`segment`. The bundle frame goes
+        on the wire before this method returns, so several workers'
+        bundles can be in flight at once; redeem the handle with
+        :meth:`collect_many`.
+
+        Raises:
+            ReplicaUnavailable: the worker died taking the bundle
+                (restarted + re-synced; retry on another replica).
+            ValueError: an unknown spec method (caller bug).
+        """
+        entries: list[tuple[str, Any, Any]] = []
+        wire_calls: list[tuple[str, dict[str, Any]]] = []
+        for method, params in specs:
+            encoded = self._encode_spec(method, params)
+            if encoded is None:
+                # Leader-local fallback, evaluated eagerly with the same
+                # per-request error isolation as a wire answer.
+                try:
+                    result: Any = PgSegOperator(self._pool.graph).evaluate(
+                        params["query"])
+                except Exception as exc:   # noqa: BLE001 - isolated
+                    result = exc
+                self.local_fallbacks += 1
+                entries.append(("local", result, None))
+            else:
+                entries.append(("wire", len(wire_calls), method))
+                wire_calls.append(encoded)
+        ids = self._send_calls(wire_calls) if wire_calls else []
+        return _BundleHandle(entries, ids)
+
+    def collect_many(self, handle: "_BundleHandle") -> list[Any]:
+        """Redeem a :meth:`begin_many` handle, in spec order.
+
+        Returns one entry per spec: the decoded result, or the rebuilt
+        exception *instance* for a request the worker answered with an
+        error (per-request isolation — a bad request never poisons its
+        siblings). A transport-level failure is different: the whole
+        bundle is abandoned and :class:`~repro.errors.ReplicaUnavailable`
+        raised so the caller can retry the batch on another replica.
+        """
+        results: list[Any] = []
+        try:
+            for kind, value, method in handle.entries:
+                if kind == "local":
+                    results.append(value)
+                    continue
+                ok, payload = self._await(handle.ids[value])
+                results.append(self._decode_spec(method, payload) if ok
+                               else error_from_wire(payload))
+        except ReplicaUnavailable:
+            self.abandon(handle.ids)
+            raise
+        return results
+
+    def query_many(self,
+                   specs: "list[tuple[str, dict[str, Any]]]") -> list[Any]:
+        """One-shot :meth:`begin_many` + :meth:`collect_many`."""
+        if not specs:
+            return []
+        return self.collect_many(self.begin_many(specs))
+
+    def abandon(self, ids: "list[int]") -> None:
+        """Forget in-flight requests; their late answers will be dropped
+        (and counted) instead of filed."""
+        for request_id in ids:
+            self._pending.discard(request_id)
+            self._arrived.pop(request_id, None)
+
+    def _encode_spec(self, method: str, params: dict[str, Any],
+                     ) -> "tuple[str, dict[str, Any]] | None":
+        """Domain spec -> wire call; None means leader-local fallback."""
+        if method in ("lineage", "impacted"):
+            return method, {"entity": int(params["entity"]),
+                            "max_depth": params.get("max_depth")}
+        if method == "blame":
+            return method, {"entity": int(params["entity"])}
+        if method == "segment":
+            query = params["query"]
+            if not pgseg_query_is_wire_safe(query):
+                return None
+            return method, {"query": pgseg_query_to_wire(query)}
+        if method == "cypher":
+            return method, {"text": str(params["text"]),
+                            "budget": budget_to_wire(params.get("budget"))}
+        raise ValueError(f"unknown query_many method {method!r}")
+
+    def _decode_spec(self, method: str, payload: Any) -> Any:
+        if method in ("lineage", "impacted"):
+            return lineage_from_wire(payload)
+        if method == "blame":
+            return blame_from_wire(payload)
+        if method == "segment":
+            return segment_from_wire(self._pool.graph, payload)
+        return rows_from_wire(self._pool.graph, payload)
 
     # ------------------------------------------------------------------
     # Read serving (ids are leader ids: replication is id-exact)
@@ -238,7 +496,14 @@ class WorkerClient:
     # ------------------------------------------------------------------
 
     def ping(self, timeout: float | None = None) -> tuple[int, dict]:
-        """Health probe; returns ``(worker_epoch, worker_stats)``."""
+        """Health probe; returns ``(worker_epoch, worker_stats)``.
+
+        The worker's serving counters include the result-cache telemetry
+        (``cache_hits`` / ``cache_misses`` / ``cache_size``), so cache
+        effectiveness is observable without a dedicated frame. Late
+        responses arriving ahead of the pong are absorbed into the
+        pending map, not mistaken for a bad pong.
+        """
         if self.transport is None:
             raise TransportClosed(
                 f"worker {self.replica_id} has no transport (failed "
@@ -249,7 +514,7 @@ class WorkerClient:
             else self._pool.ping_timeout
         while True:
             frame = self.transport.recv(timeout=deadline)
-            if frame.get("kind") == "event":
+            if self._absorb(frame):
                 continue
             return pong_from_wire(frame)
 
@@ -265,6 +530,9 @@ class WorkerClient:
             "restarts": self.restarts,
             "queries_served": self.queries_served,
             "local_fallbacks": self.local_fallbacks,
+            "late_responses": self.late_responses,
+            "timeouts": self.timeouts,
+            "bundles_sent": self.bundles_sent,
         }
 
     # ------------------------------------------------------------------
@@ -284,12 +552,28 @@ class WorkerClient:
                 self.proc.kill()
             self.proc.wait()
             self.proc = None
+        # Every in-flight request died with the process; late answers can
+        # never arrive on the fresh stream (ids are never reused, so a
+        # stale entry could only leak memory, not misroute).
+        self._pending.clear()
+        self._arrived.clear()
 
     def __repr__(self) -> str:   # pragma: no cover - cosmetic
         return (
             f"WorkerClient(id={self.replica_id}, epoch={self.epoch}, "
             f"alive={self.alive()}, restarts={self.restarts})"
         )
+
+
+class _BundleHandle:
+    """An in-flight begin_many bundle: spec entries + wire request ids."""
+
+    __slots__ = ("entries", "ids")
+
+    def __init__(self, entries: list[tuple[str, Any, Any]],
+                 ids: list[int]):
+        self.entries = entries
+        self.ids = ids
 
 
 class WorkerPool:
@@ -302,7 +586,9 @@ class WorkerPool:
         transport: ``"socket"`` (workers connect back to a loopback
             listener) or ``"pipe"`` (workers speak stdio).
         request_timeout: seconds to wait for one answer before declaring
-            the worker dead (None = wait forever).
+            the request lost (None = wait forever). A clean-boundary
+            timeout abandons the request and keeps the worker; a
+            mid-frame timeout restarts it.
         spawn_timeout: seconds to wait for a spawned worker's handshake.
     """
 
@@ -397,10 +683,15 @@ class WorkerPool:
             got_id, token = hello_from_wire(
                 transport.recv(timeout=self.spawn_timeout))
         except (TransportClosed, TransportTimeout) as exc:
+            # Close the pipe wrappers now: the Popen object alone keeps
+            # the parent-side pipe fds open until GC, which is exactly
+            # the restart-loop fd leak the fd test pins.
+            transport.close()
             raise ReplicaUnavailable(
                 f"worker {worker_id} exited before its handshake"
             ) from exc
         if got_id != worker_id or token != self._token:
+            transport.close()
             raise ReplicaUnavailable(
                 f"worker {worker_id} sent a bad handshake"
             )
@@ -412,14 +703,21 @@ class WorkerPool:
                  for client in self.clients}
         if self.transport_kind == "socket":
             transports: dict[int, LineTransport] = {}
-            for _ in self.clients:
-                worker_id, transport = self._handshake_socket()
-                if worker_id in transports or worker_id not in procs:
+            try:
+                for _ in self.clients:
+                    worker_id, transport = self._handshake_socket()
+                    if worker_id in transports or worker_id not in procs:
+                        transport.close()
+                        raise ReplicaUnavailable(
+                            f"unexpected worker id {worker_id} in handshake"
+                        )
+                    transports[worker_id] = transport
+            except BaseException:
+                # Un-attached transports would leak their fds past the
+                # pool teardown (close() only sweeps attached clients).
+                for transport in transports.values():
                     transport.close()
-                    raise ReplicaUnavailable(
-                        f"unexpected worker id {worker_id} in handshake"
-                    )
-                transports[worker_id] = transport
+                raise
         else:
             transports = {
                 client.replica_id: self._handshake_pipe(
@@ -537,6 +835,12 @@ class WorkerPool:
                     if proc.poll() is None:
                         proc.kill()
                     proc.wait()
+                    for pipe in (proc.stdin, proc.stdout):
+                        if pipe is not None:
+                            try:
+                                pipe.close()
+                            except OSError:  # pragma: no cover
+                                pass
                 if isinstance(exc, (TransportClosed, TransportTimeout)):
                     raise ReplicaUnavailable(
                         f"worker {client.replica_id} failed to restart"

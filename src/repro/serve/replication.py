@@ -215,6 +215,44 @@ class Replica:
         """CypherLite rows served from the replica snapshot."""
         return run_query(self.graph, text, budget, snapshot=self.snapshot())
 
+    def query_many(self,
+                   specs: "list[tuple[str, dict[str, Any]]]") -> list[Any]:
+        """Serve a batch of query specs in order, with per-spec isolation.
+
+        The in-process twin of
+        :meth:`repro.serve.pool.WorkerClient.query_many`: ``specs`` are
+        ``(method, params)`` pairs (``lineage`` / ``impacted`` / ``blame``
+        take ``entity`` + optional ``max_depth``; ``segment`` takes a
+        :class:`PgSegQuery` under ``"query"``; ``cypher`` takes ``text``
+        + optional ``budget``). Each entry of the returned list is the
+        result — or the exception *instance* a failing spec raised, so
+        one bad request never poisons its siblings (the same error
+        isolation a worker bundle guarantees across the wire).
+        """
+        known = ("lineage", "impacted", "blame", "segment", "cypher")
+        for method, _ in specs:
+            if method not in known:        # caller bug, not a query error
+                raise ValueError(f"unknown query_many method {method!r}")
+        results: list[Any] = []
+        for method, params in specs:
+            try:
+                if method in ("lineage", "impacted"):
+                    serve = self.lineage if method == "lineage" \
+                        else self.impacted
+                    results.append(serve(
+                        int(params["entity"]),
+                        max_depth=params.get("max_depth")))
+                elif method == "blame":
+                    results.append(self.blame(int(params["entity"])))
+                elif method == "segment":
+                    results.append(self.segment(params["query"]))
+                else:
+                    results.append(self.cypher(
+                        str(params["text"]), params.get("budget")))
+            except Exception as exc:       # noqa: BLE001 - isolated
+                results.append(exc)
+        return results
+
     def stats(self) -> dict[str, Any]:
         """Replication/serving counters for dashboards and tests."""
         return {

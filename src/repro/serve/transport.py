@@ -23,6 +23,16 @@ Failure mapping — the part the serving layer builds on:
 - deadline expired -> :class:`~repro.errors.TransportTimeout`;
 - undecodable frame -> :class:`~repro.errors.SerializationError` (a codec
   bug, never retried).
+
+A timeout that strikes **mid-frame** (partial bytes already buffered)
+additionally poisons the transport: the stream position is inside a
+frame, so any further read would splice the tail of the abandoned frame
+onto the next one. A poisoned transport refuses every subsequent
+``send``/``recv`` with :class:`~repro.errors.TransportClosed`, which the
+pool already treats as "restart + re-sync the worker" — the same crash
+path a real peer death takes. A timeout that strikes on a clean frame
+boundary leaves the transport reusable (the in-flight answer is simply
+late, not torn).
 """
 
 from __future__ import annotations
@@ -38,6 +48,32 @@ from repro.errors import SerializationError, TransportClosed, TransportTimeout
 
 #: Read chunk size; frames are typically far smaller, sync payloads larger.
 _CHUNK = 1 << 16
+
+#: Kernel buffer size requested for serving sockets. Bundle frames
+#: (batched requests/responses) run to hundreds of KB; with the default
+#: ~16KB TCP buffers every buffer-full block inside one frame costs a
+#: scheduler handoff between leader and worker — multi-millisecond on a
+#: busy single core — so buffers are sized to pass a typical bundle in
+#: one write.
+_SOCK_BUFFER = 1 << 20
+
+
+def _tune_socket(sock: socket.socket) -> None:
+    """Serving-socket tuning: large buffers, no Nagle delay.
+
+    Best-effort — AF_UNIX pairs reject TCP options, exotic stacks may
+    reject the buffer sizes; the transport works untuned, just slower on
+    large frames.
+    """
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, _SOCK_BUFFER)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, _SOCK_BUFFER)
+    except OSError:   # pragma: no cover - platform-dependent
+        pass
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:
+        pass          # not TCP (e.g. a socketpair test transport)
 
 
 class LineTransport:
@@ -62,6 +98,7 @@ class LineTransport:
         self._on_close = on_close
         self._buffer = bytearray()
         self._closed = False
+        self._poisoned = False
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -69,15 +106,24 @@ class LineTransport:
 
     @classmethod
     def over_socket(cls, sock: socket.socket) -> "LineTransport":
-        """Frame over a connected stream socket (both directions)."""
+        """Frame over a connected stream socket (both directions).
+
+        The ``makefile`` wrappers hold io-refs on the socket: closing the
+        socket alone leaves the fd open until both wrappers die, so the
+        close hook sweeps **all three** — wrappers first, then the socket
+        — and pool restart loops cannot leak fds (pinned by
+        ``tests/test_serve_pool.py::TestTransportFds``).
+        """
+        _tune_socket(sock)
         reader = sock.makefile("rb", buffering=0)
         writer = sock.makefile("wb", buffering=0)
 
         def _shutdown() -> None:
-            try:
-                sock.close()
-            except OSError:   # pragma: no cover - close is best-effort
-                pass
+            for resource in (writer, reader, sock):
+                try:
+                    resource.close()
+                except (OSError, ValueError):   # pragma: no cover -
+                    pass                        # close is best-effort
 
         return cls(reader, writer, on_close=(_shutdown,))
 
@@ -91,32 +137,58 @@ class LineTransport:
     # Framing
     # ------------------------------------------------------------------
 
-    def send(self, frame: dict[str, Any]) -> None:
+    def send(self, frame: dict[str, Any],
+             timeout: float | None = None) -> None:
         """Write one frame (a JSON-able dict) and flush it to the peer."""
         line = json.dumps(frame, sort_keys=True).encode("utf-8") + b"\n"
-        self.send_raw(line)
+        self.send_raw(line, timeout=timeout)
 
-    def send_text(self, line: str) -> None:
+    def send_text(self, line: str, timeout: float | None = None) -> None:
         """Write one pre-encoded JSON line (e.g. a shipped batch line)."""
-        self.send_raw(line.encode("utf-8") + b"\n")
+        self.send_raw(line.encode("utf-8") + b"\n", timeout=timeout)
 
-    def send_raw(self, data: bytes) -> None:
-        """Write framed bytes; the caller guarantees trailing newlines."""
+    @property
+    def poisoned(self) -> bool:
+        """True once a timeout tore a frame mid-read (stream unusable)."""
+        return self._poisoned
+
+    def send_raw(self, data: bytes,
+                 timeout: float | None = None) -> None:
+        """Write framed bytes; the caller guarantees trailing newlines.
+
+        With a ``timeout``, each write is gated on writability so a peer
+        that stopped draining (e.g. a worker itself blocked writing a
+        large response nobody reads — the classic duplex write-write
+        deadlock) surfaces as :class:`~repro.errors.TransportTimeout`
+        instead of blocking forever; the pool treats that like a crash.
+        Without one the call may block indefinitely (bootstrap sync
+        payloads, where the worker is known to be reading).
+        """
         if self._closed:
             raise TransportClosed("transport is closed")
-        # Raw (unbuffered) socket writers may short-write large frames —
-        # a multi-MB sync payload interrupted mid-send would desync the
-        # newline framing — so loop until every byte is on the wire.
+        if self._poisoned:
+            raise TransportClosed(
+                "transport poisoned by a mid-frame timeout")
+        # Writes go through the raw fd (symmetric with _fill's os.read):
+        # partial writes keep the newline framing intact because we loop
+        # until every byte is on the wire, and select can gate each step.
+        fd = self._writer.fileno()
+        deadline = None if timeout is None else time.monotonic() + timeout
         view = memoryview(data)
         try:
             while view:
-                written = self._writer.write(view)
-                if written is None:
-                    raise TransportClosed(
-                        "writer would block mid-frame (non-blocking stream)"
-                    )
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not select.select(
+                            [], [fd], [], remaining)[1]:
+                        if len(view) != len(data):
+                            # Partial frame already on the wire: the
+                            # outbound stream is desynced, poison it.
+                            self._poisoned = True
+                        raise TransportTimeout(
+                            "framed write deadline expired")
+                written = os.write(fd, view)
                 view = view[written:]
-            self._writer.flush()
         except (BrokenPipeError, ConnectionResetError, ValueError,
                 OSError) as exc:
             raise TransportClosed(f"peer hung up mid-send: {exc}") from exc
@@ -127,9 +199,16 @@ class LineTransport:
         Raises:
             TransportClosed: the peer hung up (EOF/reset) before a full
                 frame arrived.
-            TransportTimeout: the deadline expired first.
+            TransportTimeout: the deadline expired first. If partial
+                frame bytes were already buffered, the transport is
+                poisoned: a later read would splice the abandoned
+                frame's tail onto the next frame, so every subsequent
+                ``send``/``recv`` raises ``TransportClosed`` instead.
             SerializationError: the line was not a JSON object.
         """
+        if self._poisoned:
+            raise TransportClosed(
+                "transport poisoned by a mid-frame timeout")
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             newline = self._buffer.find(b"\n")
@@ -137,7 +216,14 @@ class LineTransport:
                 line = bytes(self._buffer[:newline])
                 del self._buffer[:newline + 1]
                 return self._parse(line)
-            self._fill(deadline)
+            try:
+                self._fill(deadline)
+            except TransportTimeout:
+                if self._buffer:
+                    # Mid-frame: the next byte on the stream belongs to
+                    # the frame this caller just abandoned.
+                    self._poisoned = True
+                raise
 
     def _fill(self, deadline: float | None) -> None:
         """Pull more bytes into the buffer, honoring the deadline."""

@@ -38,7 +38,12 @@ Four message families cross the leader -> replica boundary:
   ``impacted`` / ``blame`` / ``segment`` / ``cypher``. Each read family
   has a dedicated parameter/result codec below (:func:`lineage_to_wire`,
   :func:`segment_to_wire`, :func:`rows_to_wire`, ...) so the answers are
-  value-identical on both sides of the boundary.
+  value-identical on both sides of the boundary. Many requests can ride
+  one ``requests`` **bundle frame** (:func:`requests_bundle_to_wire`),
+  answered by one ``responses`` bundle executed against a single armed
+  snapshot with per-request error isolation — the dashboard fan-in path
+  that makes batching/pipelining an additive protocol extension (no
+  version bump).
 
 - **Control frames** (``hello`` / ``sync`` / ``ping`` / ``pong`` /
   ``event`` / ``shutdown`` / ``bye``): worker lifecycle — handshake,
@@ -424,6 +429,100 @@ def response_from_wire(record: dict[str, Any],
         raise SerializationError(
             f"malformed response frame: {record!r}") from exc
     return request_id, epoch, ok, payload
+
+
+# ---------------------------------------------------------------------------
+# Request / response bundle frames (batching + pipelining)
+# ---------------------------------------------------------------------------
+
+
+def requests_bundle_to_wire(
+        calls: "list[tuple[int, str, dict[str, Any]]]") -> dict[str, Any]:
+    """Many query requests as **one** frame.
+
+    ``calls`` is a non-empty list of ``(request_id, method, params)``
+    triples; each inner record is a full :func:`request_to_wire` frame, so
+    the bundle is purely additive over the existing protocol (a worker
+    executes the inner requests exactly as if they had arrived as
+    individual frames — but against one armed snapshot, and answering
+    with one :func:`responses_bundle_to_wire` frame). Request ids must be
+    unique within the bundle: the client correlates the answers by id.
+    """
+    if not calls:
+        raise SerializationError("a requests bundle must carry at least "
+                                 "one request")
+    ids = [request_id for request_id, _, _ in calls]
+    if len(set(ids)) != len(ids):
+        raise SerializationError(
+            f"duplicate request ids in bundle: {sorted(ids)!r}")
+    return {
+        "kind": "requests",
+        "format": WIRE_FORMAT,
+        "requests": [request_to_wire(request_id, method, params)
+                     for request_id, method, params in calls],
+    }
+
+
+def requests_bundle_from_wire(record: dict[str, Any],
+                              ) -> "list[tuple[int, str, dict[str, Any]]]":
+    """Decode a requests bundle into ``(request_id, method, params)``
+    triples, in order (inverse of :func:`requests_bundle_to_wire`)."""
+    _expect_kind(record, "requests")
+    try:
+        raw = list(record["requests"])
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(
+            f"malformed requests bundle: {record!r}") from exc
+    if not raw:
+        raise SerializationError("empty requests bundle")
+    calls = [request_from_wire(entry) for entry in raw]
+    ids = [request_id for request_id, _, _ in calls]
+    if len(set(ids)) != len(ids):
+        raise SerializationError(
+            f"duplicate request ids in bundle: {sorted(ids)!r}")
+    return calls
+
+
+def responses_bundle_to_wire(epoch: int,
+                             responses: list[dict[str, Any]],
+                             ) -> dict[str, Any]:
+    """Many query answers as **one** frame.
+
+    ``responses`` are full :func:`response_to_wire` frames, one per inner
+    request of the bundle being answered, **in request order**. ``epoch``
+    is the worker's replayed epoch for the whole bundle — a bundle is
+    executed against one armed snapshot, so every inner response carries
+    the same epoch as the envelope.
+    """
+    if not responses:
+        raise SerializationError("a responses bundle must carry at least "
+                                 "one response")
+    return {
+        "kind": "responses",
+        "format": WIRE_FORMAT,
+        "epoch": int(epoch),
+        "responses": list(responses),
+    }
+
+
+def responses_bundle_from_wire(record: dict[str, Any],
+                               ) -> tuple[int, list[dict[str, Any]]]:
+    """Decode a responses bundle into ``(epoch, response_frames)``.
+
+    The inner frames decode individually with :func:`response_from_wire`
+    (the client feeds them through the same pending-map correlation path
+    as standalone responses).
+    """
+    _expect_kind(record, "responses")
+    try:
+        epoch = int(record["epoch"])
+        responses = list(record["responses"])
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(
+            f"malformed responses bundle: {record!r}") from exc
+    if not responses:
+        raise SerializationError("empty responses bundle")
+    return epoch, responses
 
 
 #: Builtin exception names the error codec is allowed to rebuild.

@@ -7,13 +7,26 @@ framed ``sync``, applies shipped ``batch`` frames through
 delta log mirrors the leader's and its read snapshot advances with the
 shared incremental patcher), and answers ``request`` frames —
 lineage/impact/blame walks, PgSeg, CypherLite — against its own armed
-snapshot.
+snapshot. A ``requests`` **bundle** frame executes many requests against
+one armed snapshot and answers with a single ``responses`` frame, with
+per-request error isolation: one bad request becomes one error record,
+never poisoning its siblings.
 
 The protocol is strictly leader-driven and processed **in order**: the
 pool writes any missing batch frames *before* a stamped request on the
 same stream, so by the time the worker reads the request it has already
 replayed the span the stamp requires. The worker never initiates
 catch-up; it only reports.
+
+**Result caching.** Dashboard workloads re-ask the same questions at a
+fixed graph version, so the worker keeps a bounded LRU of wire-ready
+results keyed by ``(method, canonical-params)`` and scoped to the epoch
+they were computed at: any epoch advance (batch apply or re-sync)
+invalidates the whole cache, so an entry is only ever served at the
+exact epoch it was computed at (``docs/consistency.md`` §"Worker result
+cache"). Hit/miss counters ride every ``pong`` frame. Budgeted CypherLite
+queries with a wall-clock timeout are never cached (their truncation
+point is nondeterministic).
 
 Failure contract:
 
@@ -34,6 +47,8 @@ Spawned via ``python -m repro.cli serve-worker`` (see
 
 from __future__ import annotations
 
+import json
+from collections import OrderedDict
 from typing import Any
 
 from repro.errors import (
@@ -60,12 +75,17 @@ from repro.serve.wire import (
     pgseg_query_from_wire,
     pong_frame,
     request_from_wire,
+    requests_bundle_from_wire,
     response_to_wire,
+    responses_bundle_to_wire,
     rows_to_wire,
     segment_to_wire,
     sync_from_frame,
 )
 from repro.store.snapshot import GraphSnapshot
+
+#: Default bound on the worker result cache (entries, LRU-evicted).
+DEFAULT_CACHE_SIZE = 256
 
 
 class ReplicaWorker:
@@ -74,19 +94,30 @@ class ReplicaWorker:
     Args:
         transport: the duplex framed channel to the pool.
         worker_id: the pool-assigned identifier (stats/logging only).
+        cache_size: bound on the (epoch, request) result cache; ``0``
+            disables caching entirely.
     """
 
-    def __init__(self, transport: LineTransport, worker_id: int = 0):
+    def __init__(self, transport: LineTransport, worker_id: int = 0,
+                 cache_size: int = DEFAULT_CACHE_SIZE):
         self._transport = transport
         self.worker_id = worker_id
         self.store = None
         self.graph: ProvenanceGraph | None = None
         self._snapshot: GraphSnapshot | None = None
         self._operator: PgSegOperator | None = None
+        #: Wire-ready results keyed (method, canonical params), valid only
+        #: at ``self._cache_epoch`` — epoch advance clears the whole cache.
+        self._cache: OrderedDict[tuple[str, str], Any] = OrderedDict()
+        self._cache_size = cache_size
+        self._cache_epoch = -2          # never equal to a real epoch yet
         #: Counters mirrored into pong frames for pool health dashboards.
         self.batches_applied = 0
         self.requests_served = 0
+        self.bundles_served = 0
         self.syncs = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------
     # Serve loop
@@ -108,6 +139,8 @@ class ReplicaWorker:
                     return 1
             elif kind == "request":
                 self._answer(frame)
+            elif kind == "requests":
+                self._answer_bundle(frame)
             elif kind == "ping":
                 self._transport.send(pong_frame(self.epoch, self.stats()))
             elif kind == "shutdown":
@@ -130,7 +163,11 @@ class ReplicaWorker:
             "worker_id": self.worker_id,
             "batches_applied": self.batches_applied,
             "requests_served": self.requests_served,
+            "bundles_served": self.bundles_served,
             "syncs": self.syncs,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_size": len(self._cache),
         }
 
     # ------------------------------------------------------------------
@@ -143,6 +180,8 @@ class ReplicaWorker:
         self.graph = ProvenanceGraph(self.store)
         self._snapshot = GraphSnapshot(self.graph)
         self._operator = PgSegOperator(self.graph, snapshot=self._snapshot)
+        self._cache.clear()
+        self._cache_epoch = self.store.epoch
         self.syncs += 1
 
     def _apply(self, frame: dict[str, Any]) -> bool:
@@ -160,6 +199,9 @@ class ReplicaWorker:
             self._transport.send(event_frame("diverged", str(exc)))
             return False
         self.batches_applied += 1
+        # Epoch advanced: every cached result is for a dead graph state.
+        self._cache.clear()
+        self._cache_epoch = self.store.epoch
         return True
 
     # ------------------------------------------------------------------
@@ -174,19 +216,81 @@ class ReplicaWorker:
         return self._snapshot
 
     def _answer(self, frame: dict[str, Any]) -> None:
-        request_id, method, params = request_from_wire(frame)
+        self._transport.send(
+            self._response_for(*request_from_wire(frame)))
+
+    def _answer_bundle(self, frame: dict[str, Any]) -> None:
+        """Serve a requests bundle: one armed snapshot, one answer frame.
+
+        Error isolation is per request — a failing request contributes an
+        error record while its siblings are still served — and the
+        responses ride one ``responses`` frame in request order, all at
+        the same epoch (no batch can apply between two requests of one
+        bundle: frames are processed strictly in order).
+        """
+        calls = requests_bundle_from_wire(frame)
+        responses = [self._response_for(request_id, method, params)
+                     for request_id, method, params in calls]
+        self.bundles_served += 1
+        self._transport.send(responses_bundle_to_wire(self.epoch, responses))
+
+    def _response_for(self, request_id: int, method: str,
+                      params: dict[str, Any]) -> dict[str, Any]:
+        """One request's response frame (never raises on query errors)."""
         self.requests_served += 1
         try:
             if self.store is None:
                 raise SerializationError("request before bootstrap sync")
-            result = getattr(self, f"_serve_{method}")(params)
+            result = self._serve_cached(method, params)
         except Exception as exc:   # noqa: BLE001 - query errors must not
             # kill the worker; the type crosses back in the error record.
-            self._transport.send(response_to_wire(
-                request_id, self.epoch, error=error_to_wire(exc)))
-            return
-        self._transport.send(response_to_wire(
-            request_id, self.epoch, result=result))
+            return response_to_wire(
+                request_id, self.epoch, error=error_to_wire(exc))
+        return response_to_wire(request_id, self.epoch, result=result)
+
+    # ------------------------------------------------------------------
+    # Result cache
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _cacheable(method: str, params: dict[str, Any]) -> bool:
+        """Whether a request's result is a pure function of the epoch.
+
+        A budgeted CypherLite query with a wall-clock timeout can be
+        truncated at a nondeterministic row, so its result must not be
+        replayed from cache.
+        """
+        if method == "cypher":
+            budget = params.get("budget")
+            if isinstance(budget, dict) \
+                    and budget.get("timeout_seconds") is not None:
+                return False
+        return True
+
+    def _serve_cached(self, method: str, params: dict[str, Any]) -> Any:
+        """Serve one request through the (epoch, request) result cache."""
+        if self._cache_size <= 0 or not self._cacheable(method, params):
+            return getattr(self, f"_serve_{method}")(params)
+        if self._cache_epoch != self.epoch:
+            # Covers every epoch-moving path at once (defense in depth on
+            # top of the explicit clears in _apply/_bootstrap).
+            self._cache.clear()
+            self._cache_epoch = self.epoch
+        key = (method, json.dumps(params, sort_keys=True))
+        if key in self._cache:
+            self.cache_hits += 1
+            self._cache.move_to_end(key)
+            return self._cache[key]
+        result = getattr(self, f"_serve_{method}")(params)
+        self.cache_misses += 1
+        self._cache[key] = result
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return result
+
+    # ------------------------------------------------------------------
+    # Method handlers
+    # ------------------------------------------------------------------
 
     def _serve_lineage(self, params: dict[str, Any]) -> dict[str, Any]:
         return lineage_to_wire(_lineage(

@@ -482,6 +482,60 @@ class LifecycleSession:
             self._cluster.close()
         self._cluster = None
 
+    def query_many(self, specs) -> list[Any]:
+        """Evaluate a batch of read specs; one routed fan-out when serving.
+
+        ``specs`` is a sequence of ``(method, params)`` pairs — the same
+        shape :meth:`repro.serve.cluster.ProvCluster.query_many` takes:
+        ``("lineage"|"impacted"|"blame", {"entity": id, "max_depth":
+        ...})``, ``("segment", {"query": PgSegQuery})``, ``("cypher",
+        {"text": ..., "budget": ...})``. With serving attached the whole
+        batch is routed as pipelined worker bundles (the dashboard fan-in
+        path); without, it is evaluated against the session's armed
+        snapshot. Either way the returned list is index-aligned with
+        ``specs`` and a failing spec contributes its exception *instance*
+        rather than aborting its siblings.
+        """
+        specs = list(specs)
+        if self._cluster is not None:
+            return self._cluster.query_many(specs)
+        if not specs:
+            return []
+        from repro.query.cypherlite import run_query
+        from repro.query.ops import impacted as _impacted
+
+        known = ("lineage", "impacted", "blame", "segment", "cypher")
+        for method, _ in specs:
+            if method not in known:
+                raise ValueError(f"unknown query_many method {method!r}")
+        snapshot = self.snapshot()
+        results: list[Any] = []
+        for method, params in specs:
+            try:
+                if method == "lineage":
+                    results.append(_lineage(
+                        self.graph, int(params["entity"]),
+                        max_depth=params.get("max_depth"),
+                        snapshot=snapshot))
+                elif method == "impacted":
+                    results.append(_impacted(
+                        self.graph, int(params["entity"]),
+                        max_depth=params.get("max_depth"),
+                        snapshot=snapshot))
+                elif method == "blame":
+                    results.append(_blame(
+                        self.graph, int(params["entity"]),
+                        snapshot=snapshot))
+                elif method == "segment":
+                    results.append(self._operator.evaluate(params["query"]))
+                else:
+                    results.append(run_query(
+                        self.graph, str(params["text"]),
+                        params.get("budget"), snapshot=snapshot))
+            except Exception as exc:       # noqa: BLE001 - per-spec
+                results.append(exc)        # isolation, like the cluster
+        return results
+
     # ------------------------------------------------------------------
     # Health
     # ------------------------------------------------------------------

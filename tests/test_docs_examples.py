@@ -97,30 +97,49 @@ def test_examples_round_trip_through_codecs():
             methods_by_id[request_id] = method
             _check_request_params(method, params)
         elif kind == "response":
-            request_id, epoch, ok, payload = wire.response_from_wire(block)
-            if ok:
-                assert wire.response_to_wire(
-                    request_id, epoch, result=payload) == block
-                method = methods_by_id.get(request_id)
-                assert method is not None, \
-                    f"ok-response {request_id} has no documented request"
-                _check_result(method, payload, graph)
-            else:
-                assert wire.response_to_wire(
-                    request_id, epoch, error=payload) == block
-                rebuilt = wire.error_from_wire(payload)
-                assert type(rebuilt).__name__ == payload["type"]
-                assert payload["message"] in str(rebuilt)
+            _check_response(block, methods_by_id, graph)
+        elif kind == "requests":
+            calls = wire.requests_bundle_from_wire(block)
+            assert wire.requests_bundle_to_wire(calls) == block
+            for request_id, method, params in calls:
+                methods_by_id[request_id] = method
+                _check_request_params(method, params)
+        elif kind == "responses":
+            epoch, responses = wire.responses_bundle_from_wire(block)
+            assert wire.responses_bundle_to_wire(epoch, responses) == block
+            for inner in responses:
+                # Bundles are epoch-atomic: every inner response answers
+                # at the envelope epoch (one armed snapshot).
+                _, inner_epoch, _, _ = wire.response_from_wire(inner)
+                assert inner_epoch == epoch
+                _check_response(inner, methods_by_id, graph)
         else:
             pytest.fail(f"example with unspecified kind {kind!r}")
 
     # The spec must keep one worked example per frame kind.
     assert seen_kinds >= {"sync", "batch", "hello", "ping", "pong",
                           "event", "shutdown", "bye", "request",
-                          "response"}
+                          "response", "requests", "responses"}
     # ... and per request method (lineage shares its codec with impacted).
     assert set(methods_by_id.values()) >= {"lineage", "blame", "segment",
                                            "cypher"}
+
+
+def _check_response(block, methods_by_id, graph):
+    request_id, epoch, ok, payload = wire.response_from_wire(block)
+    if ok:
+        assert wire.response_to_wire(
+            request_id, epoch, result=payload) == block
+        method = methods_by_id.get(request_id)
+        assert method is not None, \
+            f"ok-response {request_id} has no documented request"
+        _check_result(method, payload, graph)
+    else:
+        assert wire.response_to_wire(
+            request_id, epoch, error=payload) == block
+        rebuilt = wire.error_from_wire(payload)
+        assert type(rebuilt).__name__ == payload["type"]
+        assert payload["message"] in str(rebuilt)
 
 
 def _check_request_params(method, params):

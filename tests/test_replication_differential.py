@@ -208,6 +208,132 @@ def test_out_of_process_interleavings(seed):
         cluster.close()
 
 
+def _batch_specs(rng, entities):
+    """One round's spec list: every wire method, seeded targets."""
+    specs = []
+    for entity in rng.sample(entities, k=min(3, len(entities))):
+        specs.append(("lineage", {"entity": entity}))
+        specs.append(("impacted", {"entity": entity}))
+        specs.append(("blame", {"entity": entity}))
+    src = tuple(rng.sample(entities, k=min(2, len(entities))))
+    specs.append(("segment", {"query": PgSegQuery(
+        src=src, dst=(rng.choice(entities),))}))
+    probe = rng.choice(entities)
+    specs.append(("cypher", {"text":
+                  f"MATCH (e:E)<-[:U]-(a:A) WHERE id(e) = {probe} "
+                  f"RETURN id(a)"}))
+    return specs
+
+
+def _assert_batched_matches_leader(graph, specs, results):
+    """Every batched answer must equal the leader's live evaluation."""
+    for (method, params), result in zip(specs, results, strict=True):
+        assert not isinstance(result, BaseException), \
+            f"{method} spec failed: {result!r}"
+        if method == "lineage":
+            assert _lineage_key(result) \
+                == _lineage_key(lineage(graph, params["entity"]))
+        elif method == "impacted":
+            assert _lineage_key(result) \
+                == _lineage_key(impacted(graph, params["entity"]))
+        elif method == "blame":
+            assert result == blame(graph, params["entity"])
+        elif method == "segment":
+            assert _segment_key(result) == _segment_key(
+                PgSegOperator(graph).evaluate(params["query"]))
+        else:
+            assert result == run_query(graph, params["text"])
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_batched_vs_sequential_interleavings(seed):
+    """Batched and sequential serving of one query set are identical.
+
+    Each round mutates the leader (mutations interleaved *between*
+    bundles), then serves the same spec list twice — sequentially
+    through the routed single-query methods and as one ``query_many``
+    fan-out — and asserts the two result lists pairwise identical (and
+    both equal to the leader's live evaluation). Worker epochs must be
+    monotone across rounds, and strict batched reads land every
+    participating worker at the leader epoch (read-your-writes).
+    """
+    rng = random.Random(8800 + seed)
+    graph = build_paper_example().graph
+    cluster = ProvCluster(graph, replicas=2, out_of_process=True)
+    counter = [0]
+    epochs_by_round = []
+    try:
+        for _ in range(8):
+            for _ in range(rng.randint(1, 3)):
+                _mutate(rng, graph, counter)
+            entities = list(graph.entities())
+            assert entities, "mutation schedule must keep entities alive"
+            specs = _batch_specs(rng, entities)
+            sequential = []
+            for method, params in specs:
+                if method == "lineage":
+                    sequential.append(cluster.lineage(params["entity"]))
+                elif method == "impacted":
+                    sequential.append(cluster.impacted(params["entity"]))
+                elif method == "blame":
+                    sequential.append(cluster.blame(params["entity"]))
+                elif method == "segment":
+                    sequential.append(cluster.segment(params["query"]))
+                else:
+                    sequential.append(cluster.cypher(params["text"]))
+            batched = cluster.query_many(specs)
+            _assert_batched_matches_leader(graph, specs, batched)
+            for (method, _), seq, bat in zip(specs, sequential, batched,
+                                             strict=True):
+                if method in ("lineage", "impacted"):
+                    assert _lineage_key(seq) == _lineage_key(bat)
+                elif method == "segment":
+                    assert _segment_key(seq) == _segment_key(bat)
+                else:
+                    assert seq == bat
+            # Strict stamp honored by the fan-out, epochs monotone.
+            assert all(replica.epoch == cluster.leader_epoch
+                       for replica in cluster.replicas)
+            epochs_by_round.append(
+                [replica.epoch for replica in cluster.replicas])
+        for previous, current in zip(epochs_by_round, epochs_by_round[1:]):
+            assert all(c >= p for p, c in zip(previous, current))
+        assert sum(r.bundles_sent for r in cluster.replicas) > 0
+        assert all(r.restarts == 0 for r in cluster.replicas)
+    finally:
+        cluster.close()
+
+
+def test_batched_kill_mid_bundle():
+    """A worker killed while its bundle is in flight loses no queries:
+    the dead worker's whole share is re-routed and the reassembled
+    results still match the leader."""
+    rng = random.Random(9911)
+    graph = build_paper_example().graph
+    cluster = ProvCluster(graph, replicas=2, out_of_process=True)
+    counter = [0]
+    try:
+        for round_index in range(6):
+            for _ in range(rng.randint(1, 3)):
+                _mutate(rng, graph, counter)
+            entities = list(graph.entities())
+            specs = _batch_specs(rng, entities)
+            if round_index == 2:
+                casualty = cluster.replicas[0]
+                casualty.proc.kill()
+                casualty.proc.wait()
+            results = cluster.query_many(specs)
+            _assert_batched_matches_leader(graph, specs, results)
+        assert cluster.replicas[0].restarts == 1
+        assert all(r.alive() for r in cluster.replicas)
+        # The restarted worker rejoined the fan-out at the leader epoch.
+        cluster.refresh()
+        assert all(r.epoch == cluster.leader_epoch
+                   for r in cluster.replicas)
+    finally:
+        cluster.close()
+
+
 def test_out_of_process_kill_restart_resync():
     """Worker kill mid-interleaving: restart + re-sync, answers identical.
 

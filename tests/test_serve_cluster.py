@@ -259,6 +259,84 @@ class TestProvCluster:
         assert cluster.leader_epoch == store.epoch
 
 
+class TestQueryMany:
+    """The in-process batch fan-out (out-of-process lives in the pool
+    and differential suites)."""
+
+    def test_results_in_spec_order_across_replicas(self, paper):
+        cluster = ProvCluster(paper.graph, replicas=2)
+        entities = list(paper.graph.entities())[:4]
+        specs = [("lineage", {"entity": entity}) for entity in entities]
+        specs.append(("cypher", {"text":
+                      f"MATCH (e:E) WHERE id(e) = {entities[0]} "
+                      f"RETURN id(e)"}))
+        results = cluster.query_many(specs)
+        assert len(results) == len(specs)
+        for entity, result in zip(entities, results):
+            assert result.vertices \
+                == lineage(paper.graph, entity).vertices
+        assert results[-1] == [{"col0": entities[0]}]
+        # The batch fanned out: both replicas served a share.
+        assert all(r.queries_served > 0 for r in cluster.replicas)
+
+    def test_read_your_writes_for_batches(self, paper):
+        cluster = ProvCluster(paper.graph, replicas=2)
+        out = grow(paper.graph, 41)
+        [result] = cluster.query_many([("lineage", {"entity": out})])
+        assert out in result.vertices
+        assert all(r.epoch == cluster.leader_epoch
+                   for r in cluster.replicas
+                   if r.queries_served > 0)
+
+    def test_per_spec_error_isolation(self, paper):
+        cluster = ProvCluster(paper.graph, replicas=2)
+        entity = next(iter(paper.graph.entities()))
+        results = cluster.query_many([
+            ("blame", {"entity": 10 ** 6}),
+            ("blame", {"entity": entity}),
+        ])
+        assert isinstance(results[0], BaseException)
+        assert results[1] == blame(paper.graph, entity)
+
+    def test_unknown_method_raises(self, paper):
+        cluster = ProvCluster(paper.graph, replicas=1)
+        with pytest.raises(ValueError, match="unknown query_many"):
+            cluster.query_many([("drop_tables", {})])
+
+    def test_empty_batch(self, paper):
+        cluster = ProvCluster(paper.graph, replicas=1)
+        assert cluster.query_many([]) == []
+
+    def test_unsatisfiable_stamp_raises(self, paper):
+        cluster = ProvCluster(paper.graph, replicas=1)
+        entity = next(iter(paper.graph.entities()))
+        with pytest.raises(ValueError, match="ahead of the leader"):
+            cluster.query_many([("lineage", {"entity": entity})],
+                               min_epoch=cluster.leader_epoch + 1)
+
+    def test_session_query_many_with_and_without_serving(self):
+        example = build_paper_example()
+        session = LifecycleSession(graph=example.graph)
+        target = example["weight-v2"]
+        specs = [("lineage", {"entity": target}),
+                 ("blame", {"entity": 10 ** 6}),
+                 ("segment", {"query": PgSegQuery(
+                     src=(example["dataset-v1"],), dst=(target,))})]
+        local = session.query_many(specs)
+        session.serve(replicas=2)
+        try:
+            served = session.query_many(specs)
+        finally:
+            session.stop_serving()
+        for low, high in zip(local, served, strict=True):
+            if isinstance(low, BaseException):
+                assert type(low) is type(high)
+            elif hasattr(low, "vertices"):
+                assert set(low.vertices) == set(high.vertices)
+            else:
+                assert low == high
+
+
 class TestSessionServing:
     def test_serve_routes_session_reads(self):
         session = LifecycleSession(project="serving")

@@ -85,6 +85,36 @@ class TestLineTransport:
             with pytest.raises(SerializationError):
                 b.recv(timeout=5)
 
+    def test_clean_boundary_timeout_leaves_transport_usable(self):
+        """A timeout with no partial bytes buffered is not poisonous:
+        the in-flight answer is merely late, the stream is still framed."""
+        a, b = socketpair_transports()
+        with a, b:
+            with pytest.raises(TransportTimeout):
+                b.recv(timeout=0.05)
+            assert not b.poisoned
+            a.send({"kind": "ping"})
+            assert b.recv(timeout=5) == {"kind": "ping"}
+
+    def test_mid_frame_timeout_poisons_transport(self):
+        """Satellite regression (slow writer): a timeout that strikes
+        mid-frame must poison the transport — a later read would splice
+        the abandoned frame's tail onto the next frame."""
+        a, b = socketpair_transports()
+        with a, b:
+            a.send_raw(b'{"kind": "resp')     # slow writer: half a frame
+            with pytest.raises(TransportTimeout):
+                b.recv(timeout=0.05)
+            assert b.poisoned
+            # The writer completes the frame and sends another; a reused
+            # transport would now splice them — poisoned refuses instead.
+            a.send_raw(b'onse", "id": 1}\n')
+            a.send({"kind": "response", "id": 2})
+            with pytest.raises(TransportClosed, match="poisoned"):
+                b.recv(timeout=5)
+            with pytest.raises(TransportClosed, match="poisoned"):
+                b.send({"kind": "ping"})
+
 
 class _CrashingReplica:
     """Replica double whose catch-up dies until 'restarted'."""
@@ -287,6 +317,203 @@ class TestWorkerPoolServing:
         ghost = graph.add_entity(name="not-shipped-yet")
         with pytest.raises(VertexNotFound):
             cluster.lineage(ghost, min_epoch=stamp)
+
+
+@pytest.fixture(scope="class")
+def single_worker_pool():
+    example = build_paper_example()
+    pool = WorkerPool(example.graph, count=1)
+    try:
+        yield example, pool
+    finally:
+        pool.close()
+
+
+class TestPipelinedClient:
+    """The pending-map refactor: N frames in flight, out-of-order safe."""
+
+    def test_in_flight_requests_consumed_out_of_order(
+            self, single_worker_pool):
+        """Two requests on the wire at once; awaiting the second first
+        must stash (not reject) the first's answer."""
+        example, pool = single_worker_pool
+        client = pool.clients[0]
+        target = example["weight-v2"]
+        [first] = client._send_calls(
+            [("lineage", {"entity": target, "max_depth": None})])
+        [second] = client._send_calls([("blame", {"entity": target})])
+        ok, payload = client._await(second)
+        assert ok
+        from repro.serve.wire import blame_from_wire, lineage_from_wire
+        assert blame_from_wire(payload) == blame(example.graph, target)
+        ok, payload = client._await(first)
+        assert ok
+        assert lineage_from_wire(payload).vertices \
+            == lineage(example.graph, target).vertices
+
+    def test_bundle_isolates_bad_requests(self, single_worker_pool):
+        """One bad request in a bundle becomes one exception instance at
+        its index; its siblings are still served."""
+        example, pool = single_worker_pool
+        client = pool.clients[0]
+        target = example["weight-v2"]
+        results = client.query_many([
+            ("lineage", {"entity": target}),
+            ("blame", {"entity": 10 ** 6}),          # no such vertex
+            ("cypher", {"text":
+                        f"MATCH (e:E) WHERE id(e) = {target} "
+                        f"RETURN id(e)"}),
+        ])
+        assert results[0].vertices == lineage(example.graph, target).vertices
+        assert isinstance(results[1], VertexNotFound)
+        assert results[2] == [{"col0": target}]
+        assert client.bundles_sent >= 1
+
+    def test_late_response_dropped_not_fatal(self, single_worker_pool):
+        """Satellite regression: a response arriving after its request
+        timed out must be dropped with a counter, not kill the client —
+        the worker is healthy, it was merely slow."""
+        example, pool = single_worker_pool
+        client = pool.clients[0]
+        target = example["weight-v2"]
+        restarts_before = client.restarts
+        # Make the worker genuinely slow for the probed request: pile an
+        # unawaited bundle of distinct (uncacheable-by-repeat) queries in
+        # front of it — in-order processing guarantees the probe's
+        # answer cannot arrive before the pile is served.
+        pile = [("cypher", {"text": f"MATCH (e:E) WHERE id(e) = {i} "
+                                    f"RETURN id(e)"})
+                for i in range(40)]
+        client.begin_many(pile)
+        old_timeout = pool.request_timeout
+        pool.request_timeout = 0.0002     # expires before any answer
+        try:
+            with pytest.raises(ReplicaUnavailable, match="abandoned"):
+                client.blame(target)
+        finally:
+            pool.request_timeout = old_timeout
+        assert client.timeouts >= 1
+        assert client.restarts == restarts_before     # worker kept
+        late_before = client.late_responses
+        # The abandoned request's answer arrives ahead of the next one:
+        # dropped + counted (the pile's answers are still pending, so
+        # they are stashed, not counted), and the fresh request is
+        # served normally.
+        assert client.lineage(target).vertices \
+            == lineage(example.graph, target).vertices
+        assert client.late_responses == late_before + 1
+
+    def test_poisoned_transport_takes_the_crash_path(
+            self, single_worker_pool):
+        """A timeout that tore a frame mid-read cannot keep the stream:
+        the client must restart + re-sync exactly like a crash."""
+        example, pool = single_worker_pool
+        client = pool.clients[0]
+        target = example["weight-v2"]
+        restarts_before = client.restarts
+        old_timeout = pool.request_timeout
+        pool.request_timeout = 0.05
+        client.transport._buffer.extend(b'{"kind": "resp')  # torn frame
+        client._pending.add(999_999)
+        try:
+            with pytest.raises(ReplicaUnavailable, match="mid-frame"):
+                client._await(999_999)
+        finally:
+            pool.request_timeout = old_timeout
+        assert client.restarts == restarts_before + 1
+        assert client.alive()
+        assert client.lineage(target).vertices \
+            == lineage(example.graph, target).vertices
+
+
+class TestWorkerResultCache:
+    """The (epoch, request) result cache: observable, epoch-scoped."""
+
+    def test_cache_hits_observable_and_cleared_by_epoch_advance(self):
+        example = build_paper_example()
+        graph = example.graph
+        target = example["weight-v2"]
+        with WorkerPool(graph, count=1) as pool:
+            client = pool.clients[0]
+            client.lineage(target)
+            client.lineage(target)                    # identical re-ask
+            _, stats = client.ping()
+            assert stats["cache_misses"] >= 1
+            assert stats["cache_hits"] >= 1
+            assert stats["cache_size"] >= 1
+            hits_before = stats["cache_hits"]
+            misses_before = stats["cache_misses"]
+            graph.add_entity(name="cache-buster")     # epoch advance
+            client.catch_up()
+            client.lineage(target)    # same request, new epoch: a miss
+            _, stats = client.ping()
+            assert stats["cache_hits"] == hits_before  # rate drops to 0
+            assert stats["cache_misses"] == misses_before + 1
+            client.lineage(target)                    # warm again
+            _, stats = client.ping()
+            assert stats["cache_hits"] == hits_before + 1
+
+    def test_budgeted_cypher_with_timeout_never_cached(self):
+        """Wall-clock budgets truncate nondeterministically; replaying
+        such a result from cache could serve a different row set."""
+        import socket as socket_mod
+
+        from repro.query.cypherlite import Budget
+        from repro.serve.wire import budget_to_wire, sync_to_frame
+        from repro.serve.worker import ReplicaWorker
+
+        example = build_paper_example()
+        left, right = socket_mod.socketpair()
+        with LineTransport.over_socket(left), \
+                LineTransport.over_socket(right) as worker_side:
+            worker = ReplicaWorker(worker_side, 0)
+            worker._bootstrap(sync_to_frame(example.graph.store))
+            params = {
+                "text": "MATCH (e:E) RETURN id(e)",
+                "budget": budget_to_wire(Budget(timeout_seconds=30.0)),
+            }
+            worker._serve_cached("cypher", params)
+            worker._serve_cached("cypher", params)
+            assert worker.cache_hits == 0
+            assert worker.cache_misses == 0           # never entered
+            # The same query without a wall clock budget caches fine.
+            free = {"text": "MATCH (e:E) RETURN id(e)", "budget": None}
+            worker._serve_cached("cypher", free)
+            worker._serve_cached("cypher", free)
+            assert worker.cache_hits == 1
+            assert worker.cache_misses == 1
+
+
+def _open_fds() -> int:
+    import os
+
+    return len(os.listdir("/proc/self/fd"))
+
+
+class TestTransportFds:
+    """Satellite regression: pool restart loops must not leak fds
+    (socket ``makefile`` wrappers, pipe ends of failed handshakes)."""
+
+    @pytest.mark.parametrize("transport", ["socket", "pipe"])
+    def test_restart_loop_does_not_leak_fds(self, transport):
+        import gc
+
+        example = build_paper_example()
+        graph = example.graph
+        target = example["weight-v2"]
+        with WorkerPool(graph, count=1, transport=transport) as pool:
+            client = pool.clients[0]
+            assert client.lineage(target).root == target
+            gc.collect()
+            baseline = _open_fds()
+            for _ in range(4):
+                client.proc.kill()
+                client.proc.wait()
+                pool.restart(client, failed=client.transport)
+                assert client.lineage(target).root == target
+            gc.collect()
+            assert _open_fds() <= baseline
+        assert client.restarts == 4
 
 
 class TestWorkerPoolLifecycle:

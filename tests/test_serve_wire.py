@@ -33,8 +33,12 @@ from repro.serve.wire import (
     pong_from_wire,
     request_from_wire,
     request_to_wire,
+    requests_bundle_from_wire,
+    requests_bundle_to_wire,
     response_from_wire,
     response_to_wire,
+    responses_bundle_from_wire,
+    responses_bundle_to_wire,
     rows_from_wire,
     rows_to_wire,
     segment_from_wire,
@@ -219,6 +223,48 @@ class TestRequestResponseFrames:
         # Never resolves to arbitrary non-error attributes of the module.
         weird = error_from_wire({"type": "annotations", "message": "m"})
         assert isinstance(weird, ReproError)
+
+
+class TestBundleFrames:
+    def test_requests_bundle_round_trips(self):
+        calls = [(3, "lineage", {"entity": 1, "max_depth": None}),
+                 (4, "blame", {"entity": 2})]
+        frame = requests_bundle_to_wire(calls)
+        assert frame["kind"] == "requests"
+        assert requests_bundle_from_wire(frame) == calls
+        # Inner records are complete request frames (additive protocol).
+        for inner in frame["requests"]:
+            request_from_wire(inner)
+
+    def test_requests_bundle_rejects_empty_and_duplicate_ids(self):
+        with pytest.raises(SerializationError):
+            requests_bundle_to_wire([])
+        with pytest.raises(SerializationError):
+            requests_bundle_to_wire([(1, "blame", {"entity": 0}),
+                                     (1, "blame", {"entity": 1})])
+        with pytest.raises(SerializationError):
+            requests_bundle_from_wire({"kind": "requests",
+                                       "format": "repro-wire-v1",
+                                       "requests": []})
+
+    def test_responses_bundle_round_trips(self):
+        responses = [response_to_wire(3, 9, result={"agents": {}}),
+                     response_to_wire(4, 9, error={"type": "ValueError",
+                                                   "message": "bad"})]
+        frame = responses_bundle_to_wire(9, responses)
+        epoch, decoded = responses_bundle_from_wire(frame)
+        assert epoch == 9
+        assert decoded == responses
+        ok_flags = [response_from_wire(inner)[2] for inner in decoded]
+        assert ok_flags == [True, False]
+
+    def test_responses_bundle_rejects_empty(self):
+        with pytest.raises(SerializationError):
+            responses_bundle_to_wire(9, [])
+        with pytest.raises(SerializationError):
+            responses_bundle_from_wire({"kind": "responses",
+                                        "format": "repro-wire-v1",
+                                        "epoch": 9, "responses": []})
 
 
 class TestQueryCodecs:

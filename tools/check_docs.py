@@ -14,7 +14,12 @@ Checks, over ``README.md``, ``ROADMAP.md``, and ``docs/*.md``:
   unhighlighted and usually mean a typo'd block);
 - every ` ```json ` fence parses as JSON — the wire-protocol spec's
   frames must at minimum *be* JSON before ``tests/test_docs_examples.py``
-  round-trips them through the codecs.
+  round-trips them through the codecs;
+- every wire-frame example (a JSON fence whose object carries a
+  ``"kind"``) names a frame kind that actually exists in
+  ``src/repro/serve/wire.py`` — a doc example for a codec nobody wrote
+  (typo'd kind, stale rename) fails here even before the round-trip
+  suite runs.
 
 Exits non-zero listing every finding, so CI shows all failures at once.
 """
@@ -91,7 +96,46 @@ def check_links(path: Path, problems: list[str]) -> None:
                 )
 
 
-def check_fences(path: Path, problems: list[str]) -> None:
+#: Frame-kind literals in serve/wire.py: encoder dict literals
+#: (``"kind": "batch"``) and decoder expectations
+#: (``_expect_kind(record, "sync")``).
+_WIRE_KIND_LITERAL = re.compile(r'"kind":\s*"(\w+)"')
+_WIRE_KIND_EXPECT = re.compile(r'_expect_kind\([^,]+,\s*"(\w+)"\)')
+
+
+def wire_frame_kinds() -> set[str]:
+    """Every frame kind ``serve/wire.py`` can encode or decode."""
+    source = (ROOT / "src" / "repro" / "serve" / "wire.py").read_text(
+        encoding="utf-8")
+    return set(_WIRE_KIND_LITERAL.findall(source)) \
+        | set(_WIRE_KIND_EXPECT.findall(source))
+
+
+def check_frame_kinds(path: Path, block: dict, open_line: int,
+                      problems: list[str], known: set[str]) -> None:
+    """A doc frame example must name a codec that exists in wire.py.
+
+    Inner records of bundle frames are complete frames themselves, so
+    they are checked recursively.
+    """
+    kind = block.get("kind")
+    if kind is not None and kind not in known:
+        problems.append(
+            f"{path.relative_to(ROOT)}:{open_line}: frame example names "
+            f"kind {kind!r} but serve/wire.py has no such codec"
+        )
+    for value in block.values():
+        if isinstance(value, dict):
+            check_frame_kinds(path, value, open_line, problems, known)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, dict):
+                    check_frame_kinds(path, item, open_line, problems,
+                                      known)
+
+
+def check_fences(path: Path, problems: list[str],
+                 known_kinds: set[str]) -> None:
     lines = path.read_text(encoding="utf-8").splitlines()
     open_line = None
     language = None
@@ -113,12 +157,16 @@ def check_fences(path: Path, problems: list[str]) -> None:
         else:
             if language == "json":
                 try:
-                    json.loads("\n".join(body))
+                    block = json.loads("\n".join(body))
                 except json.JSONDecodeError as exc:
                     problems.append(
                         f"{path.relative_to(ROOT)}:{open_line}: json "
                         f"fence does not parse: {exc}"
                     )
+                else:
+                    if isinstance(block, dict):
+                        check_frame_kinds(path, block, open_line,
+                                          problems, known_kinds)
             open_line, language = None, None
     if open_line is not None:
         problems.append(
@@ -129,9 +177,10 @@ def check_fences(path: Path, problems: list[str]) -> None:
 def main() -> int:
     problems: list[str] = []
     files = doc_files()
+    known_kinds = wire_frame_kinds()
     for path in files:
         check_links(path, problems)
-        check_fences(path, problems)
+        check_fences(path, problems, known_kinds)
     for problem in problems:
         print(problem, file=sys.stderr)
     print(f"checked {len(files)} files: "
