@@ -48,6 +48,22 @@ recompute. Both modes serve the identical seeded stream and must agree
 on the digest, so batching cannot pass the gate by answering different
 questions.
 
+``--steady-writes`` (implies ``--out-of-process``) gates the PR 6
+footprint-retention path: a write lands **every** round (the steady
+trickle a live lifecycle produces) while one fixed dashboard re-asks
+full-depth lineage and blame questions, so every epoch-keyed cache is
+invalidated every round. Two otherwise identical 4-worker pools serve
+the same seeded stream: the gated pool retains result-cache entries
+whose dependency footprint each shipped batch provably missed
+(``cache_mode="footprint"``), the baseline pool clears everything on
+any advance (``cache_mode="epoch"``, the PR 5 behavior). Digests must
+match, the retained pool must clear the throughput floor, **and** its
+retained-hit-rate (hits across epoch advances over all cache lookups,
+from pong counters) must clear ``RETAINED_HIT_RATE_FLOOR``. Pong
+``generation`` counters make the hit-rate math restart-aware: a
+crash-restart silently resets a worker's cumulative counters, so the
+record reports ``restart_detected`` instead of conflating spawns.
+
 Replica bootstrap (full sync, and worker spawn in ``--out-of-process``
 mode) happens before the timed window — the gate measures steady-state
 serving throughput — and is reported separately in the JSON record.
@@ -60,6 +76,8 @@ Plain script so CI can smoke it cheaply::
         --out-of-process --json BENCH_replication_oop.json
     PYTHONPATH=src python benchmarks/bench_replication.py --quick \
         --batched --json BENCH_replication_batched.json
+    PYTHONPATH=src python benchmarks/bench_replication.py --quick \
+        --steady-writes --json BENCH_replication_retention.json
 
 Exits non-zero when the gated mode's aggregate read throughput is not at
 least ``FLOORS[mode]`` times its baseline — the single-store live server
@@ -86,19 +104,32 @@ from repro.workloads.pd_generator import generate_pd_sized
 #: ``quick`` and ``*-oop`` gate cluster-vs-live-single-store; ``*-batched``
 #: gates the batched pipeline vs the *unbatched* out-of-process baseline.
 FLOORS = {"full": 2.0, "quick": 2.0, "full-oop": 2.0, "quick-oop": 2.0,
-          "full-batched": 2.0, "quick-batched": 2.0}
+          "full-batched": 2.0, "quick-batched": 2.0,
+          "full-retention": 2.0, "quick-retention": 2.0}
+
+#: ``--steady-writes`` additionally gates the fraction of cache lookups
+#: the footprint-retaining pool answers from entries that survived an
+#: epoch advance (every hit in that regime is a retained hit: a write
+#: lands between any two asks of the same question).
+RETAINED_HIT_RATE_FLOOR = 0.30
 
 N_REPLICAS = 4
 
 
 def append_run(graph, rng: random.Random, entities: list[int],
-               index: int) -> None:
-    """Append one recorded run: 4-5 mutations, the paper's workload grain."""
+               index: int) -> int:
+    """Append one recorded run: 4-5 mutations, the paper's workload grain.
+
+    Returns the freshly generated output entity so steady-write schedules
+    can annotate it afterwards (new artifacts collect notes and metrics;
+    the established dashboard targets do not).
+    """
     activity = graph.add_activity(command=f"bench-run{index}")
     for entity in rng.sample(entities, k=2):
         graph.used(activity, entity)
     output = graph.add_entity(name=f"bench-out{index}")
     graph.was_generated_by(output, activity)
+    return output
 
 
 class SequentialRounds:
@@ -336,8 +367,39 @@ class BatchedOopClusterServer:
         return (sum(digest_of(spec, result)
                     for spec, result in zip(specs, results)), len(specs))
 
+    def worker_stats(self):
+        """Final pong counters per worker, tagged with the client-side
+        restart count so hit-rate math can detect counter resets (pong
+        counters are cumulative per *spawn*; ``generation`` names the
+        spawn)."""
+        stats = []
+        for client in self.cluster.replicas:
+            _, pong = client.ping()
+            pong["restarts"] = client.restarts
+            stats.append(pong)
+        return stats
+
     def close(self):
         self.cluster.close()
+
+
+class RetainedOopClusterServer(BatchedOopClusterServer):
+    """PR 6 gated mode: batched serving over footprint-retaining workers."""
+
+    name = f"retained-oop-x{N_REPLICAS}"
+    cache_mode = "footprint"
+
+    def __init__(self, graph):
+        self.cluster = ProvCluster(graph, replicas=N_REPLICAS,
+                                   out_of_process=True, transport="socket",
+                                   cache_mode=self.cache_mode)
+
+
+class EpochClearOopClusterServer(RetainedOopClusterServer):
+    """PR 6 baseline: identical pool, PR 5 clear-on-any-advance cache."""
+
+    name = f"epoch-clear-oop-x{N_REPLICAS}"
+    cache_mode = "epoch"
 
 
 def build_query_pool(entities: list[int], pool_size: int) -> list[PgSegQuery]:
@@ -393,7 +455,8 @@ def run_workload(server_cls, n_vertices: int, rounds: int,
 def run_spec_workload(server_cls, n_vertices: int, rounds: int,
                       targets_per_round: int, walk_repeats: int,
                       walk_depth: int, append_every: int,
-                      warmup_rounds: int = 2, seed: int = 17) -> dict:
+                      warmup_rounds: int = 2, seed: int = 17,
+                      steady_writes: bool = False) -> dict:
     """One batched-gate contender over the shared seeded spec stream.
 
     The dashboard fan-in regime the batching PR targets: one **fixed**
@@ -410,15 +473,41 @@ def run_spec_workload(server_cls, n_vertices: int, rounds: int,
     the timed window (identically for both contenders): the gate
     measures steady-state serving throughput, not the one-off lazy
     materialization the first post-bootstrap queries pay per worker.
+
+    ``steady_writes`` switches the write schedule to the retention
+    gate's regime: a write lands **every** round — mostly property
+    annotations on freshly appended run outputs (the live-lifecycle
+    trickle: new artifacts collect notes and metrics, and they are never
+    ancestors of the established dashboard targets, so epoch-keyed
+    caches pay full price while footprint retention provably survives) —
+    with a structural append every 4th round, whose ``used`` edges touch
+    historical entities, so the structural eviction rules stay in the
+    measured path too.
     """
     instance = generate_pd_sized(n_vertices, seed=7)
     graph = instance.graph
     entities = list(instance.entities)
     rng = random.Random(seed)
     targets = rng.sample(entities, k=targets_per_round)   # the dashboard
+    fresh: list[int] = []                  # outputs appended after seeding
 
     def round_specs():
         specs = []
+        if steady_writes:
+            # Blame panels dominate the retention dashboard: ancestry
+            # attribution is the costliest recompute in the repertoire
+            # (~3x a full-depth lineage here) with a tiny report payload,
+            # so a retained entry saves the whole recompute while a
+            # lineage hit still pays to ship its thousands of closure
+            # vertices. This is the mix the footprint cache targets:
+            # expensive answers whose dependencies the steady trickle
+            # provably misses.
+            for entity in targets:
+                specs.append(("blame", {"entity": entity}))
+            for entity in targets[:4]:
+                specs.append(("lineage", {"entity": entity,
+                                          "max_depth": walk_depth}))
+            return specs
         for _ in range(walk_repeats):
             for entity in targets:
                 specs.append(("lineage", {"entity": entity,
@@ -427,24 +516,37 @@ def run_spec_workload(server_cls, n_vertices: int, rounds: int,
             specs.append(("blame", {"entity": entity}))
         return specs
 
+    def write_for_round(index: int) -> None:
+        if steady_writes:
+            subject = rng.choice(fresh) if fresh else rng.choice(entities)
+            graph.store.set_vertex_property(subject, "bench_note",
+                                            f"round{index}")
+            if index % 4 == 0:
+                fresh.append(append_run(graph, rng, entities, index))
+        elif index % append_every == 0:
+            append_run(graph, rng, entities, index)
+
     t0 = time.perf_counter()
     server = server_cls(graph)
     for index in range(warmup_rounds):
-        append_run(graph, rng, entities, index)
+        write_for_round(index)
         server.serve_specs(round_specs())
     bootstrap_s = time.perf_counter() - t0
 
     t0 = time.perf_counter()
     digest = 0
     queries = 0
+    workers = None
     try:
         for index in range(rounds):
-            if index % append_every == 0:
-                append_run(graph, rng, entities, warmup_rounds + index)
+            write_for_round(warmup_rounds + index)
             round_digest, round_queries = server.serve_specs(round_specs())
             digest += round_digest
             queries += round_queries
         elapsed = time.perf_counter() - t0      # teardown stays untimed
+        collect = getattr(server, "worker_stats", None)
+        if collect is not None:
+            workers = collect()                 # untimed, needs live pool
     finally:
         server.close()
     return {
@@ -454,6 +556,7 @@ def run_spec_workload(server_cls, n_vertices: int, rounds: int,
         "bootstrap_s": bootstrap_s,
         "elapsed_s": elapsed,
         "queries_per_s": queries / elapsed if elapsed else float("inf"),
+        "workers": workers,
     }
 
 
@@ -468,16 +571,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="gate query_many batching/pipelining against "
                              "the unbatched out-of-process baseline "
                              "(implies --out-of-process)")
+    parser.add_argument("--steady-writes", action="store_true",
+                        help="gate footprint cache retention against the "
+                             "epoch-clear baseline under a write every "
+                             "round (implies --out-of-process)")
     parser.add_argument("--no-assert", action="store_true",
                         help="report only; never fail on the throughput floor")
     parser.add_argument("--json", metavar="PATH",
                         help="write a machine-readable result record")
     args = parser.parse_args(argv)
-    if args.batched:
+    if args.batched or args.steady_writes:
         args.out_of_process = True
+    if args.batched and args.steady_writes:
+        parser.error("--batched and --steady-writes are separate gates")
 
     mode = "quick" if args.quick else "full"
-    if args.batched:
+    if args.steady_writes:
+        mode += "-retention"
+    elif args.batched:
         mode += "-batched"
     elif args.out_of_process:
         mode += "-oop"
@@ -496,8 +607,21 @@ def main(argv: list[str] | None = None) -> int:
     else:
         spec_rounds, targets, walk_repeats, walk_depth, append_every = \
             16, 8, 64, 2, 4
+    if args.steady_writes:
+        # The retention regime: one fixed dashboard of *expensive*
+        # questions (full-depth lineage + blame, asked once per round),
+        # a write landing every round. Epoch-clear recomputes the whole
+        # dashboard per round; footprint retention recomputes only what
+        # the append actually touched.
+        spec_rounds = 12 if args.quick else 24
+        targets, walk_repeats, walk_depth, append_every = 8, 1, None, 1
     floor = FLOORS[mode]
-    if args.batched:
+    if args.steady_writes:
+        gated_cls = RetainedOopClusterServer
+        baseline_cls = EpochClearOopClusterServer
+        server_classes = (EpochClearOopClusterServer,
+                          RetainedOopClusterServer)
+    elif args.batched:
         gated_cls, baseline_cls = BatchedOopClusterServer, OopClusterServer
         server_classes = (OopClusterServer, BatchedOopClusterServer)
     elif args.out_of_process:
@@ -507,7 +631,12 @@ def main(argv: list[str] | None = None) -> int:
         gated_cls, baseline_cls = ClusterServer, LiveServer
         server_classes = (LiveServer, ClusterServer, SnapshotServer)
 
-    if args.batched:
+    spec_stream = args.batched or args.steady_writes
+    if args.steady_writes:
+        print(f"workload: {spec_rounds} rounds x ({targets} blame + "
+              f"{targets // 2} full-depth lineage) on a Pd graph "
+              f"(n={n_vertices}), write EVERY round (steady writes)")
+    elif args.batched:
         print(f"workload: {spec_rounds} rounds x ({targets} targets x "
               f"{walk_repeats} shallow-lineage re-asks + 2 blame) "
               f"on a Pd graph (n={n_vertices}), append every "
@@ -518,10 +647,11 @@ def main(argv: list[str] | None = None) -> int:
               f"(n={n_vertices}), writes interleaved")
     results = {}
     for server_cls in server_classes:
-        if args.batched:
+        if spec_stream:
             result = run_spec_workload(server_cls, n_vertices, spec_rounds,
                                        targets, walk_repeats, walk_depth,
-                                       append_every)
+                                       append_every,
+                                       steady_writes=args.steady_writes)
         else:
             result = run_workload(server_cls, n_vertices, rounds,
                                   walks_per_round, pool_size, pgseg_repeats)
@@ -548,6 +678,32 @@ def main(argv: list[str] | None = None) -> int:
               f"(replication overhead, informational)")
 
     passed = speedup >= floor
+    retained_hit_rate = None
+    baseline_hit_rate = None
+    restart_detected = None
+    if args.steady_writes:
+        def hit_rate(result):
+            workers = result.get("workers") or []
+            hits = sum(w["cache_hits"] for w in workers)
+            lookups = hits + sum(w["cache_misses"] for w in workers)
+            return hits / lookups if lookups else 0.0
+
+        retained_hit_rate = hit_rate(results[gated_cls.name])
+        baseline_hit_rate = hit_rate(results[baseline_cls.name])
+        # Pong counters are cumulative per spawn; a crash-restart resets
+        # them silently. generation (== the pool's restart count at
+        # spawn) exposes it, so a reset is reported instead of quietly
+        # skewing the rate.
+        restart_detected = any(
+            w["generation"] != 0 or w["restarts"] != 0
+            for result in results.values()
+            for w in (result.get("workers") or []))
+        print(f"retained-hit-rate: {retained_hit_rate:.1%} "
+              f"(floor {RETAINED_HIT_RATE_FLOOR:.0%}); "
+              f"epoch-clear baseline: {baseline_hit_rate:.1%}"
+              + ("  [RESTART DETECTED: rates cover the newest spawn only]"
+                 if restart_detected else ""))
+        passed = passed and retained_hit_rate > RETAINED_HIT_RATE_FLOOR
     record = {
         "benchmark": "bench_replication",
         "mode": mode,
@@ -555,11 +711,17 @@ def main(argv: list[str] | None = None) -> int:
         "replicas": N_REPLICAS,
         "out_of_process": args.out_of_process,
         "batched": args.batched,
+        "steady_writes": args.steady_writes,
         "baseline": baseline_cls.name,
         "floor": floor,
         "speedup_vs_baseline": speedup,
         "speedup_vs_live": speedup if baseline_cls is LiveServer else None,
         "single_snapshot_vs_cluster": overhead,
+        "retained_hit_rate": retained_hit_rate,
+        "retained_hit_rate_floor":
+            RETAINED_HIT_RATE_FLOOR if args.steady_writes else None,
+        "baseline_hit_rate": baseline_hit_rate,
+        "restart_detected": restart_detected,
         "results": results,
         "pass": passed,
     }
@@ -570,12 +732,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {args.json}")
 
     if not args.no_assert and not passed:
-        print(
-            f"FAIL: {gated_cls.name} aggregate read throughput "
-            f"{speedup:.2f}x the {baseline_cls.name} baseline, below "
-            f"floor {floor}x",
-            file=sys.stderr,
-        )
+        detail = (f"aggregate read throughput {speedup:.2f}x the "
+                  f"{baseline_cls.name} baseline (floor {floor}x)")
+        if retained_hit_rate is not None:
+            detail += (f", retained-hit-rate {retained_hit_rate:.1%} "
+                       f"(floor {RETAINED_HIT_RATE_FLOOR:.0%})")
+        print(f"FAIL: {gated_cls.name} {detail}", file=sys.stderr)
         return 1
     print("ok")
     return 0

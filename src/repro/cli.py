@@ -13,8 +13,9 @@ the offline install simple). Subcommands:
 - ``serve-worker``  run one out-of-process replica worker (internal: the
   entrypoint :class:`repro.serve.pool.WorkerPool` spawns; speaks the wire
   protocol — including batched ``requests`` bundles served against one
-  armed snapshot with a worker-side (epoch, request) result cache — on a
-  socket or stdio and exits when the pool hangs up)
+  armed snapshot with a footprint-retaining result cache and materialized
+  summary views (``--cache-mode``) — on a socket or stdio and exits when
+  the pool hangs up)
 
 Examples::
 
@@ -146,7 +147,9 @@ def _cmd_serve_worker(args: argparse.Namespace) -> int:
                                              sys.stdout.buffer)
     with transport:
         transport.send(hello_frame(args.worker_id, args.token))
-        return ReplicaWorker(transport, args.worker_id).run()
+        return ReplicaWorker(transport, args.worker_id,
+                             cache_mode=args.cache_mode,
+                             generation=args.generation).run()
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -233,6 +236,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--token", default="",
                    help="spawn token echoed in the hello frame")
     p.add_argument("--worker-id", type=int, default=0)
+    p.add_argument("--cache-mode", default="footprint",
+                   choices=["footprint", "epoch"],
+                   help="result-cache retention: footprint keeps entries "
+                        "a batch's write set provably missed; epoch "
+                        "clears everything on any advance")
+    p.add_argument("--generation", type=int, default=0,
+                   help="monotonic spawn counter (pool restart count), "
+                        "echoed in pong stats")
     p.set_defaults(func=_cmd_serve_worker)
 
     return parser

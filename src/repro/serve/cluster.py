@@ -144,10 +144,16 @@ class ProvCluster:
             manager) when done so the workers shut down.
         transport: worker transport when out-of-process — ``"socket"``
             or ``"pipe"``.
+        cache_mode: worker result-cache retention policy when
+            out-of-process — ``"footprint"`` (default: keep entries whose
+            dependency footprint a batch's write set provably missed) or
+            ``"epoch"`` (clear everything on any epoch advance; the
+            pre-retention baseline, kept for benchmarking).
     """
 
     def __init__(self, source, replicas: int = 2,
-                 out_of_process: bool = False, transport: str = "socket"):
+                 out_of_process: bool = False, transport: str = "socket",
+                 cache_mode: str = "footprint"):
         store = getattr(source, "store", source)
         self.graph = source if isinstance(source, ProvenanceGraph) \
             else ProvenanceGraph(store)
@@ -155,7 +161,8 @@ class ProvCluster:
             from repro.serve.pool import WorkerPool
 
             self.pool: "WorkerPool | None" = WorkerPool(
-                self.graph, count=replicas, transport=transport)
+                self.graph, count=replicas, transport=transport,
+                cache_mode=cache_mode)
             self.log = self.pool.log
             self.replicas = list(self.pool.clients)
         else:
@@ -244,10 +251,15 @@ class ProvCluster:
         A summary must describe a single graph state: with a relaxed
         ``min_epoch``, independently routed segments could come from
         replicas at different epochs and merge states that never coexisted.
-        So one replica is routed once and serves every segment of the
-        summary; the merge itself is cheap and runs in the caller. A
-        replica crash mid-summary restarts the *whole* summary on the next
-        replica — partial segment sets must never merge across replicas.
+        So one replica is routed once and evaluates the *entire* summary —
+        segments and merge — replica-side (in-process via
+        :meth:`Replica.summarize
+        <repro.serve.replication.Replica.summarize>`, out-of-process via
+        one ``summarize`` wire request), which also lets out-of-process
+        workers serve repeat summaries from their incrementally maintained
+        materialized views. A replica crash mid-summary restarts the
+        *whole* summary on the next replica — partial segment sets must
+        never merge across replicas.
 
         Out-of-process, a non-wire-serializable query (boundary
         predicates, key callables) would silently fall back to the live
@@ -258,6 +270,7 @@ class ProvCluster:
         """
         stamp = self.leader_epoch if min_epoch is None else min_epoch
         queries = list(queries)
+        pgsum = pgsum if pgsum is not None else PgSumQuery()
         if self.pool is not None \
                 and not all(pgseg_query_is_wire_safe(q) for q in queries):
             # Leader-local still honors the stamp contract: the leader
@@ -278,16 +291,14 @@ class ProvCluster:
         attempts = len(self.replicas) + 1
         for attempt in range(attempts):
             replica = self.router.route(stamp)
-            segments = []
             try:
-                for query in queries:
-                    replica.queries_served += 1
-                    segments.append(replica.segment(query))
+                psg = replica.summarize(queries, pgsum)
             except ReplicaUnavailable:
                 if attempt == attempts - 1:
                     raise
                 continue
-            return PgSumOperator(segments).evaluate(pgsum)
+            replica.queries_served += len(queries)
+            return psg
         raise AssertionError("unreachable")   # pragma: no cover
 
     def cypher(self, text: str, budget: Budget | None = None,

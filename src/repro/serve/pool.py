@@ -82,8 +82,10 @@ from repro.serve.wire import (
     lineage_from_wire,
     pgseg_query_is_wire_safe,
     pgseg_query_to_wire,
+    pgsum_query_to_wire,
     ping_frame,
     pong_from_wire,
+    psg_from_wire,
     request_to_wire,
     requests_bundle_to_wire,
     response_from_wire,
@@ -488,6 +490,23 @@ class WorkerClient:
         return segment_from_wire(
             self._pool.graph, self._request("segment", params))
 
+    def summarize(self, queries: "list[PgSegQuery]", pgsum) -> Any:
+        """A merged PgSum summary served by the worker process.
+
+        The worker evaluates every segment *and* the merge against one
+        replayed epoch, holding the result as a materialized view it
+        patches across property-only batches — so repeat dashboard
+        summaries skip both the walks and the merge. All queries must be
+        wire-safe (the cluster routes non-wire summaries leader-local
+        before reaching a client); node members reference leader vertex
+        ids, exactly like decoded segments.
+        """
+        params = {
+            "queries": [pgseg_query_to_wire(query) for query in queries],
+            "pgsum": pgsum_query_to_wire(pgsum),
+        }
+        return psg_from_wire(self._request("summarize", params))
+
     def cypher(self, text: str, budget: Budget | None = None) -> list:
         """CypherLite rows served by the worker process."""
         return rows_from_wire(self._pool.graph, self._request(
@@ -590,18 +609,27 @@ class WorkerPool:
             timeout abandons the request and keeps the worker; a
             mid-frame timeout restarts it.
         spawn_timeout: seconds to wait for a spawned worker's handshake.
+        cache_mode: worker result-cache retention policy — ``"footprint"``
+            (default; applied batches keep entries their write set
+            provably missed) or ``"epoch"`` (clear everything on any
+            advance; the benchmark baseline). Passed on every worker's
+            command line, including respawns.
     """
 
     def __init__(self, source, count: int = 2, transport: str = "socket",
                  request_timeout: float | None = 120.0,
                  spawn_timeout: float = 60.0,
-                 ping_timeout: float = 10.0):
+                 ping_timeout: float = 10.0,
+                 cache_mode: str = "footprint"):
         if count < 1:
             raise ValueError("a worker pool needs at least one worker")
         if transport not in TRANSPORTS:
             raise ValueError(
                 f"unknown transport {transport!r}; choose from {TRANSPORTS}"
             )
+        if cache_mode not in ("footprint", "epoch"):
+            raise ValueError(f"unknown cache_mode {cache_mode!r}")
+        self.cache_mode = cache_mode
         store = getattr(source, "store", source)
         self.graph = source if isinstance(source, ProvenanceGraph) \
             else ProvenanceGraph(store)
@@ -630,8 +658,15 @@ class WorkerPool:
     # ------------------------------------------------------------------
 
     def _spawn_process(self, worker_id: int) -> subprocess.Popen:
+        # The spawn generation is the client's restart count: 0 for the
+        # bootstrap spawn, bumped (in restart()) before each respawn. The
+        # worker echoes it in pong stats, so clients reading cumulative
+        # counters can detect the silent reset a crash-restart causes.
+        generation = self.clients[worker_id].restarts
         command = [sys.executable, "-m", "repro.cli", "serve-worker",
-                   "--worker-id", str(worker_id), "--token", self._token]
+                   "--worker-id", str(worker_id), "--token", self._token,
+                   "--cache-mode", self.cache_mode,
+                   "--generation", str(generation)]
         if self.transport_kind == "socket":
             host, port = self._listener.getsockname()
             command += ["--connect", f"{host}:{port}"]

@@ -40,6 +40,8 @@ from repro.query.ops import impacted as _impacted
 from repro.query.ops import lineage as _lineage
 from repro.segment.pgseg import PgSegOperator, PgSegQuery, Segment
 from repro.serve.wire import decode_batch, decode_sync, encode_batch, encode_sync
+from repro.summarize.pgsum import PgSumOperator, PgSumQuery
+from repro.summarize.psg import Psg
 from repro.store.snapshot import GraphSnapshot
 from repro.store.store import PropertyGraphStore
 
@@ -210,6 +212,21 @@ class Replica:
         """PgSeg served by this replica's epoch-synced operator."""
         self.snapshot()                    # arm the operator fast path
         return self._operator.evaluate(query)
+
+    def summarize(self, queries: "list[PgSegQuery]",
+                  pgsum: PgSumQuery) -> Psg:
+        """PgSum over per-query segments, evaluated entirely replica-side.
+
+        The in-process twin of
+        :meth:`repro.serve.pool.WorkerClient.summarize`: each segment is
+        produced by this replica's epoch-synced operator (so repeat
+        queries hit its segment cache), then merged with
+        :class:`~repro.summarize.pgsum.PgSumOperator` against the
+        replica's own store.
+        """
+        self.snapshot()                    # arm the operator fast path
+        segments = [self._operator.evaluate(query) for query in queries]
+        return PgSumOperator(segments).evaluate(pgsum)
 
     def cypher(self, text: str, budget: Budget | None = None) -> list:
         """CypherLite rows served from the replica snapshot."""

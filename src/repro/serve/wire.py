@@ -71,7 +71,15 @@ if TYPE_CHECKING:   # pragma: no cover - types only
     from repro.query.cypherlite import Budget
     from repro.query.ops import Lineage
     from repro.segment.pgseg import PgSegQuery, Segment
-from repro.store.delta import Delta, DeltaBatch, DeltaOp, PropertyPayload
+    from repro.summarize.pgsum import PgSumQuery
+    from repro.summarize.psg import Psg
+from repro.store.delta import (
+    Delta,
+    DeltaBatch,
+    DeltaOp,
+    PropertyPayload,
+    span_effects,
+)
 from repro.store.persistence import (
     edge_record_to_json,
     meta_record,
@@ -169,6 +177,29 @@ def delta_from_wire(record: dict[str, Any]) -> tuple[Delta, Any]:
 # ---------------------------------------------------------------------------
 
 
+def batch_writes_to_wire(batch: DeltaBatch) -> dict[str, Any]:
+    """The batch's classified write set as a JSON-able object.
+
+    A deterministic function of the typed delta records alone (no leader
+    store needed, unlike the per-delta payload enrichment), so any party
+    holding the batch reproduces it exactly. Fields mirror
+    :class:`repro.store.delta.SpanEffects`: ``touched`` / ``props`` are
+    sorted vertex-id lists, ``structural`` / ``scan`` the two span flags.
+    Followers drive footprint retention from the same
+    :func:`~repro.store.delta.span_effects` computation on the decoded
+    deltas; the wire field exists so non-Python followers (and humans
+    reading a captured stream) see the write set without reimplementing
+    the classification.
+    """
+    effects = span_effects([batch])
+    return {
+        "touched": sorted(effects.touched),
+        "props": sorted(effects.prop_subjects),
+        "structural": effects.structural,
+        "scan": effects.scan_dirty,
+    }
+
+
 def batch_to_wire(batch: DeltaBatch,
                   store: PropertyGraphStore | None = None) -> dict[str, Any]:
     """One batch as a JSON-able object (see :func:`delta_to_wire`)."""
@@ -177,6 +208,7 @@ def batch_to_wire(batch: DeltaBatch,
         "format": WIRE_FORMAT,
         "epoch": batch.epoch,
         "deltas": [delta_to_wire(delta, store) for delta in batch.deltas],
+        "writes": batch_writes_to_wire(batch),
     }
 
 
@@ -358,7 +390,8 @@ def bye_frame() -> dict[str, Any]:
 # ---------------------------------------------------------------------------
 
 #: Methods a replica worker serves (see :mod:`repro.serve.worker`).
-REQUEST_METHODS = ("lineage", "impacted", "blame", "segment", "cypher")
+REQUEST_METHODS = ("lineage", "impacted", "blame", "segment", "summarize",
+                   "cypher")
 
 
 def request_to_wire(request_id: int, method: str,
@@ -760,6 +793,129 @@ def segment_from_wire(graph: "ProvenanceGraph",
     except (KeyError, ValueError, TypeError, AttributeError) as exc:
         raise SerializationError(
             f"malformed wire segment: {record!r}") from exc
+
+
+def pgsum_query_to_wire(query: "PgSumQuery") -> dict[str, Any]:
+    """One PgSum query as a JSON-able object.
+
+    Fully declarative by construction
+    (:class:`~repro.summarize.aggregation.PropertyAggregation` is plain
+    key sets), so — unlike PgSeg queries — every PgSum query is
+    wire-safe; only its *segments* can keep a summary leader-local.
+    """
+    aggregation = query.aggregation
+    return {
+        "aggregation": {
+            "entity": sorted(aggregation.entity_keys),
+            "activity": sorted(aggregation.activity_keys),
+            "agent": sorted(aggregation.agent_keys),
+        },
+        "k": int(query.k),
+        "max_rounds": query.max_rounds,
+        "verify_isomorphism": bool(query.verify_isomorphism),
+        "rk_direction": str(query.rk_direction),
+    }
+
+
+def pgsum_query_from_wire(record: dict[str, Any]) -> "PgSumQuery":
+    """Inverse of :func:`pgsum_query_to_wire`."""
+    from repro.summarize.aggregation import PropertyAggregation
+    from repro.summarize.pgsum import PgSumQuery
+
+    try:
+        aggregation = record["aggregation"]
+        max_rounds = record["max_rounds"]
+        return PgSumQuery(
+            aggregation=PropertyAggregation(
+                entity_keys=frozenset(str(key)
+                                      for key in aggregation["entity"]),
+                activity_keys=frozenset(str(key)
+                                        for key in aggregation["activity"]),
+                agent_keys=frozenset(str(key)
+                                     for key in aggregation["agent"]),
+            ),
+            k=int(record["k"]),
+            max_rounds=None if max_rounds is None else int(max_rounds),
+            verify_isomorphism=bool(record["verify_isomorphism"]),
+            rk_direction=str(record["rk_direction"]),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(
+            f"malformed wire PgSum query: {record!r}") from exc
+
+
+def _label_to_wire(value: Any) -> Any:
+    """A class label as plain JSON (nested tuples become lists)."""
+    if isinstance(value, tuple):
+        return [_label_to_wire(item) for item in value]
+    return value
+
+
+def _label_from_wire(value: Any) -> Any:
+    """Rebuild a class label: JSON turned its nested tuples into lists.
+
+    Exact because labels only ever hold scalars and tuples (``_freeze``
+    and the provenance-type certificates guarantee it) — there is no
+    genuine list to confuse with a tuple.
+    """
+    if isinstance(value, list):
+        return tuple(_label_from_wire(item) for item in value)
+    return value
+
+
+def psg_to_wire(psg: "Psg") -> dict[str, Any]:
+    """One provenance summary graph as a JSON-able object.
+
+    Node members are ``[segment_index, vertex_id]`` pairs (vertex ids are
+    leader ids, same as segments); edges are sorted
+    ``[src_group, dst_group, label, frequency]`` records for a canonical
+    encoding.
+    """
+    return {
+        "nodes": [
+            {
+                "class_index": node.class_index,
+                "label": _label_to_wire(node.label),
+                "members": [[seg_index, vertex_id]
+                            for seg_index, vertex_id in node.members],
+            }
+            for node in psg.nodes
+        ],
+        "edges": [
+            [src, dst, label, freq]
+            for (src, dst, label), freq in sorted(psg.edges.items())
+        ],
+        "segment_count": psg.segment_count,
+        "source_vertex_total": psg.source_vertex_total,
+    }
+
+
+def psg_from_wire(record: dict[str, Any]) -> "Psg":
+    """Inverse of :func:`psg_to_wire` (field-equal to the original)."""
+    from repro.summarize.psg import Psg, PsgNode
+
+    try:
+        return Psg(
+            nodes=[
+                PsgNode(
+                    class_index=int(node["class_index"]),
+                    label=_label_from_wire(node["label"]),
+                    members=tuple((int(seg_index), int(vertex_id))
+                                  for seg_index, vertex_id
+                                  in node["members"]),
+                )
+                for node in record["nodes"]
+            ],
+            edges={
+                (int(src), int(dst), str(label)): float(freq)
+                for src, dst, label, freq in record["edges"]
+            },
+            segment_count=int(record["segment_count"]),
+            source_vertex_total=int(record["source_vertex_total"]),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(
+            f"malformed wire Psg: {record!r}") from exc
 
 
 #: Tag key for non-scalar CypherLite row values. A plain dict row value

@@ -18,15 +18,39 @@ same stream, so by the time the worker reads the request it has already
 replayed the span the stamp requires. The worker never initiates
 catch-up; it only reports.
 
-**Result caching.** Dashboard workloads re-ask the same questions at a
-fixed graph version, so the worker keeps a bounded LRU of wire-ready
-results keyed by ``(method, canonical-params)`` and scoped to the epoch
-they were computed at: any epoch advance (batch apply or re-sync)
-invalidates the whole cache, so an entry is only ever served at the
-exact epoch it was computed at (``docs/consistency.md`` §"Worker result
-cache"). Hit/miss counters ride every ``pong`` frame. Budgeted CypherLite
-queries with a wall-clock timeout are never cached (their truncation
-point is nondeterministic).
+**Result caching (footprint retention).** Dashboard workloads re-ask the
+same questions at a fixed graph version, so the worker keeps a bounded
+LRU of wire-ready results keyed by ``(method, canonical-params)``. Each
+entry records its **dependency footprint** — the vertex ids the answer
+was derived from, classified exactly the way the session result cache
+classifies its entries (``closure`` for lineage/impact/blame, ``paths``
+for segments, ``global`` for CypherLite rows) — and on every applied
+batch the worker keeps each entry whose footprint the batch's write set
+provably cannot have changed, evicting only the overlap
+(:func:`repro.store.delta.entry_survives`, the predicate shared with
+:meth:`repro.session.LifecycleSession._revalidate`). A re-sync still
+clears everything: a bootstrap crosses an unknown span, so nothing is
+provable (``docs/consistency.md`` §"Worker result cache (footprint
+retention)"). ``cache_mode="epoch"`` restores the PR 5 clear-on-advance
+behavior (the benchmark baseline). Budgeted CypherLite queries with a
+wall-clock timeout are never cached (their truncation point is
+nondeterministic).
+
+**Materialized summary views.** A ``summarize`` request (wire-safe PgSeg
+queries + one PgSum query) is answered from a per-request materialized
+view: the worker keeps the merged summary *and* its input segments.
+Because wire-safe segment membership is structure-only, a property-only
+batch leaves the cached segments valid — the view is **patched** by
+re-merging the summary from them (properties re-read through the live
+store) instead of re-deriving the segments; past a crossover of pending
+span records (mirroring :meth:`GraphSnapshot.advance`'s
+full-rebuild fallback) or on any structural batch the view is recomputed
+from scratch. Served/patched/recomputed counters ride every ``pong``.
+
+Pong frames also carry a monotonic ``generation``: the pool passes its
+restart count on the worker command line, so cumulative-since-spawn
+counters can be told apart from a crash-restart that silently reset them
+(hit-rate math across restarts needs it).
 
 Failure contract:
 
@@ -49,6 +73,7 @@ from __future__ import annotations
 
 import json
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import (
@@ -62,7 +87,7 @@ from repro.query.cypherlite import run_query
 from repro.query.ops import blame as _blame
 from repro.query.ops import impacted as _impacted
 from repro.query.ops import lineage as _lineage
-from repro.segment.pgseg import PgSegOperator
+from repro.segment.pgseg import PgSegOperator, PgSegQuery, Segment
 from repro.serve.transport import LineTransport
 from repro.serve.wire import (
     batch_from_wire,
@@ -73,7 +98,9 @@ from repro.serve.wire import (
     event_frame,
     lineage_to_wire,
     pgseg_query_from_wire,
+    pgsum_query_from_wire,
     pong_frame,
+    psg_to_wire,
     request_from_wire,
     requests_bundle_from_wire,
     response_to_wire,
@@ -82,10 +109,40 @@ from repro.serve.wire import (
     segment_to_wire,
     sync_from_frame,
 )
-from repro.store.snapshot import GraphSnapshot
+from repro.store.delta import SpanEffects, entry_survives, span_effects
+from repro.store.snapshot import GraphSnapshot, default_crossover
+from repro.summarize.pgsum import PgSumOperator, PgSumQuery
 
 #: Default bound on the worker result cache (entries, LRU-evicted).
 DEFAULT_CACHE_SIZE = 256
+
+#: Default bound on materialized summary views (views are much heavier
+#: than plain cache entries: each holds its input segments).
+DEFAULT_VIEW_LIMIT = 32
+
+#: Recognized values of ``cache_mode`` (see :class:`ReplicaWorker`).
+CACHE_MODES = ("footprint", "epoch")
+
+
+@dataclass(slots=True)
+class _SummaryView:
+    """One materialized summary: the merged Psg plus its ingredients.
+
+    ``result`` is valid exactly at ``epoch``. A property-only batch that
+    touches the footprint leaves the *segments* valid (wire-safe segment
+    membership is structure-only) but stales the merged labels; the view
+    then waits, accumulating ``stale_records``, until the next request
+    patches it by re-merging from the cached segments — or recomputes
+    from scratch past the crossover.
+    """
+
+    result: dict[str, Any]
+    queries: list[PgSegQuery]
+    pgsum: PgSumQuery
+    segments: list[Segment]
+    footprint: frozenset[int]
+    epoch: int
+    stale_records: int = 0
 
 
 class ReplicaWorker:
@@ -94,23 +151,42 @@ class ReplicaWorker:
     Args:
         transport: the duplex framed channel to the pool.
         worker_id: the pool-assigned identifier (stats/logging only).
-        cache_size: bound on the (epoch, request) result cache; ``0``
-            disables caching entirely.
+        cache_size: bound on the result cache; ``0`` disables result
+            caching *and* materialized views entirely.
+        cache_mode: ``"footprint"`` (default) retains cached entries
+            whose dependency footprint is disjoint from each applied
+            batch's write set; ``"epoch"`` restores the historical
+            clear-everything-on-advance behavior (benchmark baseline).
+        generation: monotonic spawn counter assigned by the pool (0 for
+            the first spawn, bumped per restart); echoed in pong stats so
+            clients can detect counter resets across crash-restarts.
     """
 
     def __init__(self, transport: LineTransport, worker_id: int = 0,
-                 cache_size: int = DEFAULT_CACHE_SIZE):
+                 cache_size: int = DEFAULT_CACHE_SIZE,
+                 cache_mode: str = "footprint", generation: int = 0,
+                 view_limit: int = DEFAULT_VIEW_LIMIT):
+        if cache_mode not in CACHE_MODES:
+            raise ValueError(f"unknown cache_mode {cache_mode!r}")
         self._transport = transport
         self.worker_id = worker_id
+        self.cache_mode = cache_mode
+        self.generation = int(generation)
         self.store = None
         self.graph: ProvenanceGraph | None = None
         self._snapshot: GraphSnapshot | None = None
         self._operator: PgSegOperator | None = None
-        #: Wire-ready results keyed (method, canonical params), valid only
-        #: at ``self._cache_epoch`` — epoch advance clears the whole cache.
-        self._cache: OrderedDict[tuple[str, str], Any] = OrderedDict()
+        #: Wire-ready results keyed (method, canonical params); each entry
+        #: is ``(result, kind, footprint)`` so applied batches can retain
+        #: provably-unchanged answers (see _apply). Valid only at
+        #: ``self._cache_epoch``.
+        self._cache: OrderedDict[
+            tuple[str, str], tuple[Any, str, frozenset[int]]] = OrderedDict()
         self._cache_size = cache_size
         self._cache_epoch = -2          # never equal to a real epoch yet
+        #: Materialized summary views keyed by canonical summarize params.
+        self._views: OrderedDict[str, _SummaryView] = OrderedDict()
+        self._view_limit = view_limit
         #: Counters mirrored into pong frames for pool health dashboards.
         self.batches_applied = 0
         self.requests_served = 0
@@ -118,6 +194,11 @@ class ReplicaWorker:
         self.syncs = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_retained = 0
+        self.cache_evicted = 0
+        self.views_served = 0
+        self.views_patched = 0
+        self.views_recomputed = 0
 
     # ------------------------------------------------------------------
     # Serve loop
@@ -158,16 +239,29 @@ class ReplicaWorker:
         return -1 if self.store is None else self.store.epoch
 
     def stats(self) -> dict[str, Any]:
-        """Counters for pong frames."""
+        """Counters for pong frames.
+
+        All counters are cumulative since *this* spawn; ``generation``
+        tells clients which spawn they are looking at, so rate math can
+        detect the silent reset a crash-restart causes.
+        """
         return {
             "worker_id": self.worker_id,
+            "generation": self.generation,
+            "cache_mode": self.cache_mode,
             "batches_applied": self.batches_applied,
             "requests_served": self.requests_served,
             "bundles_served": self.bundles_served,
             "syncs": self.syncs,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_retained": self.cache_retained,
+            "cache_evicted": self.cache_evicted,
             "cache_size": len(self._cache),
+            "views_served": self.views_served,
+            "views_patched": self.views_patched,
+            "views_recomputed": self.views_recomputed,
+            "view_count": len(self._views),
         }
 
     # ------------------------------------------------------------------
@@ -175,12 +269,19 @@ class ReplicaWorker:
     # ------------------------------------------------------------------
 
     def _bootstrap(self, frame: dict[str, Any]) -> None:
-        """(Re-)build local state from a framed full sync."""
+        """(Re-)build local state from a framed full sync.
+
+        A sync crosses an *unknown* span (truncation, restart), so no
+        footprint argument applies: the result cache and every
+        materialized view are cleared unconditionally — the conservative
+        fallback both delta-driven caches share with the snapshot layer.
+        """
         self.store = sync_from_frame(frame)
         self.graph = ProvenanceGraph(self.store)
         self._snapshot = GraphSnapshot(self.graph)
         self._operator = PgSegOperator(self.graph, snapshot=self._snapshot)
         self._cache.clear()
+        self._views.clear()
         self._cache_epoch = self.store.epoch
         self.syncs += 1
 
@@ -199,10 +300,63 @@ class ReplicaWorker:
             self._transport.send(event_frame("diverged", str(exc)))
             return False
         self.batches_applied += 1
-        # Epoch advanced: every cached result is for a dead graph state.
-        self._cache.clear()
+        if self.cache_mode == "epoch":
+            # Baseline behavior: every cached result is for a dead epoch.
+            self._cache.clear()
+            self._views.clear()
+        else:
+            self._retain(batch)
         self._cache_epoch = self.store.epoch
         return True
+
+    def _retain(self, batch) -> None:
+        """Keep cache entries/views the batch's write set provably missed.
+
+        The batch applied *atomically* before this runs, so the write set
+        is exact (not an over-approximation of a partial state), and the
+        retention predicate is the same one the session cache proves
+        sound (:func:`repro.store.delta.entry_survives`). The same write
+        set ships on the wire as the batch's ``writes`` field — followers
+        recompute it locally from the typed deltas, which is equivalent
+        by determinism.
+        """
+        effects = span_effects([batch])
+        survivors: OrderedDict[
+            tuple[str, str], tuple[Any, str, frozenset[int]]] = OrderedDict()
+        for key, entry in self._cache.items():
+            if entry_survives(entry[1], entry[2], effects):
+                survivors[key] = entry
+                self.cache_retained += 1
+            else:
+                self.cache_evicted += 1
+        self._cache = survivors
+        self._revalidate_views(effects, len(batch.deltas))
+
+    def _revalidate_views(self, effects: SpanEffects,
+                          record_count: int) -> None:
+        """Advance/stale/drop each materialized view for one batch.
+
+        - structural batch: the cached segments may be rerouted by edges
+          wholly outside them (the ``paths`` argument), so the view is
+          dropped — the next request recomputes from scratch;
+        - property-only, footprint-disjoint: nothing the summary reads
+          changed; the view stays current at the new epoch for free;
+        - property-only, footprint-intersecting: segment *membership* is
+          still exact (wire-safe queries read no properties) but merged
+          labels are stale; the view keeps its segments and waits for the
+          next request to re-merge (lazy patching — no write-path work
+          for views nobody re-asks for).
+        """
+        if effects.structural:
+            self._views.clear()
+            return
+        epoch = self.store.epoch
+        for view in self._views.values():
+            if view.stale_records == 0 \
+                    and view.footprint.isdisjoint(effects.prop_subjects):
+                view.epoch = epoch
+            else:
+                view.stale_records += record_count
 
     # ------------------------------------------------------------------
     # Request serving
@@ -268,54 +422,142 @@ class ReplicaWorker:
         return True
 
     def _serve_cached(self, method: str, params: dict[str, Any]) -> Any:
-        """Serve one request through the (epoch, request) result cache."""
-        if self._cache_size <= 0 or not self._cacheable(method, params):
-            return getattr(self, f"_serve_{method}")(params)
+        """Serve one request through the footprint-retaining result cache."""
         if self._cache_epoch != self.epoch:
-            # Covers every epoch-moving path at once (defense in depth on
-            # top of the explicit clears in _apply/_bootstrap).
+            # Defense in depth: every epoch-moving path already
+            # retained/cleared explicitly (_apply/_bootstrap), so an
+            # unexpected epoch here means an unclassified span — clear.
             self._cache.clear()
+            self._views.clear()
             self._cache_epoch = self.epoch
+        if method == "summarize":
+            return self._serve_summarize(params)
+        if self._cache_size <= 0 or not self._cacheable(method, params):
+            return getattr(self, f"_serve_{method}")(params)[0]
         key = (method, json.dumps(params, sort_keys=True))
-        if key in self._cache:
+        entry = self._cache.get(key)
+        if entry is not None:
             self.cache_hits += 1
             self._cache.move_to_end(key)
-            return self._cache[key]
-        result = getattr(self, f"_serve_{method}")(params)
+            return entry[0]
+        result, kind, footprint = getattr(self, f"_serve_{method}")(params)
         self.cache_misses += 1
-        self._cache[key] = result
+        self._cache[key] = (result, kind, footprint)
         if len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)
         return result
 
+    def _serve_summarize(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Serve one summary through the materialized-view layer.
+
+        View states (see :meth:`_revalidate_views` for how batches move
+        views between them):
+
+        - **current** (``epoch`` matches): served as-is;
+        - **stale** (property-only drift on the footprint): patched by
+          re-merging the summary from the cached segments — membership is
+          still exact, and the merge re-reads properties through the live
+          store — unless the pending span outgrew the crossover
+          (:func:`repro.store.snapshot.default_crossover`, the same
+          economics as :meth:`GraphSnapshot.advance`), in which case the
+          segments are re-derived too;
+        - **absent** (first ask, or dropped by a structural batch /
+          re-sync): full recompute.
+        """
+        if self._cache_size <= 0 or self._view_limit <= 0:
+            return self._compute_summary(params)[0]
+        key = json.dumps(params, sort_keys=True)
+        view = self._views.get(key)
+        if view is not None:
+            self._views.move_to_end(key)
+            if view.epoch == self.epoch:
+                self.views_served += 1
+                return view.result
+            if view.stale_records <= default_crossover(self.store):
+                # Patch: segments are structurally exact; only merged
+                # labels drifted. Re-merge against live properties.
+                psg = PgSumOperator(view.segments).evaluate(view.pgsum)
+                view.result = psg_to_wire(psg)
+                view.epoch = self.epoch
+                view.stale_records = 0
+                self.views_patched += 1
+                return view.result
+            self._views.pop(key)        # past crossover: start over
+        result, queries, pgsum, segments = self._compute_summary(params)
+        self._views[key] = _SummaryView(
+            result=result,
+            queries=queries,
+            pgsum=pgsum,
+            segments=segments,
+            footprint=frozenset(
+                vertex for segment in segments
+                for vertex in segment.vertices),
+            epoch=self.epoch,
+        )
+        self.views_recomputed += 1
+        if len(self._views) > self._view_limit:
+            self._views.popitem(last=False)
+        return result
+
+    def _compute_summary(self, params: dict[str, Any],
+                         ) -> tuple[dict[str, Any], list[PgSegQuery],
+                                    PgSumQuery, list[Segment]]:
+        """Evaluate one summarize request from scratch."""
+        queries = [pgseg_query_from_wire(record)
+                   for record in params["queries"]]
+        pgsum = pgsum_query_from_wire(params["pgsum"])
+        self._armed_snapshot()          # arm the operator fast path
+        segments = [self._operator.evaluate(query) for query in queries]
+        psg = PgSumOperator(segments).evaluate(pgsum)
+        return psg_to_wire(psg), queries, pgsum, segments
+
     # ------------------------------------------------------------------
-    # Method handlers
+    # Method handlers — each returns (wire result, kind, footprint), the
+    # classification _apply's retention predicate needs (kind/footprint
+    # are ignored on the uncached path).
     # ------------------------------------------------------------------
 
-    def _serve_lineage(self, params: dict[str, Any]) -> dict[str, Any]:
-        return lineage_to_wire(_lineage(
+    def _serve_lineage(self, params: dict[str, Any],
+                       ) -> tuple[dict[str, Any], str, frozenset[int]]:
+        result = _lineage(
             self.graph, int(params["entity"]),
             max_depth=params.get("max_depth"),
-            snapshot=self._armed_snapshot()))
+            snapshot=self._armed_snapshot())
+        return lineage_to_wire(result), "closure", frozenset(result.vertices)
 
-    def _serve_impacted(self, params: dict[str, Any]) -> dict[str, Any]:
-        return lineage_to_wire(_impacted(
+    def _serve_impacted(self, params: dict[str, Any],
+                        ) -> tuple[dict[str, Any], str, frozenset[int]]:
+        result = _impacted(
             self.graph, int(params["entity"]),
             max_depth=params.get("max_depth"),
-            snapshot=self._armed_snapshot()))
+            snapshot=self._armed_snapshot())
+        return lineage_to_wire(result), "closure", frozenset(result.vertices)
 
-    def _serve_blame(self, params: dict[str, Any]) -> dict[str, Any]:
-        return blame_to_wire(_blame(
-            self.graph, int(params["entity"]),
-            snapshot=self._armed_snapshot()))
+    def _serve_blame(self, params: dict[str, Any],
+                     ) -> tuple[dict[str, Any], str, frozenset[int]]:
+        # Walk the ancestry once, hand it to blame, and footprint the
+        # *whole* closure plus the owning agents — a new attribution to
+        # any ancestor changes the report (same deps the session uses).
+        entity = int(params["entity"])
+        snapshot = self._armed_snapshot()
+        ancestry = _lineage(self.graph, entity, snapshot=snapshot)
+        report = _blame(self.graph, entity, snapshot=snapshot,
+                        ancestry=ancestry)
+        footprint = frozenset({entity, *ancestry.vertices, *report})
+        return blame_to_wire(report), "closure", footprint
 
-    def _serve_segment(self, params: dict[str, Any]) -> dict[str, Any]:
+    def _serve_segment(self, params: dict[str, Any],
+                       ) -> tuple[dict[str, Any], str, frozenset[int]]:
         query = pgseg_query_from_wire(params["query"])
         self._armed_snapshot()          # arm the operator fast path
-        return segment_to_wire(self._operator.evaluate(query))
+        segment = self._operator.evaluate(query)
+        return segment_to_wire(segment), "paths", frozenset(segment.vertices)
 
-    def _serve_cypher(self, params: dict[str, Any]) -> list[dict[str, Any]]:
+    def _serve_cypher(self, params: dict[str, Any],
+                      ) -> tuple[list[dict[str, Any]], str, frozenset[int]]:
         budget = budget_from_wire(params.get("budget"))
         rows = run_query(self.graph, str(params["text"]), budget,
                          snapshot=self._armed_snapshot())
-        return rows_to_wire(rows)
+        # CypherLite may scan any slice of the graph: no footprint bounds
+        # it, so the "global" kind evicts on any non-empty span.
+        return rows_to_wire(rows), "global", frozenset()

@@ -32,7 +32,7 @@ from repro.query.ops import lineage as _lineage
 from repro.segment.boundary import BoundaryCriteria
 from repro.segment.diff import SegmentDiff, diff_segments
 from repro.segment.pgseg import PgSegOperator, PgSegQuery, Segment
-from repro.store.delta import DeltaBatch, DeltaOp
+from repro.store.delta import entry_survives, span_effects
 from repro.store.snapshot import GraphSnapshot
 from repro.summarize.aggregation import PropertyAggregation
 from repro.summarize.pgsum import PgSumOperator, PgSumQuery
@@ -45,52 +45,6 @@ if TYPE_CHECKING:  # pragma: no cover - types only
 SESSION_AGGREGATION = PropertyAggregation.of(
     entity=("name",), activity=("command",)
 )
-
-
-@dataclass(slots=True)
-class _SpanEffects:
-    """What a delta-log span touched, for selective cache invalidation.
-
-    Attributes:
-        touched: vertex ids structurally affected — subjects of vertex
-            ops plus both endpoints of added/removed edges.
-        prop_subjects: vertex ids whose properties changed (edge property
-            writes contribute both endpoints, conservatively).
-        structural: True if any vertex/edge was added or removed.
-        scan_dirty: True if the span could change a global entity scan —
-            an entity appeared/disappeared or a generation (``G``) edge
-            moved, the two events that can mint or retire a root.
-    """
-
-    touched: set[int] = field(default_factory=set)
-    prop_subjects: set[int] = field(default_factory=set)
-    structural: bool = False
-    scan_dirty: bool = False
-
-
-def _span_effects(batches: list[DeltaBatch]) -> _SpanEffects:
-    """Aggregate the cache-relevant effects of a delta-log span."""
-    effects = _SpanEffects()
-    for batch in batches:
-        for delta in batch.deltas:
-            op = delta.op
-            if op in (DeltaOp.ADD_VERTEX, DeltaOp.REMOVE_VERTEX):
-                effects.touched.add(delta.subject_id)
-                effects.structural = True
-                if delta.vertex_type is VertexType.ENTITY:
-                    effects.scan_dirty = True
-            elif op in (DeltaOp.ADD_EDGE, DeltaOp.REMOVE_EDGE):
-                effects.touched.add(delta.src)
-                effects.touched.add(delta.dst)
-                effects.structural = True
-                if delta.edge_type is EdgeType.WAS_GENERATED_BY:
-                    effects.scan_dirty = True
-            elif op is DeltaOp.SET_VERTEX_PROPERTY:
-                effects.prop_subjects.add(delta.subject_id)
-            elif op is DeltaOp.SET_EDGE_PROPERTY:
-                effects.prop_subjects.add(delta.src)
-                effects.prop_subjects.add(delta.dst)
-    return effects
 
 
 @dataclass(slots=True)
@@ -183,24 +137,13 @@ class LifecycleSession:
     def _revalidate(self) -> None:
         """Drop result-cache entries the delta span may have changed.
 
-        Entries are classified when cached:
-
-        - ``"closure"`` (lineage/blame): the footprint is the full ancestry
-          closure (plus agents). Any edge that extends or shrinks the
-          closure has an endpoint inside it, and a freshly added vertex
-          cannot be inside it, so a span whose touched ids are disjoint
-          from the footprint cannot change the answer. Property writes on
-          footprint members drop the entry too (blame reads agent names).
-        - ``"scan"`` (roots): depends on a global entity scan, where a new
-          vertex is relevant precisely because it is *not* in any
-          footprint — kept only while the span minted/retired no entity
-          and moved no generation edge.
-        - ``"paths"`` (segments, summaries): path membership between fixed
-          endpoints can be rerouted by edges whose endpoints all lie
-          outside the old segment, so structural disjointness proves
-          nothing — dropped on any structural span, kept across
-          property-only spans that miss the member footprint (summaries
-          aggregate member properties).
+        Entries are classified when cached (``"closure"`` for lineage and
+        blame, ``"scan"`` for roots, ``"paths"`` for segments and
+        summaries) and survival is decided per class by the shared
+        retention predicate :func:`repro.store.delta.entry_survives`,
+        which carries the full soundness argument — the same predicate
+        the out-of-process worker cache applies to shipped batches, so
+        both layers evict by one proven rule.
 
         A span that fell out of the bounded delta log clears everything —
         the conservative fallback, same as the snapshot layer's.
@@ -216,21 +159,11 @@ class LifecycleSession:
         if span is None:
             self._results.clear()
             return
-        effects = _span_effects(span)
-        survivors: dict[Any, tuple[Any, str, frozenset[int]]] = {}
-        for key, entry in self._results.items():
-            _, kind, footprint = entry
-            if kind == "scan":
-                keep = not effects.scan_dirty
-            elif kind == "closure":
-                keep = (footprint.isdisjoint(effects.touched)
-                        and footprint.isdisjoint(effects.prop_subjects))
-            else:                       # "paths"
-                keep = (not effects.structural
-                        and footprint.isdisjoint(effects.prop_subjects))
-            if keep:
-                survivors[key] = entry
-        self._results = survivors
+        effects = span_effects(span)
+        self._results = {
+            key: entry for key, entry in self._results.items()
+            if entry_survives(entry[1], entry[2], effects)
+        }
 
     def _cached(self, key: tuple, compute: Callable[[], Any],
                 kind: str = "paths",
@@ -447,7 +380,8 @@ class LifecycleSession:
         return self._cluster
 
     def serve(self, replicas: int = 2, out_of_process: bool = False,
-              transport: str = "socket") -> "ProvCluster":
+              transport: str = "socket",
+              cache_mode: str = "footprint") -> "ProvCluster":
         """Fan session reads out across ``replicas`` read replicas.
 
         Bootstraps a :class:`repro.serve.cluster.ProvCluster` over this
@@ -461,7 +395,9 @@ class LifecycleSession:
         With ``out_of_process=True`` the replicas are worker *processes*
         speaking the wire protocol over ``transport`` (``"socket"`` or
         ``"pipe"``) — true parallel reads across cores; crashed workers
-        are restarted and re-synced transparently. Call
+        are restarted and re-synced transparently. ``cache_mode`` picks
+        the workers' result-cache retention policy (``"footprint"`` or
+        ``"epoch"``; see :class:`repro.serve.worker.ReplicaWorker`). Call
         :meth:`stop_serving` when done so the workers shut down.
 
         Calling again re-bootstraps with the new configuration (shutting
@@ -472,7 +408,8 @@ class LifecycleSession:
         self.stop_serving()
         self._cluster = ProvCluster(self.graph, replicas=replicas,
                                     out_of_process=out_of_process,
-                                    transport=transport)
+                                    transport=transport,
+                                    cache_mode=cache_mode)
         return self._cluster
 
     def stop_serving(self) -> None:

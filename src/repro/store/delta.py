@@ -29,9 +29,9 @@ Contract (enforced by ``tests/test_store_delta.py``):
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum, auto
-from typing import Any
+from typing import Any, Iterable
 
 from repro.model.types import EdgeType, VertexType
 
@@ -95,6 +95,113 @@ class DeltaBatch:
 
     epoch: int
     deltas: tuple[Delta, ...]
+
+
+@dataclass(slots=True)
+class SpanEffects:
+    """What a delta-log span touched, for selective cache invalidation.
+
+    The **write set** of a span, classified the way delta-driven result
+    caches need it (:meth:`repro.session.LifecycleSession._revalidate`
+    and the worker-side footprint retention in
+    :class:`repro.serve.worker.ReplicaWorker` share this shape — one
+    definition, so the session's soundness argument transfers to the
+    worker verbatim).
+
+    Attributes:
+        touched: vertex ids structurally affected — subjects of vertex
+            ops plus both endpoints of added/removed edges.
+        prop_subjects: vertex ids whose properties changed (edge property
+            writes contribute both endpoints, conservatively).
+        structural: True if any vertex/edge was added or removed.
+        scan_dirty: True if the span could change a global entity scan —
+            an entity appeared/disappeared or a generation (``G``) edge
+            moved, the two events that can mint or retire a root.
+    """
+
+    touched: set[int] = field(default_factory=set)
+    prop_subjects: set[int] = field(default_factory=set)
+    structural: bool = False
+    scan_dirty: bool = False
+
+
+def span_effects(batches: Iterable[DeltaBatch]) -> SpanEffects:
+    """Aggregate the cache-relevant write set of a delta-log span."""
+    effects = SpanEffects()
+    for batch in batches:
+        for delta in batch.deltas:
+            op = delta.op
+            if op in (DeltaOp.ADD_VERTEX, DeltaOp.REMOVE_VERTEX):
+                effects.touched.add(delta.subject_id)
+                effects.structural = True
+                if delta.vertex_type is VertexType.ENTITY:
+                    effects.scan_dirty = True
+            elif op in (DeltaOp.ADD_EDGE, DeltaOp.REMOVE_EDGE):
+                effects.touched.add(delta.src)
+                effects.touched.add(delta.dst)
+                effects.structural = True
+                if delta.edge_type is EdgeType.WAS_GENERATED_BY:
+                    effects.scan_dirty = True
+            elif op is DeltaOp.SET_VERTEX_PROPERTY:
+                effects.prop_subjects.add(delta.subject_id)
+            elif op is DeltaOp.SET_EDGE_PROPERTY:
+                effects.prop_subjects.add(delta.src)
+                effects.prop_subjects.add(delta.dst)
+    return effects
+
+
+#: The entry classes a delta-driven result cache distinguishes; see
+#: :func:`entry_survives` for the survival rule (and its soundness
+#: argument) per class.
+ENTRY_KINDS = ("closure", "scan", "paths", "global")
+
+
+def entry_survives(kind: str, footprint: frozenset[int] | set[int],
+                   effects: SpanEffects) -> bool:
+    """Whether a cached result provably survives a mutation span.
+
+    The single retention predicate shared by the session result cache
+    (:meth:`repro.session.LifecycleSession._revalidate`) and the worker
+    result cache (:class:`repro.serve.worker.ReplicaWorker`), so both
+    layers evict by the same proven rules:
+
+    - ``"closure"`` (lineage/impact/blame): the footprint is the full
+      reachability closure (plus agents). Any edge that extends or
+      shrinks the closure has an endpoint inside it, and a freshly added
+      vertex cannot be inside it, so a span whose touched ids are
+      disjoint from the footprint cannot change the answer. Property
+      writes on footprint members drop the entry too (blame reads agent
+      names).
+    - ``"scan"`` (roots): depends on a global entity scan, where a new
+      vertex is relevant precisely because it is *not* in any footprint —
+      kept only while the span minted/retired no entity and moved no
+      generation edge.
+    - ``"paths"`` (segments, summaries): path membership between fixed
+      endpoints can be rerouted by edges whose endpoints all lie outside
+      the old segment, so structural disjointness proves nothing —
+      dropped on any structural span, kept across property-only spans
+      that miss the member footprint (summaries aggregate member
+      properties).
+    - ``"global"`` (CypherLite rows): may scan any slice of structure
+      *and* properties, so no footprint bounds it — dropped on any
+      non-empty span.
+
+    Raises:
+        ValueError: on an unknown ``kind`` (a silent default would be an
+            unsound "keep" or a mystery eviction; fail loudly instead).
+    """
+    if kind == "closure":
+        return (footprint.isdisjoint(effects.touched)
+                and footprint.isdisjoint(effects.prop_subjects))
+    if kind == "scan":
+        return not effects.scan_dirty
+    if kind == "paths":
+        return (not effects.structural
+                and footprint.isdisjoint(effects.prop_subjects))
+    if kind == "global":
+        return (not effects.structural and not effects.touched
+                and not effects.prop_subjects)
+    raise ValueError(f"unknown cache entry kind {kind!r}")
 
 
 class DeltaLog:

@@ -122,7 +122,7 @@ def test_examples_round_trip_through_codecs():
                           "response", "requests", "responses"}
     # ... and per request method (lineage shares its codec with impacted).
     assert set(methods_by_id.values()) >= {"lineage", "blame", "segment",
-                                           "cypher"}
+                                           "summarize", "cypher"}
 
 
 def _check_response(block, methods_by_id, graph):
@@ -148,6 +148,12 @@ def _check_request_params(method, params):
     elif method == "segment":
         query = wire.pgseg_query_from_wire(params["query"])
         assert wire.pgseg_query_to_wire(query) == params["query"]
+    elif method == "summarize":
+        for raw_query in params["queries"]:
+            query = wire.pgseg_query_from_wire(raw_query)
+            assert wire.pgseg_query_to_wire(query) == raw_query
+        pgsum = wire.pgsum_query_from_wire(params["pgsum"])
+        assert wire.pgsum_query_to_wire(pgsum) == params["pgsum"]
     elif method == "cypher":
         budget = wire.budget_from_wire(params["budget"])
         assert wire.budget_to_wire(budget) == params["budget"]
@@ -166,6 +172,13 @@ def _check_result(method, result, graph):
         # Worked examples bind to the sync store: ids must resolve there.
         for vertex_id in segment.vertices:
             graph.vertex(vertex_id)
+    elif method == "summarize":
+        psg = wire.psg_from_wire(result)
+        assert wire.psg_to_wire(psg) == result
+        # Worked examples bind to the sync store: member ids resolve there.
+        for node in psg.nodes:
+            for _seg_index, vertex_id in node.members:
+                graph.vertex(vertex_id)
     elif method == "cypher":
         rows = wire.rows_from_wire(graph, result)
         assert wire.rows_to_wire(rows) == result

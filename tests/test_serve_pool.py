@@ -427,9 +427,11 @@ class TestPipelinedClient:
 
 
 class TestWorkerResultCache:
-    """The (epoch, request) result cache: observable, epoch-scoped."""
+    """The footprint-retaining result cache: a batch's write set decides
+    which entries survive an epoch advance (see docs/consistency.md,
+    "Worker result cache (footprint retention)")."""
 
-    def test_cache_hits_observable_and_cleared_by_epoch_advance(self):
+    def test_disjoint_write_retains_overlapping_write_evicts(self):
         example = build_paper_example()
         graph = example.graph
         target = example["weight-v2"]
@@ -438,20 +440,57 @@ class TestWorkerResultCache:
             client.lineage(target)
             client.lineage(target)                    # identical re-ask
             _, stats = client.ping()
+            assert stats["cache_mode"] == "footprint"
             assert stats["cache_misses"] >= 1
             assert stats["cache_hits"] >= 1
             assert stats["cache_size"] >= 1
             hits_before = stats["cache_hits"]
             misses_before = stats["cache_misses"]
-            graph.add_entity(name="cache-buster")     # epoch advance
+            # A write provably disjoint from the lineage closure: the
+            # entry survives the epoch advance and the re-ask still hits.
+            graph.add_entity(name="cache-buster")
             client.catch_up()
-            client.lineage(target)    # same request, new epoch: a miss
+            client.lineage(target)
             _, stats = client.ping()
-            assert stats["cache_hits"] == hits_before  # rate drops to 0
+            assert stats["cache_hits"] == hits_before + 1
+            assert stats["cache_misses"] == misses_before
+            assert stats["cache_retained"] >= 1
+            hits_before = stats["cache_hits"]
+            # A write *inside* the closure (property flip on the target)
+            # must evict: the same re-ask misses and recomputes.
+            graph.store.set_vertex_property(target, "note", "tweaked")
+            client.catch_up()
+            client.lineage(target)
+            _, stats = client.ping()
+            assert stats["cache_hits"] == hits_before
             assert stats["cache_misses"] == misses_before + 1
+            assert stats["cache_evicted"] >= 1
             client.lineage(target)                    # warm again
             _, stats = client.ping()
             assert stats["cache_hits"] == hits_before + 1
+
+    def test_epoch_mode_clears_everything_on_any_advance(self):
+        """The pre-retention baseline stays available for benchmarking:
+        ``cache_mode="epoch"`` drops the whole cache on any write, even
+        one provably disjoint from every cached footprint."""
+        example = build_paper_example()
+        graph = example.graph
+        target = example["weight-v2"]
+        with WorkerPool(graph, count=1, cache_mode="epoch") as pool:
+            client = pool.clients[0]
+            client.lineage(target)
+            client.lineage(target)
+            _, stats = client.ping()
+            assert stats["cache_mode"] == "epoch"
+            hits_before = stats["cache_hits"]
+            misses_before = stats["cache_misses"]
+            graph.add_entity(name="cache-buster")     # disjoint write
+            client.catch_up()
+            client.lineage(target)    # same request, new epoch: a miss
+            _, stats = client.ping()
+            assert stats["cache_hits"] == hits_before
+            assert stats["cache_misses"] == misses_before + 1
+            assert stats["cache_retained"] == 0
 
     def test_budgeted_cypher_with_timeout_never_cached(self):
         """Wall-clock budgets truncate nondeterministically; replaying
