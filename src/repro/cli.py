@@ -16,6 +16,10 @@ the offline install simple). Subcommands:
   armed snapshot with a footprint-retaining result cache and materialized
   summary views (``--cache-mode``) — on a socket or stdio and exits when
   the pool hangs up)
+- ``serve-frontend`` load a graph and serve it to remote wire-protocol
+  clients through the asyncio front-end (admission control, per-client
+  fairness, backpressure; see :mod:`repro.serve.frontend`); prints
+  ``FRONTEND host:port`` once bound and runs until Ctrl-C
 
 Examples::
 
@@ -24,6 +28,8 @@ Examples::
     python -m repro.cli bench fig5e
     python -m repro.cli serve-worker --connect 127.0.0.1:4822 \\
         --token SECRET --worker-id 0
+    python -m repro.cli serve-frontend pd.json --replicas 4 \\
+        --out-of-process --port 4823
 """
 
 from __future__ import annotations
@@ -152,6 +158,40 @@ def _cmd_serve_worker(args: argparse.Namespace) -> int:
                              generation=args.generation).run()
 
 
+def _cmd_serve_frontend(args: argparse.Namespace) -> int:
+    """Serve a graph to remote wire-protocol clients (async front-end)."""
+    from repro.serve.api import ServeConfig
+    from repro.serve.cluster import ProvCluster
+
+    graph = _load_graph(args.graph)
+    config = ServeConfig(
+        replicas=args.replicas,
+        out_of_process=args.out_of_process,
+        cache_mode=args.cache_mode,
+        frontend=True,
+        frontend_host=args.host,
+        frontend_port=args.port,
+        frontend_token=args.token or None,
+        max_inflight=args.max_inflight,
+        admission_budget=args.admission_budget,
+    )
+    cluster = ProvCluster(graph, config=config)
+    host, port = cluster.frontend.address
+    # Machine-readable bind line first (callers parse it; port 0 above
+    # means the OS picked one), diagnostics after.
+    print(f"FRONTEND {host}:{port}", flush=True)
+    print(f"serving {args.graph} on {args.replicas} "
+          f"{'worker' if args.out_of_process else 'replica'}(s); "
+          f"Ctrl-C to stop", file=sys.stderr, flush=True)
+    try:
+        cluster.frontend.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        cluster.close()
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.experiment not in ALL_EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; choose from "
@@ -224,6 +264,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("experiment")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve-frontend",
+        help="serve a graph to remote clients via the async front-end",
+    )
+    p.add_argument("graph", help="PROV-JSON graph to serve")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (0 = OS-assigned; the bind is "
+                        "printed as 'FRONTEND host:port' on stdout)")
+    p.add_argument("--token", default="",
+                   help="require this client_hello auth token "
+                        "(empty = accept any)")
+    p.add_argument("--replicas", type=int, default=2)
+    p.add_argument("--out-of-process", action="store_true",
+                   help="serve from spawned worker processes")
+    p.add_argument("--cache-mode", default="footprint",
+                   choices=["footprint", "epoch"])
+    p.add_argument("--max-inflight", type=int, default=256,
+                   help="largest multiplexed batch per dispatch cycle")
+    p.add_argument("--admission-budget", type=int, default=1024,
+                   help="total admitted-but-unanswered requests before "
+                        "clients get typed 'Overloaded' rejections")
+    p.set_defaults(func=_cmd_serve_frontend)
 
     p = sub.add_parser(
         "serve-worker",

@@ -149,6 +149,27 @@ class ReplicaUnavailable(ServeError):
     """
 
 
+class Overloaded(ServeError):
+    """Raised when the serving front-end's admission budget is exhausted.
+
+    The async front-end (:mod:`repro.serve.frontend`) admits at most
+    ``ServeConfig.admission_budget`` requests at a time across every
+    client connection; a request arriving past that budget is answered
+    immediately with an error response carrying this type instead of
+    being queued — the client sees a fast typed rejection, never a
+    hang. Retry after draining in-flight responses.
+    """
+
+
+class ConfigError(ServeError, ValueError):
+    """Raised by :class:`repro.serve.ServeConfig` on invalid field values.
+
+    Also a :class:`ValueError`: the bare-kwarg constructors this config
+    replaces raised ``ValueError`` for the same mistakes, and callers
+    catching that must keep working through the alias path.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Operators
 # ---------------------------------------------------------------------------

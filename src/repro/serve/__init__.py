@@ -8,13 +8,20 @@ catch-up protocol, :mod:`repro.serve.transport` the framed socket/pipe
 channel, :mod:`repro.serve.worker` the out-of-process replica worker, and
 :mod:`repro.serve.pool` the worker pool that spawns, health-checks, and
 restarts those workers. :mod:`repro.serve.cluster` routes every read family
-across either replica flavor with epoch-stamped consistency.
-``LifecycleSession.serve(replicas=N)`` wires a session's reads through a
-cluster transparently; add ``out_of_process=True`` to serve from worker
-processes.
+across either replica flavor with epoch-stamped consistency, and
+:mod:`repro.serve.frontend` is the asyncio front-end that multiplexes
+thousands of remote client connections onto that fan-out.
+
+Configuration rides one value type: ``LifecycleSession.serve(
+config=ServeConfig(replicas=N, out_of_process=True, frontend=True))``
+wires a session's reads through a cluster (the historical bare kwargs
+keep working as a deprecated alias path), and :class:`QuerySpec` is the
+typed spec ``query_many`` batches take.
 """
 
+from repro.serve.api import QuerySpec, ServeConfig
 from repro.serve.cluster import ProvCluster, QueryRouter
+from repro.serve.frontend import AsyncFrontend, FrontendClient
 from repro.serve.pool import WorkerClient, WorkerPool
 from repro.serve.replication import Replica, ReplicationLog
 from repro.serve.transport import LineTransport
@@ -29,12 +36,16 @@ from repro.serve.worker import ReplicaWorker
 
 __all__ = [
     "WIRE_FORMAT",
+    "AsyncFrontend",
+    "FrontendClient",
     "LineTransport",
     "ProvCluster",
     "QueryRouter",
+    "QuerySpec",
     "Replica",
     "ReplicaWorker",
     "ReplicationLog",
+    "ServeConfig",
     "WorkerClient",
     "WorkerPool",
     "decode_batch",

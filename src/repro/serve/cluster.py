@@ -26,12 +26,14 @@ from repro.model.graph import ProvenanceGraph
 from repro.query.cypherlite import Budget
 from repro.query.ops import Lineage
 from repro.segment.pgseg import PgSegQuery, Segment
+from repro.serve.api import ServeConfig, normalize_specs
 from repro.serve.replication import Replica, ReplicationLog
 from repro.serve.wire import pgseg_query_is_wire_safe
 from repro.summarize.pgsum import PgSumOperator, PgSumQuery
 from repro.summarize.psg import Psg
 
 if TYPE_CHECKING:   # pragma: no cover - types only
+    from repro.serve.frontend import AsyncFrontend
     from repro.serve.pool import WorkerPool
 
 T = TypeVar("T")
@@ -149,29 +151,53 @@ class ProvCluster:
             dependency footprint a batch's write set provably missed) or
             ``"epoch"`` (clear everything on any epoch advance; the
             pre-retention baseline, kept for benchmarking).
+        config: a :class:`~repro.serve.api.ServeConfig` naming every
+            serving knob (including the async front-end fields the bare
+            kwargs never grew) in one validated value; mutually
+            exclusive with the bare kwargs above, which remain as the
+            deprecated alias path. ``config.frontend=True`` also starts
+            an :class:`~repro.serve.frontend.AsyncFrontend` bound to
+            this cluster (exposed as :attr:`frontend`, shut down by
+            :meth:`close`).
     """
 
-    def __init__(self, source, replicas: int = 2,
-                 out_of_process: bool = False, transport: str = "socket",
-                 cache_mode: str = "footprint"):
+    def __init__(self, source, replicas: int | None = None,
+                 out_of_process: bool | None = None,
+                 transport: str | None = None,
+                 cache_mode: str | None = None,
+                 config: ServeConfig | None = None):
+        config = ServeConfig.of(config, replicas=replicas,
+                                out_of_process=out_of_process,
+                                transport=transport, cache_mode=cache_mode)
+        self.config = config
         store = getattr(source, "store", source)
         self.graph = source if isinstance(source, ProvenanceGraph) \
             else ProvenanceGraph(store)
-        if out_of_process:
+        if config.out_of_process:
             from repro.serve.pool import WorkerPool
 
             self.pool: "WorkerPool | None" = WorkerPool(
-                self.graph, count=replicas, transport=transport,
-                cache_mode=cache_mode)
+                self.graph, config=config)
             self.log = self.pool.log
             self.replicas = list(self.pool.clients)
         else:
             self.pool = None
             self.log = ReplicationLog(store)
-            self.replicas = [Replica(self.log, i) for i in range(replicas)]
+            self.replicas = [Replica(self.log, i)
+                             for i in range(config.replicas)]
         self.router = QueryRouter(self.replicas)
         # All replicas bootstrapped off one memoized payload; free it now.
         self.log.release_sync()
+        self.frontend: "AsyncFrontend | None" = None
+        if config.frontend:
+            from repro.serve.frontend import AsyncFrontend
+
+            try:
+                self.frontend = AsyncFrontend(self, config=config)
+                self.frontend.start()
+            except BaseException:
+                self.close()
+                raise
 
     # ------------------------------------------------------------------
 
@@ -310,14 +336,18 @@ class ProvCluster:
     # Batched fan-out
     # ------------------------------------------------------------------
 
-    def query_many(self, specs, min_epoch: int | None = None) -> list[Any]:
+    def query_many(self, specs, min_epoch: int | None = None,
+                   raw: bool = False) -> list[Any]:
         """Serve a batch of read specs as one fan-out; results in order.
 
-        ``specs`` is a sequence of ``(method, params)`` pairs —
-        ``("lineage"|"impacted"|"blame", {"entity": id, ...})``,
-        ``("segment", {"query": PgSegQuery})``, ``("cypher", {"text":
-        ..., "budget": ...})``. The batch is split strided across up to
-        ``len(replicas)`` distinct caught-up replicas
+        ``specs`` is a sequence of :class:`~repro.serve.api.QuerySpec`
+        values (build them with ``QuerySpec.lineage(entity)``,
+        ``.segment(query)``, ``.cypher(text, budget)``, ...); the legacy
+        bare ``(method, params)`` pairs stay accepted — this method is
+        the one normalization point
+        (:func:`~repro.serve.api.normalize_specs`), so tuple-speaking
+        callers migrate incrementally. The batch is split strided across
+        up to ``len(replicas)`` distinct caught-up replicas
         (:meth:`QueryRouter.route_many`); out-of-process, each worker
         gets its whole share as **one pipelined** ``requests`` bundle, so
         N workers execute concurrently while the client drains answers —
@@ -336,19 +366,24 @@ class ProvCluster:
         different entries may be answered at different (stamp-satisfying)
         epochs — use :meth:`summarize` when a *merge* needs one coherent
         epoch.
+
+        ``raw=True`` asks the out-of-process path to leave ok answers in
+        wire form (:class:`~repro.serve.pool.RawResult`) instead of
+        decoding them — the async front-end re-serves the same wire
+        format, so the decode/re-encode round trip is pure overhead
+        there. Best-effort: entries served in-process, by leader-local
+        fallback, or re-routed after a mid-bundle crash may still be
+        domain objects, so raw consumers must handle both shapes.
         """
         stamp = self.leader_epoch if min_epoch is None else min_epoch
-        specs = list(specs)
+        # Normalizing validates the whole batch before any bundle goes on
+        # the wire: a caller typo surfacing from a *later* chunk's encode
+        # would leave earlier chunks' requests pending forever (their
+        # answers stashed, never collected). Downstream replica surfaces
+        # keep speaking (method, params) tuples.
+        specs = [spec.as_tuple() for spec in normalize_specs(specs)]
         if not specs:
             return []
-        # Validate the whole batch before any bundle goes on the wire: a
-        # caller typo surfacing from a *later* chunk's encode would leave
-        # earlier chunks' requests pending forever (their answers stashed,
-        # never collected).
-        known = ("lineage", "impacted", "blame", "segment", "cypher")
-        for method, _ in specs:
-            if method not in known:
-                raise ValueError(f"unknown query_many method {method!r}")
         targets = self.router.route_many(stamp, len(self.replicas))
         chunks: list[list[tuple[int, Any]]] = [[] for _ in targets]
         for index, spec in enumerate(specs):
@@ -370,7 +405,7 @@ class ProvCluster:
                 begun.append((target, chunk, handle))
             for target, chunk, handle in begun:
                 try:
-                    values = target.collect_many(handle)
+                    values = target.collect_many(handle, raw=raw)
                 except ReplicaUnavailable:
                     failed.append(chunk)
                     continue
@@ -408,12 +443,72 @@ class ProvCluster:
 
     # ------------------------------------------------------------------
 
-    def stats(self) -> dict[str, Any]:
-        """Cluster-wide serving/replication counters."""
+    #: Per-replica counter keys every :meth:`stats` entry carries, even
+    #: for in-process replicas where the transport-failure counters are
+    #: structurally zero. One schema, one place to read it.
+    REPLICA_STAT_KEYS = (
+        "replica_id", "epoch", "lag", "alive", "generation",
+        "batches_applied", "resyncs", "restarts", "queries_served",
+        "late_responses", "timeouts", "poisoned",
+    )
+
+    def stats(self, ping: bool = False) -> dict[str, Any]:
+        """Cluster-wide serving/replication counters, one schema.
+
+        The per-replica counters that used to be scattered across
+        ``WorkerClient`` attributes and pong payloads surface here
+        uniformly. Schema::
+
+            {"leader_epoch": int,       # leader's mutation epoch
+             "out_of_process": bool,
+             "frontend": dict | None,   # AsyncFrontend.stats() when run
+             "replicas": [{
+                "replica_id": int,
+                "epoch": int,           # replayed epoch (shipping ledger)
+                "lag": int,             # epochs behind the leader
+                "alive": bool,          # in-process replicas: always True
+                "generation": int,      # spawn generation = restart count
+                                        #   (0 for in-process replicas)
+                "batches_applied": int, # batches_shipped out-of-process
+                "resyncs": int,
+                "restarts": int,
+                "queries_served": int,
+                "late_responses": int,  # answers for abandoned requests
+                "timeouts": int,        # deadline-abandoned requests
+                "poisoned": int,        # mid-frame timeouts (crash path)
+                ...                     # flavor-specific extras kept
+             }, ...]}
+
+        Every replica entry carries every :data:`REPLICA_STAT_KEYS` key
+        regardless of flavor; counters a flavor cannot produce (an
+        in-process replica cannot time out) are ``0``. With
+        ``ping=True``, each *out-of-process* entry additionally carries
+        the worker's own counters (cache/view telemetry and the
+        worker-echoed ``generation``) under ``"worker"`` — this sends a
+        ping frame per worker, so it is not free on the serving path.
+        """
+        replicas = []
+        for replica in self.replicas:
+            entry = dict(replica.stats())
+            entry.setdefault("alive", True)
+            entry.setdefault("generation", 0)
+            entry.setdefault("batches_applied",
+                             entry.pop("batches_shipped", 0))
+            for key in self.REPLICA_STAT_KEYS:
+                entry.setdefault(key, 0)
+            if ping and self.pool is not None:
+                try:
+                    _epoch, worker_stats = replica.ping()
+                except Exception:
+                    worker_stats = None
+                entry["worker"] = worker_stats
+            replicas.append(entry)
         return {
             "leader_epoch": self.leader_epoch,
             "out_of_process": self.pool is not None,
-            "replicas": [replica.stats() for replica in self.replicas],
+            "frontend": self.frontend.stats()
+            if self.frontend is not None else None,
+            "replicas": replicas,
         }
 
     def health_check(self) -> list[int]:
@@ -424,7 +519,19 @@ class ProvCluster:
         return self.pool.health_check()
 
     def close(self) -> None:
-        """Shut down the worker pool, if any (idempotent)."""
+        """Shut down the front-end and worker pool, if any (idempotent).
+
+        Safe to call repeatedly and safe when a worker already died
+        mid-shutdown: the front-end is stopped first (no new client work
+        can reach a closing pool), and each teardown step is isolated so
+        one casualty cannot leave the rest running.
+        """
+        frontend, self.frontend = getattr(self, "frontend", None), None
+        if frontend is not None:
+            try:
+                frontend.stop()
+            except Exception:   # pragma: no cover - best-effort teardown
+                pass
         if self.pool is not None:
             self.pool.close()
 

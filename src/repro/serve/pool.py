@@ -72,6 +72,7 @@ from repro.model.graph import ProvenanceGraph
 from repro.query.cypherlite import Budget
 from repro.query.ops import Lineage
 from repro.segment.pgseg import PgSegOperator, PgSegQuery, Segment
+from repro.serve.api import ServeConfig
 from repro.serve.replication import ReplicationLog
 from repro.serve.transport import LineTransport
 from repro.serve.wire import (
@@ -148,6 +149,8 @@ class WorkerClient:
         self.late_responses = 0
         #: Requests abandoned by a deadline (worker kept unless poisoned).
         self.timeouts = 0
+        #: Mid-frame timeouts that poisoned the transport (crash path).
+        self.poisoned = 0
         #: Bundles put on the wire via begin_many.
         self.bundles_sent = 0
 
@@ -325,6 +328,7 @@ class WorkerClient:
             if stream.poisoned:
                 # Partial frame on the stream: unframeable, treat the
                 # timeout exactly like a crash.
+                self.poisoned += 1
                 self._pool.restart(self, failed=stream)
                 raise ReplicaUnavailable(
                     f"worker {self.replica_id} timed out mid-frame on "
@@ -384,14 +388,15 @@ class WorkerClient:
                 except Exception as exc:   # noqa: BLE001 - isolated
                     result = exc
                 self.local_fallbacks += 1
-                entries.append(("local", result, None))
+                entries.append(("local", result, method))
             else:
                 entries.append(("wire", len(wire_calls), method))
                 wire_calls.append(encoded)
         ids = self._send_calls(wire_calls) if wire_calls else []
         return _BundleHandle(entries, ids)
 
-    def collect_many(self, handle: "_BundleHandle") -> list[Any]:
+    def collect_many(self, handle: "_BundleHandle",
+                     raw: bool = False) -> list[Any]:
         """Redeem a :meth:`begin_many` handle, in spec order.
 
         Returns one entry per spec: the decoded result, or the rebuilt
@@ -400,6 +405,12 @@ class WorkerClient:
         siblings). A transport-level failure is different: the whole
         bundle is abandoned and :class:`~repro.errors.ReplicaUnavailable`
         raised so the caller can retry the batch on another replica.
+
+        With ``raw=True`` an ok wire answer comes back as a
+        :class:`RawResult` (undecoded payload) instead of a domain
+        object — for consumers that re-serve the wire format. Error
+        entries are still rebuilt exceptions, and leader-local fallback
+        entries are still domain objects (they never crossed the wire).
         """
         results: list[Any] = []
         try:
@@ -408,8 +419,12 @@ class WorkerClient:
                     results.append(value)
                     continue
                 ok, payload = self._await(handle.ids[value])
-                results.append(self._decode_spec(method, payload) if ok
-                               else error_from_wire(payload))
+                if not ok:
+                    results.append(error_from_wire(payload))
+                elif raw:
+                    results.append(RawResult(method, payload))
+                else:
+                    results.append(self._decode_spec(method, payload))
         except ReplicaUnavailable:
             self.abandon(handle.ids)
             raise
@@ -538,7 +553,14 @@ class WorkerClient:
             return pong_from_wire(frame)
 
     def stats(self) -> dict[str, Any]:
-        """Replication/serving counters (Replica-compatible keys)."""
+        """Replication/serving counters (Replica-compatible keys).
+
+        ``generation`` is the worker's current spawn generation — the
+        restart count the pool stamped on its command line, matched by
+        the ``generation`` the worker echoes in pong stats — so
+        cumulative counters can be read restart-aware from the client
+        side alone.
+        """
         return {
             "replica_id": self.replica_id,
             "epoch": self.epoch,
@@ -547,10 +569,12 @@ class WorkerClient:
             "batches_shipped": self.batches_shipped,
             "resyncs": self.resyncs,
             "restarts": self.restarts,
+            "generation": self.restarts,
             "queries_served": self.queries_served,
             "local_fallbacks": self.local_fallbacks,
             "late_responses": self.late_responses,
             "timeouts": self.timeouts,
+            "poisoned": self.poisoned,
             "bundles_sent": self.bundles_sent,
         }
 
@@ -595,6 +619,28 @@ class _BundleHandle:
         self.ids = ids
 
 
+class RawResult:
+    """A worker's ok answer left in wire form (``raw=True`` collects).
+
+    Carries the undecoded JSON payload exactly as the worker encoded it.
+    A consumer that re-serves the same wire format — the async front-end
+    — splices ``payload`` straight into its response frame; decoding to
+    a domain object just to re-encode it would be pure overhead (for a
+    full-ancestry blame report that round trip costs more than the
+    worker's cached answer did). ``wire.lineage_from_wire`` and friends
+    decode ``payload`` on demand for consumers that do want domain form.
+    """
+
+    __slots__ = ("method", "payload")
+
+    def __init__(self, method: str, payload: Any):
+        self.method = method
+        self.payload = payload
+
+    def __repr__(self) -> str:        # pragma: no cover - debugging aid
+        return f"RawResult(method={self.method!r})"
+
+
 class WorkerPool:
     """Spawns and replicates to N out-of-process replica workers.
 
@@ -614,22 +660,25 @@ class WorkerPool:
             provably missed) or ``"epoch"`` (clear everything on any
             advance; the benchmark baseline). Passed on every worker's
             command line, including respawns.
+        config: a :class:`~repro.serve.api.ServeConfig` naming
+            ``replicas``/``transport``/``cache_mode`` in one validated
+            value; mutually exclusive with the bare kwargs above, which
+            remain as the deprecated alias path.
     """
 
-    def __init__(self, source, count: int = 2, transport: str = "socket",
+    def __init__(self, source, count: int | None = None,
+                 transport: str | None = None,
                  request_timeout: float | None = 120.0,
                  spawn_timeout: float = 60.0,
                  ping_timeout: float = 10.0,
-                 cache_mode: str = "footprint"):
-        if count < 1:
-            raise ValueError("a worker pool needs at least one worker")
-        if transport not in TRANSPORTS:
-            raise ValueError(
-                f"unknown transport {transport!r}; choose from {TRANSPORTS}"
-            )
-        if cache_mode not in ("footprint", "epoch"):
-            raise ValueError(f"unknown cache_mode {cache_mode!r}")
-        self.cache_mode = cache_mode
+                 cache_mode: str | None = None,
+                 config: "ServeConfig | None" = None):
+        config = ServeConfig.of(config, replicas=count, transport=transport,
+                                cache_mode=cache_mode)
+        self.config = config
+        count = config.replicas
+        transport = config.transport
+        self.cache_mode = config.cache_mode
         store = getattr(source, "store", source)
         self.graph = source if isinstance(source, ProvenanceGraph) \
             else ProvenanceGraph(store)
@@ -919,22 +968,32 @@ class WorkerPool:
         }
 
     def close(self) -> None:
-        """Shut every worker down and release the listener (idempotent)."""
+        """Shut every worker down and release the listener (idempotent).
+
+        Each worker's teardown is isolated: a worker that already died
+        mid-shutdown (its process gone, its transport torn) must not
+        keep its siblings running or the listener held — a second
+        ``close()``/``stop_serving()`` after such a casualty is a no-op,
+        never a raise.
+        """
         if self._closed:
             return
         self._closed = True
-        for client in self.clients:
-            if client.transport is not None and client.alive():
+        try:
+            for client in self.clients:
                 try:
-                    client.transport.send(shutdown_frame())
-                    client.proc.wait(timeout=5.0)
+                    if client.transport is not None and client.alive():
+                        client.transport.send(shutdown_frame())
+                        client.proc.wait(timeout=5.0)
                 except (TransportClosed, TransportTimeout,
                         subprocess.TimeoutExpired, OSError):
                     pass
-            client._discard_process()
-        if self._listener is not None:
-            self._listener.close()
-            self._listener = None
+                finally:
+                    client._discard_process()
+        finally:
+            if self._listener is not None:
+                self._listener.close()
+                self._listener = None
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -386,6 +386,70 @@ def bye_frame() -> dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# Client-session frames (async front-end)
+# ---------------------------------------------------------------------------
+
+
+def client_hello_frame(client: str, token: str | None = None,
+                       ) -> dict[str, Any]:
+    """A remote client's first frame to the async front-end.
+
+    ``client`` is a self-chosen display name (it rides into the
+    front-end's per-session stats); ``token`` is the session auth
+    token — required when the front-end was started with one, ignored
+    otherwise. Additive under ``repro-wire-v1``: pre-frontend peers
+    answer unknown kinds with an ``event`` frame, they never die.
+    """
+    frame: dict[str, Any] = {"kind": "client_hello", "format": WIRE_FORMAT,
+                             "client": str(client)}
+    if token is not None:
+        frame["token"] = str(token)
+    return frame
+
+
+def client_hello_from_wire(record: dict[str, Any]) -> tuple[str, str | None]:
+    """Decode a client hello into ``(client, token-or-None)``."""
+    _expect_kind(record, "client_hello")
+    try:
+        token = record.get("token")
+        return str(record["client"]), None if token is None else str(token)
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(
+            f"malformed client_hello frame: {record!r}") from exc
+
+
+def welcome_frame(session_id: int, epoch: int,
+                  limits: dict[str, int] | None = None) -> dict[str, Any]:
+    """The front-end's answer to an accepted ``client_hello``.
+
+    Carries the assigned session id, the leader epoch at accept time,
+    and the budgets the client is subject to (``session_budget`` — its
+    own backpressure cap — and the shared ``admission_budget``), so a
+    well-behaved client can pace itself instead of discovering the
+    limits through :class:`~repro.errors.Overloaded` rejections.
+    """
+    frame: dict[str, Any] = {"kind": "welcome", "format": WIRE_FORMAT,
+                             "session": int(session_id),
+                             "epoch": int(epoch)}
+    if limits is not None:
+        frame["limits"] = {key: int(value) for key, value in limits.items()}
+    return frame
+
+
+def welcome_from_wire(record: dict[str, Any],
+                      ) -> tuple[int, int, dict[str, int]]:
+    """Decode a welcome frame into ``(session_id, epoch, limits)``."""
+    _expect_kind(record, "welcome")
+    try:
+        limits = {key: int(value)
+                  for key, value in dict(record.get("limits", {})).items()}
+        return int(record["session"]), int(record["epoch"]), limits
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(
+            f"malformed welcome frame: {record!r}") from exc
+
+
+# ---------------------------------------------------------------------------
 # Request / response query frames
 # ---------------------------------------------------------------------------
 

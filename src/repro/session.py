@@ -39,6 +39,7 @@ from repro.summarize.pgsum import PgSumOperator, PgSumQuery
 from repro.summarize.psg import Psg
 
 if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.serve.api import ServeConfig
     from repro.serve.cluster import ProvCluster
 
 #: Default aggregation for session summaries: artifact names + commands.
@@ -379,10 +380,18 @@ class LifecycleSession:
         """The attached serving cluster, or None when serving is off."""
         return self._cluster
 
-    def serve(self, replicas: int = 2, out_of_process: bool = False,
-              transport: str = "socket",
-              cache_mode: str = "footprint") -> "ProvCluster":
-        """Fan session reads out across ``replicas`` read replicas.
+    def serve(self, replicas: int | None = None,
+              out_of_process: bool | None = None,
+              transport: str | None = None,
+              cache_mode: str | None = None,
+              config: "ServeConfig | None" = None) -> "ProvCluster":
+        """Fan session reads out across read replicas.
+
+        Configure with one :class:`repro.serve.ServeConfig` —
+        ``session.serve(config=ServeConfig(replicas=4,
+        out_of_process=True, frontend=True))`` — or through the bare
+        kwargs, which remain as the deprecated alias path building the
+        same ``ServeConfig`` internally (mixing both raises).
 
         Bootstraps a :class:`repro.serve.cluster.ProvCluster` over this
         session's graph (the session stays the sole writer) and routes
@@ -397,8 +406,12 @@ class LifecycleSession:
         ``"pipe"``) — true parallel reads across cores; crashed workers
         are restarted and re-synced transparently. ``cache_mode`` picks
         the workers' result-cache retention policy (``"footprint"`` or
-        ``"epoch"``; see :class:`repro.serve.worker.ReplicaWorker`). Call
-        :meth:`stop_serving` when done so the workers shut down.
+        ``"epoch"``; see :class:`repro.serve.worker.ReplicaWorker`).
+        ``ServeConfig(frontend=True, ...)`` additionally starts the
+        asyncio front-end (:mod:`repro.serve.frontend`) so remote
+        clients fan in over the wire protocol — reachable at
+        ``session.cluster.frontend.address``. Call :meth:`stop_serving`
+        when done so the workers (and front-end) shut down.
 
         Calling again re-bootstraps with the new configuration (shutting
         down any previous worker pool first).
@@ -409,29 +422,37 @@ class LifecycleSession:
         self._cluster = ProvCluster(self.graph, replicas=replicas,
                                     out_of_process=out_of_process,
                                     transport=transport,
-                                    cache_mode=cache_mode)
+                                    cache_mode=cache_mode,
+                                    config=config)
         return self._cluster
 
     def stop_serving(self) -> None:
         """Detach the serving cluster (shutting down any worker pool);
-        reads run on the leader again."""
-        if self._cluster is not None:
-            self._cluster.close()
-        self._cluster = None
+        reads run on the leader again.
+
+        Idempotent, including when a worker already died mid-shutdown:
+        the cluster is detached *before* teardown runs, so even a
+        teardown failure leaves the session serving locally and a repeat
+        call a no-op rather than a second crash.
+        """
+        cluster, self._cluster = self._cluster, None
+        if cluster is not None:
+            cluster.close()
 
     def query_many(self, specs) -> list[Any]:
         """Evaluate a batch of read specs; one routed fan-out when serving.
 
-        ``specs`` is a sequence of ``(method, params)`` pairs — the same
-        shape :meth:`repro.serve.cluster.ProvCluster.query_many` takes:
-        ``("lineage"|"impacted"|"blame", {"entity": id, "max_depth":
-        ...})``, ``("segment", {"query": PgSegQuery})``, ``("cypher",
-        {"text": ..., "budget": ...})``. With serving attached the whole
-        batch is routed as pipelined worker bundles (the dashboard fan-in
-        path); without, it is evaluated against the session's armed
-        snapshot. Either way the returned list is index-aligned with
-        ``specs`` and a failing spec contributes its exception *instance*
-        rather than aborting its siblings.
+        ``specs`` is a sequence of :class:`repro.serve.QuerySpec` values
+        (``QuerySpec.lineage(id)``, ``.segment(query)``,
+        ``.cypher(text)``, ...) — bare ``(method, params)`` pairs stay
+        accepted, the same interop
+        :meth:`repro.serve.cluster.ProvCluster.query_many` keeps. With
+        serving attached the whole batch is routed as pipelined worker
+        bundles (the dashboard fan-in path); without, it is evaluated
+        against the session's armed snapshot. Either way the returned
+        list is index-aligned with ``specs`` and a failing spec
+        contributes its exception *instance* rather than aborting its
+        siblings.
         """
         specs = list(specs)
         if self._cluster is not None:
@@ -440,11 +461,9 @@ class LifecycleSession:
             return []
         from repro.query.cypherlite import run_query
         from repro.query.ops import impacted as _impacted
+        from repro.serve.api import normalize_specs
 
-        known = ("lineage", "impacted", "blame", "segment", "cypher")
-        for method, _ in specs:
-            if method not in known:
-                raise ValueError(f"unknown query_many method {method!r}")
+        specs = [spec.as_tuple() for spec in normalize_specs(specs)]
         snapshot = self.snapshot()
         results: list[Any] = []
         for method, params in specs:

@@ -79,6 +79,13 @@ def test_examples_round_trip_through_codecs():
         elif kind == "hello":
             worker_id, token = wire.hello_from_wire(block)
             assert wire.hello_frame(worker_id, token) == block
+        elif kind == "client_hello":
+            client, token = wire.client_hello_from_wire(block)
+            assert wire.client_hello_frame(client, token) == block
+        elif kind == "welcome":
+            session_id, epoch, limits = wire.welcome_from_wire(block)
+            assert wire.welcome_frame(session_id, epoch,
+                                      limits or None) == block
         elif kind == "ping":
             assert wire.ping_frame() == block
         elif kind == "pong":
@@ -119,7 +126,8 @@ def test_examples_round_trip_through_codecs():
     # The spec must keep one worked example per frame kind.
     assert seen_kinds >= {"sync", "batch", "hello", "ping", "pong",
                           "event", "shutdown", "bye", "request",
-                          "response", "requests", "responses"}
+                          "response", "requests", "responses",
+                          "client_hello", "welcome"}
     # ... and per request method (lineage shares its codec with impacted).
     assert set(methods_by_id.values()) >= {"lineage", "blame", "segment",
                                            "summarize", "cypher"}

@@ -300,7 +300,7 @@ class TestQueryMany:
 
     def test_unknown_method_raises(self, paper):
         cluster = ProvCluster(paper.graph, replicas=1)
-        with pytest.raises(ValueError, match="unknown query_many"):
+        with pytest.raises(ValueError, match="unknown query method"):
             cluster.query_many([("drop_tables", {})])
 
     def test_empty_batch(self, paper):

@@ -17,6 +17,8 @@ from repro.serve.wire import (
     blame_to_wire,
     budget_from_wire,
     budget_to_wire,
+    client_hello_frame,
+    client_hello_from_wire,
     decode_batch,
     decode_sync,
     encode_batch,
@@ -45,6 +47,8 @@ from repro.serve.wire import (
     segment_to_wire,
     sync_from_frame,
     sync_to_frame,
+    welcome_frame,
+    welcome_from_wire,
 )
 from repro.store.delta import Delta, DeltaBatch, DeltaOp, PropertyPayload
 from repro.store.store import PropertyGraphStore
@@ -184,6 +188,44 @@ class TestControlFrames:
         epoch, stats = pong_from_wire(pong_frame(9, {"syncs": 1}))
         assert (epoch, stats) == (9, {"syncs": 1})
         assert pong_from_wire(pong_frame(0)) == (0, {})
+
+
+class TestClientSessionFrames:
+    def test_client_hello_round_trips(self):
+        assert client_hello_from_wire(
+            client_hello_frame("bench-17", "tok")) == ("bench-17", "tok")
+        # Token is optional: absent on the wire means None on decode.
+        frame = client_hello_frame("anon")
+        assert "token" not in frame
+        assert client_hello_from_wire(frame) == ("anon", None)
+
+    def test_client_hello_malformed_rejected(self):
+        with pytest.raises(SerializationError):
+            client_hello_from_wire({"kind": "client_hello",
+                                    "format": "repro-wire-v1"})
+        with pytest.raises(SerializationError):
+            client_hello_from_wire(hello_frame(0, "tok"))
+
+    def test_welcome_round_trips(self):
+        session, epoch, limits = welcome_from_wire(
+            welcome_frame(4, 12, {"session_budget": 64}))
+        assert (session, epoch, limits) == (4, 12, {"session_budget": 64})
+        assert welcome_from_wire(welcome_frame(0, 0)) == (0, 0, {})
+
+    def test_welcome_malformed_rejected(self):
+        with pytest.raises(SerializationError):
+            welcome_from_wire({"kind": "welcome",
+                               "format": "repro-wire-v1", "session": 1})
+
+    def test_overloaded_error_crosses_the_wire(self):
+        from repro.errors import Overloaded
+        frame = response_to_wire(
+            9, 3, error=error_to_wire(Overloaded("admission budget full")))
+        _, _, ok, payload = response_from_wire(frame)
+        assert not ok
+        rebuilt = error_from_wire(payload)
+        assert isinstance(rebuilt, Overloaded)
+        assert "admission budget full" in str(rebuilt)
 
 
 class TestRequestResponseFrames:
