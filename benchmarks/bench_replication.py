@@ -84,6 +84,18 @@ An absolute p99 latency ceiling rides along. Both sides serve the
 identical multiset and must agree on the digest, so the front-end
 cannot pass by dropping or rerouting requests into different answers.
 
+``--trace-overhead`` (implies ``--out-of-process``) gates the PR 8
+observability layer's cost: the batched spec stream served with full
+instrumentation — a real :class:`repro.obs.MetricsRegistry` in the
+leader and every worker (every request pays its counters and
+histograms) plus heavy 1-in-16 end-to-end tracing (``trace_id`` on the
+wire, a worker compute span back) — against the identical pool running
+the no-op registry (``ServeConfig(metrics=False)``). The gated figure
+is a throughput *ratio* with a 0.95 floor: metrics + sampled tracing
+must cost under 5%. ``--metrics-snapshot PATH`` additionally writes
+the instrumented run's cluster-wide metrics document (the same payload
+``repro.cli serve-stats`` renders) as a CI artifact.
+
 Replica bootstrap (full sync, and worker spawn in ``--out-of-process``
 mode) happens before the timed window — the gate measures steady-state
 serving throughput — and is reported separately in the JSON record.
@@ -100,6 +112,9 @@ Plain script so CI can smoke it cheaply::
         --steady-writes --json BENCH_replication_retention.json
     PYTHONPATH=src python benchmarks/bench_replication.py --quick \
         --open-loop --json BENCH_serving_async.json
+    PYTHONPATH=src python benchmarks/bench_replication.py --quick \
+        --trace-overhead --json BENCH_trace_overhead.json \
+        --metrics-snapshot METRICS_snapshot.json
 
 Exits non-zero when the gated mode's aggregate read throughput is not at
 least ``FLOORS[mode]`` times its baseline — the single-store live server
@@ -135,7 +150,13 @@ from repro.workloads.pd_generator import generate_pd_sized
 FLOORS = {"full": 2.0, "quick": 2.0, "full-oop": 2.0, "quick-oop": 2.0,
           "full-batched": 2.0, "quick-batched": 2.0,
           "full-retention": 2.0, "quick-retention": 2.0,
-          "full-open-loop": 1.0, "quick-open-loop": 1.0}
+          "full-open-loop": 1.0, "quick-open-loop": 1.0,
+          # --trace-overhead gates a *ratio*, not a speedup: fully
+          # instrumented serving (real registries everywhere, every
+          # request traced end-to-end) must keep >= 95% of the no-op
+          # registry baseline's throughput, i.e. observability costs
+          # under 5%.
+          "full-trace-overhead": 0.95, "quick-trace-overhead": 0.95}
 
 #: ``--steady-writes`` additionally gates the fraction of cache lookups
 #: the footprint-retaining pool answers from entries that survived an
@@ -438,6 +459,64 @@ class EpochClearOopClusterServer(RetainedOopClusterServer):
 
     name = f"epoch-clear-oop-x{N_REPLICAS}"
     cache_mode = "epoch"
+
+
+class NoObsOopClusterServer(BatchedOopClusterServer):
+    """``--trace-overhead`` baseline: identical batched pool, but every
+    serving process runs the no-op metrics registry
+    (``ServeConfig(metrics=False)`` -> ``--no-metrics`` workers) and no
+    request is traced — the serving stack with observability compiled
+    out, as close as Python gets."""
+
+    name = f"noobs-oop-x{N_REPLICAS}"
+
+    def __init__(self, graph):
+        self.cluster = ProvCluster(graph, config=ServeConfig(
+            replicas=N_REPLICAS, out_of_process=True, transport="socket",
+            metrics=False))
+
+
+class TracedOopClusterServer(BatchedOopClusterServer):
+    """``--trace-overhead`` gated mode: the same batched pool with full
+    instrumentation — real registries in the leader and every worker
+    (every request pays its counters and histograms), plus end-to-end
+    tracing of every ``TRACE_EVERY``-th request (trace id on the wire, a
+    worker compute span back, ``finish()`` per trace). 1/16 is a *heavy*
+    sample — an order of magnitude above a production ``trace_sample`` —
+    and the cache-hit-heavy batched regime makes the whole thing a worst
+    case: per-query compute is cheapest there, so the fixed
+    instrumentation cost is proportionally largest."""
+
+    name = f"traced-oop-x{N_REPLICAS}"
+
+    #: Every Nth request of each round's batch is traced end-to-end.
+    TRACE_EVERY = 16
+
+    def __init__(self, graph):
+        self.cluster = ProvCluster(graph, config=ServeConfig(
+            replicas=N_REPLICAS, out_of_process=True, transport="socket",
+            metrics=True, trace_sample=1.0, trace_ring=1024,
+            slow_query_s=0.25))
+
+    def serve_specs(self, specs):
+        from repro.obs import new_trace_id
+
+        collector = self.cluster.obs.collector
+        self.cluster.refresh()      # one ship per worker, inside the timing
+        t0 = time.perf_counter()
+        trace_ids = [new_trace_id() if index % self.TRACE_EVERY == 0
+                     else None for index in range(len(specs))]
+        results = self.cluster.query_many(specs, trace_ids=trace_ids)
+        wall = time.perf_counter() - t0
+        for (method, _), trace_id in zip(specs, trace_ids):
+            if trace_id is not None:
+                collector.finish(trace_id, method=method, wall_s=wall)
+        return (sum(digest_of(spec, result)
+                    for spec, result in zip(specs, results)), len(specs))
+
+    def metrics_snapshot(self):
+        """The cluster-wide metrics document (untimed, pool still live)."""
+        return self.cluster.metrics()
 
 
 # ---------------------------------------------------------------------------
@@ -768,6 +847,85 @@ def _open_loop_main(args, mode: str) -> int:
     return 0
 
 
+def _trace_overhead_main(args, mode: str) -> int:
+    """``--trace-overhead``: instrumentation cost vs the no-op registry.
+
+    Both contenders serve the batched gate's cache-hit-heavy spec stream
+    (identical seeds, digest-checked); the gated side runs real
+    registries in every process and traces **every** request end-to-end,
+    the baseline swaps in ``NullRegistry`` everywhere. Best of N trials
+    per contender, so one noisy neighbour can't fail a 5% gate.
+    """
+    floor = FLOORS[mode]
+    trials = 2 if args.quick else 3
+    spec_rounds = 8 if args.quick else 16
+    targets, walk_repeats, walk_depth, append_every = 8, 64, 2, 4
+    print(f"workload: {spec_rounds} rounds x ({targets} targets x "
+          f"{walk_repeats} shallow-lineage re-asks + 2 blame) on a Pd "
+          f"graph (n=12000), append every {append_every} rounds, "
+          f"best of {trials} trials per contender")
+    runs: dict[str, dict] = {}
+    digests = set()
+    for server_cls in (NoObsOopClusterServer, TracedOopClusterServer):
+        best = None
+        for _ in range(trials):
+            result = run_spec_workload(
+                server_cls, 12000, spec_rounds, targets, walk_repeats,
+                walk_depth, append_every)
+            digests.add(result["digest"])
+            if best is None \
+                    or result["queries_per_s"] > best["queries_per_s"]:
+                best = result
+        runs[server_cls.name] = best
+        print(f"{best['mode']:<18s} {best['queries']:5d} queries in "
+              f"{best['elapsed_s']:8.3f}s   "
+              f"({best['queries_per_s']:8.1f} q/s, "
+              f"bootstrap {best['bootstrap_s']:5.2f}s)")
+    if len(digests) != 1:
+        raise AssertionError(
+            f"serving modes diverged: digests {sorted(digests)}")
+    traced = runs[TracedOopClusterServer.name]
+    baseline = runs[NoObsOopClusterServer.name]
+    ratio = traced["queries_per_s"] / baseline["queries_per_s"]
+    print(f"{traced['mode']} vs {baseline['mode']} : {ratio:5.3f}x  "
+          f"(floor {floor}x; instrumentation overhead "
+          f"{(1.0 - ratio) * 100.0:+.1f}%)")
+    passed = ratio >= floor
+    snapshot = traced.pop("metrics", None)
+    baseline.pop("metrics", None)
+    if args.metrics_snapshot and snapshot is not None:
+        with open(args.metrics_snapshot, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.metrics_snapshot}")
+    record = {
+        "benchmark": "bench_replication",
+        "mode": mode,
+        "n_vertices": 12000,
+        "replicas": N_REPLICAS,
+        "trace_overhead": True,
+        "baseline": NoObsOopClusterServer.name,
+        "floor": floor,
+        "speedup_vs_baseline": ratio,
+        "instrumentation_overhead_pct": (1.0 - ratio) * 100.0,
+        "results": runs,
+        "pass": passed,
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if not args.no_assert and not passed:
+        print(f"FAIL: {traced['mode']} kept {ratio:.3f}x of the "
+              f"{baseline['mode']} baseline's throughput (floor {floor}x "
+              f"= instrumentation overhead under "
+              f"{(1.0 - floor) * 100.0:.0f}%)", file=sys.stderr)
+        return 1
+    print("ok")
+    return 0
+
+
 def build_query_pool(entities: list[int], pool_size: int) -> list[PgSegQuery]:
     """The dashboard's fixed PgSeg pool: destinations spread across the
     cheap-to-moderate ancestry band (deep-ancestry tails would drown the
@@ -903,6 +1061,7 @@ def run_spec_workload(server_cls, n_vertices: int, rounds: int,
     digest = 0
     queries = 0
     workers = None
+    metrics = None
     try:
         for index in range(rounds):
             write_for_round(warmup_rounds + index)
@@ -913,6 +1072,8 @@ def run_spec_workload(server_cls, n_vertices: int, rounds: int,
         collect = getattr(server, "worker_stats", None)
         if collect is not None:
             workers = collect()                 # untimed, needs live pool
+        snap = getattr(server, "metrics_snapshot", None)
+        metrics = snap() if snap is not None else None   # untimed too
     finally:
         server.close()
     return {
@@ -923,6 +1084,7 @@ def run_spec_workload(server_cls, n_vertices: int, rounds: int,
         "elapsed_s": elapsed,
         "queries_per_s": queries / elapsed if elapsed else float("inf"),
         "workers": workers,
+        "metrics": metrics,
     }
 
 
@@ -946,18 +1108,31 @@ def main(argv: list[str] | None = None) -> int:
                              "simulated clients against a thread-per-"
                              "connection blocking front-end over the same "
                              "pool (implies --out-of-process)")
+    parser.add_argument("--trace-overhead", action="store_true",
+                        help="gate the instrumentation cost: fully traced "
+                             "serving must keep >= 95%% of the no-op "
+                             "registry baseline's throughput (implies "
+                             "--out-of-process)")
+    parser.add_argument("--metrics-snapshot", metavar="PATH",
+                        help="with --trace-overhead: write the "
+                             "instrumented run's cluster-wide metrics "
+                             "document (the serve-stats payload)")
     parser.add_argument("--no-assert", action="store_true",
                         help="report only; never fail on the throughput floor")
     parser.add_argument("--json", metavar="PATH",
                         help="write a machine-readable result record")
     args = parser.parse_args(argv)
-    if args.batched or args.steady_writes or args.open_loop:
+    if args.batched or args.steady_writes or args.open_loop \
+            or args.trace_overhead:
         args.out_of_process = True
-    if sum((args.batched, args.steady_writes, args.open_loop)) > 1:
-        parser.error("--batched, --steady-writes, and --open-loop are "
-                     "separate gates")
+    if sum((args.batched, args.steady_writes, args.open_loop,
+            args.trace_overhead)) > 1:
+        parser.error("--batched, --steady-writes, --open-loop, and "
+                     "--trace-overhead are separate gates")
 
     mode = "quick" if args.quick else "full"
+    if args.trace_overhead:
+        return _trace_overhead_main(args, mode + "-trace-overhead")
     if args.open_loop:
         return _open_loop_main(args, mode + "-open-loop")
     if args.steady_writes:

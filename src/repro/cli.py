@@ -20,6 +20,10 @@ the offline install simple). Subcommands:
   clients through the asyncio front-end (admission control, per-client
   fairness, backpressure; see :mod:`repro.serve.frontend`); prints
   ``FRONTEND host:port`` once bound and runs until Ctrl-C
+- ``serve-stats``   connect to a running front-end, fetch the
+  cluster-wide observability snapshot (the ``metrics`` wire method:
+  leader + every worker registry, recent/slow traces) and render it as
+  a table — or as Prometheus text exposition with ``--prometheus``
 
 Examples::
 
@@ -30,6 +34,7 @@ Examples::
         --token SECRET --worker-id 0
     python -m repro.cli serve-frontend pd.json --replicas 4 \\
         --out-of-process --port 4823
+    python -m repro.cli serve-stats 127.0.0.1:4823 --prometheus
 """
 
 from __future__ import annotations
@@ -151,11 +156,16 @@ def _cmd_serve_worker(args: argparse.Namespace) -> int:
         # Pipe mode: the protocol owns stdout; diagnostics go to stderr.
         transport = LineTransport.over_files(sys.stdin.buffer,
                                              sys.stdout.buffer)
+    registry = None
+    if args.no_metrics:
+        from repro.obs import NullRegistry
+        registry = NullRegistry()
     with transport:
         transport.send(hello_frame(args.worker_id, args.token))
         return ReplicaWorker(transport, args.worker_id,
                              cache_mode=args.cache_mode,
-                             generation=args.generation).run()
+                             generation=args.generation,
+                             registry=registry).run()
 
 
 def _cmd_serve_frontend(args: argparse.Namespace) -> int:
@@ -174,6 +184,8 @@ def _cmd_serve_frontend(args: argparse.Namespace) -> int:
         frontend_token=args.token or None,
         max_inflight=args.max_inflight,
         admission_budget=args.admission_budget,
+        trace_sample=args.trace_sample,
+        slow_query_s=args.slow_query_s,
     )
     cluster = ProvCluster(graph, config=config)
     host, port = cluster.frontend.address
@@ -189,6 +201,80 @@ def _cmd_serve_frontend(args: argparse.Namespace) -> int:
         pass
     finally:
         cluster.close()
+    return 0
+
+
+def _render_metrics_table(payload: dict) -> str:
+    """The cluster-wide observability snapshot as an aligned table."""
+    from repro.obs import merge_snapshots
+
+    workers = payload.get("workers") or []
+    snapshots = [payload["process"]]
+    snapshots += [entry["metrics"] for entry in workers if entry]
+    merged = merge_snapshots(snapshots)
+    lines = [
+        f"leader epoch {payload['leader_epoch']}  "
+        f"mode {'out-of-process' if payload['out_of_process'] else 'in-process'}"
+        f"  worker registries {sum(1 for entry in workers if entry)}"
+        f"/{len(workers)}",
+    ]
+    frontend = payload.get("frontend")
+    if frontend:
+        lines.append("frontend  " + "  ".join(
+            f"{key}={value}" for key, value in sorted(frontend.items())))
+    counters = merged.get("counters", {})
+    gauges = merged.get("gauges", {})
+    if counters or gauges:
+        width = max(len(name) for name in [*counters, *gauges])
+        lines.append("")
+        lines.append(f"{'metric':<{width}}  value")
+        for name, value in sorted(counters.items()):
+            lines.append(f"{name:<{width}}  {value}")
+        for name, value in sorted(gauges.items()):
+            lines.append(f"{name:<{width}}  {value:g}")
+    histograms = merged.get("histograms", {})
+    if histograms:
+        width = max(len(name) for name in histograms)
+        lines.append("")
+        lines.append(f"{'latency':<{width}}  count  mean_ms")
+        for name, data in sorted(histograms.items()):
+            count = data["count"]
+            mean_ms = (data["sum"] / count * 1e3) if count else 0.0
+            lines.append(f"{name:<{width}}  {count:>5}  {mean_ms:8.3f}")
+    traces = payload.get("traces") or {}
+    slow = traces.get("slow") or []
+    if slow:
+        lines.append("")
+        lines.append("slow queries (most recent last):")
+        for trace in slow:
+            lines.append(
+                f"  {trace.get('trace_id')}  {trace.get('method')}  "
+                f"{trace.get('wall_s', 0.0) * 1e3:.3f}ms  "
+                f"{len(trace.get('spans') or [])} spans")
+    return "\n".join(lines)
+
+
+def _cmd_serve_stats(args: argparse.Namespace) -> int:
+    """Fetch + render a running front-end's metrics snapshot."""
+    from repro.obs import merge_snapshots, render_prometheus
+    from repro.serve.frontend import FrontendClient
+
+    host, _, port = args.address.rpartition(":")
+    with FrontendClient((host or "127.0.0.1", int(port)),
+                        token=args.token or None,
+                        client="serve-stats") as client:
+        payload = client.metrics()
+    if args.json:
+        import json
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.prometheus:
+        workers = payload.get("workers") or []
+        merged = merge_snapshots(
+            [payload["process"]]
+            + [entry["metrics"] for entry in workers if entry])
+        print(render_prometheus(merged), end="")
+    else:
+        print(_render_metrics_table(payload))
     return 0
 
 
@@ -287,7 +373,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--admission-budget", type=int, default=1024,
                    help="total admitted-but-unanswered requests before "
                         "clients get typed 'Overloaded' rejections")
+    p.add_argument("--trace-sample", type=float, default=0.0,
+                   help="fraction of client frames traced end-to-end "
+                        "(0.0 = never, 1.0 = every frame)")
+    p.add_argument("--slow-query-s", type=float, default=None,
+                   help="wall-time threshold (seconds) above which a "
+                        "traced query lands on the slow-query log")
     p.set_defaults(func=_cmd_serve_frontend)
+
+    p = sub.add_parser(
+        "serve-stats",
+        help="fetch + render a running front-end's metrics snapshot",
+    )
+    p.add_argument("address", metavar="HOST:PORT",
+                   help="the front-end bind printed as 'FRONTEND ...'")
+    p.add_argument("--token", default="",
+                   help="client_hello auth token (empty = none)")
+    p.add_argument("--prometheus", action="store_true",
+                   help="emit Prometheus text exposition instead of "
+                        "the table (merged leader + worker registries)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw metrics document as JSON")
+    p.set_defaults(func=_cmd_serve_stats)
 
     p = sub.add_parser(
         "serve-worker",
@@ -308,6 +415,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--generation", type=int, default=0,
                    help="monotonic spawn counter (pool restart count), "
                         "echoed in pong stats")
+    p.add_argument("--no-metrics", action="store_true",
+                   help="swap in the no-op metrics registry (the "
+                        "--trace-overhead benchmark baseline)")
     p.set_defaults(func=_cmd_serve_worker)
 
     return parser

@@ -1,0 +1,77 @@
+"""``repro.obs`` — dependency-free metrics + tracing for the serving stack.
+
+Every serving process (leader, front-end, worker) owns one
+``MetricsRegistry``; sampled requests additionally thread a ``trace_id``
+through the wire protocol and accumulate per-hop spans in a
+``TraceCollector``. ``ObsContext`` bundles the two with the sampling
+decision so the cluster, pool, and front-end share one handle.
+
+The package deliberately imports nothing from ``repro.serve`` — it sits
+below the serving layers and must stay dependency-free.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricAttr,
+    MetricsRegistry,
+    NullRegistry,
+    merge_snapshots,
+    render_prometheus,
+)
+from repro.obs.trace import TraceCollector, new_trace_id, span
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricAttr",
+    "MetricsRegistry",
+    "NullRegistry",
+    "ObsContext",
+    "TraceCollector",
+    "merge_snapshots",
+    "new_trace_id",
+    "render_prometheus",
+    "span",
+]
+
+
+class ObsContext:
+    """One process's observability handle: registry + collector + sampling."""
+
+    __slots__ = ("registry", "collector", "sample")
+
+    def __init__(self, registry=None, collector=None,
+                 sample: float = 0.0) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.collector = collector if collector is not None else \
+            TraceCollector()
+        self.sample = float(sample)
+
+    @classmethod
+    def of(cls, config) -> "ObsContext":
+        """Build from a ``ServeConfig`` (duck-typed: any object with the
+        ``metrics``/``trace_ring``/``slow_query_s``/``trace_sample``
+        attributes; missing attributes fall back to defaults)."""
+        enabled = getattr(config, "metrics", True)
+        registry = MetricsRegistry() if enabled else NullRegistry()
+        collector = TraceCollector(
+            ring_size=getattr(config, "trace_ring", 128),
+            slow_threshold_s=getattr(config, "slow_query_s", None),
+        )
+        sample = getattr(config, "trace_sample", 0.0) if enabled else 0.0
+        return cls(registry=registry, collector=collector, sample=sample)
+
+    def sampled(self) -> bool:
+        """Decide, per client frame, whether to trace it."""
+        if self.sample <= 0.0:
+            return False
+        return self.sample >= 1.0 or random.random() < self.sample

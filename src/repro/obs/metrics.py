@@ -1,0 +1,306 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+One ``MetricsRegistry`` per serving process collects every counter the
+serving layers used to keep as ad-hoc instance attributes. The design
+constraints, in order:
+
+* **Lock-cheap updates.** ``inc``/``set``/``observe`` are plain attribute
+  updates — atomic per field under the GIL, no lock on the hot path. The
+  registry lock guards only instrument *creation* (rare) so concurrent
+  first-touch from two threads cannot race a dict insert. Snapshots read
+  live values without stopping writers; a snapshot is tear-free per
+  field, not a cross-field atomic cut.
+* **One JSON schema.** ``snapshot()`` always returns
+  ``{"counters": {...}, "gauges": {...}, "histograms": {...}}`` with
+  JSON-safe values, so the same payload serves ``ProvCluster.metrics()``,
+  the ``metrics`` wire method, and the CI artifact.
+* **A free-to-disable twin.** ``NullRegistry`` exposes the same surface
+  with no state; ``bench_replication.py --trace-overhead`` gates the real
+  registry's cost against it.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricAttr",
+    "MetricsRegistry",
+    "NullRegistry",
+    "merge_snapshots",
+    "render_prometheus",
+]
+
+#: Default latency bucket upper bounds, in seconds (an implicit +Inf
+#: bucket always follows). Spans 1ms to 10s — the serving stack's range
+#: from a cache hit to a pathological cold summarize.
+DEFAULT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                   0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+class Counter:
+    """A monotonically *intended* counter (resettable for restart folds)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (replication lag, cache size, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket latency histogram (upper-bound buckets + implicit +Inf)."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, name: str, bounds=DEFAULT_BUCKETS) -> None:
+        ordered = tuple(float(b) for b in bounds)
+        if not ordered or any(b <= a for a, b in zip(ordered, ordered[1:])):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.name = name
+        self.bounds = ordered
+        self.bucket_counts = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+
+class MetricsRegistry:
+    """Create-or-return instruments by name; snapshot to one JSON schema."""
+
+    null = False
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._instrument(self._counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._instrument(self._gauges, name, Gauge)
+
+    def histogram(self, name: str, bounds=None) -> Histogram:
+        found = self._histograms.get(name)
+        if found is not None:
+            return found
+        with self._lock:
+            found = self._histograms.get(name)
+            if found is None:
+                found = Histogram(name, bounds or DEFAULT_BUCKETS)
+                self._histograms[name] = found
+        return found
+
+    def _instrument(self, table, name, factory):
+        found = table.get(name)
+        if found is not None:
+            return found
+        with self._lock:
+            found = table.get(name)
+            if found is None:
+                found = factory(name)
+                table[name] = found
+        return found
+
+    def snapshot(self) -> dict:
+        """The one JSON schema every exposition path serves."""
+        histograms = {}
+        for name, hist in sorted(self._histograms.items()):
+            cumulative, buckets = 0, []
+            for bound, got in zip(hist.bounds, hist.bucket_counts):
+                cumulative += got
+                buckets.append([bound, cumulative])
+            buckets.append(["+Inf", cumulative + hist.bucket_counts[-1]])
+            histograms[name] = {
+                "count": hist.count, "sum": hist.sum, "buckets": buckets,
+            }
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self._gauges.items())},
+            "histograms": histograms,
+        }
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = "null"
+
+    @property
+    def value(self) -> int:
+        return 0
+
+    @value.setter
+    def value(self, amount) -> None:
+        pass
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(_NullCounter):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    bounds = DEFAULT_BUCKETS
+    count = 0
+    sum = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """Same surface as ``MetricsRegistry``, zero state. Overhead baseline."""
+
+    null = True
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, bounds=None) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class MetricAttr:
+    """An int attribute stored in a registry counter.
+
+    Serving classes keep their public counter attributes (``stats()``
+    schemas stay byte-compatible; external ``obj.counter += 1`` sites keep
+    working) while the value itself lives in the owner's registry. The
+    owner must set ``_obs_registry`` and ``_obs_prefix`` in ``__init__``
+    before the first counter access; the bound ``Counter`` is cached per
+    instance after first touch.
+    """
+
+    __slots__ = ("metric", "cache_attr")
+
+    def __init__(self, metric: str) -> None:
+        self.metric = metric
+
+    def __set_name__(self, owner, name) -> None:
+        self.cache_attr = f"_metricattr_{name}"
+
+    def _counter(self, obj):
+        counter = getattr(obj, self.cache_attr, None)
+        if counter is None:
+            counter = obj._obs_registry.counter(
+                f"{obj._obs_prefix}.{self.metric}")
+            setattr(obj, self.cache_attr, counter)
+        return counter
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return self._counter(obj).value
+
+    def __set__(self, obj, value) -> None:
+        self._counter(obj).value = value
+
+
+def merge_snapshots(snapshots) -> dict:
+    """Sum counters/histograms across snapshots; gauges keep the max.
+
+    Gauges are point-in-time values where the cluster-wide worst case
+    (max replication lag, largest cache) is the useful aggregate.
+    Histograms merge bucket-by-bucket when bounds agree; on a bounds
+    mismatch the first snapshot's shape wins and others are dropped.
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = max(gauges.get(name, value), value)
+        for name, hist in snap.get("histograms", {}).items():
+            seen = histograms.get(name)
+            if seen is None:
+                histograms[name] = {
+                    "count": hist["count"], "sum": hist["sum"],
+                    "buckets": [list(pair) for pair in hist["buckets"]],
+                }
+            elif [b for b, _ in seen["buckets"]] == \
+                    [b for b, _ in hist["buckets"]]:
+                seen["count"] += hist["count"]
+                seen["sum"] += hist["sum"]
+                for pair, (_, got) in zip(seen["buckets"], hist["buckets"]):
+                    pair[1] += got
+    return {"counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items()))}
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    sanitized = "".join(ch if ch.isalnum() or ch == "_" else "_"
+                        for ch in name)
+    return f"{prefix}_{sanitized}" if prefix else sanitized
+
+
+def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """Render one snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} histogram")
+        for bound, cumulative in hist["buckets"]:
+            lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f"{metric}_sum {hist['sum']}")
+        lines.append(f"{metric}_count {hist['count']}")
+    return "\n".join(lines) + "\n"

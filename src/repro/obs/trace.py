@@ -1,0 +1,119 @@
+"""Request tracing: span accumulation, recent-trace ring, slow-query log.
+
+A trace is born when the front-end samples a client frame and mints a
+``trace_id`` (an opaque hex string carried as an optional wire field —
+absent field = untraced). Each hop then *appends spans* for that id into
+the process-local ``TraceCollector``:
+
+* front-end — ``queue`` (admission to batch dispatch) and the final wall
+  time;
+* cluster — ``route`` (replica selection for the batch);
+* worker client — ``transport`` (round trip minus the worker's own
+  reported compute, i.e. wire + worker queueing);
+* worker — ``compute`` with the cache outcome, returned on the response
+  frame's optional ``trace`` field and spliced in by the client.
+
+``finish`` seals the span list into a trace record, pushes it onto a
+bounded ring of recent traces, and onto the slow-query log when the wall
+time crosses the configured threshold. Spans are durations from
+``time.perf_counter()`` — they are comparable within a trace but carry no
+cross-process absolute clock; the trace record's ``ts`` is wall-clock at
+finish time. All methods are thread-safe: spans arrive from the
+front-end's event loop, its executor thread, and transport drains.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+
+__all__ = ["TraceCollector", "new_trace_id", "span"]
+
+#: Process-random prefix + per-process counter: ids stay unique across
+#: the processes of one serving stack without paying ``uuid.uuid4()``
+#: (~2us of urandom per id — real money on a hot sampled path).
+_ID_PREFIX = os.urandom(4).hex()
+_ID_COUNTER = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """An opaque 16-hex-char id; uniqueness per serving stack is all we
+    need (random process prefix, sequential within the process)."""
+    return _ID_PREFIX + format(next(_ID_COUNTER) & 0xFFFFFFFF, "08x")
+
+
+def span(hop: str, name: str, dur_s: float, **extra) -> dict:
+    """One timed step of a trace. ``extra`` carries hop detail
+    (cache outcome, replica id, ...)."""
+    record = {"hop": hop, "name": name, "dur_s": round(float(dur_s), 9)}
+    record.update(extra)
+    return record
+
+
+class TraceCollector:
+    """Accumulates spans by trace id; keeps bounded recent + slow rings."""
+
+    def __init__(self, ring_size: int = 128,
+                 slow_threshold_s: float | None = None) -> None:
+        if ring_size < 1:
+            raise ValueError("ring_size must be >= 1")
+        self.slow_threshold_s = slow_threshold_s
+        self._lock = threading.Lock()
+        self._pending: dict[str, list[dict]] = {}
+        #: Open traces are bounded too — a trace abandoned mid-flight
+        #: (worker death, client gone) must not leak span lists forever.
+        self._max_pending = max(ring_size * 4, 256)
+        self._ring: deque[dict] = deque(maxlen=ring_size)
+        self._slow: deque[dict] = deque(maxlen=ring_size)
+
+    def add_span(self, trace_id: str, hop: str, name: str,
+                 dur_s: float, **extra) -> None:
+        self.extend(trace_id, (span(hop, name, dur_s, **extra),))
+
+    def extend(self, trace_id: str, spans) -> None:
+        """Splice already-built span records (e.g. worker-returned) in."""
+        with self._lock:
+            pending = self._pending.get(trace_id)
+            if pending is None:
+                while len(self._pending) >= self._max_pending:
+                    self._pending.pop(next(iter(self._pending)))
+                pending = self._pending[trace_id] = []
+            pending.extend(spans)
+
+    def finish(self, trace_id: str, *, method: str, wall_s: float,
+               error: str | None = None) -> dict:
+        """Seal the trace: ring it, slow-log it past the threshold."""
+        with self._lock:
+            spans = self._pending.pop(trace_id, [])
+            trace = {
+                "trace_id": trace_id,
+                "method": method,
+                "wall_s": round(float(wall_s), 9),
+                "ts": time.time(),
+                "spans": spans,
+            }
+            if error is not None:
+                trace["error"] = error
+            slow = (self.slow_threshold_s is not None
+                    and wall_s >= self.slow_threshold_s)
+            if slow:
+                trace["slow"] = True
+                self._slow.append(trace)
+            self._ring.append(trace)
+        return trace
+
+    def drop(self, trace_id: str) -> None:
+        """Forget an abandoned trace without ringing it."""
+        with self._lock:
+            self._pending.pop(trace_id, None)
+
+    def recent(self) -> list[dict]:
+        with self._lock:
+            return list(self._ring)
+
+    def slow_queries(self) -> list[dict]:
+        with self._lock:
+            return list(self._slow)

@@ -70,6 +70,16 @@ class ServeConfig:
         session_budget: per-connection cap on admitted-but-unwritten
             requests; a connection at its cap stops being read
             (backpressure) rather than rejected.
+        metrics: keep a real :class:`~repro.obs.MetricsRegistry` per
+            serving process; ``False`` swaps in the no-op registry
+            (the ``--trace-overhead`` benchmark baseline).
+        trace_sample: fraction of client frames the front-end traces
+            end-to-end (0.0 = never, 1.0 = every frame).
+        trace_ring: bound of the in-memory recent-trace ring (and the
+            slow-query log) kept by the trace collector.
+        slow_query_s: wall-time threshold above which a finished trace
+            is also recorded on the slow-query log; ``None`` disables
+            the log.
     """
 
     replicas: int = 2
@@ -83,10 +93,20 @@ class ServeConfig:
     max_inflight: int = 256
     admission_budget: int = 1024
     session_budget: int = 64
+    metrics: bool = True
+    trace_sample: float = 0.0
+    trace_ring: int = 128
+    slow_query_s: float | None = None
 
     def __post_init__(self):
         if self.replicas < 1:
             raise ConfigError("replicas must be >= 1")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ConfigError("trace_sample must be in [0.0, 1.0]")
+        if self.trace_ring < 1:
+            raise ConfigError("trace_ring must be >= 1")
+        if self.slow_query_s is not None and self.slow_query_s <= 0:
+            raise ConfigError("slow_query_s must be > 0 (or None)")
         if self.transport not in TRANSPORTS:
             raise ConfigError(
                 f"unknown transport {self.transport!r}; "

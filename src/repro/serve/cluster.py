@@ -19,10 +19,12 @@ bounded-staleness routing with zero catch-up work on the read path.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable, Iterable, TypeVar
 
 from repro.errors import ReplicaUnavailable
 from repro.model.graph import ProvenanceGraph
+from repro.obs import ObsContext
 from repro.query.cypherlite import Budget
 from repro.query.ops import Lineage
 from repro.segment.pgseg import PgSegQuery, Segment
@@ -170,6 +172,10 @@ class ProvCluster:
                                 out_of_process=out_of_process,
                                 transport=transport, cache_mode=cache_mode)
         self.config = config
+        #: The leader process's one observability handle (registry +
+        #: trace collector): shared by the pool, the router, and the
+        #: front-end, so "one registry per process" holds.
+        self.obs = ObsContext.of(config)
         store = getattr(source, "store", source)
         self.graph = source if isinstance(source, ProvenanceGraph) \
             else ProvenanceGraph(store)
@@ -177,13 +183,14 @@ class ProvCluster:
             from repro.serve.pool import WorkerPool
 
             self.pool: "WorkerPool | None" = WorkerPool(
-                self.graph, config=config)
+                self.graph, config=config, obs=self.obs)
             self.log = self.pool.log
             self.replicas = list(self.pool.clients)
         else:
             self.pool = None
             self.log = ReplicationLog(store)
-            self.replicas = [Replica(self.log, i)
+            self.replicas = [Replica(self.log, i,
+                                     registry=self.obs.registry)
                              for i in range(config.replicas)]
         self.router = QueryRouter(self.replicas)
         # All replicas bootstrapped off one memoized payload; free it now.
@@ -337,7 +344,9 @@ class ProvCluster:
     # ------------------------------------------------------------------
 
     def query_many(self, specs, min_epoch: int | None = None,
-                   raw: bool = False) -> list[Any]:
+                   raw: bool = False,
+                   trace_ids: "list[str | None] | None" = None,
+                   ) -> list[Any]:
         """Serve a batch of read specs as one fan-out; results in order.
 
         ``specs`` is a sequence of :class:`~repro.serve.api.QuerySpec`
@@ -374,6 +383,11 @@ class ProvCluster:
         there. Best-effort: entries served in-process, by leader-local
         fallback, or re-routed after a mid-bundle crash may still be
         domain objects, so raw consumers must handle both shapes.
+
+        ``trace_ids`` (parallel to ``specs``; ``None`` entries untraced)
+        threads sampled requests' trace ids down to the workers: the
+        route span is recorded here, the transport/worker spans by the
+        worker client as answers arrive.
         """
         stamp = self.leader_epoch if min_epoch is None else min_epoch
         # Normalizing validates the whole batch before any bundle goes on
@@ -384,21 +398,35 @@ class ProvCluster:
         specs = [spec.as_tuple() for spec in normalize_specs(specs)]
         if not specs:
             return []
+        if trace_ids is None:
+            trace_ids = [None] * len(specs)
+        route_started = perf_counter()
         targets = self.router.route_many(stamp, len(self.replicas))
+        route_s = perf_counter() - route_started
+        for trace_id in trace_ids:
+            if trace_id is not None:
+                # Replica selection + catch-up is shared batch work; it
+                # is real wall time on every traced request's path.
+                self.obs.collector.add_span(
+                    trace_id, "cluster", "route", route_s,
+                    targets=len(targets))
         chunks: list[list[tuple[int, Any]]] = [[] for _ in targets]
+        traces: list[list[str | None]] = [[] for _ in targets]
         for index, spec in enumerate(specs):
             chunks[index % len(targets)].append((index, spec))
+            traces[index % len(targets)].append(trace_ids[index])
         results: list[Any] = [None] * len(specs)
         failed: list[list[tuple[int, Any]]] = []
         if self.pool is not None:
             # Pipeline: every bundle on the wire before any collect.
             begun = []
-            for target, chunk in zip(targets, chunks):
+            for target, chunk, chunk_traces in zip(targets, chunks, traces):
                 if not chunk:
                     continue
                 try:
                     handle = target.begin_many(
-                        [spec for _, spec in chunk])
+                        [spec for _, spec in chunk],
+                        trace_ids=chunk_traces)
                 except ReplicaUnavailable:
                     failed.append(chunk)
                     continue
@@ -413,10 +441,19 @@ class ProvCluster:
                 for (index, _), value in zip(chunk, values):
                     results[index] = value
         else:
-            for target, chunk in zip(targets, chunks):
+            for target, chunk, chunk_traces in zip(targets, chunks, traces):
                 if not chunk:
                     continue
+                chunk_started = perf_counter()
                 values = target.query_many([spec for _, spec in chunk])
+                chunk_s = perf_counter() - chunk_started
+                for trace_id in chunk_traces:
+                    if trace_id is not None:
+                        # In-process serving has no transport hop; the
+                        # replica's share of the batch is the compute.
+                        self.obs.collector.add_span(
+                            trace_id, "worker", "compute-local", chunk_s,
+                            replica_id=target.replica_id)
                 target.queries_served += len(chunk)
                 for (index, _), value in zip(chunk, values):
                     results[index] = value
@@ -486,6 +523,14 @@ class ProvCluster:
         the worker's own counters (cache/view telemetry and the
         worker-echoed ``generation``) under ``"worker"`` — this sends a
         ping frame per worker, so it is not free on the serving path.
+        (Without a ping, out-of-process entries still carry a ``worker``
+        key — the last observed pong's counters folded restart-aware by
+        :meth:`WorkerClient.stats
+        <repro.serve.pool.WorkerClient.stats>`.)
+
+        The top level also carries the leader process's registry
+        snapshot under ``"metrics"``; :meth:`metrics` aggregates the
+        worker processes' registries on top.
         """
         replicas = []
         for replica in self.replicas:
@@ -509,6 +554,44 @@ class ProvCluster:
             "frontend": self.frontend.stats()
             if self.frontend is not None else None,
             "replicas": replicas,
+            "metrics": self.obs.registry.snapshot(),
+        }
+
+    def metrics(self) -> dict[str, Any]:
+        """Cluster-wide observability snapshot (the exposition payload).
+
+        Aggregates the leader process's registry with every worker
+        process's (fetched via the ``metrics`` wire method — one request
+        per worker, so not free on the serving path; a worker that
+        cannot answer contributes ``None``). ``traces`` carries the
+        leader-side recent-trace ring and slow-query log. Schema::
+
+            {"leader_epoch": int,
+             "out_of_process": bool,
+             "process": <registry snapshot>,       # leader process
+             "workers": [{"metrics": <snapshot>,
+                          "traces": [...]} | None, ...],
+             "traces": {"recent": [...], "slow": [...]}}
+        """
+        self.obs.registry.gauge("cluster.leader_epoch").set(
+            self.leader_epoch)
+        workers: list[dict[str, Any] | None] = []
+        if self.pool is not None:
+            for client in self.replicas:
+                try:
+                    workers.append(client.metrics())
+                except Exception:   # noqa: BLE001 - health tooling must
+                    # degrade per worker, never fail the whole snapshot.
+                    workers.append(None)
+        return {
+            "leader_epoch": self.leader_epoch,
+            "out_of_process": self.pool is not None,
+            "process": self.obs.registry.snapshot(),
+            "workers": workers,
+            "traces": {
+                "recent": self.obs.collector.recent(),
+                "slow": self.obs.collector.slow_queries(),
+            },
         }
 
     def health_check(self) -> list[int]:

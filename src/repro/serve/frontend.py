@@ -48,6 +48,7 @@ import threading
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
+from time import perf_counter
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import (
@@ -56,6 +57,7 @@ from repro.errors import (
     SerializationError,
     TransportClosed,
 )
+from repro.obs import MetricAttr, ObsContext, new_trace_id
 from repro.serve import wire
 from repro.serve.api import ServeConfig
 from repro.serve.pool import RawResult
@@ -85,7 +87,8 @@ def _encode_frame(frame: dict[str, Any]) -> bytes:
 class _Entry:
     """One client request inside a work item."""
 
-    __slots__ = ("request_id", "method", "spec", "error", "result")
+    __slots__ = ("request_id", "method", "spec", "error", "result",
+                 "trace_id", "t_read")
 
     def __init__(self, request_id: int, method: str,
                  spec: "tuple[str, dict] | None", error: BaseException | None):
@@ -94,6 +97,8 @@ class _Entry:
         self.spec = spec          # domain-decoded (method, params), or None
         self.error = error        # decode-time failure, answered in place
         self.result = None
+        self.trace_id: str | None = None   # set when the frame is sampled
+        self.t_read = 0.0                  # admission timestamp (perf clock)
 
 
 class _WorkItem:
@@ -159,6 +164,21 @@ class AsyncFrontend:
     it bound (host, port) is :attr:`address` after :meth:`start`.
     """
 
+    #: Connections accepted (including ones refused at handshake).
+    connections_total = MetricAttr("connections_total")
+    #: client_hello frames with a rejected token.
+    auth_failures = MetricAttr("auth_failures")
+    #: Requests answered (served or failed), excluding rejections.
+    requests_served = MetricAttr("requests_served")
+    #: Requests answered with a typed Overloaded rejection.
+    overloaded_rejections = MetricAttr("overloaded_rejections")
+    #: Dispatch cycles executed against the cluster.
+    batches_dispatched = MetricAttr("batches_dispatched")
+    #: Largest single dispatched batch (a high-water mark, not a rate).
+    max_batch = MetricAttr("max_batch")
+    #: Requests admitted-but-unanswered right now (shared budget gauge).
+    admitted = MetricAttr("admitted")
+
     def __init__(self, cluster: "ProvCluster",
                  config: ServeConfig | None = None):
         if config is None:
@@ -166,14 +186,16 @@ class AsyncFrontend:
         self.cluster = cluster
         self.config = config
         self.address: tuple[str, int] | None = None
-        # -- counters (loop-thread-written, any-thread-read) -----------
-        self.connections_total = 0
-        self.auth_failures = 0
-        self.requests_served = 0
-        self.overloaded_rejections = 0
-        self.batches_dispatched = 0
-        self.max_batch = 0
-        self.admitted = 0
+        # -- observability (shared with the cluster when it has one) ---
+        self.obs: ObsContext = getattr(cluster, "obs", None) \
+            or ObsContext.of(config)
+        self._obs_registry = self.obs.registry
+        self._obs_prefix = "frontend"
+        self._request_hist = self.obs.registry.histogram(
+            "frontend.request_s")
+        for name, attr in type(self).__dict__.items():
+            if isinstance(attr, MetricAttr):
+                getattr(self, name)    # materialize at 0 for snapshots
         # -- loop plumbing ---------------------------------------------
         self._sessions: dict[int, _ClientSession] = {}
         self._next_session = 0
@@ -424,8 +446,16 @@ class AsyncFrontend:
             if kind in ("request", "requests"):
                 try:
                     if kind == "request":
-                        entries = [self._entry(
-                            *wire.request_from_wire(frame))]
+                        request_id, method, params = \
+                            wire.request_from_wire(frame)
+                        if method == "metrics":
+                            # Served out-of-band: a snapshot read must
+                            # not queue behind (or consume budget from)
+                            # the query batches it is meant to observe.
+                            asyncio.ensure_future(
+                                self._serve_metrics(session, request_id))
+                            continue
+                        entries = [self._entry(request_id, method, params)]
                         bundle = False
                     else:
                         calls = wire.requests_bundle_from_wire(frame)
@@ -466,6 +496,12 @@ class AsyncFrontend:
                 continue
             self.admitted += count
             session.unanswered += count
+            now = perf_counter()
+            traced = self.obs.sampled()
+            for entry in entries:
+                entry.t_read = now
+                if traced:
+                    entry.trace_id = new_trace_id()
             session.inbound.append(_WorkItem(session, bundle, entries))
             self._work.set()
 
@@ -585,12 +621,24 @@ class AsyncFrontend:
             stamp = self.cluster.leader_epoch
             self.batches_dispatched += 1
             self.max_batch = max(self.max_batch, len(specs))
+            trace_ids = [entry.trace_id for entry in owners]
+            if any(trace_id is not None for trace_id in trace_ids):
+                collector = self.obs.collector
+                now = perf_counter()
+                for entry in owners:
+                    if entry.trace_id is not None:
+                        collector.add_span(
+                            entry.trace_id, "frontend", "queue",
+                            now - entry.t_read, method=entry.method)
+            else:
+                trace_ids = None
             if specs:
                 try:
                     results = await self._loop.run_in_executor(
                         self._executor,
                         partial(self.cluster.query_many, specs,
-                                min_epoch=stamp, raw=True))
+                                min_epoch=stamp, raw=True,
+                                trace_ids=trace_ids))
                 except asyncio.CancelledError:
                     raise
                 except BaseException as exc:  # total fan-out failure:
@@ -604,11 +652,20 @@ class AsyncFrontend:
 
     def _finish_item(self, item: _WorkItem, stamp: int) -> None:
         session = item.session
+        collector = self.obs.collector
+        now = perf_counter()
         responses = []
         for entry in item.entries:
             failure = entry.error if entry.error is not None else (
                 entry.result if isinstance(entry.result, BaseException)
                 else None)
+            wall = now - entry.t_read
+            self._request_hist.observe(wall)
+            if entry.trace_id is not None:
+                collector.finish(
+                    entry.trace_id, method=entry.method, wall_s=wall,
+                    error=type(failure).__name__ if failure is not None
+                    else None)
             if failure is not None:
                 session.errors += 1
                 responses.append(wire.response_to_wire(
@@ -626,6 +683,41 @@ class AsyncFrontend:
         if not session.closed:
             session.unanswered -= count
             session.served += count
+            session.outbound.put_nowait(frame)
+            self._wake(session)
+
+    # -- metrics exposition ---------------------------------------------
+
+    async def _serve_metrics(self, session: _ClientSession,
+                             request_id: int) -> None:
+        """Answer one client-session ``metrics`` request.
+
+        Runs :meth:`ProvCluster.metrics` on the same single-thread
+        executor as query dispatch (worker clients are not thread-safe),
+        but outside the admission path: a monitoring probe neither
+        consumes budget nor waits behind a full batch queue.
+        """
+        try:
+            payload = await self._loop.run_in_executor(
+                self._executor, self.cluster.metrics)
+            payload["frontend"] = {
+                "connections_total": self.connections_total,
+                "admitted": self.admitted,
+                "requests_served": self.requests_served,
+                "overloaded_rejections": self.overloaded_rejections,
+                "batches_dispatched": self.batches_dispatched,
+                "max_batch": self.max_batch,
+                "sessions": len(self._sessions),
+            }
+            frame = wire.response_to_wire(
+                request_id, self.cluster.leader_epoch, result=payload)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            frame = wire.response_to_wire(
+                request_id, self.cluster.leader_epoch,
+                error=wire.error_to_wire(exc))
+        if not session.closed:
             session.outbound.put_nowait(frame)
             self._wake(session)
 
@@ -755,6 +847,8 @@ class FrontendClient:
         self._arrived[request_id] = (ok, payload, method)
 
     def _decode(self, method: str, payload: Any) -> Any:
+        if method == "metrics":
+            return payload       # already a plain JSON document
         if method in ("lineage", "impacted"):
             return wire.lineage_from_wire(payload)
         if method == "blame":
@@ -788,6 +882,10 @@ class FrontendClient:
     def cypher(self, text: str, budget: Any = None) -> Any:
         return self.query("cypher", {"text": str(text),
                                      "budget": wire.budget_to_wire(budget)})
+
+    def metrics(self) -> dict[str, Any]:
+        """The cluster-wide metrics document (see ProvCluster.metrics)."""
+        return self.query("metrics", {})
 
     def query_many(self, specs) -> list[Any]:
         """One ``requests`` bundle; index-aligned results, errors as

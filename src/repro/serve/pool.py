@@ -69,6 +69,7 @@ from repro.errors import (
     TransportTimeout,
 )
 from repro.model.graph import ProvenanceGraph
+from repro.obs import MetricAttr, ObsContext
 from repro.query.cypherlite import Budget
 from repro.query.ops import Lineage
 from repro.segment.pgseg import PgSegOperator, PgSegQuery, Segment
@@ -90,6 +91,7 @@ from repro.serve.wire import (
     request_to_wire,
     requests_bundle_to_wire,
     response_from_wire,
+    response_trace_from_wire,
     responses_bundle_from_wire,
     rows_from_wire,
     segment_from_wire,
@@ -99,6 +101,13 @@ from repro.serve.wire import (
 
 #: Transport kinds the pool can spawn workers over.
 TRANSPORTS = ("socket", "pipe")
+
+#: Pong keys that are point-in-time (not cumulative): a restart fold
+#: takes the latest value, never a sum.
+_PONG_GAUGE_KEYS = frozenset({"cache_size", "view_count"})
+
+#: Pong keys that identify the spawn rather than count anything.
+_PONG_IDENTITY_KEYS = frozenset({"worker_id", "generation", "cache_mode"})
 
 
 def _worker_env() -> dict[str, str]:
@@ -126,9 +135,27 @@ class WorkerClient:
     what the benchmark's fan-out threads rely on.
     """
 
+    #: Counters kept name-compatible with Replica.stats(); each is
+    #: backed by the pool registry under ``pool.worker<i>.<name>``.
+    resyncs = MetricAttr("resyncs")
+    restarts = MetricAttr("restarts")
+    batches_shipped = MetricAttr("batches_shipped")
+    queries_served = MetricAttr("queries_served")
+    local_fallbacks = MetricAttr("local_fallbacks")
+    #: Responses for requests nobody was waiting on anymore (dropped).
+    late_responses = MetricAttr("late_responses")
+    #: Requests abandoned by a deadline (worker kept unless poisoned).
+    timeouts = MetricAttr("timeouts")
+    #: Mid-frame timeouts that poisoned the transport (crash path).
+    poisoned = MetricAttr("poisoned")
+    #: Bundles put on the wire via begin_many.
+    bundles_sent = MetricAttr("bundles_sent")
+
     def __init__(self, pool: "WorkerPool", replica_id: int):
         self._pool = pool
         self.replica_id = replica_id
+        self._obs_registry = pool.obs.registry
+        self._obs_prefix = f"pool.worker{replica_id}"
         self.proc: subprocess.Popen | None = None
         self.transport: LineTransport | None = None
         #: The epoch the pool has shipped this worker up to.
@@ -139,20 +166,19 @@ class WorkerClient:
         #: Answers that arrived while awaiting a different id:
         #: request id -> (ok, payload).
         self._arrived: dict[int, tuple[bool, Any]] = {}
-        #: Counters kept name-compatible with Replica.stats().
-        self.resyncs = 0
-        self.restarts = 0
-        self.batches_shipped = 0
-        self.queries_served = 0
-        self.local_fallbacks = 0
-        #: Responses for requests nobody was waiting on anymore (dropped).
-        self.late_responses = 0
-        #: Requests abandoned by a deadline (worker kept unless poisoned).
-        self.timeouts = 0
-        #: Mid-frame timeouts that poisoned the transport (crash path).
-        self.poisoned = 0
-        #: Bundles put on the wire via begin_many.
-        self.bundles_sent = 0
+        #: Traced in-flight requests: request id -> (trace_id, t_send).
+        self._trace_marks: dict[int, tuple[str, float]] = {}
+        #: Restart-aware pong accounting (see stats()): counters folded
+        #: from completed spawns, and the latest pong of the current one.
+        self._pong_base: dict[str, Any] = {}
+        self._pong_last: dict[str, Any] = {}
+        #: Last shipped-but-unobserved batch: (epoch, t_ship). The first
+        #: answer/pong echoing that epoch observes ship->apply latency.
+        self._ship_mark: tuple[int, float] | None = None
+        self._apply_hist = pool.obs.registry.histogram(
+            "replication.ship_apply_s")
+        self._roundtrip_hist = pool.obs.registry.histogram(
+            "pool.transport_roundtrip_s")
 
     # ------------------------------------------------------------------
     # Replication surface (router-facing)
@@ -211,6 +237,10 @@ class WorkerClient:
     def _accept(self, frame: dict[str, Any]) -> None:
         """File one response frame into the pending map (or drop it)."""
         got_id, epoch, ok, payload = response_from_wire(frame)
+        self._observe_apply(epoch)
+        mark = self._trace_marks.pop(got_id, None)
+        if mark is not None:
+            self._record_trace(mark, frame)
         if got_id in self._pending:
             if epoch > self.epoch:
                 # The worker's replayed epoch is authoritative when it is
@@ -232,6 +262,38 @@ class WorkerClient:
             # the worker must treat as divergence.
             self.late_responses += 1
 
+    def _observe_apply(self, echoed_epoch: int) -> None:
+        """Observe ship->apply latency: the first echo at (or past) the
+        last-shipped epoch proves the worker applied that batch."""
+        mark = self._ship_mark
+        if mark is not None and echoed_epoch >= mark[0]:
+            self._apply_hist.observe(time.perf_counter() - mark[1])
+            self._ship_mark = None
+
+    def _record_trace(self, mark: tuple[str, float],
+                      frame: dict[str, Any]) -> None:
+        """Append this hop's spans for a traced request.
+
+        The transport span is the round trip *minus* the worker's own
+        reported compute — wire time plus queueing behind pipelined
+        siblings — so a trace's spans stay disjoint and sum to at most
+        the caller's wall time.
+        """
+        trace_id, t_send = mark
+        roundtrip = time.perf_counter() - t_send
+        self._roundtrip_hist.observe(roundtrip)
+        try:
+            worker_spans = response_trace_from_wire(frame) or []
+        except SerializationError:
+            worker_spans = []
+        worker_s = sum(entry.get("dur_s", 0.0) for entry in worker_spans)
+        collector = self._pool.obs.collector
+        collector.add_span(trace_id, "transport", "roundtrip",
+                           max(0.0, roundtrip - worker_s),
+                           replica_id=self.replica_id)
+        if worker_spans:
+            collector.extend(trace_id, worker_spans)
+
     def _absorb(self, frame: dict[str, Any]) -> bool:
         """Consume response/event frames; False for anything else."""
         kind = frame.get("kind")
@@ -250,25 +312,37 @@ class WorkerClient:
         return False
 
     def _send_calls(self,
-                    calls: "list[tuple[str, dict[str, Any]]]") -> list[int]:
+                    calls: "list[tuple[str, dict[str, Any]]]",
+                    trace_ids: "list[str | None] | None" = None,
+                    ) -> list[int]:
         """Put one frame on the wire: a single request, or one bundle.
 
         Returns the allocated request ids (now pending), in call order.
+        ``trace_ids`` (parallel to ``calls``) tags traced requests: their
+        ids are marked so the answering frame records a transport span
+        and splices the worker's spans in (see :meth:`_record_trace`).
         """
         stream = self._ensure_transport()
         ids = []
         for _ in calls:
             ids.append(self._next_request)
             self._next_request += 1
+        if trace_ids is None:
+            trace_ids = [None] * len(calls)
         if len(calls) == 1:
             method, params = calls[0]
-            frame = request_to_wire(ids[0], method, params)
+            frame = request_to_wire(ids[0], method, params,
+                                    trace_id=trace_ids[0])
         else:
             frame = requests_bundle_to_wire([
                 (request_id, method, params)
                 for request_id, (method, params) in zip(ids, calls)
-            ])
+            ], trace_ids=trace_ids)
             self.bundles_sent += 1
+        now = time.perf_counter()
+        for request_id, trace_id in zip(ids, trace_ids):
+            if trace_id is not None:
+                self._trace_marks[request_id] = (trace_id, now)
         try:
             # Bounded send: a worker that stopped draining its stream
             # (e.g. itself blocked writing a huge late response) must
@@ -357,6 +431,7 @@ class WorkerClient:
     # ------------------------------------------------------------------
 
     def begin_many(self, specs: "list[tuple[str, dict[str, Any]]]",
+                   trace_ids: "list[str | None] | None" = None,
                    ) -> "_BundleHandle":
         """Pipeline a batch of query specs as one ``requests`` bundle.
 
@@ -375,24 +450,33 @@ class WorkerClient:
                 (restarted + re-synced; retry on another replica).
             ValueError: an unknown spec method (caller bug).
         """
+        if trace_ids is None:
+            trace_ids = [None] * len(specs)
         entries: list[tuple[str, Any, Any]] = []
         wire_calls: list[tuple[str, dict[str, Any]]] = []
-        for method, params in specs:
+        wire_traces: list[str | None] = []
+        for (method, params), trace_id in zip(specs, trace_ids):
             encoded = self._encode_spec(method, params)
             if encoded is None:
                 # Leader-local fallback, evaluated eagerly with the same
                 # per-request error isolation as a wire answer.
+                started = time.perf_counter()
                 try:
                     result: Any = PgSegOperator(self._pool.graph).evaluate(
                         params["query"])
                 except Exception as exc:   # noqa: BLE001 - isolated
                     result = exc
                 self.local_fallbacks += 1
+                if trace_id is not None:
+                    self._pool.obs.collector.add_span(
+                        trace_id, "worker", "local-fallback",
+                        time.perf_counter() - started, method=method)
                 entries.append(("local", result, method))
             else:
                 entries.append(("wire", len(wire_calls), method))
                 wire_calls.append(encoded)
-        ids = self._send_calls(wire_calls) if wire_calls else []
+                wire_traces.append(trace_id)
+        ids = self._send_calls(wire_calls, wire_traces) if wire_calls else []
         return _BundleHandle(entries, ids)
 
     def collect_many(self, handle: "_BundleHandle",
@@ -443,6 +527,9 @@ class WorkerClient:
         for request_id in ids:
             self._pending.discard(request_id)
             self._arrived.pop(request_id, None)
+            # The trace itself survives (a re-routed retry keeps adding
+            # spans); only this request's transport mark is forgotten.
+            self._trace_marks.pop(request_id, None)
 
     def _encode_spec(self, method: str, params: dict[str, Any],
                      ) -> "tuple[str, dict[str, Any]] | None":
@@ -550,7 +637,58 @@ class WorkerClient:
             frame = self.transport.recv(timeout=deadline)
             if self._absorb(frame):
                 continue
-            return pong_from_wire(frame)
+            epoch, stats = pong_from_wire(frame)
+            self._observe_apply(epoch)
+            self._note_pong(stats)
+            return epoch, stats
+
+    def metrics(self) -> dict[str, Any]:
+        """The worker's registry snapshot + recent worker-side traces
+        (the ``metrics`` wire method)."""
+        return self._request("metrics", {})
+
+    # ------------------------------------------------------------------
+    # Restart-aware pong accounting
+    # ------------------------------------------------------------------
+
+    def _note_pong(self, stats: dict[str, Any]) -> None:
+        """Track the latest pong, folding across a generation change.
+
+        The normal restart path folds in :meth:`_discard_process`; the
+        generation check here additionally catches a worker that was
+        restarted *without* this client observing the teardown (defense
+        in depth — generations are stamped on the worker command line
+        precisely so resets are detectable).
+        """
+        if not stats:
+            return
+        if self._pong_last and \
+                stats.get("generation") != self._pong_last.get("generation"):
+            self._fold_pong()
+        self._pong_last = dict(stats)
+
+    def _fold_pong(self) -> None:
+        """Accumulate the dying spawn's counters into the fold base."""
+        for key, value in self._pong_last.items():
+            if key in _PONG_IDENTITY_KEYS or key in _PONG_GAUGE_KEYS:
+                continue
+            if isinstance(value, (int, float)) \
+                    and not isinstance(value, bool):
+                self._pong_base[key] = self._pong_base.get(key, 0) + value
+        self._pong_last = {}
+
+    def _folded_worker_counters(self) -> dict[str, Any]:
+        """Worker counters continuous across restarts (base + current)."""
+        folded = dict(self._pong_base)
+        for key, value in self._pong_last.items():
+            if key in _PONG_IDENTITY_KEYS or key in _PONG_GAUGE_KEYS:
+                folded[key] = value
+            elif isinstance(value, (int, float)) \
+                    and not isinstance(value, bool):
+                folded[key] = folded.get(key, 0) + value
+            else:
+                folded[key] = value
+        return folded
 
     def stats(self) -> dict[str, Any]:
         """Replication/serving counters (Replica-compatible keys).
@@ -560,7 +698,16 @@ class WorkerClient:
         the ``generation`` the worker echoes in pong stats — so
         cumulative counters can be read restart-aware from the client
         side alone.
+
+        ``worker`` carries the worker-process counters of the last
+        observed pong **folded across restarts** (a respawn's counter
+        reset is absorbed into a running base, so rate math needs no
+        hand-applied generation resets); ``raw`` keeps the un-folded
+        values — the current spawn's counters exactly as the worker
+        reported them.
         """
+        self._obs_registry.gauge(
+            f"pool.worker{self.replica_id}.lag").set(self.lag)
         return {
             "replica_id": self.replica_id,
             "epoch": self.epoch,
@@ -576,6 +723,8 @@ class WorkerClient:
             "timeouts": self.timeouts,
             "poisoned": self.poisoned,
             "bundles_sent": self.bundles_sent,
+            "worker": self._folded_worker_counters(),
+            "raw": {"worker": dict(self._pong_last)},
         }
 
     # ------------------------------------------------------------------
@@ -600,6 +749,11 @@ class WorkerClient:
         # stale entry could only leak memory, not misroute).
         self._pending.clear()
         self._arrived.clear()
+        self._trace_marks.clear()
+        self._ship_mark = None
+        # The dying spawn's last-seen counters roll into the fold base so
+        # stats() stays continuous across the restart.
+        self._fold_pong()
 
     def __repr__(self) -> str:   # pragma: no cover - cosmetic
         return (
@@ -672,10 +826,15 @@ class WorkerPool:
                  spawn_timeout: float = 60.0,
                  ping_timeout: float = 10.0,
                  cache_mode: str | None = None,
-                 config: "ServeConfig | None" = None):
+                 config: "ServeConfig | None" = None,
+                 obs: ObsContext | None = None):
         config = ServeConfig.of(config, replicas=count, transport=transport,
                                 cache_mode=cache_mode)
         self.config = config
+        #: The leader process's observability handle. The cluster passes
+        #: its own so leader, pool, and front-end share one registry; a
+        #: bare pool builds one from the config.
+        self.obs = obs if obs is not None else ObsContext.of(config)
         count = config.replicas
         transport = config.transport
         self.cache_mode = config.cache_mode
@@ -716,6 +875,10 @@ class WorkerPool:
                    "--worker-id", str(worker_id), "--token", self._token,
                    "--cache-mode", self.cache_mode,
                    "--generation", str(generation)]
+        if not self.config.metrics:
+            # The overhead-benchmark baseline: workers run the no-op
+            # registry too, so the whole stack is uninstrumented.
+            command += ["--no-metrics"]
         if self.transport_kind == "socket":
             host, port = self._listener.getsockname()
             command += ["--connect", f"{host}:{port}"]
@@ -852,6 +1015,12 @@ class WorkerPool:
             client.transport.send_text(line)
         client.epoch = self.log.epoch
         client.batches_shipped += len(lines)
+        if lines:
+            # Arm the ship->apply latency probe: the next frame echoing
+            # this epoch (answer or pong) closes the measurement.
+            client._ship_mark = (client.epoch, time.perf_counter())
+            self.obs.registry.gauge(
+                f"pool.worker{client.replica_id}.lag").set(client.lag)
         return len(lines)
 
     def refresh(self) -> int:

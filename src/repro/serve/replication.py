@@ -33,6 +33,7 @@ from typing import Any
 
 from repro.errors import ModelError, StoreError
 from repro.model.graph import ProvenanceGraph
+from repro.obs import MetricAttr, MetricsRegistry
 from repro.query.cypherlite import Budget, run_query
 from repro.query.ops import Lineage
 from repro.query.ops import blame as _blame
@@ -108,17 +109,26 @@ class Replica:
     Args:
         log: the leader's :class:`ReplicationLog`.
         replica_id: cosmetic identifier used by the router and stats.
+        registry: the process :class:`~repro.obs.MetricsRegistry` backing
+            the counters below (attribute names unchanged — see
+            :class:`repro.obs.MetricAttr`); ``None`` creates a private
+            one, so standalone replicas need no wiring.
     """
 
-    def __init__(self, log: ReplicationLog, replica_id: int = 0):
+    #: Number of full re-syncs forced by leader log truncation.
+    resyncs = MetricAttr("resyncs")
+    #: Total shipped batches applied since construction.
+    batches_applied = MetricAttr("batches_applied")
+    #: Total queries served (maintained by the router).
+    queries_served = MetricAttr("queries_served")
+
+    def __init__(self, log: ReplicationLog, replica_id: int = 0,
+                 registry=None):
         self._log = log
         self.replica_id = replica_id
-        #: Number of full re-syncs forced by leader log truncation.
-        self.resyncs = 0
-        #: Total shipped batches applied since construction.
-        self.batches_applied = 0
-        #: Total queries served (maintained by the router).
-        self.queries_served = 0
+        self._obs_registry = registry if registry is not None \
+            else MetricsRegistry()
+        self._obs_prefix = f"replica{replica_id}"
         self._bootstrap()
 
     def _bootstrap(self) -> None:

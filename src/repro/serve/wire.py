@@ -455,21 +455,28 @@ def welcome_from_wire(record: dict[str, Any],
 
 #: Methods a replica worker serves (see :mod:`repro.serve.worker`).
 REQUEST_METHODS = ("lineage", "impacted", "blame", "segment", "summarize",
-                   "cypher")
+                   "cypher", "metrics")
 
 
 def request_to_wire(request_id: int, method: str,
-                    params: dict[str, Any]) -> dict[str, Any]:
+                    params: dict[str, Any],
+                    trace_id: str | None = None) -> dict[str, Any]:
     """One query request as a frame.
 
     ``request_id`` correlates the response on a duplex stream that also
     carries unsolicited event frames; ids are chosen by the client and
-    echoed verbatim.
+    echoed verbatim. ``trace_id`` is the optional tracing tag — additive
+    under ``repro-wire-v1``: an absent field means *untraced*, and
+    decoders that predate tracing ignore it.
     """
     if method not in REQUEST_METHODS:
         raise SerializationError(f"unknown request method {method!r}")
-    return {"kind": "request", "format": WIRE_FORMAT,
-            "id": int(request_id), "method": method, "params": params}
+    frame: dict[str, Any] = {"kind": "request", "format": WIRE_FORMAT,
+                             "id": int(request_id), "method": method,
+                             "params": params}
+    if trace_id is not None:
+        frame["trace_id"] = str(trace_id)
+    return frame
 
 
 def request_from_wire(record: dict[str, Any],
@@ -488,15 +495,34 @@ def request_from_wire(record: dict[str, Any],
     return request_id, method, params
 
 
+def trace_id_from_wire(record: dict[str, Any]) -> str | None:
+    """The optional ``trace_id`` of a request frame (``None`` = untraced).
+
+    Kept separate from :func:`request_from_wire` so every existing caller
+    of the 3-tuple decoder stays untraced for free.
+    """
+    trace_id = record.get("trace_id")
+    if trace_id is None:
+        return None
+    if not isinstance(trace_id, str) or not trace_id:
+        raise SerializationError(
+            f"malformed trace_id on request frame: {trace_id!r}")
+    return trace_id
+
+
 def response_to_wire(request_id: int, epoch: int, *,
                      result: Any = None,
-                     error: dict[str, Any] | None = None) -> dict[str, Any]:
+                     error: dict[str, Any] | None = None,
+                     trace: "list[dict[str, Any]] | None" = None,
+                     ) -> dict[str, Any]:
     """One query answer as a frame.
 
     Exactly one of ``result`` (the method-specific result object) and
     ``error`` (an :func:`error_to_wire` record) is carried; ``epoch`` is
     the worker's replayed epoch at answer time, so the client can verify
-    its consistency stamp was honored.
+    its consistency stamp was honored. ``trace`` optionally returns the
+    worker's span records for a traced request — additive, answers an
+    incoming ``trace_id`` and is absent otherwise.
     """
     frame: dict[str, Any] = {"kind": "response", "format": WIRE_FORMAT,
                              "id": int(request_id), "epoch": int(epoch)}
@@ -506,6 +532,8 @@ def response_to_wire(request_id: int, epoch: int, *,
     else:
         frame["ok"] = True
         frame["result"] = result
+    if trace is not None:
+        frame["trace"] = list(trace)
     return frame
 
 
@@ -528,13 +556,32 @@ def response_from_wire(record: dict[str, Any],
     return request_id, epoch, ok, payload
 
 
+def response_trace_from_wire(record: dict[str, Any],
+                             ) -> "list[dict[str, Any]] | None":
+    """The optional worker span records of a response frame.
+
+    ``None`` when the response answers an untraced request. Kept separate
+    from :func:`response_from_wire` for the same reason as
+    :func:`trace_id_from_wire`.
+    """
+    trace = record.get("trace")
+    if trace is None:
+        return None
+    if not isinstance(trace, list) or \
+            any(not isinstance(entry, dict) for entry in trace):
+        raise SerializationError(
+            f"malformed trace on response frame: {trace!r}")
+    return trace
+
+
 # ---------------------------------------------------------------------------
 # Request / response bundle frames (batching + pipelining)
 # ---------------------------------------------------------------------------
 
 
 def requests_bundle_to_wire(
-        calls: "list[tuple[int, str, dict[str, Any]]]") -> dict[str, Any]:
+        calls: "list[tuple[int, str, dict[str, Any]]]",
+        trace_ids: "list[str | None] | None" = None) -> dict[str, Any]:
     """Many query requests as **one** frame.
 
     ``calls`` is a non-empty list of ``(request_id, method, params)``
@@ -544,10 +591,18 @@ def requests_bundle_to_wire(
     individual frames — but against one armed snapshot, and answering
     with one :func:`responses_bundle_to_wire` frame). Request ids must be
     unique within the bundle: the client correlates the answers by id.
+
+    ``trace_ids``, when given, is a list parallel to ``calls`` tagging the
+    traced inner requests (``None`` entries stay untraced) — see
+    :func:`request_to_wire`.
     """
     if not calls:
         raise SerializationError("a requests bundle must carry at least "
                                  "one request")
+    if trace_ids is None:
+        trace_ids = [None] * len(calls)
+    elif len(trace_ids) != len(calls):
+        raise SerializationError("trace_ids must parallel the bundle calls")
     ids = [request_id for request_id, _, _ in calls]
     if len(set(ids)) != len(ids):
         raise SerializationError(
@@ -555,8 +610,10 @@ def requests_bundle_to_wire(
     return {
         "kind": "requests",
         "format": WIRE_FORMAT,
-        "requests": [request_to_wire(request_id, method, params)
-                     for request_id, method, params in calls],
+        "requests": [request_to_wire(request_id, method, params,
+                                     trace_id=trace_id)
+                     for (request_id, method, params), trace_id
+                     in zip(calls, trace_ids)],
     }
 
 
@@ -578,6 +635,21 @@ def requests_bundle_from_wire(record: dict[str, Any],
         raise SerializationError(
             f"duplicate request ids in bundle: {sorted(ids)!r}")
     return calls
+
+
+def bundle_trace_ids(record: dict[str, Any]) -> dict[int, str]:
+    """Trace ids of a requests bundle's traced inner requests, by id.
+
+    Untraced inner requests are simply absent; an untagged bundle decodes
+    to an empty mapping.
+    """
+    _expect_kind(record, "requests")
+    tagged: dict[int, str] = {}
+    for entry in record.get("requests") or ():
+        if isinstance(entry, dict) and entry.get("trace_id") is not None:
+            trace_id = trace_id_from_wire(entry)
+            tagged[int(entry["id"])] = trace_id
+    return tagged
 
 
 def responses_bundle_to_wire(epoch: int,

@@ -72,8 +72,9 @@ Spawned via ``python -m repro.cli serve-worker`` (see
 from __future__ import annotations
 
 import json
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any
 
 from repro.errors import (
@@ -83,6 +84,7 @@ from repro.errors import (
     TransportClosed,
 )
 from repro.model.graph import ProvenanceGraph
+from repro.obs import MetricAttr, MetricsRegistry, span
 from repro.query.cypherlite import run_query
 from repro.query.ops import blame as _blame
 from repro.query.ops import impacted as _impacted
@@ -93,6 +95,7 @@ from repro.serve.wire import (
     batch_from_wire,
     blame_to_wire,
     budget_from_wire,
+    bundle_trace_ids,
     bye_frame,
     error_to_wire,
     event_frame,
@@ -108,6 +111,7 @@ from repro.serve.wire import (
     rows_to_wire,
     segment_to_wire,
     sync_from_frame,
+    trace_id_from_wire,
 )
 from repro.store.delta import SpanEffects, entry_survives, span_effects
 from repro.store.snapshot import GraphSnapshot, default_crossover
@@ -122,6 +126,9 @@ DEFAULT_VIEW_LIMIT = 32
 
 #: Recognized values of ``cache_mode`` (see :class:`ReplicaWorker`).
 CACHE_MODES = ("footprint", "epoch")
+
+#: Bound on the worker's ring of recent traced-request span lists.
+TRACE_RING = 32
 
 
 @dataclass(slots=True)
@@ -160,14 +167,38 @@ class ReplicaWorker:
         generation: monotonic spawn counter assigned by the pool (0 for
             the first spawn, bumped per restart); echoed in pong stats so
             clients can detect counter resets across crash-restarts.
+        registry: the process metrics registry; every counter below is
+            stored in it (the public attribute names stay — see
+            :class:`repro.obs.MetricAttr`). ``None`` creates a fresh
+            :class:`~repro.obs.MetricsRegistry`; the overhead benchmark
+            passes a :class:`~repro.obs.NullRegistry`.
     """
+
+    #: Counters mirrored into pong frames for pool health dashboards;
+    #: each is backed by the worker's registry under ``worker.<name>``.
+    batches_applied = MetricAttr("batches_applied")
+    requests_served = MetricAttr("requests_served")
+    bundles_served = MetricAttr("bundles_served")
+    syncs = MetricAttr("syncs")
+    cache_hits = MetricAttr("cache_hits")
+    cache_misses = MetricAttr("cache_misses")
+    cache_retained = MetricAttr("cache_retained")
+    cache_evicted = MetricAttr("cache_evicted")
+    views_served = MetricAttr("views_served")
+    views_patched = MetricAttr("views_patched")
+    views_recomputed = MetricAttr("views_recomputed")
+    traces_recorded = MetricAttr("traces_recorded")
 
     def __init__(self, transport: LineTransport, worker_id: int = 0,
                  cache_size: int = DEFAULT_CACHE_SIZE,
                  cache_mode: str = "footprint", generation: int = 0,
-                 view_limit: int = DEFAULT_VIEW_LIMIT):
+                 view_limit: int = DEFAULT_VIEW_LIMIT,
+                 registry=None):
         if cache_mode not in CACHE_MODES:
             raise ValueError(f"unknown cache_mode {cache_mode!r}")
+        self._obs_registry = registry if registry is not None \
+            else MetricsRegistry()
+        self._obs_prefix = "worker"
         self._transport = transport
         self.worker_id = worker_id
         self.cache_mode = cache_mode
@@ -187,18 +218,11 @@ class ReplicaWorker:
         #: Materialized summary views keyed by canonical summarize params.
         self._views: OrderedDict[str, _SummaryView] = OrderedDict()
         self._view_limit = view_limit
-        #: Counters mirrored into pong frames for pool health dashboards.
-        self.batches_applied = 0
-        self.requests_served = 0
-        self.bundles_served = 0
-        self.syncs = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.cache_retained = 0
-        self.cache_evicted = 0
-        self.views_served = 0
-        self.views_patched = 0
-        self.views_recomputed = 0
+        #: Span lists of recently traced requests. Only a frame carrying
+        #: a ``trace_id`` ever touches this — untraced traffic leaves
+        #: zero trace state behind.
+        self._trace_ring: deque[dict[str, Any]] = deque(maxlen=TRACE_RING)
+        self._compute_hist = self._obs_registry.histogram("worker.compute_s")
 
     # ------------------------------------------------------------------
     # Serve loop
@@ -371,7 +395,8 @@ class ReplicaWorker:
 
     def _answer(self, frame: dict[str, Any]) -> None:
         self._transport.send(
-            self._response_for(*request_from_wire(frame)))
+            self._response_for(*request_from_wire(frame),
+                               trace_id=trace_id_from_wire(frame)))
 
     def _answer_bundle(self, frame: dict[str, Any]) -> None:
         """Serve a requests bundle: one armed snapshot, one answer frame.
@@ -383,24 +408,76 @@ class ReplicaWorker:
         bundle: frames are processed strictly in order).
         """
         calls = requests_bundle_from_wire(frame)
-        responses = [self._response_for(request_id, method, params)
+        trace_ids = bundle_trace_ids(frame)
+        responses = [self._response_for(request_id, method, params,
+                                        trace_id=trace_ids.get(request_id))
                      for request_id, method, params in calls]
         self.bundles_served += 1
         self._transport.send(responses_bundle_to_wire(self.epoch, responses))
 
+    def metrics(self) -> dict[str, Any]:
+        """The ``metrics`` wire method: registry snapshot + recent traces.
+
+        ``traces`` holds the span lists of recently traced requests (the
+        worker-side halves; the client splices them into full traces).
+        Served outside the result cache — a snapshot is never a pure
+        function of the epoch.
+        """
+        registry = self._obs_registry
+        registry.gauge("worker.epoch").set(self.epoch)
+        registry.gauge("worker.cache_size").set(len(self._cache))
+        registry.gauge("worker.view_count").set(len(self._views))
+        return {"metrics": registry.snapshot(),
+                "traces": list(self._trace_ring)}
+
     def _response_for(self, request_id: int, method: str,
-                      params: dict[str, Any]) -> dict[str, Any]:
+                      params: dict[str, Any],
+                      trace_id: str | None = None) -> dict[str, Any]:
         """One request's response frame (never raises on query errors)."""
         self.requests_served += 1
+        if method == "metrics":
+            # Pre-bootstrap snapshots are legal: health tooling must be
+            # able to inspect a worker that never finished syncing.
+            return response_to_wire(request_id, self.epoch,
+                                    result=self.metrics())
+        hits0, views0 = self.cache_hits, self.views_served
+        patched0 = self.views_patched
+        started = perf_counter()
         try:
             if self.store is None:
                 raise SerializationError("request before bootstrap sync")
             result = self._serve_cached(method, params)
         except Exception as exc:   # noqa: BLE001 - query errors must not
             # kill the worker; the type crosses back in the error record.
+            elapsed = perf_counter() - started
+            self._compute_hist.observe(elapsed)
+            trace = self._trace(trace_id, method, elapsed, "error")
             return response_to_wire(
-                request_id, self.epoch, error=error_to_wire(exc))
-        return response_to_wire(request_id, self.epoch, result=result)
+                request_id, self.epoch, error=error_to_wire(exc),
+                trace=trace)
+        elapsed = perf_counter() - started
+        self._compute_hist.observe(elapsed)
+        if method == "summarize":
+            outcome = ("view-hit" if self.views_served > views0 else
+                       "view-patch" if self.views_patched > patched0 else
+                       "view-recompute")
+        else:
+            outcome = "hit" if self.cache_hits > hits0 else "miss"
+        trace = self._trace(trace_id, method, elapsed, outcome)
+        return response_to_wire(request_id, self.epoch, result=result,
+                                trace=trace)
+
+    def _trace(self, trace_id: str | None, method: str, elapsed: float,
+               cache_outcome: str) -> "list[dict[str, Any]] | None":
+        """The worker's span list for a traced request (None = untraced)."""
+        if trace_id is None:
+            return None
+        spans = [span("worker", "compute", elapsed, method=method,
+                      cache=cache_outcome, worker_id=self.worker_id,
+                      epoch=self.epoch)]
+        self._trace_ring.append({"trace_id": trace_id, "spans": spans})
+        self.traces_recorded += 1
+        return spans
 
     # ------------------------------------------------------------------
     # Result cache

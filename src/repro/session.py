@@ -439,6 +439,19 @@ class LifecycleSession:
         if cluster is not None:
             cluster.close()
 
+    def serving_metrics(self) -> "dict[str, Any] | None":
+        """The serving cluster's observability snapshot, or ``None``.
+
+        A convenience passthrough to
+        :meth:`repro.serve.cluster.ProvCluster.metrics` (leader + worker
+        registries, recent/slow traces) that returns ``None`` instead of
+        raising when no cluster is attached — dashboards can poll it
+        unconditionally.
+        """
+        if self._cluster is None:
+            return None
+        return self._cluster.metrics()
+
     def query_many(self, specs) -> list[Any]:
         """Evaluate a batch of read specs; one routed fan-out when serving.
 

@@ -100,14 +100,22 @@ def test_examples_round_trip_through_codecs():
             assert wire.bye_frame() == block
         elif kind == "request":
             request_id, method, params = wire.request_from_wire(block)
-            assert wire.request_to_wire(request_id, method, params) == block
+            assert wire.request_to_wire(
+                request_id, method, params,
+                trace_id=wire.trace_id_from_wire(block)) == block
             methods_by_id[request_id] = method
             _check_request_params(method, params)
         elif kind == "response":
             _check_response(block, methods_by_id, graph)
         elif kind == "requests":
             calls = wire.requests_bundle_from_wire(block)
-            assert wire.requests_bundle_to_wire(calls) == block
+            tagged = wire.bundle_trace_ids(block)
+            trace_ids = [tagged.get(request_id)
+                         for request_id, _, _ in calls]
+            if not any(trace_ids):
+                trace_ids = None
+            assert wire.requests_bundle_to_wire(
+                calls, trace_ids=trace_ids) == block
             for request_id, method, params in calls:
                 methods_by_id[request_id] = method
                 _check_request_params(method, params)
@@ -130,21 +138,26 @@ def test_examples_round_trip_through_codecs():
                           "client_hello", "welcome"}
     # ... and per request method (lineage shares its codec with impacted).
     assert set(methods_by_id.values()) >= {"lineage", "blame", "segment",
-                                           "summarize", "cypher"}
+                                           "summarize", "cypher", "metrics"}
 
 
 def _check_response(block, methods_by_id, graph):
     request_id, epoch, ok, payload = wire.response_from_wire(block)
+    trace = wire.response_trace_from_wire(block)
+    if trace is not None:
+        # Every documented span is a complete span record.
+        for entry in trace:
+            assert {"hop", "name", "dur_s"} <= set(entry)
     if ok:
         assert wire.response_to_wire(
-            request_id, epoch, result=payload) == block
+            request_id, epoch, result=payload, trace=trace) == block
         method = methods_by_id.get(request_id)
         assert method is not None, \
             f"ok-response {request_id} has no documented request"
         _check_result(method, payload, graph)
     else:
         assert wire.response_to_wire(
-            request_id, epoch, error=payload) == block
+            request_id, epoch, error=payload, trace=trace) == block
         rebuilt = wire.error_from_wire(payload)
         assert type(rebuilt).__name__ == payload["type"]
         assert payload["message"] in str(rebuilt)
@@ -166,6 +179,8 @@ def _check_request_params(method, params):
         budget = wire.budget_from_wire(params["budget"])
         assert wire.budget_to_wire(budget) == params["budget"]
         assert isinstance(params["text"], str)
+    elif method == "metrics":
+        assert params == {}
 
 
 def _check_result(method, result, graph):
@@ -190,3 +205,15 @@ def _check_result(method, result, graph):
     elif method == "cypher":
         rows = wire.rows_from_wire(graph, result)
         assert wire.rows_to_wire(rows) == result
+    elif method == "metrics":
+        from repro.obs import merge_snapshots, render_prometheus
+        snapshot = result["metrics"]
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        # The documented snapshot must be the one schema the exposition
+        # helpers accept: self-merge doubles counters, prometheus renders.
+        merged = merge_snapshots([snapshot, snapshot])
+        for name, value in snapshot["counters"].items():
+            assert merged["counters"][name] == 2 * value
+        assert render_prometheus(snapshot)
+        for trace in result["traces"]:
+            assert set(trace) == {"trace_id", "spans"}
