@@ -84,6 +84,23 @@ An absolute p99 latency ceiling rides along. Both sides serve the
 identical multiset and must agree on the digest, so the front-end
 cannot pass by dropping or rerouting requests into different answers.
 
+``--sharded`` (implies ``--out-of-process``) gates the PR 9 sharded
+serving layer under **write-heavy ingest**: a property-dominated write
+trickle (~4 annotation writes per structural append — the live-lifecycle
+regime where artifacts collect notes and metrics far more often than new
+runs land) ships every round to either a
+:class:`repro.serve.shards.ShardedCluster` of 4 shards x 2 workers or an
+*unsharded* 8-worker pool — same worker count, same transport, same
+seeded stream. The unsharded pool must apply **every** write on **every**
+worker (8 applies per property batch); the sharded cluster broadcasts
+only structural batches and routes each property write to its owner
+shard's 2 workers, so the ingest fan-out shrinks ~4x on the dominant
+write class while reads still scatter across all 8 workers. A fixed
+dashboard of shallow lineage tiles (structure-only and therefore
+shard-exact) is re-asked between bursts through ``query_many`` and must
+produce identical digests on both sides — sharding cannot pass the gate
+by serving different answers.
+
 ``--trace-overhead`` (implies ``--out-of-process``) gates the PR 8
 observability layer's cost: the batched spec stream served with full
 instrumentation — a real :class:`repro.obs.MetricsRegistry` in the
@@ -115,6 +132,8 @@ Plain script so CI can smoke it cheaply::
     PYTHONPATH=src python benchmarks/bench_replication.py --quick \
         --trace-overhead --json BENCH_trace_overhead.json \
         --metrics-snapshot METRICS_snapshot.json
+    PYTHONPATH=src python benchmarks/bench_replication.py --quick \
+        --sharded --json BENCH_replication_sharded.json
 
 Exits non-zero when the gated mode's aggregate read throughput is not at
 least ``FLOORS[mode]`` times its baseline — the single-store live server
@@ -156,7 +175,10 @@ FLOORS = {"full": 2.0, "quick": 2.0, "full-oop": 2.0, "quick-oop": 2.0,
           # request traced end-to-end) must keep >= 95% of the no-op
           # registry baseline's throughput, i.e. observability costs
           # under 5%.
-          "full-trace-overhead": 0.95, "quick-trace-overhead": 0.95}
+          "full-trace-overhead": 0.95, "quick-trace-overhead": 0.95,
+          # --sharded gates write-heavy ingest throughput: 4 shards x 2
+          # workers vs an unsharded 8-worker pool on the same stream.
+          "full-sharded": 1.5, "quick-sharded": 1.5}
 
 #: ``--steady-writes`` additionally gates the fraction of cache lookups
 #: the footprint-retaining pool answers from entries that survived an
@@ -517,6 +539,197 @@ class TracedOopClusterServer(BatchedOopClusterServer):
     def metrics_snapshot(self):
         """The cluster-wide metrics document (untimed, pool still live)."""
         return self.cluster.metrics()
+
+
+# ---------------------------------------------------------------------------
+# --sharded: segment-partitioned ingest vs an unsharded pool, same workers
+# ---------------------------------------------------------------------------
+
+N_SHARDS = 4
+WORKERS_PER_SHARD = 2
+
+
+class ShardedIngestServer:
+    """PR 9 gated mode: 4 shards x 2 workers behind one coordinator.
+
+    Every round drains the leader's write burst into the shard feeds
+    (structural batches broadcast, property batches to their owner shard
+    only) and ships each shard's log to that shard's 2 workers, then
+    serves the dashboard as one scatter-gathered ``query_many``.
+    """
+
+    name = f"sharded-{N_SHARDS}x{WORKERS_PER_SHARD}"
+
+    def __init__(self, graph):
+        from repro.serve.shards import ShardedCluster
+        self.cluster = ShardedCluster(graph, config=ServeConfig(
+            shards=N_SHARDS, replicas=WORKERS_PER_SHARD,
+            out_of_process=True, transport="socket"))
+
+    def serve_specs(self, specs):
+        self.cluster.refresh()      # split + ship the burst, inside timing
+        results = self.cluster.query_many(specs)
+        return (sum(digest_of(spec, result)
+                    for spec, result in zip(specs, results)), len(specs))
+
+    def close(self):
+        self.cluster.close()
+
+
+class UnshardedIngestServer:
+    """PR 9 baseline: the same 8 workers as one flat pool — every write
+    batch is applied by every worker (8 applies per property write where
+    the sharded cluster pays 2)."""
+
+    name = f"unsharded-pool-x{N_SHARDS * WORKERS_PER_SHARD}"
+
+    def __init__(self, graph):
+        self.cluster = ProvCluster(graph, config=ServeConfig(
+            replicas=N_SHARDS * WORKERS_PER_SHARD,
+            out_of_process=True, transport="socket"))
+
+    def serve_specs(self, specs):
+        self.cluster.refresh()      # one ship per worker, inside timing
+        results = self.cluster.query_many(specs)
+        return (sum(digest_of(spec, result)
+                    for spec, result in zip(specs, results)), len(specs))
+
+    def close(self):
+        self.cluster.close()
+
+
+def run_ingest_workload(server_cls, n_vertices: int, rounds: int,
+                        props_per_round: int, appends_per_round: int,
+                        targets_per_round: int, walk_depth: int,
+                        warmup_rounds: int = 2, seed: int = 17) -> dict:
+    """One ``--sharded`` contender over the shared write-heavy stream.
+
+    Each round lands ``props_per_round`` property annotations (each its
+    own epoch — the per-batch ship fan-out is exactly what the gate
+    measures) plus ``appends_per_round`` structural runs (~4:1
+    props:structural), then re-asks one fixed structure-only dashboard
+    through ``query_many``. Writes happen between serve calls, so every
+    ``serve_specs`` pays the full burst's ship-and-apply before a single
+    answer — ingest cost sits squarely inside the timed window.
+    """
+    instance = generate_pd_sized(n_vertices, seed=7)
+    graph = instance.graph
+    entities = list(instance.entities)
+    rng = random.Random(seed)
+    targets = rng.sample(entities, k=targets_per_round)   # the dashboard
+    fresh: list[int] = []                  # outputs appended after seeding
+
+    def round_specs():
+        return [("lineage", {"entity": entity, "max_depth": walk_depth})
+                for entity in targets]
+
+    def write_burst(index: int) -> None:
+        for write in range(props_per_round):
+            subject = rng.choice(fresh) if fresh else rng.choice(entities)
+            graph.store.set_vertex_property(
+                subject, "ingest_note", f"round{index}.{write}")
+        for append in range(appends_per_round):
+            fresh.append(append_run(
+                graph, rng, entities,
+                index * appends_per_round + append))
+
+    t0 = time.perf_counter()
+    server = server_cls(graph)
+    for index in range(warmup_rounds):
+        write_burst(index)
+        server.serve_specs(round_specs())
+    bootstrap_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    digest = 0
+    queries = 0
+    writes = 0
+    try:
+        for index in range(rounds):
+            write_burst(warmup_rounds + index)
+            writes += props_per_round + appends_per_round
+            round_digest, round_queries = server.serve_specs(round_specs())
+            digest += round_digest
+            queries += round_queries
+        elapsed = time.perf_counter() - t0      # teardown stays untimed
+    finally:
+        server.close()
+    ops = writes + queries
+    return {
+        "mode": server_cls.name,
+        "digest": digest,
+        "queries": queries,
+        "writes_shipped": writes,
+        "bootstrap_s": bootstrap_s,
+        "elapsed_s": elapsed,
+        "queries_per_s": queries / elapsed if elapsed else float("inf"),
+        "ops_per_s": ops / elapsed if elapsed else float("inf"),
+    }
+
+
+def _sharded_main(args, mode: str) -> int:
+    """``--sharded``: segment-partitioned ingest vs the flat 8-worker pool."""
+    floor = FLOORS[mode]
+    rounds = 6 if args.quick else 12
+    props_per_round, appends_per_round = 120, 6
+    targets, walk_depth = 4, 1
+    print(f"workload: {rounds} rounds x ({props_per_round} property + "
+          f"{appends_per_round} structural writes, then {targets} "
+          f"shallow-lineage tiles) on a Pd graph (n=12000), "
+          f"write-heavy ingest (~4:1 props:structural batches)")
+    trials = 2 if args.quick else 3
+    results = {}
+    digests = set()
+    for server_cls in (UnshardedIngestServer, ShardedIngestServer):
+        best = None
+        for _ in range(trials):
+            result = run_ingest_workload(
+                server_cls, 12000, rounds, props_per_round,
+                appends_per_round, targets, walk_depth)
+            digests.add(result["digest"])
+            if best is None or result["ops_per_s"] > best["ops_per_s"]:
+                best = result
+        results[best["mode"]] = best
+        print(f"{best['mode']:<18s} {best['writes_shipped']:4d} writes"
+              f" + {best['queries']:4d} queries in "
+              f"{best['elapsed_s']:8.3f}s   "
+              f"({best['ops_per_s']:8.1f} ops/s, "
+              f"bootstrap {best['bootstrap_s']:5.2f}s, "
+              f"best of {trials})")
+    if len(digests) != 1:
+        raise AssertionError(
+            f"serving modes diverged: digests {sorted(digests)}")
+    sharded = results[ShardedIngestServer.name]
+    baseline = results[UnshardedIngestServer.name]
+    speedup = sharded["ops_per_s"] / baseline["ops_per_s"]
+    print(f"{ShardedIngestServer.name} vs {UnshardedIngestServer.name} : "
+          f"{speedup:5.2f}x  (floor {floor}x)")
+    passed = speedup >= floor
+    record = {
+        "benchmark": "bench_replication",
+        "mode": mode,
+        "n_vertices": 12000,
+        "shards": N_SHARDS,
+        "workers_per_shard": WORKERS_PER_SHARD,
+        "sharded": True,
+        "baseline": UnshardedIngestServer.name,
+        "floor": floor,
+        "speedup_vs_baseline": speedup,
+        "results": results,
+        "pass": passed,
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if not args.no_assert and not passed:
+        print(f"FAIL: {ShardedIngestServer.name} ingest+serve throughput "
+              f"{speedup:.2f}x the {UnshardedIngestServer.name} baseline "
+              f"(floor {floor}x)", file=sys.stderr)
+        return 1
+    print("ok")
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -1113,6 +1326,10 @@ def main(argv: list[str] | None = None) -> int:
                              "serving must keep >= 95%% of the no-op "
                              "registry baseline's throughput (implies "
                              "--out-of-process)")
+    parser.add_argument("--sharded", action="store_true",
+                        help="gate write-heavy ingest on 4 shards x 2 "
+                             "workers against an unsharded 8-worker pool "
+                             "(implies --out-of-process)")
     parser.add_argument("--metrics-snapshot", metavar="PATH",
                         help="with --trace-overhead: write the "
                              "instrumented run's cluster-wide metrics "
@@ -1123,14 +1340,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="write a machine-readable result record")
     args = parser.parse_args(argv)
     if args.batched or args.steady_writes or args.open_loop \
-            or args.trace_overhead:
+            or args.trace_overhead or args.sharded:
         args.out_of_process = True
     if sum((args.batched, args.steady_writes, args.open_loop,
-            args.trace_overhead)) > 1:
-        parser.error("--batched, --steady-writes, --open-loop, and "
-                     "--trace-overhead are separate gates")
+            args.trace_overhead, args.sharded)) > 1:
+        parser.error("--batched, --steady-writes, --open-loop, "
+                     "--trace-overhead, and --sharded are separate gates")
 
     mode = "quick" if args.quick else "full"
+    if args.sharded:
+        return _sharded_main(args, mode + "-sharded")
     if args.trace_overhead:
         return _trace_overhead_main(args, mode + "-trace-overhead")
     if args.open_loop:

@@ -165,7 +165,8 @@ def _cmd_serve_worker(args: argparse.Namespace) -> int:
         return ReplicaWorker(transport, args.worker_id,
                              cache_mode=args.cache_mode,
                              generation=args.generation,
-                             registry=registry).run()
+                             registry=registry,
+                             shard=args.shard).run()
 
 
 def _cmd_serve_frontend(args: argparse.Namespace) -> int:
@@ -176,6 +177,7 @@ def _cmd_serve_frontend(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     config = ServeConfig(
         replicas=args.replicas,
+        shards=args.shards,
         out_of_process=args.out_of_process,
         cache_mode=args.cache_mode,
         frontend=True,
@@ -187,14 +189,20 @@ def _cmd_serve_frontend(args: argparse.Namespace) -> int:
         trace_sample=args.trace_sample,
         slow_query_s=args.slow_query_s,
     )
-    cluster = ProvCluster(graph, config=config)
+    if config.shards > 1:
+        from repro.serve.shards import ShardedCluster
+
+        cluster = ShardedCluster(graph, config=config)
+    else:
+        cluster = ProvCluster(graph, config=config)
     host, port = cluster.frontend.address
     # Machine-readable bind line first (callers parse it; port 0 above
     # means the OS picked one), diagnostics after.
     print(f"FRONTEND {host}:{port}", flush=True)
+    shard_note = f" x {args.shards} shards" if config.shards > 1 else ""
     print(f"serving {args.graph} on {args.replicas} "
-          f"{'worker' if args.out_of_process else 'replica'}(s); "
-          f"Ctrl-C to stop", file=sys.stderr, flush=True)
+          f"{'worker' if args.out_of_process else 'replica'}(s)"
+          f"{shard_note}; Ctrl-C to stop", file=sys.stderr, flush=True)
     try:
         cluster.frontend.wait()
     except KeyboardInterrupt:
@@ -364,6 +372,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="require this client_hello auth token "
                         "(empty = accept any)")
     p.add_argument("--replicas", type=int, default=2)
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition serving into N shards (each with its "
+                        "own replica set) behind the scatter-gather "
+                        "coordinator; 1 = unsharded")
     p.add_argument("--out-of-process", action="store_true",
                    help="serve from spawned worker processes")
     p.add_argument("--cache-mode", default="footprint",
@@ -415,6 +427,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--generation", type=int, default=0,
                    help="monotonic spawn counter (pool restart count), "
                         "echoed in pong stats")
+    p.add_argument("--shard", type=int, default=None,
+                   help="shard index when spawned by a sharded pool, "
+                        "echoed in pong stats (absent unsharded)")
     p.add_argument("--no-metrics", action="store_true",
                    help="swap in the no-op metrics registry (the "
                         "--trace-overhead benchmark baseline)")

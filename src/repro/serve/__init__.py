@@ -24,6 +24,7 @@ from repro.serve.cluster import ProvCluster, QueryRouter
 from repro.serve.frontend import AsyncFrontend, FrontendClient
 from repro.serve.pool import WorkerClient, WorkerPool
 from repro.serve.replication import Replica, ReplicationLog
+from repro.serve.shards import ShardedCluster
 from repro.serve.transport import LineTransport
 from repro.serve.wire import (
     WIRE_FORMAT,
@@ -46,6 +47,7 @@ __all__ = [
     "ReplicaWorker",
     "ReplicationLog",
     "ServeConfig",
+    "ShardedCluster",
     "WorkerClient",
     "WorkerPool",
     "decode_batch",

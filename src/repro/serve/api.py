@@ -50,7 +50,13 @@ class ServeConfig:
     """Every serving knob in one validated, immutable value.
 
     Args:
-        replicas: read replicas (in-process) or worker processes.
+        replicas: read replicas (in-process) or worker processes
+            (per shard, when sharded).
+        shards: partition serving into this many shards behind a
+            :class:`~repro.serve.shards.ShardedCluster` coordinator
+            (``1`` = today's single-leader :class:`ProvCluster`,
+            byte-compatible stats/wire schemas). Each shard runs its own
+            replication feed and replica set; reads scatter-gather.
         out_of_process: serve from spawned worker processes instead of
             in-process :class:`~repro.serve.replication.Replica` objects.
         transport: worker transport, ``"socket"`` or ``"pipe"``.
@@ -83,6 +89,7 @@ class ServeConfig:
     """
 
     replicas: int = 2
+    shards: int = 1
     out_of_process: bool = False
     transport: str = "socket"
     cache_mode: str = "footprint"
@@ -101,6 +108,8 @@ class ServeConfig:
     def __post_init__(self):
         if self.replicas < 1:
             raise ConfigError("replicas must be >= 1")
+        if self.shards < 1:
+            raise ConfigError("shards must be >= 1")
         if not 0.0 <= self.trace_sample <= 1.0:
             raise ConfigError("trace_sample must be in [0.0, 1.0]")
         if self.trace_ring < 1:

@@ -167,30 +167,45 @@ class ProvCluster:
                  out_of_process: bool | None = None,
                  transport: str | None = None,
                  cache_mode: str | None = None,
-                 config: ServeConfig | None = None):
+                 config: ServeConfig | None = None,
+                 obs: ObsContext | None = None,
+                 shard: int | None = None):
         config = ServeConfig.of(config, replicas=replicas,
                                 out_of_process=out_of_process,
                                 transport=transport, cache_mode=cache_mode)
+        if config.shards != 1 and shard is None:
+            from repro.errors import ConfigError
+
+            raise ConfigError(
+                f"ServeConfig(shards={config.shards}) needs the "
+                "ShardedCluster coordinator (repro.serve.shards); "
+                "ProvCluster serves exactly one shard")
         self.config = config
+        #: When serving as one shard of a ShardedCluster, the shard index
+        #: (``None`` for a standalone cluster — stats stay byte-compatible).
+        self.shard = shard
         #: The leader process's one observability handle (registry +
         #: trace collector): shared by the pool, the router, and the
-        #: front-end, so "one registry per process" holds.
-        self.obs = ObsContext.of(config)
+        #: front-end, so "one registry per process" holds. A coordinator
+        #: passes its own handle down so every shard shares one registry.
+        self.obs = obs if obs is not None else ObsContext.of(config)
         store = getattr(source, "store", source)
         self.graph = source if isinstance(source, ProvenanceGraph) \
             else ProvenanceGraph(store)
+        prefix = "" if shard is None else f"shard{shard}."
         if config.out_of_process:
             from repro.serve.pool import WorkerPool
 
             self.pool: "WorkerPool | None" = WorkerPool(
-                self.graph, config=config, obs=self.obs)
+                self.graph, config=config, obs=self.obs, shard=shard)
             self.log = self.pool.log
             self.replicas = list(self.pool.clients)
         else:
             self.pool = None
             self.log = ReplicationLog(store)
             self.replicas = [Replica(self.log, i,
-                                     registry=self.obs.registry)
+                                     registry=self.obs.registry,
+                                     obs_prefix=f"{prefix}replica{i}")
                              for i in range(config.replicas)]
         self.router = QueryRouter(self.replicas)
         # All replicas bootstrapped off one memoized payload; free it now.
@@ -546,7 +561,14 @@ class ProvCluster:
                     _epoch, worker_stats = replica.ping()
                 except Exception:
                     worker_stats = None
+                    # A worker that cannot answer a ping *now* is not
+                    # healthy now, whatever the last health check said —
+                    # surface it immediately rather than reporting the
+                    # cached alive flag until the next sweep.
+                    entry["alive"] = False
                 entry["worker"] = worker_stats
+            if self.shard is not None:
+                entry["shard"] = self.shard
             replicas.append(entry)
         return {
             "leader_epoch": self.leader_epoch,

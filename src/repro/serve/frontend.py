@@ -395,7 +395,10 @@ class AsyncFrontend:
             session.id, self.cluster.leader_epoch, limits={
                 "session_budget": self.config.session_budget,
                 "admission_budget": self.config.admission_budget,
-            }))
+            },
+            # Sharded clusters expose a per-shard epoch vector; the field
+            # is additive and absent for plain ProvCluster serving.
+            shard_epochs=getattr(self.cluster, "shard_epochs", None)))
         return session
 
     def _retire_session(self, session: _ClientSession) -> None:

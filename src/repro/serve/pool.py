@@ -155,7 +155,7 @@ class WorkerClient:
         self._pool = pool
         self.replica_id = replica_id
         self._obs_registry = pool.obs.registry
-        self._obs_prefix = f"pool.worker{replica_id}"
+        self._obs_prefix = f"{pool.obs_label}.worker{replica_id}"
         self.proc: subprocess.Popen | None = None
         self.transport: LineTransport | None = None
         #: The epoch the pool has shipped this worker up to.
@@ -706,8 +706,7 @@ class WorkerClient:
         values — the current spawn's counters exactly as the worker
         reported them.
         """
-        self._obs_registry.gauge(
-            f"pool.worker{self.replica_id}.lag").set(self.lag)
+        self._obs_registry.gauge(self._obs_prefix + ".lag").set(self.lag)
         return {
             "replica_id": self.replica_id,
             "epoch": self.epoch,
@@ -827,7 +826,8 @@ class WorkerPool:
                  ping_timeout: float = 10.0,
                  cache_mode: str | None = None,
                  config: "ServeConfig | None" = None,
-                 obs: ObsContext | None = None):
+                 obs: ObsContext | None = None,
+                 shard: int | None = None):
         config = ServeConfig.of(config, replicas=count, transport=transport,
                                 cache_mode=cache_mode)
         self.config = config
@@ -835,6 +835,12 @@ class WorkerPool:
         #: its own so leader, pool, and front-end share one registry; a
         #: bare pool builds one from the config.
         self.obs = obs if obs is not None else ObsContext.of(config)
+        #: Shard index when this pool serves one shard of a ShardedCluster
+        #: (``None`` standalone). Stamped on worker command lines and on
+        #: every metric label, so per-shard fleets sharing one registry
+        #: never collide — and operators can read per-shard lag directly.
+        self.shard = shard
+        self.obs_label = "pool" if shard is None else f"shard{shard}.pool"
         count = config.replicas
         transport = config.transport
         self.cache_mode = config.cache_mode
@@ -879,6 +885,10 @@ class WorkerPool:
             # The overhead-benchmark baseline: workers run the no-op
             # registry too, so the whole stack is uninstrumented.
             command += ["--no-metrics"]
+        if self.shard is not None:
+            # The worker echoes its shard in pong stats, so cluster-wide
+            # telemetry can attribute counters without positional guessing.
+            command += ["--shard", str(self.shard)]
         if self.transport_kind == "socket":
             host, port = self._listener.getsockname()
             command += ["--connect", f"{host}:{port}"]
@@ -1020,7 +1030,7 @@ class WorkerPool:
             # this epoch (answer or pong) closes the measurement.
             client._ship_mark = (client.epoch, time.perf_counter())
             self.obs.registry.gauge(
-                f"pool.worker{client.replica_id}.lag").set(client.lag)
+                client._obs_prefix + ".lag").set(client.lag)
         return len(lines)
 
     def refresh(self) -> int:

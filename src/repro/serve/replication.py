@@ -123,12 +123,15 @@ class Replica:
     queries_served = MetricAttr("queries_served")
 
     def __init__(self, log: ReplicationLog, replica_id: int = 0,
-                 registry=None):
+                 registry=None, obs_prefix: str | None = None):
         self._log = log
         self.replica_id = replica_id
         self._obs_registry = registry if registry is not None \
             else MetricsRegistry()
-        self._obs_prefix = f"replica{replica_id}"
+        # Sharded clusters pass "shard{k}.replica{i}" so per-shard fleets
+        # sharing one registry never collide on counter names.
+        self._obs_prefix = obs_prefix if obs_prefix is not None \
+            else f"replica{replica_id}"
         self._bootstrap()
 
     def _bootstrap(self) -> None:

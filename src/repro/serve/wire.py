@@ -419,7 +419,8 @@ def client_hello_from_wire(record: dict[str, Any]) -> tuple[str, str | None]:
 
 
 def welcome_frame(session_id: int, epoch: int,
-                  limits: dict[str, int] | None = None) -> dict[str, Any]:
+                  limits: dict[str, int] | None = None,
+                  shard_epochs: "list[int] | None" = None) -> dict[str, Any]:
     """The front-end's answer to an accepted ``client_hello``.
 
     Carries the assigned session id, the leader epoch at accept time,
@@ -427,12 +428,19 @@ def welcome_frame(session_id: int, epoch: int,
     own backpressure cap — and the shared ``admission_budget``), so a
     well-behaved client can pace itself instead of discovering the
     limits through :class:`~repro.errors.Overloaded` rejections.
+
+    ``shard_epochs`` (additive under ``repro-wire-v1``, absent unsharded)
+    is the per-shard epoch vector of a sharded cluster at accept time,
+    indexed by shard; :func:`welcome_from_wire` ignores it, so pre-shard
+    clients decode sharded welcomes unchanged.
     """
     frame: dict[str, Any] = {"kind": "welcome", "format": WIRE_FORMAT,
                              "session": int(session_id),
                              "epoch": int(epoch)}
     if limits is not None:
         frame["limits"] = {key: int(value) for key, value in limits.items()}
+    if shard_epochs is not None:
+        frame["shard_epochs"] = [int(epoch) for epoch in shard_epochs]
     return frame
 
 
@@ -447,6 +455,30 @@ def welcome_from_wire(record: dict[str, Any],
     except (KeyError, ValueError, TypeError) as exc:
         raise SerializationError(
             f"malformed welcome frame: {record!r}") from exc
+
+
+def shard_map_to_wire(shard_map) -> dict[str, Any]:
+    """A :class:`~repro.store.sharding.ShardMap` as a frame.
+
+    New frame kind under ``repro-wire-v1`` (additive: peers answer
+    unknown kinds with an event frame). The versioned map record rides
+    under ``"map"`` so the frame's ``format`` tag and the map's own
+    persistence format tag stay distinct.
+    """
+    return {"kind": "shard_map", "format": WIRE_FORMAT,
+            "map": shard_map.to_record()}
+
+
+def shard_map_from_wire(record: dict[str, Any]):
+    """Decode a shard-map frame back into a ``ShardMap`` (round-trip exact)."""
+    from repro.store.sharding import ShardMap
+
+    _expect_kind(record, "shard_map")
+    try:
+        return ShardMap.from_record(dict(record["map"]))
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(
+            f"malformed shard_map frame: {record!r}") from exc
 
 
 # ---------------------------------------------------------------------------

@@ -193,14 +193,17 @@ class ReplicaWorker:
                  cache_size: int = DEFAULT_CACHE_SIZE,
                  cache_mode: str = "footprint", generation: int = 0,
                  view_limit: int = DEFAULT_VIEW_LIMIT,
-                 registry=None):
+                 registry=None, shard: int | None = None):
         if cache_mode not in CACHE_MODES:
             raise ValueError(f"unknown cache_mode {cache_mode!r}")
         self._obs_registry = registry if registry is not None \
             else MetricsRegistry()
-        self._obs_prefix = "worker"
+        self._obs_prefix = "worker" if shard is None else f"shard{shard}.worker"
         self._transport = transport
         self.worker_id = worker_id
+        #: Shard index when spawned by a sharded pool (``--shard``);
+        #: echoed in pong stats — additive, absent unsharded.
+        self.shard = shard
         self.cache_mode = cache_mode
         self.generation = int(generation)
         self.store = None
@@ -269,7 +272,7 @@ class ReplicaWorker:
         tells clients which spawn they are looking at, so rate math can
         detect the silent reset a crash-restart causes.
         """
-        return {
+        stats: dict[str, Any] = {
             "worker_id": self.worker_id,
             "generation": self.generation,
             "cache_mode": self.cache_mode,
@@ -287,6 +290,9 @@ class ReplicaWorker:
             "views_recomputed": self.views_recomputed,
             "view_count": len(self._views),
         }
+        if self.shard is not None:
+            stats["shard"] = self.shard
+        return stats
 
     # ------------------------------------------------------------------
     # Replication inputs

@@ -415,15 +415,25 @@ class LifecycleSession:
 
         Calling again re-bootstraps with the new configuration (shutting
         down any previous worker pool first).
+
+        ``ServeConfig(shards=N)`` with ``N > 1`` serves through the
+        scatter-gather :class:`repro.serve.shards.ShardedCluster`
+        coordinator instead (same query surface; per-shard replica
+        sets) — the one-flag switch.
         """
+        from repro.serve.api import ServeConfig
         from repro.serve.cluster import ProvCluster
 
+        config = ServeConfig.of(config, replicas=replicas,
+                                out_of_process=out_of_process,
+                                transport=transport, cache_mode=cache_mode)
         self.stop_serving()
-        self._cluster = ProvCluster(self.graph, replicas=replicas,
-                                    out_of_process=out_of_process,
-                                    transport=transport,
-                                    cache_mode=cache_mode,
-                                    config=config)
+        if config.shards > 1:
+            from repro.serve.shards import ShardedCluster
+
+            self._cluster = ShardedCluster(self.graph, config=config)
+        else:
+            self._cluster = ProvCluster(self.graph, config=config)
         return self._cluster
 
     def stop_serving(self) -> None:

@@ -1,0 +1,79 @@
+"""Shared fault-injection helpers for the serving test suites.
+
+The replication, cache-retention, and sharded differential suites all
+drive the same failure machinery — worker crashes, leader-log
+truncation, transport poisoning, suspended shipping. These helpers are
+the one copy of each injection, so every suite kills a worker (or
+starves a feed) the same way and new suites don't re-derive the
+incantations.
+
+All helpers are synchronous and deterministic: they inject the fault
+and return; observing the recovery (restart counters, re-sync counts,
+bit-identical answers) is the calling test's job.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+
+def kill_worker(client) -> None:
+    """Kill a worker process outright (SIGKILL) and reap it.
+
+    The next interaction through the client (catch-up, query, ping
+    sweep) observes the death and drives the pool's restart + re-sync
+    path. Accepts a :class:`repro.serve.pool.WorkerClient`.
+    """
+    client.proc.kill()
+    client.proc.wait()
+
+
+def truncate_log(store, capacity: int):
+    """Shrink a store's delta log so the next burst evicts history.
+
+    Replicas (or sharded feed drains) whose cursor falls off the
+    retained window must degrade to a full re-sync, never to a stale
+    strong read. Returns the log for follow-up assertions
+    (``log.truncated``).
+    """
+    store.delta_log.capacity = capacity
+    return store.delta_log
+
+
+def poison_transport(client) -> None:
+    """Mark a worker's transport mid-frame-poisoned.
+
+    Every subsequent ``send``/``recv`` raises ``TransportClosed`` —
+    the same stream-desync state a timeout striking mid-frame leaves
+    behind — so the pool takes the crash-restart path without the
+    worker process actually dying. The abandoned process is reaped by
+    the restart.
+    """
+    client.transport._poisoned = True
+
+
+@contextmanager
+def delay_ship(target, method: str = "refresh"):
+    """Suspend one eager-shipping method so lag accumulates (lag skew).
+
+    Replaces ``target.<method>`` with a no-op returning ``0`` for the
+    duration of the block, then restores it. Typical injections:
+
+    - ``delay_ship(cluster)`` — suspend ``ProvCluster.refresh`` so
+      replicas only heal on the read path;
+    - ``delay_ship(sharded, "_drain")`` — freeze a
+      ``ShardedCluster``'s feeds at their current epochs, so relaxed
+      (``min_epoch=0``) reads observe genuinely skewed per-shard
+      state while the leader keeps writing.
+
+    Strict reads through a *router* still catch up on the read path
+    (only the named method is suspended); freezing the catch-up path
+    itself (e.g. ``method="ship"`` on a pool) makes strict stamps
+    unsatisfiable by design — use only with relaxed reads.
+    """
+    original = getattr(target, method)
+    setattr(target, method, lambda *args, **kwargs: 0)
+    try:
+        yield target
+    finally:
+        setattr(target, method, original)

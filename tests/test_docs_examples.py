@@ -84,8 +84,14 @@ def test_examples_round_trip_through_codecs():
             assert wire.client_hello_frame(client, token) == block
         elif kind == "welcome":
             session_id, epoch, limits = wire.welcome_from_wire(block)
-            assert wire.welcome_frame(session_id, epoch,
-                                      limits or None) == block
+            # shard_epochs is additive: from_wire ignores it, so the
+            # re-encode threads the documented field through verbatim.
+            assert wire.welcome_frame(
+                session_id, epoch, limits or None,
+                shard_epochs=block.get("shard_epochs")) == block
+        elif kind == "shard_map":
+            shard_map = wire.shard_map_from_wire(block)
+            assert wire.shard_map_to_wire(shard_map) == block
         elif kind == "ping":
             assert wire.ping_frame() == block
         elif kind == "pong":
@@ -135,7 +141,7 @@ def test_examples_round_trip_through_codecs():
     assert seen_kinds >= {"sync", "batch", "hello", "ping", "pong",
                           "event", "shutdown", "bye", "request",
                           "response", "requests", "responses",
-                          "client_hello", "welcome"}
+                          "client_hello", "welcome", "shard_map"}
     # ... and per request method (lineage shares its codec with impacted).
     assert set(methods_by_id.values()) >= {"lineage", "blame", "segment",
                                            "summarize", "cypher", "metrics"}

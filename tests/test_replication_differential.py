@@ -30,6 +30,7 @@ from repro.segment.pgseg import PgSegOperator, PgSegQuery
 from repro.serve.cluster import ProvCluster
 from repro.store.snapshot import GraphSnapshot
 from repro.workloads.lifecycle import build_paper_example
+from faults import kill_worker, truncate_log
 from test_snapshot_differential import (
     _lineage_key,
     _mutate,
@@ -147,7 +148,7 @@ def test_truncation_resync_interleavings(seed):
     """Bursts overflow a tiny leader log: the re-sync path must converge."""
     rng = random.Random(1000 + seed)
     graph = build_paper_example().graph
-    graph.store.delta_log.capacity = 12
+    truncate_log(graph.store, 12)
     cluster = ProvCluster(graph, replicas=2)
     counter = [0]
 
@@ -320,8 +321,7 @@ def test_batched_kill_mid_bundle():
             specs = _batch_specs(rng, entities)
             if round_index == 2:
                 casualty = cluster.replicas[0]
-                casualty.proc.kill()
-                casualty.proc.wait()
+                kill_worker(casualty)
             results = cluster.query_many(specs)
             _assert_batched_matches_leader(graph, specs, results)
         assert cluster.replicas[0].restarts == 1
@@ -330,6 +330,58 @@ def test_batched_kill_mid_bundle():
         cluster.refresh()
         assert all(r.epoch == cluster.leader_epoch
                    for r in cluster.replicas)
+    finally:
+        cluster.close()
+
+
+def test_batched_survives_multiple_simultaneous_dead_workers():
+    """TWO of three workers dead when the fan-out begins: the batch is
+    still reassembled bit-identically (each orphaned share re-routes,
+    the pool restarts the casualties underneath)."""
+    rng = random.Random(5150)
+    graph = build_paper_example().graph
+    cluster = ProvCluster(graph, replicas=3, out_of_process=True)
+    counter = [0]
+    try:
+        for round_index in range(5):
+            for _ in range(rng.randint(1, 3)):
+                _mutate(rng, graph, counter)
+            entities = list(graph.entities())
+            specs = _batch_specs(rng, entities)
+            if round_index == 2:
+                kill_worker(cluster.replicas[0])
+                kill_worker(cluster.replicas[1])
+            results = cluster.query_many(specs)
+            _assert_batched_matches_leader(graph, specs, results)
+        assert cluster.replicas[0].restarts == 1
+        assert cluster.replicas[1].restarts == 1
+        assert all(r.alive() for r in cluster.replicas)
+        cluster.refresh()
+        assert all(r.epoch == cluster.leader_epoch
+                   for r in cluster.replicas)
+    finally:
+        cluster.close()
+
+
+def test_batched_survives_every_worker_dead():
+    """The degenerate casualty schedule: EVERY worker is dead when the
+    fan-out begins. The route path must restart workers (not just skip
+    them) and the reassembled batch still matches the leader."""
+    rng = random.Random(5151)
+    graph = build_paper_example().graph
+    cluster = ProvCluster(graph, replicas=2, out_of_process=True)
+    counter = [0]
+    try:
+        for _ in range(4):
+            _mutate(rng, graph, counter)
+        for client in cluster.replicas:
+            kill_worker(client)
+        entities = list(graph.entities())
+        specs = _batch_specs(rng, entities)
+        results = cluster.query_many(specs)
+        _assert_batched_matches_leader(graph, specs, results)
+        assert all(r.restarts == 1 for r in cluster.replicas)
+        assert all(r.alive() for r in cluster.replicas)
     finally:
         cluster.close()
 
@@ -353,8 +405,7 @@ def test_out_of_process_kill_restart_resync():
                 _mutate(rng, graph, counter)
             if round_index == 3:
                 casualty = cluster.replicas[0]
-                casualty.proc.kill()
-                casualty.proc.wait()
+                kill_worker(casualty)
             entities = list(graph.entities())
             _check_routed_queries(graph, cluster, rng, entities)
         assert cluster.replicas[0].restarts == 1

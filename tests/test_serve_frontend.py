@@ -677,6 +677,30 @@ class TestClusterStats:
         finally:
             cluster.close()
 
+    def test_ping_failure_reports_replica_not_alive(self):
+        """A worker that cannot answer a ping *now* must not be reported
+        healthy off a stale health-check flag: the stats entry flips
+        ``alive`` to False the moment the ping fails (regression — the
+        ping exception used to only null out the worker stats while the
+        cached ``alive: True`` kept being served)."""
+        example = build_paper_example()
+        cluster = ProvCluster(example.graph,
+                              config=ServeConfig(replicas=1,
+                                                 out_of_process=True))
+        try:
+            client = cluster.pool.clients[0]
+            assert client.alive()              # process-level flag: healthy
+
+            def hung_ping(*args, **kwargs):
+                raise TimeoutError("pong never arrived")
+
+            client.ping = hung_ping
+            [entry] = cluster.stats(ping=True)["replicas"]
+            assert entry["alive"] is False
+            assert entry["worker"] is None
+        finally:
+            cluster.close()
+
 
 class TestStopServing:
     def test_idempotent_with_a_dead_worker(self):

@@ -1,0 +1,409 @@
+"""Cross-shard differential testing: sharded answers must equal the leader's.
+
+The test-archetype centerpiece of the sharding layer. Seed-controlled
+random interleavings of leader mutations and scatter-gather reads drive a
+:class:`~repro.serve.shards.ShardedCluster` (structure broadcast to every
+shard feed, property deltas partitioned to their owner shard) and assert
+every answer **bit-identical** to a fresh single-store recompute on the
+leader — across all six read families (lineage / impacted / blame /
+wire-safe PgSeg / scatter-gathered PgSum / cypher) plus ``query_many``
+bundles, with strict reads issued *immediately after writes and without
+any manual refresh* (read-your-writes across shards).
+
+Fault schedules ride the same differential: shard workers killed and
+killed mid-scatter (the surviving shard's bundle already dispatched),
+per-shard lag skew under a frozen drain with relaxed stamps, leader-log
+truncation forcing feed re-bootstraps, and poisoned worker transports —
+in every case the answers must stay identical, never merely "close".
+
+8 seeds x 25 mutation/query rounds = 200 randomized interleavings, each
+checking every query family (the acceptance floor for this suite).
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.query.cypherlite import run_query
+from repro.query.ops import blame, impacted, lineage
+from repro.segment.pgseg import PgSegOperator, PgSegQuery
+from repro.serve.api import ServeConfig
+from repro.serve.shards import ShardedCluster
+from repro.serve.wire import psg_to_wire, welcome_frame
+from repro.summarize.pgsum import PgSumOperator, PgSumQuery
+from repro.workloads.lifecycle import build_paper_example
+from faults import delay_ship, kill_worker, poison_transport, truncate_log
+from test_replication_differential import (
+    _assert_batched_matches_leader,
+    _batch_specs,
+)
+from test_snapshot_differential import (
+    _lineage_key,
+    _live_ids,
+    _mutate,
+    _segment_key,
+)
+
+SEEDS = range(8)
+ROUNDS = 25
+
+
+def test_interleaving_budget():
+    """The acceptance floor: at least 200 randomized interleavings."""
+    assert len(SEEDS) * ROUNDS >= 200
+
+
+# ---------------------------------------------------------------------------
+# Differential checks (leader recompute vs scatter-gather serving)
+# ---------------------------------------------------------------------------
+
+
+def _psg_key(psg):
+    """Bit-exact comparison key for a summary: its wire encoding."""
+    return psg_to_wire(psg)
+
+
+def _check_sharded_queries(graph, sharded, rng, entities):
+    """Every read family must agree between leader-live and sharded."""
+    for entity in rng.sample(entities, k=min(3, len(entities))):
+        assert _lineage_key(sharded.lineage(entity)) \
+            == _lineage_key(lineage(graph, entity))
+        assert _lineage_key(sharded.impacted(entity)) \
+            == _lineage_key(impacted(graph, entity))
+        assert sharded.blame(entity) == blame(graph, entity)
+    src = tuple(rng.sample(entities, k=min(2, len(entities))))
+    query = PgSegQuery(src=src, dst=(rng.choice(entities),))
+    assert _segment_key(sharded.segment(query)) \
+        == _segment_key(PgSegOperator(graph).evaluate(query))
+    # Scatter-gathered PgSum: per-shard partial segments, merged once at
+    # the coordinator, vs a wholly single-store recompute.
+    queries = [PgSegQuery(src=src, dst=(dst,))
+               for dst in rng.sample(entities, k=min(2, len(entities)))]
+    operator = PgSegOperator(graph)
+    cold = PgSumOperator(
+        [operator.evaluate(q) for q in queries]).evaluate(PgSumQuery())
+    assert _psg_key(sharded.summarize(queries)) == _psg_key(cold)
+    probe = rng.choice(entities)
+    text = f"MATCH (e:E)<-[:U]-(a:A) WHERE id(e) = {probe} RETURN id(a)"
+    assert sharded.cypher(text) == run_query(graph, text)
+
+
+# ---------------------------------------------------------------------------
+# The headline interleavings: mutate / (implicit ship) / query
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sharded_mutate_ship_query_interleavings(seed):
+    """200 interleavings: every cross-shard answer bit-identical.
+
+    Strict reads right after each write burst — no ``refresh()``
+    anywhere — so the read path itself must drain the leader log into
+    every shard feed (read-your-writes across shards). Every third
+    round the same targets also go down as one ``query_many`` bundle.
+    """
+    rng = random.Random(seed)
+    graph = build_paper_example().graph
+    sharded = ShardedCluster(
+        graph, config=ServeConfig(shards=3, replicas=2))
+    counter = [0]
+    epoch_vectors = set()
+    try:
+        for round_index in range(ROUNDS):
+            for _ in range(rng.randint(1, 3)):
+                _mutate(rng, graph, counter)
+            entities = _live_ids(graph, "entity")
+            assert entities, "mutation schedule must keep entities alive"
+            _check_sharded_queries(graph, sharded, rng, entities)
+            if round_index % 3 == 0:
+                specs = _batch_specs(rng, entities)
+                _assert_batched_matches_leader(
+                    graph, specs, sharded.query_many(specs))
+            # After a strict read every feed has drained the full log,
+            # yet the per-shard epochs are *independent* counters (a
+            # shard that received no batch did not advance).
+            epoch_vectors.add(tuple(sharded.shard_epochs))
+            assert sharded.leader_epoch == graph.store.epoch
+        # The property-partitioned splits must have skewed the vector at
+        # least once across 25 rounds — identical per-shard epochs every
+        # round would mean the split never withheld a batch from a shard.
+        assert any(len(set(vector)) > 1 for vector in epoch_vectors), \
+            "per-shard epochs never diverged: split looks like broadcast"
+        assert sharded.resyncs == 0
+    finally:
+        sharded.close()
+
+
+def test_shard_epochs_diverge_while_answers_agree():
+    """Property-only writes advance exactly one shard's feed.
+
+    A deterministic property-heavy schedule: each write touches one
+    vertex's properties, so only the owner shard's feed receives a
+    batch. The epoch vector must fan out while structure-only reads
+    (any shard) and property reads (coordinator-local) stay exact.
+    """
+    example = build_paper_example()
+    graph = example.graph
+    sharded = ShardedCluster(
+        graph, config=ServeConfig(shards=4, replicas=1))
+    try:
+        entities = _live_ids(graph, "entity")
+        sharded.lineage(entities[0])            # drain: baseline vector
+        base = list(sharded.shard_epochs)
+        owners = set()
+        for index, entity in enumerate(entities):
+            graph.store.set_vertex_property(entity, "note", f"v{index}")
+            owners.add(sharded._owner(entity))
+        sharded.lineage(entities[0])            # strict read drains again
+        after = list(sharded.shard_epochs)
+        advanced = [k for k in range(4) if after[k] > base[k]]
+        assert set(advanced) == owners
+        assert len(set(after)) > 1, \
+            "property partitioning left every shard at the same epoch"
+        # Properties still read leader-exact (coordinator-local cypher).
+        probe = entities[0]
+        text = (f"MATCH (e:E) WHERE id(e) = {probe} "
+                f"RETURN id(e), e.note")
+        assert sharded.cypher(text) == run_query(graph, text)
+    finally:
+        sharded.close()
+
+
+def test_relaxed_and_future_stamps():
+    """``min_epoch=0`` never drains; a future stamp is refused loudly."""
+    graph = build_paper_example().graph
+    sharded = ShardedCluster(
+        graph, config=ServeConfig(shards=2, replicas=1))
+    try:
+        entities = _live_ids(graph, "entity")
+        sharded.lineage(entities[0])            # settle the feeds
+        frozen = list(sharded.shard_epochs)
+        activity = graph.add_activity(command="relaxed")
+        graph.used(activity, entities[0])
+        # Relaxed reads serve without draining: the vector must not move.
+        sharded.lineage(entities[0], min_epoch=0)
+        sharded.blame(entities[0], min_epoch=0)
+        assert list(sharded.shard_epochs) == frozen
+        with pytest.raises(ValueError, match="ahead of the leader"):
+            sharded.lineage(entities[0],
+                            min_epoch=graph.store.epoch + 10)
+        # A strict read then drains and matches the leader exactly.
+        assert _lineage_key(sharded.impacted(entities[0])) \
+            == _lineage_key(impacted(graph, entities[0]))
+        assert list(sharded.shard_epochs) != frozen
+    finally:
+        sharded.close()
+
+
+def test_read_your_writes_across_shards():
+    """A strict read sees the immediately preceding write, whichever
+    shard owns the touched vertices — no refresh call anywhere."""
+    graph = build_paper_example().graph
+    sharded = ShardedCluster(
+        graph, config=ServeConfig(shards=3, replicas=2))
+    counter = [0]
+    rng = random.Random(20_26)
+    try:
+        for tag in range(12):
+            entities = _live_ids(graph, "entity")
+            source = rng.choice(entities)
+            activity = graph.add_activity(command=f"ryw{tag}")
+            graph.used(activity, source)
+            out = graph.add_entity(name=f"ryw-out{tag}")
+            graph.was_generated_by(out, activity)
+            # The write is visible to every family right away: the new
+            # output must appear in impacted(source) through whichever
+            # shard owns `source`, and lineage(out) reaches back.
+            assert out in sharded.impacted(source).vertices
+            assert source in sharded.lineage(out).vertices
+            assert _lineage_key(sharded.lineage(out)) \
+                == _lineage_key(lineage(graph, out))
+            _mutate(rng, graph, counter)        # keep the schedule varied
+    finally:
+        sharded.close()
+
+
+def test_shards_equal_one_is_additive_only():
+    """``shards=1`` produces today's schemas byte-for-byte: no shard
+    fields in the welcome frame, pongs, or stats entries."""
+    frame = welcome_frame(7, 3)
+    assert "shard_epochs" not in frame
+    assert "shard_epochs" in welcome_frame(7, 3, shard_epochs=[3, 3])
+    from repro.serve.cluster import ProvCluster
+    graph = build_paper_example().graph
+    with ProvCluster(graph, config=ServeConfig(replicas=1)) as cluster:
+        stats = cluster.stats()
+        assert all("shard" not in entry for entry in stats["replicas"])
+        assert "shard_epochs" not in stats
+
+
+# ---------------------------------------------------------------------------
+# Fault schedules: kills, mid-scatter kills, lag skew, truncation, poison
+# ---------------------------------------------------------------------------
+
+
+def test_oop_kill_one_worker_per_shard_mid_run():
+    """Kill a worker in *every* shard mid-interleaving: answers stay
+    identical, the pools restart the casualties, epochs reconverge."""
+    rng = random.Random(9_321)
+    graph = build_paper_example().graph
+    sharded = ShardedCluster(
+        graph,
+        config=ServeConfig(shards=2, replicas=2, out_of_process=True))
+    counter = [0]
+    try:
+        for round_index in range(6):
+            for _ in range(rng.randint(1, 3)):
+                _mutate(rng, graph, counter)
+            if round_index == 2:
+                for shard in sharded.shards:
+                    kill_worker(shard.replicas[0])
+            entities = _live_ids(graph, "entity")
+            _check_sharded_queries(graph, sharded, rng, entities)
+        for shard in sharded.shards:
+            assert shard.replicas[0].restarts == 1
+            assert all(client.alive() for client in shard.replicas)
+        assert sharded.health_check() == []     # nobody left dead
+    finally:
+        sharded.close()
+
+
+def test_oop_kill_mid_scatter():
+    """A shard worker dies *between* two shards' bundle dispatches.
+
+    The first shard bundle to run kills the other shard's only worker,
+    so the gather must restart + re-sync that worker mid-scatter and
+    still reassemble a bit-identical, index-aligned result list.
+    """
+    rng = random.Random(7_130)
+    graph = build_paper_example().graph
+    sharded = ShardedCluster(
+        graph,
+        config=ServeConfig(shards=2, replicas=1, out_of_process=True))
+    counter = [0]
+    try:
+        # Grow until both shards own at least one live entity, so the
+        # scatter provably dispatches one bundle per shard.
+        while True:
+            entities = _live_ids(graph, "entity")
+            owners = {sharded._owner(e) for e in entities}
+            if owners == {0, 1}:
+                break
+            _mutate(rng, graph, counter)
+        first = next(e for e in entities if sharded._owner(e) == 0)
+        second = next(e for e in entities if sharded._owner(e) == 1)
+        # The per-shard bundles run concurrently, so the kill-then-serve
+        # ordering is pinned with an event: shard 0's bundle kills shard
+        # 1's only worker, and shard 1's bundle waits for the kill before
+        # dispatching — the gather must restart + re-sync mid-scatter.
+        killed = threading.Event()
+        original0 = sharded.shards[0].query_many
+        original1 = sharded.shards[1].query_many
+
+        def killing_query_many(*args, **kwargs):
+            kill_worker(sharded.shards[1].replicas[0])
+            killed.set()
+            sharded.shards[0].query_many = original0
+            return original0(*args, **kwargs)
+
+        def waiting_query_many(*args, **kwargs):
+            assert killed.wait(timeout=30)
+            sharded.shards[1].query_many = original1
+            return original1(*args, **kwargs)
+
+        sharded.shards[0].query_many = killing_query_many
+        sharded.shards[1].query_many = waiting_query_many
+        specs = [("lineage", {"entity": first}),
+                 ("impacted", {"entity": first}),
+                 ("blame", {"entity": second}),
+                 ("lineage", {"entity": second})]
+        results = sharded.query_many(specs)
+        _assert_batched_matches_leader(graph, specs, results)
+        casualty = sharded.shards[1].replicas[0]
+        assert casualty.restarts == 1
+        assert casualty.alive()
+    finally:
+        sharded.close()
+
+
+def test_per_shard_lag_skew_relaxed_reads():
+    """Frozen drain: relaxed reads serve the skewed (old) state without
+    error; the first strict read afterwards catches every shard up."""
+    graph = build_paper_example().graph
+    sharded = ShardedCluster(
+        graph, config=ServeConfig(shards=3, replicas=1))
+    try:
+        entities = _live_ids(graph, "entity")
+        target = entities[0]
+        assert _lineage_key(sharded.impacted(target)) \
+            == _lineage_key(impacted(graph, target))    # settle feeds
+        before = _lineage_key(impacted(graph, target))
+        frozen = list(sharded.shard_epochs)
+        with delay_ship(sharded, "_drain"):
+            activity = graph.add_activity(command="skew")
+            graph.used(activity, target)
+            out = graph.add_entity(name="skew-out")
+            graph.was_generated_by(out, activity)
+            # The leader moved; the feeds did not.
+            assert graph.store.epoch > sharded._drained
+            assert list(sharded.shard_epochs) == frozen
+            # Relaxed reads answer from the frozen timeline (the write
+            # is genuinely not there yet) — skew is served, not hidden.
+            assert _lineage_key(sharded.impacted(target, min_epoch=0)) \
+                == before
+        assert _lineage_key(sharded.impacted(target)) \
+            == _lineage_key(impacted(graph, target))
+        assert out in sharded.impacted(target).vertices
+    finally:
+        sharded.close()
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_truncation_forces_feed_resync_then_answers_match(seed):
+    """Bursts overflow a tiny leader log: the coordinator must tear down
+    and re-bootstrap every shard feed (nothing is provable across an
+    unknown span) and keep serving bit-identical answers."""
+    rng = random.Random(6_100 + seed)
+    graph = build_paper_example().graph
+    truncate_log(graph.store, 8)
+    sharded = ShardedCluster(
+        graph, config=ServeConfig(shards=2, replicas=1))
+    counter = [seed * 30_000]
+    try:
+        for _ in range(8):
+            for _ in range(rng.randint(6, 10)):
+                _mutate(rng, graph, counter)
+            entities = _live_ids(graph, "entity")
+            _check_sharded_queries(graph, sharded, rng, entities)
+        assert sharded.resyncs >= 1, \
+            "bursts under capacity-8 never evicted the un-drained span"
+    finally:
+        sharded.close()
+
+
+def test_oop_poisoned_transport_recovers():
+    """A mid-frame-poisoned worker stream takes the crash-restart path;
+    routed sharded reads stay identical throughout."""
+    rng = random.Random(4_471)
+    graph = build_paper_example().graph
+    sharded = ShardedCluster(
+        graph,
+        config=ServeConfig(shards=2, replicas=2, out_of_process=True))
+    counter = [0]
+    try:
+        for _ in range(4):
+            _mutate(rng, graph, counter)
+        entities = _live_ids(graph, "entity")
+        _check_sharded_queries(graph, sharded, rng, entities)
+        poison_transport(sharded.shards[0].replicas[0])
+        for _ in range(3):
+            _mutate(rng, graph, counter)
+        entities = _live_ids(graph, "entity")
+        _check_sharded_queries(graph, sharded, rng, entities)
+        sharded.health_check()
+        assert all(client.alive()
+                   for shard in sharded.shards
+                   for client in shard.replicas)
+    finally:
+        sharded.close()

@@ -64,6 +64,7 @@ from repro.store.delta import (
 )
 from repro.summarize.pgsum import PgSumOperator, PgSumQuery
 from repro.workloads.lifecycle import build_paper_example
+from faults import kill_worker, truncate_log
 from test_snapshot_differential import _mutate
 
 FULL = os.environ.get("RETENTION_FULL", "") not in ("", "0")
@@ -212,7 +213,7 @@ def test_truncation_forces_resync_then_answers_match(seed):
     span) and keep serving bit-identical answers."""
     rng = random.Random(4200 + seed)
     graph = build_paper_example().graph
-    graph.store.delta_log.capacity = 12
+    truncate_log(graph.store, 12)
     harness = _Harness(graph)
     counter = [seed * 20_000]
     try:
@@ -390,8 +391,7 @@ def test_kill_between_patches_rebuilds_views_identical_to_cold():
         # the next summarize would patch it — kill before that happens.
         graph.store.set_vertex_property(example["weight-v2"], "note", "x")
         cluster.refresh()
-        client.proc.kill()
-        client.proc.wait()
+        kill_worker(client)
         served = cluster.summarize(queries)     # restart + re-sync + serve
         assert client.restarts == 1
         # Cold recompute on the leader at the same epoch.
@@ -427,8 +427,7 @@ def test_generation_increments_across_repeated_restarts():
             _, stats = client.ping()
             assert stats["generation"] == expected_generation
             assert stats["generation"] == client.restarts
-            client.proc.kill()
-            client.proc.wait()
+            kill_worker(client)
             # The in-flight ask dies with the worker (the router would
             # re-route it); the pool restarts + re-syncs underneath.
             with pytest.raises(ReplicaUnavailable):
