@@ -101,6 +101,28 @@ shard-exact) is re-asked between bursts through ``query_many`` and must
 produce identical digests on both sides — sharding cannot pass the gate
 by serving different answers.
 
+``--bootstrap`` (implies ``--out-of-process``) gates the PR 10
+checkpoint bootstrap path: a single-worker pool is crash-restarted in a
+loop (writes land between crashes) and the gated figure is
+**restart-to-caught-up** — the state-reload window of each restart (the
+pool's ``bootstrap.duration_s`` send window plus the ping barrier that
+proves the worker caught up to the leader epoch; the respawn's
+interpreter start + imports is identical in every mode and reported
+separately, SIGKILL-to-ping, as ``restart_wall_s``) — for the
+checkpoint+tail path (negotiated
+``repro-wire-v2``: the worker mmaps the leader's snapshot checkpoint
+file and replays a packed-binary delta tail) against the full-JSON-sync
+path (``ServeConfig(wire_version=1)``, the pre-PR 10 bootstrap). Both
+modes replay the identical seeded stream and answer the identical
+post-restart dashboard, so the digest identity check proves the
+restored workers bit-equal across v1/v2 and checkpoint/full-sync; the
+pool's ``bootstrap.*`` counters additionally pin that each side took
+the path it claims (the gate cannot pass by silently full-syncing).
+Leader-side ship CPU (``time.process_time`` across the restart) rides
+along in the record, and a ``checkpoint-v2-sync`` contender (v2
+framing, ``checkpoint=False``) is reported informationally to separate
+the framing win from the checkpoint win.
+
 ``--trace-overhead`` (implies ``--out-of-process``) gates the PR 8
 observability layer's cost: the batched spec stream served with full
 instrumentation — a real :class:`repro.obs.MetricsRegistry` in the
@@ -134,6 +156,8 @@ Plain script so CI can smoke it cheaply::
         --metrics-snapshot METRICS_snapshot.json
     PYTHONPATH=src python benchmarks/bench_replication.py --quick \
         --sharded --json BENCH_replication_sharded.json
+    PYTHONPATH=src python benchmarks/bench_replication.py --quick \
+        --bootstrap --json BENCH_bootstrap.json
 
 Exits non-zero when the gated mode's aggregate read throughput is not at
 least ``FLOORS[mode]`` times its baseline — the single-store live server
@@ -178,7 +202,10 @@ FLOORS = {"full": 2.0, "quick": 2.0, "full-oop": 2.0, "quick-oop": 2.0,
           "full-trace-overhead": 0.95, "quick-trace-overhead": 0.95,
           # --sharded gates write-heavy ingest throughput: 4 shards x 2
           # workers vs an unsharded 8-worker pool on the same stream.
-          "full-sharded": 1.5, "quick-sharded": 1.5}
+          "full-sharded": 1.5, "quick-sharded": 1.5,
+          # --bootstrap gates worker restart-to-caught-up wall time:
+          # checkpoint+tail (negotiated v2) vs full JSON sync (v1).
+          "full-bootstrap": 3.0, "quick-bootstrap": 3.0}
 
 #: ``--steady-writes`` additionally gates the fraction of cache lookups
 #: the footprint-retaining pool answers from entries that survived an
@@ -727,6 +754,187 @@ def _sharded_main(args, mode: str) -> int:
         print(f"FAIL: {ShardedIngestServer.name} ingest+serve throughput "
               f"{speedup:.2f}x the {UnshardedIngestServer.name} baseline "
               f"(floor {floor}x)", file=sys.stderr)
+        return 1
+    print("ok")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# --bootstrap: checkpoint+tail crash recovery vs a full JSON sync
+# ---------------------------------------------------------------------------
+
+#: The three bootstrap contenders: label -> ServeConfig overrides. The
+#: gate compares ``checkpoint`` (PR 10 defaults: negotiated v2 +
+#: checkpoint files) against ``full-sync`` (wire pinned to v1 — the
+#: pre-PR 10 restart path); ``v2-sync`` (v2 framing, checkpoints off)
+#: is reported informationally so the framing win and the checkpoint
+#: win stay separable in the record.
+BOOTSTRAP_CONTENDERS = (
+    ("full-sync", {"wire_version": 1}),
+    ("v2-sync", {"checkpoint": False}),
+    ("checkpoint", {}),
+)
+
+
+def run_bootstrap_workload(label: str, n_vertices: int, restarts: int,
+                           writes_per_round: int, seed: int = 17,
+                           **config_kwargs) -> dict:
+    """One bootstrap contender: crash-restart a 1-worker pool in a loop.
+
+    Each round lands ``writes_per_round`` recorded runs, ships them, then
+    SIGKILLs the worker and drives the pool's restart + a ping answered
+    at the leader epoch. The gated **restart-to-caught-up** figure is
+    the state-reload window: the pool's ``bootstrap.duration_s`` send
+    window (sync encode+ship, or checkpoint publish + worker-load
+    roundtrip + tail ship) plus the caught-up ping barrier (the worker
+    finishing its apply). The respawn itself — interpreter start +
+    imports + handshake, several hundred ms *identical in every mode* —
+    is reported separately in ``restart_wall_s`` (SIGKILL to ping) but
+    deliberately kept out of the gated ratio: it is untouched by the
+    bootstrap path under test and would let an unrelated interpreter
+    regression mask a 10x reload regression. The post-restart dashboard
+    (fixed lineage/blame targets) feeds the digest identity check — a
+    restored worker that diverged from the leader in *any* mode fails
+    loudly, so checkpoint+tail restore is proven bit-equal to the full
+    sync it replaces. Leader-side CPU across the restart
+    (``time.process_time``) isolates the ship-path cost: encoding a
+    12k-vertex JSON sync vs publishing a checkpoint path + short binary
+    tail.
+    """
+    instance = generate_pd_sized(n_vertices, seed=7)
+    graph = instance.graph
+    entities = list(instance.entities)
+    rng = random.Random(seed)
+    targets = rng.sample(entities, k=6)     # the post-restart dashboard
+
+    t0 = time.perf_counter()
+    cluster = ProvCluster(graph, config=ServeConfig(
+        replicas=1, out_of_process=True, transport="socket",
+        **config_kwargs))
+    first_bootstrap_s = time.perf_counter() - t0
+    digest = 0
+    restart_wall = 0.0
+    caught_up_wall = 0.0
+    restart_cpu = 0.0
+    try:
+        client = cluster.replicas[0]
+        pool = cluster.pool
+        send_window = pool.obs.registry.histogram(
+            f"{pool.obs_label}.bootstrap.duration_s")
+        for index in range(restarts):
+            for write in range(writes_per_round):
+                append_run(graph, rng, entities,
+                           index * writes_per_round + write)
+            cluster.refresh()            # ship the burst pre-crash
+            client.proc.kill()           # the crash under test (SIGKILL)
+            client.proc.wait()
+            sent0 = send_window.sum
+            t0 = time.perf_counter()
+            c0 = time.process_time()
+            pool.restart(client)
+            ping0 = time.perf_counter()
+            client.ping()                # caught-up barrier
+            done = time.perf_counter()
+            restart_cpu += time.process_time() - c0
+            restart_wall += done - t0
+            caught_up_wall += (send_window.sum - sent0) + (done - ping0)
+            for entity in targets:
+                digest += len(client.lineage(entity).vertices)
+                digest += len(client.blame(entity))
+        stats = pool.stats()
+    finally:
+        cluster.close()
+    return {
+        "mode": label,
+        "digest": digest,
+        "restarts": restarts,
+        "wire_version": stats["wire_version"],
+        "first_bootstrap_s": first_bootstrap_s,
+        "restart_wall_s": restart_wall,
+        "caught_up_wall_s": caught_up_wall,
+        "restart_to_caught_up_s": caught_up_wall / restarts,
+        "leader_cpu_s": restart_cpu,
+        "bootstrap_counters": stats["bootstrap"],
+    }
+
+
+def _bootstrap_main(args, mode: str) -> int:
+    """``--bootstrap``: checkpoint+tail restart vs the full-JSON-sync one."""
+    floor = FLOORS[mode]
+    restarts = 3 if args.quick else 6
+    writes_per_round = 8
+    trials = 2 if args.quick else 3
+    print(f"workload: {restarts} crash-restarts of a 1-worker pool on a "
+          f"Pd graph (n=12000), {writes_per_round} recorded runs between "
+          f"crashes, restart-to-caught-up = state reload + caught-up "
+          f"ping (respawn reported separately), best of {trials} trials "
+          f"per contender")
+    results = {}
+    digests = set()
+    for label, overrides in BOOTSTRAP_CONTENDERS:
+        best = None
+        for _ in range(trials):
+            result = run_bootstrap_workload(label, 12000, restarts,
+                                            writes_per_round, **overrides)
+            digests.add(result["digest"])
+            if best is None \
+                    or result["caught_up_wall_s"] < best["caught_up_wall_s"]:
+                best = result
+        results[label] = best
+        counters = best["bootstrap_counters"]
+        print(f"{best['mode']:<12s} {best['restarts']} restarts: "
+              f"reload {best['caught_up_wall_s']:7.3f}s   "
+              f"({best['restart_to_caught_up_s'] * 1e3:7.1f} ms/restart, "
+              f"wall incl. respawn {best['restart_wall_s']:6.3f}s, "
+              f"leader cpu {best['leader_cpu_s']:6.3f}s, "
+              f"checkpoint_hits={counters['checkpoint_hits']} "
+              f"full_syncs={counters['full_syncs']} "
+              f"shipped={counters['bytes_shipped']}B, "
+              f"best of {trials})")
+    if len(digests) != 1:
+        raise AssertionError(
+            f"serving modes diverged: digests {sorted(digests)}")
+    # Path sanity: the gate must compare the paths it claims to. Every
+    # restart on the gated side reused the checkpoint; every restart on
+    # the baseline was a full JSON sync.
+    gated = results["checkpoint"]
+    baseline = results["full-sync"]
+    if gated["bootstrap_counters"]["checkpoint_hits"] < restarts:
+        raise AssertionError(
+            f"checkpoint mode fell back to full sync: "
+            f"{gated['bootstrap_counters']}")
+    if baseline["bootstrap_counters"]["full_syncs"] < restarts:
+        raise AssertionError(
+            f"full-sync baseline took a checkpoint path: "
+            f"{baseline['bootstrap_counters']}")
+    speedup = baseline["caught_up_wall_s"] / gated["caught_up_wall_s"]
+    cpu_ratio = (baseline["leader_cpu_s"] / gated["leader_cpu_s"]
+                 if gated["leader_cpu_s"] else float("inf"))
+    print(f"checkpoint vs full-sync : {speedup:5.2f}x restart-to-caught-up"
+          f"  (floor {floor}x; leader ship-path cpu {cpu_ratio:5.2f}x)")
+    passed = speedup >= floor
+    record = {
+        "benchmark": "bench_replication",
+        "mode": mode,
+        "n_vertices": 12000,
+        "replicas": 1,
+        "bootstrap": True,
+        "restarts": restarts,
+        "baseline": "full-sync",
+        "floor": floor,
+        "speedup_vs_baseline": speedup,
+        "leader_cpu_ratio": cpu_ratio,
+        "results": results,
+        "pass": passed,
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if not args.no_assert and not passed:
+        print(f"FAIL: checkpoint restart-to-caught-up {speedup:.2f}x the "
+              f"full-sync baseline (floor {floor}x)", file=sys.stderr)
         return 1
     print("ok")
     return 0
@@ -1330,6 +1538,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="gate write-heavy ingest on 4 shards x 2 "
                              "workers against an unsharded 8-worker pool "
                              "(implies --out-of-process)")
+    parser.add_argument("--bootstrap", action="store_true",
+                        help="gate worker restart-to-caught-up time: "
+                             "checkpoint+tail bootstrap vs a full JSON "
+                             "sync (implies --out-of-process)")
     parser.add_argument("--metrics-snapshot", metavar="PATH",
                         help="with --trace-overhead: write the "
                              "instrumented run's cluster-wide metrics "
@@ -1340,14 +1552,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="write a machine-readable result record")
     args = parser.parse_args(argv)
     if args.batched or args.steady_writes or args.open_loop \
-            or args.trace_overhead or args.sharded:
+            or args.trace_overhead or args.sharded or args.bootstrap:
         args.out_of_process = True
     if sum((args.batched, args.steady_writes, args.open_loop,
-            args.trace_overhead, args.sharded)) > 1:
+            args.trace_overhead, args.sharded, args.bootstrap)) > 1:
         parser.error("--batched, --steady-writes, --open-loop, "
-                     "--trace-overhead, and --sharded are separate gates")
+                     "--trace-overhead, --sharded, and --bootstrap are "
+                     "separate gates")
 
     mode = "quick" if args.quick else "full"
+    if args.bootstrap:
+        return _bootstrap_main(args, mode + "-bootstrap")
     if args.sharded:
         return _sharded_main(args, mode + "-sharded")
     if args.trace_overhead:

@@ -141,7 +141,7 @@ def _cmd_serve_worker(args: argparse.Namespace) -> int:
     import socket
 
     from repro.serve.transport import LineTransport
-    from repro.serve.wire import hello_frame
+    from repro.serve.wire import WIRE_FORMAT_V2, hello_frame
     from repro.serve.worker import ReplicaWorker
 
     if bool(args.connect) == bool(args.stdio):
@@ -160,13 +160,20 @@ def _cmd_serve_worker(args: argparse.Namespace) -> int:
     if args.no_metrics:
         from repro.obs import NullRegistry
         registry = NullRegistry()
-    with transport:
-        transport.send(hello_frame(args.worker_id, args.token))
-        return ReplicaWorker(transport, args.worker_id,
-                             cache_mode=args.cache_mode,
-                             generation=args.generation,
-                             registry=registry,
-                             shard=args.shard).run()
+    caps = [WIRE_FORMAT_V2] if args.wire_version >= 2 else None
+    worker = ReplicaWorker(transport, args.worker_id,
+                           cache_mode=args.cache_mode,
+                           generation=args.generation,
+                           registry=registry,
+                           shard=args.shard)
+    # Close through the worker, not a bare `with transport:` — a
+    # negotiated welcome swaps the worker onto an adopted binary framer
+    # over the same fds, and only the worker knows the current one.
+    try:
+        transport.send(hello_frame(args.worker_id, args.token, wire=caps))
+        return worker.run()
+    finally:
+        worker.close()
 
 
 def _cmd_serve_frontend(args: argparse.Namespace) -> int:
@@ -232,7 +239,21 @@ def _render_metrics_table(payload: dict) -> str:
             f"{key}={value}" for key, value in sorted(frontend.items())))
     counters = merged.get("counters", {})
     gauges = merged.get("gauges", {})
-    if counters or gauges:
+    histograms = merged.get("histograms", {})
+    boot: dict[str, float] = {}
+    for name, value in counters.items():
+        if ".bootstrap." in name:
+            key = name.rsplit(".", 1)[-1]
+            boot[key] = boot.get(key, 0) + value
+    if boot:
+        spells = [data for name, data in histograms.items()
+                  if name.endswith(".bootstrap.duration_s")]
+        count = sum(data["count"] for data in spells)
+        total = sum(data["sum"] for data in spells)
+        mean_ms = (total / count * 1e3) if count else 0.0
+        lines.append("bootstrap  " + "  ".join(
+            f"{key}={value:g}" for key, value in sorted(boot.items()))
+            + f"  mean_ms={mean_ms:.3f}")
         width = max(len(name) for name in [*counters, *gauges])
         lines.append("")
         lines.append(f"{'metric':<{width}}  value")
@@ -240,7 +261,6 @@ def _render_metrics_table(payload: dict) -> str:
             lines.append(f"{name:<{width}}  {value}")
         for name, value in sorted(gauges.items()):
             lines.append(f"{name:<{width}}  {value:g}")
-    histograms = merged.get("histograms", {})
     if histograms:
         width = max(len(name) for name in histograms)
         lines.append("")
@@ -433,6 +453,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-metrics", action="store_true",
                    help="swap in the no-op metrics registry (the "
                         "--trace-overhead benchmark baseline)")
+    p.add_argument("--wire-version", type=int, default=2, choices=[1, 2],
+                   help="highest wire protocol to advertise in the "
+                        "hello: 2 (default) offers repro-wire-v2 binary "
+                        "framing, 1 pins classic JSON lines")
     p.set_defaults(func=_cmd_serve_worker)
 
     return parser

@@ -62,6 +62,18 @@ class ServeConfig:
         transport: worker transport, ``"socket"`` or ``"pipe"``.
         cache_mode: worker result-cache retention, ``"footprint"`` or
             ``"epoch"``.
+        wire_version: highest worker wire protocol the pool negotiates:
+            ``2`` (default) upgrades capable workers to ``repro-wire-v2``
+            — length-prefixed binary framing plus binary batch/bundle
+            codecs — via the hello/welcome capability exchange; ``1``
+            pins classic JSON-lines framing (workers may still advertise
+            v2; the pool simply never accepts). Mixed fleets serve
+            identically either way.
+        checkpoint: bootstrap v2 workers from a binary snapshot
+            checkpoint plus the delta-log tail
+            (:mod:`repro.store.checkpoint`) instead of a full JSON sync;
+            ``False`` forces the JSON sync path even on v2 sessions
+            (the bench baseline).
         frontend: also start the asyncio front-end
             (:class:`repro.serve.frontend.AsyncFrontend`) so remote
             clients can fan in over the wire protocol.
@@ -93,6 +105,8 @@ class ServeConfig:
     out_of_process: bool = False
     transport: str = "socket"
     cache_mode: str = "footprint"
+    wire_version: int = 2
+    checkpoint: bool = True
     frontend: bool = False
     frontend_host: str = "127.0.0.1"
     frontend_port: int = 0
@@ -124,6 +138,10 @@ class ServeConfig:
             raise ConfigError(
                 f"unknown cache_mode {self.cache_mode!r}; "
                 f"choose from {CACHE_MODES}")
+        if self.wire_version not in (1, 2):
+            raise ConfigError(
+                f"unknown wire_version {self.wire_version!r}; "
+                "choose 1 (JSON lines) or 2 (negotiated binary)")
         if not 0 <= self.frontend_port <= 65535:
             raise ConfigError("frontend_port must be in [0, 65535]")
         if self.max_inflight < 1:

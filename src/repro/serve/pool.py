@@ -75,12 +75,15 @@ from repro.query.ops import Lineage
 from repro.segment.pgseg import PgSegOperator, PgSegQuery, Segment
 from repro.serve.api import ServeConfig
 from repro.serve.replication import ReplicationLog
-from repro.serve.transport import LineTransport
+from repro.serve.transport import BinaryTransport, LineTransport
 from repro.serve.wire import (
+    WIRE_FORMAT_V2,
     blame_from_wire,
     budget_to_wire,
+    checkpoint_frame,
     error_from_wire,
     hello_from_wire,
+    hello_wire_formats,
     lineage_from_wire,
     pgseg_query_is_wire_safe,
     pgseg_query_to_wire,
@@ -97,6 +100,7 @@ from repro.serve.wire import (
     segment_from_wire,
     shutdown_frame,
     sync_frame,
+    welcome_frame,
 )
 
 #: Transport kinds the pool can spawn workers over.
@@ -107,7 +111,8 @@ TRANSPORTS = ("socket", "pipe")
 _PONG_GAUGE_KEYS = frozenset({"cache_size", "view_count"})
 
 #: Pong keys that identify the spawn rather than count anything.
-_PONG_IDENTITY_KEYS = frozenset({"worker_id", "generation", "cache_mode"})
+_PONG_IDENTITY_KEYS = frozenset({"worker_id", "generation", "cache_mode",
+                                 "wire_version"})
 
 
 def _worker_env() -> dict[str, str]:
@@ -158,6 +163,11 @@ class WorkerClient:
         self._obs_prefix = f"{pool.obs_label}.worker{replica_id}"
         self.proc: subprocess.Popen | None = None
         self.transport: LineTransport | None = None
+        #: Negotiated wire protocol for the current spawn: 1 (JSON lines)
+        #: until a hello/welcome exchange upgrades the stream to 2
+        #: (length-prefixed binary framing). Reset on every respawn — the
+        #: fresh worker renegotiates from scratch.
+        self.wire_version = 1
         #: The epoch the pool has shipped this worker up to.
         self.epoch = -1
         self._next_request = 0
@@ -712,6 +722,7 @@ class WorkerClient:
             "epoch": self.epoch,
             "lag": self.lag,
             "alive": self.alive(),
+            "wire_version": self.wire_version,
             "batches_shipped": self.batches_shipped,
             "resyncs": self.resyncs,
             "restarts": self.restarts,
@@ -743,6 +754,8 @@ class WorkerClient:
                 self.proc.kill()
             self.proc.wait()
             self.proc = None
+        # Negotiation is per-spawn; the replacement starts back at v1.
+        self.wire_version = 1
         # Every in-flight request died with the process; late answers can
         # never arrive on the fresh stream (ids are never reused, so a
         # stale entry could only leak memory, not misroute).
@@ -903,8 +916,12 @@ class WorkerPool:
                                 stdin=stdin, stdout=stdout)
 
     def _handshake_socket(self, expect: int | None = None,
-                          ) -> tuple[int, LineTransport]:
-        """Accept one worker connection; returns (worker_id, transport).
+                          ) -> tuple[int, LineTransport, tuple[str, ...]]:
+        """Accept one worker connection; returns (id, transport, caps).
+
+        ``caps`` is the wire-format capability list the worker's hello
+        advertised (empty for v1 workers) — :meth:`_negotiate` turns it
+        into a framing decision once the client is attached.
 
         With ``expect`` set (restart path), connections from any *other*
         worker id are dropped, not returned: an orphaned dial from an
@@ -921,8 +938,8 @@ class WorkerPool:
                 ) from exc
             transport = LineTransport.over_socket(conn)
             try:
-                worker_id, token = hello_from_wire(
-                    transport.recv(timeout=self.spawn_timeout))
+                hello = transport.recv(timeout=self.spawn_timeout)
+                worker_id, token = hello_from_wire(hello)
             except (TransportClosed, TransportTimeout,
                     SerializationError):
                 transport.close()     # stray or broken connection
@@ -931,14 +948,14 @@ class WorkerPool:
                     (expect is not None and worker_id != expect):
                 transport.close()
                 continue
-            return worker_id, transport
+            return worker_id, transport, hello_wire_formats(hello)
 
-    def _handshake_pipe(self, proc: subprocess.Popen,
-                        worker_id: int) -> LineTransport:
+    def _handshake_pipe(self, proc: subprocess.Popen, worker_id: int,
+                        ) -> tuple[LineTransport, tuple[str, ...]]:
         transport = LineTransport.over_files(proc.stdout, proc.stdin)
         try:
-            got_id, token = hello_from_wire(
-                transport.recv(timeout=self.spawn_timeout))
+            hello = transport.recv(timeout=self.spawn_timeout)
+            got_id, token = hello_from_wire(hello)
         except (TransportClosed, TransportTimeout) as exc:
             # Close the pipe wrappers now: the Popen object alone keeps
             # the parent-side pipe fds open until GC, which is exactly
@@ -952,23 +969,25 @@ class WorkerPool:
             raise ReplicaUnavailable(
                 f"worker {worker_id} sent a bad handshake"
             )
-        return transport
+        return transport, hello_wire_formats(hello)
 
     def _bootstrap(self) -> None:
-        """Spawn everyone, collect handshakes, send one shared sync."""
+        """Spawn everyone, collect handshakes, send one shared state load."""
         procs = {client.replica_id: self._spawn_process(client.replica_id)
                  for client in self.clients}
+        caps_by_id: dict[int, tuple[str, ...]] = {}
         if self.transport_kind == "socket":
             transports: dict[int, LineTransport] = {}
             try:
                 for _ in self.clients:
-                    worker_id, transport = self._handshake_socket()
+                    worker_id, transport, caps = self._handshake_socket()
                     if worker_id in transports or worker_id not in procs:
                         transport.close()
                         raise ReplicaUnavailable(
                             f"unexpected worker id {worker_id} in handshake"
                         )
                     transports[worker_id] = transport
+                    caps_by_id[worker_id] = caps
             except BaseException:
                 # Un-attached transports would leak their fds past the
                 # pool teardown (close() only sweeps attached clients).
@@ -976,15 +995,17 @@ class WorkerPool:
                     transport.close()
                 raise
         else:
-            transports = {
-                client.replica_id: self._handshake_pipe(
+            transports = {}
+            for client in self.clients:
+                transport, caps = self._handshake_pipe(
                     procs[client.replica_id], client.replica_id)
-                for client in self.clients
-            }
+                transports[client.replica_id] = transport
+                caps_by_id[client.replica_id] = caps
         for client in self.clients:
             client._attach(procs[client.replica_id],
                            transports[client.replica_id])
-            self._send_sync(client)
+            self._negotiate(client, caps_by_id[client.replica_id])
+            self._send_state(client)
         # Pong arrives only after the sync frame ahead of it is processed:
         # one ping per worker is a bootstrap barrier, so construction (not
         # the first serving burst) pays the store decode — and a worker
@@ -1003,35 +1024,139 @@ class WorkerPool:
     # Replication
     # ------------------------------------------------------------------
 
+    def _negotiate(self, client: WorkerClient,
+                   caps: tuple[str, ...]) -> None:
+        """Settle the stream's wire version from the hello capabilities.
+
+        A v2-capable worker under a v2-configured pool gets a worker-
+        directed ``welcome`` naming ``repro-wire-v2`` — the last
+        line-framed frame on the stream; both ends then swap to
+        length-prefixed binary framing on the same fds. Every other
+        combination (v1 worker, or ``wire_version=1`` pinned in config)
+        silently stays on JSON lines: the worker learns the pool's
+        choice by *never* seeing a welcome before its sync/checkpoint.
+        """
+        if self.config.wire_version >= 2 and WIRE_FORMAT_V2 in caps:
+            client.transport.send(welcome_frame(
+                client.replica_id, self.log.epoch, wire=WIRE_FORMAT_V2))
+            client.transport = BinaryTransport.adopt(client.transport)
+            client.wire_version = 2
+
     def _send_sync(self, client: WorkerClient) -> None:
         """Ship a full bootstrap sync (memoized per epoch across workers)."""
         client.transport.send(sync_frame(self.log.sync()))
         client.epoch = self.log.epoch
+
+    def _send_state(self, client: WorkerClient) -> None:
+        """Bring a fresh worker to the leader epoch, the cheapest way in.
+
+        v2 streams try checkpoint + delta-log tail first: the worker
+        mmaps a binary snapshot the leader already wrote (zero-copy on
+        the ship path — only the frame naming the file crosses the
+        stream) and replays just the batches logged after it. The full
+        JSON sync remains both the v1 path and the universal fallback —
+        a checkpoint that predates the log's truncation horizon, or a
+        worker that fails to load the file, degrades to exactly the
+        bytes v1 would have shipped.
+        """
+        duration = self.obs.registry.histogram(
+            f"{self.obs_label}.bootstrap.duration_s")
+        start = time.perf_counter()
+        shipped = None
+        if client.wire_version >= 2 and self.config.checkpoint:
+            ckpt = self.log.checkpoint()
+            if ckpt is not None:
+                tail = self.log.ship_binary_since(ckpt.epoch)
+                if tail is None:
+                    # The log truncated past the checkpoint between
+                    # capture and ship; drop it so the next bootstrap
+                    # captures fresh, and fall back this time.
+                    self.log.invalidate_checkpoint()
+                elif self._ship_checkpoint(client, ckpt, tail):
+                    shipped = ckpt.nbytes + sum(len(p) for p in tail)
+                    self.obs.registry.counter(
+                        f"{self.obs_label}.bootstrap.checkpoint_hits"
+                    ).inc()
+        if shipped is None:
+            payload = self.log.sync()
+            client.transport.send(sync_frame(payload))
+            client.epoch = self.log.epoch
+            shipped = len(payload)
+            self.obs.registry.counter(
+                f"{self.obs_label}.bootstrap.full_syncs").inc()
+        self.obs.registry.counter(
+            f"{self.obs_label}.bootstrap.bytes_shipped").inc(shipped)
+        duration.observe(time.perf_counter() - start)
+
+    def _ship_checkpoint(self, client: WorkerClient, ckpt,
+                         tail: list[bytes]) -> bool:
+        """Point the worker at a checkpoint file; ship the tail on its ack.
+
+        The worker pongs at the checkpoint's epoch once the file is
+        loaded — only then does the tail go out, so a worker that cannot
+        read the file (unlinked by a concurrent refresh, corrupt, ...)
+        reports a ``checkpoint-failed`` event instead and the caller
+        falls back to the full sync with nothing half-applied.
+        """
+        client.transport.send(checkpoint_frame(
+            str(ckpt.path), ckpt.epoch, ckpt.generation))
+        while True:
+            frame = client.transport.recv(timeout=self.spawn_timeout)
+            kind = frame.get("kind")
+            if kind == "event":
+                return False         # checkpoint-failed: fall back
+            if kind == "pong":
+                epoch, stats = pong_from_wire(frame)
+                client._note_pong(stats)
+                if epoch != ckpt.epoch:
+                    return False
+                break
+            if not client._absorb(frame):
+                raise SerializationError(
+                    f"unexpected {kind!r} frame during checkpoint load")
+        for payload in tail:
+            client.transport.send_binary(payload)
+        client.epoch = self.log.epoch
+        client.batches_shipped += len(tail)
+        return True
 
     def ship(self, client: WorkerClient) -> int:
         """Ship the span ``(client.epoch, leader_epoch]`` in-order.
 
         A truncated span degrades to a full re-sync, mirroring the
         in-process replica (never a partial replay). Returns the number
-        of batches (or re-synced epochs) shipped.
+        of batches (or re-synced epochs) shipped. v2 streams carry the
+        span as binary batch frames — same deltas, same order, just the
+        packed codec on the hot path.
         """
         start = client.epoch
-        lines = self.log.ship_since(start)
-        if lines is None:
-            self._send_sync(client)
-            client.resyncs += 1
-            return client.epoch - start
-        for line in lines:
-            client.transport.send_text(line)
+        if client.wire_version >= 2:
+            payloads = self.log.ship_binary_since(start)
+            if payloads is None:
+                self._send_state(client)
+                client.resyncs += 1
+                return client.epoch - start
+            for payload in payloads:
+                client.transport.send_binary(payload)
+            count = len(payloads)
+        else:
+            lines = self.log.ship_since(start)
+            if lines is None:
+                self._send_state(client)
+                client.resyncs += 1
+                return client.epoch - start
+            for line in lines:
+                client.transport.send_text(line)
+            count = len(lines)
         client.epoch = self.log.epoch
-        client.batches_shipped += len(lines)
-        if lines:
+        client.batches_shipped += count
+        if count:
             # Arm the ship->apply latency probe: the next frame echoing
             # this epoch (answer or pong) closes the measurement.
             client._ship_mark = (client.epoch, time.perf_counter())
             self.obs.registry.gauge(
                 client._obs_prefix + ".lag").set(client.lag)
-        return len(lines)
+        return count
 
     def refresh(self) -> int:
         """Ship pending batches to every worker.
@@ -1054,9 +1179,10 @@ class WorkerPool:
 
     def restart(self, client: WorkerClient,
                 failed: LineTransport | None = None) -> None:
-        """Respawn one worker and queue its full re-sync.
+        """Respawn one worker and queue its state reload.
 
-        The sync frame is written to the fresh stream immediately, so by
+        The state (checkpoint + tail on negotiated-v2 streams, a full
+        sync frame otherwise) is written to the fresh stream immediately, so by
         the time the router rotates back to this replica it answers at
         the leader's epoch without special-casing.
 
@@ -1081,14 +1207,15 @@ class WorkerPool:
             proc = self._spawn_process(client.replica_id)
             try:
                 if self.transport_kind == "socket":
-                    _, transport = self._handshake_socket(
+                    _, transport, caps = self._handshake_socket(
                         expect=client.replica_id)
                 else:
-                    transport = self._handshake_pipe(proc,
-                                                     client.replica_id)
+                    transport, caps = self._handshake_pipe(
+                        proc, client.replica_id)
                 client._attach(proc, transport)
+                self._negotiate(client, caps)
                 client.resyncs += 1
-                self._send_sync(client)
+                self._send_state(client)
             except BaseException as exc:
                 # Never leak the respawn: a worker we cannot handshake
                 # with must not linger half-connected. (After a
@@ -1140,9 +1267,19 @@ class WorkerPool:
 
     def stats(self) -> dict[str, Any]:
         """Pool-wide spawn/replication/serving counters."""
+        registry = self.obs.registry
         return {
             "leader_epoch": self.log.epoch,
             "transport": self.transport_kind,
+            "wire_version": self.config.wire_version,
+            "bootstrap": {
+                "checkpoint_hits": registry.counter(
+                    f"{self.obs_label}.bootstrap.checkpoint_hits").value,
+                "full_syncs": registry.counter(
+                    f"{self.obs_label}.bootstrap.full_syncs").value,
+                "bytes_shipped": registry.counter(
+                    f"{self.obs_label}.bootstrap.bytes_shipped").value,
+            },
             "workers": [client.stats() for client in self.clients],
         }
 
@@ -1173,6 +1310,9 @@ class WorkerPool:
             if self._listener is not None:
                 self._listener.close()
                 self._listener = None
+            # Checkpoint files live only to bootstrap workers; none may
+            # outlive the pool (the fd test pins zero stale-file growth).
+            self.log.close()
 
     def __enter__(self) -> "WorkerPool":
         return self

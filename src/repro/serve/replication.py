@@ -10,7 +10,11 @@ turns that log into a replication stream:
   bounded log has truncated the span — the follower must re-sync, never
   partially replay (the same contract
   :meth:`GraphSnapshot.advance <repro.store.snapshot.GraphSnapshot.advance>`
-  obeys).
+  obeys). ``checkpoint()`` maintains the binary snapshot checkpoint
+  (:mod:`repro.store.checkpoint`) that out-of-process workers bootstrap
+  from — checkpoint + delta-log tail instead of an O(graph) JSON sync —
+  and ``ship_binary_since(epoch)`` is the tail in the negotiated
+  ``repro-wire-v2`` binary batch codec.
 
 - :class:`Replica` — a read-only follower. It bootstraps from a full sync
   (id-, ordinal-, and epoch-exact), then catches up by applying shipped
@@ -40,7 +44,14 @@ from repro.query.ops import blame as _blame
 from repro.query.ops import impacted as _impacted
 from repro.query.ops import lineage as _lineage
 from repro.segment.pgseg import PgSegOperator, PgSegQuery, Segment
-from repro.serve.wire import decode_batch, decode_sync, encode_batch, encode_sync
+from repro.serve.wire import (
+    decode_batch,
+    decode_sync,
+    encode_batch,
+    encode_batch_binary,
+    encode_sync,
+)
+from repro.store.checkpoint import Checkpoint, CheckpointManager
 from repro.summarize.pgsum import PgSumOperator, PgSumQuery
 from repro.summarize.psg import Psg
 from repro.store.snapshot import GraphSnapshot
@@ -60,9 +71,16 @@ class ReplicationLog:
             graph).
     """
 
+    #: Tail length (delta records, not batches) past which an existing
+    #: checkpoint is refreshed instead of reused: shipping a very long
+    #: tail on top of an old checkpoint costs more than recapturing, and
+    #: a bounded refresh keeps checkpoints "periodic" without a timer.
+    CHECKPOINT_REFRESH_RECORDS = 1024
+
     def __init__(self, source):
         self.store: PropertyGraphStore = getattr(source, "store", source)
         self._sync_cache: tuple[int, str] | None = None
+        self._checkpoints: CheckpointManager | None = None
 
     @property
     def epoch(self) -> int:
@@ -101,6 +119,64 @@ class ReplicationLog:
         if batches is None:
             return None
         return [encode_batch(batch, self.store) for batch in batches]
+
+    def ship_binary_since(self, epoch: int) -> list[bytes] | None:
+        """The :meth:`ship_since` span as v2 binary batch payloads.
+
+        Same truncation contract: ``None`` means the follower must
+        bootstrap again. Used for workers that negotiated
+        ``repro-wire-v2`` (:func:`repro.serve.wire.encode_batch_binary`).
+        """
+        batches = self.store.delta_log.batches_since(epoch)
+        if batches is None:
+            return None
+        return [encode_batch_binary(batch, self.store) for batch in batches]
+
+    # ------------------------------------------------------------------
+    # Checkpoint lifecycle (binary bootstrap snapshots)
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> Checkpoint | None:
+        """The checkpoint a worker should bootstrap from right now.
+
+        Policy:
+
+        - no checkpoint yet -> capture one at the current epoch (its tail
+          is empty, so the first bootstrap is checkpoint-only);
+        - current checkpoint's tail still fully retained by the delta log
+          and shorter than :attr:`CHECKPOINT_REFRESH_RECORDS` -> reuse it
+          (the common restart path: ship the file path + a short tail);
+        - tail retained but long -> recapture at the current epoch
+          (periodic refresh);
+        - checkpoint predates the log's truncation horizon -> drop it and
+          return ``None``: **this** bootstrap must fall back to a full
+          JSON sync (the caller counts it), and the next one captures
+          fresh.
+        """
+        if self._checkpoints is None:
+            self._checkpoints = CheckpointManager()
+        latest = self._checkpoints.latest
+        log = self.store.delta_log
+        if latest is not None:
+            if log.batches_since(latest.epoch) is None:
+                self._checkpoints.invalidate()
+                return None
+            if log.record_count_since(latest.epoch) \
+                    <= self.CHECKPOINT_REFRESH_RECORDS:
+                return latest
+        return self._checkpoints.capture(self.store)
+
+    def invalidate_checkpoint(self) -> None:
+        """Drop the current checkpoint (e.g. a worker failed to load it)."""
+        if self._checkpoints is not None:
+            self._checkpoints.invalidate()
+
+    def close(self) -> None:
+        """Release the sync cache and delete checkpoint files. Idempotent."""
+        self.release_sync()
+        checkpoints, self._checkpoints = self._checkpoints, None
+        if checkpoints is not None:
+            checkpoints.close()
 
 
 class Replica:

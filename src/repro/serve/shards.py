@@ -55,7 +55,8 @@ from repro.query.ops import Lineage
 from repro.segment.pgseg import PgSegOperator, PgSegQuery, Segment
 from repro.serve.api import ServeConfig, normalize_specs
 from repro.serve.cluster import ProvCluster
-from repro.serve.wire import decode_sync, encode_sync, pgseg_query_is_wire_safe
+from repro.serve.wire import pgseg_query_is_wire_safe
+from repro.store.checkpoint import read_checkpoint, write_checkpoint
 from repro.store.delta import DeltaBatch
 from repro.store.sharding import ShardMap, delta_payload, split_batch
 from repro.summarize.pgsum import PgSumOperator, PgSumQuery
@@ -67,16 +68,17 @@ __all__ = ["ShardedCluster"]
 class _ShardFeed:
     """Coordinator-side follower store for one shard.
 
-    Bootstrapped from a full leader sync (ids, ordinals, epoch exact),
-    then fed re-stamped sub-batches on its *own* timeline: each applied
-    batch is stamped ``feed.epoch + 1``, so the feed's delta log stays
-    contiguous and the shard's :class:`ProvCluster` replicates from it
-    with the ordinary machinery, completely unaware it serves a shard.
+    Bootstrapped from a full leader snapshot (ids, ordinals, epoch
+    exact), then fed re-stamped sub-batches on its *own* timeline: each
+    applied batch is stamped ``feed.epoch + 1``, so the feed's delta log
+    stays contiguous and the shard's :class:`ProvCluster` replicates
+    from it with the ordinary machinery, completely unaware it serves a
+    shard.
     """
 
-    def __init__(self, shard: int, sync_payload: str):
+    def __init__(self, shard: int, store):
         self.shard = shard
-        self.store = decode_sync(sync_payload)
+        self.store = store
         self.graph = ProvenanceGraph(self.store)
 
     @property
@@ -157,11 +159,28 @@ class ShardedCluster:
     # ------------------------------------------------------------------
 
     def _bootstrap_shards(self) -> None:
-        """(Re-)build every feed and shard cluster from one leader sync."""
-        payload = encode_sync(self.store)
+        """(Re-)build every feed and shard cluster from one leader snapshot.
+
+        The leader store is checkpointed once to a binary file and every
+        feed store mmaps it back — one O(graph) encode regardless of
+        shard count, where the JSON-sync path paid one string decode per
+        shard. The file is bootstrap-scratch, deleted before any shard
+        serves; per-shard *worker* resyncs reuse each shard pool's own
+        checkpoint through the ordinary replication machinery.
+        """
+        import shutil
+        import tempfile
+        from pathlib import Path
+
+        scratch = tempfile.mkdtemp(prefix="repro-shard-boot-")
+        try:
+            path = Path(scratch) / "leader.bin"
+            write_checkpoint(self.store, path)
+            feeds = [_ShardFeed(k, read_checkpoint(path))
+                     for k in range(self.config.shards)]
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
         shard_config = self.config.with_(shards=1, frontend=False)
-        feeds = [_ShardFeed(k, payload)
-                 for k in range(self.config.shards)]
         shards: list[ProvCluster] = []
         try:
             for k, feed in enumerate(feeds):

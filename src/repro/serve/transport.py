@@ -33,6 +33,19 @@ pool already treats as "restart + re-sync the worker" — the same crash
 path a real peer death takes. A timeout that strikes on a clean frame
 boundary leaves the transport reusable (the in-flight answer is simply
 late, not torn).
+
+:class:`BinaryTransport` is the negotiated ``repro-wire-v2`` framing mode
+over the same carriers: ``[u32 big-endian length][payload]`` instead of
+newline delimiters. A payload starting with ``{`` is a UTF-8 JSON frame;
+any other leading byte is a binary codec tag resolved through
+:func:`register_frame_decoder` (populated by :mod:`repro.serve.wire` for
+the two hot frame families — shipped delta batches and response
+bundles). ``recv`` always returns the same frame dict either way, so
+everything above the transport is framing-agnostic. The failure mapping,
+mid-frame poisoning, and close-sweep contract are identical to
+:class:`LineTransport`; both sides switch framing on the same file
+descriptors after the hello/welcome capability exchange
+(:meth:`BinaryTransport.adopt`).
 """
 
 from __future__ import annotations
@@ -41,6 +54,7 @@ import json
 import os
 import select
 import socket
+import struct
 import time
 from typing import Any, BinaryIO, Callable
 
@@ -280,3 +294,116 @@ class LineTransport:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+# ---------------------------------------------------------------------------
+# Length-prefixed binary framing (negotiated repro-wire-v2)
+# ---------------------------------------------------------------------------
+
+#: Binary-payload decoders by tag byte. A decoder takes the full payload
+#: (tag byte included) and returns the equivalent JSON frame dict.
+_FRAME_DECODERS: dict[int, Callable[[bytes], dict[str, Any]]] = {}
+
+
+def register_frame_decoder(tag: int,
+                           decoder: Callable[[bytes], dict[str, Any]],
+                           ) -> None:
+    """Register a binary-payload decoder for frames starting with ``tag``.
+
+    ``tag`` must not collide with ``{`` (0x7B), which dispatches to the
+    JSON path. :mod:`repro.serve.wire` registers its codecs at import
+    time, so any process that speaks the protocol can decode them.
+    """
+    if tag == 0x7B:
+        raise ValueError("tag 0x7B is reserved for JSON payloads")
+    _FRAME_DECODERS[tag] = decoder
+
+
+class BinaryTransport(LineTransport):
+    """Length-prefixed framing over the :class:`LineTransport` machinery.
+
+    Wire layout per frame: 4-byte big-endian payload length, then the
+    payload. Construction, fd handling, timeouts, poisoning, and the
+    close sweep are all inherited; only the framing differs. Handshakes
+    run line-framed; :meth:`adopt` upgrades an existing line transport
+    in place once both peers agreed on ``repro-wire-v2``.
+    """
+
+    _HEADER = struct.Struct(">I")
+
+    @classmethod
+    def adopt(cls, line: LineTransport) -> "BinaryTransport":
+        """Take over a :class:`LineTransport`'s streams and switch framing.
+
+        The original transport is neutered — marked closed with its close
+        hooks stripped — so a stray ``close()`` on it cannot tear down the
+        file descriptors now owned by the returned transport. Any bytes
+        already buffered (a pipelined peer may send its first binary frame
+        on the heels of the handshake) carry over.
+        """
+        upgraded = cls(line._reader, line._writer, on_close=line._on_close)
+        upgraded._buffer = line._buffer
+        upgraded._poisoned = line._poisoned
+        line._on_close = ()
+        line._closed = True
+        return upgraded
+
+    def send(self, frame: dict[str, Any],
+             timeout: float | None = None) -> None:
+        """Write one frame (a JSON-able dict) with a length prefix."""
+        payload = json.dumps(frame, sort_keys=True).encode("utf-8")
+        self.send_raw(self._HEADER.pack(len(payload)) + payload,
+                      timeout=timeout)
+
+    def send_text(self, line: str, timeout: float | None = None) -> None:
+        """Write one pre-encoded JSON payload with a length prefix."""
+        payload = line.encode("utf-8")
+        self.send_raw(self._HEADER.pack(len(payload)) + payload,
+                      timeout=timeout)
+
+    def send_binary(self, payload: bytes,
+                    timeout: float | None = None) -> None:
+        """Write one pre-packed binary payload (tag byte first)."""
+        self.send_raw(self._HEADER.pack(len(payload)) + payload,
+                      timeout=timeout)
+
+    def recv(self, timeout: float | None = None) -> dict[str, Any]:
+        """Read one length-prefixed frame (same contract as the line mode:
+        a deadline striking mid-frame — partial header *or* partial
+        payload buffered — poisons the transport)."""
+        if self._poisoned:
+            raise TransportClosed(
+                "transport poisoned by a mid-frame timeout")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        header = self._HEADER.size
+        while True:
+            if len(self._buffer) >= header:
+                (length,) = self._HEADER.unpack_from(self._buffer)
+                if len(self._buffer) >= header + length:
+                    payload = bytes(self._buffer[header:header + length])
+                    del self._buffer[:header + length]
+                    return self._decode(payload)
+            try:
+                self._fill(deadline)
+            except TransportTimeout:
+                if self._buffer:
+                    # Mid-frame: the next byte belongs to the frame this
+                    # caller just abandoned.
+                    self._poisoned = True
+                raise
+
+    @staticmethod
+    def _decode(payload: bytes) -> dict[str, Any]:
+        if not payload:
+            raise SerializationError("empty binary frame")
+        if payload[0] == 0x7B:      # "{" — a JSON payload
+            return LineTransport._parse(payload)
+        decoder = _FRAME_DECODERS.get(payload[0])
+        if decoder is None:
+            raise SerializationError(
+                f"unknown binary frame tag 0x{payload[0]:02x}")
+        frame = decoder(payload)
+        if not isinstance(frame, dict):    # pragma: no cover - codec bug
+            raise SerializationError(
+                f"binary decoder returned a non-frame: {frame!r}")
+        return frame

@@ -60,11 +60,13 @@ persistence layer already imposes.
 from __future__ import annotations
 
 import json
+import struct
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import SerializationError
 from repro.model.types import parse_edge_type, parse_vertex_type
 from repro.query.paths import Path, Step
+from repro.serve.transport import register_frame_decoder
 
 if TYPE_CHECKING:   # pragma: no cover - types only
     from repro.model.graph import ProvenanceGraph
@@ -92,6 +94,14 @@ from repro.store.store import PropertyGraphStore
 #: Wire format tag for batch lines; bootstrap sync lines reuse the
 #: persistence format tag (the record shapes are identical).
 WIRE_FORMAT = "repro-wire-v1"
+
+#: Negotiated upgrade: length-prefixed binary framing plus binary codecs
+#: for the two hot frame families (shipped batches, response bundles) and
+#: checkpoint-based bootstrap. Every JSON frame shape is unchanged — v2
+#: is a transport/codec upgrade, not a new frame vocabulary — so ``format``
+#: tags inside frames stay ``repro-wire-v1`` and v1 peers interoperate
+#: byte-compatibly when the capability exchange does not land.
+WIRE_FORMAT_V2 = "repro-wire-v2"
 
 _PROPERTY_OPS = (DeltaOp.SET_VERTEX_PROPERTY, DeltaOp.SET_EDGE_PROPERTY)
 
@@ -299,11 +309,23 @@ def _expect_kind(record: dict[str, Any], kind: str) -> dict[str, Any]:
     return record
 
 
-def hello_frame(worker_id: int, token: str) -> dict[str, Any]:
+def hello_frame(worker_id: int, token: str,
+                wire: "list[str] | None" = None) -> dict[str, Any]:
     """The worker's first frame after connecting: who it is + the shared
-    spawn token (rejects stray connections to the pool's listener)."""
-    return {"kind": "hello", "format": WIRE_FORMAT,
-            "worker": int(worker_id), "token": token}
+    spawn token (rejects stray connections to the pool's listener).
+
+    ``wire`` (additive under ``repro-wire-v1``) lists the wire formats the
+    worker can speak beyond v1, e.g. ``["repro-wire-v2"]``. A v1 pool
+    ignores the field (:func:`hello_from_wire` reads only worker + token),
+    so advertising costs nothing; a v2 pool answers with a ``welcome``
+    frame naming the chosen format (:func:`welcome_frame` ``wire=``)
+    before any bootstrap state flows.
+    """
+    frame: dict[str, Any] = {"kind": "hello", "format": WIRE_FORMAT,
+                             "worker": int(worker_id), "token": token}
+    if wire:
+        frame["wire"] = [str(version) for version in wire]
+    return frame
 
 
 def hello_from_wire(record: dict[str, Any]) -> tuple[int, str]:
@@ -313,6 +335,12 @@ def hello_from_wire(record: dict[str, Any]) -> tuple[int, str]:
         return int(record["worker"]), str(record["token"])
     except (KeyError, ValueError, TypeError) as exc:
         raise SerializationError(f"malformed hello frame: {record!r}") from exc
+
+
+def hello_wire_formats(record: dict[str, Any]) -> tuple[str, ...]:
+    """The extra wire formats a hello frame advertises (may be empty)."""
+    _expect_kind(record, "hello")
+    return tuple(str(version) for version in record.get("wire") or ())
 
 
 def sync_frame(payload: str) -> dict[str, Any]:
@@ -342,6 +370,37 @@ def sync_from_frame(record: dict[str, Any],
     except KeyError as exc:
         raise SerializationError(f"malformed sync frame: {record!r}") from exc
     return decode_sync(payload, check_signatures=check_signatures)
+
+
+def checkpoint_frame(path: str, epoch: int,
+                     generation: int) -> dict[str, Any]:
+    """Bootstrap-by-checkpoint order: load the binary snapshot at ``path``.
+
+    New frame kind under ``repro-wire-v1`` (additive: v1 peers answer
+    unknown kinds with an event frame, which the pool treats as "fall
+    back to a full JSON sync"). Sent only to workers that negotiated
+    ``repro-wire-v2``; the path is a leader-local file
+    (:mod:`repro.store.checkpoint`), valid because workers are always
+    subprocesses on the same host — that locality is what makes the
+    bootstrap zero-copy (the worker mmaps the file instead of parsing an
+    O(graph) JSON payload). The worker answers ``pong`` at the
+    checkpoint's epoch on success so the leader can verify the load
+    before shipping the delta-log tail.
+    """
+    return {"kind": "checkpoint", "format": WIRE_FORMAT,
+            "path": str(path), "epoch": int(epoch),
+            "generation": int(generation)}
+
+
+def checkpoint_from_wire(record: dict[str, Any]) -> tuple[str, int, int]:
+    """Decode a checkpoint frame into ``(path, epoch, generation)``."""
+    _expect_kind(record, "checkpoint")
+    try:
+        return (str(record["path"]), int(record["epoch"]),
+                int(record["generation"]))
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(
+            f"malformed checkpoint frame: {record!r}") from exc
 
 
 def ping_frame() -> dict[str, Any]:
@@ -420,7 +479,8 @@ def client_hello_from_wire(record: dict[str, Any]) -> tuple[str, str | None]:
 
 def welcome_frame(session_id: int, epoch: int,
                   limits: dict[str, int] | None = None,
-                  shard_epochs: "list[int] | None" = None) -> dict[str, Any]:
+                  shard_epochs: "list[int] | None" = None,
+                  wire: str | None = None) -> dict[str, Any]:
     """The front-end's answer to an accepted ``client_hello``.
 
     Carries the assigned session id, the leader epoch at accept time,
@@ -433,6 +493,14 @@ def welcome_frame(session_id: int, epoch: int,
     is the per-shard epoch vector of a sharded cluster at accept time,
     indexed by shard; :func:`welcome_from_wire` ignores it, so pre-shard
     clients decode sharded welcomes unchanged.
+
+    ``wire`` (additive) names the wire format the sender selected from
+    the peer's advertised capabilities (:func:`hello_frame` ``wire=``).
+    The pool sends a worker-directed welcome with
+    ``wire="repro-wire-v2"`` to accept the upgrade; both sides then
+    switch to length-prefixed binary framing
+    (:class:`repro.serve.transport.BinaryTransport`) for every
+    subsequent frame. Absent, the session stays on v1 JSON lines.
     """
     frame: dict[str, Any] = {"kind": "welcome", "format": WIRE_FORMAT,
                              "session": int(session_id),
@@ -441,6 +509,8 @@ def welcome_frame(session_id: int, epoch: int,
         frame["limits"] = {key: int(value) for key, value in limits.items()}
     if shard_epochs is not None:
         frame["shard_epochs"] = [int(epoch) for epoch in shard_epochs]
+    if wire is not None:
+        frame["wire"] = str(wire)
     return frame
 
 
@@ -455,6 +525,13 @@ def welcome_from_wire(record: dict[str, Any],
     except (KeyError, ValueError, TypeError) as exc:
         raise SerializationError(
             f"malformed welcome frame: {record!r}") from exc
+
+
+def welcome_wire_format(record: dict[str, Any]) -> str | None:
+    """The wire format a welcome frame selected, or ``None`` (v1)."""
+    _expect_kind(record, "welcome")
+    wire = record.get("wire")
+    return None if wire is None else str(wire)
 
 
 def shard_map_to_wire(shard_map) -> dict[str, Any]:
@@ -724,6 +801,233 @@ def responses_bundle_from_wire(record: dict[str, Any],
     if not responses:
         raise SerializationError("empty responses bundle")
     return epoch, responses
+
+
+# ---------------------------------------------------------------------------
+# Binary frame codecs (negotiated repro-wire-v2 hot path)
+# ---------------------------------------------------------------------------
+#
+# The two highest-volume frame families — shipped delta batches
+# (leader -> worker, one per committed epoch per worker) and response
+# bundles (worker -> leader, one per pipelined query burst) — get
+# length-prefixed binary codecs. A binary payload is tagged by its first
+# byte and decodes to *exactly* the frame dict its JSON twin would have
+# produced, so everything above the transport's recv() is codec-agnostic;
+# the packers take the frame dict, keeping the JSON codec the single
+# source of field semantics. Property maps and result values stay JSON
+# (they are schemaless by design); the fixed-shape envelope — ids, type
+# codes, topology, epochs — is packed as little-endian struct fields.
+
+#: First payload byte of a binary-coded shipped batch frame.
+BATCH_FRAME_TAG = 0x01
+#: First payload byte of a binary-coded responses-bundle frame.
+RESPONSES_FRAME_TAG = 0x02
+
+_I64 = struct.Struct("<q")
+_U32 = struct.Struct("<I")
+
+_OP_BY_CODE = tuple(DeltaOp)
+_CODE_BY_OP = {op.name: code for code, op in enumerate(DeltaOp)}
+
+_F_VT = 1        # "vt" present
+_F_ET = 2        # "et" present
+_F_ENDPOINTS = 4  # "src" + "dst" present
+_F_ORDER = 8     # "order" present
+_F_KEY = 16      # "key" present
+_F_PROPS = 32    # "props" present (enrichment; may be empty)
+_F_VALUE = 64    # "value" + "has_value" present (enrichment)
+
+
+def _pack_json(out: bytearray, obj: Any) -> None:
+    payload = json.dumps(obj, sort_keys=True).encode("utf-8")
+    out += _U32.pack(len(payload))
+    out += payload
+
+
+def _pack_text(out: bytearray, text: str) -> None:
+    payload = text.encode("utf-8")
+    out += _U32.pack(len(payload))
+    out += payload
+
+
+class _BinaryCursor:
+    """Sequential struct reader over one binary frame payload."""
+
+    __slots__ = ("_payload", "_offset")
+
+    def __init__(self, payload: bytes, offset: int = 0):
+        self._payload = payload
+        self._offset = offset
+
+    def u8(self) -> int:
+        offset = self._offset
+        if offset >= len(self._payload):
+            raise SerializationError("truncated binary frame")
+        self._offset = offset + 1
+        return self._payload[offset]
+
+    def unpack(self, spec: struct.Struct) -> int:
+        offset = self._offset
+        if offset + spec.size > len(self._payload):
+            raise SerializationError("truncated binary frame")
+        self._offset = offset + spec.size
+        return spec.unpack_from(self._payload, offset)[0]
+
+    def blob(self) -> bytes:
+        length = self.unpack(_U32)
+        offset = self._offset
+        if offset + length > len(self._payload):
+            raise SerializationError("truncated binary frame")
+        self._offset = offset + length
+        return self._payload[offset:offset + length]
+
+    def json(self) -> Any:
+        try:
+            return json.loads(self.blob().decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise SerializationError(
+                f"invalid JSON section in binary frame: {exc}") from exc
+
+    def done(self) -> bool:
+        return self._offset == len(self._payload)
+
+
+def pack_batch_frame(frame: dict[str, Any]) -> bytes:
+    """Pack a :func:`batch_to_wire` frame dict as a binary payload."""
+    if frame.get("kind") != "batch" or frame.get("format") != WIRE_FORMAT:
+        raise SerializationError(
+            f"not a {WIRE_FORMAT} batch record: {frame.get('kind')!r}")
+    out = bytearray((BATCH_FRAME_TAG,))
+    try:
+        out += _I64.pack(int(frame["epoch"]))
+        deltas = frame["deltas"]
+        out += _U32.pack(len(deltas))
+        for record in deltas:
+            out.append(_CODE_BY_OP[record["op"]])
+            out += _I64.pack(int(record["id"]))
+            flags = ((_F_VT if "vt" in record else 0)
+                     | (_F_ET if "et" in record else 0)
+                     | (_F_ENDPOINTS if "src" in record else 0)
+                     | (_F_ORDER if "order" in record else 0)
+                     | (_F_KEY if "key" in record else 0)
+                     | (_F_PROPS if "props" in record else 0)
+                     | (_F_VALUE if "has_value" in record else 0))
+            out.append(flags)
+            if flags & _F_VT:
+                out.append(ord(record["vt"]))
+            if flags & _F_ET:
+                out.append(ord(record["et"]))
+            if flags & _F_ENDPOINTS:
+                out += _I64.pack(int(record["src"]))
+                out += _I64.pack(int(record["dst"]))
+            if flags & _F_ORDER:
+                out += _I64.pack(int(record["order"]))
+            if flags & _F_KEY:
+                _pack_text(out, record["key"])
+            if flags & _F_PROPS:
+                _pack_json(out, record["props"])
+            if flags & _F_VALUE:
+                _pack_json(out, record["value"])
+        _pack_json(out, frame["writes"])
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(
+            f"malformed wire batch record: {frame!r}") from exc
+    return bytes(out)
+
+
+def unpack_batch_frame(payload: bytes) -> dict[str, Any]:
+    """Inverse of :func:`pack_batch_frame`: the identical frame dict."""
+    cursor = _BinaryCursor(payload)
+    if cursor.u8() != BATCH_FRAME_TAG:
+        raise SerializationError("not a binary batch payload")
+    epoch = cursor.unpack(_I64)
+    deltas: list[dict[str, Any]] = []
+    for _ in range(cursor.unpack(_U32)):
+        code = cursor.u8()
+        if code >= len(_OP_BY_CODE):
+            raise SerializationError(f"unknown delta op code {code}")
+        record: dict[str, Any] = {"op": _OP_BY_CODE[code].name,
+                                  "id": cursor.unpack(_I64)}
+        flags = cursor.u8()
+        if flags & _F_VT:
+            record["vt"] = chr(cursor.u8())
+        if flags & _F_ET:
+            record["et"] = chr(cursor.u8())
+        if flags & _F_ENDPOINTS:
+            record["src"] = cursor.unpack(_I64)
+            record["dst"] = cursor.unpack(_I64)
+        if flags & _F_ORDER:
+            record["order"] = cursor.unpack(_I64)
+        if flags & _F_KEY:
+            record["key"] = cursor.blob().decode("utf-8")
+        if flags & _F_PROPS:
+            record["props"] = cursor.json()
+        if flags & _F_VALUE:
+            record["value"] = cursor.json()
+            record["has_value"] = True
+        deltas.append(record)
+    writes = cursor.json()
+    if not cursor.done():
+        raise SerializationError("trailing bytes in binary batch frame")
+    return {"kind": "batch", "format": WIRE_FORMAT, "epoch": epoch,
+            "deltas": deltas, "writes": writes}
+
+
+def encode_batch_binary(batch: DeltaBatch,
+                        store: PropertyGraphStore | None = None) -> bytes:
+    """One batch as a binary payload (the v2 twin of :func:`encode_batch`)."""
+    return pack_batch_frame(batch_to_wire(batch, store))
+
+
+def pack_responses_frame(frame: dict[str, Any]) -> bytes:
+    """Pack a :func:`responses_bundle_to_wire` frame as a binary payload.
+
+    The envelope (tag, epoch, count) is struct-packed; each inner
+    response rides as one length-prefixed JSON section, because results
+    are schemaless values. The win over the JSON twin is skipping the
+    re-serialization of the whole envelope around potentially large,
+    already-materialized inner frames.
+    """
+    if frame.get("kind") != "responses" \
+            or frame.get("format") != WIRE_FORMAT:
+        raise SerializationError(
+            f"not a {WIRE_FORMAT} responses record: {frame.get('kind')!r}")
+    out = bytearray((RESPONSES_FRAME_TAG,))
+    try:
+        out += _I64.pack(int(frame["epoch"]))
+        responses = frame["responses"]
+        out += _U32.pack(len(responses))
+        for response in responses:
+            _pack_json(out, response)
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(
+            f"malformed responses bundle: {frame!r}") from exc
+    return bytes(out)
+
+
+def unpack_responses_frame(payload: bytes) -> dict[str, Any]:
+    """Inverse of :func:`pack_responses_frame`: the identical frame dict."""
+    cursor = _BinaryCursor(payload)
+    if cursor.u8() != RESPONSES_FRAME_TAG:
+        raise SerializationError("not a binary responses payload")
+    epoch = cursor.unpack(_I64)
+    responses = [cursor.json() for _ in range(cursor.unpack(_U32))]
+    if not cursor.done():
+        raise SerializationError("trailing bytes in binary responses frame")
+    return {"kind": "responses", "format": WIRE_FORMAT, "epoch": epoch,
+            "responses": responses}
+
+
+def encode_responses_binary(epoch: int,
+                            responses: list[dict[str, Any]]) -> bytes:
+    """A responses bundle as a binary payload (v2 twin of the JSON form)."""
+    return pack_responses_frame(responses_bundle_to_wire(epoch, responses))
+
+
+# Any process that imports the wire codecs can decode v2 binary payloads:
+# the transport dispatches on the payload's first byte.
+register_frame_decoder(BATCH_FRAME_TAG, unpack_batch_frame)
+register_frame_decoder(RESPONSES_FRAME_TAG, unpack_responses_frame)
 
 
 #: Builtin exception names the error codec is allowed to rebuild.

@@ -90,13 +90,16 @@ from repro.query.ops import blame as _blame
 from repro.query.ops import impacted as _impacted
 from repro.query.ops import lineage as _lineage
 from repro.segment.pgseg import PgSegOperator, PgSegQuery, Segment
-from repro.serve.transport import LineTransport
+from repro.serve.transport import BinaryTransport, LineTransport
 from repro.serve.wire import (
+    WIRE_FORMAT_V2,
     batch_from_wire,
     blame_to_wire,
     budget_from_wire,
     bundle_trace_ids,
     bye_frame,
+    checkpoint_from_wire,
+    encode_responses_binary,
     error_to_wire,
     event_frame,
     lineage_to_wire,
@@ -112,7 +115,9 @@ from repro.serve.wire import (
     segment_to_wire,
     sync_from_frame,
     trace_id_from_wire,
+    welcome_wire_format,
 )
+from repro.store.checkpoint import read_checkpoint
 from repro.store.delta import SpanEffects, entry_survives, span_effects
 from repro.store.snapshot import GraphSnapshot, default_crossover
 from repro.summarize.pgsum import PgSumOperator, PgSumQuery
@@ -180,6 +185,8 @@ class ReplicaWorker:
     requests_served = MetricAttr("requests_served")
     bundles_served = MetricAttr("bundles_served")
     syncs = MetricAttr("syncs")
+    #: Bootstraps served from a binary checkpoint file (v2 fast path).
+    checkpoints = MetricAttr("checkpoints")
     cache_hits = MetricAttr("cache_hits")
     cache_misses = MetricAttr("cache_misses")
     cache_retained = MetricAttr("cache_retained")
@@ -200,6 +207,9 @@ class ReplicaWorker:
             else MetricsRegistry()
         self._obs_prefix = "worker" if shard is None else f"shard{shard}.worker"
         self._transport = transport
+        #: Negotiated wire protocol: 1 until the pool's worker-directed
+        #: ``welcome`` names ``repro-wire-v2`` (see :meth:`run`).
+        self.wire_version = 1
         self.worker_id = worker_id
         #: Shard index when spawned by a sharded pool (``--shard``);
         #: echoed in pong stats — additive, absent unsharded.
@@ -242,6 +252,16 @@ class ReplicaWorker:
             kind = frame.get("kind")
             if kind == "sync":
                 self._bootstrap(frame)
+            elif kind == "welcome":
+                # The pool's framing decision, always ahead of any state:
+                # a v2 welcome swaps this stream to length-prefixed
+                # binary frames on the same fds. (A v1 pool never sends
+                # one — the stream silently stays JSON lines.)
+                if welcome_wire_format(frame) == WIRE_FORMAT_V2:
+                    self._transport = BinaryTransport.adopt(self._transport)
+                    self.wire_version = 2
+            elif kind == "checkpoint":
+                self._bootstrap_checkpoint(frame)
             elif kind == "batch":
                 if not self._apply(frame):
                     return 1
@@ -276,10 +296,12 @@ class ReplicaWorker:
             "worker_id": self.worker_id,
             "generation": self.generation,
             "cache_mode": self.cache_mode,
+            "wire_version": self.wire_version,
             "batches_applied": self.batches_applied,
             "requests_served": self.requests_served,
             "bundles_served": self.bundles_served,
             "syncs": self.syncs,
+            "checkpoints": self.checkpoints,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_retained": self.cache_retained,
@@ -293,6 +315,16 @@ class ReplicaWorker:
         if self.shard is not None:
             stats["shard"] = self.shard
         return stats
+
+    def close(self) -> None:
+        """Close the control stream — the *current* one.
+
+        A negotiated upgrade swaps ``self._transport`` for an adopted
+        binary framer over the same fds (the original is neutered so its
+        close is a no-op); callers holding the original transport must
+        close through here or the fds leak.
+        """
+        self._transport.close()
 
     # ------------------------------------------------------------------
     # Replication inputs
@@ -314,6 +346,34 @@ class ReplicaWorker:
         self._views.clear()
         self._cache_epoch = self.store.epoch
         self.syncs += 1
+
+    def _bootstrap_checkpoint(self, frame: dict[str, Any]) -> None:
+        """(Re-)build local state by mmapping a leader checkpoint file.
+
+        The zero-copy twin of :meth:`_bootstrap`: the frame names a file
+        on shared local storage instead of carrying the store itself.
+        Success is acked with a pong at the checkpoint's epoch — the
+        pool ships the delta-log tail only after that ack. Any failure
+        to load (file gone, corrupt, wrong format) is reported as a
+        ``checkpoint-failed`` event with local state untouched-or-None,
+        and the pool falls back to a full JSON sync on the same stream.
+        """
+        path, _epoch, _generation = checkpoint_from_wire(frame)
+        try:
+            store = read_checkpoint(path)
+        except Exception as exc:   # noqa: BLE001 - any load failure just
+            # means "use the fallback"; the pool decides, not us.
+            self._transport.send(event_frame("checkpoint-failed", str(exc)))
+            return
+        self.store = store
+        self.graph = ProvenanceGraph(store)
+        self._snapshot = GraphSnapshot(self.graph)
+        self._operator = PgSegOperator(self.graph, snapshot=self._snapshot)
+        self._cache.clear()
+        self._views.clear()
+        self._cache_epoch = store.epoch
+        self.checkpoints += 1
+        self._transport.send(pong_frame(self.epoch))
 
     def _apply(self, frame: dict[str, Any]) -> bool:
         """Apply one shipped batch; False means diverged (worker exits)."""
@@ -419,7 +479,16 @@ class ReplicaWorker:
                                         trace_id=trace_ids.get(request_id))
                      for request_id, method, params in calls]
         self.bundles_served += 1
-        self._transport.send(responses_bundle_to_wire(self.epoch, responses))
+        if self.wire_version >= 2:
+            # The bundle answer is the read path's highest-volume frame:
+            # on negotiated-v2 streams it ships as the packed binary
+            # codec (byte-for-byte the same responses, decoded back to
+            # the identical dict by the pool's frame decoder).
+            self._transport.send_binary(
+                encode_responses_binary(self.epoch, responses))
+        else:
+            self._transport.send(
+                responses_bundle_to_wire(self.epoch, responses))
 
     def metrics(self) -> dict[str, Any]:
         """The ``metrics`` wire method: registry snapshot + recent traces.

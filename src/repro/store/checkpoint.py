@@ -1,0 +1,394 @@
+"""Binary snapshot checkpoints: zero-copy worker bootstrap state.
+
+A checkpoint is the store's full state — the dense vertex/edge id spaces,
+type codes, creation ordinals, topology, and property maps — written once
+to an mmap-able, length-prefixed binary file keyed by ``(epoch,
+generation)``. Workers bootstrap by reading the checkpoint and then
+replaying only the delta-log tail, so restart cost scales with the tail
+(what changed since the checkpoint), not with the graph. This replaces
+the O(graph) JSON ``encode_sync``/``decode_sync`` round trip on the
+restart path; the JSON sync remains the fallback when a checkpoint
+predates the delta log's truncation horizon (see
+:meth:`repro.serve.replication.ReplicationLog.checkpoint`).
+
+File layout (all lengths little-endian ``u64``; arrays are raw
+little-endian numpy buffers, mmap-friendly because each section is
+contiguous):
+
+.. code-block:: text
+
+    magic   b"RPCK0001"
+    [len][meta JSON]        kind/format/capacities/epoch/check_signatures/
+                            generation/live counts
+    [len][vertex ids  i64]  live vertex ids, ascending
+    [len][vertex codes i8]  VERTEX_TYPE_CODES per live vertex
+    [len][orders      i64]  creation ordinals per live vertex
+    [len][edge ids    i64]  live edge ids, ascending
+    [len][edge codes  i8]   EDGE_TYPE_CODES per live edge
+    [len][srcs        i64]  source vertex id per live edge
+    [len][dsts        i64]  target vertex id per live edge
+    [len][props JSON]       {"vertices": {id: props}, "edges": {id: props}}
+                            (non-empty property maps only)
+
+Reconstruction (:func:`read_checkpoint`) builds the store's internal
+tables directly — records, adjacency, label index — instead of replaying
+``add_vertex``/``add_edge`` per record, which is what makes it cheap. The
+result is observably identical to :func:`repro.store.persistence.
+restore_records` over the same state: same ids, orders, epoch, and
+signature mode, ready to apply the replicated tail (the differential
+suite in ``tests/test_checkpoint_bootstrap.py`` pins bit-identity of
+served answers against the JSON sync path).
+
+:class:`CheckpointManager` owns the on-disk lifecycle: one live file in a
+private temp directory, the previous file deleted on every fresh capture
+and the directory removed on :meth:`CheckpointManager.close`, so restart
+loops cannot grow stale checkpoint files (pinned by ``TestTransportFds``).
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import shutil
+import struct
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.model.types import EdgeType, VertexType
+from repro.store.csr import VERTEX_TYPE_CODES
+from repro.store.records import EdgeRecord, VertexRecord
+from repro.store.store import PropertyGraphStore
+
+#: Leading magic of every checkpoint file (8 bytes, versioned).
+CHECKPOINT_MAGIC = b"RPCK0001"
+
+#: Format tag carried in the checkpoint meta record.
+CHECKPOINT_FORMAT = "repro-ckpt-v1"
+
+#: Dense codes for the five PROV edge types (mirrors ``VERTEX_TYPE_CODES``).
+EDGE_TYPE_CODES: dict[EdgeType, int] = {
+    edge_type: code for code, edge_type in enumerate(EdgeType)
+}
+
+_VERTEX_TYPE_BY_CODE = {code: vt for vt, code in VERTEX_TYPE_CODES.items()}
+_EDGE_TYPE_BY_CODE = {code: et for et, code in EDGE_TYPE_CODES.items()}
+
+_LEN = struct.Struct("<Q")
+
+
+def _write_section(handle, payload: bytes) -> int:
+    handle.write(_LEN.pack(len(payload)))
+    handle.write(payload)
+    return _LEN.size + len(payload)
+
+
+def write_checkpoint(store: PropertyGraphStore, path: str | Path,
+                     generation: int = 0) -> int:
+    """Write the store's full state to ``path``; returns bytes written.
+
+    The write is atomic at the filesystem level: content lands in a
+    ``.tmp`` sibling first and is renamed into place, so a reader never
+    sees a torn checkpoint.
+    """
+    target = Path(path)
+    vertex_ids: list[int] = []
+    vertex_codes: list[int] = []
+    orders: list[int] = []
+    vertex_props: dict[int, dict[str, Any]] = {}
+    for record in store.vertices():
+        vertex_ids.append(record.vertex_id)
+        vertex_codes.append(VERTEX_TYPE_CODES[record.vertex_type])
+        orders.append(record.order)
+        if record.properties:
+            vertex_props[record.vertex_id] = record.properties
+    edge_ids: list[int] = []
+    edge_codes: list[int] = []
+    srcs: list[int] = []
+    dsts: list[int] = []
+    edge_props: dict[int, dict[str, Any]] = {}
+    for record in store.edges():
+        edge_ids.append(record.edge_id)
+        edge_codes.append(EDGE_TYPE_CODES[record.edge_type])
+        srcs.append(record.src)
+        dsts.append(record.dst)
+        if record.properties:
+            edge_props[record.edge_id] = record.properties
+    meta = {
+        "kind": "checkpoint",
+        "format": CHECKPOINT_FORMAT,
+        "vertex_capacity": store.vertex_capacity,
+        "edge_capacity": store.edge_capacity,
+        "epoch": store.epoch,
+        "check_signatures": store.check_signatures,
+        "generation": generation,
+        "live_vertices": len(vertex_ids),
+        "live_edges": len(edge_ids),
+    }
+    sections = (
+        json.dumps(meta, sort_keys=True).encode("utf-8"),
+        np.asarray(vertex_ids, dtype="<i8").tobytes(),
+        np.asarray(vertex_codes, dtype="i1").tobytes(),
+        np.asarray(orders, dtype="<i8").tobytes(),
+        np.asarray(edge_ids, dtype="<i8").tobytes(),
+        np.asarray(edge_codes, dtype="i1").tobytes(),
+        np.asarray(srcs, dtype="<i8").tobytes(),
+        np.asarray(dsts, dtype="<i8").tobytes(),
+        json.dumps({"vertices": vertex_props, "edges": edge_props},
+                   sort_keys=True).encode("utf-8"),
+    )
+    staging = target.with_name(target.name + ".tmp")
+    written = len(CHECKPOINT_MAGIC)
+    with staging.open("wb") as handle:
+        handle.write(CHECKPOINT_MAGIC)
+        for payload in sections:
+            written += _write_section(handle, payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(staging, target)
+    return written
+
+
+class _Cursor:
+    """Sequential section reader over one mmap'ed checkpoint buffer."""
+
+    def __init__(self, view: memoryview, source: str):
+        self._view = view
+        self._offset = 0
+        self._source = source
+
+    def section(self) -> memoryview:
+        view, offset = self._view, self._offset
+        if offset + _LEN.size > len(view):
+            raise SerializationError(f"{self._source}: truncated checkpoint")
+        (length,) = _LEN.unpack_from(view, offset)
+        offset += _LEN.size
+        if offset + length > len(view):
+            raise SerializationError(f"{self._source}: truncated checkpoint")
+        self._offset = offset + length
+        return view[offset:offset + length]
+
+
+def read_checkpoint_meta(path: str | Path) -> dict[str, Any]:
+    """Read just the meta record of a checkpoint (cheap validity probe)."""
+    source = Path(path)
+    with source.open("rb") as handle:
+        magic = handle.read(len(CHECKPOINT_MAGIC))
+        if magic != CHECKPOINT_MAGIC:
+            raise SerializationError(f"{source}: not a checkpoint file")
+        header = handle.read(_LEN.size)
+        if len(header) != _LEN.size:
+            raise SerializationError(f"{source}: truncated checkpoint")
+        (length,) = _LEN.unpack(header)
+        payload = handle.read(length)
+        if len(payload) != length:
+            raise SerializationError(f"{source}: truncated checkpoint")
+    meta = json.loads(payload.decode("utf-8"))
+    if meta.get("format") != CHECKPOINT_FORMAT:
+        raise SerializationError(
+            f"{source}: unsupported checkpoint format {meta.get('format')!r}")
+    return meta
+
+
+def read_checkpoint(path: str | Path) -> PropertyGraphStore:
+    """Rebuild a store from a checkpoint file.
+
+    The file is mmap'ed and the array sections are decoded in place
+    (``np.frombuffer`` over the mapping — no intermediate text or copy of
+    the topology). The store's internal tables are then constructed
+    directly, skipping per-record mutation plumbing: observably identical
+    to the ``restore_records`` JSON path, an order of magnitude cheaper.
+
+    The mapping and file descriptor are released before returning — the
+    reconstructed store owns plain Python records, never the mapping — so
+    checkpoint files can be deleted while bootstrapped workers live on.
+
+    Raises:
+        SerializationError: on a torn, truncated, or foreign file.
+    """
+    source = Path(path)
+    with source.open("rb") as handle:
+        mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        try:
+            view = memoryview(mapped)
+            try:
+                body = view[len(CHECKPOINT_MAGIC):]
+                cursor = None
+                try:
+                    if bytes(view[:len(CHECKPOINT_MAGIC)]) \
+                            != CHECKPOINT_MAGIC:
+                        raise SerializationError(
+                            f"{source}: not a checkpoint file")
+                    cursor = _Cursor(body, str(source))
+                    with cursor.section() as raw_meta:
+                        meta = json.loads(bytes(raw_meta).decode("utf-8"))
+                    if meta.get("format") != CHECKPOINT_FORMAT:
+                        raise SerializationError(
+                            f"{source}: unsupported checkpoint format "
+                            f"{meta.get('format')!r}")
+                    store = _decode_body(meta, cursor, str(source))
+                finally:
+                    # The decoded store holds plain Python records, never
+                    # the mapping: release every view so close() succeeds.
+                    del cursor
+                    body.release()
+            finally:
+                view.release()
+        finally:
+            mapped.close()
+    return store
+
+
+def _decode_body(meta: dict[str, Any], cursor: _Cursor,
+                 source: str) -> PropertyGraphStore:
+    vertex_ids = np.frombuffer(cursor.section(), dtype="<i8")
+    vertex_codes = np.frombuffer(cursor.section(), dtype="i1")
+    orders = np.frombuffer(cursor.section(), dtype="<i8")
+    edge_ids = np.frombuffer(cursor.section(), dtype="<i8")
+    edge_codes = np.frombuffer(cursor.section(), dtype="i1")
+    srcs = np.frombuffer(cursor.section(), dtype="<i8")
+    dsts = np.frombuffer(cursor.section(), dtype="<i8")
+    with cursor.section() as raw_props:
+        props = json.loads(bytes(raw_props).decode("utf-8"))
+    if (len(vertex_ids) != int(meta["live_vertices"])
+            or len(edge_ids) != int(meta["live_edges"])
+            or len(vertex_codes) != len(vertex_ids)
+            or len(orders) != len(vertex_ids)
+            or len(edge_codes) != len(edge_ids)
+            or len(srcs) != len(edge_ids)
+            or len(dsts) != len(edge_ids)):
+        raise SerializationError(f"{source}: checkpoint section mismatch")
+    vertex_props = {int(key): value
+                    for key, value in props.get("vertices", {}).items()}
+    edge_props = {int(key): value
+                  for key, value in props.get("edges", {}).items()}
+
+    store = PropertyGraphStore(
+        check_signatures=bool(meta.get("check_signatures", True)))
+    vertex_capacity = int(meta["vertex_capacity"])
+    edge_capacity = int(meta["edge_capacity"])
+    vertices: list[VertexRecord | None] = [None] * vertex_capacity
+    outgoing: list[dict[EdgeType, list[int]]] = [
+        {} for _ in range(vertex_capacity)]
+    incoming: list[dict[EdgeType, list[int]]] = [
+        {} for _ in range(vertex_capacity)]
+    label_index = store._label_index
+    for position in range(len(vertex_ids)):
+        vertex_id = int(vertex_ids[position])
+        vertex_type = _VERTEX_TYPE_BY_CODE[int(vertex_codes[position])]
+        record = VertexRecord(vertex_id, vertex_type,
+                              dict(vertex_props.get(vertex_id, {})),
+                              int(orders[position]))
+        vertices[vertex_id] = record
+        label_index.add_vertex(vertex_id, vertex_type)
+    edges: list[EdgeRecord | None] = [None] * edge_capacity
+    for position in range(len(edge_ids)):
+        edge_id = int(edge_ids[position])
+        edge_type = _EDGE_TYPE_BY_CODE[int(edge_codes[position])]
+        src = int(srcs[position])
+        dst = int(dsts[position])
+        record = EdgeRecord(edge_id, edge_type, src, dst,
+                            dict(edge_props.get(edge_id, {})))
+        edges[edge_id] = record
+        outgoing[src].setdefault(edge_type, []).append(edge_id)
+        incoming[dst].setdefault(edge_type, []).append(edge_id)
+        label_index.add_edge(edge_id, edge_type)
+    # Install the tables wholesale (same-package access): the dense id
+    # spaces, adjacency, and live counts exactly as replaying the records
+    # would have built them. `_next_order == vertex_capacity` matches the
+    # restore_records invariant (each id — live or gap — consumed one
+    # reconstruction ordinal); followers only advance it through
+    # apply_replicated_batch, which max()-guards against shipped ordinals.
+    store._vertices = vertices
+    store._edges = edges
+    store._out = outgoing
+    store._in = incoming
+    store._live_vertex_count = len(vertex_ids)
+    store._live_edge_count = len(edge_ids)
+    store._next_order = vertex_capacity
+    store.restore_epoch(int(meta["epoch"]))
+    return store
+
+
+@dataclass(frozen=True, slots=True)
+class Checkpoint:
+    """Handle to one on-disk checkpoint: where it is and what it covers."""
+
+    path: Path
+    epoch: int
+    generation: int
+    nbytes: int
+
+
+class CheckpointManager:
+    """Owns one live checkpoint file in a private temp directory.
+
+    ``capture`` writes a fresh checkpoint of the store's current state and
+    deletes the previous file; ``invalidate`` drops the current one (used
+    when it fell behind the delta log's truncation horizon); ``close``
+    removes the directory. At most one checkpoint file exists at any time,
+    so restart loops cannot accumulate stale state on disk.
+    """
+
+    def __init__(self) -> None:
+        self._dir: Path | None = None
+        self._latest: Checkpoint | None = None
+        self._generation = 0
+        self._closed = False
+
+    @property
+    def latest(self) -> Checkpoint | None:
+        """The current checkpoint, or ``None`` if absent/invalidated."""
+        return self._latest
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def capture(self, store: PropertyGraphStore) -> Checkpoint:
+        """Write a fresh checkpoint of ``store``; drops the previous file."""
+        if self._closed:
+            raise RuntimeError("checkpoint manager is closed")
+        if self._dir is None:
+            self._dir = Path(tempfile.mkdtemp(prefix="repro-ckpt-"))
+        previous = self._latest
+        self._generation += 1
+        generation = self._generation
+        path = self._dir / f"ckpt-{store.epoch}-{generation}.bin"
+        nbytes = write_checkpoint(store, path, generation=generation)
+        self._latest = Checkpoint(path, store.epoch, generation, nbytes)
+        if previous is not None and previous.path != path:
+            previous.path.unlink(missing_ok=True)
+        return self._latest
+
+    def invalidate(self) -> None:
+        """Forget (and delete) the current checkpoint, if any."""
+        latest, self._latest = self._latest, None
+        if latest is not None:
+            latest.path.unlink(missing_ok=True)
+
+    def close(self) -> None:
+        """Delete the checkpoint file and its directory. Idempotent."""
+        self._closed = True
+        self._latest = None
+        directory, self._dir = self._dir, None
+        if directory is not None:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    def __enter__(self) -> "CheckpointManager":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

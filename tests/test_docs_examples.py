@@ -78,17 +78,25 @@ def test_examples_round_trip_through_codecs():
                     assert payload is None
         elif kind == "hello":
             worker_id, token = wire.hello_from_wire(block)
-            assert wire.hello_frame(worker_id, token) == block
+            # wire (capability list) is additive: from_wire ignores it,
+            # so the re-encode threads the documented field through.
+            assert wire.hello_frame(
+                worker_id, token, wire=block.get("wire")) == block
         elif kind == "client_hello":
             client, token = wire.client_hello_from_wire(block)
             assert wire.client_hello_frame(client, token) == block
         elif kind == "welcome":
             session_id, epoch, limits = wire.welcome_from_wire(block)
-            # shard_epochs is additive: from_wire ignores it, so the
-            # re-encode threads the documented field through verbatim.
+            # shard_epochs and wire are additive: from_wire ignores
+            # them, so the re-encode threads the documented fields
+            # through verbatim.
             assert wire.welcome_frame(
                 session_id, epoch, limits or None,
-                shard_epochs=block.get("shard_epochs")) == block
+                shard_epochs=block.get("shard_epochs"),
+                wire=block.get("wire")) == block
+        elif kind == "checkpoint":
+            path, epoch, generation = wire.checkpoint_from_wire(block)
+            assert wire.checkpoint_frame(path, epoch, generation) == block
         elif kind == "shard_map":
             shard_map = wire.shard_map_from_wire(block)
             assert wire.shard_map_to_wire(shard_map) == block
@@ -141,7 +149,8 @@ def test_examples_round_trip_through_codecs():
     assert seen_kinds >= {"sync", "batch", "hello", "ping", "pong",
                           "event", "shutdown", "bye", "request",
                           "response", "requests", "responses",
-                          "client_hello", "welcome", "shard_map"}
+                          "client_hello", "welcome", "shard_map",
+                          "checkpoint"}
     # ... and per request method (lineage shares its codec with impacted).
     assert set(methods_by_id.values()) >= {"lineage", "blame", "segment",
                                            "summarize", "cypher", "metrics"}

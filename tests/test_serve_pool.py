@@ -537,6 +537,13 @@ class TestTransportFds:
     def test_restart_loop_does_not_leak_fds(self, transport):
         import gc
 
+        def checkpoint_files(pool):
+            manager = pool.log._checkpoints
+            if manager is None or manager._dir is None \
+                    or not manager._dir.is_dir():
+                return []
+            return sorted(manager._dir.iterdir())
+
         example = build_paper_example()
         graph = example.graph
         target = example["weight-v2"]
@@ -550,9 +557,19 @@ class TestTransportFds:
                 client.proc.wait()
                 pool.restart(client, failed=client.transport)
                 assert client.lineage(target).root == target
+                # Checkpoint bootstraps must not accrete snapshot files:
+                # at most the one live checkpoint, regardless of how
+                # many restarts reused it.
+                assert len(checkpoint_files(pool)) <= 1
             gc.collect()
             assert _open_fds() <= baseline
         assert client.restarts == 4
+        # stop_serving()/close() removes the checkpoint scratch directory
+        # with everything in it — nothing stale survives the pool.
+        assert checkpoint_files(pool) == []
+        manager = pool.log._checkpoints
+        assert manager is None or manager._dir is None \
+            or not manager._dir.is_dir()
 
 
 class TestWorkerPoolLifecycle:
